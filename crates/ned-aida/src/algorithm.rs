@@ -1,0 +1,540 @@
+//! The greedy dense-subgraph algorithm (§3.4.2, Algorithm 1).
+//!
+//! Three phases:
+//!
+//! 1. **Pre-processing**: prune entities too distant from the mentions —
+//!    for every entity, sum the squared shortest weighted-path distances to
+//!    all mention nodes and keep the `graph_size_factor × #mentions`
+//!    closest, never dropping a mention's last candidate.
+//! 2. **Main loop**: iteratively remove the non-taboo entity with the
+//!    smallest weighted degree (an entity is taboo when it is the last
+//!    remaining candidate of a mention it is connected to). The kept
+//!    solution maximizes `min weighted degree of entities / #entities`.
+//! 3. **Post-processing**: the solution may leave several candidates per
+//!    mention; enumerate all combinations when feasible, otherwise run a
+//!    deterministic local search, maximizing the total edge weight.
+
+use crate::graph::MentionEntityGraph;
+
+/// Parameters of the solver (a slice of [`crate::AidaConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Keep `graph_size_factor × #mentions` entities after pre-pruning.
+    pub graph_size_factor: usize,
+    /// Enumerate exhaustively when the combination count is at most this.
+    pub exhaustive_limit: u64,
+    /// Local-search sweeps when enumeration is infeasible.
+    pub local_search_iterations: usize,
+    /// Seed for local-search restarts.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            graph_size_factor: 5,
+            exhaustive_limit: 20_000,
+            local_search_iterations: 400,
+            seed: 0xa1da,
+        }
+    }
+}
+
+/// Distance penalty for an entity that cannot reach a mention at all.
+const UNREACHABLE: f64 = 100.0;
+
+/// Solves the graph: returns, per mention, the chosen entity node index
+/// (`None` only for mentions without candidates).
+pub fn solve(graph: &MentionEntityGraph, config: &SolverConfig) -> Vec<Option<usize>> {
+    let n = graph.entity_count();
+    if n == 0 {
+        return vec![None; graph.mention_count];
+    }
+    let mut active = prune_distant_entities(graph, config);
+    let best_active = greedy_min_degree(graph, &mut active);
+    postprocess(graph, &best_active, config)
+}
+
+/// Phase 1: keep the `factor × #mentions` entities with the smallest sum of
+/// squared shortest-path distances to the mention set.
+fn prune_distant_entities(graph: &MentionEntityGraph, config: &SolverConfig) -> Vec<bool> {
+    let n = graph.entity_count();
+    let keep_target = config.graph_size_factor.saturating_mul(graph.mention_count).max(1);
+    if n <= keep_target {
+        return vec![true; n];
+    }
+    // Sum of squared shortest-path distances from every mention.
+    let mut distance_sum = vec![0.0f64; n];
+    for mi in 0..graph.mention_count {
+        let d = dijkstra_from_mention(graph, mi);
+        for (v, sum) in distance_sum.iter_mut().enumerate() {
+            let dv = d[v].unwrap_or(UNREACHABLE);
+            *sum += dv * dv;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        distance_sum[a].partial_cmp(&distance_sum[b]).expect("distances are finite")
+    });
+    let mut active = vec![false; n];
+    for &v in order.iter().take(keep_target) {
+        active[v] = true;
+    }
+    // Never drop a mention's last candidate: re-add its best-weighted one.
+    for (mi, cands) in graph.mention_candidates.iter().enumerate() {
+        if cands.is_empty() || cands.iter().any(|&ni| active[ni]) {
+            continue;
+        }
+        let best = cands
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                mention_edge_weight(graph, a, mi)
+                    .partial_cmp(&mention_edge_weight(graph, b, mi))
+                    .expect("weights are finite")
+            })
+            .expect("non-empty candidates");
+        active[best] = true;
+    }
+    active
+}
+
+/// Dijkstra over the bipartite mention/entity graph starting at mention
+/// `mi`; edge length is `1 − weight` (weights are in [0, 1] after graph
+/// construction). Returns entity-node distances.
+fn dijkstra_from_mention(graph: &MentionEntityGraph, mi: usize) -> Vec<Option<f64>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Node ids: 0..n are entities, n..n+m are mentions.
+    let n = graph.entity_count();
+    let total = n + graph.mention_count;
+    let mut dist = vec![f64::INFINITY; total];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+    let start = n + mi;
+    dist[start] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), start)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        let relax = |v: usize, w: f64, dist: &mut Vec<f64>, heap: &mut BinaryHeap<_>| {
+            let len = (1.0 - w).max(0.0);
+            let nd = d + len;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        };
+        if u < n {
+            // Entity node: neighbours are its mentions and related entities.
+            for &(m, w) in &graph.nodes[u].mention_edges {
+                relax(n + m, w, &mut dist, &mut heap);
+            }
+            for &(v, w) in &graph.nodes[u].entity_edges {
+                relax(v, w, &mut dist, &mut heap);
+            }
+        } else {
+            let m = u - n;
+            for &ni in &graph.mention_candidates[m] {
+                let w = mention_edge_weight(graph, ni, m);
+                relax(ni, w, &mut dist, &mut heap);
+            }
+        }
+    }
+    (0..n).map(|v| dist[v].is_finite().then_some(dist[v])).collect()
+}
+
+/// Total-order wrapper for finite f64 keys in the heap.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distances")
+    }
+}
+
+fn mention_edge_weight(graph: &MentionEntityGraph, ni: usize, mi: usize) -> f64 {
+    graph.nodes[ni]
+        .mention_edges
+        .iter()
+        .find(|&&(m, _)| m == mi)
+        .map_or(0.0, |&(_, w)| w)
+}
+
+/// Phase 2: the greedy main loop. Mutates `active` while iterating and
+/// returns the best active set found.
+fn greedy_min_degree(graph: &MentionEntityGraph, active: &mut [bool]) -> Vec<bool> {
+    let n = graph.entity_count();
+    let mut degree: Vec<f64> = (0..n)
+        .map(|v| if active[v] { graph.weighted_degree(v, active) } else { 0.0 })
+        .collect();
+    // Remaining active candidates per mention.
+    let mut remaining: Vec<usize> = graph
+        .mention_candidates
+        .iter()
+        .map(|cands| cands.iter().filter(|&&ni| active[ni]).count())
+        .collect();
+
+    let objective = |active: &[bool], degree: &[f64]| -> f64 {
+        let count = active.iter().filter(|&&a| a).count();
+        if count == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let min_deg = (0..n)
+            .filter(|&v| active[v])
+            .map(|v| degree[v])
+            .fold(f64::INFINITY, f64::min);
+        min_deg / count as f64
+    };
+
+    let mut best_active = active.to_vec();
+    let mut best_objective = objective(active, &degree);
+
+    loop {
+        // Taboo: entity is the last candidate of any incident mention.
+        let is_taboo = |v: usize| {
+            graph.nodes[v]
+                .mention_edges
+                .iter()
+                .any(|&(m, _)| remaining[m] <= 1 && graph.mention_candidates[m].contains(&v))
+        };
+        let victim = (0..n)
+            .filter(|&v| active[v] && !is_taboo(v))
+            .min_by(|&a, &b| degree[a].partial_cmp(&degree[b]).expect("finite degrees"));
+        let Some(v) = victim else { break };
+        // Remove v and update neighbour degrees.
+        active[v] = false;
+        degree[v] = 0.0;
+        for &(u, w) in &graph.nodes[v].entity_edges {
+            if active[u] {
+                degree[u] -= w;
+            }
+        }
+        for &(m, _) in &graph.nodes[v].mention_edges {
+            if graph.mention_candidates[m].contains(&v) {
+                remaining[m] -= 1;
+            }
+        }
+        let obj = objective(active, &degree);
+        if obj > best_objective {
+            best_objective = obj;
+            best_active = active.to_vec();
+        }
+    }
+    best_active
+}
+
+/// Phase 3: resolve mentions that still have several active candidates.
+fn postprocess(
+    graph: &MentionEntityGraph,
+    active: &[bool],
+    config: &SolverConfig,
+) -> Vec<Option<usize>> {
+    let choices: Vec<Vec<usize>> = graph
+        .mention_candidates
+        .iter()
+        .map(|cands| cands.iter().copied().filter(|&ni| active[ni]).collect::<Vec<_>>())
+        .collect();
+    // Combination count with saturation.
+    let mut combos: u64 = 1;
+    for c in &choices {
+        combos = combos.saturating_mul(c.len().max(1) as u64);
+        if combos > config.exhaustive_limit {
+            break;
+        }
+    }
+    if combos <= config.exhaustive_limit {
+        exhaustive(graph, &choices)
+    } else {
+        local_search(graph, &choices, config)
+    }
+}
+
+/// Total objective of a full assignment: chosen mention-edge weights plus
+/// entity-edge weights between distinct chosen nodes (each pair once).
+fn assignment_weight(graph: &MentionEntityGraph, assignment: &[Option<usize>]) -> f64 {
+    let mut total = 0.0;
+    let mut chosen: Vec<usize> = Vec::with_capacity(assignment.len());
+    for (mi, &a) in assignment.iter().enumerate() {
+        if let Some(ni) = a {
+            total += mention_edge_weight(graph, ni, mi);
+            chosen.push(ni);
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    for (i, &a) in chosen.iter().enumerate() {
+        for &(b, w) in &graph.nodes[a].entity_edges {
+            if chosen[i + 1..].binary_search(&b).is_ok() {
+                total += w;
+            }
+        }
+    }
+    total
+}
+
+fn exhaustive(graph: &MentionEntityGraph, choices: &[Vec<usize>]) -> Vec<Option<usize>> {
+    let m = choices.len();
+    let mut current: Vec<Option<usize>> = vec![None; m];
+    let mut best: Vec<Option<usize>> = vec![None; m];
+    let mut best_weight = f64::NEG_INFINITY;
+    fn recurse(
+        graph: &MentionEntityGraph,
+        choices: &[Vec<usize>],
+        mi: usize,
+        current: &mut Vec<Option<usize>>,
+        best: &mut Vec<Option<usize>>,
+        best_weight: &mut f64,
+    ) {
+        if mi == choices.len() {
+            let w = assignment_weight(graph, current);
+            if w > *best_weight {
+                *best_weight = w;
+                best.clone_from(current);
+            }
+            return;
+        }
+        if choices[mi].is_empty() {
+            current[mi] = None;
+            recurse(graph, choices, mi + 1, current, best, best_weight);
+            return;
+        }
+        for &ni in &choices[mi] {
+            current[mi] = Some(ni);
+            recurse(graph, choices, mi + 1, current, best, best_weight);
+        }
+    }
+    recurse(graph, choices, 0, &mut current, &mut best, &mut best_weight);
+    best
+}
+
+/// xorshift64* generator for deterministic restarts.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn local_search(
+    graph: &MentionEntityGraph,
+    choices: &[Vec<usize>],
+    config: &SolverConfig,
+) -> Vec<Option<usize>> {
+    let m = choices.len();
+    let mut rng = XorShift(config.seed | 1);
+    // Start from per-mention best local weight.
+    let greedy_start: Vec<Option<usize>> = choices
+        .iter()
+        .enumerate()
+        .map(|(mi, cands)| {
+            cands
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    mention_edge_weight(graph, a, mi)
+                        .partial_cmp(&mention_edge_weight(graph, b, mi))
+                        .expect("finite")
+                })
+        })
+        .collect();
+    let mut best = greedy_start.clone();
+    let mut best_weight = assignment_weight(graph, &best);
+
+    const RESTARTS: usize = 4;
+    for restart in 0..RESTARTS {
+        let mut current = if restart == 0 {
+            greedy_start.clone()
+        } else {
+            // Random restart: candidates sampled uniformly.
+            choices
+                .iter()
+                .map(|cands| (!cands.is_empty()).then(|| cands[rng.below(cands.len())]))
+                .collect()
+        };
+        let mut current_weight = assignment_weight(graph, &current);
+        // Hill climbing: sweep mentions, trying each candidate.
+        for _ in 0..config.local_search_iterations {
+            let mut improved = false;
+            for mi in 0..m {
+                if choices[mi].len() < 2 {
+                    continue;
+                }
+                let original = current[mi];
+                for &ni in &choices[mi] {
+                    if Some(ni) == original {
+                        continue;
+                    }
+                    current[mi] = Some(ni);
+                    let w = assignment_weight(graph, &current);
+                    if w > current_weight {
+                        current_weight = w;
+                        improved = true;
+                    } else {
+                        current[mi] = original;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if current_weight > best_weight {
+            best_weight = current_weight;
+            best = current;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_kb::EntityId;
+    use ned_relatedness::Relatedness;
+
+    struct TableRel(Vec<(EntityId, EntityId, f64)>);
+
+    impl Relatedness for TableRel {
+        fn name(&self) -> &'static str {
+            "table"
+        }
+        fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+            self.0
+                .iter()
+                .find(|&&(x, y, _)| (x == a && y == b) || (x == b && y == a))
+                .map_or(0.0, |&(_, _, w)| w)
+        }
+    }
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    /// The Page/Kashmir scenario: coherence must override the misleading
+    /// local preference of mention 0.
+    fn coherent_graph() -> MentionEntityGraph {
+        // Mention 0 "Kashmir": region (local 0.9) vs song (local 0.5).
+        // Mention 1 "Page": Jimmy (0.6) vs Larry (0.55).
+        // Song–Jimmy strongly related; region related to nothing.
+        let local = vec![
+            vec![(e(10), 0.9), (e(11), 0.5)], // 10 = region, 11 = song
+            vec![(e(20), 0.6), (e(21), 0.55)], // 20 = Jimmy, 21 = Larry
+        ];
+        let rel = TableRel(vec![(e(11), e(20), 1.0)]);
+        MentionEntityGraph::build(&local, &rel, 0.6, true)
+    }
+
+    fn chosen_entities(
+        graph: &MentionEntityGraph,
+        solution: &[Option<usize>],
+    ) -> Vec<Option<EntityId>> {
+        solution.iter().map(|s| s.map(|ni| graph.nodes[ni].entity)).collect()
+    }
+
+    #[test]
+    fn coherence_overrides_local_preference() {
+        let graph = coherent_graph();
+        let solution = solve(&graph, &SolverConfig::default());
+        let chosen = chosen_entities(&graph, &solution);
+        assert_eq!(chosen, vec![Some(e(11)), Some(e(20))]);
+    }
+
+    #[test]
+    fn every_mention_gets_exactly_one_entity() {
+        let graph = coherent_graph();
+        let solution = solve(&graph, &SolverConfig::default());
+        assert_eq!(solution.len(), graph.mention_count);
+        assert!(solution.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn empty_graph_maps_nothing() {
+        let local: Vec<Vec<(EntityId, f64)>> = vec![vec![], vec![]];
+        let rel = TableRel(vec![]);
+        let graph = MentionEntityGraph::build(&local, &rel, 0.4, true);
+        let solution = solve(&graph, &SolverConfig::default());
+        assert_eq!(solution, vec![None, None]);
+    }
+
+    #[test]
+    fn mention_without_candidates_is_unmapped_others_resolved() {
+        let local = vec![vec![], vec![(e(1), 0.7)]];
+        let rel = TableRel(vec![]);
+        let graph = MentionEntityGraph::build(&local, &rel, 0.4, true);
+        let solution = solve(&graph, &SolverConfig::default());
+        assert_eq!(solution[0], None);
+        assert!(solution[1].is_some());
+    }
+
+    #[test]
+    fn pruning_keeps_last_candidates() {
+        // 30 mentions × 1 candidate each with tiny factor: every candidate
+        // is some mention's last and must survive.
+        let local: Vec<Vec<(EntityId, f64)>> =
+            (0..30).map(|i| vec![(e(i), 0.5 + (i as f64) * 0.01)]).collect();
+        let rel = TableRel(vec![]);
+        let graph = MentionEntityGraph::build(&local, &rel, 0.4, true);
+        let config = SolverConfig { graph_size_factor: 1, ..Default::default() };
+        let solution = solve(&graph, &config);
+        assert!(solution.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn local_search_matches_exhaustive_on_small_graph() {
+        let graph = coherent_graph();
+        let exhaustive_solution = solve(&graph, &SolverConfig::default());
+        let ls_solution =
+            solve(&graph, &SolverConfig { exhaustive_limit: 0, ..Default::default() });
+        assert_eq!(
+            assignment_weight(&graph, &exhaustive_solution),
+            assignment_weight(&graph, &ls_solution)
+        );
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let graph = coherent_graph();
+        let a = solve(&graph, &SolverConfig::default());
+        let b = solve(&graph, &SolverConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assignment_weight_counts_pairs_once() {
+        let graph = coherent_graph();
+        // Choose song (node of e11) and Jimmy (node of e20).
+        let song = graph.nodes.iter().position(|n| n.entity == e(11)).unwrap();
+        let jimmy = graph.nodes.iter().position(|n| n.entity == e(20)).unwrap();
+        let w = assignment_weight(&graph, &[Some(song), Some(jimmy)]);
+        let me: f64 =
+            mention_edge_weight(&graph, song, 0) + mention_edge_weight(&graph, jimmy, 1);
+        let ee = graph.nodes[song]
+            .entity_edges
+            .iter()
+            .find(|&&(v, _)| v == jimmy)
+            .map(|&(_, w)| w)
+            .unwrap();
+        assert!((w - (me + ee)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Re-implementation of Cucerzan's disambiguation method [Cuc07] (§2.2.2).
+//!
+//! Cucerzan does not perform true joint inference; instead each mention is
+//! disambiguated separately against an *expanded* document context: the
+//! token context of the document plus the aggregated context of all other
+//! mentions' candidate entities ("preferring entities that agree with other
+//! candidates' categories — without knowing the correct one yet"). We model
+//! an entity's category context by its keyword vector; the document vector
+//! is expanded with the candidate keyword vectors of all other mentions.
+
+use ned_kb::fx::FxHashMap;
+use ned_kb::{KnowledgeBase, WordId};
+use ned_text::{Mention, Token};
+
+use crate::baselines::{bag_cosine_unweighted, context_bag};
+use crate::context::DocumentContext;
+use crate::method::NedMethod;
+use crate::result::{DisambiguationResult, MentionAssignment};
+
+/// Cucerzan-style context-expansion disambiguation.
+pub struct Cucerzan<'a> {
+    kb: &'a KnowledgeBase,
+    /// Weight of the expanded (other-candidate) context relative to the
+    /// document token context.
+    expansion_weight: f64,
+    /// Entities are represented by their `top_phrases` most frequent
+    /// keyphrases only — Cucerzan's entity context is built from category
+    /// names and list pages, a far shallower representation than a full
+    /// keyphrase profile.
+    top_phrases: usize,
+}
+
+impl<'a> Cucerzan<'a> {
+    /// Creates the baseline with the default expansion weight.
+    pub fn new(kb: &'a KnowledgeBase) -> Self {
+        Cucerzan { kb, expansion_weight: 3.0, top_phrases: 5 }
+    }
+
+    /// The shallow "category-like" keyword bag of an entity: the words of
+    /// its `top_phrases` most frequent keyphrases.
+    fn entity_bag(&self, e: ned_kb::EntityId) -> FxHashMap<WordId, f64> {
+        let mut phrases: Vec<_> = self.kb.keyphrases(e).to_vec();
+        phrases.sort_by(|a, b| b.count.cmp(&a.count).then(a.phrase.cmp(&b.phrase)));
+        let mut bag: FxHashMap<WordId, f64> = FxHashMap::default();
+        for ep in phrases.iter().take(self.top_phrases) {
+            for &w in self.kb.phrase_words(ep.phrase) {
+                *bag.entry(w).or_insert(0.0) += 1.0;
+            }
+        }
+        bag
+    }
+}
+
+impl NedMethod for Cucerzan<'_> {
+    fn name(&self) -> String {
+        "Cucerzan".to_string()
+    }
+
+    fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
+        let ctx = DocumentContext::build(self.kb, tokens);
+        // Aggregated shallow keyword vector of every mention's candidates,
+        // used to expand the context of the *other* mentions.
+        let candidate_bags: Vec<FxHashMap<WordId, f64>> = mentions
+            .iter()
+            .map(|m| {
+                let mut bag: FxHashMap<WordId, f64> = FxHashMap::default();
+                for c in self.kb.candidates(&m.surface) {
+                    for (w, v) in self.entity_bag(c.entity) {
+                        *bag.entry(w).or_insert(0.0) += v;
+                    }
+                }
+                normalize(&mut bag);
+                bag
+            })
+            .collect();
+
+        let assignments = mentions
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| {
+                // Expanded document vector: token context + other mentions'
+                // candidate vectors.
+                let mut bag = context_bag(&ctx.for_mention(m));
+                normalize(&mut bag);
+                for (mj, other) in candidate_bags.iter().enumerate() {
+                    if mj == mi {
+                        continue;
+                    }
+                    for (&w, &v) in other {
+                        *bag.entry(w).or_insert(0.0) += self.expansion_weight * v;
+                    }
+                }
+                let mut scores: Vec<_> = self
+                    .kb
+                    .candidates(&m.surface)
+                    .iter()
+                    .map(|c| (c.entity, bag_cosine_unweighted(&self.entity_bag(c.entity), &bag)))
+                    .collect();
+                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                match scores.first().copied() {
+                    Some((e, s)) => MentionAssignment {
+                        mention_index: mi,
+                        entity: Some(e),
+                        score: s,
+                        candidate_scores: scores,
+                    },
+                    None => MentionAssignment::unmapped(mi),
+                }
+            })
+            .collect();
+        DisambiguationResult { assignments }
+    }
+}
+
+fn normalize(bag: &mut FxHashMap<WordId, f64>) {
+    let norm: f64 = bag.values().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in bag.values_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support;
+
+    #[test]
+    fn resolves_contextful_mentions() {
+        let kb = test_support::kb();
+        let (tokens, mentions) = test_support::doc();
+        let labels = Cucerzan::new(&kb).disambiguate(&tokens, &mentions).labels();
+        // "unusual chords" matches the song and Jimmy Page.
+        assert_eq!(labels[0], kb.entity_by_name("Kashmir (song)"));
+        assert_eq!(labels[1], kb.entity_by_name("Jimmy Page"));
+    }
+
+    #[test]
+    fn expansion_uses_other_mentions() {
+        // With no document context at all, the candidates of "Page" still
+        // pull "Kashmir" toward the musically coherent song via expansion.
+        let kb = test_support::kb();
+        let tokens = ned_text::tokenize("Kashmir Page");
+        let mentions =
+            vec![ned_text::Mention::new("Kashmir", 0, 1), ned_text::Mention::new("Page", 1, 2)];
+        let result = Cucerzan::new(&kb).disambiguate(&tokens, &mentions);
+        // The candidate set of "Page" contains "rock guitarist" and
+        // "unusual chords" keywords that overlap the song's context.
+        let song = kb.entity_by_name("Kashmir (song)").unwrap();
+        let a = &result.assignments[0];
+        let song_score =
+            a.candidate_scores.iter().find(|&&(e, _)| e == song).map(|&(_, s)| s).unwrap();
+        assert!(song_score > 0.0);
+    }
+
+    #[test]
+    fn unknown_mentions_unmapped() {
+        let kb = test_support::kb();
+        let tokens = ned_text::tokenize("Zorp");
+        let mentions = vec![ned_text::Mention::new("Zorp", 0, 1)];
+        let labels = Cucerzan::new(&kb).disambiguate(&tokens, &mentions).labels();
+        assert_eq!(labels, vec![None]);
+    }
+}

@@ -1,0 +1,118 @@
+//! A per-mention local linker: linear combination of the popularity prior
+//! and the token-based context cosine.
+//!
+//! Stands in for the Illinois Wikifier linker score in the Chapter-5
+//! comparisons (the Wikifier itself is a trained ranker over similar local
+//! features); used both as a plain method and as the score ranked/
+//! thresholded by the emerging-entity experiments.
+
+use ned_kb::KnowledgeBase;
+use ned_text::{Mention, Token};
+
+use crate::baselines::{context_bag, entity_context_cosine};
+use crate::context::DocumentContext;
+use crate::method::NedMethod;
+use crate::result::{DisambiguationResult, MentionAssignment};
+
+/// Local linker baseline ("IW" in the experiment tables).
+pub struct LocalLinker<'a> {
+    kb: &'a KnowledgeBase,
+    /// Weight of the prior in the linker score (the rest is cosine).
+    prior_weight: f64,
+}
+
+impl<'a> LocalLinker<'a> {
+    /// Creates the linker with the default prior weight of 0.5.
+    pub fn new(kb: &'a KnowledgeBase) -> Self {
+        LocalLinker { kb, prior_weight: 0.5 }
+    }
+
+    /// Overrides the prior weight (must be in [0, 1]).
+    pub fn with_prior_weight(mut self, w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w), "prior weight must be in [0,1]");
+        self.prior_weight = w;
+        self
+    }
+}
+
+impl NedMethod for LocalLinker<'_> {
+    fn name(&self) -> String {
+        "IW".to_string()
+    }
+
+    fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
+        let ctx = DocumentContext::build(self.kb, tokens);
+        let assignments = mentions
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| {
+                let bag = context_bag(&ctx.for_mention(m));
+                let mut scores: Vec<_> = self
+                    .kb
+                    .candidates(&m.surface)
+                    .iter()
+                    .map(|c| {
+                        let prior = self.kb.prior(&m.surface, c.entity);
+                        let cos = entity_context_cosine(self.kb, c.entity, &bag);
+                        (c.entity, self.prior_weight * prior + (1.0 - self.prior_weight) * cos)
+                    })
+                    .collect();
+                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                match scores.first().copied() {
+                    Some((e, s)) => MentionAssignment {
+                        mention_index: mi,
+                        entity: Some(e),
+                        score: s,
+                        candidate_scores: scores,
+                    },
+                    None => MentionAssignment::unmapped(mi),
+                }
+            })
+            .collect();
+        DisambiguationResult { assignments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support;
+
+    #[test]
+    fn context_can_override_prior() {
+        let kb = test_support::kb();
+        let (tokens, mentions) = test_support::doc();
+        // Pure cosine (no prior): context decides.
+        let linker = LocalLinker::new(&kb).with_prior_weight(0.0);
+        let labels = linker.disambiguate(&tokens, &mentions).labels();
+        assert_eq!(labels[0], kb.entity_by_name("Kashmir (song)"));
+    }
+
+    #[test]
+    fn prior_dominates_at_weight_one() {
+        let kb = test_support::kb();
+        let (tokens, mentions) = test_support::doc();
+        let linker = LocalLinker::new(&kb).with_prior_weight(1.0);
+        let labels = linker.disambiguate(&tokens, &mentions).labels();
+        assert_eq!(labels[0], kb.entity_by_name("Kashmir (region)"));
+    }
+
+    #[test]
+    fn scores_bounded_by_unit_interval() {
+        let kb = test_support::kb();
+        let (tokens, mentions) = test_support::doc();
+        let result = LocalLinker::new(&kb).disambiguate(&tokens, &mentions);
+        for a in &result.assignments {
+            for &(_, s) in &a.candidate_scores {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prior weight")]
+    fn invalid_weight_panics() {
+        let kb = test_support::kb();
+        let _ = LocalLinker::new(&kb).with_prior_weight(1.5);
+    }
+}

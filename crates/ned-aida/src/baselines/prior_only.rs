@@ -1,0 +1,94 @@
+//! The most-frequent-sense baseline: always pick the candidate with the
+//! highest popularity prior (§3.3.3), ignoring all context.
+
+use ned_kb::KnowledgeBase;
+use ned_text::{Mention, Token};
+
+use crate::method::NedMethod;
+use crate::result::{DisambiguationResult, MentionAssignment};
+
+/// Prior-only disambiguation.
+pub struct PriorOnly<'a> {
+    kb: &'a KnowledgeBase,
+}
+
+impl<'a> PriorOnly<'a> {
+    /// Creates the baseline over `kb`.
+    pub fn new(kb: &'a KnowledgeBase) -> Self {
+        PriorOnly { kb }
+    }
+}
+
+impl NedMethod for PriorOnly<'_> {
+    fn name(&self) -> String {
+        "prior".to_string()
+    }
+
+    fn disambiguate(&self, _tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
+        let assignments = mentions
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| {
+                let mut scores: Vec<_> = self.kb.prior_distribution_for(m);
+                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite priors"));
+                match scores.first().copied() {
+                    Some((e, p)) => MentionAssignment {
+                        mention_index: mi,
+                        entity: Some(e),
+                        score: p,
+                        candidate_scores: scores,
+                    },
+                    None => MentionAssignment::unmapped(mi),
+                }
+            })
+            .collect();
+        DisambiguationResult { assignments }
+    }
+}
+
+/// Small extension trait so the baseline reads naturally.
+trait PriorLookup {
+    fn prior_distribution_for(&self, m: &Mention) -> Vec<(ned_kb::EntityId, f64)>;
+}
+
+impl PriorLookup for KnowledgeBase {
+    fn prior_distribution_for(&self, m: &Mention) -> Vec<(ned_kb::EntityId, f64)> {
+        self.dictionary().prior_distribution(&m.surface)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support;
+
+    #[test]
+    fn picks_most_popular_candidate() {
+        let kb = test_support::kb();
+        let (tokens, mentions) = test_support::doc();
+        let result = PriorOnly::new(&kb).disambiguate(&tokens, &mentions);
+        // Context says song/guitarist, but the prior says region/Larry.
+        assert_eq!(result.labels()[0], kb.entity_by_name("Kashmir (region)"));
+        assert_eq!(result.labels()[1], kb.entity_by_name("Larry Page"));
+    }
+
+    #[test]
+    fn unknown_mention_is_unmapped() {
+        let kb = test_support::kb();
+        let tokens = ned_text::tokenize("Zorp arrived.");
+        let mentions = vec![ned_text::Mention::new("Zorp", 0, 1)];
+        let result = PriorOnly::new(&kb).disambiguate(&tokens, &mentions);
+        assert_eq!(result.labels(), vec![None]);
+    }
+
+    #[test]
+    fn scores_are_the_priors() {
+        let kb = test_support::kb();
+        let (tokens, mentions) = test_support::doc();
+        let result = PriorOnly::new(&kb).disambiguate(&tokens, &mentions);
+        let a = &result.assignments[0];
+        assert!((a.score - 0.9).abs() < 1e-12);
+        let total: f64 = a.candidate_scores.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! AIDA hyper-parameters.
+//!
+//! Defaults are the values tuned on the withheld CoNLL development split
+//! (§3.6.1): α = 0.34, β = 0.26, γ = 0.40, prior threshold ρ = 0.9,
+//! coherence threshold λ = 0.9, and an initial graph of 5 × #mentions
+//! entities.
+
+/// Which weight to use for keyphrase words in the similarity measure
+/// (Eq. 3.4: "weight(w) is either the NPMI weight or the collection-wide IDF
+/// weight").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeywordWeighting {
+    /// Entity-specific NPMI (Eq. 3.1); the AIDA default.
+    Npmi,
+    /// Global IDF (Eq. 3.5).
+    Idf,
+}
+
+/// Configuration of the [`crate::Disambiguator`].
+#[derive(Debug, Clone)]
+pub struct AidaConfig {
+    /// Weight of the popularity prior (α).
+    pub alpha: f64,
+    /// Weight of the context similarity (β).
+    pub beta: f64,
+    /// Weight of the coherence (γ).
+    pub gamma: f64,
+    /// Prior robustness threshold ρ (§3.5.1): the prior participates in the
+    /// mention–entity weight only when the best candidate's prior ≥ ρ.
+    pub prior_threshold: f64,
+    /// Coherence robustness threshold λ (§3.5.2): mentions whose prior and
+    /// similarity distributions have L1 distance < λ are fixed to their best
+    /// local candidate before the graph algorithm runs.
+    pub coherence_threshold: f64,
+    /// Enable the prior robustness test; when disabled the prior is always
+    /// linearly combined with the similarity.
+    pub use_prior_robustness: bool,
+    /// Enable the prior feature at all.
+    pub use_prior: bool,
+    /// Enable the coherence robustness test.
+    pub use_coherence_robustness: bool,
+    /// Enable the coherence graph algorithm at all; when disabled the best
+    /// local candidate is chosen per mention.
+    pub use_coherence: bool,
+    /// Keep `graph_size_factor × #mentions` entities after the distance
+    /// pre-pruning of §3.4.2.
+    pub graph_size_factor: usize,
+    /// Keyword weighting in the similarity measure.
+    pub keyword_weighting: KeywordWeighting,
+    /// Expand short single-token mentions to an unambiguous longer
+    /// co-occurring mention before candidate lookup ("Jimmy Page … Page").
+    pub use_mention_expansion: bool,
+    /// Post-processing enumerates all mention–entity combinations when their
+    /// product is at most this bound; otherwise local search runs.
+    pub exhaustive_limit: u64,
+    /// Iterations of the local-search post-processing fallback.
+    pub local_search_iterations: usize,
+    /// Seed for the local-search candidate sampling (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for AidaConfig {
+    fn default() -> Self {
+        AidaConfig {
+            alpha: 0.34,
+            beta: 0.26,
+            gamma: 0.40,
+            prior_threshold: 0.9,
+            coherence_threshold: 0.9,
+            use_prior_robustness: true,
+            use_prior: true,
+            use_coherence_robustness: true,
+            use_coherence: true,
+            graph_size_factor: 5,
+            keyword_weighting: KeywordWeighting::Npmi,
+            use_mention_expansion: true,
+            exhaustive_limit: 20_000,
+            local_search_iterations: 400,
+            seed: 0xa1da,
+        }
+    }
+}
+
+impl AidaConfig {
+    /// The `sim-k` configuration: similarity only, no prior, no coherence.
+    pub fn sim_only() -> Self {
+        AidaConfig {
+            use_prior: false,
+            use_prior_robustness: false,
+            use_coherence: false,
+            use_coherence_robustness: false,
+            ..Self::default()
+        }
+    }
+
+    /// The `prior sim-k` configuration: unconditional linear combination of
+    /// prior and similarity, no robustness test, no coherence.
+    pub fn prior_sim() -> Self {
+        AidaConfig {
+            use_prior: true,
+            use_prior_robustness: false,
+            use_coherence: false,
+            use_coherence_robustness: false,
+            ..Self::default()
+        }
+    }
+
+    /// The `r-prior sim-k` configuration: prior-tested similarity, no
+    /// coherence.
+    pub fn r_prior_sim() -> Self {
+        AidaConfig {
+            use_prior: true,
+            use_prior_robustness: true,
+            use_coherence: false,
+            use_coherence_robustness: false,
+            ..Self::default()
+        }
+    }
+
+    /// The `r-prior sim-k coh` configuration: graph coherence without the
+    /// coherence robustness test.
+    pub fn r_prior_sim_coh() -> Self {
+        AidaConfig { use_coherence_robustness: false, ..Self::default() }
+    }
+
+    /// The full AIDA configuration `r-prior sim-k r-coh` (the default).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Relative similarity weight when combined with the prior:
+    /// β / (α + β).
+    pub fn sim_share(&self) -> f64 {
+        if self.alpha + self.beta <= 0.0 {
+            return 1.0;
+        }
+        self.beta / (self.alpha + self.beta)
+    }
+
+    /// Relative prior weight when combined with the similarity:
+    /// α / (α + β).
+    pub fn prior_share(&self) -> f64 {
+        1.0 - self.sim_share()
+    }
+
+    /// Checks parameter invariants; call after manual construction.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.alpha + self.beta + self.gamma;
+        if !(0.999..=1.001).contains(&sum) {
+            return Err(format!("alpha + beta + gamma must be 1, got {sum}"));
+        }
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma", self.gamma),
+            ("prior_threshold", self.prior_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if !(0.0..=2.0).contains(&self.coherence_threshold) {
+            return Err("coherence_threshold must be in [0,2] (an L1 distance)".into());
+        }
+        if self.graph_size_factor == 0 {
+            return Err("graph_size_factor must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_values() {
+        let c = AidaConfig::default();
+        assert!((c.alpha - 0.34).abs() < 1e-12);
+        assert!((c.beta - 0.26).abs() < 1e-12);
+        assert!((c.gamma - 0.40).abs() < 1e-12);
+        assert_eq!(c.graph_size_factor, 5);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn shares_match_paper() {
+        let c = AidaConfig::default();
+        // §3.6.1: w = 0.566 · prior + 0.433 · sim.
+        assert!((c.prior_share() - 0.566).abs() < 0.01);
+        assert!((c.sim_share() - 0.433).abs() < 0.01);
+    }
+
+    #[test]
+    fn named_configurations() {
+        assert!(!AidaConfig::sim_only().use_prior);
+        assert!(!AidaConfig::sim_only().use_coherence);
+        assert!(AidaConfig::prior_sim().use_prior);
+        assert!(!AidaConfig::prior_sim().use_prior_robustness);
+        assert!(AidaConfig::r_prior_sim_coh().use_coherence);
+        assert!(!AidaConfig::r_prior_sim_coh().use_coherence_robustness);
+        assert!(AidaConfig::full().use_coherence_robustness);
+        for c in [
+            AidaConfig::sim_only(),
+            AidaConfig::prior_sim(),
+            AidaConfig::r_prior_sim(),
+            AidaConfig::r_prior_sim_coh(),
+            AidaConfig::full(),
+        ] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_weights() {
+        let c = AidaConfig { alpha: 0.9, ..AidaConfig::default() };
+        assert!(c.validate().is_err());
+        let c = AidaConfig { graph_size_factor: 0, ..AidaConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Shortest-cover computation for partial keyphrase matches (§3.3.4).
+//!
+//! A keyphrase may occur only partially in the input ("Grammy Award winner"
+//! matched by "winner of many prizes including the Grammy"). The *cover* of
+//! a phrase is the shortest token window containing a maximal number of the
+//! phrase's distinct words. `score(q)` (Eq. 3.4) then rewards proximity via
+//! `z = #matching words / cover length` and weight mass via the squared
+//! weight ratio.
+
+use ned_kb::fx::FxHashMap;
+use ned_kb::WordId;
+
+/// The cover of a phrase in a document context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cover {
+    /// Number of distinct phrase words inside the cover (the maximum
+    /// achievable in the context).
+    pub matched_words: usize,
+    /// Window length in tokens (last position − first position + 1).
+    pub length: usize,
+    /// The distinct matched word ids.
+    pub words: Vec<WordId>,
+}
+
+impl Cover {
+    /// The proximity factor `z = matched words / cover length`.
+    pub fn z(&self) -> f64 {
+        if self.length == 0 {
+            return 0.0;
+        }
+        self.matched_words as f64 / self.length as f64
+    }
+}
+
+/// Finds the shortest window over `context` (position-sorted `(pos, word)`
+/// pairs) containing a maximal number of distinct words of `phrase_words`.
+///
+/// Returns `None` when no phrase word occurs in the context.
+pub fn shortest_cover(context: &[(usize, WordId)], phrase_words: &[WordId]) -> Option<Cover> {
+    // Occurrences of phrase words in the context, in position order.
+    let occurrences: Vec<(usize, WordId)> = context
+        .iter()
+        .copied()
+        .filter(|(_, w)| phrase_words.contains(w))
+        .collect();
+    if occurrences.is_empty() {
+        return None;
+    }
+    let distinct_total = {
+        let mut ws: Vec<WordId> = occurrences.iter().map(|&(_, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws.len()
+    };
+
+    // Two-pointer sliding window over the occurrence list, maximizing the
+    // distinct count (which is `distinct_total`, always achievable) and
+    // minimizing window length in token positions.
+    let mut counts: FxHashMap<WordId, u32> = FxHashMap::default();
+    let mut distinct = 0usize;
+    let mut best: Option<Cover> = None;
+    let mut left = 0usize;
+    for right in 0..occurrences.len() {
+        let (_, w) = occurrences[right];
+        let c = counts.entry(w).or_insert(0);
+        if *c == 0 {
+            distinct += 1;
+        }
+        *c += 1;
+        while distinct == distinct_total {
+            let (lpos, lw) = occurrences[left];
+            let (rpos, _) = occurrences[right];
+            let length = rpos - lpos + 1;
+            let better = match &best {
+                None => true,
+                Some(b) => length < b.length,
+            };
+            if better {
+                let mut words: Vec<WordId> =
+                    occurrences[left..=right].iter().map(|&(_, w)| w).collect();
+                words.sort_unstable();
+                words.dedup();
+                best = Some(Cover { matched_words: distinct_total, length, words });
+            }
+            // Shrink from the left.
+            let lc = counts.get_mut(&lw).expect("word in window");
+            *lc -= 1;
+            if *lc == 0 {
+                distinct -= 1;
+            }
+            left += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> WordId {
+        WordId(i)
+    }
+
+    /// Context "winner of many prizes including the Grammy" with phrase
+    /// {grammy, award, winner}: positions of winner=0, grammy=6.
+    #[test]
+    fn partial_match_cover() {
+        let context = vec![(0, w(1)), (3, w(10)), (6, w(2))];
+        let phrase = vec![w(2), w(3), w(1)]; // grammy, award, winner
+        let cover = shortest_cover(&context, &phrase).unwrap();
+        assert_eq!(cover.matched_words, 2);
+        assert_eq!(cover.length, 7); // positions 0..=6
+        assert!((cover.z() - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_full_match_has_z_one() {
+        let context = vec![(4, w(1)), (5, w(2)), (6, w(3))];
+        let phrase = vec![w(1), w(2), w(3)];
+        let cover = shortest_cover(&context, &phrase).unwrap();
+        assert_eq!(cover.matched_words, 3);
+        assert_eq!(cover.length, 3);
+        assert!((cover.z() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picks_shortest_among_maximal_windows() {
+        // Word 1 at 0 and 10, word 2 at 12: best window is [10, 12].
+        let context = vec![(0, w(1)), (10, w(1)), (12, w(2))];
+        let phrase = vec![w(1), w(2)];
+        let cover = shortest_cover(&context, &phrase).unwrap();
+        assert_eq!(cover.length, 3);
+        assert_eq!(cover.matched_words, 2);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let context = vec![(0, w(5)), (1, w(6))];
+        assert!(shortest_cover(&context, &[w(1)]).is_none());
+        assert!(shortest_cover(&[], &[w(1)]).is_none());
+    }
+
+    #[test]
+    fn single_word_match() {
+        let context = vec![(7, w(3))];
+        let cover = shortest_cover(&context, &[w(3), w(4)]).unwrap();
+        assert_eq!(cover.matched_words, 1);
+        assert_eq!(cover.length, 1);
+        assert_eq!(cover.words, vec![w(3)]);
+    }
+
+    #[test]
+    fn repeated_words_do_not_inflate_distinct_count() {
+        let context = vec![(0, w(1)), (1, w(1)), (2, w(1))];
+        let cover = shortest_cover(&context, &[w(1), w(2)]).unwrap();
+        assert_eq!(cover.matched_words, 1);
+        assert_eq!(cover.length, 1);
+    }
+}

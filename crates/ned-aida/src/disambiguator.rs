@@ -1,0 +1,407 @@
+//! The AIDA disambiguation pipeline (§3.2–§3.5), tying together candidate
+//! retrieval, local features, robustness tests, graph construction, and the
+//! greedy solver.
+
+use ned_kb::{EntityId, KnowledgeBase};
+use ned_relatedness::Relatedness;
+use ned_text::{Mention, Token};
+
+use crate::algorithm::{solve, SolverConfig};
+use crate::candidates::{candidate_features_for_surface, CandidateFeatures};
+use crate::expansion::expansion_targets;
+use crate::config::AidaConfig;
+use crate::context::DocumentContext;
+use crate::graph::MentionEntityGraph;
+use crate::method::NedMethod;
+use crate::result::{DisambiguationResult, MentionAssignment};
+use crate::robustness::{local_weights, should_fix_mention};
+
+/// The AIDA joint disambiguator, parameterized over the coherence measure.
+pub struct Disambiguator<'a, R> {
+    kb: &'a KnowledgeBase,
+    relatedness: R,
+    config: AidaConfig,
+}
+
+impl<'a, R: Relatedness> Disambiguator<'a, R> {
+    /// Creates a disambiguator.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid (see
+    /// [`AidaConfig::validate`]).
+    pub fn new(kb: &'a KnowledgeBase, relatedness: R, config: AidaConfig) -> Self {
+        config.validate().expect("invalid AIDA configuration");
+        Disambiguator { kb, relatedness, config }
+    }
+
+    /// The knowledge base in use.
+    pub fn kb(&self) -> &KnowledgeBase {
+        self.kb
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AidaConfig {
+        &self.config
+    }
+
+    /// The coherence measure in use.
+    pub fn relatedness(&self) -> &R {
+        &self.relatedness
+    }
+
+    /// Computes the per-mention candidate features (exposed for the
+    /// confidence assessors of Chapter 5, which perturb these inputs).
+    pub fn features(
+        &self,
+        tokens: &[Token],
+        mentions: &[Mention],
+    ) -> Vec<Vec<CandidateFeatures>> {
+        let ctx = DocumentContext::build(self.kb, tokens);
+        let targets: Vec<usize> = if self.config.use_mention_expansion {
+            expansion_targets(mentions)
+        } else {
+            (0..mentions.len()).collect()
+        };
+        mentions
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut features = candidate_features_for_surface(
+                    self.kb,
+                    &mentions[targets[i]].surface,
+                    &ctx.for_mention(m),
+                    self.config.keyword_weighting,
+                );
+                if features.is_empty() && targets[i] != i {
+                    // The expanded surface is unknown to the dictionary:
+                    // fall back to the mention's own surface.
+                    features = candidate_features_for_surface(
+                        self.kb,
+                        &m.surface,
+                        &ctx.for_mention(m),
+                        self.config.keyword_weighting,
+                    );
+                }
+                features
+            })
+            .collect()
+    }
+
+    /// Disambiguates pre-computed features (the entry point used by the
+    /// perturbation-based confidence assessors, which alter the feature
+    /// lists directly).
+    pub fn disambiguate_features(
+        &self,
+        features: &[Vec<CandidateFeatures>],
+    ) -> DisambiguationResult {
+        // Local combined weights per mention (prior robustness applied).
+        let locals: Vec<Vec<(EntityId, f64)>> = features
+            .iter()
+            .map(|f| {
+                let (w, _) = local_weights(f, &self.config);
+                f.iter().zip(w).map(|(cf, w)| (cf.entity, w)).collect()
+            })
+            .collect();
+
+        let chosen: Vec<Option<EntityId>> = if self.config.use_coherence {
+            self.solve_with_coherence(features, &locals)
+        } else {
+            locals.iter().map(|cands| argmax_entity(cands)).collect()
+        };
+
+        let assignments = features
+            .iter()
+            .zip(&locals)
+            .zip(&chosen)
+            .enumerate()
+            .map(|(mi, ((_f, local), &entity))| {
+                self.make_assignment(mi, local, entity, &chosen)
+            })
+            .collect();
+        DisambiguationResult { assignments }
+    }
+
+    fn solve_with_coherence(
+        &self,
+        features: &[Vec<CandidateFeatures>],
+        locals: &[Vec<(EntityId, f64)>],
+    ) -> Vec<Option<EntityId>> {
+        // Coherence robustness: fix agreeing mentions to their best local
+        // candidate, keeping only that candidate in the graph (§3.5.2).
+        let graph_locals: Vec<Vec<(EntityId, f64)>> = features
+            .iter()
+            .zip(locals)
+            .map(|(f, local)| {
+                if should_fix_mention(f, &self.config) {
+                    match argmax_index(local) {
+                        Some(i) => vec![local[i]],
+                        None => Vec::new(),
+                    }
+                } else {
+                    local.clone()
+                }
+            })
+            .collect();
+        let graph = MentionEntityGraph::build(
+            &graph_locals,
+            &self.relatedness,
+            self.config.gamma,
+            true,
+        );
+        let solver = SolverConfig {
+            graph_size_factor: self.config.graph_size_factor,
+            exhaustive_limit: self.config.exhaustive_limit,
+            local_search_iterations: self.config.local_search_iterations,
+            seed: self.config.seed,
+        };
+        solve(&graph, &solver)
+            .into_iter()
+            .map(|s| s.map(|ni| graph.nodes[ni].entity))
+            .collect()
+    }
+
+    /// Builds the final assignment for mention `mi`, scoring every candidate
+    /// by its local weight blended with its coherence to the *other*
+    /// mentions' chosen entities — the candidate's weighted degree in the
+    /// solution graph, which Chapter 5 uses as the confidence basis.
+    fn make_assignment(
+        &self,
+        mi: usize,
+        local: &[(EntityId, f64)],
+        entity: Option<EntityId>,
+        chosen: &[Option<EntityId>],
+    ) -> MentionAssignment {
+        if local.is_empty() {
+            return MentionAssignment::unmapped(mi);
+        }
+        let gamma = if self.config.use_coherence { self.config.gamma } else { 0.0 };
+        let others: Vec<EntityId> = chosen
+            .iter()
+            .enumerate()
+            .filter(|&(mj, _)| mj != mi)
+            .filter_map(|(_, &e)| e)
+            .collect();
+        let mut scores: Vec<(EntityId, f64)> = local
+            .iter()
+            .map(|&(e, w)| {
+                let coh = if gamma > 0.0 && !others.is_empty() {
+                    others.iter().map(|&o| self.relatedness.relatedness(e, o)).sum::<f64>()
+                        / others.len() as f64
+                } else {
+                    0.0
+                };
+                (e, (1.0 - gamma) * w + gamma * coh)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        let entity = entity.or_else(|| scores.first().map(|&(e, _)| e));
+        let score = entity
+            .and_then(|e| scores.iter().find(|&&(c, _)| c == e).map(|&(_, s)| s))
+            .unwrap_or(0.0);
+        MentionAssignment { mention_index: mi, entity, score, candidate_scores: scores }
+    }
+}
+
+fn argmax_index(cands: &[(EntityId, f64)]) -> Option<usize> {
+    (0..cands.len()).max_by(|&a, &b| {
+        cands[a]
+            .1
+            .partial_cmp(&cands[b].1)
+            .expect("finite weights")
+            // Deterministic tie-break on entity id.
+            .then(cands[b].0.cmp(&cands[a].0))
+    })
+}
+
+fn argmax_entity(cands: &[(EntityId, f64)]) -> Option<EntityId> {
+    argmax_index(cands).map(|i| cands[i].0)
+}
+
+impl<R: Relatedness> NedMethod for Disambiguator<'_, R> {
+    fn name(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.config.use_prior {
+            parts.push(if self.config.use_prior_robustness { "r-prior" } else { "prior" });
+        }
+        parts.push("sim-k");
+        if self.config.use_coherence {
+            parts.push(if self.config.use_coherence_robustness { "r-coh" } else { "coh" });
+        }
+        format!("AIDA[{} | {}]", parts.join(" "), self.relatedness.name())
+    }
+
+    fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
+        let features = self.features(tokens, mentions);
+        self.disambiguate_features(&features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_kb::{EntityKind, KbBuilder};
+    use ned_relatedness::MilneWitten;
+    use ned_text::tokenize;
+
+    /// The running example of Chapter 3: "They performed Kashmir, written by
+    /// Page and Plant. Page played unusual chords on his Gibson."
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let song = b.add_entity("Kashmir (song)", EntityKind::Work);
+        let region = b.add_entity("Kashmir (region)", EntityKind::Location);
+        let jimmy = b.add_entity("Jimmy Page", EntityKind::Person);
+        let larry = b.add_entity("Larry Page", EntityKind::Person);
+        let plant = b.add_entity("Robert Plant", EntityKind::Person);
+        let gibson = b.add_entity("Gibson Les Paul", EntityKind::Other);
+        let zeppelin = b.add_entity("Led Zeppelin", EntityKind::Organization);
+
+        b.add_name(song, "Kashmir", 6);
+        b.add_name(region, "Kashmir", 94);
+        b.add_name(jimmy, "Page", 40);
+        b.add_name(larry, "Page", 55);
+        b.add_name(plant, "Plant", 70);
+        b.add_name(gibson, "Gibson", 60);
+
+        b.add_keyphrase(song, "hard rock", 2);
+        b.add_keyphrase(song, "unusual chords", 2);
+        b.add_keyphrase(region, "Himalaya mountains", 4);
+        b.add_keyphrase(region, "disputed territory", 3);
+        b.add_keyphrase(jimmy, "hard rock", 3);
+        b.add_keyphrase(jimmy, "session guitarist", 2);
+        b.add_keyphrase(jimmy, "Gibson signature model", 2);
+        b.add_keyphrase(larry, "search engine", 3);
+        b.add_keyphrase(larry, "internet company", 2);
+        b.add_keyphrase(plant, "rock singer", 3);
+        b.add_keyphrase(gibson, "electric guitar", 3);
+
+        // Link structure: the music cluster is interlinked.
+        for (a, b_) in [
+            (jimmy, song),
+            (song, jimmy),
+            (plant, song),
+            (song, plant),
+            (jimmy, plant),
+            (plant, jimmy),
+            (gibson, jimmy),
+            (zeppelin, jimmy),
+            (zeppelin, plant),
+            (zeppelin, song),
+            (zeppelin, gibson),
+            (jimmy, gibson),
+            (song, gibson),
+        ] {
+            b.add_link(a, b_);
+        }
+        b.build()
+    }
+
+    fn doc() -> (Vec<Token>, Vec<Mention>) {
+        let tokens =
+            tokenize("They performed Kashmir, written by Page and Plant. Page played unusual chords on his Gibson.");
+        // Token positions: They(0) performed(1) Kashmir(2) ,(3) written(4)
+        // by(5) Page(6) and(7) Plant(8) .(9) Page(10) played(11) unusual(12)
+        // chords(13) on(14) his(15) Gibson(16) .(17)
+        let mentions = vec![
+            Mention::new("Kashmir", 2, 3),
+            Mention::new("Page", 6, 7),
+            Mention::new("Plant", 8, 9),
+            Mention::new("Gibson", 16, 17),
+        ];
+        (tokens, mentions)
+    }
+
+    #[test]
+    fn full_aida_resolves_the_running_example() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let (tokens, mentions) = doc();
+        let result = aida.disambiguate(&tokens, &mentions);
+        let labels = result.labels();
+        assert_eq!(labels[0], kb.entity_by_name("Kashmir (song)"), "Kashmir → song");
+        assert_eq!(labels[1], kb.entity_by_name("Jimmy Page"), "Page → Jimmy Page");
+        assert_eq!(labels[2], kb.entity_by_name("Robert Plant"));
+        assert_eq!(labels[3], kb.entity_by_name("Gibson Les Paul"));
+    }
+
+    #[test]
+    fn prior_only_would_choose_the_region() {
+        // Sanity check that the example is actually hard: the prior prefers
+        // the Himalaya region for "Kashmir".
+        let kb = kb();
+        let region = kb.entity_by_name("Kashmir (region)").unwrap();
+        assert!(kb.prior("Kashmir", region) > 0.9);
+    }
+
+    #[test]
+    fn sim_only_configuration_still_resolves_contextful_mentions() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        let (tokens, mentions) = doc();
+        let labels = aida.disambiguate(&tokens, &mentions).labels();
+        // "Kashmir" has matching context ("unusual chords", "hard rock").
+        assert_eq!(labels[0], kb.entity_by_name("Kashmir (song)"));
+    }
+
+    #[test]
+    fn mentions_without_candidates_stay_unmapped() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let tokens = tokenize("Snowden met Page.");
+        let mentions = vec![Mention::new("Snowden", 0, 1), Mention::new("Page", 2, 3)];
+        let result = aida.disambiguate(&tokens, &mentions);
+        assert_eq!(result.assignments[0].entity, None);
+        assert!(result.assignments[1].entity.is_some());
+    }
+
+    #[test]
+    fn assignments_are_parallel_to_input() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let (tokens, mentions) = doc();
+        let result = aida.disambiguate(&tokens, &mentions);
+        assert_eq!(result.assignments.len(), mentions.len());
+        for (i, a) in result.assignments.iter().enumerate() {
+            assert_eq!(a.mention_index, i);
+        }
+    }
+
+    #[test]
+    fn candidate_scores_are_sorted_descending() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let (tokens, mentions) = doc();
+        let result = aida.disambiguate(&tokens, &mentions);
+        for a in &result.assignments {
+            for w in a.candidate_scores.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_document() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let result = aida.disambiguate(&[], &[]);
+        assert!(result.assignments.is_empty());
+    }
+
+    #[test]
+    fn method_name_reflects_configuration() {
+        let kb = kb();
+        let full = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        assert_eq!(full.name(), "AIDA[r-prior sim-k r-coh | MW]");
+        let sim = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        assert_eq!(sim.name(), "AIDA[sim-k | MW]");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let (tokens, mentions) = doc();
+        let a = aida.disambiguate(&tokens, &mentions);
+        let b = aida.disambiguate(&tokens, &mentions);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Document-internal mention expansion.
+//!
+//! News text introduces an entity by its full name and then refers back by
+//! a short form ("Jimmy Page ... Page ..."). The AIDA system expands such
+//! short mentions to the longest co-occurring mention that contains them,
+//! restricting the candidate space to the full name's candidates — a
+//! document-local form of coreference (§2.4.3) that removes most of the
+//! short form's ambiguity for free.
+
+use ned_text::Mention;
+
+/// For every mention, the index of the mention whose surface should be used
+/// for candidate lookup: itself, or a longer mention it expands to.
+pub fn expansion_targets(mentions: &[Mention]) -> Vec<usize> {
+    mentions
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            // Only single-token mentions are expanded, and only when the
+            // expansion is unambiguous: exactly one distinct longer surface
+            // contains the short form as a full token.
+            if m.surface.split_whitespace().nth(1).is_some() {
+                return i;
+            }
+            let mut target: Option<(usize, &str)> = None;
+            for (j, other) in mentions.iter().enumerate() {
+                if j == i || other.surface.len() <= m.surface.len() {
+                    continue;
+                }
+                if !contains_token(&other.surface, &m.surface) {
+                    continue;
+                }
+                match target {
+                    None => target = Some((j, &other.surface)),
+                    Some((_, surface)) if surface == other.surface => {}
+                    Some(_) => return i, // ambiguous expansion: keep as is
+                }
+            }
+            target.map_or(i, |(j, _)| j)
+        })
+        .collect()
+}
+
+/// True when `short` occurs as a whole token of `long` (case-sensitive:
+/// names are proper nouns).
+fn contains_token(long: &str, short: &str) -> bool {
+    long.split_whitespace().any(|t| t == short)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(surface: &str, pos: usize) -> Mention {
+        let n = surface.split_whitespace().count();
+        Mention::new(surface, pos, pos + n)
+    }
+
+    #[test]
+    fn short_form_expands_to_full_name() {
+        let mentions = vec![m("Jimmy Page", 0), m("Page", 10)];
+        assert_eq!(expansion_targets(&mentions), vec![0, 0]);
+    }
+
+    #[test]
+    fn expansion_works_in_either_direction_of_occurrence() {
+        let mentions = vec![m("Page", 0), m("Jimmy Page", 10)];
+        assert_eq!(expansion_targets(&mentions), vec![1, 1]);
+    }
+
+    #[test]
+    fn ambiguous_expansion_is_skipped() {
+        // Both Jimmy Page and Larry Page occur: "Page" stays unexpanded.
+        let mentions = vec![m("Jimmy Page", 0), m("Larry Page", 5), m("Page", 10)];
+        assert_eq!(expansion_targets(&mentions), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn repeated_identical_long_form_is_not_ambiguous() {
+        let mentions = vec![m("Jimmy Page", 0), m("Jimmy Page", 5), m("Page", 10)];
+        let targets = expansion_targets(&mentions);
+        assert_eq!(targets[2], 0);
+    }
+
+    #[test]
+    fn multi_token_mentions_never_expand() {
+        let mentions = vec![m("Jimmy Page Band", 0), m("Jimmy Page", 5)];
+        assert_eq!(expansion_targets(&mentions), vec![0, 1]);
+    }
+
+    #[test]
+    fn substring_without_token_boundary_does_not_expand() {
+        // "Page" is not a token of "Pageant Show".
+        let mentions = vec![m("Pageant Show", 0), m("Page", 5)];
+        assert_eq!(expansion_targets(&mentions), vec![0, 1]);
+    }
+
+    #[test]
+    fn case_sensitive_matching() {
+        let mentions = vec![m("Jimmy page", 0), m("Page", 5)];
+        assert_eq!(expansion_targets(&mentions), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(expansion_targets(&[]).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Joint entity recognition and disambiguation (the §7.2.1 outlook, in the
+//! spirit of Milne & Witten's "disambiguation confidence decides whether a
+//! phrase is a mention", §2.2.2).
+//!
+//! The plain pipeline recognizes mentions first and disambiguates second —
+//! so a spurious NER span ("Record" at sentence start) gets force-mapped to
+//! some entity. The joint annotator instead treats recognition as
+//! *tentative*: candidate spans come from the rule NER plus a
+//! dictionary-driven gazetteer, everything is disambiguated jointly, and
+//! spans whose best assignment is weak are dropped again.
+
+use ned_kb::{EntityId, KnowledgeBase};
+use ned_relatedness::Relatedness;
+use ned_text::{tokenize, Mention, NerConfig, Recognizer, Token};
+
+use crate::disambiguator::Disambiguator;
+use crate::method::NedMethod;
+use crate::result::MentionAssignment;
+
+/// One accepted annotation: a mention span, its entity, and the
+/// annotator's confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// The recognized mention.
+    pub mention: Mention,
+    /// The linked entity (annotations are only emitted for linkable spans).
+    pub entity: EntityId,
+    /// Normalized confidence of the assignment.
+    pub confidence: f64,
+}
+
+/// Configuration of the joint annotator.
+#[derive(Debug, Clone)]
+pub struct JointConfig {
+    /// Recognition rules.
+    pub ner: NerConfig,
+    /// Minimum normalized confidence for a span to survive.
+    pub min_confidence: f64,
+    /// Also propose spans found only via the dictionary gazetteer.
+    pub use_gazetteer: bool,
+}
+
+impl Default for JointConfig {
+    fn default() -> Self {
+        JointConfig { ner: NerConfig::default(), min_confidence: 0.35, use_gazetteer: true }
+    }
+}
+
+/// End-to-end annotator: raw text in, linked entity annotations out.
+pub struct JointAnnotator<'a, R> {
+    disambiguator: &'a Disambiguator<'a, R>,
+    recognizer: Recognizer,
+    config: JointConfig,
+}
+
+impl<'a, R: Relatedness> JointAnnotator<'a, R> {
+    /// Creates an annotator; when `use_gazetteer` is set, every dictionary
+    /// surface becomes a recognition hint.
+    pub fn new(disambiguator: &'a Disambiguator<'a, R>, config: JointConfig) -> Self {
+        let mut recognizer = Recognizer::new(config.ner.clone());
+        if config.use_gazetteer {
+            for (surface, _) in disambiguator.kb().dictionary().iter() {
+                recognizer.add_gazetteer_entry(surface);
+            }
+        }
+        JointAnnotator { disambiguator, recognizer, config }
+    }
+
+    /// The knowledge base in use.
+    pub fn kb(&self) -> &KnowledgeBase {
+        self.disambiguator.kb()
+    }
+
+    /// Annotates raw text: tokenize → recognize tentative spans →
+    /// disambiguate jointly → keep confident, linkable spans.
+    pub fn annotate(&self, text: &str) -> (Vec<Token>, Vec<Annotation>) {
+        let tokens = tokenize(text);
+        let annotations = self.annotate_tokens(&tokens);
+        (tokens, annotations)
+    }
+
+    /// Annotates a pre-tokenized document.
+    pub fn annotate_tokens(&self, tokens: &[Token]) -> Vec<Annotation> {
+        let mentions = self.recognizer.recognize(tokens);
+        if mentions.is_empty() {
+            return Vec::new();
+        }
+        let result = self.disambiguator.disambiguate(tokens, &mentions);
+        mentions
+            .into_iter()
+            .zip(result.assignments)
+            .filter_map(|(mention, assignment)| self.accept(mention, assignment))
+            .collect()
+    }
+
+    fn accept(&self, mention: Mention, assignment: MentionAssignment) -> Option<Annotation> {
+        let entity = assignment.entity?;
+        let confidence = assignment.normalized_score();
+        // A single-candidate span is as linkable as it gets; ambiguous spans
+        // must clear the confidence bar (the recognize-via-disambiguation
+        // idea of Milne & Witten).
+        if assignment.candidate_scores.len() > 1 && confidence < self.config.min_confidence {
+            return None;
+        }
+        Some(Annotation { mention, entity, confidence })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AidaConfig;
+    use ned_kb::{EntityKind, KbBuilder};
+    use ned_relatedness::MilneWitten;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let song = b.add_entity("Kashmir (song)", EntityKind::Work);
+        let jimmy = b.add_entity("Jimmy Page", EntityKind::Person);
+        let larry = b.add_entity("Larry Page", EntityKind::Person);
+        b.add_name(song, "Kashmir", 10);
+        b.add_name(jimmy, "Page", 50);
+        b.add_name(larry, "Page", 50);
+        b.add_keyphrase(song, "unusual chords", 3);
+        b.add_keyphrase(jimmy, "unusual chords", 2);
+        b.add_keyphrase(jimmy, "session guitarist", 2);
+        b.add_keyphrase(larry, "search engine", 3);
+        b.add_link(jimmy, song);
+        b.add_link(song, jimmy);
+        b.build()
+    }
+
+    #[test]
+    fn annotates_linkable_spans_end_to_end() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        let annotator = JointAnnotator::new(&aida, JointConfig::default());
+        let (_tokens, annotations) =
+            annotator.annotate("They performed Kashmir with unusual chords, said Page.");
+        let surfaces: Vec<&str> =
+            annotations.iter().map(|a| a.mention.surface.as_str()).collect();
+        assert!(surfaces.contains(&"Kashmir"), "{surfaces:?}");
+        assert!(surfaces.contains(&"Page"), "{surfaces:?}");
+        let page = annotations.iter().find(|a| a.mention.surface == "Page").unwrap();
+        assert_eq!(kb.entity(page.entity).canonical_name, "Jimmy Page");
+    }
+
+    #[test]
+    fn unlinkable_spans_are_dropped() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        let annotator = JointAnnotator::new(&aida, JointConfig::default());
+        // "Snowden" is recognized by the NER but has no dictionary entry.
+        let (_t, annotations) = annotator.annotate("Kashmir was revealed by Wulkor Snowden.");
+        assert!(annotations.iter().all(|a| a.mention.surface != "Wulkor Snowden"));
+    }
+
+    #[test]
+    fn weak_ambiguous_spans_are_dropped_by_confidence() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        let strict = JointConfig { min_confidence: 0.99, ..JointConfig::default() };
+        let annotator = JointAnnotator::new(&aida, strict);
+        // No context at all: "Page" is a 50/50 coin flip → dropped.
+        let (_t, annotations) = annotator.annotate("We met Page yesterday.");
+        assert!(annotations.iter().all(|a| a.mention.surface != "Page"), "{annotations:?}");
+    }
+
+    #[test]
+    fn gazetteer_recovers_uncapitalized_context_spans() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        let annotator = JointAnnotator::new(&aida, JointConfig::default());
+        // Sentence-initial "Kashmir" would need NER evidence; the gazetteer
+        // proposes it and disambiguation confirms it.
+        let (_t, annotations) = annotator.annotate("Kashmir has unusual chords throughout.");
+        assert!(annotations.iter().any(|a| a.mention.surface == "Kashmir"));
+    }
+
+    #[test]
+    fn empty_text() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
+        let annotator = JointAnnotator::new(&aida, JointConfig::default());
+        let (tokens, annotations) = annotator.annotate("");
+        assert!(tokens.is_empty());
+        assert!(annotations.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! The common interface of all NED methods (AIDA and the baselines).
+
+use ned_text::{Mention, Token};
+
+use crate::result::DisambiguationResult;
+
+/// A named-entity disambiguation method: maps every input mention to an
+/// entity (or leaves it unmapped when the dictionary offers no candidate).
+pub trait NedMethod {
+    /// Identifier used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Disambiguates all `mentions` of a tokenized document jointly.
+    ///
+    /// Returns one assignment per mention, in input order.
+    fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult;
+}
+
+impl<T: NedMethod + ?Sized> NedMethod for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
+        (**self).disambiguate(tokens, mentions)
+    }
+}
+
+impl<T: NedMethod + ?Sized> NedMethod for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
+        (**self).disambiguate(tokens, mentions)
+    }
+}

@@ -1,0 +1,109 @@
+//! Disambiguation output types.
+
+use ned_kb::EntityId;
+
+/// The decision for one mention, with per-candidate scores for downstream
+//  confidence assessment (Ch. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MentionAssignment {
+    /// Index into the input mention slice.
+    pub mention_index: usize,
+    /// The chosen entity; `None` when the mention had no candidates (the
+    /// mention is then trivially out-of-KB, §2.2.1).
+    pub entity: Option<EntityId>,
+    /// Final score of the chosen entity (method-specific scale).
+    pub score: f64,
+    /// All candidates with their scores, sorted descending by score.
+    pub candidate_scores: Vec<(EntityId, f64)>,
+}
+
+impl MentionAssignment {
+    /// Creates an unmapped assignment (no candidates).
+    pub fn unmapped(mention_index: usize) -> Self {
+        MentionAssignment { mention_index, entity: None, score: 0.0, candidate_scores: Vec::new() }
+    }
+
+    /// Normalized score of the chosen entity: its share of the total
+    /// candidate score mass (§5.4.1); 0 when unmapped.
+    pub fn normalized_score(&self) -> f64 {
+        let total: f64 = self.candidate_scores.iter().map(|&(_, s)| s).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        match self.entity {
+            Some(e) => {
+                self.candidate_scores
+                    .iter()
+                    .find(|&&(c, _)| c == e)
+                    .map_or(0.0, |&(_, s)| s / total)
+            }
+            None => 0.0,
+        }
+    }
+}
+
+/// Full output of a disambiguation run: one assignment per input mention, in
+/// input order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DisambiguationResult {
+    /// Assignments, parallel to the input mentions.
+    pub assignments: Vec<MentionAssignment>,
+}
+
+impl DisambiguationResult {
+    /// The chosen labels, parallel to the input mentions (`None` =
+    /// out-of-KB / unmapped).
+    pub fn labels(&self) -> Vec<Option<EntityId>> {
+        self.assignments.iter().map(|a| a.entity).collect()
+    }
+
+    /// Assignment of mention `i`.
+    pub fn assignment(&self, i: usize) -> &MentionAssignment {
+        &self.assignments[i]
+    }
+
+    /// Number of mentions mapped to an entity.
+    pub fn mapped_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.entity.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_score_shares_mass() {
+        let a = MentionAssignment {
+            mention_index: 0,
+            entity: Some(EntityId(1)),
+            score: 3.0,
+            candidate_scores: vec![(EntityId(1), 3.0), (EntityId(2), 1.0)],
+        };
+        assert!((a.normalized_score() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmapped_has_zero_confidence() {
+        let a = MentionAssignment::unmapped(3);
+        assert_eq!(a.normalized_score(), 0.0);
+        assert_eq!(a.entity, None);
+    }
+
+    #[test]
+    fn labels_are_in_input_order() {
+        let r = DisambiguationResult {
+            assignments: vec![
+                MentionAssignment::unmapped(0),
+                MentionAssignment {
+                    mention_index: 1,
+                    entity: Some(EntityId(7)),
+                    score: 1.0,
+                    candidate_scores: vec![(EntityId(7), 1.0)],
+                },
+            ],
+        };
+        assert_eq!(r.labels(), vec![None, Some(EntityId(7))]);
+        assert_eq!(r.mapped_count(), 1);
+    }
+}

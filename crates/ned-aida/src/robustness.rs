@@ -1,0 +1,148 @@
+//! The robustness tests of §3.5.
+//!
+//! - **Prior test** (§3.5.1): the popularity prior only participates in the
+//!   mention–entity weight when the most likely candidate's prior reaches
+//!   the threshold ρ; below it the weight is the similarity alone. The
+//!   prior is never used by itself.
+//! - **Coherence test** (§3.5.2): the L1 distance between the prior
+//!   distribution and the normalized similarity distribution over the
+//!   candidates measures their disagreement. Below the threshold λ the two
+//!   features agree, coherence is risky rather than helpful, and the mention
+//!   is fixed to its best local candidate before the graph algorithm runs.
+
+use crate::candidates::CandidateFeatures;
+use crate::config::AidaConfig;
+
+/// Combined local mention–entity weights after the prior test.
+///
+/// Returns `(weights, prior_used)` where `weights[i]` corresponds to
+/// `features[i]`. With the prior active:
+/// `w = prior_share · prior + sim_share · sim_normalized` (§3.6.1 uses
+/// 0.566 / 0.433); otherwise `w = sim_normalized`.
+pub fn local_weights(features: &[CandidateFeatures], config: &AidaConfig) -> (Vec<f64>, bool) {
+    let max_prior = features.iter().map(|f| f.prior).fold(0.0f64, f64::max);
+    let prior_active = config.use_prior
+        && (!config.use_prior_robustness || max_prior >= config.prior_threshold);
+    let weights = features
+        .iter()
+        .map(|f| {
+            if prior_active {
+                config.prior_share() * f.prior + config.sim_share() * f.sim_normalized
+            } else {
+                f.sim_normalized
+            }
+        })
+        .collect();
+    (weights, prior_active)
+}
+
+/// L1 distance between the prior distribution and the similarity
+/// distribution over a mention's candidates (§3.5.2); always in [0, 2].
+///
+/// Both vectors are normalized to sum to 1 (a zero vector stays zero).
+pub fn prior_sim_l1_distance(features: &[CandidateFeatures]) -> f64 {
+    let prior_sum: f64 = features.iter().map(|f| f.prior).sum();
+    let sim_sum: f64 = features.iter().map(|f| f.sim).sum();
+    features
+        .iter()
+        .map(|f| {
+            let p = if prior_sum > 0.0 { f.prior / prior_sum } else { 0.0 };
+            let s = if sim_sum > 0.0 { f.sim / sim_sum } else { 0.0 };
+            (p - s).abs()
+        })
+        .sum()
+}
+
+/// The coherence robustness decision: true when the mention should be fixed
+/// to its best local candidate (agreement below λ), false when coherence
+/// should arbitrate.
+pub fn should_fix_mention(features: &[CandidateFeatures], config: &AidaConfig) -> bool {
+    if !config.use_coherence_robustness {
+        return false;
+    }
+    if features.len() <= 1 {
+        return true;
+    }
+    prior_sim_l1_distance(features) < config.coherence_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_kb::EntityId;
+
+    fn feat(entity: u32, prior: f64, sim: f64, sim_normalized: f64) -> CandidateFeatures {
+        CandidateFeatures { entity: EntityId(entity), prior, sim, sim_normalized }
+    }
+
+    #[test]
+    fn prior_test_gates_the_prior() {
+        let config = AidaConfig::default();
+        // Dominant prior (0.95 ≥ ρ = 0.9): prior participates.
+        let dominant = vec![feat(0, 0.95, 2.0, 1.0), feat(1, 0.05, 1.0, 0.5)];
+        let (w, used) = local_weights(&dominant, &config);
+        assert!(used);
+        assert!((w[0] - (config.prior_share() * 0.95 + config.sim_share())).abs() < 1e-12);
+        // Spread prior: similarity only.
+        let spread = vec![feat(0, 0.6, 2.0, 1.0), feat(1, 0.4, 1.0, 0.5)];
+        let (w, used) = local_weights(&spread, &config);
+        assert!(!used);
+        assert_eq!(w, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn disabling_robustness_always_combines() {
+        let config = AidaConfig::prior_sim();
+        let spread = vec![feat(0, 0.6, 2.0, 1.0), feat(1, 0.4, 1.0, 0.5)];
+        let (_, used) = local_weights(&spread, &config);
+        assert!(used);
+    }
+
+    #[test]
+    fn disabling_prior_never_combines() {
+        let config = AidaConfig::sim_only();
+        let dominant = vec![feat(0, 0.99, 2.0, 1.0)];
+        let (w, used) = local_weights(&dominant, &config);
+        assert!(!used);
+        assert_eq!(w, vec![1.0]);
+    }
+
+    #[test]
+    fn l1_distance_bounds() {
+        // Perfect agreement → 0.
+        let agree = vec![feat(0, 0.8, 8.0, 1.0), feat(1, 0.2, 2.0, 0.25)];
+        assert!(prior_sim_l1_distance(&agree) < 1e-12);
+        // Total disagreement → 2.
+        let disagree = vec![feat(0, 1.0, 0.0, 0.0), feat(1, 0.0, 5.0, 1.0)];
+        assert!((prior_sim_l1_distance(&disagree) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_similarity_mass_compares_against_zero_vector() {
+        let feats = vec![feat(0, 0.7, 0.0, 0.0), feat(1, 0.3, 0.0, 0.0)];
+        // |0.7−0| + |0.3−0| = 1.
+        assert!((prior_sim_l1_distance(&feats) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherence_test_fixes_agreeing_mentions() {
+        let config = AidaConfig::default();
+        let agree = vec![feat(0, 0.8, 8.0, 1.0), feat(1, 0.2, 2.0, 0.25)];
+        assert!(should_fix_mention(&agree, &config));
+        let disagree = vec![feat(0, 1.0, 0.0, 0.0), feat(1, 0.0, 5.0, 1.0)];
+        assert!(!should_fix_mention(&disagree, &config));
+    }
+
+    #[test]
+    fn single_candidate_is_always_fixed() {
+        let config = AidaConfig::default();
+        assert!(should_fix_mention(&[feat(0, 0.2, 0.0, 0.0)], &config));
+    }
+
+    #[test]
+    fn disabled_coherence_test_never_fixes() {
+        let config = AidaConfig::r_prior_sim_coh();
+        let agree = vec![feat(0, 0.8, 8.0, 1.0), feat(1, 0.2, 2.0, 0.25)];
+        assert!(!should_fix_mention(&agree, &config));
+    }
+}

@@ -1,0 +1,159 @@
+//! Keyphrase-based mention–entity similarity (§3.3.4, Eqs. 3.4–3.6).
+//!
+//! For a mention `m` and candidate entity `e`:
+//!
+//! `simscore(m, e) = Σ_{q ∈ KP(e)} score(q)` where
+//! `score(q) = z · (Σ_{w ∈ cover} weight(w) / Σ_{w ∈ q} weight(w))²`
+//! and `z = #matching words / cover length`.
+//!
+//! `weight(w)` is either the entity-specific NPMI or the global IDF,
+//! selected by [`KeywordWeighting`].
+
+use ned_kb::{EntityId, KnowledgeBase, WordId};
+
+use crate::config::KeywordWeighting;
+use crate::cover::shortest_cover;
+
+/// Computes `score(q)` (Eq. 3.4) for one keyphrase of `e` against a mention
+/// context given as position-sorted `(pos, word)` pairs.
+pub fn phrase_score(
+    kb: &KnowledgeBase,
+    e: EntityId,
+    phrase_words: &[WordId],
+    context: &[(usize, WordId)],
+    weighting: KeywordWeighting,
+) -> f64 {
+    let weight = |w: WordId| -> f64 {
+        match weighting {
+            KeywordWeighting::Npmi => kb.weights().keyword_npmi(e, w),
+            KeywordWeighting::Idf => kb.weights().word_idf(w),
+        }
+    };
+    let phrase_mass: f64 = {
+        let mut ws: Vec<WordId> = phrase_words.to_vec();
+        ws.sort_unstable();
+        ws.dedup();
+        ws.iter().map(|&w| weight(w)).sum()
+    };
+    if phrase_mass <= 0.0 {
+        return 0.0;
+    }
+    let Some(cover) = shortest_cover(context, phrase_words) else {
+        return 0.0;
+    };
+    let cover_mass: f64 = cover.words.iter().map(|&w| weight(w)).sum();
+    if cover_mass <= 0.0 {
+        return 0.0;
+    }
+    let ratio = (cover_mass / phrase_mass).min(1.0);
+    cover.z() * ratio * ratio
+}
+
+/// `simscore(m, e)` (Eq. 3.6): the sum of phrase scores over all keyphrases
+/// of `e`.
+pub fn simscore(
+    kb: &KnowledgeBase,
+    e: EntityId,
+    context: &[(usize, WordId)],
+    weighting: KeywordWeighting,
+) -> f64 {
+    kb.keyphrases(e)
+        .iter()
+        .map(|ep| phrase_score(kb, e, kb.phrase_words(ep.phrase), context, weighting))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DocumentContext;
+    use ned_kb::{EntityKind, KbBuilder};
+    use ned_text::tokenize;
+
+    /// Jimmy Page vs Larry Page with distinctive keyphrases.
+    fn kb() -> (KnowledgeBase, EntityId, EntityId) {
+        let mut b = KbBuilder::new();
+        let jimmy = b.add_entity("Jimmy Page", EntityKind::Person);
+        let larry = b.add_entity("Larry Page", EntityKind::Person);
+        b.add_keyphrase(jimmy, "Gibson guitar", 2);
+        b.add_keyphrase(jimmy, "hard rock chords", 3);
+        b.add_keyphrase(jimmy, "Grammy Award winner", 1);
+        b.add_keyphrase(larry, "search engine", 3);
+        b.add_keyphrase(larry, "Stanford university", 2);
+        (b.build(), jimmy, larry)
+    }
+
+    fn context_of(kb: &KnowledgeBase, text: &str) -> Vec<(usize, WordId)> {
+        DocumentContext::build(kb, &tokenize(text)).words
+    }
+
+    #[test]
+    fn matching_context_scores_higher() {
+        let (kb, jimmy, larry) = kb();
+        let ctx = context_of(&kb, "played unusual chords on his Gibson guitar");
+        let sj = simscore(&kb, jimmy, &ctx, KeywordWeighting::Npmi);
+        let sl = simscore(&kb, larry, &ctx, KeywordWeighting::Npmi);
+        assert!(sj > 0.0);
+        assert_eq!(sl, 0.0);
+    }
+
+    #[test]
+    fn full_adjacent_match_beats_scattered_match() {
+        let (kb, jimmy, _) = kb();
+        let phrase: Vec<WordId> =
+            ["gibson", "guitar"].iter().map(|w| kb.word_id(w).unwrap()).collect();
+        let adjacent = context_of(&kb, "a Gibson guitar sound");
+        let scattered = context_of(&kb, "a Gibson sound with heavy amplifier feedback guitar");
+        let s_adj = phrase_score(&kb, jimmy, &phrase, &adjacent, KeywordWeighting::Npmi);
+        let s_scat = phrase_score(&kb, jimmy, &phrase, &scattered, KeywordWeighting::Npmi);
+        assert!(s_adj > s_scat, "{s_adj} vs {s_scat}");
+        assert!(s_scat > 0.0);
+    }
+
+    #[test]
+    fn partial_match_is_superlinearly_reduced() {
+        let (kb, jimmy, _) = kb();
+        let phrase: Vec<WordId> = ["grammy", "award", "winner"]
+            .iter()
+            .map(|w| kb.word_id(w).unwrap())
+            .collect();
+        let full = context_of(&kb, "Grammy Award winner");
+        let partial = context_of(&kb, "Grammy winner");
+        let s_full = phrase_score(&kb, jimmy, &phrase, &full, KeywordWeighting::Npmi);
+        let s_partial = phrase_score(&kb, jimmy, &phrase, &partial, KeywordWeighting::Npmi);
+        assert!(s_full > s_partial);
+        assert!(s_partial > 0.0);
+        // Squared ratio: partial (2/3 of weight mass, z = 1) is below
+        // (2/3)² + ε of the full score even before the z factor.
+        assert!(s_partial < s_full * 0.6);
+    }
+
+    #[test]
+    fn empty_context_scores_zero() {
+        let (kb, jimmy, _) = kb();
+        assert_eq!(simscore(&kb, jimmy, &[], KeywordWeighting::Npmi), 0.0);
+    }
+
+    #[test]
+    fn idf_weighting_also_works() {
+        let (kb, jimmy, _) = kb();
+        let ctx = context_of(&kb, "hard rock chords everywhere");
+        assert!(simscore(&kb, jimmy, &ctx, KeywordWeighting::Idf) > 0.0);
+    }
+
+    #[test]
+    fn score_is_nonnegative_and_bounded_per_phrase() {
+        let (kb, jimmy, _) = kb();
+        let ctx = context_of(&kb, "Gibson guitar Gibson guitar chords rock hard");
+        for ep in kb.keyphrases(jimmy) {
+            let s = phrase_score(
+                &kb,
+                jimmy,
+                kb.phrase_words(ep.phrase),
+                &ctx,
+                KeywordWeighting::Npmi,
+            );
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+}

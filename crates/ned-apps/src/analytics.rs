@@ -1,0 +1,212 @@
+//! Entity-level news analytics (§6.2).
+//!
+//! Consumes a disambiguated, timestamped document stream and supports the
+//! use cases of the thesis' analytics system: entity mention time series,
+//! entity co-occurrence mining, per-day trend detection, and tracking of
+//! emerging (out-of-KB) names.
+
+use std::collections::HashMap;
+
+use ned_kb::fx::FxHashMap;
+use ned_kb::EntityId;
+
+/// Aggregated analytics state over a stream of disambiguated documents.
+#[derive(Debug, Default)]
+pub struct NewsAnalytics {
+    /// entity → (day → mention count).
+    timelines: FxHashMap<EntityId, HashMap<u32, u32>>,
+    /// Unordered entity co-occurrence (same document) counts.
+    cooccurrence: FxHashMap<(EntityId, EntityId), u32>,
+    /// day → (emerging surface → count).
+    emerging: HashMap<u32, HashMap<String, u32>>,
+    /// Days observed.
+    days: Vec<u32>,
+    /// Total documents consumed.
+    doc_count: usize,
+}
+
+impl NewsAnalytics {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents consumed.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Feeds one disambiguated document: its day stamp plus, per mention,
+    /// the surface and the label (`None` = emerging).
+    pub fn add_document(&mut self, day: u32, mentions: &[(String, Option<EntityId>)]) {
+        self.doc_count += 1;
+        if !self.days.contains(&day) {
+            self.days.push(day);
+            self.days.sort_unstable();
+        }
+        let mut doc_entities: Vec<EntityId> = Vec::new();
+        for (surface, label) in mentions {
+            match label {
+                Some(e) => {
+                    *self.timelines.entry(*e).or_default().entry(day).or_insert(0) += 1;
+                    doc_entities.push(*e);
+                }
+                None => {
+                    *self
+                        .emerging
+                        .entry(day)
+                        .or_default()
+                        .entry(surface.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        doc_entities.sort_unstable();
+        doc_entities.dedup();
+        for (i, &a) in doc_entities.iter().enumerate() {
+            for &b in &doc_entities[i + 1..] {
+                *self.cooccurrence.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Mention counts of `entity` per day, sorted by day.
+    pub fn timeline(&self, entity: EntityId) -> Vec<(u32, u32)> {
+        let mut t: Vec<(u32, u32)> = self
+            .timelines
+            .get(&entity)
+            .map(|m| m.iter().map(|(&d, &c)| (d, c)).collect())
+            .unwrap_or_default();
+        t.sort_unstable();
+        t
+    }
+
+    /// Total mentions of `entity`.
+    pub fn total_mentions(&self, entity: EntityId) -> u32 {
+        self.timelines.get(&entity).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// The `k` entities most frequently co-occurring with `entity`.
+    pub fn co_occurring(&self, entity: EntityId, k: usize) -> Vec<(EntityId, u32)> {
+        let mut partners: Vec<(EntityId, u32)> = self
+            .cooccurrence
+            .iter()
+            .filter_map(|(&(a, b), &c)| {
+                if a == entity {
+                    Some((b, c))
+                } else if b == entity {
+                    Some((a, c))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        partners.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        partners.truncate(k);
+        partners
+    }
+
+    /// Entities trending on `day`: mention count at least `factor` times
+    /// their mean daily count over all observed days, requiring a minimum
+    /// of `min_mentions` on the day. Sorted by descending lift.
+    pub fn trending(&self, day: u32, factor: f64, min_mentions: u32) -> Vec<(EntityId, f64)> {
+        let n_days = self.days.len().max(1) as f64;
+        let mut out: Vec<(EntityId, f64)> = self
+            .timelines
+            .iter()
+            .filter_map(|(&e, per_day)| {
+                let today = per_day.get(&day).copied().unwrap_or(0);
+                if today < min_mentions {
+                    return None;
+                }
+                let mean = per_day.values().sum::<u32>() as f64 / n_days;
+                let lift = f64::from(today) / mean.max(f64::MIN_POSITIVE);
+                (lift >= factor).then_some((e, lift))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite lift").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Emerging (out-of-KB) surfaces observed on `day` with counts, sorted
+    /// by descending count — the feed a KB maintainer would review for
+    /// promotion (§5.6).
+    pub fn emerging_names(&self, day: u32) -> Vec<(String, u32)> {
+        let mut names: Vec<(String, u32)> = self
+            .emerging
+            .get(&day)
+            .map(|m| m.iter().map(|(n, &c)| (n.clone(), c)).collect())
+            .unwrap_or_default();
+        names.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn m(surface: &str, label: Option<EntityId>) -> (String, Option<EntityId>) {
+        (surface.to_string(), label)
+    }
+
+    fn analytics() -> NewsAnalytics {
+        let mut a = NewsAnalytics::new();
+        // Day 0: quiet.
+        a.add_document(0, &[m("Alpha", Some(e(1))), m("Beta", Some(e(2)))]);
+        a.add_document(0, &[m("Alpha", Some(e(1)))]);
+        // Day 1: entity 3 bursts; an emerging name appears.
+        a.add_document(1, &[m("Gamma", Some(e(3))), m("Alpha", Some(e(1)))]);
+        a.add_document(1, &[m("Gamma", Some(e(3))), m("Gamma", Some(e(3)))]);
+        a.add_document(1, &[m("Prism", None), m("Gamma", Some(e(3)))]);
+        a
+    }
+
+    #[test]
+    fn timelines_accumulate() {
+        let a = analytics();
+        assert_eq!(a.timeline(e(1)), vec![(0, 2), (1, 1)]);
+        assert_eq!(a.total_mentions(e(3)), 4);
+        assert!(a.timeline(e(99)).is_empty());
+        assert_eq!(a.doc_count(), 5);
+    }
+
+    #[test]
+    fn co_occurrence_counts_document_pairs() {
+        let a = analytics();
+        let partners = a.co_occurring(e(1), 10);
+        assert!(partners.contains(&(e(2), 1)));
+        assert!(partners.contains(&(e(3), 1)));
+        // Repeated mentions in one document count once per pair.
+        let g = a.co_occurring(e(3), 10);
+        assert_eq!(g.iter().find(|&&(p, _)| p == e(1)).map(|&(_, c)| c), Some(1));
+    }
+
+    #[test]
+    fn trending_detects_bursts() {
+        let a = analytics();
+        let trends = a.trending(1, 1.5, 2);
+        assert!(trends.iter().any(|&(ent, _)| ent == e(3)), "{trends:?}");
+        // Entity 1 is flat and must not trend.
+        assert!(!trends.iter().any(|&(ent, _)| ent == e(1)));
+    }
+
+    #[test]
+    fn emerging_names_are_tracked_per_day() {
+        let a = analytics();
+        assert_eq!(a.emerging_names(1), vec![("Prism".to_string(), 1)]);
+        assert!(a.emerging_names(0).is_empty());
+    }
+
+    #[test]
+    fn empty_state() {
+        let a = NewsAnalytics::new();
+        assert_eq!(a.doc_count(), 0);
+        assert!(a.trending(0, 1.0, 1).is_empty());
+        assert!(a.co_occurring(e(1), 5).is_empty());
+    }
+}

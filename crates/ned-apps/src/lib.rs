@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Applications built on the disambiguation stack (Chapter 6).
+//!
+//! - [`search`]: entity-centric search over "strings, things, and cats" —
+//!   documents are indexed by their words (*strings*), the canonical
+//!   entities a disambiguator found in them (*things*), and the semantic
+//!   classes of those entities (*cats*), so queries can mix all three
+//!   (§6.1).
+//! - [`analytics`]: entity-level news analytics — per-entity mention time
+//!   series, entity co-occurrence mining, trend detection, and emerging-
+//!   name tracking over a disambiguated news stream (§6.2).
+
+pub mod analytics;
+pub mod search;
+
+pub use analytics::NewsAnalytics;
+pub use search::{EntityIndex, Query, SearchHit};

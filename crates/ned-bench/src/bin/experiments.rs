@@ -1,0 +1,49 @@
+//! Experiment runner: regenerates every table and figure of the thesis'
+//! evaluation on the synthetic world.
+//!
+//! Usage:
+//!   experiments <id|all> [--full]
+//!
+//! Ids: table3_1 table3_2 table4_2 table4_3 fig4_3 table4_4 table5_1
+//!      table5_3 fig5_4 ablations
+//!
+//! `--full` runs at a scale approaching the thesis' corpus sizes; the
+//! default scale finishes in seconds per experiment.
+
+use std::time::Instant;
+
+use ned_bench::setup::Scale;
+use ned_bench::EXPERIMENTS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let ids: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.as_str()).collect();
+
+    if ids.is_empty() || ids.contains(&"help") {
+        eprintln!("usage: experiments <id|all> [--full]");
+        eprintln!("available experiments:");
+        for (id, _) in EXPERIMENTS {
+            eprintln!("  {id}");
+        }
+        std::process::exit(if ids.is_empty() { 2 } else { 0 });
+    }
+
+    let run_all = ids.contains(&"all");
+    let mut ran = 0;
+    for (id, f) in EXPERIMENTS {
+        if run_all || ids.contains(id) {
+            println!("\n##### {id} #####");
+            let start = Instant::now();
+            f(&scale);
+            println!("({id} finished in {:.1?})", start.elapsed());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id(s): {ids:?}");
+        std::process::exit(2);
+    }
+}

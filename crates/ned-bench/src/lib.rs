@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every table and figure of the thesis'
+//! evaluation chapters on the synthetic world (see DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured records).
+//!
+//! Run with `cargo run -p ned-bench --release --bin experiments -- <id|all>`.
+
+pub mod ablations;
+pub mod fig4_3;
+pub mod fig5_4;
+pub mod runner;
+pub mod setup;
+pub mod table3_1;
+pub mod table3_2;
+pub mod table4_2;
+pub mod table4_3;
+pub mod table4_4;
+pub mod table5_1;
+pub mod table5_3;
+
+/// An experiment entry point.
+pub type Experiment = fn(&setup::Scale);
+
+/// All experiment ids, in chapter order.
+pub const EXPERIMENTS: &[(&str, Experiment)] = &[
+    ("table3_1", table3_1::run),
+    ("table3_2", table3_2::run),
+    ("table4_2", table4_2::run),
+    ("table4_3", table4_3::run),
+    ("fig4_3", fig4_3::run),
+    ("table4_4", table4_4::run),
+    ("table5_1", table5_1::run),
+    ("table5_3", table5_3::run),
+    ("fig5_4", fig5_4::run),
+    ("ablations", ablations::run),
+];

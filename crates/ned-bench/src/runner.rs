@@ -1,0 +1,160 @@
+//! Shared evaluation plumbing: run a method over a document set (in
+//! parallel) and compute the standard measures.
+
+use crossbeam::thread;
+
+use ned_aida::NedMethod;
+use ned_eval::gold::{GoldDoc, Label};
+use ned_eval::map::RankedItem;
+use ned_eval::{macro_accuracy, micro_accuracy};
+
+/// Per-document outcome: gold labels, predicted labels, and per-mention
+/// confidences (method-specific; used for MAP).
+#[derive(Debug, Clone, Default)]
+pub struct DocOutcome {
+    /// Gold labels.
+    pub gold: Vec<Label>,
+    /// Predicted labels.
+    pub predicted: Vec<Label>,
+    /// Per-mention confidence (normalized score by default).
+    pub confidence: Vec<f64>,
+}
+
+/// Aggregated evaluation of a method over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Evaluation {
+    /// Per-document outcomes.
+    pub docs: Vec<DocOutcome>,
+}
+
+impl Evaluation {
+    /// Micro average accuracy (§3.6.1).
+    pub fn micro(&self, count_out_of_kb: bool) -> f64 {
+        micro_accuracy(
+            self.docs.iter().map(|d| (d.gold.as_slice(), d.predicted.as_slice())),
+            count_out_of_kb,
+        )
+    }
+
+    /// Macro average accuracy (§3.6.1).
+    pub fn macro_(&self, count_out_of_kb: bool) -> f64 {
+        macro_accuracy(
+            self.docs.iter().map(|d| (d.gold.as_slice(), d.predicted.as_slice())),
+            count_out_of_kb,
+        )
+    }
+
+    /// Ranked items for MAP: one per in-KB-gold mention.
+    pub fn ranked_items(&self) -> Vec<RankedItem> {
+        let mut items = Vec::new();
+        for d in &self.docs {
+            for i in 0..d.gold.len() {
+                if d.gold[i].is_none() {
+                    continue;
+                }
+                items.push(RankedItem {
+                    confidence: d.confidence.get(i).copied().unwrap_or(0.0),
+                    correct: d.gold[i] == d.predicted[i],
+                });
+            }
+        }
+        items
+    }
+
+    /// Per-document macro accuracies (for paired t-tests), skipping
+    /// documents with no counted mentions.
+    pub fn doc_accuracies(&self, count_out_of_kb: bool) -> Vec<f64> {
+        self.docs
+            .iter()
+            .map(|d| {
+                ned_eval::document_accuracy(&d.gold, &d.predicted, count_out_of_kb)
+                    .unwrap_or(1.0)
+            })
+            .collect()
+    }
+}
+
+/// Runs `method` over `docs`.
+pub fn run_method<M: NedMethod + Sync + ?Sized>(method: &M, docs: &[GoldDoc]) -> Evaluation {
+    run_per_doc(docs, |doc| {
+        let mentions = doc.bare_mentions();
+        let result = method.disambiguate(&doc.tokens, &mentions);
+        let confidence = result.assignments.iter().map(|a| a.normalized_score()).collect();
+        DocOutcome { gold: doc.gold_labels(), predicted: result.labels(), confidence }
+    })
+}
+
+/// Runs an arbitrary per-document labeling function over `docs`, in
+/// parallel across a fixed number of worker threads (documents are
+/// independent; results come back in input order).
+pub fn run_per_doc<F>(docs: &[GoldDoc], f: F) -> Evaluation
+where
+    F: Fn(&GoldDoc) -> DocOutcome + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    if docs.len() < 4 || workers < 2 {
+        return Evaluation { docs: docs.iter().map(&f).collect() };
+    }
+    let mut outcomes: Vec<Option<DocOutcome>> = vec![None; docs.len()];
+    let chunk = docs.len().div_ceil(workers);
+    thread::scope(|scope| {
+        for (slot_chunk, doc_chunk) in outcomes.chunks_mut(chunk).zip(docs.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, doc) in slot_chunk.iter_mut().zip(doc_chunk) {
+                    *slot = Some(f(doc));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    Evaluation { docs: outcomes.into_iter().map(|o| o.expect("all docs processed")).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_eval::gold::LabeledMention;
+    use ned_kb::EntityId;
+    use ned_text::{tokenize, Mention};
+
+    fn doc(id: &str, label: Option<EntityId>) -> GoldDoc {
+        let tokens = tokenize("Alpha spoke");
+        GoldDoc::new(
+            id,
+            tokens,
+            vec![LabeledMention { mention: Mention::new("Alpha", 0, 1), label }],
+            0,
+        )
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let docs: Vec<GoldDoc> =
+            (0..20).map(|i| doc(&format!("d{i}"), Some(EntityId(i)))).collect();
+        let eval = run_per_doc(&docs, |d| DocOutcome {
+            gold: d.gold_labels(),
+            predicted: d.gold_labels(),
+            confidence: vec![1.0; d.mentions.len()],
+        });
+        assert_eq!(eval.docs.len(), 20);
+        assert_eq!(eval.micro(false), 1.0);
+        for (i, o) in eval.docs.iter().enumerate() {
+            assert_eq!(o.gold, vec![Some(EntityId(i as u32))]);
+        }
+    }
+
+    #[test]
+    fn evaluation_measures() {
+        let docs = vec![doc("a", Some(EntityId(1))), doc("b", Some(EntityId(2)))];
+        let eval = run_per_doc(&docs, |d| DocOutcome {
+            gold: d.gold_labels(),
+            predicted: vec![Some(EntityId(1))],
+            confidence: vec![0.9],
+        });
+        assert_eq!(eval.micro(false), 0.5);
+        assert_eq!(eval.macro_(false), 0.5);
+        assert_eq!(eval.ranked_items().len(), 2);
+        assert_eq!(eval.doc_accuracies(false), vec![1.0, 0.0]);
+    }
+}

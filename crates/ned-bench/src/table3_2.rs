@@ -1,0 +1,109 @@
+//! Table 3.2 / Figure 3.3: disambiguation accuracy of AIDA configurations
+//! against the re-implemented baselines on the CoNLL-like test split.
+//!
+//! Hyper-parameters (ρ, λ) of the full configuration are line-searched on
+//! the development split, exactly as §3.6.1 describes.
+
+use ned_aida::baselines::{Cucerzan, Kulkarni, KulkarniVariant, PriorOnly};
+use ned_aida::{AidaConfig, Disambiguator, NedMethod};
+use ned_eval::map::interpolated_map;
+use ned_eval::report::{pct, Table};
+use ned_eval::ttest::paired_ttest;
+use ned_relatedness::MilneWitten;
+
+use crate::runner::{run_method, Evaluation};
+use crate::setup::{Env, Scale};
+
+/// Line-searches ρ and λ on the dev split (the paper's procedure) and
+/// returns the tuned full configuration.
+pub fn tune_full_config(env: &Env, dev: &[ned_eval::gold::GoldDoc]) -> AidaConfig {
+    let kb = &env.exported.kb;
+    let mut best = AidaConfig::full();
+    let mut best_micro = -1.0;
+    for rho in [0.8, 0.9, 0.95] {
+        for lambda in [0.5, 0.7, 0.9, 1.1, 1.3] {
+            let config = AidaConfig {
+                prior_threshold: rho,
+                coherence_threshold: lambda,
+                ..AidaConfig::full()
+            };
+            let aida = Disambiguator::new(kb, MilneWitten::new(kb), config.clone());
+            let eval = run_method(&aida, dev);
+            let micro = eval.micro(false);
+            if micro > best_micro {
+                best_micro = micro;
+                best = config;
+            }
+        }
+    }
+    eprintln!(
+        "tuned on dev: rho = {}, lambda = {} (dev micro {})",
+        best.prior_threshold,
+        best.coherence_threshold,
+        pct(best_micro)
+    );
+    best
+}
+
+/// Runs the full method comparison and prints the table.
+pub fn run(scale: &Scale) {
+    let env = Env::build(scale);
+    let corpus = env.conll(scale);
+    let kb = &env.exported.kb;
+    let dev = corpus.dev();
+    let test = corpus.test();
+    eprintln!(
+        "corpus: {} docs ({} dev, {} test), {} mentions",
+        corpus.docs.len(),
+        dev.len(),
+        test.len(),
+        corpus.mention_count()
+    );
+
+    let tuned = tune_full_config(&env, dev);
+    let tuned_no_rcoh =
+        AidaConfig { use_coherence_robustness: false, ..tuned.clone() };
+
+    let mw = MilneWitten::new(kb);
+    let methods: Vec<(&str, Box<dyn NedMethod + Sync>)> = vec![
+        ("prior", Box::new(PriorOnly::new(kb))),
+        ("Cuc", Box::new(Cucerzan::new(kb))),
+        ("Kul s", Box::new(Kulkarni::new(kb, KulkarniVariant::Similarity))),
+        ("Kul sp", Box::new(Kulkarni::new(kb, KulkarniVariant::SimilarityPrior))),
+        ("Kul CI", Box::new(Kulkarni::new(kb, KulkarniVariant::Collective))),
+        ("sim-k", Box::new(Disambiguator::new(kb, mw, AidaConfig::sim_only()))),
+        ("prior sim-k", Box::new(Disambiguator::new(kb, mw, AidaConfig::prior_sim()))),
+        ("r-prior sim-k", Box::new(Disambiguator::new(kb, mw, AidaConfig::r_prior_sim()))),
+        ("r-prior sim-k coh", Box::new(Disambiguator::new(kb, mw, tuned_no_rcoh))),
+        ("r-prior sim-k r-coh", Box::new(Disambiguator::new(kb, mw, tuned))),
+    ];
+
+    let mut table = Table::new(
+        "Table 3.2 — NED accuracy on the CoNLL-like test split",
+        &["Method", "MacA", "MicA", "MAP"],
+    );
+    let mut evals: Vec<(&str, Evaluation)> = Vec::new();
+    for (name, method) in &methods {
+        let eval = run_method(method.as_ref(), test);
+        table.add_row(vec![
+            name.to_string(),
+            pct(eval.macro_(false)),
+            pct(eval.micro(false)),
+            pct(interpolated_map(&eval.ranked_items())),
+        ]);
+        evals.push((name, eval));
+    }
+    print!("{}", table.render());
+
+    // Significance: full AIDA vs the strongest collective baseline.
+    let full = &evals.last().expect("methods non-empty").1;
+    let kul_ci = &evals.iter().find(|(n, _)| *n == "Kul CI").expect("Kul CI present").1;
+    if let Some(t) = paired_ttest(&full.doc_accuracies(false), &kul_ci.doc_accuracies(false)) {
+        println!(
+            "paired t-test, AIDA r-coh vs Kul CI: t = {:.3}, p = {:.4} ({})",
+            t.t,
+            t.p_value,
+            if t.p_value < 0.05 { "significant" } else { "not significant" }
+        );
+    }
+}

@@ -1,0 +1,439 @@
+//! The NED-EE discovery algorithm (Algorithm 3, §5.6) and the
+//! score-thresholding baselines of §5.7.2.
+//!
+//! Emerging entities become first-class citizens: every eligible mention
+//! gets an additional *EE placeholder candidate* whose keyphrase model is
+//! the Algorithm-2 difference model, and the regular disambiguator decides
+//! between in-KB candidates and the placeholder. Mentions with very low
+//! confidence are set to EE directly; very high-confidence mentions are
+//! fixed to their entity (the `t_l` / `t_u` thresholds of Algorithm 3).
+
+use ned_aida::candidates::CandidateFeatures;
+use ned_aida::config::AidaConfig;
+use ned_aida::cover::shortest_cover;
+use ned_aida::{DisambiguationResult, Disambiguator};
+use ned_eval::gold::Label;
+use ned_kb::{EntityId, KnowledgeBase, WordId};
+use ned_relatedness::Relatedness;
+use ned_text::{Mention, Token};
+
+use crate::confidence::ConfAssessor;
+use crate::ee_model::{EeModel, NameModels};
+
+/// Sentinel base for EE placeholder entity ids; the placeholder of mention
+/// `i` gets id `EE_ID_BASE + i`. Knowledge bases are far smaller than this.
+pub const EE_ID_BASE: u32 = 0x8000_0000;
+
+/// The placeholder id of mention `i`.
+pub fn ee_id(mention_index: usize) -> EntityId {
+    EntityId(EE_ID_BASE + mention_index as u32)
+}
+
+/// True if `id` is an EE placeholder.
+pub fn is_ee_id(id: EntityId) -> bool {
+    id.0 >= EE_ID_BASE
+}
+
+/// Converts a chosen entity to a label (`None` = EE / unmapped).
+pub fn to_label(entity: Option<EntityId>) -> Label {
+    entity.filter(|&e| !is_ee_id(e))
+}
+
+/// NED-EE configuration.
+#[derive(Debug, Clone)]
+pub struct EeConfig {
+    /// Mentions with confidence ≤ `lower_threshold` become EE directly
+    /// (0.0 disables the stage).
+    pub lower_threshold: f64,
+    /// Mentions with confidence ≥ `upper_threshold` are fixed to their
+    /// entity (1.0 disables the stage).
+    pub upper_threshold: f64,
+    /// Balance of EE-placeholder scores against in-KB scores (the γ of
+    /// §5.6).
+    pub gamma: f64,
+    /// Use graph coherence in the second pass (EEcoh); otherwise local
+    /// similarity only (EEsim).
+    pub use_coherence: bool,
+    /// Confidence assessor for the threshold stages.
+    pub assessor: ConfAssessor,
+}
+
+impl Default for EeConfig {
+    fn default() -> Self {
+        EeConfig {
+            lower_threshold: 0.0,
+            upper_threshold: 1.0,
+            gamma: 0.5,
+            use_coherence: false,
+            assessor: ConfAssessor::default(),
+        }
+    }
+}
+
+/// Keyphrase-based similarity of an EE model against a mention context
+/// (the analogue of Eq. 3.6 for placeholder entities), using IDF keyword
+/// weights and the phrase salience weights of the model.
+pub fn ee_simscore(kb: &KnowledgeBase, model: &EeModel, context: &[(usize, WordId)]) -> f64 {
+    let weights = kb.weights();
+    let mut total = 0.0;
+    for phrase in &model.phrases {
+        let phrase_mass: f64 = phrase.words.iter().map(|&w| weights.word_idf(w)).sum();
+        if phrase_mass <= 0.0 {
+            continue;
+        }
+        let Some(cover) = shortest_cover(context, &phrase.words) else { continue };
+        let cover_mass: f64 = cover.words.iter().map(|&w| weights.word_idf(w)).sum();
+        if cover_mass <= 0.0 {
+            continue;
+        }
+        let ratio = (cover_mass / phrase_mass).min(1.0);
+        total += phrase.weight * cover.z() * ratio * ratio;
+    }
+    total
+}
+
+/// Keyphrase-overlap coherence between an EE model and an in-KB entity:
+/// IDF-weighted Jaccard over their keyword sets (the KORE-style coherence
+/// the EEcoh variant uses, since link-based coherence cannot cover
+/// placeholders).
+pub fn ee_entity_coherence(kb: &KnowledgeBase, model: &EeModel, entity: EntityId) -> f64 {
+    let weights = kb.weights();
+    let model_words = model.word_set();
+    if model_words.is_empty() {
+        return 0.0;
+    }
+    let entity_words: Vec<WordId> =
+        weights.keyword_npmi_row(entity).iter().map(|&(w, _)| w).collect();
+    if entity_words.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0.0;
+    let mut union = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < model_words.len() && j < entity_words.len() {
+        match model_words[i].cmp(&entity_words[j]) {
+            std::cmp::Ordering::Less => {
+                union += weights.word_idf(model_words[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union += weights.word_idf(entity_words[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let idf = weights.word_idf(model_words[i]);
+                inter += idf;
+                union += idf;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &w in &model_words[i..] {
+        union += weights.word_idf(w);
+    }
+    for &w in &entity_words[j..] {
+        union += weights.word_idf(w);
+    }
+    if union <= 0.0 {
+        0.0
+    } else {
+        (inter / union).clamp(0.0, 1.0)
+    }
+}
+
+/// A relatedness measure extended over EE placeholder ids (Figure 5.1's
+/// graph with EE nodes).
+pub struct EeAwareRelatedness<'a, R> {
+    inner: R,
+    kb: &'a KnowledgeBase,
+    /// Per-mention EE model (indexed by `id − EE_ID_BASE`).
+    models: Vec<Option<&'a EeModel>>,
+}
+
+impl<R: Relatedness> Relatedness for EeAwareRelatedness<'_, R> {
+    fn name(&self) -> &'static str {
+        "EE-aware"
+    }
+
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        match (is_ee_id(a), is_ee_id(b)) {
+            (false, false) => self.inner.relatedness(a, b),
+            (true, true) => 0.0,
+            (true, false) => self.model_coherence(a, b),
+            (false, true) => self.model_coherence(b, a),
+        }
+    }
+}
+
+impl<R> EeAwareRelatedness<'_, R> {
+    fn model_coherence(&self, ee: EntityId, entity: EntityId) -> f64 {
+        let idx = (ee.0 - EE_ID_BASE) as usize;
+        match self.models.get(idx).copied().flatten() {
+            Some(model) => ee_entity_coherence(self.kb, model, entity),
+            None => 0.0,
+        }
+    }
+}
+
+/// The NED-EE discovery pipeline over a base AIDA disambiguator.
+pub struct EeDiscovery<'a, R> {
+    base: &'a Disambiguator<'a, R>,
+    models: &'a NameModels,
+    config: EeConfig,
+}
+
+impl<'a, R: Relatedness> EeDiscovery<'a, R> {
+    /// Creates the pipeline.
+    pub fn new(base: &'a Disambiguator<'a, R>, models: &'a NameModels, config: EeConfig) -> Self {
+        EeDiscovery { base, models, config }
+    }
+
+    /// Runs Algorithm 3 and returns the final labels (`None` = EE) plus the
+    /// full second-pass result.
+    pub fn discover(
+        &self,
+        tokens: &[Token],
+        mentions: &[Mention],
+    ) -> (Vec<Label>, DisambiguationResult) {
+        let kb = self.base.kb();
+        let features = self.base.features(tokens, mentions);
+        let initial = self.base.disambiguate_features(&features);
+        let confidences = self.config.assessor.assess(self.base, &features, &initial);
+
+        // Per-mention stage decisions + extended candidate lists.
+        let mut forced_ee = vec![false; mentions.len()];
+        let mut extended: Vec<Vec<CandidateFeatures>> = Vec::with_capacity(mentions.len());
+        let mut mention_models: Vec<Option<&EeModel>> = vec![None; mentions.len()];
+        let context = ned_aida::context::DocumentContext::build(kb, tokens);
+        for (i, mention) in mentions.iter().enumerate() {
+            let f = &features[i];
+            if f.is_empty() {
+                // Trivially out-of-KB: no dictionary candidates at all.
+                forced_ee[i] = true;
+                extended.push(Vec::new());
+                continue;
+            }
+            if confidences[i] <= self.config.lower_threshold {
+                forced_ee[i] = true;
+                extended.push(Vec::new());
+                continue;
+            }
+            if confidences[i] >= self.config.upper_threshold {
+                // Fixed: only the chosen candidate survives.
+                let chosen = initial.assignments[i].entity;
+                extended.push(
+                    f.iter().filter(|c| Some(c.entity) == chosen).copied().collect(),
+                );
+                continue;
+            }
+            // Middle band: add the EE placeholder candidate.
+            let mut list: Vec<CandidateFeatures> = f.clone();
+            if let Some(model) = self.models.get(&mention.surface) {
+                let mention_ctx = context.for_mention(mention);
+                let raw = ee_simscore(kb, model, &mention_ctx);
+                list.push(CandidateFeatures {
+                    entity: ee_id(i),
+                    prior: 0.0,
+                    sim: self.config.gamma * raw,
+                    sim_normalized: 0.0,
+                });
+                mention_models[i] = Some(model);
+            }
+            // Re-normalize similarities over the extended candidate set.
+            let max_sim = list.iter().map(|c| c.sim).fold(0.0f64, f64::max);
+            for c in &mut list {
+                c.sim_normalized = if max_sim > 0.0 { c.sim / max_sim } else { 0.0 };
+            }
+            extended.push(list);
+        }
+
+        // Second pass with EE-aware relatedness.
+        let rel = EeAwareRelatedness {
+            inner: self.base.relatedness(),
+            kb,
+            models: mention_models,
+        };
+        let mut config: AidaConfig = self.base.config().clone();
+        config.use_coherence = self.config.use_coherence;
+        let second = Disambiguator::new(kb, rel, config);
+        let result = second.disambiguate_features(&extended);
+
+        let labels = result
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| if forced_ee[i] { None } else { to_label(a.entity) })
+            .collect();
+        (labels, result)
+    }
+}
+
+/// Score-thresholding EE baseline (the state-of-the-art approach NED-EE is
+/// compared against): a mention becomes EE when its confidence falls below
+/// a threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdEe {
+    /// The cutoff.
+    pub threshold: f64,
+}
+
+impl ThresholdEe {
+    /// Creates the baseline.
+    pub fn new(threshold: f64) -> Self {
+        ThresholdEe { threshold }
+    }
+
+    /// Applies the threshold to a result with per-mention confidences.
+    pub fn apply(&self, result: &DisambiguationResult, confidences: &[f64]) -> Vec<Label> {
+        assert_eq!(result.assignments.len(), confidences.len());
+        result
+            .assignments
+            .iter()
+            .zip(confidences)
+            .map(|(a, &c)| if c < self.threshold { None } else { to_label(a.entity) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ee_model::{EePhrase, NameModels};
+    use ned_kb::{EntityKind, KbBuilder};
+    use ned_relatedness::MilneWitten;
+    use ned_text::tokenize;
+
+    /// KB: "Prism" is a band. The text talks about a surveillance program —
+    /// evidence for an emerging entity under the same name.
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let band = b.add_entity("Prism (band)", EntityKind::Organization);
+        b.add_name(band, "Prism", 10);
+        b.add_keyphrase(band, "progressive rock band", 5);
+        b.add_keyphrase(band, "stadium tour", 2);
+        let gov = b.add_entity("US Government", EntityKind::Organization);
+        b.add_name(gov, "Washington", 20);
+        b.add_keyphrase(gov, "federal agency budget", 4);
+        b.add_keyphrase(gov, "secret surveillance", 2);
+        b.build()
+    }
+
+    fn model(kb: &KnowledgeBase) -> NameModels {
+        let words = |s: &str| -> Vec<WordId> {
+            let mut w: Vec<WordId> =
+                s.split_whitespace().filter_map(|x| kb.word_id(x)).collect();
+            w.sort_unstable();
+            w.dedup();
+            w
+        };
+        let mut models = NameModels::default();
+        models.insert(EeModel {
+            name: "Prism".into(),
+            phrases: vec![
+                EePhrase {
+                    surface: "secret surveillance".into(),
+                    words: words("secret surveillance"),
+                    weight: 1.0,
+                },
+                EePhrase {
+                    surface: "federal agency".into(),
+                    words: words("federal agency"),
+                    weight: 0.6,
+                },
+            ],
+            occurrences: 5,
+        });
+        models
+    }
+
+    #[test]
+    fn ee_wins_on_novel_context() {
+        let kb = kb();
+        let models = model(&kb);
+        let aida =
+            Disambiguator::new(&kb, MilneWitten::new(&kb), ned_aida::AidaConfig::sim_only());
+        let ee = EeDiscovery::new(&aida, &models, EeConfig::default());
+        let tokens = tokenize("the secret surveillance program Prism was revealed");
+        let mentions = vec![Mention::new("Prism", 3, 4)];
+        let (labels, _) = ee.discover(&tokens, &mentions);
+        assert_eq!(labels, vec![None], "novel context must map to EE");
+    }
+
+    #[test]
+    fn in_kb_entity_wins_on_matching_context() {
+        let kb = kb();
+        let models = model(&kb);
+        let aida =
+            Disambiguator::new(&kb, MilneWitten::new(&kb), ned_aida::AidaConfig::sim_only());
+        let ee = EeDiscovery::new(&aida, &models, EeConfig::default());
+        let tokens = tokenize("the progressive rock band Prism started a stadium tour");
+        let mentions = vec![Mention::new("Prism", 4, 5)];
+        let (labels, _) = ee.discover(&tokens, &mentions);
+        assert_eq!(labels, vec![kb.entity_by_name("Prism (band)")]);
+    }
+
+    #[test]
+    fn unknown_surface_is_trivially_ee() {
+        let kb = kb();
+        let models = model(&kb);
+        let aida =
+            Disambiguator::new(&kb, MilneWitten::new(&kb), ned_aida::AidaConfig::sim_only());
+        let ee = EeDiscovery::new(&aida, &models, EeConfig::default());
+        let tokens = tokenize("Snowden spoke");
+        let mentions = vec![Mention::new("Snowden", 0, 1)];
+        let (labels, _) = ee.discover(&tokens, &mentions);
+        assert_eq!(labels, vec![None]);
+    }
+
+    #[test]
+    fn gamma_zero_disables_ee() {
+        let kb = kb();
+        let models = model(&kb);
+        let aida =
+            Disambiguator::new(&kb, MilneWitten::new(&kb), ned_aida::AidaConfig::sim_only());
+        let config = EeConfig { gamma: 0.0, ..Default::default() };
+        let ee = EeDiscovery::new(&aida, &models, config);
+        let tokens = tokenize("the secret surveillance program Prism was revealed");
+        let mentions = vec![Mention::new("Prism", 3, 4)];
+        let (labels, _) = ee.discover(&tokens, &mentions);
+        assert_eq!(labels, vec![kb.entity_by_name("Prism (band)")]);
+    }
+
+    #[test]
+    fn threshold_baseline_cuts_low_confidence() {
+        let kb = kb();
+        let aida =
+            Disambiguator::new(&kb, MilneWitten::new(&kb), ned_aida::AidaConfig::sim_only());
+        let tokens = tokenize("the progressive rock band Prism played");
+        let mentions = vec![Mention::new("Prism", 4, 5)];
+        let features = aida.features(&tokens, &mentions);
+        let result = aida.disambiguate_features(&features);
+        let high = ThresholdEe::new(0.99).apply(&result, &[0.5]);
+        assert_eq!(high, vec![None]);
+        let low = ThresholdEe::new(0.1).apply(&result, &[0.5]);
+        assert_eq!(low, vec![kb.entity_by_name("Prism (band)")]);
+    }
+
+    #[test]
+    fn ee_entity_coherence_prefers_overlapping_entities() {
+        let kb = kb();
+        let models = model(&kb);
+        let m = models.get("Prism").unwrap();
+        let gov = kb.entity_by_name("US Government").unwrap();
+        let band = kb.entity_by_name("Prism (band)").unwrap();
+        // The model shares "secret surveillance"/"federal agency" words with
+        // the government, nothing with the band.
+        assert!(ee_entity_coherence(&kb, m, gov) > ee_entity_coherence(&kb, m, band));
+    }
+
+    #[test]
+    fn sentinel_ids_do_not_collide() {
+        assert!(is_ee_id(ee_id(0)));
+        assert!(is_ee_id(ee_id(1000)));
+        assert!(!is_ee_id(EntityId(0)));
+        assert_eq!(to_label(Some(ee_id(3))), None);
+        assert_eq!(to_label(Some(EntityId(7))), Some(EntityId(7)));
+        assert_eq!(to_label(None), None);
+    }
+}

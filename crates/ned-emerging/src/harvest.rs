@@ -1,0 +1,159 @@
+//! Keyphrase harvesting from document streams (§5.5.1).
+//!
+//! For a given name (or entity), harvest all keyphrase candidates from the
+//! token windows surrounding its mentions, using the part-of-speech
+//! patterns of Appendix A. The output is a set of (phrase, count) pairs —
+//! the raw material for both the global name model of Algorithm 2 and the
+//! in-KB entity enrichment of §5.5.1.
+
+use std::collections::HashMap;
+
+use ned_eval::gold::GoldDoc;
+use ned_text::patterns::extract_phrases;
+use ned_text::pos::{sentence_start_flags, PosTagger};
+use ned_text::sentence::split_sentences;
+use ned_text::Mention;
+
+/// Number of tokens on each side of a mention that count as its context
+/// window (the thesis uses ±5 sentences; our generated documents have no
+/// sentence structure, so a fixed token window of similar size is used).
+pub const WINDOW_TOKENS: usize = 40;
+
+/// A multiset of harvested phrases.
+pub type PhraseCounts = HashMap<String, u64>;
+
+/// Harvests keyphrases around one mention of a document.
+pub fn harvest_window(doc: &GoldDoc, mention: &Mention) -> PhraseCounts {
+    let start = mention.token_start.saturating_sub(WINDOW_TOKENS);
+    let end = (mention.token_end + WINDOW_TOKENS).min(doc.tokens.len());
+    let window = &doc.tokens[start..end];
+    let sentences = split_sentences(window);
+    let starts = sentence_start_flags(window.len(), &sentences);
+    let mut tags = PosTagger::new().tag(window, &starts);
+    // Mask the mention's own tokens so phrase runs break at the mention and
+    // the name is never harvested as a keyphrase of itself.
+    let mention_range = (mention.token_start - start)..(mention.token_end - start);
+    for i in mention_range {
+        tags[i] = ned_text::PosTag::Punctuation;
+    }
+    let mut counts = PhraseCounts::new();
+    for phrase in extract_phrases(window, &tags) {
+        *counts.entry(phrase.surface.to_lowercase()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Harvests the *global model* of a name: all phrases co-occurring with any
+/// mention of `name` across `docs`, with document-occurrence counts, plus
+/// the number of mention occurrences observed.
+pub fn harvest_name(docs: &[&GoldDoc], name: &str) -> (PhraseCounts, u64) {
+    let mut counts = PhraseCounts::new();
+    let mut occurrences = 0;
+    for doc in docs {
+        for lm in &doc.mentions {
+            if lm.mention.surface != name {
+                continue;
+            }
+            occurrences += 1;
+            for (phrase, c) in harvest_window(doc, &lm.mention) {
+                *counts.entry(phrase).or_insert(0) += c;
+            }
+        }
+    }
+    (counts, occurrences)
+}
+
+/// All names occurring as mention surfaces in `docs`, with occurrence
+/// counts.
+pub fn mention_names(docs: &[&GoldDoc]) -> HashMap<String, u64> {
+    let mut names = HashMap::new();
+    for doc in docs {
+        for lm in &doc.mentions {
+            *names.entry(lm.mention.surface.clone()).or_insert(0) += 1;
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_eval::gold::LabeledMention;
+    use ned_text::{tokenize, Token};
+
+    fn doc(text: &str, mention_surface: &str) -> GoldDoc {
+        let tokens: Vec<Token> = tokenize(text);
+        let pos = tokens
+            .iter()
+            .position(|t| t.text == mention_surface)
+            .expect("mention in text");
+        GoldDoc::new(
+            "t",
+            tokens,
+            vec![LabeledMention {
+                mention: Mention::new(mention_surface, pos, pos + 1),
+                label: None,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn harvests_noun_phrases_near_mention() {
+        let d = doc("the famous surveillance program was revealed by Snowden yesterday", "Snowden");
+        let counts = harvest_window(&d, &d.mentions[0].mention);
+        assert!(
+            counts.keys().any(|p| p.contains("surveillance program")),
+            "missing phrase: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn mention_itself_is_not_harvested() {
+        let d = doc("the whistleblower Snowden spoke", "Snowden");
+        let counts = harvest_window(&d, &d.mentions[0].mention);
+        assert!(!counts.contains_key("snowden"), "{counts:?}");
+    }
+
+    #[test]
+    fn harvest_name_aggregates_across_documents() {
+        let d1 = doc("the secret program and Prism today", "Prism");
+        let d2 = doc("the secret program called Prism again", "Prism");
+        let docs = vec![&d1, &d2];
+        let (counts, occurrences) = harvest_name(&docs, "Prism");
+        assert_eq!(occurrences, 2);
+        assert!(counts.get("secret program").copied().unwrap_or(0) >= 2, "{counts:?}");
+    }
+
+    #[test]
+    fn unknown_name_harvests_nothing() {
+        let d = doc("some text about Prism here", "Prism");
+        let docs = vec![&d];
+        let (counts, occurrences) = harvest_name(&docs, "Missing");
+        assert_eq!(occurrences, 0);
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn mention_names_counts_surfaces() {
+        let d1 = doc("about Prism today", "Prism");
+        let d2 = doc("about Prism again", "Prism");
+        let docs = vec![&d1, &d2];
+        let names = mention_names(&docs);
+        assert_eq!(names.get("Prism"), Some(&2));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        // A long document: phrases far from the mention are not harvested.
+        let mut text = String::new();
+        for i in 0..200 {
+            text.push_str(&format!("filler{i} "));
+        }
+        text.push_str("unique signal phrase near Snowden");
+        let d = doc(&text, "Snowden");
+        let counts = harvest_window(&d, &d.mentions[0].mention);
+        assert!(counts.keys().any(|p| p.contains("signal")), "{counts:?}");
+        assert!(!counts.keys().any(|p| p.contains("filler0")), "{counts:?}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Emerging-entity discovery measures (§5.7.2).
+//!
+//! Over the mentions of one document, with gold label `None` meaning
+//! "emerging entity" (EE):
+//!
+//! - **EE precision**: of the mentions a method labeled EE, the fraction
+//!   whose gold label is EE.
+//! - **EE recall**: of the gold-EE mentions, the fraction the method
+//!   labeled EE.
+//! - **EE F1**: harmonic mean, computed per document.
+//!
+//! All three are averaged over documents (documents where a value is
+//! undefined — e.g. precision with no EE predictions — are skipped for that
+//! value, matching the macro-averaged reporting of Table 5.3; F1 of a
+//! document with zero precision or recall is 0, which the thesis notes pulls
+//! the average F1 below both averages).
+
+use crate::gold::Label;
+
+/// Per-document EE counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EeCounts {
+    /// Mentions predicted EE whose gold label is EE.
+    pub true_positives: usize,
+    /// Mentions predicted EE whose gold label is an entity.
+    pub false_positives: usize,
+    /// Gold-EE mentions predicted as an entity.
+    pub false_negatives: usize,
+}
+
+impl EeCounts {
+    /// Counts for one document from parallel label slices.
+    pub fn of(gold: &[Label], predicted: &[Label]) -> Self {
+        assert_eq!(gold.len(), predicted.len(), "label slices must be parallel");
+        let mut c = EeCounts::default();
+        for (g, p) in gold.iter().zip(predicted) {
+            match (g.is_none(), p.is_none()) {
+                (true, true) => c.true_positives += 1,
+                (false, true) => c.false_positives += 1,
+                (true, false) => c.false_negatives += 1,
+                (false, false) => {}
+            }
+        }
+        c
+    }
+
+    /// EE precision; `None` when the method predicted no EEs.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.true_positives + self.false_positives;
+        (denom > 0).then(|| self.true_positives as f64 / denom as f64)
+    }
+
+    /// EE recall; `None` when the document has no gold EEs.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.true_positives + self.false_negatives;
+        (denom > 0).then(|| self.true_positives as f64 / denom as f64)
+    }
+
+    /// EE F1; `None` when both precision and recall are undefined.
+    pub fn f1(&self) -> Option<f64> {
+        match (self.precision(), self.recall()) {
+            (None, None) => None,
+            (p, r) => {
+                let p = p.unwrap_or(0.0);
+                let r = r.unwrap_or(0.0);
+                if p + r == 0.0 {
+                    Some(0.0)
+                } else {
+                    Some(2.0 * p * r / (p + r))
+                }
+            }
+        }
+    }
+}
+
+/// Document-averaged EE precision, recall, and F1 (Table 5.3 reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EeAverages {
+    /// Mean per-document EE precision.
+    pub precision: f64,
+    /// Mean per-document EE recall.
+    pub recall: f64,
+    /// Mean per-document EE F1.
+    pub f1: f64,
+}
+
+/// Averages EE measures over documents given as (gold, predicted) pairs.
+pub fn ee_averages<'a, I>(docs: I) -> EeAverages
+where
+    I: IntoIterator<Item = (&'a [Label], &'a [Label])>,
+{
+    let mut p_sum = 0.0;
+    let mut p_n = 0usize;
+    let mut r_sum = 0.0;
+    let mut r_n = 0usize;
+    let mut f_sum = 0.0;
+    let mut f_n = 0usize;
+    for (g, pr) in docs {
+        let c = EeCounts::of(g, pr);
+        if let Some(p) = c.precision() {
+            p_sum += p;
+            p_n += 1;
+        }
+        if let Some(r) = c.recall() {
+            r_sum += r;
+            r_n += 1;
+        }
+        if let Some(f) = c.f1() {
+            f_sum += f;
+            f_n += 1;
+        }
+    }
+    let avg = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+    EeAverages { precision: avg(p_sum, p_n), recall: avg(r_sum, r_n), f1: avg(f_sum, f_n) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_kb::EntityId;
+
+    fn e(i: u32) -> Label {
+        Some(EntityId(i))
+    }
+
+    #[test]
+    fn counts_classify_correctly() {
+        let gold = vec![None, None, e(1), e(2)];
+        let pred = vec![None, e(9), None, e(2)];
+        let c = EeCounts::of(&gold, &pred);
+        assert_eq!(c, EeCounts { true_positives: 1, false_positives: 1, false_negatives: 1 });
+        assert_eq!(c.precision(), Some(0.5));
+        assert_eq!(c.recall(), Some(0.5));
+        assert_eq!(c.f1(), Some(0.5));
+    }
+
+    #[test]
+    fn undefined_precision_when_no_ee_predicted() {
+        let gold = vec![None, e(1)];
+        let pred = vec![e(2), e(1)];
+        let c = EeCounts::of(&gold, &pred);
+        assert_eq!(c.precision(), None);
+        assert_eq!(c.recall(), Some(0.0));
+        assert_eq!(c.f1(), Some(0.0));
+    }
+
+    #[test]
+    fn undefined_recall_when_no_gold_ee() {
+        let gold = vec![e(1), e(2)];
+        let pred = vec![None, e(2)];
+        let c = EeCounts::of(&gold, &pred);
+        assert_eq!(c.precision(), Some(0.0));
+        assert_eq!(c.recall(), None);
+    }
+
+    #[test]
+    fn perfect_discovery() {
+        let gold = vec![None, e(1), None];
+        let pred = vec![None, e(1), None];
+        let c = EeCounts::of(&gold, &pred);
+        assert_eq!(c.f1(), Some(1.0));
+    }
+
+    #[test]
+    fn averaging_skips_undefined_documents() {
+        // Doc A: perfect. Doc B: no gold EE, no predicted EE → all undefined.
+        let ga = vec![None];
+        let pa = vec![None];
+        let gb = vec![e(1)];
+        let pb = vec![e(1)];
+        let docs = [(ga.as_slice(), pa.as_slice()), (gb.as_slice(), pb.as_slice())];
+        let avg = ee_averages(docs.iter().copied());
+        assert_eq!(avg.precision, 1.0);
+        assert_eq!(avg.recall, 1.0);
+        assert_eq!(avg.f1, 1.0);
+    }
+
+    #[test]
+    fn f1_average_can_be_below_both_averages() {
+        // Doc A: P=1, R undefined → F1 = 0 (p defined, r undefined → 0+...).
+        let ga = vec![e(1)];
+        let pa = vec![None]; // FP only: P=0, R undefined, F1 = 0.
+        let gb = vec![None];
+        let pb = vec![None]; // perfect: P=R=F1=1.
+        let docs = [(ga.as_slice(), pa.as_slice()), (gb.as_slice(), pb.as_slice())];
+        let avg = ee_averages(docs.iter().copied());
+        assert!((avg.precision - 0.5).abs() < 1e-12);
+        assert!((avg.recall - 1.0).abs() < 1e-12);
+        assert!((avg.f1 - 0.5).abs() < 1e-12);
+    }
+}

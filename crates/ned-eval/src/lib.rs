@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Evaluation measures and gold-standard types for the AIDA-NED suite.
+//!
+//! Implements the exact measures of the thesis' evaluation chapters:
+//! micro/macro/document accuracy (§3.6.1), interpolated MAP and
+//! precision–recall curves (Eq. 5.1), EE precision/recall/F1 (§5.7.2),
+//! Spearman rank correlation for the relatedness gold standard (§4.5), and
+//! the paired t-test used for the significance claims.
+
+pub mod ee_measures;
+pub mod gold;
+pub mod map;
+pub mod measures;
+pub mod report;
+pub mod spearman;
+pub mod ttest;
+
+pub use gold::{GoldDoc, Label, LabeledMention};
+pub use measures::{document_accuracy, macro_accuracy, micro_accuracy, DocCounts};

@@ -1,0 +1,153 @@
+//! Interpolated mean average precision and precision–recall curves
+//! (Eq. 5.1, used for the confidence-assessor evaluation of §5.7.1).
+//!
+//! Items are (confidence, correct) pairs. Sorting by descending confidence
+//! yields a precision–recall curve; `MAP = (1/m) Σ_{i=1..m} precision@(i/m)`
+//! with interpolated precision (the maximum precision at any recall level
+//! ≥ the requested one), which equals the area under the interpolated curve.
+
+/// One ranked item: the assessor's confidence and whether the underlying
+/// disambiguation was correct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedItem {
+    /// Confidence score (higher = more confident).
+    pub confidence: f64,
+    /// Whether the prediction was correct.
+    pub correct: bool,
+}
+
+/// A point of the precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall level (fraction of items retrieved).
+    pub recall: f64,
+    /// Precision among the retrieved items.
+    pub precision: f64,
+}
+
+/// Raw precision–recall curve: one point per rank position after sorting by
+/// descending confidence (ties broken stably).
+pub fn pr_curve(items: &[RankedItem]) -> Vec<PrPoint> {
+    let mut sorted: Vec<RankedItem> = items.to_vec();
+    sorted.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("confidence not NaN"));
+    let m = sorted.len();
+    let mut correct = 0usize;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            if item.correct {
+                correct += 1;
+            }
+            PrPoint {
+                recall: (i + 1) as f64 / m as f64,
+                precision: correct as f64 / (i + 1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Interpolated MAP (Eq. 5.1): mean over `m` recall levels of the
+/// interpolated precision. Returns 0 for an empty input.
+pub fn interpolated_map(items: &[RankedItem]) -> f64 {
+    let curve = pr_curve(items);
+    if curve.is_empty() {
+        return 0.0;
+    }
+    // Interpolated precision at index i = max precision at positions ≥ i.
+    let mut interp = vec![0.0; curve.len()];
+    let mut best: f64 = 0.0;
+    for i in (0..curve.len()).rev() {
+        best = best.max(curve[i].precision);
+        interp[i] = best;
+    }
+    interp.iter().sum::<f64>() / interp.len() as f64
+}
+
+/// Precision among the items with confidence ≥ `threshold`, plus how many
+/// items that is. Supports the "Prec@95% confidence" rows of Table 5.1.
+pub fn precision_at_confidence(items: &[RankedItem], threshold: f64) -> (f64, usize) {
+    let selected: Vec<&RankedItem> =
+        items.iter().filter(|i| i.confidence >= threshold).collect();
+    if selected.is_empty() {
+        return (0.0, 0);
+    }
+    let correct = selected.iter().filter(|i| i.correct).count();
+    (correct as f64 / selected.len() as f64, selected.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(confidence: f64, correct: bool) -> RankedItem {
+        RankedItem { confidence, correct }
+    }
+
+    #[test]
+    fn perfect_ranking_gives_map_one() {
+        let items = vec![item(0.9, true), item(0.8, true), item(0.7, true)];
+        assert!((interpolated_map(&items) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_wrong_gives_map_zero() {
+        let items = vec![item(0.9, false), item(0.8, false)];
+        assert_eq!(interpolated_map(&items), 0.0);
+    }
+
+    #[test]
+    fn better_ranking_gives_higher_map() {
+        // Same items, confidence either aligned or anti-aligned with truth.
+        let good = vec![item(0.9, true), item(0.8, true), item(0.2, false), item(0.1, false)];
+        let bad = vec![item(0.9, false), item(0.8, false), item(0.2, true), item(0.1, true)];
+        assert!(interpolated_map(&good) > interpolated_map(&bad));
+    }
+
+    #[test]
+    fn pr_curve_shape() {
+        let items = vec![item(0.9, true), item(0.8, false), item(0.7, true)];
+        let curve = pr_curve(&items);
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0].precision - 1.0).abs() < 1e-12);
+        assert!((curve[1].precision - 0.5).abs() < 1e-12);
+        assert!((curve[2].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((curve[2].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_nonincreasing() {
+        let items: Vec<RankedItem> =
+            (0..50).map(|i| item(1.0 - i as f64 / 50.0, i % 3 != 0)).collect();
+        let curve = pr_curve(&items);
+        let mut interp = vec![0.0; curve.len()];
+        let mut best: f64 = 0.0;
+        for i in (0..curve.len()).rev() {
+            best = best.max(curve[i].precision);
+            interp[i] = best;
+        }
+        for w in interp.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn precision_at_confidence_filters() {
+        let items =
+            vec![item(0.99, true), item(0.97, true), item(0.5, false), item(0.4, true)];
+        let (p, n) = precision_at_confidence(&items, 0.95);
+        assert_eq!(n, 2);
+        assert!((p - 1.0).abs() < 1e-12);
+        let (p, n) = precision_at_confidence(&items, 0.0);
+        assert_eq!(n, 4);
+        assert!((p - 0.75).abs() < 1e-12);
+        let (p, n) = precision_at_confidence(&items, 1.1);
+        assert_eq!((p, n), (0.0, 0));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(interpolated_map(&[]), 0.0);
+        assert!(pr_curve(&[]).is_empty());
+    }
+}

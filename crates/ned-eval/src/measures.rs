@@ -1,0 +1,150 @@
+//! Accuracy measures of §3.6.1.
+//!
+//! - **Document accuracy** `DA_d = |G_d ∩ A_d| / |G_d|`: fraction of
+//!   correctly disambiguated gold mentions in one document.
+//! - **Micro average accuracy**: the same fraction over the union of all
+//!   documents' mentions.
+//! - **Macro average accuracy**: mean of the document accuracies.
+//!
+//! Following §3.6.1 ("Mentions with Out-of-Knowledge-Base Entities"), the
+//! Chapter-3 evaluation only counts mentions whose gold label is a known
+//! entity; pass `count_out_of_kb = true` to include OOE-labeled mentions as
+//! an additional class (the Chapter-5 setting).
+
+use crate::gold::Label;
+
+/// Correct/total counts for one document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DocCounts {
+    /// Number of correctly labeled gold mentions.
+    pub correct: usize,
+    /// Number of gold mentions counted.
+    pub total: usize,
+}
+
+impl DocCounts {
+    /// The document accuracy, or `None` for a document with no counted
+    /// mentions.
+    pub fn accuracy(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.correct as f64 / self.total as f64)
+    }
+}
+
+/// Counts correct predictions for one document.
+///
+/// `gold` and `predicted` are parallel label slices. When `count_out_of_kb`
+/// is false, mentions with gold label `None` are skipped entirely.
+pub fn document_counts(gold: &[Label], predicted: &[Label], count_out_of_kb: bool) -> DocCounts {
+    assert_eq!(gold.len(), predicted.len(), "label slices must be parallel");
+    let mut counts = DocCounts::default();
+    for (g, p) in gold.iter().zip(predicted) {
+        if g.is_none() && !count_out_of_kb {
+            continue;
+        }
+        counts.total += 1;
+        if g == p {
+            counts.correct += 1;
+        }
+    }
+    counts
+}
+
+/// Document accuracy `DA_d` (§3.6.1); `None` if nothing was counted.
+pub fn document_accuracy(gold: &[Label], predicted: &[Label], count_out_of_kb: bool) -> Option<f64> {
+    document_counts(gold, predicted, count_out_of_kb).accuracy()
+}
+
+/// Micro average accuracy over a collection of (gold, predicted) documents.
+pub fn micro_accuracy<'a, I>(docs: I, count_out_of_kb: bool) -> f64
+where
+    I: IntoIterator<Item = (&'a [Label], &'a [Label])>,
+{
+    let mut agg = DocCounts::default();
+    for (g, p) in docs {
+        let c = document_counts(g, p, count_out_of_kb);
+        agg.correct += c.correct;
+        agg.total += c.total;
+    }
+    agg.accuracy().unwrap_or(0.0)
+}
+
+/// Macro average accuracy: mean document accuracy, skipping documents with
+/// no counted mentions.
+pub fn macro_accuracy<'a, I>(docs: I, count_out_of_kb: bool) -> f64
+where
+    I: IntoIterator<Item = (&'a [Label], &'a [Label])>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (g, p) in docs {
+        if let Some(acc) = document_accuracy(g, p, count_out_of_kb) {
+            sum += acc;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_kb::EntityId;
+
+    fn e(i: u32) -> Label {
+        Some(EntityId(i))
+    }
+
+    #[test]
+    fn document_accuracy_counts_known_gold_only() {
+        let gold = vec![e(1), e(2), None, e(3)];
+        let pred = vec![e(1), e(9), e(5), e(3)];
+        // In-KB only: 2 of 3 correct.
+        let c = document_counts(&gold, &pred, false);
+        assert_eq!(c, DocCounts { correct: 2, total: 3 });
+        // Counting OOE as a class: the None mention was predicted e(5) → wrong.
+        let c = document_counts(&gold, &pred, true);
+        assert_eq!(c, DocCounts { correct: 2, total: 4 });
+    }
+
+    #[test]
+    fn correct_out_of_kb_prediction_counts_when_enabled() {
+        let gold = vec![None, e(1)];
+        let pred = vec![None, e(1)];
+        assert_eq!(document_accuracy(&gold, &pred, true), Some(1.0));
+    }
+
+    #[test]
+    fn micro_pools_mentions_macro_averages_documents() {
+        // Doc A: 1/1 correct. Doc B: 1/3 correct.
+        let ga = vec![e(1)];
+        let pa = vec![e(1)];
+        let gb = vec![e(1), e(2), e(3)];
+        let pb = vec![e(1), e(9), e(9)];
+        let docs = || {
+            vec![(ga.as_slice(), pa.as_slice()), (gb.as_slice(), pb.as_slice())].into_iter()
+        };
+        let micro = micro_accuracy(docs(), false);
+        let macro_ = macro_accuracy(docs(), false);
+        assert!((micro - 2.0 / 4.0).abs() < 1e-12);
+        assert!((macro_ - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_documents_are_skipped() {
+        let gold: Vec<Label> = vec![None];
+        let pred: Vec<Label> = vec![e(1)];
+        assert_eq!(document_accuracy(&gold, &pred, false), None);
+        let docs = [(gold.as_slice(), pred.as_slice())];
+        assert_eq!(macro_accuracy(docs.iter().copied(), false), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        document_counts(&[None], &[], false);
+    }
+}

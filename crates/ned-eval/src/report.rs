@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every experiment binary prints its results in the same aligned format so
+//! `EXPERIMENTS.md` can record them verbatim.
+
+use std::fmt::Write as _;
+
+/// An aligned plain-text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals ("82.63%").
+pub fn pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn num(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Method", "MacA", "MicA"]);
+        t.add_row(vec!["r-prior sim-k r-coh".into(), pct(0.8263), pct(0.8203)]);
+        t.add_row(vec!["Kul CI".into(), pct(0.7674), pct(0.7287)]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("82.63%"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn pct_and_num_formatting() {
+        assert_eq!(pct(0.5), "50.00%");
+        assert_eq!(pct(1.0), "100.00%");
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(-0.5, 1), "-0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("Empty", &["col"]);
+        let s = t.render();
+        assert!(s.contains("col"));
+        assert_eq!(t.row_count(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Spearman rank correlation with tie handling (used to score relatedness
+//! measures against the gold ranking, Table 4.2).
+
+/// Assigns average ranks (1-based) to `values`, larger value = better rank 1.
+/// Ties receive the mean of the ranks they span.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("values must not be NaN"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient of two parallel score lists,
+/// computed as the Pearson correlation of their average ranks (the
+/// tie-correct formulation). Returns 0 for degenerate inputs (length < 2 or
+/// zero variance).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score lists must be parallel");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    pearson(&average_ranks(a), &average_ranks(b))
+}
+
+/// Pearson correlation of two parallel lists; 0 when either has zero
+/// variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score lists must be parallel");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a * var_b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_correlate_perfectly() {
+        let a = [3.0, 1.0, 4.0, 1.5, 5.0];
+        assert!((spearman(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_rankings_correlate_negatively() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_transform_preserves_spearman() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let ranks = average_ranks(&[5.0, 5.0, 3.0]);
+        // Two items tied for ranks 1 and 2 → both get 1.5; last gets 3.
+        assert_eq!(ranks, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 1.0, 4.0, 3.0];
+        let rho = spearman(&a, &b);
+        assert!(rho.abs() < 0.7, "{rho}");
+    }
+
+    #[test]
+    fn constant_list_gives_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn known_value_with_displacement() {
+        // Classic 6·Σd²/(n(n²−1)) check (no ties): one swap in 5 items.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 1.0, 3.0, 4.0, 5.0];
+        // d² sum = 1 + 1 = 2 → ρ = 1 − 12/(5·24) = 0.9.
+        assert!((spearman(&a, &b) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        spearman(&[1.0], &[]);
+    }
+}

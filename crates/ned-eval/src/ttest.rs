@@ -1,0 +1,210 @@
+//! Paired two-sided Student t-test (used for the significance statements of
+//! §3.6.2 and §4.6.2).
+//!
+//! The p-value is computed exactly from the regularized incomplete beta
+//! function: for `t` with `ν` degrees of freedom,
+//! `p = I_{ν/(ν+t²)}(ν/2, 1/2)`.
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic (positive when the first sample's mean is larger).
+    pub t: f64,
+    /// Degrees of freedom (n − 1).
+    pub df: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the paired differences.
+    pub mean_difference: f64,
+}
+
+/// Runs a paired two-sided t-test on parallel samples.
+///
+/// Returns `None` for fewer than two pairs or when all differences are zero
+/// (the test is then undefined / trivially non-significant).
+pub fn paired_ttest(a: &[f64], b: &[f64]) -> Option<TTest> {
+    assert_eq!(a.len(), b.len(), "samples must be paired");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    if var == 0.0 {
+        return None;
+    }
+    let t = mean / (var / n as f64).sqrt();
+    let df = n - 1;
+    let p = student_t_two_sided_p(t, df);
+    Some(TTest { t, df, p_value: p, mean_difference: mean })
+}
+
+/// Two-sided p-value of the Student t distribution.
+pub fn student_t_two_sided_p(t: f64, df: usize) -> f64 {
+    let v = df as f64;
+    let x = v / (v + t * t);
+    regularized_incomplete_beta(v / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes `betai`).
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform distribution).
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_distribution_known_quantiles() {
+        // For df=10, t=2.228 is the 97.5th percentile → two-sided p ≈ 0.05.
+        let p = student_t_two_sided_p(2.228, 10);
+        assert!((p - 0.05).abs() < 0.002, "{p}");
+        // t=0 → p = 1.
+        assert!((student_t_two_sided_p(0.0, 5) - 1.0).abs() < 1e-10);
+        // Large t → p near 0.
+        assert!(student_t_two_sided_p(50.0, 30) < 1e-10);
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a = [0.82, 0.83, 0.81, 0.84, 0.82, 0.83, 0.85, 0.82];
+        let b = [0.76, 0.77, 0.75, 0.78, 0.76, 0.77, 0.78, 0.76];
+        let r = paired_ttest(&a, &b).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert!(r.t > 0.0);
+        assert!(r.mean_difference > 0.0);
+    }
+
+    #[test]
+    fn noisy_equal_samples_are_not_significant() {
+        let a = [0.5, 0.7, 0.3, 0.6, 0.4, 0.55];
+        let b = [0.52, 0.66, 0.33, 0.58, 0.41, 0.53];
+        let r = paired_ttest(&a, &b).unwrap();
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(paired_ttest(&[1.0], &[2.0]).is_none());
+        assert!(paired_ttest(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn symmetry_of_two_sided_test() {
+        let p_pos = student_t_two_sided_p(1.7, 12);
+        let p_neg = student_t_two_sided_p(-1.7, 12);
+        assert!((p_pos - p_neg).abs() < 1e-12);
+    }
+}

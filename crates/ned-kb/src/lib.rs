@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Knowledge-base substrate for the AIDA-NED suite.
+//!
+//! The thesis layers everything on a YAGO-style knowledge base derived from
+//! Wikipedia (§2.3): an entity repository, a name dictionary built from
+//! titles/redirects/disambiguation pages/link anchors, the inter-entity link
+//! graph, and per-entity descriptive keyphrases mined from articles. This
+//! crate implements that substrate from scratch with the exact statistical
+//! weighting schemes of the paper:
+//!
+//! - keyword/keyphrase IDF (Eq. 3.5),
+//! - entity–keyword NPMI over the "superdocument" model (Eqs. 3.1–3.3),
+//! - entity–keyphrase normalized mutual information µ (Eq. 4.1).
+//!
+//! The central type is [`KnowledgeBase`], constructed via [`KbBuilder`].
+
+pub mod builder;
+pub mod dictionary;
+pub mod entity;
+pub mod fx;
+pub mod ids;
+pub mod keyphrase;
+pub mod links;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+pub mod taxonomy;
+pub mod vocab;
+pub mod weights;
+
+pub use builder::KbBuilder;
+pub use entity::{Entity, EntityKind};
+pub use ids::{EntityId, NameId, PhraseId, WordId};
+pub use store::KnowledgeBase;
+pub use taxonomy::{Taxonomy, TypeId};
+pub use weights::WeightModel;

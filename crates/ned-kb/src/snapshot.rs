@@ -1,0 +1,754 @@
+//! Compact binary snapshots of a [`KnowledgeBase`].
+//!
+//! A hand-rolled, versioned binary codec over the serde data model is
+//! overkill here; instead we use a simple length-prefixed encoding written
+//! through a minimal serializer implemented in this module. The format is
+//! deliberately tiny: it only needs to round-trip the concrete types of this
+//! crate, keeping the workspace inside its approved dependency set (serde
+//! without a third-party format crate).
+
+use std::io::{self, Read, Write};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::store::KnowledgeBase;
+
+mod codec {
+    //! A minimal self-describing binary serde format (subset sufficient for
+    //! the plain-data types of this workspace: structs, vecs, maps, strings,
+    //! integers, floats, options, enums with unit/newtype variants).
+
+    use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+    use serde::ser::{self, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple};
+    use serde::{Deserialize, Serialize};
+    use std::fmt;
+
+    /// Serialization/deserialization error.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "codec error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl de::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    /// Serializes a value to bytes.
+    pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+        let mut ser = Ser { out: Vec::new() };
+        value.serialize(&mut ser)?;
+        Ok(ser.out)
+    }
+
+    /// Deserializes a value from bytes.
+    pub fn from_bytes<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+        let mut de = De { input: bytes };
+        let v = T::deserialize(&mut de)?;
+        if !de.input.is_empty() {
+            return Err(Error(format!("{} trailing bytes", de.input.len())));
+        }
+        Ok(v)
+    }
+
+    struct Ser {
+        out: Vec<u8>,
+    }
+
+    impl Ser {
+        fn put_u64(&mut self, v: u64) {
+            // LEB128 variable-length encoding.
+            let mut v = v;
+            loop {
+                let byte = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    self.out.push(byte);
+                    break;
+                }
+                self.out.push(byte | 0x80);
+            }
+        }
+    }
+
+    impl ser::Serializer for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push(v as u8);
+            Ok(())
+        }
+        fn serialize_i8(self, v: i8) -> Result<(), Error> {
+            self.serialize_i64(v.into())
+        }
+        fn serialize_i16(self, v: i16) -> Result<(), Error> {
+            self.serialize_i64(v.into())
+        }
+        fn serialize_i32(self, v: i32) -> Result<(), Error> {
+            self.serialize_i64(v.into())
+        }
+        fn serialize_i64(self, v: i64) -> Result<(), Error> {
+            // ZigZag encoding.
+            self.put_u64(((v << 1) ^ (v >> 63)) as u64);
+            Ok(())
+        }
+        fn serialize_u8(self, v: u8) -> Result<(), Error> {
+            self.put_u64(v.into());
+            Ok(())
+        }
+        fn serialize_u16(self, v: u16) -> Result<(), Error> {
+            self.put_u64(v.into());
+            Ok(())
+        }
+        fn serialize_u32(self, v: u32) -> Result<(), Error> {
+            self.put_u64(v.into());
+            Ok(())
+        }
+        fn serialize_u64(self, v: u64) -> Result<(), Error> {
+            self.put_u64(v);
+            Ok(())
+        }
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            self.put_u64(v as u64);
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            self.put_u64(v.len() as u64);
+            self.out.extend_from_slice(v.as_bytes());
+            Ok(())
+        }
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+            self.put_u64(v.len() as u64);
+            self.out.extend_from_slice(v);
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push(0);
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+            self.out.push(1);
+            value.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            variant_index: u32,
+            _variant: &'static str,
+        ) -> Result<(), Error> {
+            self.put_u64(variant_index.into());
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: ?Sized + Serialize>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + Serialize>(
+            self,
+            _name: &'static str,
+            variant_index: u32,
+            _variant: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            self.put_u64(variant_index.into());
+            value.serialize(self)
+        }
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self, Error> {
+            let len = len.ok_or_else(|| Error("sequence length required".into()))?;
+            self.put_u64(len as u64);
+            Ok(self)
+        }
+        fn serialize_tuple(self, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _name: &'static str,
+            variant_index: u32,
+            _variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Error> {
+            self.put_u64(variant_index.into());
+            Ok(self)
+        }
+        fn serialize_map(self, len: Option<usize>) -> Result<Self, Error> {
+            let len = len.ok_or_else(|| Error("map length required".into()))?;
+            self.put_u64(len as u64);
+            Ok(self)
+        }
+        fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _name: &'static str,
+            variant_index: u32,
+            _variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Error> {
+            self.put_u64(variant_index.into());
+            Ok(self)
+        }
+    }
+
+    impl SerializeSeq for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    impl SerializeTuple for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeTupleStruct for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeTupleVariant for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    impl SerializeMap for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+            key.serialize(&mut **self)
+        }
+        fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    impl SerializeStruct for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            _key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn skip_field(&mut self, _key: &'static str) -> Result<(), Error> {
+            Ok(())
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStructVariant for &mut Ser {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            _key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    struct De<'de> {
+        input: &'de [u8],
+    }
+
+    impl<'de> De<'de> {
+        fn take(&mut self, n: usize) -> Result<&'de [u8], Error> {
+            if self.input.len() < n {
+                return Err(Error("unexpected end of input".into()));
+            }
+            let (head, tail) = self.input.split_at(n);
+            self.input = tail;
+            Ok(head)
+        }
+
+        fn get_u64(&mut self) -> Result<u64, Error> {
+            let mut v = 0u64;
+            let mut shift = 0;
+            loop {
+                let byte = self.take(1)?[0];
+                v |= u64::from(byte & 0x7f) << shift;
+                if byte & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+                if shift >= 64 {
+                    return Err(Error("varint overflow".into()));
+                }
+            }
+        }
+
+        fn get_i64(&mut self) -> Result<i64, Error> {
+            let z = self.get_u64()?;
+            Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+        }
+    }
+
+    macro_rules! de_uint {
+        ($method:ident, $visit:ident, $ty:ty) => {
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+                let v = self.get_u64()?;
+                visitor.$visit(<$ty>::try_from(v).map_err(|_| Error("int out of range".into()))?)
+            }
+        };
+    }
+
+    macro_rules! de_int {
+        ($method:ident, $visit:ident, $ty:ty) => {
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+                let v = self.get_i64()?;
+                visitor.$visit(<$ty>::try_from(v).map_err(|_| Error("int out of range".into()))?)
+            }
+        };
+    }
+
+    impl<'de> de::Deserializer<'de> for &mut De<'de> {
+        type Error = Error;
+
+        fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+            Err(Error("format is not self-describing".into()))
+        }
+
+        fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            visitor.visit_bool(self.take(1)?[0] != 0)
+        }
+
+        de_int!(deserialize_i8, visit_i8, i8);
+        de_int!(deserialize_i16, visit_i16, i16);
+        de_int!(deserialize_i32, visit_i32, i32);
+
+        fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let v = self.get_i64()?;
+            visitor.visit_i64(v)
+        }
+
+        de_uint!(deserialize_u8, visit_u8, u8);
+        de_uint!(deserialize_u16, visit_u16, u16);
+        de_uint!(deserialize_u32, visit_u32, u32);
+
+        fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let v = self.get_u64()?;
+            visitor.visit_u64(v)
+        }
+
+        fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let b = self.take(4)?;
+            visitor.visit_f32(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+        }
+
+        fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let b = self.take(8)?;
+            visitor.visit_f64(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+
+        fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let v = u32::try_from(self.get_u64()?).map_err(|_| Error("bad char".into()))?;
+            visitor.visit_char(char::from_u32(v).ok_or_else(|| Error("bad char".into()))?)
+        }
+
+        fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let len = self.get_u64()? as usize;
+            let bytes = self.take(len)?;
+            visitor.visit_borrowed_str(
+                std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?,
+            )
+        }
+
+        fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            self.deserialize_str(visitor)
+        }
+
+        fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let len = self.get_u64()? as usize;
+            visitor.visit_borrowed_bytes(self.take(len)?)
+        }
+
+        fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            self.deserialize_bytes(visitor)
+        }
+
+        fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            if self.take(1)?[0] == 0 {
+                visitor.visit_none()
+            } else {
+                visitor.visit_some(self)
+            }
+        }
+
+        fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            visitor.visit_unit()
+        }
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_unit()
+        }
+
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_newtype_struct(self)
+        }
+
+        fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let len = self.get_u64()? as usize;
+            visitor.visit_seq(Counted { de: self, remaining: len })
+        }
+
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_seq(Counted { de: self, remaining: len })
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            self.deserialize_tuple(len, visitor)
+        }
+
+        fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let len = self.get_u64()? as usize;
+            visitor.visit_map(Counted { de: self, remaining: len })
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_seq(Counted { de: self, remaining: fields.len() })
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_enum(EnumAccess { de: self })
+        }
+
+        fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+            Err(Error("identifiers are not encoded".into()))
+        }
+
+        fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+            Err(Error("cannot skip values in non-self-describing format".into()))
+        }
+    }
+
+    struct Counted<'a, 'de> {
+        de: &'a mut De<'de>,
+        remaining: usize,
+    }
+
+    impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+        type Error = Error;
+        fn next_element_seed<T: DeserializeSeed<'de>>(
+            &mut self,
+            seed: T,
+        ) -> Result<Option<T::Value>, Error> {
+            if self.remaining == 0 {
+                return Ok(None);
+            }
+            self.remaining -= 1;
+            seed.deserialize(&mut *self.de).map(Some)
+        }
+        fn size_hint(&self) -> Option<usize> {
+            Some(self.remaining)
+        }
+    }
+
+    impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+        type Error = Error;
+        fn next_key_seed<K: DeserializeSeed<'de>>(
+            &mut self,
+            seed: K,
+        ) -> Result<Option<K::Value>, Error> {
+            if self.remaining == 0 {
+                return Ok(None);
+            }
+            self.remaining -= 1;
+            seed.deserialize(&mut *self.de).map(Some)
+        }
+        fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Error> {
+            seed.deserialize(&mut *self.de)
+        }
+        fn size_hint(&self) -> Option<usize> {
+            Some(self.remaining)
+        }
+    }
+
+    struct EnumAccess<'a, 'de> {
+        de: &'a mut De<'de>,
+    }
+
+    impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+        type Error = Error;
+        type Variant = &'a mut De<'de>;
+        fn variant_seed<V: DeserializeSeed<'de>>(
+            self,
+            seed: V,
+        ) -> Result<(V::Value, Self::Variant), Error> {
+            let idx = u32::try_from(self.de.get_u64()?).map_err(|_| Error("bad variant".into()))?;
+            let val = seed.deserialize(idx.into_deserializer())?;
+            Ok((val, self.de))
+        }
+    }
+
+    impl<'de> de::VariantAccess<'de> for &mut De<'de> {
+        type Error = Error;
+        fn unit_variant(self) -> Result<(), Error> {
+            Ok(())
+        }
+        fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+            seed.deserialize(self)
+        }
+        fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+            de::Deserializer::deserialize_tuple(self, len, visitor)
+        }
+        fn struct_variant<V: Visitor<'de>>(
+            self,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            de::Deserializer::deserialize_tuple(self, fields.len(), visitor)
+        }
+    }
+}
+
+pub use codec::Error as CodecError;
+
+/// Magic header identifying a knowledge-base snapshot.
+const MAGIC: &[u8; 8] = b"AIDAKB01";
+
+/// Serializes any serde value to the crate's binary format.
+pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+    codec::to_bytes(value)
+}
+
+/// Deserializes a value from the crate's binary format.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    codec::from_bytes(bytes)
+}
+
+/// Writes a knowledge-base snapshot (magic header + encoded body).
+pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> io::Result<()> {
+    let body = encode(kb).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(body.len() as u64).to_le_bytes())?;
+    writer.write_all(&body)
+}
+
+/// Reads a knowledge-base snapshot and rebuilds transient indexes.
+pub fn read_snapshot<R: Read>(mut reader: R) -> io::Result<KnowledgeBase> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a knowledge-base snapshot"));
+    }
+    let mut len_bytes = [0u8; 8];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes);
+    // Read through `take` instead of preallocating `len` bytes: a corrupted
+    // header must not trigger a huge allocation.
+    let mut body = Vec::new();
+    reader.by_ref().take(len).read_to_end(&mut body)?;
+    if body.len() as u64 != len {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated snapshot body"));
+    }
+    let mut kb: KnowledgeBase =
+        decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    kb.rebuild_indexes();
+    Ok(kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityKind;
+    use crate::KbBuilder;
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let a = b.add_entity("Alpha Band", EntityKind::Organization);
+        let c = b.add_entity("Alpha City", EntityKind::Location);
+        b.add_name(a, "Alpha", 10);
+        b.add_name(c, "Alpha", 90);
+        b.add_keyphrase(a, "rock band", 3);
+        b.add_keyphrase(c, "coastal city", 2);
+        b.add_link(a, c);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_kb() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        let kb2 = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(kb2.entity_count(), kb.entity_count());
+        let a = kb2.entity_by_name("Alpha Band").unwrap();
+        assert_eq!(kb2.entity(a).canonical_name, "Alpha Band");
+        assert_eq!(kb2.candidates("Alpha").len(), 2);
+        assert_eq!(kb2.keyphrases(a).len(), 1);
+        // Weight model round-trips numerically.
+        let w = kb2.word_id("rock").unwrap();
+        assert_eq!(kb2.weights().keyword_npmi(a, w), kb.weights().keyword_npmi(a, w));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_snapshot(&b"NOTAKB00rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn codec_roundtrips_basic_types() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct S {
+            a: u32,
+            b: String,
+            c: Vec<(i64, f64)>,
+            d: Option<bool>,
+            e: std::collections::HashMap<String, u8>,
+        }
+        let mut e = std::collections::HashMap::new();
+        e.insert("k".to_string(), 7u8);
+        let s = S {
+            a: 42,
+            b: "hello".into(),
+            c: vec![(-5, 1.5), (i64::MAX, -0.0)],
+            d: Some(true),
+            e,
+        };
+        let bytes = encode(&s).unwrap();
+        let s2: S = decode(&bytes).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn codec_rejects_trailing_bytes() {
+        let bytes = encode(&7u32).unwrap();
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode::<u32>(&longer).is_err());
+        assert_eq!(decode::<u32>(&bytes).unwrap(), 7);
+    }
+
+    #[test]
+    fn corrupted_snapshots_error_instead_of_panicking() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        // Truncations at every prefix length must error cleanly.
+        for cut in [0, 4, 8, 16, buf.len() / 2, buf.len() - 1] {
+            assert!(read_snapshot(&buf[..cut]).is_err(), "cut at {cut} did not error");
+        }
+        // A corrupted length header must not allocate terabytes.
+        let mut huge = buf.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_snapshot(huge.as_slice()).is_err());
+        // Single-byte corruptions must never panic (they may still decode by
+        // luck; errors are the common case).
+        for pos in (16..buf.len()).step_by(97) {
+            let mut corrupted = buf.clone();
+            corrupted[pos] ^= 0xff;
+            let _ = read_snapshot(corrupted.as_slice());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncated_input() {
+        let bytes = encode(&"a longer string".to_string()).unwrap();
+        assert!(decode::<String>(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! A YAGO-style type taxonomy (§2.3.3).
+//!
+//! YAGO's key design choice is a clean separation between individual
+//! entities and *classes*, with a WordNet-like taxonomic backbone: every
+//! entity is an instance of one or more types, and types form a
+//! subclass-of DAG ("songwriters are musicians, musicians are humans").
+//! The taxonomy powers named-entity classification (§2.4.4) and type-aware
+//! retrieval ("cats" in the Chapter-6 search application).
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::EntityKind;
+use crate::fx::FxHashMap;
+use crate::ids::EntityId;
+
+/// Identifier of a type (class) in the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The type taxonomy: a DAG of classes plus entity → type assignments.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Taxonomy {
+    names: Vec<String>,
+    /// Direct super-types per type.
+    supertypes: Vec<Vec<TypeId>>,
+    /// Direct types per entity (indexed by entity id).
+    entity_types: Vec<Vec<TypeId>>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, TypeId>,
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy covering `n_entities` entities.
+    pub fn new(n_entities: usize) -> Self {
+        Taxonomy {
+            names: Vec::new(),
+            supertypes: Vec::new(),
+            entity_types: vec![Vec::new(); n_entities],
+            by_name: FxHashMap::default(),
+        }
+    }
+
+    /// Registers (or returns) a type by name.
+    pub fn add_type(&mut self, name: &str) -> TypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TypeId(u32::try_from(self.names.len()).expect("type id overflow"));
+        self.names.push(name.to_string());
+        self.supertypes.push(Vec::new());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares `sub` a subclass of `sup`.
+    ///
+    /// # Panics
+    /// Panics if the edge would create a cycle (the taxonomy is a DAG).
+    pub fn add_subclass(&mut self, sub: TypeId, sup: TypeId) {
+        assert!(sub != sup, "a type cannot subclass itself");
+        assert!(
+            !self.is_subtype_of(sup, sub),
+            "subclass edge {} → {} would create a cycle",
+            self.name(sub),
+            self.name(sup)
+        );
+        if !self.supertypes[sub.index()].contains(&sup) {
+            self.supertypes[sub.index()].push(sup);
+        }
+    }
+
+    /// Assigns a (direct) type to an entity.
+    pub fn assign(&mut self, entity: EntityId, ty: TypeId) {
+        let slot = &mut self.entity_types[entity.index()];
+        if !slot.contains(&ty) {
+            slot.push(ty);
+        }
+    }
+
+    /// Type name.
+    pub fn name(&self, ty: TypeId) -> &str {
+        &self.names[ty.index()]
+    }
+
+    /// Looks up a type by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of types.
+    pub fn type_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Direct types of an entity.
+    pub fn direct_types(&self, entity: EntityId) -> &[TypeId] {
+        &self.entity_types[entity.index()]
+    }
+
+    /// All types of an entity, including transitive super-types, sorted.
+    pub fn all_types(&self, entity: EntityId) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<TypeId> = self.direct_types(entity).to_vec();
+        while let Some(t) = stack.pop() {
+            if out.contains(&t) {
+                continue;
+            }
+            out.push(t);
+            stack.extend(self.supertypes[t.index()].iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// True when `sub` is (transitively) a subtype of `sup`, or equal.
+    pub fn is_subtype_of(&self, sub: TypeId, sup: TypeId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        let mut seen = vec![false; self.names.len()];
+        while let Some(t) = stack.pop() {
+            if t == sup {
+                return true;
+            }
+            if std::mem::replace(&mut seen[t.index()], true) {
+                continue;
+            }
+            stack.extend(self.supertypes[t.index()].iter().copied());
+        }
+        false
+    }
+
+    /// True when the entity is an instance of `ty` (directly or through the
+    /// hierarchy).
+    pub fn is_instance_of(&self, entity: EntityId, ty: TypeId) -> bool {
+        self.direct_types(entity).iter().any(|&t| self.is_subtype_of(t, ty))
+    }
+
+    /// Rebuilds the name index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TypeId(i as u32)))
+            .collect();
+    }
+
+    /// Builds the canonical coarse taxonomy over the [`EntityKind`]s of a
+    /// repository: `entity` at the root, one class per kind beneath it.
+    pub fn coarse_from_kinds<'a>(
+        kinds: impl IntoIterator<Item = (EntityId, &'a EntityKind)>,
+        n_entities: usize,
+    ) -> Self {
+        let mut tax = Taxonomy::new(n_entities);
+        let root = tax.add_type("entity");
+        let mut kind_types: FxHashMap<EntityKind, TypeId> = FxHashMap::default();
+        for kind in EntityKind::ALL {
+            let ty = tax.add_type(kind_name(kind));
+            tax.add_subclass(ty, root);
+            kind_types.insert(kind, ty);
+        }
+        for (e, kind) in kinds {
+            tax.assign(e, kind_types[kind]);
+        }
+        tax
+    }
+}
+
+/// Canonical class name of a coarse kind.
+pub fn kind_name(kind: EntityKind) -> &'static str {
+    match kind {
+        EntityKind::Person => "person",
+        EntityKind::Organization => "organization",
+        EntityKind::Location => "location",
+        EntityKind::Work => "work",
+        EntityKind::Event => "event",
+        EntityKind::Other => "artifact",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn music_taxonomy() -> (Taxonomy, TypeId, TypeId, TypeId, TypeId) {
+        let mut t = Taxonomy::new(3);
+        let person = t.add_type("person");
+        let musician = t.add_type("musician");
+        let songwriter = t.add_type("songwriter");
+        let city = t.add_type("city");
+        t.add_subclass(musician, person);
+        t.add_subclass(songwriter, musician);
+        (t, person, musician, songwriter, city)
+    }
+
+    #[test]
+    fn subtype_transitivity() {
+        let (t, person, musician, songwriter, city) = music_taxonomy();
+        assert!(t.is_subtype_of(songwriter, person));
+        assert!(t.is_subtype_of(songwriter, musician));
+        assert!(t.is_subtype_of(musician, person));
+        assert!(!t.is_subtype_of(person, songwriter));
+        assert!(!t.is_subtype_of(city, person));
+        assert!(t.is_subtype_of(city, city));
+    }
+
+    #[test]
+    fn entity_instances_respect_hierarchy() {
+        let (mut t, person, _musician, songwriter, city) = music_taxonomy();
+        let dylan = EntityId(0);
+        let duluth = EntityId(1);
+        t.assign(dylan, songwriter);
+        t.assign(duluth, city);
+        assert!(t.is_instance_of(dylan, person));
+        assert!(t.is_instance_of(dylan, songwriter));
+        assert!(!t.is_instance_of(duluth, person));
+        // all_types includes the full chain.
+        let all = t.all_types(dylan);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn add_type_is_idempotent() {
+        let mut t = Taxonomy::new(0);
+        let a = t.add_type("person");
+        let b = t.add_type("person");
+        assert_eq!(a, b);
+        assert_eq!(t.type_count(), 1);
+        assert_eq!(t.type_by_name("person"), Some(a));
+        assert_eq!(t.type_by_name("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_rejected() {
+        let mut t = Taxonomy::new(0);
+        let a = t.add_type("a");
+        let b = t.add_type("b");
+        t.add_subclass(a, b);
+        t.add_subclass(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "subclass itself")]
+    fn self_subclass_rejected() {
+        let mut t = Taxonomy::new(0);
+        let a = t.add_type("a");
+        t.add_subclass(a, a);
+    }
+
+    #[test]
+    fn coarse_taxonomy_from_kinds() {
+        let kinds = [EntityKind::Person, EntityKind::Location];
+        let pairs: Vec<(EntityId, &EntityKind)> =
+            kinds.iter().enumerate().map(|(i, k)| (EntityId(i as u32), k)).collect();
+        let t = Taxonomy::coarse_from_kinds(pairs, 2);
+        let root = t.type_by_name("entity").unwrap();
+        let person = t.type_by_name("person").unwrap();
+        assert!(t.is_instance_of(EntityId(0), person));
+        assert!(t.is_instance_of(EntityId(0), root));
+        assert!(t.is_instance_of(EntityId(1), root));
+        assert!(!t.is_instance_of(EntityId(1), person));
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let (mut t, person, ..) = music_taxonomy();
+        t.by_name.clear();
+        assert_eq!(t.type_by_name("person"), None);
+        t.rebuild_index();
+        assert_eq!(t.type_by_name("person"), Some(person));
+    }
+}

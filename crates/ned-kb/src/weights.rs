@@ -1,0 +1,384 @@
+//! Statistical keyterm weighting (Eqs. 3.1–3.5 and 4.1).
+//!
+//! Three weight families drive the similarity and relatedness measures:
+//!
+//! - **IDF** (Eq. 3.5): `idf(k) = log2(N / df(k))`, where for keyphrases
+//!   `df` counts entities with the phrase in their keyphrase set and for
+//!   keywords it counts entities with at least one keyphrase containing the
+//!   token.
+//! - **Entity–keyword NPMI** (Eqs. 3.1–3.3): occurrence is defined on the
+//!   entity's *superdocument* — its own keyphrases plus the keyphrases of all
+//!   entities linking to it. Under this model an entity occurs exactly once,
+//!   so for a keyword `w` present in the superdocument of `e`,
+//!   `npmi(e, w) = 1 − ln df_super(w) / ln N`; non-positive weights are
+//!   discarded (§3.3.4).
+//! - **Entity–keyphrase µ-MI** (Eq. 4.1): normalized mutual information
+//!   `µ(E,T) = 2·(H(E) + H(T) − H(E,T)) / (H(E) + H(T))` over the binary
+//!   occurrence variables of the same superdocument model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fx::FxHashSet;
+use crate::ids::{EntityId, PhraseId, WordId};
+use crate::keyphrase::KeyphraseStore;
+use crate::links::LinkGraph;
+use crate::vocab::PhraseInterner;
+
+/// Precomputed weights for all entity–keyterm pairs in the knowledge base.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct WeightModel {
+    n_entities: usize,
+    /// Keyword IDF, indexed by `WordId`.
+    word_idf: Vec<f64>,
+    /// Keyphrase IDF, indexed by `PhraseId`.
+    phrase_idf: Vec<f64>,
+    /// Superdocument document frequency per keyword.
+    word_super_df: Vec<u32>,
+    /// Superdocument document frequency per keyphrase.
+    phrase_super_df: Vec<u32>,
+    /// Per entity: (word, npmi) for distinct words of its own keyphrases,
+    /// sorted by word id; only strictly positive weights are kept.
+    entity_word_npmi: Vec<Vec<(WordId, f64)>>,
+    /// Per entity: (phrase, µ) for its own keyphrases, sorted by phrase id.
+    entity_phrase_mi: Vec<Vec<(PhraseId, f64)>>,
+}
+
+impl WeightModel {
+    /// Computes all weights from the keyphrase store and link graph.
+    ///
+    /// Cost is `O(Σ_e |superdoc(e)|)` time with transient per-entity hash
+    /// sets; nothing quadratic in the number of entities.
+    pub fn compute(
+        keyphrases: &KeyphraseStore,
+        links: &LinkGraph,
+        phrases: &PhraseInterner,
+        n_words: usize,
+    ) -> Self {
+        let n = keyphrases.len();
+        let n_phrases = phrases.len();
+
+        // Pass 1: direct document frequencies for IDF.
+        let mut word_df = vec![0u32; n_words];
+        let mut phrase_df = vec![0u32; n_phrases];
+        let mut word_set: FxHashSet<WordId> = FxHashSet::default();
+        for ei in 0..n {
+            let e = EntityId::from_index(ei);
+            word_set.clear();
+            for ep in keyphrases.phrases(e) {
+                phrase_df[ep.phrase.index()] += 1;
+                for &w in phrases.words(ep.phrase) {
+                    word_set.insert(w);
+                }
+            }
+            for &w in &word_set {
+                word_df[w.index()] += 1;
+            }
+        }
+
+        // Pass 2: superdocument document frequencies.
+        let mut word_super_df = vec![0u32; n_words];
+        let mut phrase_super_df = vec![0u32; n_phrases];
+        let mut phrase_set: FxHashSet<PhraseId> = FxHashSet::default();
+        for ei in 0..n {
+            let e = EntityId::from_index(ei);
+            word_set.clear();
+            phrase_set.clear();
+            collect_superdoc(e, keyphrases, links, phrases, &mut word_set, &mut phrase_set);
+            for &w in &word_set {
+                word_super_df[w.index()] += 1;
+            }
+            for &p in &phrase_set {
+                phrase_super_df[p.index()] += 1;
+            }
+        }
+
+        let idf = |df: u32| -> f64 {
+            if df == 0 || n == 0 {
+                0.0
+            } else {
+                (n as f64 / df as f64).log2()
+            }
+        };
+        let word_idf: Vec<f64> = word_df.iter().map(|&d| idf(d)).collect();
+        let phrase_idf: Vec<f64> = phrase_df.iter().map(|&d| idf(d)).collect();
+
+        // Pass 3: per-entity NPMI (keywords) and µ (keyphrases) over own
+        // keyphrase terms. Own terms are always in the superdocument.
+        let ln_n = (n as f64).ln();
+        let mut entity_word_npmi = Vec::with_capacity(n);
+        let mut entity_phrase_mi = Vec::with_capacity(n);
+        for ei in 0..n {
+            let e = EntityId::from_index(ei);
+            word_set.clear();
+            for ep in keyphrases.phrases(e) {
+                for &w in phrases.words(ep.phrase) {
+                    word_set.insert(w);
+                }
+            }
+            let mut word_row: Vec<(WordId, f64)> = word_set
+                .iter()
+                .filter_map(|&w| {
+                    let npmi = npmi_present(word_super_df[w.index()], n, ln_n);
+                    (npmi > 0.0).then_some((w, npmi))
+                })
+                .collect();
+            word_row.sort_unstable_by_key(|&(w, _)| w);
+            entity_word_npmi.push(word_row);
+
+            let mut phrase_row: Vec<(PhraseId, f64)> = keyphrases
+                .phrases(e)
+                .iter()
+                .map(|ep| (ep.phrase, mu_present(phrase_super_df[ep.phrase.index()], n)))
+                .collect();
+            phrase_row.sort_unstable_by_key(|&(p, _)| p);
+            entity_phrase_mi.push(phrase_row);
+        }
+
+        WeightModel {
+            n_entities: n,
+            word_idf,
+            phrase_idf,
+            word_super_df,
+            phrase_super_df,
+            entity_word_npmi,
+            entity_phrase_mi,
+        }
+    }
+
+    /// Number of entities the model was computed over.
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Keyword IDF (Eq. 3.5); 0 for never-observed words.
+    pub fn word_idf(&self, w: WordId) -> f64 {
+        self.word_idf.get(w.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Keyphrase IDF (Eq. 3.5); 0 for never-observed phrases.
+    pub fn phrase_idf(&self, p: PhraseId) -> f64 {
+        self.phrase_idf.get(p.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Superdocument document frequency of a keyword.
+    pub fn word_super_df(&self, w: WordId) -> u32 {
+        self.word_super_df.get(w.index()).copied().unwrap_or(0)
+    }
+
+    /// NPMI weight of keyword `w` with respect to entity `e` (Eq. 3.1);
+    /// 0 when the word is not among the entity's keyphrase words or the
+    /// weight was non-positive.
+    pub fn keyword_npmi(&self, e: EntityId, w: WordId) -> f64 {
+        let row = &self.entity_word_npmi[e.index()];
+        row.binary_search_by_key(&w, |&(x, _)| x).map_or(0.0, |i| row[i].1)
+    }
+
+    /// All (word, npmi) pairs of an entity, sorted by word id.
+    pub fn keyword_npmi_row(&self, e: EntityId) -> &[(WordId, f64)] {
+        &self.entity_word_npmi[e.index()]
+    }
+
+    /// µ-MI weight of keyphrase `p` with respect to entity `e` (Eq. 4.1);
+    /// 0 when the phrase is not in the entity's keyphrase set.
+    pub fn phrase_mi(&self, e: EntityId, p: PhraseId) -> f64 {
+        let row = &self.entity_phrase_mi[e.index()];
+        row.binary_search_by_key(&p, |&(x, _)| x).map_or(0.0, |i| row[i].1)
+    }
+
+    /// All (phrase, µ) pairs of an entity, sorted by phrase id.
+    pub fn phrase_mi_row(&self, e: EntityId) -> &[(PhraseId, f64)] {
+        &self.entity_phrase_mi[e.index()]
+    }
+}
+
+/// Collects the distinct words and phrases of an entity's superdocument.
+fn collect_superdoc(
+    e: EntityId,
+    keyphrases: &KeyphraseStore,
+    links: &LinkGraph,
+    phrases: &PhraseInterner,
+    words_out: &mut FxHashSet<WordId>,
+    phrases_out: &mut FxHashSet<PhraseId>,
+) {
+    let mut add = |entity: EntityId| {
+        for ep in keyphrases.phrases(entity) {
+            if phrases_out.insert(ep.phrase) {
+                for &w in phrases.words(ep.phrase) {
+                    words_out.insert(w);
+                }
+            } else {
+                // Phrase already seen: its words are already inserted.
+            }
+        }
+    };
+    add(e);
+    for &src in links.inlinks(e) {
+        add(src);
+    }
+}
+
+/// NPMI for a term that *is* present in the entity's superdocument:
+/// `1 − ln(df_super) / ln(N)`.
+fn npmi_present(df_super: u32, n: usize, ln_n: f64) -> f64 {
+    if n <= 1 || df_super == 0 {
+        return 0.0;
+    }
+    1.0 - (df_super as f64).ln() / ln_n
+}
+
+/// Normalized mutual information µ (Eq. 4.1) for a term present in the
+/// entity's superdocument, under the one-occurrence-per-entity model:
+/// `p(E) = 1/N`, `p(T) = df/N`, `p(E,T) = 1/N`.
+fn mu_present(df_super: u32, n: usize) -> f64 {
+    if n <= 1 || df_super == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let p_e = 1.0 / n;
+    let p_t = df_super as f64 / n;
+    let h_e = binary_entropy(p_e);
+    let h_t = binary_entropy(p_t);
+    if h_e + h_t <= 0.0 {
+        return 0.0;
+    }
+    // Joint distribution cells: (E=1,T=1)=1/N, (E=1,T=0)=0,
+    // (E=0,T=1)=(df−1)/N, (E=0,T=0)=(N−df)/N.
+    let p11 = p_e;
+    let p01 = (df_super as f64 - 1.0) / n;
+    let p00 = (n - df_super as f64) / n;
+    let h_joint = -(plogp(p11) + plogp(p01) + plogp(p00));
+    let mi = (h_e + h_t - h_joint).max(0.0);
+    (2.0 * mi / (h_e + h_t)).clamp(0.0, 1.0)
+}
+
+fn binary_entropy(p: f64) -> f64 {
+    -(plogp(p) + plogp(1.0 - p))
+}
+
+fn plogp(p: f64) -> f64 {
+    if p <= 0.0 {
+        0.0
+    } else {
+        p * p.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::WordInterner;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    /// Builds a 3-entity fixture: e0 and e1 share the phrase "hard rock";
+    /// e2 has the unique phrase "folk singer"; e2 links to e0.
+    fn fixture() -> (KeyphraseStore, LinkGraph, PhraseInterner, WordInterner) {
+        let mut words = WordInterner::new();
+        let mut phrases = PhraseInterner::new();
+        let hard_rock = phrases.intern("hard rock", &mut words);
+        let folk = phrases.intern("folk singer", &mut words);
+        let guitar = phrases.intern("electric guitar", &mut words);
+        let mut kp = KeyphraseStore::new(3);
+        kp.add(e(0), hard_rock, 2);
+        kp.add(e(0), guitar, 1);
+        kp.add(e(1), hard_rock, 1);
+        kp.add(e(2), folk, 1);
+        kp.finalize();
+        let mut links = LinkGraph::new(3);
+        links.add_link(e(2), e(0));
+        links.finalize();
+        (kp, links, phrases, words)
+    }
+
+    fn model() -> (WeightModel, PhraseInterner, WordInterner) {
+        let (kp, links, phrases, words) = fixture();
+        let m = WeightModel::compute(&kp, &links, &phrases, words.len());
+        (m, phrases, words)
+    }
+
+    #[test]
+    fn idf_reflects_document_frequency() {
+        let (m, phrases, words) = model();
+        let hard_rock = phrases.get("hard rock", &words).unwrap();
+        let folk = phrases.get("folk singer", &words).unwrap();
+        // df(hard rock) = 2 of 3 entities; df(folk singer) = 1 of 3.
+        assert!((m.phrase_idf(hard_rock) - (3.0f64 / 2.0).log2()).abs() < 1e-12);
+        assert!((m.phrase_idf(folk) - 3.0f64.log2()).abs() < 1e-12);
+        assert!(m.phrase_idf(folk) > m.phrase_idf(hard_rock));
+    }
+
+    #[test]
+    fn rarer_words_get_higher_npmi() {
+        let (m, _, words) = model();
+        let rock = words.get("rock").unwrap();
+        let folk = words.get("folk").unwrap();
+        // "rock" is in superdocs of e0, e1; "folk" in superdocs of e2 and e0
+        // (e2 links to e0, so e0's superdoc includes e2's phrases).
+        let npmi_rock = m.keyword_npmi(e(0), rock);
+        assert!(npmi_rock > 0.0);
+        let npmi_folk_e2 = m.keyword_npmi(e(2), folk);
+        assert!(npmi_folk_e2 > 0.0);
+        // Word absent from entity's own keyphrases has weight 0.
+        assert_eq!(m.keyword_npmi(e(2), rock), 0.0);
+    }
+
+    #[test]
+    fn npmi_in_unit_interval() {
+        let (m, _, _) = model();
+        for ei in 0..3 {
+            for &(_, v) in m.keyword_npmi_row(e(ei)) {
+                assert!(v > 0.0 && v <= 1.0, "npmi {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn mu_in_unit_interval_and_rarer_is_higher() {
+        let (m, phrases, words) = model();
+        let hard_rock = phrases.get("hard rock", &words).unwrap();
+        let folk = phrases.get("folk singer", &words).unwrap();
+        let mu_common = m.phrase_mi(e(0), hard_rock);
+        let mu_rare = m.phrase_mi(e(2), folk);
+        assert!(mu_common > 0.0 && mu_common <= 1.0);
+        assert!(mu_rare > 0.0 && mu_rare <= 1.0);
+        assert!(mu_rare >= mu_common, "rare {mu_rare} vs common {mu_common}");
+    }
+
+    #[test]
+    fn ubiquitous_term_gets_zero_npmi() {
+        // A word present in every superdocument carries no information.
+        let mut words = WordInterner::new();
+        let mut phrases = PhraseInterner::new();
+        let p0 = phrases.intern("common word", &mut words);
+        let mut kp = KeyphraseStore::new(2);
+        kp.add(e(0), p0, 1);
+        kp.add(e(1), p0, 1);
+        kp.finalize();
+        let mut links = LinkGraph::new(2);
+        links.finalize();
+        let m = WeightModel::compute(&kp, &links, &phrases, words.len());
+        let common = words.get("common").unwrap();
+        // df_super = N → npmi = 0 → discarded.
+        assert_eq!(m.keyword_npmi(e(0), common), 0.0);
+        assert!(m.keyword_npmi_row(e(0)).is_empty());
+    }
+
+    #[test]
+    fn empty_kb_is_well_defined() {
+        let kp = KeyphraseStore::new(0);
+        let links = LinkGraph::new(0);
+        let phrases = PhraseInterner::new();
+        let m = WeightModel::compute(&kp, &links, &phrases, 0);
+        assert_eq!(m.n_entities(), 0);
+        assert_eq!(m.word_idf(WordId(0)), 0.0);
+    }
+
+    #[test]
+    fn mu_handles_full_df() {
+        // df_super == N must give µ = 0, not NaN.
+        assert_eq!(mu_present(2, 2), 0.0);
+        assert!(mu_present(1, 2) > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Memoizing wrapper for relatedness measures.
+//!
+//! The AIDA graph algorithm queries the same entity pair repeatedly while
+//! weights are rescaled and the subgraph shrinks; caching turns repeated
+//! exact-KORE computations into hash lookups. Thread-safe via a sharded
+//! `parking_lot::RwLock` so the bench harness can disambiguate documents
+//! from multiple threads over one shared measure.
+
+use parking_lot::RwLock;
+
+use ned_kb::fx::FxHashMap;
+use ned_kb::EntityId;
+
+use crate::traits::Relatedness;
+
+const SHARDS: usize = 16;
+
+/// A relatedness measure with an internal pair cache.
+pub struct CachedRelatedness<M> {
+    inner: M,
+    shards: Vec<RwLock<FxHashMap<(EntityId, EntityId), f64>>>,
+}
+
+impl<M: Relatedness> CachedRelatedness<M> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: M) -> Self {
+        let shards = (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect();
+        CachedRelatedness { inner, shards }
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached pairs.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// The wrapped measure.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    fn shard_of(key: (EntityId, EntityId)) -> usize {
+        (key.0 .0 as usize ^ (key.1 .0 as usize).rotate_left(16)) % SHARDS
+    }
+}
+
+impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let shard = &self.shards[Self::shard_of(key)];
+        if let Some(&v) = shard.read().get(&key) {
+            return v;
+        }
+        let v = self.inner.relatedness(a, b);
+        shard.write().insert(key, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counting {
+        calls: AtomicUsize,
+    }
+
+    impl Relatedness for Counting {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            f64::from(a.0 + b.0)
+        }
+    }
+
+    #[test]
+    fn caches_symmetric_pairs() {
+        let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        let a = EntityId(1);
+        let b = EntityId(2);
+        assert_eq!(c.relatedness(a, b), 3.0);
+        assert_eq!(c.relatedness(b, a), 3.0);
+        assert_eq!(c.inner().calls.load(Ordering::Relaxed), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        c.relatedness(EntityId(1), EntityId(2));
+        c.clear();
+        assert!(c.is_empty());
+        c.relatedness(EntityId(1), EntityId(2));
+        assert_eq!(c.inner().calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn distinct_pairs_cached_separately() {
+        let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        for i in 0..10u32 {
+            c.relatedness(EntityId(i), EntityId(i + 1));
+        }
+        assert_eq!(c.len(), 10);
+    }
+}

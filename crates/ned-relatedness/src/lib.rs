@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Entity semantic-relatedness measures (Chapter 4 of the thesis).
+//!
+//! Implements the link-based Milne–Witten measure (Eq. 3.7), the
+//! keyterm-cosine baselines KWCS/KPCS (Eq. 4.2), the keyphrase-overlap
+//! relatedness KORE (Eqs. 4.3–4.4), and the two-stage min-hash/LSH
+//! acceleration of §4.4.2 (KORE-LSH-G and KORE-LSH-F).
+//!
+//! All measures implement the [`Relatedness`] trait so the AIDA coherence
+//! graph can be parameterized over them.
+
+pub mod cache;
+pub mod jaccard;
+pub mod keyterm_cosine;
+pub mod kore;
+pub mod lsh;
+pub mod milne_witten;
+pub mod minhash;
+pub mod pair_selection;
+pub mod traits;
+pub mod two_stage;
+
+pub use keyterm_cosine::{KeyphraseCosine, KeywordCosine};
+pub use jaccard::InlinkJaccard;
+pub use kore::Kore;
+pub use milne_witten::MilneWitten;
+pub use traits::Relatedness;
+pub use two_stage::{KoreLsh, TwoStageConfig};

@@ -1,0 +1,164 @@
+//! Min-hash sketches (§4.4.2, after Broder et al.).
+//!
+//! A min-hash sketch of a set approximates Jaccard similarity: the
+//! probability that two sets agree on one min-hash coordinate equals their
+//! Jaccard coefficient. Hash functions are derived from a seed with the
+//! splitmix64 mixer, so sketches are deterministic across runs.
+
+/// A family of `k` min-hash functions.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl MinHasher {
+    /// Creates `k` hash functions derived deterministically from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        let seeds = (0..k as u64).map(|i| mix64(seed ^ mix64(i.wrapping_add(1)))).collect();
+        MinHasher { seeds }
+    }
+
+    /// Number of hash functions (sketch length).
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// True if the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Computes the sketch of a set of elements. An empty set yields a
+    /// sketch of `u64::MAX` values (which never collides with a non-empty
+    /// sketch coordinate except by astronomically unlikely accident).
+    pub fn sketch(&self, elements: impl IntoIterator<Item = u64> + Clone) -> Vec<u64> {
+        let mut out = vec![u64::MAX; self.seeds.len()];
+        for x in elements {
+            for (slot, &seed) in out.iter_mut().zip(&self.seeds) {
+                let h = mix64(x ^ seed);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated Jaccard similarity from two sketches: fraction of agreeing
+    /// coordinates.
+    pub fn estimate_jaccard(a: &[u64], b: &[u64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "sketch lengths must match");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        agree as f64 / a.len() as f64
+    }
+}
+
+/// Exact Jaccard similarity of two sorted, deduplicated slices (test and
+/// calibration helper).
+pub fn exact_jaccard(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let h = MinHasher::new(16, 42);
+        let s1 = h.sketch([1u64, 2, 3]);
+        let s2 = h.sketch([3u64, 1, 2]);
+        assert_eq!(s1, s2, "order must not matter");
+        let h2 = MinHasher::new(16, 42);
+        assert_eq!(s1, h2.sketch([1u64, 2, 3]));
+    }
+
+    #[test]
+    fn different_seeds_give_different_sketches() {
+        let a = MinHasher::new(8, 1).sketch([1u64, 2, 3]);
+        let b = MinHasher::new(8, 2).sketch([1u64, 2, 3]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let h = MinHasher::new(32, 7);
+        let s = h.sketch((0u64..20).map(mix64));
+        assert_eq!(MinHasher::estimate_jaccard(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(64, 7);
+        let a = h.sketch((0u64..50).map(mix64));
+        let b = h.sketch((1000u64..1050).map(mix64));
+        assert!(MinHasher::estimate_jaccard(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        // Statistical test: with 512 hash functions the estimate of a
+        // Jaccard-0.5 pair must fall within ±0.12.
+        let h = MinHasher::new(512, 99);
+        let a: Vec<u64> = (0u64..100).map(mix64).collect();
+        let b: Vec<u64> = (50u64..150).map(mix64).collect();
+        let (mut sa, mut sb) = (a.clone(), b.clone());
+        sa.sort_unstable();
+        sb.sort_unstable();
+        let exact = exact_jaccard(&sa, &sb);
+        let est = MinHasher::estimate_jaccard(
+            &h.sketch(a.iter().copied()),
+            &h.sketch(b.iter().copied()),
+        );
+        assert!((est - exact).abs() < 0.12, "exact {exact}, est {est}");
+    }
+
+    #[test]
+    fn empty_set_sketch() {
+        let h = MinHasher::new(4, 3);
+        let s = h.sketch(std::iter::empty());
+        assert!(s.iter().all(|&v| v == u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch lengths must match")]
+    fn mismatched_sketch_lengths_panic() {
+        MinHasher::estimate_jaccard(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn exact_jaccard_basics() {
+        assert_eq!(exact_jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(exact_jaccard(&[], &[]), 0.0);
+        assert_eq!(exact_jaccard(&[1], &[2]), 0.0);
+        assert_eq!(exact_jaccard(&[1, 2], &[1, 2]), 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! The common interface of all relatedness measures.
+
+use ned_kb::EntityId;
+
+/// A symmetric semantic-relatedness measure between knowledge-base entities.
+///
+/// Implementations must be symmetric (`relatedness(a, b) ==
+/// relatedness(b, a)`) and non-negative; most measures are bounded by 1.
+pub trait Relatedness {
+    /// Short identifier used in experiment tables ("MW", "KORE", ...).
+    fn name(&self) -> &'static str;
+
+    /// Relatedness of entities `a` and `b`.
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64;
+}
+
+impl<T: Relatedness + ?Sized> Relatedness for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        (**self).relatedness(a, b)
+    }
+}
+
+impl<T: Relatedness + ?Sized> Relatedness for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        (**self).relatedness(a, b)
+    }
+}

@@ -1,0 +1,301 @@
+//! Rule-based named-entity recognition.
+//!
+//! A stand-in for the Stanford NER tagger used by the thesis (§3.3.1): it
+//! segments the input into mention spans that the disambiguators consume.
+//! Rules:
+//! 1. Maximal runs of capitalized words (not counting a sentence-initial
+//!    stopword/determiner) form a mention; lowercase connectors ("of", "the")
+//!    are allowed strictly inside a run ("Bank of America").
+//! 2. All-upper-case tokens of length ≥ 2 are mentions even in isolation
+//!    (§3.3.2 treats all-caps as a syntactic marker in news-wire).
+//! 3. An optional gazetteer forces known multi-word names to be recognized
+//!    as single mentions even when capitalization is ambiguous.
+
+use std::collections::HashSet;
+
+use crate::mention::Mention;
+use crate::sentence::{split_sentences, Sentence};
+use crate::stopwords::is_stopword;
+use crate::token::{Token, TokenKind};
+
+/// Configuration for the rule-based recognizer.
+#[derive(Debug, Clone)]
+pub struct NerConfig {
+    /// Maximum number of tokens in a mention.
+    pub max_mention_tokens: usize,
+    /// Allow lowercase connector words strictly inside a capitalized run.
+    pub allow_connectors: bool,
+    /// Recognize isolated all-caps acronyms.
+    pub recognize_acronyms: bool,
+}
+
+impl Default for NerConfig {
+    fn default() -> Self {
+        NerConfig { max_mention_tokens: 5, allow_connectors: true, recognize_acronyms: true }
+    }
+}
+
+/// Rule-based mention recognizer with an optional gazetteer.
+#[derive(Debug, Clone, Default)]
+pub struct Recognizer {
+    config: NerConfig,
+    /// Known surface forms, stored lowercased and space-joined.
+    gazetteer: HashSet<String>,
+    /// Length (in tokens) of the longest gazetteer entry.
+    max_gazetteer_tokens: usize,
+}
+
+impl Recognizer {
+    /// Creates a recognizer with the given configuration and no gazetteer.
+    pub fn new(config: NerConfig) -> Self {
+        Recognizer { config, gazetteer: HashSet::new(), max_gazetteer_tokens: 0 }
+    }
+
+    /// Adds a known surface form to the gazetteer.
+    pub fn add_gazetteer_entry(&mut self, surface: &str) {
+        let n = surface.split_whitespace().count();
+        self.max_gazetteer_tokens = self.max_gazetteer_tokens.max(n);
+        self.gazetteer.insert(surface.to_lowercase());
+    }
+
+    /// Number of gazetteer entries.
+    pub fn gazetteer_len(&self) -> usize {
+        self.gazetteer.len()
+    }
+
+    /// Recognizes mentions in a tokenized document.
+    ///
+    /// Returned mentions are sorted by position and non-overlapping; the
+    /// gazetteer takes priority, then capitalized runs, then acronyms.
+    pub fn recognize(&self, tokens: &[Token]) -> Vec<Mention> {
+        let sentences = split_sentences(tokens);
+        let mut claimed = vec![false; tokens.len()];
+        let mut mentions = Vec::new();
+        self.match_gazetteer(tokens, &mut claimed, &mut mentions);
+        for s in &sentences {
+            self.match_capitalized_runs(tokens, s, &mut claimed, &mut mentions);
+        }
+        if self.config.recognize_acronyms {
+            self.match_acronyms(tokens, &mut claimed, &mut mentions);
+        }
+        mentions.sort_by_key(|m| m.token_start);
+        mentions
+    }
+
+    fn match_gazetteer(&self, tokens: &[Token], claimed: &mut [bool], out: &mut Vec<Mention>) {
+        if self.gazetteer.is_empty() {
+            return;
+        }
+        let max_len = self.max_gazetteer_tokens.min(self.config.max_mention_tokens);
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = 0;
+            // Longest match wins.
+            let mut key = String::new();
+            for len in 1..=max_len.min(tokens.len() - i) {
+                if len > 1 {
+                    key.push(' ');
+                }
+                key.push_str(&tokens[i + len - 1].lower());
+                if self.gazetteer.contains(&key) && tokens[i..i + len].iter().any(|t| t.is_capitalized()) {
+                    matched = len;
+                }
+            }
+            if matched > 0 && !claimed[i..i + matched].iter().any(|&c| c) {
+                claimed[i..i + matched].iter_mut().for_each(|c| *c = true);
+                out.push(Mention::new(join(&tokens[i..i + matched]), i, i + matched));
+                i += matched;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn match_capitalized_runs(
+        &self,
+        tokens: &[Token],
+        sentence: &Sentence,
+        claimed: &mut [bool],
+        out: &mut Vec<Mention>,
+    ) {
+        let mut i = sentence.start;
+        while i < sentence.end {
+            if claimed[i] || !self.starts_run(tokens, i, sentence) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut last_cap = i;
+            i += 1;
+            while i < sentence.end
+                && !claimed[i]
+                && i - start < self.config.max_mention_tokens
+            {
+                let tok = &tokens[i];
+                if tok.kind == TokenKind::Word && tok.is_capitalized() && !is_stopword(&tok.text) {
+                    last_cap = i;
+                    i += 1;
+                } else if self.config.allow_connectors
+                    && tok.kind == TokenKind::Word
+                    && is_connector(&tok.text)
+                    && i + 1 < sentence.end
+                    && tokens[i + 1].kind == TokenKind::Word
+                    && tokens[i + 1].is_capitalized()
+                    && !claimed[i + 1]
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let end = last_cap + 1;
+            claimed[start..end].iter_mut().for_each(|c| *c = true);
+            out.push(Mention::new(join(&tokens[start..end]), start, end));
+        }
+    }
+
+    /// A token starts a capitalized run if it is a capitalized word that is
+    /// not a stopword; at sentence start it must additionally be either
+    /// all-caps or followed by another capitalized word, because ordinary
+    /// sentence-initial words are capitalized too.
+    fn starts_run(&self, tokens: &[Token], i: usize, sentence: &Sentence) -> bool {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Word || !tok.is_capitalized() || is_stopword(&tok.text) {
+            return false;
+        }
+        if i != sentence.start {
+            return true;
+        }
+        if tok.is_all_uppercase() && tok.text.chars().count() >= 2 {
+            return true;
+        }
+        // Sentence-initial: a following capitalized word or a possessive
+        // clitic ("Washington's program ...") marks a name; ordinary
+        // sentence-initial words are capitalized too, so require evidence.
+        if i + 1 < sentence.end && tokens[i + 1].text == "'s" {
+            return true;
+        }
+        i + 1 < sentence.end
+            && tokens[i + 1].kind == TokenKind::Word
+            && tokens[i + 1].is_capitalized()
+            && !is_stopword(&tokens[i + 1].text)
+    }
+
+    fn match_acronyms(&self, tokens: &[Token], claimed: &mut [bool], out: &mut Vec<Mention>) {
+        for (i, tok) in tokens.iter().enumerate() {
+            if claimed[i] || tok.kind != TokenKind::Word {
+                continue;
+            }
+            if tok.is_all_uppercase() && tok.text.chars().count() >= 2 && !is_stopword(&tok.text) {
+                claimed[i] = true;
+                out.push(Mention::new(tok.text.clone(), i, i + 1));
+            }
+        }
+    }
+}
+
+fn is_connector(word: &str) -> bool {
+    matches!(word, "of" | "the" | "for" | "de" | "van" | "von")
+}
+
+fn join(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn surfaces(input: &str) -> Vec<String> {
+        let tokens = tokenize(input);
+        Recognizer::new(NerConfig::default())
+            .recognize(&tokens)
+            .into_iter()
+            .map(|m| m.surface)
+            .collect()
+    }
+
+    #[test]
+    fn recognizes_multiword_names() {
+        let s = surfaces("They performed Kashmir, written by Jimmy Page and Robert Plant.");
+        assert!(s.contains(&"Kashmir".to_string()), "{s:?}");
+        assert!(s.contains(&"Jimmy Page".to_string()), "{s:?}");
+        assert!(s.contains(&"Robert Plant".to_string()), "{s:?}");
+    }
+
+    #[test]
+    fn sentence_initial_common_word_is_not_mention() {
+        let s = surfaces("Record sales went up in May.");
+        assert!(!s.contains(&"Record".to_string()), "{s:?}");
+    }
+
+    #[test]
+    fn sentence_initial_name_pair_is_mention() {
+        let s = surfaces("Jimmy Page played a Gibson.");
+        assert!(s.contains(&"Jimmy Page".to_string()), "{s:?}");
+    }
+
+    #[test]
+    fn acronyms_are_recognized() {
+        let s = surfaces("the NSA and the CIA cooperated");
+        assert!(s.contains(&"NSA".to_string()), "{s:?}");
+        assert!(s.contains(&"CIA".to_string()), "{s:?}");
+    }
+
+    #[test]
+    fn connector_inside_run() {
+        let s = surfaces("he visited the Bank of America building");
+        assert!(s.contains(&"Bank of America".to_string()), "{s:?}");
+    }
+
+    #[test]
+    fn connector_not_kept_at_run_end() {
+        let s = surfaces("we saw Sara of the village");
+        assert!(s.contains(&"Sara".to_string()), "{s:?}");
+        assert!(!s.iter().any(|m| m.ends_with("of")), "{s:?}");
+    }
+
+    #[test]
+    fn gazetteer_overrides_capitalization() {
+        let tokens = tokenize("the united states government said");
+        let mut r = Recognizer::new(NerConfig::default());
+        r.add_gazetteer_entry("united states");
+        // All-lowercase text: no capitalized token, gazetteer requires at
+        // least one capital, so nothing is found.
+        assert!(r.recognize(&tokens).is_empty());
+        let tokens = tokenize("the United states government said");
+        let got = r.recognize(&tokens);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].surface, "United states");
+    }
+
+    #[test]
+    fn mentions_are_sorted_and_disjoint() {
+        let tokens =
+            tokenize("Washington's program Prism was revealed by the whistleblower Snowden.");
+        let mentions = Recognizer::new(NerConfig::default()).recognize(&tokens);
+        for w in mentions.windows(2) {
+            assert!(w[0].token_end <= w[1].token_start, "{mentions:?}");
+        }
+        let s: Vec<_> = mentions.iter().map(|m| m.surface.as_str()).collect();
+        assert!(s.contains(&"Washington"), "{s:?}");
+        assert!(s.contains(&"Prism"), "{s:?}");
+        assert!(s.contains(&"Snowden"), "{s:?}");
+    }
+
+    #[test]
+    fn respects_max_mention_tokens() {
+        let s = surfaces("Alpha Beta Gamma Delta Epsilon Zeta Eta Theta");
+        for m in &s {
+            assert!(m.split(' ').count() <= 5, "{m}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Name-matching normalization rules of §3.3.2.
+//!
+//! AIDA matches mentions against entity names as follows: names of three or
+//! fewer characters are matched case-sensitively (to keep "US" distinct from
+//! "us"); longer names are matched after upper-casing both sides, so the
+//! all-upper-case mention "APPLE" still retrieves the entity named "Apple".
+
+/// Length threshold (in characters) at or below which matching is
+/// case-sensitive.
+pub const CASE_SENSITIVE_MAX_CHARS: usize = 3;
+
+/// Normalized lookup key for a mention or entity name.
+///
+/// Returns the name unchanged when it has [`CASE_SENSITIVE_MAX_CHARS`] or
+/// fewer characters, and the upper-cased form otherwise. Two names match iff
+/// their keys are equal.
+pub fn match_key(name: &str) -> String {
+    if name.chars().count() <= CASE_SENSITIVE_MAX_CHARS {
+        name.to_string()
+    } else {
+        name.to_uppercase()
+    }
+}
+
+/// True if mention surface `mention` matches entity name `name` under the
+/// §3.3.2 rules.
+pub fn names_match(mention: &str, name: &str) -> bool {
+    match_key(mention) == match_key(name)
+}
+
+/// Collapses internal runs of whitespace to single spaces and trims the ends;
+/// used before dictionary lookups of multi-word surface forms.
+pub fn squash_whitespace(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_was_space = true;
+    for ch in name.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            out.push(ch);
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_are_case_sensitive() {
+        assert!(!names_match("US", "us"));
+        assert!(names_match("US", "US"));
+        assert!(!names_match("Us", "US"));
+    }
+
+    #[test]
+    fn long_names_are_case_insensitive() {
+        assert!(names_match("APPLE", "Apple"));
+        assert!(names_match("apple", "Apple"));
+        assert!(names_match("KASHMIR", "Kashmir"));
+    }
+
+    #[test]
+    fn boundary_is_three_characters() {
+        // Exactly 3 characters: case-sensitive.
+        assert!(!names_match("CIA", "cia"));
+        // 4 characters: case-insensitive.
+        assert!(names_match("NATO", "nato"));
+    }
+
+    #[test]
+    fn multichar_unicode_counts_chars_not_bytes() {
+        // "ÜÄÖ" is 3 characters (6 bytes): still case-sensitive.
+        assert!(!names_match("ÜÄÖ", "üäö"));
+    }
+
+    #[test]
+    fn squash_whitespace_normalizes() {
+        assert_eq!(squash_whitespace("  New   York  "), "New York");
+        assert_eq!(squash_whitespace("a\tb\nc"), "a b c");
+        assert_eq!(squash_whitespace(""), "");
+    }
+}

@@ -1,0 +1,222 @@
+//! Lightweight part-of-speech tagging.
+//!
+//! The thesis uses the Stanford POS tagger only to drive the keyphrase
+//! extraction patterns of Appendix A, which distinguish nouns, proper nouns,
+//! adjectives, and the preposition "of". This tagger reproduces that
+//! distinction with a closed-class lexicon, suffix heuristics, and
+//! capitalization, which is sufficient for pattern extraction on both the
+//! synthetic corpora and ordinary English.
+
+use crate::stopwords::is_stopword;
+use crate::token::{Token, TokenKind};
+
+/// Part-of-speech tag set, deliberately coarse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Common noun.
+    Noun,
+    /// Proper noun (capitalized non-initial word, or any all-caps acronym).
+    ProperNoun,
+    /// Adjective.
+    Adjective,
+    /// Verb (incl. auxiliaries).
+    Verb,
+    /// Determiner or pronoun.
+    Determiner,
+    /// Preposition or conjunction.
+    Preposition,
+    /// Numeric literal.
+    Number,
+    /// Punctuation.
+    Punctuation,
+    /// Anything else (adverbs, interjections, ...).
+    Other,
+}
+
+impl PosTag {
+    /// True for tags that can appear inside a keyphrase pattern body.
+    pub fn is_nominal(self) -> bool {
+        matches!(self, PosTag::Noun | PosTag::ProperNoun)
+    }
+}
+
+const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "over", "under",
+    "between", "against", "about", "and", "or", "but",
+];
+
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "his", "her", "its", "their", "our",
+    "my", "your", "he", "she", "it", "they", "we", "i", "you", "who", "which", "what", "all",
+    "some", "any", "no", "each", "every",
+];
+
+const VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having",
+    "do", "does", "did", "will", "would", "can", "could", "may", "might", "shall", "should",
+    "must", "said", "says", "say", "made", "make", "makes", "played", "plays",
+    "performed", "performs", "perform", "wrote", "writes", "write", "written", "recorded",
+    "released", "releases", "release", "won", "wins", "signed",
+    "signs", "announced", "announces", "announce", "revealed", "reveals", "reveal",
+    "founded", "created", "creates", "create", "became", "becomes",
+    "become", "joined", "joins", "join", "leads", "scored", "scores",
+    "defeated", "defeats", "defeat", "beats", "ended", "ends", "went", "goes", "go",
+];
+
+const ADJECTIVE_SUFFIXES: &[&str] =
+    &["ous", "ful", "ish", "ive", "less", "able", "ible", "ic", "al", "ary", "ian", "ese"];
+
+const ADVERB_SUFFIX: &str = "ly";
+
+const VERB_SUFFIXES: &[&str] = &["ized", "izes", "ising", "izing", "ated", "ates", "ating", "ed"];
+
+/// Deterministic rule-based POS tagger.
+#[derive(Debug, Default, Clone)]
+pub struct PosTagger {
+    _private: (),
+}
+
+impl PosTagger {
+    /// Creates a tagger.
+    pub fn new() -> Self {
+        PosTagger { _private: () }
+    }
+
+    /// Tags every token; `sentence_starts[i]` must be true when token `i`
+    /// begins a sentence (sentence-initial capitalization is not evidence of
+    /// a proper noun).
+    pub fn tag(&self, tokens: &[Token], sentence_starts: &[bool]) -> Vec<PosTag> {
+        assert_eq!(tokens.len(), sentence_starts.len(), "one flag per token");
+        tokens
+            .iter()
+            .zip(sentence_starts)
+            .map(|(tok, &at_start)| self.tag_one(tok, at_start))
+            .collect()
+    }
+
+    /// Tags a single token given whether it starts a sentence.
+    pub fn tag_one(&self, tok: &Token, at_sentence_start: bool) -> PosTag {
+        match tok.kind {
+            TokenKind::Number => PosTag::Number,
+            TokenKind::Punct => PosTag::Punctuation,
+            TokenKind::Word => self.tag_word(tok, at_sentence_start),
+        }
+    }
+
+    fn tag_word(&self, tok: &Token, at_sentence_start: bool) -> PosTag {
+        let lower = tok.lower();
+        let l = lower.as_str();
+        if DETERMINERS.contains(&l) {
+            return PosTag::Determiner;
+        }
+        if PREPOSITIONS.contains(&l) {
+            return PosTag::Preposition;
+        }
+        if VERBS.contains(&l) {
+            return PosTag::Verb;
+        }
+        if tok.is_all_uppercase() && tok.text.chars().count() >= 2 {
+            return PosTag::ProperNoun;
+        }
+        if tok.is_capitalized() && !at_sentence_start {
+            return PosTag::ProperNoun;
+        }
+        if l.ends_with(ADVERB_SUFFIX) && l.len() > 3 {
+            return PosTag::Other;
+        }
+        if VERB_SUFFIXES.iter().any(|s| l.ends_with(s) && l.len() > s.len() + 2) {
+            return PosTag::Verb;
+        }
+        if ADJECTIVE_SUFFIXES.iter().any(|s| l.ends_with(s) && l.len() > s.len() + 2) {
+            return PosTag::Adjective;
+        }
+        if at_sentence_start && tok.is_capitalized() && !is_stopword(l) {
+            // Sentence-initial capitalized content word: could be either; the
+            // keyphrase patterns accept both, so prefer Noun.
+            return PosTag::Noun;
+        }
+        if is_stopword(l) {
+            return PosTag::Other;
+        }
+        PosTag::Noun
+    }
+}
+
+/// Computes the `sentence_starts` flag vector from sentence ranges produced
+/// by [`crate::sentence::split_sentences`].
+pub fn sentence_start_flags(n_tokens: usize, sentences: &[crate::sentence::Sentence]) -> Vec<bool> {
+    let mut flags = vec![false; n_tokens];
+    for s in sentences {
+        if s.start < n_tokens {
+            flags[s.start] = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sentence::split_sentences;
+    use crate::tokenizer::tokenize;
+
+    fn tag_text(input: &str) -> Vec<(String, PosTag)> {
+        let tokens = tokenize(input);
+        let sentences = split_sentences(&tokens);
+        let starts = sentence_start_flags(tokens.len(), &sentences);
+        let tags = PosTagger::new().tag(&tokens, &starts);
+        tokens.into_iter().map(|t| t.text).zip(tags).collect()
+    }
+
+    fn tag_of(tagged: &[(String, PosTag)], word: &str) -> PosTag {
+        tagged.iter().find(|(w, _)| w == word).unwrap_or_else(|| panic!("{word} missing")).1
+    }
+
+    #[test]
+    fn capitalized_mid_sentence_is_proper_noun() {
+        let t = tag_text("They performed Kashmir on stage.");
+        assert_eq!(tag_of(&t, "Kashmir"), PosTag::ProperNoun);
+    }
+
+    #[test]
+    fn sentence_initial_capital_is_not_proper() {
+        let t = tag_text("Record sales went up.");
+        assert_eq!(tag_of(&t, "Record"), PosTag::Noun);
+    }
+
+    #[test]
+    fn acronyms_are_proper_nouns() {
+        let t = tag_text("the NSA program");
+        assert_eq!(tag_of(&t, "NSA"), PosTag::ProperNoun);
+    }
+
+    #[test]
+    fn closed_classes() {
+        let t = tag_text("the singer of the band was famous");
+        assert_eq!(tag_of(&t, "the"), PosTag::Determiner);
+        assert_eq!(tag_of(&t, "of"), PosTag::Preposition);
+        assert_eq!(tag_of(&t, "was"), PosTag::Verb);
+        assert_eq!(tag_of(&t, "famous"), PosTag::Adjective);
+        assert_eq!(tag_of(&t, "singer"), PosTag::Noun);
+    }
+
+    #[test]
+    fn numbers_and_punct() {
+        let t = tag_text("In 1976, yes.");
+        assert_eq!(tag_of(&t, "1976"), PosTag::Number);
+        assert_eq!(tag_of(&t, ","), PosTag::Punctuation);
+    }
+
+    #[test]
+    fn adverb_is_other() {
+        let t = tag_text("he ran quickly home");
+        assert_eq!(tag_of(&t, "quickly"), PosTag::Other);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag per token")]
+    fn mismatched_flags_panic() {
+        let tokens = tokenize("a b");
+        PosTagger::new().tag(&tokens, &[true]);
+    }
+}

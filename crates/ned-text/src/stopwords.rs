@@ -1,0 +1,68 @@
+//! Stopword list used when building mention contexts (§3.3.4: "all tokens in
+//! the entire input text (except stopwords and the mention itself)").
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// English function words plus a handful of high-frequency verbs. The list is
+/// intentionally small — the weighting schemes (IDF/NPMI) downweight anything
+/// the list misses.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "some", "any", "each", "every", "no",
+    "and", "or", "but", "nor", "so", "yet", "if", "then", "else", "when", "while", "because",
+    "as", "until", "although", "though", "after", "before", "since", "unless", "whereas",
+    "of", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into",
+    "through", "during", "above", "below", "to", "from", "up", "down", "out", "off", "over",
+    "under", "again", "further", "once", "here", "there", "where", "why", "how", "all", "both",
+    "few", "more", "most", "other", "such", "only", "own", "same", "than", "too", "very",
+    "i", "me", "my", "mine", "we", "us", "our", "ours", "you", "your", "yours", "he", "him",
+    "his", "she", "her", "hers", "it", "its", "they", "them", "their", "theirs", "who", "whom",
+    "whose", "which", "what",
+    "am", "is", "are", "was", "were", "be", "been", "being", "have", "has", "had", "having",
+    "do", "does", "did", "doing", "will", "would", "shall", "should", "can", "could", "may",
+    "might", "must", "not", "n't", "'s", "'re", "'ve", "'ll", "'d",
+    "said", "say", "says", "also", "just", "now", "new", "one", "two", "first", "last",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// True if `word` (case-insensitively) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    if set().contains(word) {
+        return true;
+    }
+    let lower = word.to_lowercase();
+    set().contains(lower.as_str())
+}
+
+/// Number of entries in the stopword list.
+pub fn stopword_count() -> usize {
+    set().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "of", "and", "is", "The", "OF"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["guitarist", "Kashmir", "record", "song"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        assert_eq!(stopword_count(), STOPWORDS.len());
+    }
+}

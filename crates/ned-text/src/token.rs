@@ -1,0 +1,88 @@
+//! Token model shared by the tokenizer, tagger, and recognizers.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse lexical class of a token, determined at tokenization time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Alphabetic word (may contain internal hyphens or apostrophes).
+    Word,
+    /// Numeric literal, possibly with separators ("1,393", "82.03").
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// A single token with its surface text and byte span in the source string.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Surface form exactly as it appears in the input.
+    pub text: String,
+    /// Byte offset of the first byte of the token in the source string.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// Coarse lexical class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Creates a token; `end` is derived from `start` and the text length.
+    pub fn new(text: impl Into<String>, start: usize, kind: TokenKind) -> Self {
+        let text = text.into();
+        let end = start + text.len();
+        Token { text, start, end, kind }
+    }
+
+    /// True if every alphabetic character in the token is uppercase and the
+    /// token contains at least one alphabetic character ("USA", "NSA").
+    pub fn is_all_uppercase(&self) -> bool {
+        let mut saw_alpha = false;
+        for ch in self.text.chars() {
+            if ch.is_alphabetic() {
+                saw_alpha = true;
+                if !ch.is_uppercase() {
+                    return false;
+                }
+            }
+        }
+        saw_alpha
+    }
+
+    /// True if the token starts with an uppercase alphabetic character.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// Lowercased copy of the surface text.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_derives_end_from_text_length() {
+        let t = Token::new("Dylan", 4, TokenKind::Word);
+        assert_eq!(t.start, 4);
+        assert_eq!(t.end, 9);
+    }
+
+    #[test]
+    fn all_uppercase_detection() {
+        assert!(Token::new("USA", 0, TokenKind::Word).is_all_uppercase());
+        assert!(Token::new("U.S.A", 0, TokenKind::Word).is_all_uppercase());
+        assert!(!Token::new("Usa", 0, TokenKind::Word).is_all_uppercase());
+        assert!(!Token::new("123", 0, TokenKind::Number).is_all_uppercase());
+    }
+
+    #[test]
+    fn capitalization_detection() {
+        assert!(Token::new("Page", 0, TokenKind::Word).is_capitalized());
+        assert!(!Token::new("page", 0, TokenKind::Word).is_capitalized());
+        assert!(!Token::new("1976", 0, TokenKind::Number).is_capitalized());
+    }
+}

@@ -1,0 +1,142 @@
+//! Generator configuration.
+
+/// Parameters of the synthetic world.
+///
+/// Defaults produce a world of ~1,500 entities in 6 topical domains —
+/// small enough for fast tests, large enough to exhibit the head/tail
+/// phenomena the experiments depend on. The experiment harness scales
+/// `entities_per_topic` up.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; equal seeds give identical worlds.
+    pub seed: u64,
+    /// Number of topical domains ("music", "politics", ... in spirit).
+    pub n_topics: usize,
+    /// Entities per topic.
+    pub entities_per_topic: usize,
+    /// Inclusive range of clique (community) sizes within a topic.
+    pub clique_size: (usize, usize),
+    /// Distinct content words per topic vocabulary.
+    pub topic_vocab: usize,
+    /// Distinct globally shared content words.
+    pub shared_vocab: usize,
+    /// Zipf exponent of the global popularity distribution.
+    pub zipf_exponent: f64,
+    /// Probability that a new entity reuses an existing base name (the
+    /// source of name ambiguity).
+    pub name_reuse: f64,
+    /// Minimum keyphrases per entity.
+    pub base_phrases: usize,
+    /// Additional keyphrases for the most popular entity; scales down the
+    /// popularity ranking.
+    pub max_extra_phrases: usize,
+    /// Signature keyphrases shared by every member of a clique.
+    pub signature_phrases_per_clique: usize,
+    /// Minimum out-links per entity.
+    pub base_outlinks: usize,
+    /// Additional out-links for the most popular entity.
+    pub max_extra_outlinks: usize,
+    /// Fraction of entities withheld from the KB as emerging entities;
+    /// their base names are forced to collide with in-KB entities.
+    pub emerging_fraction: f64,
+    /// Fraction of entities that carry "recent" keyphrases present in the
+    /// world (and its news stream) but not exported to the KB — models the
+    /// update lag of Wikipedia articles (§5.5.1).
+    pub recent_phrase_fraction: f64,
+    /// Probability of injecting a noisy (wrong) dictionary entry per
+    /// entity (§3.6.4, "Bad Dictionary").
+    pub dictionary_noise: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0x5_71c5,
+            n_topics: 6,
+            entities_per_topic: 250,
+            clique_size: (4, 8),
+            topic_vocab: 150,
+            shared_vocab: 200,
+            zipf_exponent: 1.05,
+            name_reuse: 0.55,
+            base_phrases: 5,
+            max_extra_phrases: 25,
+            signature_phrases_per_clique: 3,
+            base_outlinks: 4,
+            max_extra_outlinks: 25,
+            emerging_fraction: 0.05,
+            recent_phrase_fraction: 0.15,
+            dictionary_noise: 0.01,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            n_topics: 3,
+            entities_per_topic: 60,
+            topic_vocab: 60,
+            shared_vocab: 80,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.n_topics * self.entities_per_topic
+    }
+
+    /// Checks invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_topics == 0 || self.entities_per_topic == 0 {
+            return Err("world must contain entities".into());
+        }
+        if self.clique_size.0 == 0 || self.clique_size.0 > self.clique_size.1 {
+            return Err("invalid clique size range".into());
+        }
+        for (name, v) in [
+            ("name_reuse", self.name_reuse),
+            ("emerging_fraction", self.emerging_fraction),
+            ("recent_phrase_fraction", self.recent_phrase_fraction),
+            ("dictionary_noise", self.dictionary_noise),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1]"));
+            }
+        }
+        if self.emerging_fraction > 0.5 {
+            return Err("more than half the world emerging is not supported".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        WorldConfig::default().validate().unwrap();
+        WorldConfig::tiny(1).validate().unwrap();
+    }
+
+    #[test]
+    fn entity_count() {
+        let c = WorldConfig { n_topics: 4, entities_per_topic: 10, ..Default::default() };
+        assert_eq!(c.entity_count(), 40);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let c = WorldConfig { n_topics: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = WorldConfig { name_reuse: 1.5, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = WorldConfig { clique_size: (5, 3), ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+}

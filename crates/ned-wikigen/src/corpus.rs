@@ -1,0 +1,206 @@
+//! Corpus presets reproducing the shapes of the thesis' evaluation data.
+
+use ned_eval::gold::GoldDoc;
+
+use crate::docgen::{DocGenerator, DocProfile};
+use crate::kb_export::ExportedKb;
+use crate::world::World;
+
+/// A generated corpus with the standard train/dev/test split of §3.6.1
+/// (the CoNLL splits are roughly 68% / 16% / 16%).
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// All documents, in generation order.
+    pub docs: Vec<GoldDoc>,
+    /// Index of the first development document.
+    pub dev_start: usize,
+    /// Index of the first test document.
+    pub test_start: usize,
+}
+
+impl Corpus {
+    fn with_split(docs: Vec<GoldDoc>) -> Self {
+        let n = docs.len();
+        let dev_start = n * 68 / 100;
+        let test_start = n * 84 / 100;
+        Corpus { docs, dev_start, test_start }
+    }
+
+    /// Training documents.
+    pub fn train(&self) -> &[GoldDoc] {
+        &self.docs[..self.dev_start]
+    }
+
+    /// Development documents.
+    pub fn dev(&self) -> &[GoldDoc] {
+        &self.docs[self.dev_start..self.test_start]
+    }
+
+    /// Test documents.
+    pub fn test(&self) -> &[GoldDoc] {
+        &self.docs[self.test_start..]
+    }
+
+    /// Total number of mentions.
+    pub fn mention_count(&self) -> usize {
+        self.docs.iter().map(|d| d.mentions.len()).sum()
+    }
+}
+
+/// The profile behind [`conll_like`]: news-wire style documents with a
+/// moderate number of mentions and usable context.
+pub fn conll_profile() -> DocProfile {
+    DocProfile {
+        mentions: (10, 30),
+        ambiguous_surface_prob: 0.7,
+        context_phrases_per_mention: (0, 2),
+        filler_words: (3, 9),
+        same_clique_prob: 0.55,
+        entity_zipf: 1.0,
+        tail_bias: false,
+        emerging_prob: 0.12,
+        use_recent_phrases: false,
+        confusing_context_prob: 0.25,
+        partial_phrase_prob: 0.45,
+        heterogeneous_prob: 0.3,
+    }
+}
+
+/// A CoNLL-YAGO-style corpus: `n_docs` topic-coherent news-wire documents.
+pub fn conll_like(world: &World, exported: &ExportedKb, seed: u64, n_docs: usize) -> Corpus {
+    let mut generator = DocGenerator::new(world, exported, seed);
+    let profile = conll_profile();
+    Corpus::with_split((0..n_docs).map(|_| generator.generate(&profile, 0)).collect())
+}
+
+/// The profile behind [`kore50_like`]: very short, highly ambiguous,
+/// long-tail-heavy sentences (§4.6.1).
+pub fn kore50_profile() -> DocProfile {
+    DocProfile {
+        mentions: (2, 4),
+        ambiguous_surface_prob: 1.0,
+        context_phrases_per_mention: (0, 1),
+        filler_words: (1, 4),
+        same_clique_prob: 0.8,
+        entity_zipf: 0.9,
+        tail_bias: true,
+        emerging_prob: 0.0,
+        use_recent_phrases: false,
+        confusing_context_prob: 0.1,
+        partial_phrase_prob: 0.3,
+        heterogeneous_prob: 0.1,
+    }
+}
+
+/// A KORE50-style corpus of hard short sentences.
+pub fn kore50_like(world: &World, exported: &ExportedKb, seed: u64, n_docs: usize) -> Corpus {
+    let mut generator = DocGenerator::new(world, exported, seed);
+    let profile = kore50_profile();
+    Corpus::with_split((0..n_docs).map(|_| generator.generate(&profile, 0)).collect())
+}
+
+/// The profile behind [`wp_like`]: within-topic sentences whose person
+/// mentions are reduced to surnames (the WP stress test of §4.6.1).
+pub fn wp_profile() -> DocProfile {
+    DocProfile {
+        mentions: (3, 7),
+        ambiguous_surface_prob: 1.0,
+        context_phrases_per_mention: (0, 2),
+        filler_words: (2, 6),
+        same_clique_prob: 0.85,
+        entity_zipf: 0.5,
+        tail_bias: false,
+        emerging_prob: 0.0,
+        use_recent_phrases: false,
+        confusing_context_prob: 0.15,
+        partial_phrase_prob: 0.35,
+        heterogeneous_prob: 0.0,
+    }
+}
+
+/// A WP-style stress corpus.
+pub fn wp_like(world: &World, exported: &ExportedKb, seed: u64, n_docs: usize) -> Corpus {
+    let mut generator = DocGenerator::new(world, exported, seed);
+    let profile = wp_profile();
+    Corpus::with_split((0..n_docs).map(|_| generator.generate(&profile, 0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::kb_export::ExportedKb;
+    use crate::world::World;
+
+    fn setup() -> (World, ExportedKb) {
+        let world = World::generate(WorldConfig::tiny(31));
+        let kb = ExportedKb::build(&world);
+        (world, kb)
+    }
+
+    #[test]
+    fn conll_like_has_news_shape() {
+        let (world, kb) = setup();
+        let corpus = conll_like(&world, &kb, 1, 30);
+        assert_eq!(corpus.docs.len(), 30);
+        let avg = corpus.mention_count() as f64 / 30.0;
+        assert!((10.0..=30.0).contains(&avg), "avg mentions {avg}");
+    }
+
+    #[test]
+    fn kore50_like_is_short_and_ambiguous() {
+        let (world, kb) = setup();
+        let corpus = kore50_like(&world, &kb, 2, 20);
+        for doc in &corpus.docs {
+            assert!(doc.mentions.len() <= 4);
+            for lm in &doc.mentions {
+                assert_eq!(lm.mention.surface.split(' ').count(), 1, "must be base names");
+            }
+        }
+    }
+
+    #[test]
+    fn splits_partition_the_corpus() {
+        let (world, kb) = setup();
+        let corpus = conll_like(&world, &kb, 3, 50);
+        assert_eq!(
+            corpus.train().len() + corpus.dev().len() + corpus.test().len(),
+            corpus.docs.len()
+        );
+        assert!(!corpus.train().is_empty());
+        assert!(!corpus.dev().is_empty());
+        assert!(!corpus.test().is_empty());
+    }
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let (world, kb) = setup();
+        let a = wp_like(&world, &kb, 4, 10);
+        let b = wp_like(&world, &kb, 4, 10);
+        assert_eq!(a.docs, b.docs);
+        let c = wp_like(&world, &kb, 5, 10);
+        assert_ne!(a.docs, c.docs);
+    }
+
+    #[test]
+    fn kore50_prefers_tail_entities() {
+        let (world, kb) = setup();
+        let kore = kore50_like(&world, &kb, 6, 40);
+        let conll = conll_like(&world, &kb, 6, 40);
+        let mean_rank = |c: &Corpus| -> f64 {
+            let mut ranks = Vec::new();
+            for d in &c.docs {
+                for lm in &d.mentions {
+                    if let Some(id) = lm.label {
+                        ranks.push(world.entities[kb.world_of(id)].popularity_rank as f64);
+                    }
+                }
+            }
+            ranks.iter().sum::<f64>() / ranks.len() as f64
+        };
+        assert!(
+            mean_rank(&kore) > mean_rank(&conll),
+            "KORE50-like should target less popular entities"
+        );
+    }
+}

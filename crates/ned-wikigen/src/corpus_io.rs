@@ -1,0 +1,84 @@
+//! Corpus (de)serialization: save generated gold corpora to disk and load
+//! them back, so expensive corpus generation can be cached between runs and
+//! gold data can be shared (the thesis publishes its annotated corpora the
+//! same way).
+
+use std::io::{self, Read, Write};
+
+use ned_eval::gold::GoldDoc;
+use ned_kb::snapshot::{decode, encode};
+
+/// Magic header identifying a gold-corpus file.
+const MAGIC: &[u8; 8] = b"AIDADOC1";
+
+/// Writes a slice of gold documents.
+pub fn write_docs<W: Write>(docs: &[GoldDoc], mut writer: W) -> io::Result<()> {
+    let body =
+        encode(&docs.to_vec()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(body.len() as u64).to_le_bytes())?;
+    writer.write_all(&body)
+}
+
+/// Reads gold documents written by [`write_docs`].
+pub fn read_docs<R: Read>(mut reader: R) -> io::Result<Vec<GoldDoc>> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a gold-corpus file"));
+    }
+    let mut len_bytes = [0u8; 8];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes);
+    let mut body = Vec::new();
+    reader.by_ref().take(len).read_to_end(&mut body)?;
+    if body.len() as u64 != len {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated corpus body"));
+    }
+    decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::corpus::conll_like;
+    use crate::{ExportedKb, World};
+
+    fn docs() -> Vec<GoldDoc> {
+        let world = World::generate(WorldConfig::tiny(61));
+        let exported = ExportedKb::build(&world);
+        conll_like(&world, &exported, 1, 6).docs
+    }
+
+    #[test]
+    fn roundtrip_preserves_documents() {
+        let original = docs();
+        let mut buf = Vec::new();
+        write_docs(&original, &mut buf).unwrap();
+        let restored = read_docs(buf.as_slice()).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_docs(&b"WRONGMAGplus some data"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let original = docs();
+        let mut buf = Vec::new();
+        write_docs(&original, &mut buf).unwrap();
+        assert!(read_docs(&buf[..buf.len() / 2]).is_err());
+        assert!(read_docs(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn empty_corpus_roundtrips() {
+        let mut buf = Vec::new();
+        write_docs(&[], &mut buf).unwrap();
+        assert!(read_docs(buf.as_slice()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Gold-annotated document generation.
+//!
+//! A document is themed on one clique (community) of the world: entities
+//! are drawn mostly from the theme, rendered as ambiguous base names or
+//! unambiguous canonical names, and surrounded by planted keyphrase words
+//! (the context signal AIDA's similarity measure picks up) plus filler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ned_eval::gold::{GoldDoc, LabeledMention};
+use ned_text::{Mention, Token, TokenKind};
+
+use crate::kb_export::ExportedKb;
+use crate::world::World;
+use crate::zipf::popularity_weight;
+
+/// Shape of the generated documents; presets live in [`crate::corpus`].
+#[derive(Debug, Clone)]
+pub struct DocProfile {
+    /// Inclusive range of mentions per document.
+    pub mentions: (usize, usize),
+    /// Probability a mention is rendered as its ambiguous base name rather
+    /// than the unambiguous canonical name.
+    pub ambiguous_surface_prob: f64,
+    /// Inclusive range of keyphrases planted near each mention.
+    pub context_phrases_per_mention: (usize, usize),
+    /// Inclusive range of filler words between slots.
+    pub filler_words: (usize, usize),
+    /// Probability each mention's entity comes from the theme clique
+    /// (otherwise from the theme topic at large).
+    pub same_clique_prob: f64,
+    /// Popularity bias when sampling non-clique entities: 0 = uniform,
+    /// higher = more head-heavy.
+    pub entity_zipf: f64,
+    /// Prefer tail entities instead (KORE50-style long-tail stress).
+    pub tail_bias: bool,
+    /// Probability a mention slot uses an emerging (out-of-KB) entity of
+    /// the theme topic.
+    pub emerging_prob: f64,
+    /// Also plant "recent" phrases (not exported to the KB) near in-KB
+    /// mentions — the news-stream setting of Chapter 5.
+    pub use_recent_phrases: bool,
+    /// Probability that a planted context phrase is drawn from a *wrong*
+    /// candidate sharing the mention's base name — local-context noise that
+    /// misleads similarity-only methods (the metonymy-like confusions of
+    /// §3.6.4).
+    pub confusing_context_prob: f64,
+    /// Probability that a planted phrase is truncated to a single word —
+    /// weak, partially matching evidence (the partial-cover cases of
+    /// §3.3.4).
+    pub partial_phrase_prob: f64,
+    /// Probability a document is thematically heterogeneous: a second theme
+    /// clique from a *different* topic contributes ~1/3 of the mentions.
+    /// These are the documents where blind coherence misleads (challenge C1
+    /// and the football/cities example of §3.1).
+    pub heterogeneous_prob: f64,
+}
+
+impl Default for DocProfile {
+    fn default() -> Self {
+        DocProfile {
+            mentions: (8, 20),
+            ambiguous_surface_prob: 0.75,
+            context_phrases_per_mention: (1, 3),
+            filler_words: (3, 8),
+            same_clique_prob: 0.6,
+            entity_zipf: 0.8,
+            tail_bias: false,
+            emerging_prob: 0.0,
+            use_recent_phrases: false,
+            confusing_context_prob: 0.15,
+            partial_phrase_prob: 0.3,
+            heterogeneous_prob: 0.2,
+        }
+    }
+}
+
+/// Seeded document generator over a world and its exported KB.
+pub struct DocGenerator<'w> {
+    world: &'w World,
+    exported: &'w ExportedKb,
+    rng: StdRng,
+    counter: usize,
+    /// Per-topic in-KB entity pools.
+    topic_pool: Vec<Vec<usize>>,
+    /// Per-topic emerging entity pools.
+    emerging_pool: Vec<Vec<usize>>,
+    /// Base name → in-KB entities carrying it (for confusing context).
+    name_groups: std::collections::HashMap<String, Vec<usize>>,
+}
+
+const FILLER_STOPWORDS: &[&str] =
+    &["the", "of", "a", "in", "and", "with", "for", "was", "on", "at", "to", "said"];
+
+impl<'w> DocGenerator<'w> {
+    /// Restricts the emerging-entity pools (e.g. to the entities whose
+    /// "burst window" covers the current news day); pass per-topic index
+    /// lists. Entities outside the pools will not be mentioned.
+    pub fn set_active_emerging(&mut self, pools: Vec<Vec<usize>>) {
+        assert_eq!(pools.len(), self.emerging_pool.len(), "one pool per topic");
+        self.emerging_pool = pools;
+    }
+
+    /// Creates a generator; deterministic in `seed`.
+    pub fn new(world: &'w World, exported: &'w ExportedKb, seed: u64) -> Self {
+        let mut topic_pool = vec![Vec::new(); world.config.n_topics];
+        let mut emerging_pool = vec![Vec::new(); world.config.n_topics];
+        let mut name_groups: std::collections::HashMap<String, Vec<usize>> = Default::default();
+        for e in &world.entities {
+            if e.emerging {
+                emerging_pool[e.topic].push(e.index);
+            } else {
+                topic_pool[e.topic].push(e.index);
+                name_groups.entry(e.base_name.clone()).or_default().push(e.index);
+            }
+        }
+        DocGenerator {
+            world,
+            exported,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+            topic_pool,
+            emerging_pool,
+            name_groups,
+        }
+    }
+
+    /// Generates one document with the given profile and day stamp.
+    pub fn generate(&mut self, profile: &DocProfile, day: u32) -> GoldDoc {
+        self.counter += 1;
+        let id = format!("doc-{:06}", self.counter);
+        // Theme: a random clique with at least one in-KB member.
+        let clique = loop {
+            let ci = self.rng.random_range(0..self.world.cliques.len());
+            if self.world.cliques[ci].iter().any(|&m| !self.world.entities[m].emerging) {
+                break ci;
+            }
+        };
+        let topic = self.world.entities[self.world.cliques[clique][0]].topic;
+        // A heterogeneous document mixes in a second theme from another
+        // topic for ~1/3 of its mentions.
+        let second_theme: Option<(usize, usize)> =
+            if self.rng.random::<f64>() < profile.heterogeneous_prob {
+                let other = loop {
+                    let ci = self.rng.random_range(0..self.world.cliques.len());
+                    let t = self.world.entities[self.world.cliques[ci][0]].topic;
+                    if t != topic
+                        && self.world.cliques[ci]
+                            .iter()
+                            .any(|&m| !self.world.entities[m].emerging)
+                    {
+                        break (ci, t);
+                    }
+                };
+                Some(other)
+            } else {
+                None
+            };
+        let n_mentions = self.rng.random_range(profile.mentions.0..=profile.mentions.1);
+
+        let mut builder = TokenBuilder::default();
+        let mut mentions: Vec<LabeledMention> = Vec::with_capacity(n_mentions);
+
+        for _ in 0..n_mentions {
+            let (clique, topic) = match second_theme {
+                Some(second) if self.rng.random::<f64>() < 0.35 => second,
+                _ => (clique, topic),
+            };
+            self.emit_filler(&mut builder, profile, topic);
+            let entity_idx = self.pick_entity(profile, clique, topic);
+            self.emit_context(&mut builder, profile, entity_idx);
+            let entity = &self.world.entities[entity_idx];
+            let surface = if self.rng.random::<f64>() < profile.ambiguous_surface_prob {
+                entity.base_name.clone()
+            } else {
+                entity.canonical.clone()
+            };
+            let start = builder.token_count();
+            builder.push_words(&surface);
+            let end = builder.token_count();
+            mentions.push(LabeledMention {
+                mention: Mention::new(surface, start, end),
+                label: self.exported.label_of(entity_idx),
+            });
+        }
+        self.emit_filler(&mut builder, profile, topic);
+        GoldDoc::new(id, builder.tokens, mentions, day)
+    }
+
+    fn pick_entity(&mut self, profile: &DocProfile, clique: usize, topic: usize) -> usize {
+        let world = self.world;
+        if profile.emerging_prob > 0.0
+            && !self.emerging_pool[topic].is_empty()
+            && self.rng.random::<f64>() < profile.emerging_prob
+        {
+            let idx = self.rng.random_range(0..self.emerging_pool[topic].len());
+            return self.emerging_pool[topic][idx];
+        }
+        if self.rng.random::<f64>() < profile.same_clique_prob {
+            let members: Vec<usize> = world.cliques[clique]
+                .iter()
+                .copied()
+                .filter(|&m| !world.entities[m].emerging)
+                .collect();
+            if !members.is_empty() {
+                return members[self.rng.random_range(0..members.len())];
+            }
+        }
+        // Weighted pick by (possibly inverted) popularity.
+        let weights: Vec<f64> = self.topic_pool[topic]
+            .iter()
+            .map(|&idx| {
+                let rank = world.entities[idx].popularity_rank;
+                if profile.tail_bias {
+                    // Prefer tail: invert the ranking.
+                    popularity_weight(world.len() - 1 - rank, profile.entity_zipf.max(0.1))
+                } else {
+                    popularity_weight(rank, profile.entity_zipf)
+                }
+            })
+            .collect();
+        debug_assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        let mut u = self.rng.random::<f64>() * total;
+        for (k, &w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return self.topic_pool[topic][k];
+            }
+        }
+        *self.topic_pool[topic].last().expect("non-empty pool")
+    }
+
+    fn emit_filler(&mut self, builder: &mut TokenBuilder, profile: &DocProfile, topic: usize) {
+        let world = self.world;
+        let n = self.rng.random_range(profile.filler_words.0..=profile.filler_words.1);
+        for _ in 0..n {
+            if self.rng.random::<f64>() < 0.5 {
+                let w = FILLER_STOPWORDS[self.rng.random_range(0..FILLER_STOPWORDS.len())];
+                builder.push_word(w);
+            } else {
+                let vocab = &world.topic_vocab[topic];
+                builder.push_word(&vocab[self.rng.random_range(0..vocab.len())]);
+            }
+        }
+    }
+
+    fn emit_context(
+        &mut self,
+        builder: &mut TokenBuilder,
+        profile: &DocProfile,
+        entity_idx: usize,
+    ) {
+        let world = self.world;
+        let entity = &world.entities[entity_idx];
+        // Confusing context: sometimes draw phrases from a competitor that
+        // shares the base name instead of the true entity.
+        let context_source = if self.rng.random::<f64>() < profile.confusing_context_prob {
+            match self.name_groups.get(&entity.base_name) {
+                Some(group) if group.len() > 1 => {
+                    let competitor = loop {
+                        let c = group[self.rng.random_range(0..group.len())];
+                        if c != entity_idx || group.iter().all(|&g| g == entity_idx) {
+                            break c;
+                        }
+                    };
+                    &world.entities[competitor]
+                }
+                _ => entity,
+            }
+        } else {
+            entity
+        };
+        // Planted context prefers entity-specific phrases over the clique
+        // signature phrases (which sit at the front of the keyphrase list):
+        // signature words would otherwise leak document-level evidence to
+        // every clique member, making similarity subsume coherence.
+        let sig = self.world.config.signature_phrases_per_clique.min(context_source.keyphrases.len());
+        let specific = &context_source.keyphrases[sig..];
+        let all = &context_source.keyphrases[..];
+        let chosen: &[(String, u64)] =
+            if !specific.is_empty() && self.rng.random::<f64>() < 0.85 { specific } else { all };
+        let mut phrases: Vec<&str> = chosen.iter().map(|(p, _)| p.as_str()).collect();
+        if profile.use_recent_phrases || context_source.emerging {
+            phrases.extend(context_source.recent_phrases.iter().map(|(p, _)| p.as_str()));
+        }
+        if phrases.is_empty() {
+            return;
+        }
+        let k = self
+            .rng
+            .random_range(profile.context_phrases_per_mention.0..=profile.context_phrases_per_mention.1);
+        for _ in 0..k {
+            let p = phrases[self.rng.random_range(0..phrases.len())];
+            if self.rng.random::<f64>() < profile.partial_phrase_prob {
+                // Weak evidence: only one word of the phrase appears.
+                let words: Vec<&str> = p.split_whitespace().collect();
+                builder.push_word(words[self.rng.random_range(0..words.len())]);
+            } else {
+                builder.push_words(p);
+            }
+            // A connective between phrase and mention.
+            if self.rng.random::<f64>() < 0.5 {
+                builder.push_word(FILLER_STOPWORDS[self.rng.random_range(0..FILLER_STOPWORDS.len())]);
+            }
+        }
+    }
+}
+
+/// Builds a token vector with consistent byte offsets.
+#[derive(Debug, Default)]
+struct TokenBuilder {
+    tokens: Vec<Token>,
+    offset: usize,
+}
+
+impl TokenBuilder {
+    fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    fn push_word(&mut self, word: &str) {
+        let token = Token::new(word, self.offset, TokenKind::Word);
+        self.offset = token.end + 1;
+        self.tokens.push(token);
+    }
+
+    fn push_words(&mut self, phrase: &str) {
+        for w in phrase.split_whitespace() {
+            self.push_word(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn setup() -> (World, ExportedKb) {
+        let world = World::generate(WorldConfig::tiny(21));
+        let kb = ExportedKb::build(&world);
+        (world, kb)
+    }
+
+    #[test]
+    fn documents_are_deterministic() {
+        let (world, kb) = setup();
+        let gen_docs = || {
+            let mut g = DocGenerator::new(&world, &kb, 5);
+            (0..5).map(|_| g.generate(&DocProfile::default(), 0)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen_docs(), gen_docs());
+    }
+
+    #[test]
+    fn mentions_are_well_formed() {
+        let (world, kb) = setup();
+        let mut g = DocGenerator::new(&world, &kb, 7);
+        for _ in 0..20 {
+            let doc = g.generate(&DocProfile::default(), 0);
+            assert!(!doc.mentions.is_empty());
+            for lm in &doc.mentions {
+                // Mention surface matches its token span.
+                let span_text: Vec<&str> = doc.tokens
+                    [lm.mention.token_start..lm.mention.token_end]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
+                assert_eq!(span_text.join(" "), lm.mention.surface);
+            }
+        }
+    }
+
+    #[test]
+    fn gold_labels_resolve_against_the_kb() {
+        let (world, kb) = setup();
+        let mut g = DocGenerator::new(&world, &kb, 9);
+        let profile = DocProfile::default();
+        let mut labeled = 0;
+        for _ in 0..10 {
+            let doc = g.generate(&profile, 0);
+            for lm in &doc.mentions {
+                if let Some(id) = lm.label {
+                    labeled += 1;
+                    // The gold entity must be among the dictionary
+                    // candidates of the surface (unless the surface is the
+                    // canonical name, which always resolves).
+                    let cands = kb.kb.candidates(&lm.mention.surface);
+                    assert!(
+                        cands.iter().any(|c| c.entity == id),
+                        "gold entity not reachable from surface {}",
+                        lm.mention.surface
+                    );
+                }
+            }
+        }
+        assert!(labeled > 50);
+    }
+
+    #[test]
+    fn emerging_profile_produces_out_of_kb_mentions() {
+        let (world, kb) = setup();
+        let mut g = DocGenerator::new(&world, &kb, 11);
+        let profile = DocProfile { emerging_prob: 0.5, ..DocProfile::default() };
+        let mut ee = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            let doc = g.generate(&profile, 0);
+            ee += doc.out_of_kb_count();
+            total += doc.mentions.len();
+        }
+        assert!(ee > 0, "no emerging mentions generated");
+        assert!(ee < total);
+    }
+
+    #[test]
+    fn ambiguity_knob_controls_surfaces() {
+        let (world, kb) = setup();
+        let count_ambiguous = |prob: f64, seed: u64| {
+            let mut g = DocGenerator::new(&world, &kb, seed);
+            let profile = DocProfile { ambiguous_surface_prob: prob, ..DocProfile::default() };
+            let mut ambiguous = 0;
+            let mut total = 0;
+            for _ in 0..10 {
+                let doc = g.generate(&profile, 0);
+                for lm in &doc.mentions {
+                    total += 1;
+                    if lm.mention.surface.split(' ').count() == 1 {
+                        ambiguous += 1;
+                    }
+                }
+            }
+            ambiguous as f64 / total as f64
+        };
+        assert!(count_ambiguous(1.0, 13) > 0.95);
+        assert!(count_ambiguous(0.0, 13) < 0.05);
+    }
+
+    #[test]
+    fn day_stamp_is_preserved() {
+        let (world, kb) = setup();
+        let mut g = DocGenerator::new(&world, &kb, 15);
+        let doc = g.generate(&DocProfile::default(), 42);
+        assert_eq!(doc.day, 42);
+    }
+}

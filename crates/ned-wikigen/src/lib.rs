@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Deterministic synthetic-world generator for the AIDA-NED experiments.
+//!
+//! The original evaluation runs on Wikipedia/YAGO, the CoNLL-YAGO corpus,
+//! the KORE50/WP datasets, GigaWord news, and a crowdsourced relatedness
+//! gold standard — none of which can ship with this repository. This crate
+//! generates a *synthetic world* that reproduces the statistical phenomena
+//! those assets provide (see DESIGN.md §2):
+//!
+//! - Zipfian entity popularity and a preferential-attachment link graph
+//!   (link-rich head, link-poor tail);
+//! - topic/“community” structure with shared signature keyphrases (the
+//!   source of semantic coherence);
+//! - ambiguous surface names shared across entities, with anchor-count
+//!   priors;
+//! - emerging entities that share names with in-KB entities but are
+//!   withheld from the knowledge base;
+//! - gold-annotated corpora in the styles of CoNLL-YAGO, KORE50, the WP
+//!   stress test, and a timestamped news stream;
+//! - a relatedness gold standard with simulated pairwise judgments.
+//!
+//! Everything is seeded: the same seed yields byte-identical worlds,
+//! corpora, and gold data.
+
+pub mod config;
+pub mod corpus;
+pub mod corpus_io;
+pub mod docgen;
+pub mod kb_export;
+pub mod news;
+pub mod relbench;
+pub mod words;
+pub mod world;
+pub mod zipf;
+
+pub use config::WorldConfig;
+pub use kb_export::ExportedKb;
+pub use world::{World, WorldEntity};

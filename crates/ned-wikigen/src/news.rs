@@ -1,0 +1,185 @@
+//! Timestamped news-stream generation for the emerging-entity experiments
+//! (Chapter 5).
+//!
+//! The stream spans `n_days` days of documents. Emerging entities appear
+//! repeatedly across the stream together with their keyphrases — the
+//! redundancy NED-EE harvests to build placeholder models (§5.5.2). In-KB
+//! entities also appear with their "recent" phrases, which the KB does not
+//! know about, modelling Wikipedia's update lag.
+
+use ned_eval::gold::GoldDoc;
+
+use crate::docgen::{DocGenerator, DocProfile};
+use crate::kb_export::ExportedKb;
+use crate::world::World;
+
+/// Configuration of the news stream.
+#[derive(Debug, Clone)]
+pub struct NewsConfig {
+    /// Number of days in the stream.
+    pub n_days: u32,
+    /// Documents per day.
+    pub docs_per_day: usize,
+    /// Probability a mention slot uses an emerging entity.
+    pub emerging_prob: f64,
+    /// Length of each emerging entity's burst window in days: an emerging
+    /// entity appears only within its window, repeatedly — the redundancy
+    /// the placeholder models are harvested from ("there is likely a fair
+    /// amount of redundancy", §5.5.2).
+    pub burst_days: u32,
+}
+
+impl Default for NewsConfig {
+    fn default() -> Self {
+        NewsConfig { n_days: 10, docs_per_day: 30, emerging_prob: 0.12, burst_days: 3 }
+    }
+}
+
+/// The burst window `[start, start + burst_days)` of an emerging entity,
+/// derived deterministically from its index.
+fn burst_start(entity_index: usize, n_days: u32, burst_days: u32) -> u32 {
+    let span = (n_days.saturating_sub(burst_days) + 1).max(1);
+    // splitmix64 finalizer: a well-mixed hash of the index.
+    let mut x = entity_index as u64 + 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % u64::from(span)) as u32
+}
+
+/// A generated news stream.
+#[derive(Debug, Clone)]
+pub struct NewsStream {
+    /// All documents, ordered by day.
+    pub docs: Vec<GoldDoc>,
+    /// Number of days.
+    pub n_days: u32,
+}
+
+impl NewsStream {
+    /// Documents of one day.
+    pub fn day(&self, day: u32) -> impl Iterator<Item = &GoldDoc> {
+        self.docs.iter().filter(move |d| d.day == day)
+    }
+
+    /// Documents in the half-open day range `[from, to)`.
+    pub fn days(&self, from: u32, to: u32) -> impl Iterator<Item = &GoldDoc> {
+        self.docs.iter().filter(move |d| d.day >= from && d.day < to)
+    }
+
+    /// Total mention count.
+    pub fn mention_count(&self) -> usize {
+        self.docs.iter().map(|d| d.mentions.len()).sum()
+    }
+
+    /// Number of mentions whose gold label is out-of-KB.
+    pub fn emerging_mention_count(&self) -> usize {
+        self.docs.iter().map(|d| d.out_of_kb_count()).sum()
+    }
+}
+
+/// The document profile used for news days.
+pub fn news_profile(emerging_prob: f64) -> DocProfile {
+    DocProfile {
+        mentions: (8, 25),
+        ambiguous_surface_prob: 0.8,
+        context_phrases_per_mention: (0, 3),
+        filler_words: (3, 8),
+        same_clique_prob: 0.55,
+        entity_zipf: 0.8,
+        tail_bias: false,
+        emerging_prob,
+        use_recent_phrases: true,
+        confusing_context_prob: 0.2,
+        partial_phrase_prob: 0.35,
+        heterogeneous_prob: 0.2,
+    }
+}
+
+/// Generates a news stream.
+pub fn generate_stream(
+    world: &World,
+    exported: &ExportedKb,
+    seed: u64,
+    config: &NewsConfig,
+) -> NewsStream {
+    let mut generator = DocGenerator::new(world, exported, seed);
+    let profile = news_profile(config.emerging_prob);
+    let mut docs = Vec::with_capacity(config.n_days as usize * config.docs_per_day);
+    for day in 0..config.n_days {
+        // Only emerging entities whose burst window covers `day` are
+        // mentionable today.
+        let mut pools = vec![Vec::new(); world.config.n_topics];
+        for &i in &world.emerging_indices() {
+            let start = burst_start(i, config.n_days, config.burst_days);
+            if day >= start && day < start + config.burst_days {
+                pools[world.entities[i].topic].push(i);
+            }
+        }
+        generator.set_active_emerging(pools);
+        for _ in 0..config.docs_per_day {
+            docs.push(generator.generate(&profile, day));
+        }
+    }
+    NewsStream { docs, n_days: config.n_days }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn stream() -> (World, ExportedKb, NewsStream) {
+        let world = World::generate(WorldConfig::tiny(41));
+        let kb = ExportedKb::build(&world);
+        let s = generate_stream(&world, &kb, 1, &NewsConfig::default());
+        (world, kb, s)
+    }
+
+    #[test]
+    fn stream_covers_all_days() {
+        let (_, _, s) = stream();
+        assert_eq!(s.n_days, 10);
+        for day in 0..10 {
+            assert_eq!(s.day(day).count(), 30);
+        }
+        assert_eq!(s.docs.len(), 300);
+    }
+
+    #[test]
+    fn stream_contains_emerging_mentions() {
+        let (_, _, s) = stream();
+        let ee = s.emerging_mention_count();
+        let total = s.mention_count();
+        assert!(ee > 0);
+        // Roughly the configured share, with generous tolerance.
+        let share = ee as f64 / total as f64;
+        assert!((0.02..0.35).contains(&share), "emerging share {share}");
+    }
+
+    #[test]
+    fn day_range_query() {
+        let (_, _, s) = stream();
+        let count: usize = s.days(2, 5).count();
+        assert_eq!(count, 90);
+        assert_eq!(s.days(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn emerging_entities_recur_across_the_stream() {
+        // The EE model difference needs the same emerging entity observed in
+        // several documents.
+        let (_world, _, s) = stream();
+        use std::collections::HashMap;
+        let mut surface_days: HashMap<&str, Vec<u32>> = HashMap::new();
+        for d in &s.docs {
+            for lm in &d.mentions {
+                if lm.label.is_none() {
+                    surface_days.entry(lm.mention.surface.as_str()).or_default().push(d.day);
+                }
+            }
+        }
+        let recurring = surface_days.values().filter(|days| days.len() >= 3).count();
+        assert!(recurring > 0, "no emerging surface recurs");
+    }
+}

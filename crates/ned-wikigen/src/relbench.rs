@@ -1,0 +1,246 @@
+//! Relatedness gold standard (§4.5.1), generated from the world's latent
+//! structure with simulated crowdsourcing.
+//!
+//! For each *seed* entity, 20 candidate entities of graded latent
+//! relatedness are selected. The gold ranking is then derived the way the
+//! thesis built its dataset: simulated judges compare candidate pairs (a
+//! judge prefers the candidate with higher latent relatedness, with noise),
+//! and candidates are ranked by their number of pairwise wins
+//! (Coppersmith-style aggregation).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::kb_export::ExportedKb;
+use crate::world::World;
+
+/// One seed entity with its ranked candidates.
+#[derive(Debug, Clone)]
+pub struct SeedEntry {
+    /// World index of the seed entity.
+    pub seed: usize,
+    /// Topic (domain) of the seed, for per-domain reporting.
+    pub domain: usize,
+    /// World indices of the candidates.
+    pub candidates: Vec<usize>,
+    /// Gold score per candidate (higher = more related to the seed);
+    /// derived from aggregated pairwise wins, parallel to `candidates`.
+    pub gold_scores: Vec<f64>,
+}
+
+/// The generated gold standard.
+#[derive(Debug, Clone)]
+pub struct RelatednessGold {
+    /// All seed entries.
+    pub seeds: Vec<SeedEntry>,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct RelbenchConfig {
+    /// Seeds per domain (the thesis used 5 per domain over 4 domains).
+    pub seeds_per_domain: usize,
+    /// Candidates per seed (the thesis used 20).
+    pub candidates_per_seed: usize,
+    /// Judges per pairwise comparison (the thesis used 5).
+    pub judges: usize,
+    /// Standard deviation of judge noise on the latent relatedness.
+    pub judge_noise: f64,
+}
+
+impl Default for RelbenchConfig {
+    fn default() -> Self {
+        RelbenchConfig {
+            seeds_per_domain: 5,
+            candidates_per_seed: 20,
+            judges: 5,
+            judge_noise: 0.15,
+        }
+    }
+}
+
+/// Generates the gold standard; only non-emerging entities participate.
+pub fn generate_gold(
+    world: &World,
+    exported: &ExportedKb,
+    seed: u64,
+    config: &RelbenchConfig,
+) -> RelatednessGold {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seeds = Vec::new();
+    for domain in 0..world.config.n_topics {
+        // Seeds: the most popular in-KB entities of the domain (the thesis
+        // chose "the most popular individuals in their respective domain").
+        let mut domain_entities: Vec<usize> = world
+            .entities
+            .iter()
+            .filter(|e| e.topic == domain && !e.emerging)
+            .map(|e| e.index)
+            .collect();
+        domain_entities.sort_by_key(|&i| world.entities[i].popularity_rank);
+        for &seed_idx in domain_entities.iter().take(config.seeds_per_domain) {
+            let candidates =
+                pick_candidates(world, exported, seed_idx, config.candidates_per_seed, &mut rng);
+            if candidates.len() < 4 {
+                continue;
+            }
+            let gold_scores = crowd_rank(world, seed_idx, &candidates, config, &mut rng);
+            seeds.push(SeedEntry { seed: seed_idx, domain, candidates, gold_scores });
+        }
+    }
+    RelatednessGold { seeds }
+}
+
+/// Candidate selection: a graded mix of clique mates (highly related),
+/// topic mates (related), and cross-topic entities (remotely related) —
+/// "highly related as well as only remotely related" (§4.5.1).
+fn pick_candidates(
+    world: &World,
+    exported: &ExportedKb,
+    seed_idx: usize,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let seed_entity = &world.entities[seed_idx];
+    let in_kb = |i: &usize| exported.label_of(*i).is_some() && *i != seed_idx;
+    let mut clique: Vec<usize> =
+        world.cliques[seed_entity.clique].iter().copied().filter(in_kb).collect();
+    let mut topic: Vec<usize> = world
+        .entities
+        .iter()
+        .filter(|e| e.topic == seed_entity.topic && e.clique != seed_entity.clique)
+        .map(|e| e.index)
+        .filter(in_kb)
+        .collect();
+    let mut other: Vec<usize> = world
+        .entities
+        .iter()
+        .filter(|e| e.topic != seed_entity.topic)
+        .map(|e| e.index)
+        .filter(in_kb)
+        .collect();
+    clique.shuffle(rng);
+    topic.shuffle(rng);
+    other.shuffle(rng);
+    let mut candidates = Vec::with_capacity(n);
+    let quota_clique = (n / 3).min(clique.len());
+    let quota_other = n / 4;
+    candidates.extend(clique.into_iter().take(quota_clique));
+    candidates.extend(other.into_iter().take(quota_other));
+    let remaining = n.saturating_sub(candidates.len());
+    candidates.extend(topic.into_iter().take(remaining));
+    candidates.shuffle(rng);
+    candidates
+}
+
+/// Simulated pairwise crowdsourcing: each of the `judges` compares every
+/// candidate pair under noisy latent relatedness; a candidate's gold score
+/// is its total number of wins.
+fn crowd_rank(
+    world: &World,
+    seed_idx: usize,
+    candidates: &[usize],
+    config: &RelbenchConfig,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let latent: Vec<f64> =
+        candidates.iter().map(|&c| world.true_relatedness(seed_idx, c)).collect();
+    let mut wins = vec![0.0f64; candidates.len()];
+    for i in 0..candidates.len() {
+        for j in (i + 1)..candidates.len() {
+            for _ in 0..config.judges {
+                let si = latent[i] + gaussian(rng) * config.judge_noise;
+                let sj = latent[j] + gaussian(rng) * config.judge_noise;
+                if (si - sj).abs() < 0.02 {
+                    // "They are about the same": half a win each.
+                    wins[i] += 0.5;
+                    wins[j] += 0.5;
+                } else if si > sj {
+                    wins[i] += 1.0;
+                } else {
+                    wins[j] += 1.0;
+                }
+            }
+        }
+    }
+    wins
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use ned_eval::spearman::spearman;
+
+    fn gold() -> (World, ExportedKb, RelatednessGold) {
+        let world = World::generate(WorldConfig::tiny(51));
+        let kb = ExportedKb::build(&world);
+        let g = generate_gold(&world, &kb, 1, &RelbenchConfig::default());
+        (world, kb, g)
+    }
+
+    #[test]
+    fn generates_seeds_per_domain() {
+        let (world, _, g) = gold();
+        assert!(g.seeds.len() >= world.config.n_topics, "got {} seeds", g.seeds.len());
+        for entry in &g.seeds {
+            assert_eq!(entry.candidates.len(), entry.gold_scores.len());
+            assert!(entry.candidates.len() >= 4);
+            // No duplicates, seed not among candidates.
+            let mut c = entry.candidates.clone();
+            c.sort_unstable();
+            c.dedup();
+            assert_eq!(c.len(), entry.candidates.len());
+            assert!(!entry.candidates.contains(&entry.seed));
+        }
+    }
+
+    #[test]
+    fn gold_ranking_tracks_latent_relatedness() {
+        let (world, _, g) = gold();
+        for entry in &g.seeds {
+            let latent: Vec<f64> = entry
+                .candidates
+                .iter()
+                .map(|&c| world.true_relatedness(entry.seed, c))
+                .collect();
+            let rho = spearman(&latent, &entry.gold_scores);
+            assert!(rho > 0.6, "gold ranking too noisy: ρ = {rho}");
+        }
+    }
+
+    #[test]
+    fn candidates_span_relatedness_grades() {
+        let (world, _, g) = gold();
+        let entry = &g.seeds[0];
+        let latent: Vec<f64> = entry
+            .candidates
+            .iter()
+            .map(|&c| world.true_relatedness(entry.seed, c))
+            .collect();
+        let max = latent.iter().cloned().fold(f64::MIN, f64::max);
+        let min = latent.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 0.3, "candidates not graded: {min}..{max}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let world = World::generate(WorldConfig::tiny(51));
+        let kb = ExportedKb::build(&world);
+        let a = generate_gold(&world, &kb, 9, &RelbenchConfig::default());
+        let b = generate_gold(&world, &kb, 9, &RelbenchConfig::default());
+        assert_eq!(a.seeds.len(), b.seeds.len());
+        for (x, y) in a.seeds.iter().zip(&b.seeds) {
+            assert_eq!(x.candidates, y.candidates);
+            assert_eq!(x.gold_scores, y.gold_scores);
+        }
+    }
+}

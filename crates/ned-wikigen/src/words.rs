@@ -1,0 +1,113 @@
+//! Synthetic lexicon generation.
+//!
+//! Words are pronounceable consonant–vowel syllable strings ("velkora",
+//! "brintu"), guaranteed not to collide with the stopword list. Name words
+//! are capitalized variants. A [`Lexicon`] hands out distinct words
+//! deterministically from a seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+use ned_text::stopwords::is_stopword;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "d", "dr", "f", "fl", "g", "gr", "h", "k", "kl", "kr", "l", "m", "n", "p", "pr",
+    "r", "s", "st", "t", "tr", "v", "z", "sh", "th",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ei", "ou"];
+const CODAS: &[&str] = &["", "", "", "n", "r", "s", "l", "k", "m", "t"];
+
+/// Generates one random lowercase word of 2–3 syllables.
+pub fn random_word(rng: &mut StdRng) -> String {
+    let syllables = rng.random_range(2..=3);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        w.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+    }
+    w.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+    w
+}
+
+/// Capitalizes the first letter of a word.
+pub fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A pool of distinct synthetic words.
+#[derive(Debug, Default)]
+pub struct Lexicon {
+    used: HashSet<String>,
+}
+
+impl Lexicon {
+    /// Creates an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws a fresh word never handed out before and never a stopword.
+    pub fn fresh_word(&mut self, rng: &mut StdRng) -> String {
+        loop {
+            let w = random_word(rng);
+            if w.len() >= 4 && !is_stopword(&w) && self.used.insert(w.clone()) {
+                return w;
+            }
+        }
+    }
+
+    /// Draws `n` fresh words.
+    pub fn fresh_words(&mut self, rng: &mut StdRng, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.fresh_word(rng)).collect()
+    }
+
+    /// Number of words handed out.
+    pub fn len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// True when no words were handed out yet.
+    pub fn is_empty(&self) -> bool {
+        self.used.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_distinct_and_wordlike() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lex = Lexicon::new();
+        let words = lex.fresh_words(&mut rng, 500);
+        let distinct: HashSet<&String> = words.iter().collect();
+        assert_eq!(distinct.len(), 500);
+        for w in &words {
+            assert!(w.len() >= 4, "{w}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            Lexicon::new().fresh_words(&mut rng, 50)
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn capitalize_works() {
+        assert_eq!(capitalize("velkora"), "Velkora");
+        assert_eq!(capitalize(""), "");
+    }
+}

@@ -1,0 +1,587 @@
+//! The synthetic world: entities with latent topics, cliques, popularity,
+//! names, keyphrases, and links.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+use ned_kb::EntityKind;
+
+use crate::config::WorldConfig;
+use crate::words::{capitalize, Lexicon};
+use crate::zipf::popularity_weight;
+
+/// One entity of the synthetic world, with all latent ground truth.
+#[derive(Debug, Clone)]
+pub struct WorldEntity {
+    /// Index into [`World::entities`].
+    pub index: usize,
+    /// Unique two-token canonical name ("Velkora Brintu").
+    pub canonical: String,
+    /// Ambiguous single-token base name ("Brintu"); shared across entities.
+    pub base_name: String,
+    /// Coarse entity kind.
+    pub kind: EntityKind,
+    /// Topic index.
+    pub topic: usize,
+    /// Global clique (community) id.
+    pub clique: usize,
+    /// 0-based global popularity rank (0 = most popular).
+    pub popularity_rank: usize,
+    /// True when the entity is withheld from the knowledge base.
+    pub emerging: bool,
+    /// Keyphrases with counts; exported to the KB for non-emerging
+    /// entities.
+    pub keyphrases: Vec<(String, u64)>,
+    /// Recent keyphrases present in the world's news stream but *not*
+    /// exported to the KB (Wikipedia update lag, §5.5.1).
+    pub recent_phrases: Vec<(String, u64)>,
+    /// Out-links (world indices).
+    pub outlinks: Vec<usize>,
+}
+
+impl WorldEntity {
+    /// Popularity weight under the world's Zipf exponent.
+    pub fn popularity(&self, zipf_exponent: f64) -> f64 {
+        popularity_weight(self.popularity_rank, zipf_exponent)
+    }
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Generator configuration.
+    pub config: WorldConfig,
+    /// All entities, emerging ones included.
+    pub entities: Vec<WorldEntity>,
+    /// Per-topic content vocabulary (lowercase words).
+    pub topic_vocab: Vec<Vec<String>>,
+    /// Globally shared content vocabulary.
+    pub shared_vocab: Vec<String>,
+    /// Clique membership: clique id → member indices.
+    pub cliques: Vec<Vec<usize>>,
+    /// Noisy dictionary entries to inject: (surface, entity index).
+    pub dictionary_noise: Vec<(String, usize)>,
+}
+
+impl World {
+    /// Generates a world from `config`; deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> Self {
+        config.validate().expect("invalid world configuration");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut lexicon = Lexicon::new();
+
+        let shared_vocab = lexicon.fresh_words(&mut rng, config.shared_vocab);
+        let topic_vocab: Vec<Vec<String>> = (0..config.n_topics)
+            .map(|_| lexicon.fresh_words(&mut rng, config.topic_vocab))
+            .collect();
+
+        let n = config.entity_count();
+
+        // Global popularity ranks: a random permutation of 0..n.
+        let mut ranks: Vec<usize> = (0..n).collect();
+        ranks.shuffle(&mut rng);
+
+        // Cliques: chunk each topic's entities into communities.
+        let mut cliques: Vec<Vec<usize>> = Vec::new();
+        let mut clique_of = vec![0usize; n];
+        let mut topic_of = vec![0usize; n];
+        for topic in 0..config.n_topics {
+            let start = topic * config.entities_per_topic;
+            let end = start + config.entities_per_topic;
+            let mut i = start;
+            while i < end {
+                let size = rng.random_range(config.clique_size.0..=config.clique_size.1);
+                let members: Vec<usize> = (i..(i + size).min(end)).collect();
+                for &m in &members {
+                    clique_of[m] = cliques.len();
+                    topic_of[m] = topic;
+                }
+                i += members.len();
+                cliques.push(members);
+            }
+        }
+
+        // Names.
+        let (canonicals, base_names, kinds) =
+            generate_names(&config, n, &topic_of, &mut rng, &mut lexicon);
+
+        // Keyphrases: clique signatures first.
+        let clique_signatures: Vec<Vec<String>> = cliques
+            .iter()
+            .enumerate()
+            .map(|(ci, members)| {
+                let topic = topic_of[members[0]];
+                let _ = ci;
+                (0..config.signature_phrases_per_clique)
+                    .map(|_| random_phrase(&mut rng, &topic_vocab[topic], &shared_vocab))
+                    .collect()
+            })
+            .collect();
+
+        let top_weight = popularity_weight(0, config.zipf_exponent);
+        let mut entities: Vec<WorldEntity> = (0..n)
+            .map(|i| {
+                let topic = topic_of[i];
+                let rank = ranks[i];
+                let pop_share = popularity_weight(rank, config.zipf_exponent) / top_weight;
+                let mut keyphrases: Vec<(String, u64)> = Vec::new();
+                for sig in &clique_signatures[clique_of[i]] {
+                    keyphrases.push((sig.clone(), rng.random_range(2..=5)));
+                }
+                let extra = config.base_phrases
+                    + ((config.max_extra_phrases as f64) * pop_share).round() as usize;
+                for _ in 0..extra {
+                    keyphrases
+                        .push((random_phrase(&mut rng, &topic_vocab[topic], &shared_vocab), rng.random_range(1..=4)));
+                }
+                // An identity phrase tying the entity to its base name.
+                keyphrases.push((
+                    format!(
+                        "{} {}",
+                        base_names[i].to_lowercase(),
+                        topic_vocab[topic][rng.random_range(0..topic_vocab[topic].len())]
+                    ),
+                    2,
+                ));
+                WorldEntity {
+                    index: i,
+                    canonical: canonicals[i].clone(),
+                    base_name: base_names[i].clone(),
+                    kind: kinds[i],
+                    topic,
+                    clique: clique_of[i],
+                    popularity_rank: rank,
+                    emerging: false,
+                    keyphrases,
+                    recent_phrases: Vec::new(),
+                    outlinks: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Links: preferential attachment within clique and topic.
+        generate_links(&config, &mut entities, &cliques, &mut rng);
+
+        // Emerging entities: tail entities whose base name collides with an
+        // in-KB entity.
+        mark_emerging(&config, &mut entities, &mut rng);
+
+        // Recent phrases (not exported to the KB).
+        for e in &mut entities {
+            if rng.random::<f64>() < config.recent_phrase_fraction {
+                let topic = e.topic;
+                for _ in 0..rng.random_range(2..=4) {
+                    e.recent_phrases.push((
+                        random_phrase(&mut rng, &topic_vocab[topic], &shared_vocab),
+                        rng.random_range(1..=3),
+                    ));
+                }
+            }
+        }
+
+        // Dictionary noise: map a random existing surface to a random
+        // unrelated entity.
+        let mut dictionary_noise = Vec::new();
+        for i in 0..n {
+            if rng.random::<f64>() < config.dictionary_noise {
+                let victim = rng.random_range(0..n);
+                if victim != i && !entities[victim].emerging {
+                    dictionary_noise.push((entities[i].base_name.clone(), victim));
+                }
+            }
+        }
+
+        World { config, entities, topic_vocab, shared_vocab, cliques, dictionary_noise }
+    }
+
+    /// Number of entities (emerging included).
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the world has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Latent ground-truth relatedness of two entities, used for the
+    /// relatedness gold standard: same clique ≫ same topic ≫ unrelated,
+    /// modulated by shared-keyphrase mass.
+    pub fn true_relatedness(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let ea = &self.entities[a];
+        let eb = &self.entities[b];
+        let base = if ea.clique == eb.clique {
+            0.8
+        } else if ea.topic == eb.topic {
+            0.35
+        } else {
+            0.02
+        };
+        let pa: HashSet<&str> = ea.keyphrases.iter().map(|(p, _)| p.as_str()).collect();
+        let pb: HashSet<&str> = eb.keyphrases.iter().map(|(p, _)| p.as_str()).collect();
+        let shared = pa.intersection(&pb).count() as f64;
+        let denom = pa.len().min(pb.len()).max(1) as f64;
+        (base + 0.2 * (shared / denom)).min(1.0)
+    }
+
+    /// All world indices of entities sharing a base name, keyed by name.
+    pub fn name_groups(&self) -> HashMap<&str, Vec<usize>> {
+        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        for e in &self.entities {
+            groups.entry(e.base_name.as_str()).or_default().push(e.index);
+        }
+        groups
+    }
+
+    /// Indices of non-emerging entities.
+    pub fn in_kb_indices(&self) -> Vec<usize> {
+        self.entities.iter().filter(|e| !e.emerging).map(|e| e.index).collect()
+    }
+
+    /// Indices of emerging entities.
+    pub fn emerging_indices(&self) -> Vec<usize> {
+        self.entities.iter().filter(|e| e.emerging).map(|e| e.index).collect()
+    }
+}
+
+/// Suffix pools per entity kind for two-token canonical names.
+fn kind_and_suffix(rng: &mut StdRng) -> (EntityKind, &'static str) {
+    const KINDS: &[(EntityKind, &[&str])] = &[
+        (EntityKind::Person, &[]), // persons use Given + Base
+        (EntityKind::Organization, &["Group", "Systems", "United", "Ensemble", "Collective"]),
+        (EntityKind::Location, &["Valley", "Province", "Island", "Heights", "Harbor"]),
+        (EntityKind::Work, &["Suite", "Saga", "Anthem", "Chronicle", "Ballad"]),
+        (EntityKind::Event, &["Cup", "Summit", "Festival", "Congress", "Games"]),
+        (EntityKind::Other, &["Project", "Initiative", "Engine", "Protocol", "Device"]),
+    ];
+    // Persons are the most frequent kind, as in news corpora.
+    let pick = rng.random_range(0..10);
+    let (kind, suffixes) = if pick < 5 { KINDS[0] } else { KINDS[1 + (pick - 5) % 5] };
+    let suffix = if suffixes.is_empty() { "" } else { suffixes[rng.random_range(0..suffixes.len())] };
+    (kind, suffix)
+}
+
+#[allow(clippy::type_complexity)]
+fn generate_names(
+    config: &WorldConfig,
+    n: usize,
+    topic_of: &[usize],
+    rng: &mut StdRng,
+    lexicon: &mut Lexicon,
+) -> (Vec<String>, Vec<String>, Vec<EntityKind>) {
+    let mut base_pool: Vec<String> = Vec::new();
+    // Names already used within each topic: reuse prefers the same topic so
+    // that name collisions are genuinely hard (competitors share the topic
+    // vocabulary and can only be separated by phrase-level context or
+    // coherence).
+    let mut topic_pools: Vec<Vec<String>> = vec![Vec::new(); config.n_topics];
+    let mut given_pool: Vec<String> =
+        (0..40).map(|_| capitalize(&lexicon.fresh_word(rng))).collect();
+    let mut canonicals = Vec::with_capacity(n);
+    let mut base_names = Vec::with_capacity(n);
+    let mut kinds = Vec::with_capacity(n);
+    let mut used_canonicals: HashSet<String> = HashSet::new();
+    for &topic in topic_of.iter().take(n) {
+        // Base name: reuse an existing one with probability `name_reuse`;
+        // reuse prefers the same topic (70%) over the global pool.
+        let reuse = rng.random::<f64>() < config.name_reuse && !base_pool.is_empty();
+        let base = if reuse {
+            let same_topic = !topic_pools[topic].is_empty() && rng.random::<f64>() < 0.7;
+            if same_topic {
+                let pool = &topic_pools[topic];
+                pool[rng.random_range(0..pool.len())].clone()
+            } else {
+                base_pool[rng.random_range(0..base_pool.len())].clone()
+            }
+        } else {
+            let b = capitalize(&lexicon.fresh_word(rng));
+            base_pool.push(b.clone());
+            b
+        };
+        if !topic_pools[topic].contains(&base) {
+            topic_pools[topic].push(base.clone());
+        }
+        let (kind, suffix) = kind_and_suffix(rng);
+        let canonical = loop {
+            let c = if kind == EntityKind::Person {
+                let given = &given_pool[rng.random_range(0..given_pool.len())];
+                format!("{given} {base}")
+            } else {
+                format!("{base} {suffix}")
+            };
+            if used_canonicals.insert(c.clone()) {
+                break c;
+            }
+            // Collision: grow the given-name pool / add a fresh qualifier.
+            if kind == EntityKind::Person {
+                given_pool.push(capitalize(&lexicon.fresh_word(rng)));
+            } else {
+                let qualifier = capitalize(&lexicon.fresh_word(rng));
+                let c = format!("{base} {suffix} {qualifier}");
+                if used_canonicals.insert(c.clone()) {
+                    break c;
+                }
+            }
+        };
+        canonicals.push(canonical);
+        base_names.push(base);
+        kinds.push(kind);
+    }
+    (canonicals, base_names, kinds)
+}
+
+fn random_phrase(rng: &mut StdRng, topic_words: &[String], shared_words: &[String]) -> String {
+    let len = rng.random_range(2..=3);
+    let mut parts: Vec<&str> = Vec::with_capacity(len);
+    for k in 0..len {
+        // Mostly topic words; occasionally a shared word for cross-topic
+        // lexical noise.
+        let from_shared = k == len - 1 && rng.random::<f64>() < 0.2;
+        let w = if from_shared {
+            &shared_words[rng.random_range(0..shared_words.len())]
+        } else {
+            &topic_words[rng.random_range(0..topic_words.len())]
+        };
+        parts.push(w);
+    }
+    parts.join(" ")
+}
+
+fn generate_links(
+    config: &WorldConfig,
+    entities: &mut [WorldEntity],
+    cliques: &[Vec<usize>],
+    rng: &mut StdRng,
+) {
+    let n = entities.len();
+    let top_weight = popularity_weight(0, config.zipf_exponent);
+    // Popularity-proportional sampling over a topic (or globally) via
+    // precomputed cumulative weights.
+    let weights: Vec<f64> =
+        entities.iter().map(|e| e.popularity(config.zipf_exponent)).collect();
+    let topic_members: Vec<Vec<usize>> = {
+        let mut v = vec![Vec::new(); config.n_topics];
+        for e in entities.iter() {
+            v[e.topic].push(e.index);
+        }
+        v
+    };
+    let sample_weighted = |pool: &[usize], rng: &mut StdRng, weights: &[f64]| -> usize {
+        let total: f64 = pool.iter().map(|&i| weights[i]).sum();
+        let mut u = rng.random::<f64>() * total;
+        for &i in pool {
+            u -= weights[i];
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        pool[pool.len() - 1]
+    };
+    for i in 0..n {
+        let pop_share = weights[i] / top_weight;
+        let n_links = config.base_outlinks
+            + ((config.max_extra_outlinks as f64) * pop_share).round() as usize;
+        let clique = &cliques[entities[i].clique];
+        let topic = entities[i].topic;
+        let mut targets: HashSet<usize> = HashSet::new();
+        for _ in 0..n_links {
+            let roll: f64 = rng.random();
+            let target = if roll < 0.6 && clique.len() > 1 {
+                clique[rng.random_range(0..clique.len())]
+            } else if roll < 0.95 {
+                sample_weighted(&topic_members[topic], rng, &weights)
+            } else {
+                sample_weighted(&(0..n).collect::<Vec<_>>(), rng, &weights)
+            };
+            if target != i {
+                targets.insert(target);
+            }
+        }
+        let mut sorted: Vec<usize> = targets.into_iter().collect();
+        sorted.sort_unstable();
+        entities[i].outlinks = sorted;
+    }
+}
+
+fn mark_emerging(config: &WorldConfig, entities: &mut [WorldEntity], rng: &mut StdRng) {
+    let n = entities.len();
+    let n_emerging = ((n as f64) * config.emerging_fraction).floor() as usize;
+    if n_emerging == 0 {
+        return;
+    }
+    // Candidates: the tail half by popularity.
+    let mut tail: Vec<usize> = (0..n).filter(|&i| entities[i].popularity_rank >= n / 2).collect();
+    tail.shuffle(rng);
+    let chosen: Vec<usize> = tail.into_iter().take(n_emerging).collect();
+    // Base names of entities staying in the KB.
+    let chosen_set: HashSet<usize> = chosen.iter().copied().collect();
+    let kb_names: Vec<String> = entities
+        .iter()
+        .filter(|e| !chosen_set.contains(&e.index))
+        .map(|e| e.base_name.clone())
+        .collect();
+    for &i in &chosen {
+        entities[i].emerging = true;
+        // Force a name collision with an in-KB entity ("Prism problem").
+        let stolen = kb_names[rng.random_range(0..kb_names.len())].clone();
+        entities[i].base_name = stolen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(11))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(x.canonical, y.canonical);
+            assert_eq!(x.keyphrases, y.keyphrases);
+            assert_eq!(x.outlinks, y.outlinks);
+            assert_eq!(x.emerging, y.emerging);
+        }
+    }
+
+    #[test]
+    fn canonical_names_are_unique() {
+        let w = world();
+        let mut seen = HashSet::new();
+        for e in &w.entities {
+            assert!(seen.insert(&e.canonical), "duplicate canonical {}", e.canonical);
+        }
+    }
+
+    #[test]
+    fn base_names_are_ambiguous() {
+        let w = world();
+        let groups = w.name_groups();
+        let shared = groups.values().filter(|g| g.len() > 1).count();
+        assert!(shared > 10, "expected many shared base names, got {shared}");
+    }
+
+    #[test]
+    fn popularity_ranks_are_a_permutation() {
+        let w = world();
+        let mut ranks: Vec<usize> = w.entities.iter().map(|e| e.popularity_rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..w.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn popular_entities_have_more_phrases_and_links() {
+        let w = world();
+        let head: Vec<&WorldEntity> =
+            w.entities.iter().filter(|e| e.popularity_rank < 10).collect();
+        let tail: Vec<&WorldEntity> =
+            w.entities.iter().filter(|e| e.popularity_rank >= w.len() - 50).collect();
+        let avg = |es: &[&WorldEntity], f: fn(&WorldEntity) -> usize| -> f64 {
+            es.iter().map(|e| f(e)).sum::<usize>() as f64 / es.len() as f64
+        };
+        assert!(avg(&head, |e| e.keyphrases.len()) > avg(&tail, |e| e.keyphrases.len()));
+        assert!(avg(&head, |e| e.outlinks.len()) > avg(&tail, |e| e.outlinks.len()));
+    }
+
+    #[test]
+    fn emerging_entities_share_names_with_kb_entities() {
+        let w = world();
+        let emerging = w.emerging_indices();
+        assert!(!emerging.is_empty());
+        let kb_names: HashSet<&str> = w
+            .entities
+            .iter()
+            .filter(|e| !e.emerging)
+            .map(|e| e.base_name.as_str())
+            .collect();
+        for &i in &emerging {
+            assert!(
+                kb_names.contains(w.entities[i].base_name.as_str()),
+                "emerging entity {} has non-colliding name {}",
+                i,
+                w.entities[i].base_name
+            );
+        }
+    }
+
+    #[test]
+    fn cliques_partition_entities() {
+        let w = world();
+        let total: usize = w.cliques.iter().map(|c| c.len()).sum();
+        assert_eq!(total, w.len());
+        for (ci, members) in w.cliques.iter().enumerate() {
+            for &m in members {
+                assert_eq!(w.entities[m].clique, ci);
+            }
+            // All members share a topic.
+            let topic = w.entities[members[0]].topic;
+            assert!(members.iter().all(|&m| w.entities[m].topic == topic));
+        }
+    }
+
+    #[test]
+    fn clique_members_share_signature_phrases() {
+        let w = world();
+        let clique = w.cliques.iter().find(|c| c.len() >= 3).expect("a clique of 3+");
+        let phrase_sets: Vec<HashSet<&str>> = clique
+            .iter()
+            .map(|&m| w.entities[m].keyphrases.iter().map(|(p, _)| p.as_str()).collect())
+            .collect();
+        let shared = phrase_sets
+            .iter()
+            .skip(1)
+            .fold(phrase_sets[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+        assert!(
+            shared.len() >= w.config.signature_phrases_per_clique,
+            "clique shares only {} phrases",
+            shared.len()
+        );
+    }
+
+    #[test]
+    fn true_relatedness_respects_structure() {
+        let w = world();
+        let clique = w.cliques.iter().find(|c| c.len() >= 2).unwrap();
+        let (a, b) = (clique[0], clique[1]);
+        // An entity from a different topic.
+        let other = w
+            .entities
+            .iter()
+            .find(|e| e.topic != w.entities[a].topic)
+            .map(|e| e.index)
+            .unwrap();
+        assert!(w.true_relatedness(a, b) > w.true_relatedness(a, other));
+        assert_eq!(w.true_relatedness(a, a), 1.0);
+        // Symmetry.
+        assert_eq!(w.true_relatedness(a, other), w.true_relatedness(other, a));
+    }
+
+    #[test]
+    fn link_popularity_is_heavy_tailed() {
+        let w = world();
+        let mut inlinks = vec![0usize; w.len()];
+        for e in &w.entities {
+            for &t in &e.outlinks {
+                inlinks[t] += 1;
+            }
+        }
+        let max = *inlinks.iter().max().unwrap();
+        let zero_or_one = inlinks.iter().filter(|&&c| c <= 1).count();
+        assert!(max >= 8, "head entity should attract many links, max {max}");
+        assert!(
+            zero_or_one > w.len() / 10,
+            "tail should be link-poor: {zero_or_one} of {}",
+            w.len()
+        );
+    }
+}

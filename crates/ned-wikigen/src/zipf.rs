@@ -1,0 +1,126 @@
+//! Zipfian sampling over ranked items.
+//!
+//! Entity popularity, name reuse, and document entity selection all follow
+//! heavy-tailed distributions; the sampler draws rank `r` (0-based) with
+//! probability proportional to `1 / (r + 1)^s`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A precomputed Zipf distribution over `n` ranks.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or `s` is negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the distribution covers a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a 0-based rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// The probability mass of rank `r`.
+    pub fn mass(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[r] - self.cumulative[r - 1]
+        }
+    }
+}
+
+/// Popularity weight of an entity with 0-based rank `r` (unnormalized Zipf
+/// mass); used wherever something scales "with popularity".
+pub fn popularity_weight(rank: usize, s: f64) -> f64 {
+    1.0 / ((rank + 1) as f64).powf(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 2_000);
+        // Tail together still gets some mass.
+        let tail: usize = counts[50..].iter().sum();
+        assert!(tail > 100);
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.mass(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn popularity_weight_decreases() {
+        assert!(popularity_weight(0, 1.0) > popularity_weight(1, 1.0));
+        assert!(popularity_weight(5, 1.0) > popularity_weight(50, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_zipf_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let z = Zipf::new(20, 1.0);
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}
