@@ -7,9 +7,10 @@
 
 use ned_kb::{EntityId, KnowledgeBase, WordId};
 use ned_text::Mention;
+use rayon::prelude::*;
 
 use crate::config::KeywordWeighting;
-use crate::similarity::simscore;
+use crate::similarity::{context_word_set, simscore_indexed};
 
 /// Local (per-mention) features of one candidate entity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,12 +47,16 @@ pub fn candidate_features_for_surface(
     weighting: KeywordWeighting,
 ) -> Vec<CandidateFeatures> {
     let cands = kb.candidates(surface);
+    // One index query set for all candidates of this mention.
+    let context_words = context_word_set(context);
+    // The similarity score dominates; evaluate candidates in parallel
+    // (collected in candidate order — identical to a sequential scan).
     let mut features: Vec<CandidateFeatures> = cands
-        .iter()
+        .par_iter()
         .map(|c| CandidateFeatures {
             entity: c.entity,
             prior: kb.prior(surface, c.entity),
-            sim: simscore(kb, c.entity, context, weighting),
+            sim: simscore_indexed(kb, c.entity, context, &context_words, weighting),
             sim_normalized: 0.0,
         })
         .collect();

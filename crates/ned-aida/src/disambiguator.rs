@@ -5,6 +5,7 @@
 use ned_kb::{EntityId, KnowledgeBase};
 use ned_relatedness::Relatedness;
 use ned_text::{Mention, Token};
+use rayon::prelude::*;
 
 use crate::algorithm::{solve, SolverConfig};
 use crate::candidates::{candidate_features_for_surface, CandidateFeatures};
@@ -62,10 +63,12 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
         } else {
             (0..mentions.len()).collect()
         };
-        mentions
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
+        // Mentions are scored independently; fan out over rayon (results
+        // collect in mention order, so the output matches a sequential run).
+        (0..mentions.len())
+            .into_par_iter()
+            .map(|i| {
+                let m = &mentions[i];
                 let mut features = candidate_features_for_surface(
                     self.kb,
                     &mentions[targets[i]].surface,

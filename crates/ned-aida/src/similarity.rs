@@ -51,7 +51,73 @@ pub fn phrase_score(
 
 /// `simscore(m, e)` (Eq. 3.6): the sum of phrase scores over all keyphrases
 /// of `e`.
+///
+/// Uses the knowledge base's keyphrase inverted index to visit only the
+/// phrases sharing at least one word with the context. The pruning is exact:
+/// a phrase with no context word has no shortest cover and scores exactly
+/// 0.0, so the result is bit-identical to [`simscore_exhaustive`] (both sum
+/// the surviving phrases in ascending phrase-id order, and adding a +0.0
+/// term never changes an IEEE sum of non-negative terms).
 pub fn simscore(
+    kb: &KnowledgeBase,
+    e: EntityId,
+    context: &[(usize, WordId)],
+    weighting: KeywordWeighting,
+) -> f64 {
+    simscore_indexed(kb, e, context, &context_word_set(context), weighting)
+}
+
+/// The distinct words of a context window, sorted — the query set for the
+/// keyphrase inverted index. Callers scoring many candidates against the
+/// same context should compute this once and use [`simscore_indexed`].
+pub fn context_word_set(context: &[(usize, WordId)]) -> Vec<WordId> {
+    let mut ws: Vec<WordId> = context.iter().map(|&(_, w)| w).collect();
+    ws.sort_unstable();
+    ws.dedup();
+    ws
+}
+
+/// [`simscore`] with the context's word set precomputed; bit-identical to
+/// `simscore`. `context_words` must be sorted and deduplicated (as produced
+/// by [`context_word_set`]).
+pub fn simscore_indexed(
+    kb: &KnowledgeBase,
+    e: EntityId,
+    context: &[(usize, WordId)],
+    context_words: &[WordId],
+    weighting: KeywordWeighting,
+) -> f64 {
+    // Adaptive query plan: enumerate the phrases sharing ≥ 1 word with the
+    // context from whichever side is smaller — probe the inverted index per
+    // context word, or scan KP(e) testing each phrase word against the
+    // sorted context word set. Both yield the same phrases in ascending
+    // phrase-id order, so the score is bitwise independent of the plan.
+    let kp = kb.keyphrases(e);
+    let matching: Vec<ned_kb::PhraseId> = if kp.len() <= context_words.len() {
+        kp.iter()
+            .filter(|ep| {
+                kb.phrase_words(ep.phrase)
+                    .iter()
+                    .any(|w| context_words.binary_search(w).is_ok())
+            })
+            .map(|ep| ep.phrase)
+            .collect()
+    } else {
+        kb.keyphrase_index().matching_phrases(e, context_words)
+    };
+    // fold(0.0) rather than sum(): Iterator::sum's identity is -0.0, which
+    // would make an empty phrase set differ in sign bit from an exhaustive
+    // sum of zeros.
+    matching
+        .iter()
+        .map(|&p| phrase_score(kb, e, kb.phrase_words(p), context, weighting))
+        .fold(0.0, |acc, s| acc + s)
+}
+
+/// Reference implementation of `simscore(m, e)` scanning all of KP(e)
+/// without the inverted index. Kept for tests asserting the index prunes
+/// exactly.
+pub fn simscore_exhaustive(
     kb: &KnowledgeBase,
     e: EntityId,
     context: &[(usize, WordId)],
@@ -60,7 +126,7 @@ pub fn simscore(
     kb.keyphrases(e)
         .iter()
         .map(|ep| phrase_score(kb, e, kb.phrase_words(ep.phrase), context, weighting))
-        .sum()
+        .fold(0.0, |acc, s| acc + s)
 }
 
 #[cfg(test)]
@@ -126,6 +192,27 @@ mod tests {
         // Squared ratio: partial (2/3 of weight mass, z = 1) is below
         // (2/3)² + ε of the full score even before the z factor.
         assert!(s_partial < s_full * 0.6);
+    }
+
+    #[test]
+    fn indexed_simscore_matches_exhaustive_bitwise() {
+        let (kb, jimmy, larry) = kb();
+        for text in [
+            "played unusual chords on his Gibson guitar",
+            "search engine built at Stanford university",
+            "hard rock guitar award",
+            "nothing in common with anyone",
+            "",
+        ] {
+            let ctx = context_of(&kb, text);
+            for e in [jimmy, larry] {
+                for weighting in [KeywordWeighting::Npmi, KeywordWeighting::Idf] {
+                    let fast = simscore(&kb, e, &ctx, weighting);
+                    let slow = simscore_exhaustive(&kb, e, &ctx, weighting);
+                    assert_eq!(fast.to_bits(), slow.to_bits(), "{text:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Throughput benchmark of the parallel disambiguation engine.
+//!
+//! Runs full AIDA (with a cached Milne–Witten measure) over the CoNLL-like
+//! corpus at several thread counts and reports docs/sec and mentions/sec per
+//! count, the speedup relative to one thread, and the relatedness-cache hit
+//! rate. Also measures the algorithmic speedup of the keyphrase inverted
+//! index (indexed vs exhaustive `simscore` over every mention–candidate
+//! pair) and asserts that every thread count produces byte-identical
+//! outcomes. Results are printed as a table and written to
+//! `BENCH_throughput.json` in the working directory.
+
+use std::time::Instant;
+
+use ned_aida::context::DocumentContext;
+use ned_aida::similarity::{context_word_set, simscore_exhaustive, simscore_indexed};
+use ned_aida::{AidaConfig, Disambiguator, KeywordWeighting};
+use ned_eval::report::{num, Table};
+use ned_relatedness::{CachedRelatedness, MilneWitten};
+
+use crate::runner::{run_method_with_threads, Evaluation};
+use crate::setup::{Env, Scale};
+
+/// A mention's context window plus its candidate entities.
+type SimCase = (Vec<(usize, ned_kb::WordId)>, Vec<ned_kb::EntityId>);
+
+/// One thread-count measurement.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    threads: usize,
+    seconds: f64,
+    docs_per_sec: f64,
+    mentions_per_sec: f64,
+    speedup: f64,
+    cache_hit_rate: f64,
+}
+
+/// Byte-level equality of two evaluations (labels and confidence bits).
+fn identical(a: &Evaluation, b: &Evaluation) -> bool {
+    a.docs.len() == b.docs.len()
+        && a.docs.iter().zip(&b.docs).all(|(x, y)| {
+            x.gold == y.gold
+                && x.predicted == y.predicted
+                && x.confidence.len() == y.confidence.len()
+                && x.confidence
+                    .iter()
+                    .zip(&y.confidence)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+/// Runs the throughput benchmark.
+pub fn run(scale: &Scale) {
+    let env = Env::build(scale);
+    let kb = &env.exported.kb;
+    let corpus = env.conll(scale);
+    let docs = &corpus.docs;
+    let mention_count: usize = docs.iter().map(|d| d.mentions.len()).sum();
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut runs: Vec<Run> = Vec::new();
+    let mut baseline: Option<Evaluation> = None;
+    let mut deterministic = true;
+
+    for &threads in &thread_counts {
+        // Fresh cache per run so the hit rate reflects one pass.
+        let cached = CachedRelatedness::new(MilneWitten::new(kb));
+        let aida = Disambiguator::new(kb, &cached, AidaConfig::full());
+        let start = Instant::now();
+        let eval = run_method_with_threads(&aida, docs, threads);
+        let seconds = start.elapsed().as_secs_f64();
+        let stats = cached.stats();
+        match &baseline {
+            None => baseline = Some(eval),
+            Some(b) => {
+                if !identical(b, &eval) {
+                    deterministic = false;
+                }
+            }
+        }
+        let speedup = runs.first().map_or(1.0, |r0| r0.seconds / seconds);
+        runs.push(Run {
+            threads,
+            seconds,
+            docs_per_sec: docs.len() as f64 / seconds,
+            mentions_per_sec: mention_count as f64 / seconds,
+            speedup,
+            cache_hit_rate: stats.hit_rate(),
+        });
+    }
+    assert!(deterministic, "thread counts produced diverging outcomes");
+
+    // Algorithmic speedup of the keyphrase inverted index: score every
+    // mention–candidate pair with and without the index.
+    let contexts: Vec<SimCase> = docs
+        .iter()
+        .flat_map(|d| {
+            let ctx = DocumentContext::build(kb, &d.tokens);
+            d.mentions
+                .iter()
+                .map(|m| {
+                    let cands =
+                        kb.candidates(&m.mention.surface).iter().map(|c| c.entity).collect();
+                    (ctx.for_mention(&m.mention), cands)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let time_sim = |indexed: bool| -> f64 {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for (ctx, cands) in &contexts {
+            // As in the engine: one index query set per mention, shared by
+            // all of its candidates.
+            let words = context_word_set(ctx);
+            for &e in cands {
+                acc += if indexed {
+                    simscore_indexed(kb, e, ctx, &words, KeywordWeighting::Npmi)
+                } else {
+                    simscore_exhaustive(kb, e, ctx, KeywordWeighting::Npmi)
+                };
+            }
+        }
+        std::hint::black_box(acc);
+        start.elapsed().as_secs_f64()
+    };
+    let exhaustive_s = time_sim(false);
+    let indexed_s = time_sim(true);
+    let index_speedup = if indexed_s > 0.0 { exhaustive_s / indexed_s } else { 1.0 };
+
+    let mut table = Table::new(
+        "Throughput — full AIDA over the CoNLL-like corpus",
+        &["threads", "seconds", "docs/s", "mentions/s", "speedup", "cache hit rate"],
+    );
+    for r in &runs {
+        table.add_row(vec![
+            r.threads.to_string(),
+            num(r.seconds, 3),
+            num(r.docs_per_sec, 1),
+            num(r.mentions_per_sec, 1),
+            num(r.speedup, 2),
+            num(r.cache_hit_rate, 3),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "keyphrase index: exhaustive {:.3}s vs indexed {:.3}s ({index_speedup:.2}x); \
+         deterministic across thread counts: {deterministic}",
+        exhaustive_s, indexed_s
+    );
+
+    let json = render_json(
+        docs.len(),
+        mention_count,
+        &runs,
+        exhaustive_s,
+        indexed_s,
+        index_speedup,
+        deterministic,
+    );
+    let path = "BENCH_throughput.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    doc_count: usize,
+    mention_count: usize,
+    runs: &[Run],
+    exhaustive_s: f64,
+    indexed_s: f64,
+    index_speedup: f64,
+    deterministic: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"corpus\": \"conll-like\",\n");
+    out.push_str(&format!("  \"docs\": {doc_count},\n"));
+    out.push_str(&format!("  \"mentions\": {mention_count},\n"));
+    out.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"docs_per_sec\": {:.3}, \
+             \"mentions_per_sec\": {:.3}, \"speedup_vs_1_thread\": {:.3}, \
+             \"cache_hit_rate\": {:.4}}}{}\n",
+            r.threads,
+            r.seconds,
+            r.docs_per_sec,
+            r.mentions_per_sec,
+            r.speedup,
+            r.cache_hit_rate,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"keyphrase_index\": {{\"exhaustive_seconds\": {exhaustive_s:.6}, \
+         \"indexed_seconds\": {indexed_s:.6}, \"speedup\": {index_speedup:.3}}},\n"
+    ));
+    out.push_str(&format!("  \"deterministic_across_thread_counts\": {deterministic}\n"));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let runs = vec![
+            Run {
+                threads: 1,
+                seconds: 2.0,
+                docs_per_sec: 10.0,
+                mentions_per_sec: 50.0,
+                speedup: 1.0,
+                cache_hit_rate: 0.5,
+            },
+            Run {
+                threads: 4,
+                seconds: 1.0,
+                docs_per_sec: 20.0,
+                mentions_per_sec: 100.0,
+                speedup: 2.0,
+                cache_hit_rate: 0.5,
+            },
+        ];
+        let json = render_json(20, 100, &runs, 2.0, 1.0, 2.0, true);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"deterministic_across_thread_counts\": true"));
+    }
+}

@@ -5,7 +5,7 @@
 //!   experiments <id|all> [--full]
 //!
 //! Ids: table3_1 table3_2 table4_2 table4_3 fig4_3 table4_4 table5_1
-//!      table5_3 fig5_4 ablations
+//!      table5_3 fig5_4 ablations bench_throughput
 //!
 //! `--full` runs at a scale approaching the thesis' corpus sizes; the
 //! default scale finishes in seconds per experiment.

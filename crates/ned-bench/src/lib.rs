@@ -5,6 +5,7 @@
 //! Run with `cargo run -p ned-bench --release --bin experiments -- <id|all>`.
 
 pub mod ablations;
+pub mod bench_throughput;
 pub mod fig4_3;
 pub mod fig5_4;
 pub mod runner;
@@ -32,4 +33,5 @@ pub const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("table5_3", table5_3::run),
     ("fig5_4", fig5_4::run),
     ("ablations", ablations::run),
+    ("bench_throughput", bench_throughput::run),
 ];

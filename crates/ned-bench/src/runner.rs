@@ -1,7 +1,12 @@
 //! Shared evaluation plumbing: run a method over a document set (in
 //! parallel) and compute the standard measures.
+//!
+//! Documents fan out over rayon's pool; results come back in input order
+//! regardless of the thread count, so parallel and sequential runs produce
+//! byte-identical [`Evaluation`]s. The throughput benchmark uses
+//! [`run_method_with_threads`] to pin the pool size explicitly.
 
-use crossbeam::thread;
+use rayon::prelude::*;
 
 use ned_aida::NedMethod;
 use ned_eval::gold::{GoldDoc, Label};
@@ -74,41 +79,40 @@ impl Evaluation {
     }
 }
 
-/// Runs `method` over `docs`.
+/// Runs `method` over `docs` on rayon's current pool.
 pub fn run_method<M: NedMethod + Sync + ?Sized>(method: &M, docs: &[GoldDoc]) -> Evaluation {
-    run_per_doc(docs, |doc| {
-        let mentions = doc.bare_mentions();
-        let result = method.disambiguate(&doc.tokens, &mentions);
-        let confidence = result.assignments.iter().map(|a| a.normalized_score()).collect();
-        DocOutcome { gold: doc.gold_labels(), predicted: result.labels(), confidence }
-    })
+    run_per_doc(docs, |doc| outcome_for(method, doc))
 }
 
-/// Runs an arbitrary per-document labeling function over `docs`, in
-/// parallel across a fixed number of worker threads (documents are
-/// independent; results come back in input order).
+/// Runs `method` over `docs` on a dedicated pool of `threads` workers
+/// (0 = machine default). Output is byte-identical for any thread count.
+pub fn run_method_with_threads<M: NedMethod + Sync + ?Sized>(
+    method: &M,
+    docs: &[GoldDoc],
+    threads: usize,
+) -> Evaluation {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool");
+    pool.install(|| run_method(method, docs))
+}
+
+fn outcome_for<M: NedMethod + Sync + ?Sized>(method: &M, doc: &GoldDoc) -> DocOutcome {
+    let mentions = doc.bare_mentions();
+    let result = method.disambiguate(&doc.tokens, &mentions);
+    let confidence = result.assignments.iter().map(|a| a.normalized_score()).collect();
+    DocOutcome { gold: doc.gold_labels(), predicted: result.labels(), confidence }
+}
+
+/// Runs an arbitrary per-document labeling function over `docs`, fanning
+/// out over rayon's current pool (documents are independent; results come
+/// back in input order).
 pub fn run_per_doc<F>(docs: &[GoldDoc], f: F) -> Evaluation
 where
     F: Fn(&GoldDoc) -> DocOutcome + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    if docs.len() < 4 || workers < 2 {
-        return Evaluation { docs: docs.iter().map(&f).collect() };
-    }
-    let mut outcomes: Vec<Option<DocOutcome>> = vec![None; docs.len()];
-    let chunk = docs.len().div_ceil(workers);
-    thread::scope(|scope| {
-        for (slot_chunk, doc_chunk) in outcomes.chunks_mut(chunk).zip(docs.chunks(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (slot, doc) in slot_chunk.iter_mut().zip(doc_chunk) {
-                    *slot = Some(f(doc));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    Evaluation { docs: outcomes.into_iter().map(|o| o.expect("all docs processed")).collect() }
+    Evaluation { docs: docs.par_iter().map(f).collect() }
 }
 
 #[cfg(test)]
@@ -141,6 +145,32 @@ mod tests {
         assert_eq!(eval.micro(false), 1.0);
         for (i, o) in eval.docs.iter().enumerate() {
             assert_eq!(o.gold, vec![Some(EntityId(i as u32))]);
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let docs: Vec<GoldDoc> =
+            (0..13).map(|i| doc(&format!("d{i}"), Some(EntityId(i)))).collect();
+        let run = |threads: usize| {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                run_per_doc(&docs, |d| DocOutcome {
+                    gold: d.gold_labels(),
+                    predicted: d.gold_labels(),
+                    confidence: vec![0.5; d.mentions.len()],
+                })
+            })
+        };
+        let one = run(1);
+        for threads in [2, 4, 7] {
+            let n = run(threads);
+            for (a, b) in one.docs.iter().zip(&n.docs) {
+                assert_eq!(a.gold, b.gold);
+                assert_eq!(a.predicted, b.predicted);
+                assert_eq!(a.confidence, b.confidence);
+            }
         }
     }
 

@@ -133,6 +133,8 @@ impl KbBuilder {
         dictionary.finalize();
 
         let weights = WeightModel::compute(&keyphrases, &links, &self.phrases, self.words.len());
+        let kp_index =
+            crate::kp_index::KeyphraseIndex::build(&keyphrases, &self.phrases, self.words.len());
 
         KnowledgeBase {
             entities: self.entities,
@@ -143,6 +145,7 @@ impl KbBuilder {
             keyphrases,
             weights,
             by_name: self.by_name,
+            kp_index,
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Keyphrase inverted index: keyword → (entity, phrase) postings.
+//!
+//! The similarity computation (Eq. 3.4) gives a keyphrase a non-zero score
+//! only when at least one of its words occurs in the mention context —
+//! otherwise the shortest cover does not exist and the score is exactly 0.
+//! Scanning all of KP(e) per candidate therefore wastes most of its time on
+//! phrases that cannot match. This index inverts the keyphrase store once at
+//! build time so the engine can enumerate, for a candidate entity and a set
+//! of context words, exactly the phrases that share ≥ 1 word with the
+//! context — an *exact* pruning, not an approximation.
+//!
+//! Postings are sorted by `(entity, phrase)` so one binary search yields an
+//! entity's slice of a word's posting list. The index is transient (rebuilt
+//! after snapshot deserialization), like the other lookup indexes.
+
+use crate::ids::{EntityId, PhraseId, WordId};
+use crate::keyphrase::KeyphraseStore;
+use crate::vocab::PhraseInterner;
+
+/// Word → (entity, phrase) postings over a [`KeyphraseStore`].
+#[derive(Debug, Default, Clone)]
+pub struct KeyphraseIndex {
+    /// `postings[w]` lists every (entity, phrase) whose phrase contains
+    /// word `w`, sorted by (entity, phrase) and deduplicated.
+    postings: Vec<Vec<(EntityId, PhraseId)>>,
+}
+
+impl KeyphraseIndex {
+    /// Builds the index over all entities' keyphrase sets.
+    pub fn build(store: &KeyphraseStore, phrases: &PhraseInterner, word_count: usize) -> Self {
+        let mut postings: Vec<Vec<(EntityId, PhraseId)>> = vec![Vec::new(); word_count];
+        for ei in 0..store.len() {
+            let e = EntityId::from_index(ei);
+            for ep in store.phrases(e) {
+                for &w in phrases.words(ep.phrase) {
+                    postings[w.index()].push((e, ep.phrase));
+                }
+            }
+        }
+        for list in &mut postings {
+            list.sort_unstable();
+            // A phrase repeating a word would insert its posting twice.
+            list.dedup();
+        }
+        KeyphraseIndex { postings }
+    }
+
+    /// Number of indexed words.
+    pub fn word_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of postings across all words.
+    pub fn posting_count(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+
+    /// All (entity, phrase) postings of `word`, sorted by (entity, phrase).
+    pub fn postings(&self, word: WordId) -> &[(EntityId, PhraseId)] {
+        self.postings.get(word.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The postings of `word` restricted to entity `e` (a contiguous slice,
+    /// found by binary search).
+    pub fn entity_postings(&self, e: EntityId, word: WordId) -> &[(EntityId, PhraseId)] {
+        let list = self.postings(word);
+        let lo = list.partition_point(|&(pe, _)| pe < e);
+        let hi = list[lo..].partition_point(|&(pe, _)| pe == e) + lo;
+        &list[lo..hi]
+    }
+
+    /// The phrases of entity `e` sharing at least one word with
+    /// `context_words`, sorted by phrase id and deduplicated — exactly the
+    /// phrases that can score non-zero against a context containing those
+    /// words. `context_words` need not be sorted or deduplicated.
+    pub fn matching_phrases(&self, e: EntityId, context_words: &[WordId]) -> Vec<PhraseId> {
+        let mut out: Vec<PhraseId> = Vec::new();
+        for &w in context_words {
+            out.extend(self.entity_postings(e, w).iter().map(|&(_, p)| p));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KbBuilder;
+    use crate::entity::EntityKind;
+
+    fn kb() -> crate::store::KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let jimmy = b.add_entity("Jimmy Page", EntityKind::Person);
+        let larry = b.add_entity("Larry Page", EntityKind::Person);
+        b.add_keyphrase(jimmy, "hard rock", 3);
+        b.add_keyphrase(jimmy, "rock guitarist", 2);
+        b.add_keyphrase(larry, "search engine", 3);
+        b.add_keyphrase(larry, "rock climbing", 1);
+        b.build()
+    }
+
+    #[test]
+    fn postings_cover_all_phrase_words() {
+        let kb = kb();
+        let idx = kb.keyphrase_index();
+        let rock = kb.word_id("rock").unwrap();
+        // "rock" occurs in three phrases across both entities.
+        assert_eq!(idx.postings(rock).len(), 3);
+        let engine = kb.word_id("engine").unwrap();
+        assert_eq!(idx.postings(engine).len(), 1);
+    }
+
+    #[test]
+    fn entity_postings_are_scoped() {
+        let kb = kb();
+        let idx = kb.keyphrase_index();
+        let jimmy = kb.entity_by_name("Jimmy Page").unwrap();
+        let larry = kb.entity_by_name("Larry Page").unwrap();
+        let rock = kb.word_id("rock").unwrap();
+        assert_eq!(idx.entity_postings(jimmy, rock).len(), 2);
+        assert_eq!(idx.entity_postings(larry, rock).len(), 1);
+        assert!(idx.entity_postings(jimmy, rock).iter().all(|&(e, _)| e == jimmy));
+    }
+
+    #[test]
+    fn matching_phrases_equal_exhaustive_filter() {
+        let kb = kb();
+        let idx = kb.keyphrase_index();
+        let jimmy = kb.entity_by_name("Jimmy Page").unwrap();
+        let ctx: Vec<WordId> =
+            ["rock", "search"].iter().filter_map(|w| kb.word_id(w)).collect();
+        let via_index = idx.matching_phrases(jimmy, &ctx);
+        let exhaustive: Vec<PhraseId> = kb
+            .keyphrases(jimmy)
+            .iter()
+            .filter(|ep| kb.phrase_words(ep.phrase).iter().any(|w| ctx.contains(w)))
+            .map(|ep| ep.phrase)
+            .collect();
+        assert_eq!(via_index, exhaustive);
+    }
+
+    #[test]
+    fn duplicate_context_words_do_not_duplicate_phrases() {
+        let kb = kb();
+        let idx = kb.keyphrase_index();
+        let jimmy = kb.entity_by_name("Jimmy Page").unwrap();
+        let rock = kb.word_id("rock").unwrap();
+        let once = idx.matching_phrases(jimmy, &[rock]);
+        let twice = idx.matching_phrases(jimmy, &[rock, rock]);
+        assert_eq!(once, twice);
+        assert_eq!(once.len(), 2);
+    }
+
+    #[test]
+    fn unknown_word_has_no_postings() {
+        let kb = kb();
+        let idx = kb.keyphrase_index();
+        // An id beyond the vocabulary maps to the empty slice.
+        let bogus = WordId::from_index(idx.word_count() + 7);
+        assert!(idx.postings(bogus).is_empty());
+    }
+
+    #[test]
+    fn empty_store_builds_empty_index() {
+        let kb = KbBuilder::new().build();
+        let idx = kb.keyphrase_index();
+        assert_eq!(idx.posting_count(), 0);
+    }
+}

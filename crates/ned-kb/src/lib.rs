@@ -21,6 +21,7 @@ pub mod entity;
 pub mod fx;
 pub mod ids;
 pub mod keyphrase;
+pub mod kp_index;
 pub mod links;
 pub mod snapshot;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod weights;
 pub use builder::KbBuilder;
 pub use entity::{Entity, EntityKind};
 pub use ids::{EntityId, NameId, PhraseId, WordId};
+pub use kp_index::KeyphraseIndex;
 pub use store::KnowledgeBase;
 pub use taxonomy::{Taxonomy, TypeId};
 pub use weights::WeightModel;

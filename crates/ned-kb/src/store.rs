@@ -7,6 +7,7 @@ use crate::entity::Entity;
 use crate::fx::FxHashMap;
 use crate::ids::{EntityId, PhraseId, WordId};
 use crate::keyphrase::{EntityPhrase, KeyphraseStore};
+use crate::kp_index::KeyphraseIndex;
 use crate::links::LinkGraph;
 use crate::vocab::{PhraseInterner, WordInterner};
 use crate::weights::WeightModel;
@@ -27,6 +28,8 @@ pub struct KnowledgeBase {
     pub(crate) weights: WeightModel,
     #[serde(skip)]
     pub(crate) by_name: FxHashMap<String, EntityId>,
+    #[serde(skip)]
+    pub(crate) kp_index: KeyphraseIndex,
 }
 
 impl KnowledgeBase {
@@ -81,6 +84,11 @@ impl KnowledgeBase {
         &self.keyphrases
     }
 
+    /// The keyphrase inverted index (keyword → (entity, phrase) postings).
+    pub fn keyphrase_index(&self) -> &KeyphraseIndex {
+        &self.kp_index
+    }
+
     /// Word-id sequence of a keyphrase.
     pub fn phrase_words(&self, p: PhraseId) -> &[WordId] {
         self.phrases.words(p)
@@ -126,5 +134,6 @@ impl KnowledgeBase {
             .enumerate()
             .map(|(i, e)| (e.canonical_name.clone(), EntityId::from_index(i)))
             .collect();
+        self.kp_index = KeyphraseIndex::build(&self.keyphrases, &self.phrases, self.words.len());
     }
 }

@@ -2,11 +2,17 @@
 //!
 //! The AIDA graph algorithm queries the same entity pair repeatedly while
 //! weights are rescaled and the subgraph shrinks; caching turns repeated
-//! exact-KORE computations into hash lookups. Thread-safe via a sharded
-//! `parking_lot::RwLock` so the bench harness can disambiguate documents
+//! exact-KORE computations into hash lookups. Thread-safe via sharded
+//! `std::sync::RwLock`s so the parallel engine can disambiguate documents
 //! from multiple threads over one shared measure.
+//!
+//! All measures in this crate are symmetric, so keys are canonicalized to
+//! `(min(a, b), max(a, b))` — `(a, b)` and `(b, a)` share one entry. Hit,
+//! miss, and insert counts are tracked with relaxed atomics and exposed via
+//! [`CachedRelatedness::stats`] for the throughput bench's hit-rate report.
 
-use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use ned_kb::fx::FxHashMap;
 use ned_kb::EntityId;
@@ -15,22 +21,56 @@ use crate::traits::Relatedness;
 
 const SHARDS: usize = 16;
 
+/// Relaxed counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the wrapped measure.
+    pub misses: u64,
+    /// Entries written (≤ misses: concurrent misses on one pair insert once
+    /// each, but a pair counts one logical entry).
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, in [0, 1]; 0 when no
+    /// lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A relatedness measure with an internal pair cache.
 pub struct CachedRelatedness<M> {
     inner: M,
     shards: Vec<RwLock<FxHashMap<(EntityId, EntityId), f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl<M: Relatedness> CachedRelatedness<M> {
     /// Wraps `inner` with an empty cache.
     pub fn new(inner: M) -> Self {
         let shards = (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect();
-        CachedRelatedness { inner, shards }
+        CachedRelatedness {
+            inner,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
     }
 
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().expect("cache lock poisoned").len()).sum()
     }
 
     /// True if nothing is cached yet.
@@ -38,10 +78,19 @@ impl<M: Relatedness> CachedRelatedness<M> {
         self.len() == 0
     }
 
-    /// Drops all cached pairs.
+    /// Drops all cached pairs (counters keep accumulating).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            shard.write().expect("cache lock poisoned").clear();
+        }
+    }
+
+    /// Snapshot of the hit/miss/insert counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
         }
     }
 
@@ -61,13 +110,17 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
     }
 
     fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        // Symmetric measures share one entry per unordered pair.
         let key = if a <= b { (a, b) } else { (b, a) };
         let shard = &self.shards[Self::shard_of(key)];
-        if let Some(&v) = shard.read().get(&key) {
+        if let Some(&v) = shard.read().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let v = self.inner.relatedness(a, b);
-        shard.write().insert(key, v);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        shard.write().expect("cache lock poisoned").insert(key, v);
         v
     }
 }
@@ -119,5 +172,26 @@ mod tests {
             c.relatedness(EntityId(i), EntityId(i + 1));
         }
         assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        let (a, b) = (EntityId(3), EntityId(9));
+        c.relatedness(a, b); // miss + insert
+        c.relatedness(a, b); // hit
+        c.relatedness(b, a); // hit (canonicalized key)
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.hits, 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_hit_rate() {
+        let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.stats().hit_rate(), 0.0);
     }
 }

@@ -8,23 +8,37 @@
 
 use ned_kb::fx::FxHashSet;
 use ned_kb::EntityId;
+use rayon::prelude::*;
 
 /// Computes the unordered entity pairs that require a relatedness value,
 /// given the candidate list of every mention. Pairs are deduplicated and
 /// returned with `a < b`.
+///
+/// Mentions are enumerated in parallel (each worker crosses one mention's
+/// candidates with all later mentions'); the per-mention pair lists are
+/// merged and sorted afterwards, so the output is independent of the thread
+/// count.
 pub fn coherence_pairs(candidates_per_mention: &[Vec<EntityId>]) -> Vec<(EntityId, EntityId)> {
-    let mut pairs: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
-    for (mi, cands) in candidates_per_mention.iter().enumerate() {
-        for (other_mi, other_cands) in candidates_per_mention.iter().enumerate().skip(mi + 1) {
-            debug_assert_ne!(mi, other_mi);
-            for &a in cands {
-                for &b in other_cands {
-                    if a != b {
-                        pairs.insert(if a < b { (a, b) } else { (b, a) });
+    let per_mention: Vec<Vec<(EntityId, EntityId)>> = (0..candidates_per_mention.len())
+        .into_par_iter()
+        .map(|mi| {
+            let cands = &candidates_per_mention[mi];
+            let mut local = Vec::new();
+            for other_cands in &candidates_per_mention[mi + 1..] {
+                for &a in cands {
+                    for &b in other_cands {
+                        if a != b {
+                            local.push(if a < b { (a, b) } else { (b, a) });
+                        }
                     }
                 }
             }
-        }
+            local
+        })
+        .collect();
+    let mut pairs: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+    for local in per_mention {
+        pairs.extend(local);
     }
     let mut out: Vec<(EntityId, EntityId)> = pairs.into_iter().collect();
     out.sort_unstable();

@@ -6,7 +6,11 @@ use ned_kb::EntityId;
 ///
 /// Implementations must be symmetric (`relatedness(a, b) ==
 /// relatedness(b, a)`) and non-negative; most measures are bounded by 1.
-pub trait Relatedness {
+///
+/// `Sync` is a supertrait because coherence-edge construction queries the
+/// measure from rayon worker threads; all measures are immutable views over
+/// the knowledge base (or internally synchronized, like the pair cache).
+pub trait Relatedness: Sync {
     /// Short identifier used in experiment tables ("MW", "KORE", ...).
     fn name(&self) -> &'static str;
 

@@ -260,7 +260,7 @@ fn kind_and_suffix(rng: &mut StdRng) -> (EntityKind, &'static str) {
         (EntityKind::Other, &["Project", "Initiative", "Engine", "Protocol", "Device"]),
     ];
     // Persons are the most frequent kind, as in news corpora.
-    let pick = rng.random_range(0..10);
+    let pick = rng.random_range(0..10usize);
     let (kind, suffixes) = if pick < 5 { KINDS[0] } else { KINDS[1 + (pick - 5) % 5] };
     let suffix = if suffixes.is_empty() { "" } else { suffixes[rng.random_range(0..suffixes.len())] };
     (kind, suffix)

@@ -1,0 +1,226 @@
+//! Offline work-alike of `criterion` (API subset used by this workspace).
+//!
+//! Implements the measurement surface the benches use — `criterion_group!`/
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, sample_size,
+//! finish}`, `BenchmarkId`, and `Bencher::iter` — with a plain
+//! warmup-then-measure loop instead of criterion's statistical machinery.
+//! Each benchmark reports the mean wall-clock time per iteration on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// measurement loop is time-budgeted, not sample-counted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher { warmup, measure, iters: 0, elapsed: Duration::ZERO }
+    }
+
+    /// Times `routine`, first warming up, then measuring for the
+    /// configured budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget is spent, computing a
+        // per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+
+        // Measurement: batched timing to amortize clock reads.
+        let batch = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.measure.as_nanos() / per_iter.as_nanos().max(1) / 50).clamp(1, 10_000) as u64
+        };
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<50} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!("{id:<50} {:>12} /iter  ({} iters)", format_time(per_iter), self.iters);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`: skip measuring.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("algo", 42).0, "algo/42");
+        assert_eq!(BenchmarkId::from_parameter("k4_n8").0, "k4_n8");
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(0.002), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 µs");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline work-alike of `rayon` (API subset used by this workspace).
+//!
+//! Data-parallel iterators are implemented as deterministic chunked
+//! fork-join over [`std::thread::scope`]: the input is split into one
+//! contiguous chunk per worker, each chunk is mapped on its own OS thread,
+//! and the per-chunk outputs are concatenated in chunk order. Results are
+//! therefore **always in input order and bit-identical to a sequential
+//! run**, for any thread count — the determinism contract the
+//! disambiguation engine relies on.
+//!
+//! Differences from real rayon, by design:
+//! - no work stealing: chunks are static, which is fine for the workspace's
+//!   uniform per-item workloads;
+//! - nested parallel regions run sequentially (a worker thread never
+//!   forks again), bounding the thread count by the pool size;
+//! - only the combinators the workspace uses are provided
+//!   (`par_iter().map().collect()`, `into_par_iter()` over ranges,
+//!   `ThreadPoolBuilder`/`ThreadPool::install`, `current_num_threads`).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`]; 0 = unset.
+    static EFFECTIVE_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Set inside worker threads so nested regions run sequentially.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel regions on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = EFFECTIVE_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items`, fanning out over up to [`current_num_threads`]
+/// threads. Output order equals input order for any thread count.
+fn scope_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    let nested = IN_PARALLEL_REGION.with(|c| c.get());
+    if threads <= 1 || nested {
+        return items.iter().map(f).collect();
+    }
+
+    // One contiguous chunk per worker; the first `rem` chunks get one
+    // extra item so sizes differ by at most one.
+    let base = items.len() / threads;
+    let rem = items.len() % threads;
+    let f = &f;
+    let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < rem);
+            let chunk = &items[start..start + len];
+            start += len;
+            handles.push(scope.spawn(move || {
+                IN_PARALLEL_REGION.with(|c| c.set(true));
+                chunk.iter().map(f).collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            chunk_results.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunk_results {
+        out.extend(chunk);
+    }
+    out
+}
+
+pub mod iter {
+    //! Parallel iterator types.
+
+    use super::scope_map;
+
+    /// Parallel iterator over `&[T]`.
+    pub struct ParIter<'a, T> {
+        pub(crate) slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps each item through `f`.
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParMap { slice: self.slice, f }
+        }
+
+        /// Runs `f` on every item (order of execution unspecified).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            scope_map(self.slice, f);
+        }
+    }
+
+    /// Mapped parallel iterator over `&[T]`.
+    pub struct ParMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParMap<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        /// Collects the mapped items, preserving input order.
+        pub fn collect<C: FromParallel<R>>(self) -> C {
+            C::from_vec(scope_map(self.slice, |item| (self.f)(item)))
+        }
+    }
+
+    /// Parallel iterator over an index range.
+    pub struct ParRange {
+        pub(crate) indices: Vec<usize>,
+    }
+
+    impl ParRange {
+        /// Maps each index through `f`.
+        pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+        where
+            R: Send,
+            F: Fn(usize) -> R + Sync,
+        {
+            ParRangeMap { indices: self.indices, f }
+        }
+    }
+
+    /// Mapped parallel iterator over an index range.
+    pub struct ParRangeMap<F> {
+        indices: Vec<usize>,
+        f: F,
+    }
+
+    impl<R, F> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        /// Collects the mapped items in index order.
+        pub fn collect<C: FromParallel<R>>(self) -> C {
+            C::from_vec(scope_map(&self.indices, |&i| (self.f)(i)))
+        }
+    }
+
+    /// Collection types a parallel iterator can collect into.
+    pub trait FromParallel<R> {
+        /// Builds the collection from items in input order.
+        fn from_vec(items: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParallel<R> for Vec<R> {
+        fn from_vec(items: Vec<R>) -> Vec<R> {
+            items
+        }
+    }
+
+    /// `.par_iter()` entry point (subset of rayon's blanket trait).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item: Sync + 'a;
+        /// Creates a parallel iterator borrowing the collection.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// `.into_par_iter()` entry point.
+    pub trait IntoParallelIterator {
+        /// The produced parallel iterator.
+        type Iter;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { indices: self.collect() }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Error building a thread pool (never produced by this implementation).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; 0 means the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: parallel regions entered via [`ThreadPool::install`]
+/// fan out over this pool's thread count. Threads are spawned per region
+/// (scoped), not kept alive — adequate for the coarse-grained regions the
+/// workspace runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = EFFECTIVE_THREADS.with(|t| t.replace(self.num_threads));
+        let result = op();
+        EFFECTIVE_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| items.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.7).collect();
+        let run = |threads: usize| -> Vec<f64> {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| items.par_iter().map(|&x| x.sin() * x.cos()).collect())
+        };
+        let one = run(1);
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(one, run(threads), "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_sequentially() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let outer: Vec<usize> = (0..8).collect();
+        let nested: Vec<Vec<usize>> = pool.install(|| {
+            outer
+                .par_iter()
+                .map(|&i| {
+                    let inner: Vec<usize> = (0..4).collect();
+                    inner.par_iter().map(|&j| i * 10 + j).collect()
+                })
+                .collect()
+        });
+        for (i, row) in nested.iter().enumerate() {
+            assert_eq!(*row, (0..4).map(|j| i * 10 + j).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..50).map(|i| i * i).collect::<Vec<usize>>());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline work-alike of the `serde` serialization framework.
+//!
+//! The build environment of this repository has no network access to a
+//! crates registry, so the workspace vendors a minimal, API-compatible
+//! subset of serde: the `Serialize`/`Deserialize` traits, the serializer
+//! and deserializer trait hierarchies (full data model), implementations
+//! for the std types used by the workspace, and derive macros for plain
+//! structs and fieldless enums (see `vendor/serde_derive`).
+//!
+//! Only the surface actually exercised by the workspace is provided; the
+//! semantics of that surface follow serde 1.x so that swapping back to the
+//! real crate is a one-line change in the workspace manifest.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

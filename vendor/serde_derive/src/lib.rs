@@ -1,0 +1,406 @@
+//! Offline work-alike of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes used in this workspace: structs with named fields (honouring
+//! `#[serde(skip)]`), tuple structs, and enums whose variants carry no data.
+//! The input is parsed directly from the token stream (no `syn`/`quote`,
+//! which are unavailable offline) and the generated impl is assembled as
+//! source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Named-field struct: `(field_name, skipped)` in declaration order.
+    Struct { name: String, fields: Vec<(String, bool)> },
+    /// Tuple struct with `arity` fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum whose variants all carry no data.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, includes doc comments) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive does not support generic type `{name}`"));
+    }
+
+    match kind.as_str() {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Shape::Struct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream())?;
+                Ok(Shape::TupleStruct { name, arity })
+            }
+            _ => Err(format!("unsupported struct shape for `{name}`")),
+        },
+        "enum" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(g.stream(), &name)?;
+                Ok(Shape::UnitEnum { name, variants })
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Returns true if the attribute tokens starting at `i` (pointing at `#`)
+/// are `#[serde(skip)]`.
+fn attr_is_serde_skip(tokens: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(g)) = tokens.get(i + 1) else { return false };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            args.stream().into_iter().any(
+                |t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"),
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Parses `{ field: Type, ... }` bodies into `(name, skipped)` pairs.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes: record `#[serde(skip)]`, skip the rest (doc comments).
+        let mut skipped = false;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            skipped |= attr_is_serde_skip(&tokens, i);
+            i += 2;
+        }
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("expected field name, found `{t}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        // Groups are atomic, so only `<`/`>` need explicit depth tracking.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push((name, skipped));
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple struct body `(Type, Type, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return Err("tuple struct has no fields".into());
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        arity += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    Ok(arity)
+}
+
+/// Parses `{ A, B, C }` enum bodies; errors if any variant carries data.
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("expected variant name, found `{t}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(_) => {
+                return Err(format!(
+                    "derive supports only fieldless variants; `{enum_name}::{name}` carries data"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let live = fields.iter().filter(|(_, skip)| !skip).count();
+            let mut body = String::new();
+            for (field, skip) in fields {
+                if *skip {
+                    body.push_str(&format!(
+                        "serde::ser::SerializeStruct::skip_field(&mut __st, {field:?})?;\n"
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "serde::ser::SerializeStruct::serialize_field(&mut __st, {field:?}, &self.{field})?;\n"
+                    ));
+                }
+            }
+            format!(
+                "impl serde::ser::Serialize for {name} {{\n\
+                 fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 let mut __st = serde::ser::Serializer::serialize_struct(serializer, {name:?}, {live})?;\n\
+                 {body}\
+                 serde::ser::SerializeStruct::end(__st)\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+             serde::ser::Serializer::serialize_newtype_struct(serializer, {name:?}, &self.0)\n\
+             }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut body = String::new();
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{idx})?;\n"
+                ));
+            }
+            format!(
+                "impl serde::ser::Serialize for {name} {{\n\
+                 fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 let mut __st = serde::ser::Serializer::serialize_tuple_struct(serializer, {name:?}, {arity})?;\n\
+                 {body}\
+                 serde::ser::SerializeTupleStruct::end(__st)\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                arms.push_str(&format!(
+                    "{name}::{v} => serde::ser::Serializer::serialize_unit_variant(serializer, {name:?}, {idx}u32, {v:?}),\n"
+                ));
+            }
+            format!(
+                "impl serde::ser::Serialize for {name} {{\n\
+                 fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let live: Vec<&str> =
+                fields.iter().filter(|(_, s)| !s).map(|(f, _)| f.as_str()).collect();
+            let field_list =
+                live.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+            let mut init = String::new();
+            for (field, skip) in fields {
+                if *skip {
+                    init.push_str(&format!("{field}: Default::default(),\n"));
+                } else {
+                    init.push_str(&format!(
+                        "{field}: match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         Some(v) => v,\n\
+                         None => return Err(<A::Error as serde::de::Error>::custom(\
+                         concat!(\"missing field `\", stringify!({field}), \"`\"))),\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!(
+                "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut __seq: A) -> Result<{name}, A::Error> {{\n\
+                 Ok({name} {{\n{init}}})\n\
+                 }}\n\
+                 }}\n\
+                 const __FIELDS: &[&str] = &[{field_list}];\n\
+                 serde::de::Deserializer::deserialize_struct(deserializer, {name:?}, __FIELDS, __Visitor)\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn visit_newtype_struct<D2: serde::de::Deserializer<'de>>(self, d: D2) -> Result<{name}, D2::Error> {{\n\
+             Ok({name}(serde::de::Deserialize::deserialize(d)?))\n\
+             }}\n\
+             }}\n\
+             serde::de::Deserializer::deserialize_newtype_struct(deserializer, {name:?}, __Visitor)\n\
+             }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut init = String::new();
+            for idx in 0..*arity {
+                init.push_str(&format!(
+                    "match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                     Some(v) => v,\n\
+                     None => return Err(<A::Error as serde::de::Error>::custom(\
+                     \"tuple struct too short (field {idx})\")),\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut __seq: A) -> Result<{name}, A::Error> {{\n\
+                 Ok({name}(\n{init}))\n\
+                 }}\n\
+                 }}\n\
+                 serde::de::Deserializer::deserialize_tuple_struct(deserializer, {name:?}, {arity}, __Visitor)\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let variant_list =
+                variants.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(", ");
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                arms.push_str(&format!("{idx}u32 => Ok({name}::{v}),\n"));
+            }
+            format!(
+                "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_enum<A: serde::de::EnumAccess<'de>>(self, data: A) -> Result<{name}, A::Error> {{\n\
+                 let (__idx, __variant): (u32, A::Variant) = serde::de::EnumAccess::variant(data)?;\n\
+                 serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                 match __idx {{\n{arms}\
+                 _ => Err(<A::Error as serde::de::Error>::custom(\"invalid variant index\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 const __VARIANTS: &[&str] = &[{variant_list}];\n\
+                 serde::de::Deserializer::deserialize_enum(deserializer, {name:?}, __VARIANTS, __Visitor)\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
