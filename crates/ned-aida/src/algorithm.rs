@@ -14,6 +14,10 @@
 //!    mention; enumerate all combinations when feasible, otherwise run a
 //!    deterministic local search, maximizing the total edge weight.
 
+use std::time::Instant;
+
+use ned_core::NedError;
+
 use crate::graph::MentionEntityGraph;
 
 /// Parameters of the solver (a slice of [`crate::AidaConfig`]).
@@ -27,6 +31,13 @@ pub struct SolverConfig {
     pub local_search_iterations: usize,
     /// Seed for local-search restarts.
     pub seed: u64,
+    /// Deterministic iteration budget (Dijkstra pops, greedy removals, and
+    /// post-processing objective evaluations each cost one unit).
+    /// `u64::MAX` disables the guard.
+    pub max_iterations: u64,
+    /// Optional wall-clock budget in milliseconds. Nondeterministic by
+    /// nature; `None` keeps runs reproducible.
+    pub wall_budget_ms: Option<u64>,
 }
 
 impl Default for SolverConfig {
@@ -36,46 +47,108 @@ impl Default for SolverConfig {
             exhaustive_limit: 20_000,
             local_search_iterations: 400,
             seed: 0xa1da,
+            max_iterations: u64::MAX,
+            wall_budget_ms: None,
         }
+    }
+}
+
+/// The solver's iteration/wall budget. One unit is one "small" step —
+/// a Dijkstra pop, one greedy removal scan, one full-assignment objective
+/// evaluation — so exhaustion is deterministic for a given graph and
+/// budget regardless of thread count or machine speed.
+struct Budget {
+    spent: u64,
+    max: u64,
+    started: Instant,
+    wall_ms: Option<u64>,
+}
+
+impl Budget {
+    fn new(config: &SolverConfig) -> Self {
+        Budget {
+            spent: 0,
+            max: config.max_iterations,
+            started: Instant::now(),
+            wall_ms: config.wall_budget_ms,
+        }
+    }
+
+    /// Charges one unit; errors when the budget is exhausted. The wall
+    /// clock is sampled only every 1024 units to keep the guard cheap.
+    fn charge(&mut self) -> Result<(), NedError> {
+        self.spent = self.spent.saturating_add(1);
+        if self.spent > self.max {
+            return Err(NedError::BudgetExhausted { spent: self.spent, budget: self.max });
+        }
+        if let Some(budget_ms) = self.wall_ms {
+            if self.spent.is_multiple_of(1024) {
+                let elapsed_ms = self.started.elapsed().as_millis() as u64;
+                if elapsed_ms > budget_ms {
+                    return Err(NedError::DeadlineExceeded { elapsed_ms, budget_ms });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
 /// Distance penalty for an entity that cannot reach a mention at all.
 const UNREACHABLE: f64 = 100.0;
 
-/// Solves the graph: returns, per mention, the chosen entity node index
-/// (`None` only for mentions without candidates).
+/// Solves the graph without a budget guard (compatibility entry point):
+/// returns, per mention, the chosen entity node index (`None` only for
+/// mentions without candidates).
 pub fn solve(graph: &MentionEntityGraph, config: &SolverConfig) -> Vec<Option<usize>> {
+    let unbounded =
+        SolverConfig { max_iterations: u64::MAX, wall_budget_ms: None, ..*config };
+    // With an unlimited budget the solver cannot fail.
+    solve_budgeted(graph, &unbounded).unwrap_or_else(|_| vec![None; graph.mention_count])
+}
+
+/// Solves the graph under the configured iteration/wall budget.
+///
+/// On exhaustion, returns [`NedError::BudgetExhausted`] (deterministic) or
+/// [`NedError::DeadlineExceeded`] (wall budget, opt-in): the caller — the
+/// disambiguator's degradation ladder — falls back to local features
+/// instead of stalling the whole batch on one adversarial document.
+pub fn solve_budgeted(
+    graph: &MentionEntityGraph,
+    config: &SolverConfig,
+) -> Result<Vec<Option<usize>>, NedError> {
     let n = graph.entity_count();
     if n == 0 {
-        return vec![None; graph.mention_count];
+        return Ok(vec![None; graph.mention_count]);
     }
-    let mut active = prune_distant_entities(graph, config);
-    let best_active = greedy_min_degree(graph, &mut active);
-    postprocess(graph, &best_active, config)
+    let mut budget = Budget::new(config);
+    let mut active = prune_distant_entities(graph, config, &mut budget)?;
+    let best_active = greedy_min_degree(graph, &mut active, &mut budget)?;
+    postprocess(graph, &best_active, config, &mut budget)
 }
 
 /// Phase 1: keep the `factor × #mentions` entities with the smallest sum of
 /// squared shortest-path distances to the mention set.
-fn prune_distant_entities(graph: &MentionEntityGraph, config: &SolverConfig) -> Vec<bool> {
+fn prune_distant_entities(
+    graph: &MentionEntityGraph,
+    config: &SolverConfig,
+    budget: &mut Budget,
+) -> Result<Vec<bool>, NedError> {
     let n = graph.entity_count();
     let keep_target = config.graph_size_factor.saturating_mul(graph.mention_count).max(1);
     if n <= keep_target {
-        return vec![true; n];
+        return Ok(vec![true; n]);
     }
     // Sum of squared shortest-path distances from every mention.
     let mut distance_sum = vec![0.0f64; n];
     for mi in 0..graph.mention_count {
-        let d = dijkstra_from_mention(graph, mi);
+        let d = dijkstra_from_mention(graph, mi, budget)?;
         for (v, sum) in distance_sum.iter_mut().enumerate() {
             let dv = d[v].unwrap_or(UNREACHABLE);
             *sum += dv * dv;
         }
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        distance_sum[a].partial_cmp(&distance_sum[b]).expect("distances are finite")
-    });
+    order.sort_by(|&a, &b| distance_sum[a].total_cmp(&distance_sum[b]));
     let mut active = vec![false; n];
     for &v in order.iter().take(keep_target) {
         active[v] = true;
@@ -85,24 +158,24 @@ fn prune_distant_entities(graph: &MentionEntityGraph, config: &SolverConfig) -> 
         if cands.is_empty() || cands.iter().any(|&ni| active[ni]) {
             continue;
         }
-        let best = cands
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                mention_edge_weight(graph, a, mi)
-                    .partial_cmp(&mention_edge_weight(graph, b, mi))
-                    .expect("weights are finite")
-            })
-            .expect("non-empty candidates");
-        active[best] = true;
+        let best = cands.iter().copied().max_by(|&a, &b| {
+            mention_edge_weight(graph, a, mi).total_cmp(&mention_edge_weight(graph, b, mi))
+        });
+        if let Some(best) = best {
+            active[best] = true;
+        }
     }
-    active
+    Ok(active)
 }
 
 /// Dijkstra over the bipartite mention/entity graph starting at mention
 /// `mi`; edge length is `1 − weight` (weights are in [0, 1] after graph
 /// construction). Returns entity-node distances.
-fn dijkstra_from_mention(graph: &MentionEntityGraph, mi: usize) -> Vec<Option<f64>> {
+fn dijkstra_from_mention(
+    graph: &MentionEntityGraph,
+    mi: usize,
+    budget: &mut Budget,
+) -> Result<Vec<Option<f64>>, NedError> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -115,6 +188,7 @@ fn dijkstra_from_mention(graph: &MentionEntityGraph, mi: usize) -> Vec<Option<f6
     dist[start] = 0.0;
     heap.push(Reverse((OrdF64(0.0), start)));
     while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        budget.charge()?;
         if d > dist[u] {
             continue;
         }
@@ -142,7 +216,7 @@ fn dijkstra_from_mention(graph: &MentionEntityGraph, mi: usize) -> Vec<Option<f6
             }
         }
     }
-    (0..n).map(|v| dist[v].is_finite().then_some(dist[v])).collect()
+    Ok((0..n).map(|v| dist[v].is_finite().then_some(dist[v])).collect())
 }
 
 /// Total-order wrapper for finite f64 keys in the heap.
@@ -159,7 +233,7 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("finite distances")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -173,7 +247,11 @@ fn mention_edge_weight(graph: &MentionEntityGraph, ni: usize, mi: usize) -> f64 
 
 /// Phase 2: the greedy main loop. Mutates `active` while iterating and
 /// returns the best active set found.
-fn greedy_min_degree(graph: &MentionEntityGraph, active: &mut [bool]) -> Vec<bool> {
+fn greedy_min_degree(
+    graph: &MentionEntityGraph,
+    active: &mut [bool],
+    budget: &mut Budget,
+) -> Result<Vec<bool>, NedError> {
     let n = graph.entity_count();
     let mut degree: Vec<f64> = (0..n)
         .map(|v| if active[v] { graph.weighted_degree(v, active) } else { 0.0 })
@@ -201,6 +279,7 @@ fn greedy_min_degree(graph: &MentionEntityGraph, active: &mut [bool]) -> Vec<boo
     let mut best_objective = objective(active, &degree);
 
     loop {
+        budget.charge()?;
         // Taboo: entity is the last candidate of any incident mention.
         let is_taboo = |v: usize| {
             graph.nodes[v]
@@ -210,7 +289,7 @@ fn greedy_min_degree(graph: &MentionEntityGraph, active: &mut [bool]) -> Vec<boo
         };
         let victim = (0..n)
             .filter(|&v| active[v] && !is_taboo(v))
-            .min_by(|&a, &b| degree[a].partial_cmp(&degree[b]).expect("finite degrees"));
+            .min_by(|&a, &b| degree[a].total_cmp(&degree[b]));
         let Some(v) = victim else { break };
         // Remove v and update neighbour degrees.
         active[v] = false;
@@ -231,7 +310,7 @@ fn greedy_min_degree(graph: &MentionEntityGraph, active: &mut [bool]) -> Vec<boo
             best_active = active.to_vec();
         }
     }
-    best_active
+    Ok(best_active)
 }
 
 /// Phase 3: resolve mentions that still have several active candidates.
@@ -239,7 +318,8 @@ fn postprocess(
     graph: &MentionEntityGraph,
     active: &[bool],
     config: &SolverConfig,
-) -> Vec<Option<usize>> {
+    budget: &mut Budget,
+) -> Result<Vec<Option<usize>>, NedError> {
     let choices: Vec<Vec<usize>> = graph
         .mention_candidates
         .iter()
@@ -254,9 +334,9 @@ fn postprocess(
         }
     }
     if combos <= config.exhaustive_limit {
-        exhaustive(graph, &choices)
+        exhaustive(graph, &choices, budget)
     } else {
-        local_search(graph, &choices, config)
+        local_search(graph, &choices, config, budget)
     }
 }
 
@@ -283,7 +363,11 @@ fn assignment_weight(graph: &MentionEntityGraph, assignment: &[Option<usize>]) -
     total
 }
 
-fn exhaustive(graph: &MentionEntityGraph, choices: &[Vec<usize>]) -> Vec<Option<usize>> {
+fn exhaustive(
+    graph: &MentionEntityGraph,
+    choices: &[Vec<usize>],
+    budget: &mut Budget,
+) -> Result<Vec<Option<usize>>, NedError> {
     let m = choices.len();
     let mut current: Vec<Option<usize>> = vec![None; m];
     let mut best: Vec<Option<usize>> = vec![None; m];
@@ -295,27 +379,29 @@ fn exhaustive(graph: &MentionEntityGraph, choices: &[Vec<usize>]) -> Vec<Option<
         current: &mut Vec<Option<usize>>,
         best: &mut Vec<Option<usize>>,
         best_weight: &mut f64,
-    ) {
+        budget: &mut Budget,
+    ) -> Result<(), NedError> {
         if mi == choices.len() {
+            budget.charge()?;
             let w = assignment_weight(graph, current);
             if w > *best_weight {
                 *best_weight = w;
                 best.clone_from(current);
             }
-            return;
+            return Ok(());
         }
         if choices[mi].is_empty() {
             current[mi] = None;
-            recurse(graph, choices, mi + 1, current, best, best_weight);
-            return;
+            return recurse(graph, choices, mi + 1, current, best, best_weight, budget);
         }
         for &ni in &choices[mi] {
             current[mi] = Some(ni);
-            recurse(graph, choices, mi + 1, current, best, best_weight);
+            recurse(graph, choices, mi + 1, current, best, best_weight, budget)?;
         }
+        Ok(())
     }
-    recurse(graph, choices, 0, &mut current, &mut best, &mut best_weight);
-    best
+    recurse(graph, choices, 0, &mut current, &mut best, &mut best_weight, budget)?;
+    Ok(best)
 }
 
 /// xorshift64* generator for deterministic restarts.
@@ -340,7 +426,8 @@ fn local_search(
     graph: &MentionEntityGraph,
     choices: &[Vec<usize>],
     config: &SolverConfig,
-) -> Vec<Option<usize>> {
+    budget: &mut Budget,
+) -> Result<Vec<Option<usize>>, NedError> {
     let m = choices.len();
     let mut rng = XorShift(config.seed | 1);
     // Start from per-mention best local weight.
@@ -348,14 +435,9 @@ fn local_search(
         .iter()
         .enumerate()
         .map(|(mi, cands)| {
-            cands
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    mention_edge_weight(graph, a, mi)
-                        .partial_cmp(&mention_edge_weight(graph, b, mi))
-                        .expect("finite")
-                })
+            cands.iter().copied().max_by(|&a, &b| {
+                mention_edge_weight(graph, a, mi).total_cmp(&mention_edge_weight(graph, b, mi))
+            })
         })
         .collect();
     let mut best = greedy_start.clone();
@@ -385,6 +467,7 @@ fn local_search(
                     if Some(ni) == original {
                         continue;
                     }
+                    budget.charge()?;
                     current[mi] = Some(ni);
                     let w = assignment_weight(graph, &current);
                     if w > current_weight {
@@ -404,7 +487,7 @@ fn local_search(
             best = current;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]

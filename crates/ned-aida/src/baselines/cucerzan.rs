@@ -96,7 +96,7 @@ impl NedMethod for Cucerzan<'_> {
                     .iter()
                     .map(|c| (c.entity, bag_cosine_unweighted(&self.entity_bag(c.entity), &bag)))
                     .collect();
-                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1));
                 match scores.first().copied() {
                     Some((e, s)) => MentionAssignment {
                         mention_index: mi,
@@ -108,7 +108,7 @@ impl NedMethod for Cucerzan<'_> {
                 }
             })
             .collect();
-        DisambiguationResult { assignments }
+        DisambiguationResult::full_fidelity(assignments)
     }
 }
 

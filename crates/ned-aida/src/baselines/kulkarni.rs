@@ -144,8 +144,7 @@ impl<'a> Kulkarni<'a> {
 }
 
 fn argmax(cands: &[(EntityId, f64)]) -> Option<usize> {
-    (0..cands.len())
-        .max_by(|&a, &b| cands[a].1.partial_cmp(&cands[b].1).expect("finite scores"))
+    (0..cands.len()).max_by(|&a, &b| cands[a].1.total_cmp(&cands[b].1))
 }
 
 impl NedMethod for Kulkarni<'_> {
@@ -166,7 +165,7 @@ impl NedMethod for Kulkarni<'_> {
             .map(|(mi, (cands, pick))| match pick {
                 Some(i) => {
                     let mut scores = cands.clone();
-                    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
                     MentionAssignment {
                         mention_index: mi,
                         entity: Some(cands[i].0),
@@ -177,7 +176,7 @@ impl NedMethod for Kulkarni<'_> {
                 None => MentionAssignment::unmapped(mi),
             })
             .collect();
-        DisambiguationResult { assignments }
+        DisambiguationResult::full_fidelity(assignments)
     }
 }
 

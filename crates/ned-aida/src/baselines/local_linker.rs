@@ -57,7 +57,7 @@ impl NedMethod for LocalLinker<'_> {
                         (c.entity, self.prior_weight * prior + (1.0 - self.prior_weight) * cos)
                     })
                     .collect();
-                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1));
                 match scores.first().copied() {
                     Some((e, s)) => MentionAssignment {
                         mention_index: mi,
@@ -69,7 +69,7 @@ impl NedMethod for LocalLinker<'_> {
                 }
             })
             .collect();
-        DisambiguationResult { assignments }
+        DisambiguationResult::full_fidelity(assignments)
     }
 }
 

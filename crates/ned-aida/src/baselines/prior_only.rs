@@ -30,7 +30,7 @@ impl NedMethod for PriorOnly<'_> {
             .enumerate()
             .map(|(mi, m)| {
                 let mut scores: Vec<_> = self.kb.prior_distribution_for(m);
-                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite priors"));
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1));
                 match scores.first().copied() {
                     Some((e, p)) => MentionAssignment {
                         mention_index: mi,
@@ -42,7 +42,7 @@ impl NedMethod for PriorOnly<'_> {
                 }
             })
             .collect();
-        DisambiguationResult { assignments }
+        DisambiguationResult::full_fidelity(assignments)
     }
 }
 

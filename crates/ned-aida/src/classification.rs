@@ -83,7 +83,7 @@ impl<'a> TypeClassifier<'a> {
         }
         let mut out: Vec<TypePrediction> =
             scores.into_iter().map(|(ty, score)| TypePrediction { ty, score }).collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite").then(a.ty.cmp(&b.ty)));
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.ty.cmp(&b.ty)));
         out
     }
 

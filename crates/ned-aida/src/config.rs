@@ -57,6 +57,15 @@ pub struct AidaConfig {
     pub local_search_iterations: usize,
     /// Seed for the local-search candidate sampling (deterministic runs).
     pub seed: u64,
+    /// Deterministic iteration budget for the graph solver (greedy loop
+    /// steps + post-processing objective evaluations). Exhaustion makes the
+    /// disambiguator step down the degradation ladder instead of stalling on
+    /// an adversarial document. `u64::MAX` disables the guard.
+    pub solver_max_iterations: u64,
+    /// Optional wall-clock budget for the graph solver, in milliseconds.
+    /// `None` (the default) keeps runs fully deterministic; set it only for
+    /// latency-bound serving, where exceeding it degrades the document.
+    pub solver_wall_budget_ms: Option<u64>,
 }
 
 impl Default for AidaConfig {
@@ -77,6 +86,11 @@ impl Default for AidaConfig {
             exhaustive_limit: 20_000,
             local_search_iterations: 400,
             seed: 0xa1da,
+            // Generous: orders of magnitude above what any CoNLL-sized
+            // document needs, but finite, so a pathological graph cannot
+            // stall a worker forever.
+            solver_max_iterations: 50_000_000,
+            solver_wall_budget_ms: None,
         }
     }
 }
@@ -164,6 +178,9 @@ impl AidaConfig {
         }
         if self.graph_size_factor == 0 {
             return Err("graph_size_factor must be positive".into());
+        }
+        if self.solver_max_iterations == 0 {
+            return Err("solver_max_iterations must be positive (u64::MAX disables)".into());
         }
         Ok(())
     }

@@ -83,10 +83,11 @@ pub fn shortest_cover(context: &[(usize, WordId)], phrase_words: &[WordId]) -> O
                 best = Some(Cover { matched_words: distinct_total, length, words });
             }
             // Shrink from the left.
-            let lc = counts.get_mut(&lw).expect("word in window");
-            *lc -= 1;
-            if *lc == 0 {
-                distinct -= 1;
+            if let Some(lc) = counts.get_mut(&lw) {
+                *lc -= 1;
+                if *lc == 0 {
+                    distinct -= 1;
+                }
             }
             left += 1;
         }

@@ -2,12 +2,13 @@
 //! retrieval, local features, robustness tests, graph construction, and the
 //! greedy solver.
 
+use ned_core::{DegradationLevel, NedError};
 use ned_kb::{EntityId, KnowledgeBase};
 use ned_relatedness::Relatedness;
 use ned_text::{Mention, Token};
 use rayon::prelude::*;
 
-use crate::algorithm::{solve, SolverConfig};
+use crate::algorithm::{solve_budgeted, SolverConfig};
 use crate::candidates::{candidate_features_for_surface, CandidateFeatures};
 use crate::expansion::expansion_targets;
 use crate::config::AidaConfig;
@@ -29,10 +30,26 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
     ///
     /// # Panics
     /// Panics when the configuration is invalid (see
-    /// [`AidaConfig::validate`]).
+    /// [`AidaConfig::validate`]). Use [`Disambiguator::try_new`] to handle
+    /// configuration faults gracefully.
     pub fn new(kb: &'a KnowledgeBase, relatedness: R, config: AidaConfig) -> Self {
-        config.validate().expect("invalid AIDA configuration");
-        Disambiguator { kb, relatedness, config }
+        match Self::try_new(kb, relatedness, config) {
+            Ok(d) => d,
+            Err(err) => panic!("invalid AIDA configuration: {err}"),
+        }
+    }
+
+    /// Creates a disambiguator, returning a typed error when the
+    /// configuration is invalid.
+    pub fn try_new(
+        kb: &'a KnowledgeBase,
+        relatedness: R,
+        config: AidaConfig,
+    ) -> Result<Self, NedError> {
+        config
+            .validate()
+            .map_err(|message| NedError::Config { what: "AidaConfig", message })?;
+        Ok(Disambiguator { kb, relatedness, config })
     }
 
     /// The knowledge base in use.
@@ -57,6 +74,11 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
         tokens: &[Token],
         mentions: &[Mention],
     ) -> Vec<Vec<CandidateFeatures>> {
+        if mentions.is_empty() {
+            // Empty and mention-free documents short-circuit: no context,
+            // no candidate lookups, a well-formed empty feature set.
+            return Vec::new();
+        }
         let ctx = DocumentContext::build(self.kb, tokens);
         let targets: Vec<usize> = if self.config.use_mention_expansion {
             expansion_targets(mentions)
@@ -93,12 +115,23 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
     /// Disambiguates pre-computed features (the entry point used by the
     /// perturbation-based confidence assessors, which alter the feature
     /// lists directly).
+    ///
+    /// Runs the degradation ladder: the full joint model first; if the
+    /// graph solver exhausts its iteration or wall budget, the best *local*
+    /// candidate per mention ([`DegradationLevel::NoCoherence`]); if the
+    /// local weights themselves are poisoned (non-finite), the popularity
+    /// prior alone ([`DegradationLevel::PriorOnly`]). The level actually
+    /// used is recorded on the result.
     pub fn disambiguate_features(
         &self,
         features: &[Vec<CandidateFeatures>],
     ) -> DisambiguationResult {
+        if features.is_empty() {
+            return DisambiguationResult::default();
+        }
+        let mut degradation = DegradationLevel::None;
         // Local combined weights per mention (prior robustness applied).
-        let locals: Vec<Vec<(EntityId, f64)>> = features
+        let mut locals: Vec<Vec<(EntityId, f64)>> = features
             .iter()
             .map(|f| {
                 let (w, _) = local_weights(f, &self.config);
@@ -106,29 +139,58 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
             })
             .collect();
 
-        let chosen: Vec<Option<EntityId>> = if self.config.use_coherence {
-            self.solve_with_coherence(features, &locals)
-        } else {
-            locals.iter().map(|cands| argmax_entity(cands)).collect()
-        };
+        // Bottom rung: a non-finite local weight means the similarity
+        // feature is poisoned (corrupt counts, NaN propagation). The prior
+        // is a plain occurrence ratio and survives, so retreat to it.
+        if locals.iter().flatten().any(|&(_, w)| !w.is_finite()) {
+            degradation = DegradationLevel::PriorOnly;
+            locals = features
+                .iter()
+                .map(|f| {
+                    f.iter()
+                        .map(|cf| {
+                            (cf.entity, if cf.prior.is_finite() { cf.prior } else { 0.0 })
+                        })
+                        .collect()
+                })
+                .collect();
+        }
 
+        let chosen: Vec<Option<EntityId>> =
+            if self.config.use_coherence && degradation == DegradationLevel::None {
+                match self.solve_with_coherence(features, &locals) {
+                    Ok(chosen) => chosen,
+                    // Middle rung: the solver ran out of budget (or
+                    // otherwise faulted); drop the coherence feature and
+                    // keep the best local candidate per mention.
+                    Err(err) => {
+                        debug_assert!(err.is_degradable(), "unexpected solver fault: {err}");
+                        degradation = DegradationLevel::NoCoherence;
+                        locals.iter().map(|cands| argmax_entity(cands)).collect()
+                    }
+                }
+            } else {
+                locals.iter().map(|cands| argmax_entity(cands)).collect()
+            };
+
+        let degraded = degradation.is_degraded();
         let assignments = features
             .iter()
             .zip(&locals)
             .zip(&chosen)
             .enumerate()
             .map(|(mi, ((_f, local), &entity))| {
-                self.make_assignment(mi, local, entity, &chosen)
+                self.make_assignment(mi, local, entity, &chosen, degraded)
             })
             .collect();
-        DisambiguationResult { assignments }
+        DisambiguationResult { assignments, degradation }
     }
 
     fn solve_with_coherence(
         &self,
         features: &[Vec<CandidateFeatures>],
         locals: &[Vec<(EntityId, f64)>],
-    ) -> Vec<Option<EntityId>> {
+    ) -> Result<Vec<Option<EntityId>>, NedError> {
         // Coherence robustness: fix agreeing mentions to their best local
         // candidate, keeping only that candidate in the graph (§3.5.2).
         let graph_locals: Vec<Vec<(EntityId, f64)>> = features
@@ -156,11 +218,13 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
             exhaustive_limit: self.config.exhaustive_limit,
             local_search_iterations: self.config.local_search_iterations,
             seed: self.config.seed,
+            max_iterations: self.config.solver_max_iterations,
+            wall_budget_ms: self.config.solver_wall_budget_ms,
         };
-        solve(&graph, &solver)
+        Ok(solve_budgeted(&graph, &solver)?
             .into_iter()
             .map(|s| s.map(|ni| graph.nodes[ni].entity))
-            .collect()
+            .collect())
     }
 
     /// Builds the final assignment for mention `mi`, scoring every candidate
@@ -173,11 +237,15 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
         local: &[(EntityId, f64)],
         entity: Option<EntityId>,
         chosen: &[Option<EntityId>],
+        degraded: bool,
     ) -> MentionAssignment {
         if local.is_empty() {
             return MentionAssignment::unmapped(mi);
         }
-        let gamma = if self.config.use_coherence { self.config.gamma } else { 0.0 };
+        // A degraded document dropped the coherence feature, so its scores
+        // must not consult the relatedness measure either (which may be the
+        // faulty component that forced the degradation).
+        let gamma = if self.config.use_coherence && !degraded { self.config.gamma } else { 0.0 };
         let others: Vec<EntityId> = chosen
             .iter()
             .enumerate()
@@ -196,7 +264,7 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
                 (e, (1.0 - gamma) * w + gamma * coh)
             })
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1));
         let entity = entity.or_else(|| scores.first().map(|&(e, _)| e));
         let score = entity
             .and_then(|e| scores.iter().find(|&&(c, _)| c == e).map(|&(_, s)| s))
@@ -209,8 +277,7 @@ fn argmax_index(cands: &[(EntityId, f64)]) -> Option<usize> {
     (0..cands.len()).max_by(|&a, &b| {
         cands[a]
             .1
-            .partial_cmp(&cands[b].1)
-            .expect("finite weights")
+            .total_cmp(&cands[b].1)
             // Deterministic tie-break on entity id.
             .then(cands[b].0.cmp(&cands[a].0))
     })
@@ -387,6 +454,59 @@ mod tests {
         let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
         let result = aida.disambiguate(&[], &[]);
         assert!(result.assignments.is_empty());
+        assert_eq!(result.degradation, DegradationLevel::None);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_configuration() {
+        let kb = kb();
+        let bad = AidaConfig { alpha: 0.9, ..AidaConfig::default() };
+        let err = Disambiguator::try_new(&kb, MilneWitten::new(&kb), bad)
+            .err()
+            .expect("invalid config must be rejected");
+        assert!(matches!(err, NedError::Config { what: "AidaConfig", .. }));
+    }
+
+    #[test]
+    fn exhausted_solver_budget_degrades_to_local_features() {
+        let kb = kb();
+        let config = AidaConfig { solver_max_iterations: 1, ..AidaConfig::full() };
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), config);
+        let (tokens, mentions) = doc();
+        let result = aida.disambiguate(&tokens, &mentions);
+        assert_eq!(result.degradation, DegradationLevel::NoCoherence);
+        assert_eq!(result.assignments.len(), mentions.len());
+        assert!(result.assignments.iter().all(|a| a.entity.is_some()));
+        // The degraded output matches an explicitly coherence-free run.
+        let no_coh = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::r_prior_sim());
+        assert_eq!(result.labels(), no_coh.disambiguate(&tokens, &mentions).labels());
+    }
+
+    #[test]
+    fn generous_budget_leaves_output_unchanged() {
+        let kb = kb();
+        let (tokens, mentions) = doc();
+        let unbudgeted = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full())
+            .disambiguate(&tokens, &mentions);
+        assert_eq!(unbudgeted.degradation, DegradationLevel::None);
+    }
+
+    #[test]
+    fn poisoned_similarity_degrades_to_prior_only() {
+        let kb = kb();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let jimmy = kb.entity_by_name("Jimmy Page").unwrap();
+        let larry = kb.entity_by_name("Larry Page").unwrap();
+        let nan = f64::NAN;
+        let features = vec![vec![
+            CandidateFeatures { entity: jimmy, prior: 0.4, sim: nan, sim_normalized: nan },
+            CandidateFeatures { entity: larry, prior: 0.6, sim: nan, sim_normalized: nan },
+        ]];
+        let result = aida.disambiguate_features(&features);
+        assert_eq!(result.degradation, DegradationLevel::PriorOnly);
+        // The prior survives: Larry Page wins on popularity.
+        assert_eq!(result.assignments[0].entity, Some(larry));
+        assert!(result.assignments[0].score.is_finite());
     }
 
     #[test]

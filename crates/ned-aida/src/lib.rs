@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! AIDA: accurate joint disambiguation of named entities (Chapter 3).
 //!
@@ -34,6 +35,7 @@ pub mod robustness;
 pub mod similarity;
 
 pub use config::{AidaConfig, KeywordWeighting};
+pub use ned_core::{DegradationLevel, NedError};
 pub use disambiguator::Disambiguator;
 pub use joint::{Annotation, JointAnnotator, JointConfig};
 pub use method::NedMethod;

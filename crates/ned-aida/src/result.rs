@@ -1,5 +1,6 @@
 //! Disambiguation output types.
 
+use ned_core::DegradationLevel;
 use ned_kb::EntityId;
 
 /// The decision for one mention, with per-candidate scores for downstream
@@ -48,9 +49,17 @@ impl MentionAssignment {
 pub struct DisambiguationResult {
     /// Assignments, parallel to the input mentions.
     pub assignments: Vec<MentionAssignment>,
+    /// How far down the feature ladder the method had to step for this
+    /// document ([`DegradationLevel::None`] on the happy path).
+    pub degradation: DegradationLevel,
 }
 
 impl DisambiguationResult {
+    /// Wraps assignments produced at full fidelity.
+    pub fn full_fidelity(assignments: Vec<MentionAssignment>) -> Self {
+        DisambiguationResult { assignments, degradation: DegradationLevel::None }
+    }
+
     /// The chosen labels, parallel to the input mentions (`None` =
     /// out-of-KB / unmapped).
     pub fn labels(&self) -> Vec<Option<EntityId>> {
@@ -92,18 +101,17 @@ mod tests {
 
     #[test]
     fn labels_are_in_input_order() {
-        let r = DisambiguationResult {
-            assignments: vec![
-                MentionAssignment::unmapped(0),
-                MentionAssignment {
-                    mention_index: 1,
-                    entity: Some(EntityId(7)),
-                    score: 1.0,
-                    candidate_scores: vec![(EntityId(7), 1.0)],
-                },
-            ],
-        };
+        let r = DisambiguationResult::full_fidelity(vec![
+            MentionAssignment::unmapped(0),
+            MentionAssignment {
+                mention_index: 1,
+                entity: Some(EntityId(7)),
+                score: 1.0,
+                candidate_scores: vec![(EntityId(7), 1.0)],
+            },
+        ]);
         assert_eq!(r.labels(), vec![None, Some(EntityId(7))]);
         assert_eq!(r.mapped_count(), 1);
+        assert!(!r.degradation.is_degraded());
     }
 }

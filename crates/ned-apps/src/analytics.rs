@@ -124,7 +124,7 @@ impl NewsAnalytics {
                 (lift >= factor).then_some((e, lift))
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite lift").then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 

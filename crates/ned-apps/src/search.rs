@@ -223,7 +223,7 @@ impl<'a> EntityIndex<'a> {
             })
             .collect();
         hits.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).expect("finite scores").then(a.doc_id.cmp(&b.doc_id))
+            b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id))
         });
         hits.truncate(k);
         hits

@@ -1,6 +1,8 @@
 //! Criterion benches for the parallel engine: corpus throughput at several
 //! thread counts and indexed vs exhaustive keyphrase similarity.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -36,7 +38,14 @@ fn bench_thread_scaling(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 let m = Disambiguator::new(kb, MilneWitten::new(kb), AidaConfig::full());
-                b.iter(|| black_box(run_method_with_threads(&m, &docs, threads).docs.len()))
+                b.iter(|| {
+                    black_box(
+                        run_method_with_threads(&m, &docs, threads)
+                            .expect("thread pool")
+                            .docs
+                            .len(),
+                    )
+                })
             },
         );
     }

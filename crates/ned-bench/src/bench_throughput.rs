@@ -32,14 +32,18 @@ struct Run {
     mentions_per_sec: f64,
     speedup: f64,
     cache_hit_rate: f64,
+    failed_docs: usize,
+    degraded_docs: usize,
 }
 
-/// Byte-level equality of two evaluations (labels and confidence bits).
+/// Byte-level equality of two evaluations (labels, confidence bits, and
+/// per-document status).
 fn identical(a: &Evaluation, b: &Evaluation) -> bool {
     a.docs.len() == b.docs.len()
         && a.docs.iter().zip(&b.docs).all(|(x, y)| {
             x.gold == y.gold
                 && x.predicted == y.predicted
+                && x.status == y.status
                 && x.confidence.len() == y.confidence.len()
                 && x.confidence
                     .iter()
@@ -66,9 +70,12 @@ pub fn run(scale: &Scale) {
         let cached = CachedRelatedness::new(MilneWitten::new(kb));
         let aida = Disambiguator::new(kb, &cached, AidaConfig::full());
         let start = Instant::now();
-        let eval = run_method_with_threads(&aida, docs, threads);
+        let eval = run_method_with_threads(&aida, docs, threads)
+            .unwrap_or_else(|e| panic!("cannot build {threads}-thread pool: {e}"));
         let seconds = start.elapsed().as_secs_f64();
         let stats = cached.stats();
+        let failed_docs = eval.failed_count();
+        let degraded_docs = eval.degraded_count();
         match &baseline {
             None => baseline = Some(eval),
             Some(b) => {
@@ -85,6 +92,8 @@ pub fn run(scale: &Scale) {
             mentions_per_sec: mention_count as f64 / seconds,
             speedup,
             cache_hit_rate: stats.hit_rate(),
+            failed_docs,
+            degraded_docs,
         });
     }
     assert!(deterministic, "thread counts produced diverging outcomes");
@@ -129,7 +138,16 @@ pub fn run(scale: &Scale) {
 
     let mut table = Table::new(
         "Throughput — full AIDA over the CoNLL-like corpus",
-        &["threads", "seconds", "docs/s", "mentions/s", "speedup", "cache hit rate"],
+        &[
+            "threads",
+            "seconds",
+            "docs/s",
+            "mentions/s",
+            "speedup",
+            "cache hit rate",
+            "failed",
+            "degraded",
+        ],
     );
     for r in &runs {
         table.add_row(vec![
@@ -139,6 +157,8 @@ pub fn run(scale: &Scale) {
             num(r.mentions_per_sec, 1),
             num(r.speedup, 2),
             num(r.cache_hit_rate, 3),
+            r.failed_docs.to_string(),
+            r.degraded_docs.to_string(),
         ]);
     }
     print!("{}", table.render());
@@ -187,13 +207,15 @@ fn render_json(
         out.push_str(&format!(
             "    {{\"threads\": {}, \"seconds\": {:.6}, \"docs_per_sec\": {:.3}, \
              \"mentions_per_sec\": {:.3}, \"speedup_vs_1_thread\": {:.3}, \
-             \"cache_hit_rate\": {:.4}}}{}\n",
+             \"cache_hit_rate\": {:.4}, \"failed_docs\": {}, \"degraded_docs\": {}}}{}\n",
             r.threads,
             r.seconds,
             r.docs_per_sec,
             r.mentions_per_sec,
             r.speedup,
             r.cache_hit_rate,
+            r.failed_docs,
+            r.degraded_docs,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -221,6 +243,8 @@ mod tests {
                 mentions_per_sec: 50.0,
                 speedup: 1.0,
                 cache_hit_rate: 0.5,
+                failed_docs: 2,
+                degraded_docs: 1,
             },
             Run {
                 threads: 4,
@@ -229,12 +253,16 @@ mod tests {
                 mentions_per_sec: 100.0,
                 speedup: 2.0,
                 cache_hit_rate: 0.5,
+                failed_docs: 2,
+                degraded_docs: 1,
             },
         ];
         let json = render_json(20, 100, &runs, 2.0, 1.0, 2.0, true);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"failed_docs\": 2"));
+        assert!(json.contains("\"degraded_docs\": 1"));
         assert!(json.contains("\"deterministic_across_thread_counts\": true"));
     }
 }

@@ -9,7 +9,7 @@ use ned_eval::report::{num, Table};
 use ned_kb::EntityId;
 use ned_relatedness::{Kore, KoreLsh, MilneWitten, Relatedness, TwoStageConfig};
 
-use crate::runner::{run_method, run_per_doc, DocOutcome, Evaluation};
+use crate::runner::{run_method, run_per_doc, DocOutcome, DocStatus, Evaluation};
 use crate::setup::{Env, Scale};
 
 /// Per-mention (gold inlink count, correct) pairs of an evaluation.
@@ -69,6 +69,7 @@ pub fn run(scale: &Scale) {
             gold: doc.gold_labels(),
             predicted: result.labels(),
             confidence: vec![0.0; mentions.len()],
+            status: DocStatus::from_degradation(result.degradation),
         }
     });
     let lsh_points = mention_points(&env, &lsh_eval);

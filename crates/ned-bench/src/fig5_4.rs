@@ -34,11 +34,7 @@ fn ee_metrics(
         };
         let discovery = EeDiscovery::new(&aida, models, config);
         let (labels, _) = discovery.discover(&doc.tokens, &doc.bare_mentions());
-        DocOutcome {
-            gold: doc.gold_labels(),
-            predicted: labels,
-            confidence: vec![0.0; doc.mentions.len()],
-        }
+        DocOutcome::ok(doc.gold_labels(), labels, vec![0.0; doc.mentions.len()])
     });
     let pairs: Vec<(&[Label], &[Label])> =
         eval.docs.iter().map(|d| (d.gold.as_slice(), d.predicted.as_slice())).collect();

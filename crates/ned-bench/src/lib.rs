@@ -1,3 +1,5 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! Experiment harness regenerating every table and figure of the thesis'
 //! evaluation chapters on the synthetic world (see DESIGN.md §5 for the
 //! experiment index and EXPERIMENTS.md for paper-vs-measured records).

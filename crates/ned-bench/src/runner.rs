@@ -5,7 +5,16 @@
 //! regardless of the thread count, so parallel and sequential runs produce
 //! byte-identical [`Evaluation`]s. The throughput benchmark uses
 //! [`run_method_with_threads`] to pin the pool size explicitly.
+//!
+//! Each work item is additionally isolated with `catch_unwind`: a document
+//! that panics its worker (a poisoned input, a faulty feature source)
+//! yields a [`DocStatus::Failed`] placeholder outcome instead of aborting
+//! the whole batch, and the failure is surfaced through
+//! [`Evaluation::failed_count`] rather than silently skewing accuracy.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ned_core::{panic_message, DegradationLevel, NedError};
 use rayon::prelude::*;
 
 use ned_aida::NedMethod;
@@ -13,8 +22,46 @@ use ned_eval::gold::{GoldDoc, Label};
 use ned_eval::map::RankedItem;
 use ned_eval::{macro_accuracy, micro_accuracy};
 
-/// Per-document outcome: gold labels, predicted labels, and per-mention
-/// confidences (method-specific; used for MAP).
+/// Health of one document's run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DocStatus {
+    /// Full-fidelity success.
+    #[default]
+    Ok,
+    /// The method succeeded but stepped down the degradation ladder
+    /// (solver budget exhausted, poisoned similarity feature, …).
+    Degraded(DegradationLevel),
+    /// The document's worker panicked; its labels are all-`None`
+    /// placeholders and it is excluded from the accuracy measures.
+    Failed {
+        /// Human-readable cause (the captured panic payload).
+        reason: String,
+    },
+}
+
+impl DocStatus {
+    /// Status for a successful run at the given degradation level.
+    pub fn from_degradation(level: DegradationLevel) -> Self {
+        if level.is_degraded() {
+            DocStatus::Degraded(level)
+        } else {
+            DocStatus::Ok
+        }
+    }
+
+    /// True for [`DocStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, DocStatus::Failed { .. })
+    }
+
+    /// True for [`DocStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DocStatus::Degraded(_))
+    }
+}
+
+/// Per-document outcome: gold labels, predicted labels, per-mention
+/// confidences (method-specific; used for MAP), and the run's health.
 #[derive(Debug, Clone, Default)]
 pub struct DocOutcome {
     /// Gold labels.
@@ -23,6 +70,28 @@ pub struct DocOutcome {
     pub predicted: Vec<Label>,
     /// Per-mention confidence (normalized score by default).
     pub confidence: Vec<f64>,
+    /// Health of this document's run.
+    pub status: DocStatus,
+}
+
+impl DocOutcome {
+    /// A healthy full-fidelity outcome.
+    pub fn ok(gold: Vec<Label>, predicted: Vec<Label>, confidence: Vec<f64>) -> Self {
+        DocOutcome { gold, predicted, confidence, status: DocStatus::Ok }
+    }
+
+    /// The placeholder outcome for a document whose worker faulted: gold
+    /// labels are kept (for failure accounting), predictions are all
+    /// `None`, confidences zero.
+    pub fn failed(gold: Vec<Label>, reason: String) -> Self {
+        let n = gold.len();
+        DocOutcome {
+            gold,
+            predicted: vec![None; n],
+            confidence: vec![0.0; n],
+            status: DocStatus::Failed { reason },
+        }
+    }
 }
 
 /// Aggregated evaluation of a method over a corpus.
@@ -33,26 +102,44 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// Micro average accuracy (§3.6.1).
+    /// Documents that completed (possibly degraded); failed documents are
+    /// excluded from all accuracy measures so a crashed worker reads as a
+    /// reported failure, not as a run of wrong answers.
+    fn counted(&self) -> impl Iterator<Item = &DocOutcome> {
+        self.docs.iter().filter(|d| !d.status.is_failed())
+    }
+
+    /// Number of documents whose worker faulted.
+    pub fn failed_count(&self) -> usize {
+        self.docs.iter().filter(|d| d.status.is_failed()).count()
+    }
+
+    /// Number of documents that completed below full fidelity.
+    pub fn degraded_count(&self) -> usize {
+        self.docs.iter().filter(|d| d.status.is_degraded()).count()
+    }
+
+    /// Micro average accuracy (§3.6.1) over completed documents.
     pub fn micro(&self, count_out_of_kb: bool) -> f64 {
         micro_accuracy(
-            self.docs.iter().map(|d| (d.gold.as_slice(), d.predicted.as_slice())),
+            self.counted().map(|d| (d.gold.as_slice(), d.predicted.as_slice())),
             count_out_of_kb,
         )
     }
 
-    /// Macro average accuracy (§3.6.1).
+    /// Macro average accuracy (§3.6.1) over completed documents.
     pub fn macro_(&self, count_out_of_kb: bool) -> f64 {
         macro_accuracy(
-            self.docs.iter().map(|d| (d.gold.as_slice(), d.predicted.as_slice())),
+            self.counted().map(|d| (d.gold.as_slice(), d.predicted.as_slice())),
             count_out_of_kb,
         )
     }
 
-    /// Ranked items for MAP: one per in-KB-gold mention.
+    /// Ranked items for MAP: one per in-KB-gold mention of a completed
+    /// document.
     pub fn ranked_items(&self) -> Vec<RankedItem> {
         let mut items = Vec::new();
-        for d in &self.docs {
+        for d in self.counted() {
             for i in 0..d.gold.len() {
                 if d.gold[i].is_none() {
                     continue;
@@ -66,11 +153,10 @@ impl Evaluation {
         items
     }
 
-    /// Per-document macro accuracies (for paired t-tests), skipping
-    /// documents with no counted mentions.
+    /// Per-document macro accuracies (for paired t-tests) over completed
+    /// documents, skipping documents with no counted mentions.
     pub fn doc_accuracies(&self, count_out_of_kb: bool) -> Vec<f64> {
-        self.docs
-            .iter()
+        self.counted()
             .map(|d| {
                 ned_eval::document_accuracy(&d.gold, &d.predicted, count_out_of_kb)
                     .unwrap_or(1.0)
@@ -86,33 +172,49 @@ pub fn run_method<M: NedMethod + Sync + ?Sized>(method: &M, docs: &[GoldDoc]) ->
 
 /// Runs `method` over `docs` on a dedicated pool of `threads` workers
 /// (0 = machine default). Output is byte-identical for any thread count.
+///
+/// # Errors
+/// Returns [`NedError::Config`] when the thread pool cannot be built.
 pub fn run_method_with_threads<M: NedMethod + Sync + ?Sized>(
     method: &M,
     docs: &[GoldDoc],
     threads: usize,
-) -> Evaluation {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build thread pool");
-    pool.install(|| run_method(method, docs))
+) -> Result<Evaluation, NedError> {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().map_err(|e| {
+        NedError::Config { what: "rayon thread pool", message: e.to_string() }
+    })?;
+    Ok(pool.install(|| run_method(method, docs)))
 }
 
 fn outcome_for<M: NedMethod + Sync + ?Sized>(method: &M, doc: &GoldDoc) -> DocOutcome {
     let mentions = doc.bare_mentions();
     let result = method.disambiguate(&doc.tokens, &mentions);
     let confidence = result.assignments.iter().map(|a| a.normalized_score()).collect();
-    DocOutcome { gold: doc.gold_labels(), predicted: result.labels(), confidence }
+    DocOutcome {
+        gold: doc.gold_labels(),
+        predicted: result.labels(),
+        confidence,
+        status: DocStatus::from_degradation(result.degradation),
+    }
 }
 
 /// Runs an arbitrary per-document labeling function over `docs`, fanning
 /// out over rayon's current pool (documents are independent; results come
 /// back in input order).
+///
+/// Each call to `f` runs under `catch_unwind`: a panicking document
+/// produces a [`DocOutcome::failed`] placeholder and the remaining
+/// documents are unaffected.
 pub fn run_per_doc<F>(docs: &[GoldDoc], f: F) -> Evaluation
 where
     F: Fn(&GoldDoc) -> DocOutcome + Sync,
 {
-    Evaluation { docs: docs.par_iter().map(f).collect() }
+    let isolated = |doc: &GoldDoc| {
+        catch_unwind(AssertUnwindSafe(|| f(doc))).unwrap_or_else(|payload| {
+            DocOutcome::failed(doc.gold_labels(), panic_message(payload.as_ref()))
+        })
+    };
+    Evaluation { docs: docs.par_iter().map(isolated).collect() }
 }
 
 #[cfg(test)]
@@ -136,10 +238,8 @@ mod tests {
     fn parallel_runner_preserves_order() {
         let docs: Vec<GoldDoc> =
             (0..20).map(|i| doc(&format!("d{i}"), Some(EntityId(i)))).collect();
-        let eval = run_per_doc(&docs, |d| DocOutcome {
-            gold: d.gold_labels(),
-            predicted: d.gold_labels(),
-            confidence: vec![1.0; d.mentions.len()],
+        let eval = run_per_doc(&docs, |d| {
+            DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![1.0; d.mentions.len()])
         });
         assert_eq!(eval.docs.len(), 20);
         assert_eq!(eval.micro(false), 1.0);
@@ -156,10 +256,8 @@ mod tests {
             let pool =
                 rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
             pool.install(|| {
-                run_per_doc(&docs, |d| DocOutcome {
-                    gold: d.gold_labels(),
-                    predicted: d.gold_labels(),
-                    confidence: vec![0.5; d.mentions.len()],
+                run_per_doc(&docs, |d| {
+                    DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![0.5; d.mentions.len()])
                 })
             })
         };
@@ -177,14 +275,87 @@ mod tests {
     #[test]
     fn evaluation_measures() {
         let docs = vec![doc("a", Some(EntityId(1))), doc("b", Some(EntityId(2)))];
-        let eval = run_per_doc(&docs, |d| DocOutcome {
-            gold: d.gold_labels(),
-            predicted: vec![Some(EntityId(1))],
-            confidence: vec![0.9],
+        let eval = run_per_doc(&docs, |d| {
+            DocOutcome::ok(d.gold_labels(), vec![Some(EntityId(1))], vec![0.9])
         });
         assert_eq!(eval.micro(false), 0.5);
         assert_eq!(eval.macro_(false), 0.5);
         assert_eq!(eval.ranked_items().len(), 2);
         assert_eq!(eval.doc_accuracies(false), vec![1.0, 0.0]);
+    }
+
+    /// Silences the default panic hook for the duration of a closure so
+    /// intentional worker panics don't spam test output.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn panicking_document_is_isolated() {
+        let docs: Vec<GoldDoc> =
+            (0..10).map(|i| doc(&format!("d{i}"), Some(EntityId(i)))).collect();
+        let eval = with_quiet_panics(|| {
+            run_per_doc(&docs, |d| {
+                if d.id == "d3" || d.id == "d7" {
+                    panic!("injected fault in {}", d.id);
+                }
+                DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![1.0])
+            })
+        });
+        assert_eq!(eval.docs.len(), 10, "failed docs still occupy their slot");
+        assert_eq!(eval.failed_count(), 2);
+        for (i, o) in eval.docs.iter().enumerate() {
+            if i == 3 || i == 7 {
+                match &o.status {
+                    DocStatus::Failed { reason } => {
+                        assert!(reason.contains("injected fault"), "payload captured: {reason}");
+                    }
+                    other => panic!("doc {i} should have failed, got {other:?}"),
+                }
+                assert_eq!(o.predicted, vec![None]);
+                assert_eq!(o.confidence, vec![0.0]);
+            } else {
+                assert_eq!(o.status, DocStatus::Ok);
+                assert_eq!(o.predicted, o.gold);
+            }
+        }
+        // Failed docs don't drag accuracy down: the healthy 8 are perfect.
+        assert_eq!(eval.micro(false), 1.0);
+        assert_eq!(eval.macro_(false), 1.0);
+        assert_eq!(eval.doc_accuracies(false).len(), 8);
+        assert_eq!(eval.ranked_items().len(), 8);
+    }
+
+    #[test]
+    fn degraded_documents_are_counted_but_not_excluded() {
+        let docs = vec![doc("a", Some(EntityId(1))), doc("b", Some(EntityId(2)))];
+        let eval = run_per_doc(&docs, |d| DocOutcome {
+            status: if d.id == "b" {
+                DocStatus::from_degradation(DegradationLevel::NoCoherence)
+            } else {
+                DocStatus::from_degradation(DegradationLevel::None)
+            },
+            ..DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![1.0])
+        });
+        assert_eq!(eval.failed_count(), 0);
+        assert_eq!(eval.degraded_count(), 1);
+        // Degraded answers still count toward accuracy.
+        assert_eq!(eval.micro(false), 1.0);
+        assert_eq!(eval.doc_accuracies(false).len(), 2);
+    }
+
+    #[test]
+    fn failed_placeholder_is_shaped_like_the_document() {
+        let gold = vec![Some(EntityId(1)), None, Some(EntityId(2))];
+        let o = DocOutcome::failed(gold.clone(), "boom".into());
+        assert_eq!(o.gold, gold);
+        assert_eq!(o.predicted, vec![None, None, None]);
+        assert_eq!(o.confidence, vec![0.0, 0.0, 0.0]);
+        assert!(o.status.is_failed());
+        assert!(!o.status.is_degraded());
     }
 }

@@ -96,14 +96,18 @@ pub fn run(scale: &Scale) {
     print!("{}", table.render());
 
     // Significance: full AIDA vs the strongest collective baseline.
-    let full = &evals.last().expect("methods non-empty").1;
-    let kul_ci = &evals.iter().find(|(n, _)| *n == "Kul CI").expect("Kul CI present").1;
-    if let Some(t) = paired_ttest(&full.doc_accuracies(false), &kul_ci.doc_accuracies(false)) {
-        println!(
-            "paired t-test, AIDA r-coh vs Kul CI: t = {:.3}, p = {:.4} ({})",
-            t.t,
-            t.p_value,
-            if t.p_value < 0.05 { "significant" } else { "not significant" }
-        );
+    if let (Some((_, full)), Some((_, kul_ci))) =
+        (evals.last(), evals.iter().find(|(n, _)| *n == "Kul CI"))
+    {
+        if let Some(t) =
+            paired_ttest(&full.doc_accuracies(false), &kul_ci.doc_accuracies(false))
+        {
+            println!(
+                "paired t-test, AIDA r-coh vs Kul CI: t = {:.3}, p = {:.4} ({})",
+                t.t,
+                t.p_value,
+                if t.p_value < 0.05 { "significant" } else { "not significant" }
+            );
+        }
     }
 }

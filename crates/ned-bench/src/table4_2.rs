@@ -123,7 +123,7 @@ pub fn run(scale: &Scale) {
             let Some(rho) = score(entry) else { continue };
             by_domain[entry.domain].push(rho);
             all.push(rho);
-            let seed_id = env.exported.label_of(entry.seed).expect("seed in KB");
+            let Some(seed_id) = env.exported.label_of(entry.seed) else { continue };
             if kb.links().inlink_count(seed_id) <= link_poor_max {
                 link_poor.push(rho);
             }

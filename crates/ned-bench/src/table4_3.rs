@@ -10,7 +10,7 @@ use ned_relatedness::{
     KeyphraseCosine, KeywordCosine, Kore, KoreLsh, MilneWitten, Relatedness, TwoStageConfig,
 };
 
-use crate::runner::{run_per_doc, DocOutcome, Evaluation};
+use crate::runner::{run_per_doc, DocOutcome, DocStatus, Evaluation};
 use crate::setup::{Env, Scale};
 
 /// Inlink cutoff for the "link-poor micro accuracy" column (the thesis
@@ -49,6 +49,7 @@ fn eval_lsh(env: &Env, lsh: &KoreLsh, docs: &[GoldDoc]) -> Evaluation {
             gold: doc.gold_labels(),
             predicted: result.labels(),
             confidence: result.assignments.iter().map(|a| a.normalized_score()).collect(),
+            status: DocStatus::from_degradation(result.degradation),
         }
     })
 }

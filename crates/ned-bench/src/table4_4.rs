@@ -42,7 +42,7 @@ fn summarize(costs: &[DocCost]) -> Summary {
         let mean = v.iter().sum::<f64>() / n;
         let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         let mut sorted = v.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q90 = if sorted.is_empty() {
             0.0
         } else {

@@ -48,7 +48,12 @@ pub fn run(scale: &Scale) {
         let features = aida.features(&doc.tokens, &mentions);
         let result = aida.disambiguate_features(&features);
         let confidence = assessor.assess(&aida, &features, &result);
-        crate::runner::DocOutcome { gold: doc.gold_labels(), predicted: result.labels(), confidence }
+        crate::runner::DocOutcome {
+            gold: doc.gold_labels(),
+            predicted: result.labels(),
+            confidence,
+            status: crate::runner::DocStatus::from_degradation(result.degradation),
+        }
     });
     let conf_items = conf_eval.ranked_items();
 

@@ -58,10 +58,8 @@ pub fn build_models_against(
 
 /// Evaluates a labeler over the documents of one day.
 pub fn eval_day(docs: &[GoldDoc], labeler: &Labeler<'_>) -> Evaluation {
-    run_per_doc(docs, |doc| DocOutcome {
-        gold: doc.gold_labels(),
-        predicted: labeler(doc),
-        confidence: vec![0.0; doc.mentions.len()],
+    run_per_doc(docs, |doc| {
+        DocOutcome::ok(doc.gold_labels(), labeler(doc), vec![0.0; doc.mentions.len()])
     })
 }
 
@@ -273,10 +271,12 @@ pub fn run(scale: &Scale) {
     for (name, pre) in &labels_by_method {
         let eval = run_per_doc(&test_docs, |doc| {
             // Find this document's preprocessed labels.
-            let idx = test_docs
-                .iter()
-                .position(|d| d.id == doc.id)
-                .expect("doc in test set");
+            let Some(idx) = test_docs.iter().position(|d| d.id == doc.id) else {
+                return DocOutcome::failed(
+                    doc.gold_labels(),
+                    format!("document {} missing from the test set", doc.id),
+                );
+            };
             let pre_labels = &pre.docs[idx].predicted;
             let mentions = doc.bare_mentions();
             let result = aida_coh.disambiguate(&doc.tokens, &mentions);
@@ -286,11 +286,7 @@ pub fn run(scale: &Scale) {
                 .zip(pre_labels)
                 .map(|(ned, &pre)| if pre.is_none() { None } else { ned })
                 .collect();
-            DocOutcome {
-                gold: doc.gold_labels(),
-                predicted,
-                confidence: vec![0.0; doc.mentions.len()],
-            }
+            DocOutcome::ok(doc.gold_labels(), predicted, vec![0.0; doc.mentions.len()])
         });
         let pairs: Vec<(&[Label], &[Label])> = eval
             .docs

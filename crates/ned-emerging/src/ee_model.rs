@@ -136,7 +136,7 @@ pub fn build_model(
             (d >= config.min_adjusted_count).then_some((surface, d))
         })
         .collect();
-    adjusted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite counts").then(a.0.cmp(&b.0)));
+    adjusted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     adjusted.truncate(config.max_phrases);
     let max_d = adjusted.first().map_or(1.0, |&(_, d)| d).max(f64::MIN_POSITIVE);
     let phrases = adjusted

@@ -29,7 +29,7 @@ pub struct PrPoint {
 /// descending confidence (ties broken stably).
 pub fn pr_curve(items: &[RankedItem]) -> Vec<PrPoint> {
     let mut sorted: Vec<RankedItem> = items.to_vec();
-    sorted.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("confidence not NaN"));
+    sorted.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
     let m = sorted.len();
     let mut correct = 0usize;
     sorted

@@ -6,7 +6,7 @@
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("values must not be NaN"));
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {

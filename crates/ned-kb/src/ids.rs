@@ -27,7 +27,8 @@ macro_rules! define_id {
             /// Panics if `index` does not fit in `u32`.
             #[inline]
             pub fn from_index(index: usize) -> Self {
-                $name(u32::try_from(index).expect("id overflow"))
+                assert!(index <= u32::MAX as usize, "id overflow: {index}");
+                $name(index as u32)
             }
         }
 

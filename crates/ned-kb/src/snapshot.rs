@@ -6,9 +6,15 @@
 //! deliberately tiny: it only needs to round-trip the concrete types of this
 //! crate, keeping the workspace inside its approved dependency set (serde
 //! without a third-party format crate).
+//!
+//! Snapshots are hardened against corruption: the header carries magic
+//! bytes, a format version, the body length, and an FNV-1a checksum of the
+//! body. Truncation, bit flips, and version skew all surface as structured
+//! [`SnapshotError`]s — never a panic, never silently garbled data.
 
 use std::io::{self, Read, Write};
 
+use ned_core::{NedError, SnapshotError};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -409,12 +415,14 @@ mod codec {
 
         fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
             let b = self.take(4)?;
-            visitor.visit_f32(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            let b: [u8; 4] = b.try_into().map_err(|_| Error("bad f32 slice".into()))?;
+            visitor.visit_f32(f32::from_le_bytes(b))
         }
 
         fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
             let b = self.take(8)?;
-            visitor.visit_f64(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+            let b: [u8; 8] = b.try_into().map_err(|_| Error("bad f64 slice".into()))?;
+            visitor.visit_f64(f64::from_le_bytes(b))
         }
 
         fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
@@ -607,8 +615,28 @@ mod codec {
 
 pub use codec::Error as CodecError;
 
-/// Magic header identifying a knowledge-base snapshot.
-const MAGIC: &[u8; 8] = b"AIDAKB01";
+/// Magic bytes identifying a knowledge-base snapshot.
+const MAGIC: &[u8; 6] = b"AIDAKB";
+
+/// Current snapshot format version. Version 1 ("AIDAKB01", no checksum) is
+/// rejected with [`SnapshotError::UnsupportedVersion`]: its version bytes
+/// decode as ASCII `"01"`.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Header layout: magic (6) + version u16 (2) + body length u64 (8) +
+/// FNV-1a body checksum u64 (8), all little-endian.
+const HEADER_LEN: usize = 24;
+
+/// FNV-1a over the snapshot body; not cryptographic, but any truncation or
+/// stray bit flip changes it with overwhelming probability.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Serializes any serde value to the crate's binary format.
 pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
@@ -620,35 +648,92 @@ pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     codec::from_bytes(bytes)
 }
 
-/// Writes a knowledge-base snapshot (magic header + encoded body).
-pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> io::Result<()> {
-    let body = encode(kb).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    writer.write_all(MAGIC)?;
-    writer.write_all(&(body.len() as u64).to_le_bytes())?;
-    writer.write_all(&body)
+/// Writes a knowledge-base snapshot (hardened header + encoded body).
+pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> Result<(), NedError> {
+    let body = encode(kb).map_err(|e| NedError::Snapshot(SnapshotError::Codec(e.to_string())))?;
+    let mut header = [0u8; HEADER_LEN];
+    header[..6].copy_from_slice(MAGIC);
+    header[6..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&(body.len() as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&fnv1a(&body).to_le_bytes());
+    writer
+        .write_all(&header)
+        .and_then(|()| writer.write_all(&body))
+        .map_err(|e| NedError::io("writing snapshot", e))
 }
 
-/// Reads a knowledge-base snapshot and rebuilds transient indexes.
-pub fn read_snapshot<R: Read>(mut reader: R) -> io::Result<KnowledgeBase> {
-    let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a knowledge-base snapshot"));
+/// Reads a knowledge-base snapshot, verifying magic, version, length, and
+/// checksum, and rebuilds transient indexes.
+///
+/// Corruption never panics: a truncated, bit-flipped, or version-skewed
+/// stream yields the matching [`SnapshotError`].
+pub fn read_snapshot<R: Read>(mut reader: R) -> Result<KnowledgeBase, NedError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_up_to(&mut reader, &mut header)
+        .map_err(|e| NedError::io("reading snapshot header", e))
+        .and_then(|got| {
+            if got < HEADER_LEN {
+                // A stream shorter than the header cannot carry the magic.
+                if got < 6 || &header[..6] != MAGIC {
+                    Err(SnapshotError::BadMagic.into())
+                } else {
+                    Err(SnapshotError::Truncated { expected: HEADER_LEN as u64, actual: got as u64 }
+                        .into())
+                }
+            } else {
+                Ok(())
+            }
+        })?;
+    if &header[..6] != MAGIC {
+        return Err(SnapshotError::BadMagic.into());
     }
-    let mut len_bytes = [0u8; 8];
-    reader.read_exact(&mut len_bytes)?;
-    let len = u64::from_le_bytes(len_bytes);
+    let version = u16::from_le_bytes([header[6], header[7]]);
+    if version != FORMAT_VERSION {
+        return Err(
+            SnapshotError::UnsupportedVersion { found: version, supported: FORMAT_VERSION }.into()
+        );
+    }
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap_or([0; 8]));
+    let expected_checksum = u64::from_le_bytes(header[16..24].try_into().unwrap_or([0; 8]));
     // Read through `take` instead of preallocating `len` bytes: a corrupted
-    // header must not trigger a huge allocation.
+    // length must not trigger a huge allocation.
     let mut body = Vec::new();
-    reader.by_ref().take(len).read_to_end(&mut body)?;
+    reader
+        .by_ref()
+        .take(len)
+        .read_to_end(&mut body)
+        .map_err(|e| NedError::io("reading snapshot body", e))?;
     if body.len() as u64 != len {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated snapshot body"));
+        return Err(SnapshotError::Truncated { expected: len, actual: body.len() as u64 }.into());
+    }
+    let actual_checksum = fnv1a(&body);
+    if actual_checksum != expected_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: expected_checksum,
+            actual: actual_checksum,
+        }
+        .into());
     }
     let mut kb: KnowledgeBase =
-        decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        decode(&body).map_err(|e| NedError::Snapshot(SnapshotError::Codec(e.to_string())))?;
     kb.rebuild_indexes();
     Ok(kb)
+}
+
+/// Fills `buf` as far as the stream allows; returns the bytes read. Unlike
+/// `read_exact`, a short stream is reported by count, not an error, so the
+/// caller can distinguish bad magic from truncation.
+fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
 }
 
 #[cfg(test)]
@@ -687,8 +772,53 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let err = read_snapshot(&b"NOTAKB00rest"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_snapshot(&b"NOTAKB00rest_of_a_header_xx"[..]).unwrap_err();
+        assert!(matches!(err, NedError::Snapshot(SnapshotError::BadMagic)), "{err}");
+        // Too short to even hold the magic.
+        let err = read_snapshot(&b"AI"[..]).unwrap_err();
+        assert!(matches!(err, NedError::Snapshot(SnapshotError::BadMagic)), "{err}");
+    }
+
+    #[test]
+    fn rejects_version_skew() {
+        // A v1 snapshot started with the ASCII bytes "AIDAKB01".
+        let mut old = Vec::from(&b"AIDAKB01"[..]);
+        old.extend_from_slice(&[0u8; 32]);
+        let err = read_snapshot(old.as_slice()).unwrap_err();
+        match err {
+            NedError::Snapshot(SnapshotError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(supported, FORMAT_VERSION);
+                assert_ne!(found, FORMAT_VERSION);
+            }
+            other => panic!("expected version skew, got {other}"),
+        }
+        // A future version is rejected the same way.
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        buf[6..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            read_snapshot(buf.as_slice()),
+            Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { .. }))
+        ));
+    }
+
+    #[test]
+    fn checksum_catches_body_corruption() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        for pos in HEADER_LEN..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    read_snapshot(corrupted.as_slice()),
+                    Err(NedError::Snapshot(SnapshotError::ChecksumMismatch { .. }))
+                ),
+                "flip at byte {pos} was not caught"
+            );
+        }
     }
 
     #[test]
@@ -730,19 +860,22 @@ mod tests {
         let mut buf = Vec::new();
         write_snapshot(&kb, &mut buf).unwrap();
         // Truncations at every prefix length must error cleanly.
-        for cut in [0, 4, 8, 16, buf.len() / 2, buf.len() - 1] {
+        for cut in 0..buf.len() {
             assert!(read_snapshot(&buf[..cut]).is_err(), "cut at {cut} did not error");
         }
         // A corrupted length header must not allocate terabytes.
         let mut huge = buf.clone();
         huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(read_snapshot(huge.as_slice()).is_err());
-        // Single-byte corruptions must never panic (they may still decode by
-        // luck; errors are the common case).
-        for pos in (16..buf.len()).step_by(97) {
+        assert!(matches!(
+            read_snapshot(huge.as_slice()),
+            Err(NedError::Snapshot(SnapshotError::Truncated { .. }))
+        ));
+        // Single-byte corruptions anywhere (header or body) must error, not
+        // panic or decode silently garbled data.
+        for pos in 0..buf.len() {
             let mut corrupted = buf.clone();
             corrupted[pos] ^= 0xff;
-            let _ = read_snapshot(corrupted.as_slice());
+            assert!(read_snapshot(corrupted.as_slice()).is_err(), "flip at {pos} slipped through");
         }
     }
 

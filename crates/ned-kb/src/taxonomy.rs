@@ -52,7 +52,8 @@ impl Taxonomy {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = TypeId(u32::try_from(self.names.len()).expect("type id overflow"));
+        assert!(self.names.len() <= u32::MAX as usize, "type id overflow");
+        let id = TypeId(self.names.len() as u32);
         self.names.push(name.to_string());
         self.supertypes.push(Vec::new());
         self.by_name.insert(name.to_string(), id);

@@ -10,6 +10,12 @@
 //! `(min(a, b), max(a, b))` — `(a, b)` and `(b, a)` share one entry. Hit,
 //! miss, and insert counts are tracked with relaxed atomics and exposed via
 //! [`CachedRelatedness::stats`] for the throughput bench's hit-rate report.
+//!
+//! The cache holds plain memoized floats, so a shard whose lock was
+//! poisoned by a panicking worker is still structurally sound (at worst an
+//! insert was lost). Every lock acquisition therefore recovers from poison
+//! instead of propagating it — one crashed document must not wedge the
+//! shared cache for the rest of the batch.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -70,7 +76,7 @@ impl<M: Relatedness> CachedRelatedness<M> {
 
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("cache lock poisoned").len()).sum()
+        self.shards.iter().map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len()).sum()
     }
 
     /// True if nothing is cached yet.
@@ -81,7 +87,7 @@ impl<M: Relatedness> CachedRelatedness<M> {
     /// Drops all cached pairs (counters keep accumulating).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache lock poisoned").clear();
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 
@@ -113,14 +119,14 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
         // Symmetric measures share one entry per unordered pair.
         let key = if a <= b { (a, b) } else { (b, a) };
         let shard = &self.shards[Self::shard_of(key)];
-        if let Some(&v) = shard.read().expect("cache lock poisoned").get(&key) {
+        if let Some(&v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = self.inner.relatedness(a, b);
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        shard.write().expect("cache lock poisoned").insert(key, v);
+        shard.write().unwrap_or_else(|e| e.into_inner()).insert(key, v);
         v
     }
 }
@@ -186,6 +192,36 @@ mod tests {
         assert_eq!(stats.inserts, 1);
         assert_eq!(stats.hits, 2);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Arc;
+
+        let c = Arc::new(CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) }));
+        let (a, b) = (EntityId(1), EntityId(2));
+        c.relatedness(a, b);
+        // Poison the shard holding (a, b) by panicking while its write
+        // lock is held, exactly like a crashed worker would.
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let shard_idx = CachedRelatedness::<Counting>::shard_of(key);
+        let poisoner = Arc::clone(&c);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = poisoner.shards[shard_idx].write().unwrap();
+            panic!("worker died mid-insert");
+        }));
+        std::panic::set_hook(hook);
+        assert!(result.is_err());
+        assert!(c.shards[shard_idx].is_poisoned());
+        // Reads, writes, and maintenance all still work.
+        assert_eq!(c.relatedness(a, b), 3.0, "cached value survives poison");
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.relatedness(b, a), 3.0);
     }
 
     #[test]

@@ -229,7 +229,10 @@ impl<'w> DocGenerator<'w> {
                 return self.topic_pool[topic][k];
             }
         }
-        *self.topic_pool[topic].last().expect("non-empty pool")
+        // Accumulated rounding can exhaust `u` before the loop returns;
+        // the last pool entry is the deterministic fallback.
+        let pool = &self.topic_pool[topic];
+        pool[pool.len() - 1]
     }
 
     fn emit_filler(&mut self, builder: &mut TokenBuilder, profile: &DocProfile, topic: usize) {

@@ -67,8 +67,24 @@ pub struct World {
 
 impl World {
     /// Generates a world from `config`; deterministic in `config.seed`.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; use
+    /// [`World::try_generate`] to handle that as a typed error.
     pub fn generate(config: WorldConfig) -> Self {
-        config.validate().expect("invalid world configuration");
+        match Self::try_generate(config) {
+            Ok(world) => world,
+            Err(err) => panic!("invalid world configuration: {err}"),
+        }
+    }
+
+    /// Generates a world from `config`, rejecting invalid configurations
+    /// with [`ned_core::NedError::Config`].
+    pub fn try_generate(config: WorldConfig) -> Result<Self, ned_core::NedError> {
+        config.validate().map_err(|message| ned_core::NedError::Config {
+            what: "WorldConfig",
+            message,
+        })?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut lexicon = Lexicon::new();
 
@@ -193,7 +209,7 @@ impl World {
             }
         }
 
-        World { config, entities, topic_vocab, shared_vocab, cliques, dictionary_noise }
+        Ok(World { config, entities, topic_vocab, shared_vocab, cliques, dictionary_noise })
     }
 
     /// Number of entities (emerging included).
@@ -439,6 +455,13 @@ mod tests {
 
     fn world() -> World {
         World::generate(WorldConfig::tiny(11))
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_config() {
+        let bad = WorldConfig { n_topics: 0, ..WorldConfig::tiny(11) };
+        let err = World::try_generate(bad).expect_err("empty world must be rejected");
+        assert!(matches!(err, ned_core::NedError::Config { what: "WorldConfig", .. }));
     }
 
     #[test]

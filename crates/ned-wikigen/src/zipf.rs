@@ -46,7 +46,7 @@ impl Zipf {
     /// Samples a 0-based rank.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.random();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         }
     }

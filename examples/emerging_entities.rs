@@ -9,6 +9,10 @@
 //!
 //! Run with: `cargo run --example emerging_entities`
 
+// Demo code: aborting on error is the right UX for an example.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use aida_ned::aida::{AidaConfig, Disambiguator};
 use aida_ned::emerging::confidence::{ConfAssessor, ConfidenceMethod};
 use aida_ned::emerging::discover::{EeConfig, EeDiscovery};

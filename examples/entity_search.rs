@@ -8,6 +8,10 @@
 //!
 //! Run with: `cargo run --release --example entity_search`
 
+// Demo code: aborting on error is the right UX for an example.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use aida_ned::aida::{AidaConfig, Disambiguator, NedMethod};
 use aida_ned::apps::{EntityIndex, Query};
 use aida_ned::kb::EntityKind;

@@ -37,6 +37,10 @@
 //! assert_eq!(result.labels()[0], kb.entity_by_name("Kashmir (song)"));
 //! ```
 
+/// Fault-tolerance substrate: the typed error taxonomy and degradation
+/// levels shared by every layer.
+pub use ned_core as core;
+
 /// Text processing substrate (tokenizer, POS tagging, NER, mentions).
 pub use ned_text as text;
 

@@ -2,6 +2,8 @@
 //! joint disambiguation → evaluation, exercising every layer of the stack
 //! together.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use aida_ned::aida::baselines::PriorOnly;
 use aida_ned::aida::{AidaConfig, Disambiguator, NedMethod};
 use aida_ned::eval::gold::Label;

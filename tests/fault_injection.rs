@@ -1,0 +1,384 @@
+//! Fault-injection harness for the pipeline's robustness guarantees.
+//!
+//! Injects three fault classes and checks the blast radius of each:
+//!
+//! 1. **Worker panics** (a faulty relatedness measure, a poisoned
+//!    document): the batch completes, exactly the poisoned documents are
+//!    reported `Failed`, and every healthy document's outcome is
+//!    byte-identical to a fault-free run.
+//! 2. **Poisoned float features** (NaN relatedness): no panic anywhere —
+//!    `total_cmp` ordering and the degradation ladder keep every document
+//!    producing a well-formed outcome.
+//! 3. **Corrupt snapshots** (truncation, bit flips, version skew): decode
+//!    returns a typed [`SnapshotError`], never panics, never returns
+//!    silently-wrong data (property-tested over arbitrary corruptions).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Once, OnceLock};
+
+use aida_ned::aida::{AidaConfig, Disambiguator, NedMethod};
+use aida_ned::core::{NedError, SnapshotError};
+use aida_ned::kb::snapshot::{read_snapshot, write_snapshot, FORMAT_VERSION};
+use aida_ned::kb::{EntityId, EntityKind, KbBuilder};
+use aida_ned::relatedness::{MilneWitten, Relatedness};
+use aida_ned::text::tokenize;
+use aida_ned::wikigen::config::WorldConfig;
+use aida_ned::wikigen::corpus::conll_like;
+use aida_ned::wikigen::{ExportedKb, World};
+use ned_bench::runner::{run_method_with_threads, run_per_doc, DocOutcome, DocStatus};
+use ned_eval::gold::GoldDoc;
+use proptest::prelude::*;
+
+/// Suppresses panic-hook output for intentionally injected faults while
+/// leaving real test panics visible. Installed once per test binary.
+fn install_quiet_hook() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected fault"))
+                .or_else(|| {
+                    info.payload().downcast_ref::<&str>().map(|s| s.contains("injected fault"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A relatedness measure that misbehaves on demand: panics on one specific
+/// call, or returns NaN on every call.
+struct FaultyRelatedness<M> {
+    inner: M,
+    calls: AtomicU64,
+    /// Zero-based call index that panics; `u64::MAX` disables.
+    panic_at: u64,
+    /// When set, every call returns NaN instead of the true score.
+    return_nan: bool,
+}
+
+impl<M> FaultyRelatedness<M> {
+    fn new(inner: M) -> Self {
+        FaultyRelatedness { inner, calls: AtomicU64::new(0), panic_at: u64::MAX, return_nan: false }
+    }
+
+    fn panicking_at(mut self, n: u64) -> Self {
+        self.panic_at = n;
+        self
+    }
+
+    fn always_nan(mut self) -> Self {
+        self.return_nan = true;
+        self
+    }
+}
+
+impl<M: Relatedness> Relatedness for FaultyRelatedness<M> {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if n == self.panic_at {
+            panic!("injected fault: relatedness call {n}");
+        }
+        if self.return_nan {
+            return f64::NAN;
+        }
+        self.inner.relatedness(a, b)
+    }
+}
+
+fn test_env() -> (ExportedKb, Vec<GoldDoc>) {
+    let world = World::generate(WorldConfig { entities_per_topic: 100, ..WorldConfig::default() });
+    let exported = ExportedKb::build(&world);
+    let corpus = conll_like(&world, &exported, 13, 20);
+    (exported, corpus.docs)
+}
+
+fn outcome_with<R: Relatedness>(aida: &Disambiguator<'_, R>, doc: &GoldDoc) -> DocOutcome {
+    let mentions = doc.bare_mentions();
+    let result = aida.disambiguate(&doc.tokens, &mentions);
+    DocOutcome {
+        gold: doc.gold_labels(),
+        predicted: result.labels(),
+        confidence: result.assignments.iter().map(|a| a.normalized_score()).collect(),
+        status: DocStatus::from_degradation(result.degradation),
+    }
+}
+
+/// Bitwise outcome equality (confidences compared by bits).
+fn outcomes_identical(a: &DocOutcome, b: &DocOutcome) -> bool {
+    a.gold == b.gold
+        && a.predicted == b.predicted
+        && a.status == b.status
+        && a.confidence.len() == b.confidence.len()
+        && a.confidence.iter().zip(&b.confidence).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+// ---------------------------------------------------------------------------
+// Worker-panic isolation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ten_percent_poisoned_corpus_completes_with_exact_failure_reporting() {
+    install_quiet_hook();
+    let (exported, docs) = test_env();
+    let kb = &exported.kb;
+    let aida = Disambiguator::new(kb, MilneWitten::new(kb), AidaConfig::full());
+
+    // Poison every 10th document — 10% of the corpus.
+    let poisoned: HashSet<String> = docs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 10 == 0)
+        .map(|(_, d)| d.id.clone())
+        .collect();
+    assert!(!poisoned.is_empty());
+
+    let fault_free = run_per_doc(&docs, |d| outcome_with(&aida, d));
+    let faulty = run_per_doc(&docs, |d| {
+        if poisoned.contains(&d.id) {
+            panic!("injected fault: poisoned document {}", d.id);
+        }
+        outcome_with(&aida, d)
+    });
+
+    // The batch completed: every document occupies its slot.
+    assert_eq!(faulty.docs.len(), docs.len());
+    // Exactly the poisoned documents are Failed, with the cause captured.
+    assert_eq!(faulty.failed_count(), poisoned.len());
+    for (doc, outcome) in docs.iter().zip(&faulty.docs) {
+        if poisoned.contains(&doc.id) {
+            match &outcome.status {
+                DocStatus::Failed { reason } => {
+                    assert!(
+                        reason.contains(&doc.id),
+                        "failure reason should name the document: {reason}"
+                    );
+                }
+                other => panic!("poisoned doc {} not Failed: {other:?}", doc.id),
+            }
+            assert!(outcome.predicted.iter().all(Option::is_none));
+        } else {
+            // Healthy documents are byte-identical to the fault-free run.
+            let reference = &fault_free.docs
+                [docs.iter().position(|d| d.id == doc.id).expect("doc present")];
+            assert!(
+                outcomes_identical(outcome, reference),
+                "healthy doc {} diverged under faults",
+                doc.id
+            );
+        }
+    }
+}
+
+#[test]
+fn nth_relatedness_call_panic_fails_exactly_one_document() {
+    install_quiet_hook();
+    let (exported, docs) = test_env();
+    let kb = &exported.kb;
+
+    // Count the total relatedness traffic of a clean single-threaded run.
+    let counting = FaultyRelatedness::new(MilneWitten::new(kb));
+    let aida = Disambiguator::new(kb, &counting, AidaConfig::full());
+    let clean = run_method_with_threads(&aida, &docs, 1).expect("thread pool");
+    let total_calls = counting.calls.load(Ordering::Relaxed);
+    assert!(total_calls > 0, "the corpus must exercise the coherence feature");
+    assert_eq!(clean.failed_count(), 0);
+
+    // Re-run with a panic planted in the middle of that traffic. Single
+    // threaded, so the call order — and thus the victim document — is
+    // deterministic.
+    let faulty = FaultyRelatedness::new(MilneWitten::new(kb)).panicking_at(total_calls / 2);
+    let aida_faulty = Disambiguator::new(kb, &faulty, AidaConfig::full());
+    let poisoned = run_method_with_threads(&aida_faulty, &docs, 1).expect("thread pool");
+
+    assert_eq!(poisoned.docs.len(), docs.len());
+    assert_eq!(poisoned.failed_count(), 1, "one planted panic fails one document");
+    let mut diverged = 0;
+    for (a, b) in clean.docs.iter().zip(&poisoned.docs) {
+        if b.status.is_failed() {
+            diverged += 1;
+            assert!(matches!(&b.status, DocStatus::Failed { reason } if reason.contains("injected fault")));
+        } else {
+            assert!(outcomes_identical(a, b), "non-victim document diverged");
+        }
+    }
+    assert_eq!(diverged, 1);
+}
+
+#[test]
+fn nan_relatedness_never_panics_the_batch() {
+    install_quiet_hook();
+    let (exported, docs) = test_env();
+    let kb = &exported.kb;
+    let nan_measure = FaultyRelatedness::new(MilneWitten::new(kb)).always_nan();
+    let aida = Disambiguator::new(kb, &nan_measure, AidaConfig::full());
+    let eval = run_method_with_threads(&aida, &docs, 2).expect("thread pool");
+    assert_eq!(eval.docs.len(), docs.len());
+    assert_eq!(eval.failed_count(), 0, "NaN scores must degrade, not crash");
+    for outcome in &eval.docs {
+        assert_eq!(outcome.predicted.len(), outcome.gold.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Empty and mention-free documents
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_and_whitespace_documents_yield_wellformed_empty_results() {
+    let (exported, _) = test_env();
+    let kb = &exported.kb;
+    let aida = Disambiguator::new(kb, MilneWitten::new(kb), AidaConfig::full());
+
+    // Completely empty document.
+    let result = aida.disambiguate(&[], &[]);
+    assert!(result.assignments.is_empty());
+    assert!(!result.degradation.is_degraded());
+
+    // Whitespace-only text tokenizes to nothing; zero mentions.
+    let tokens = tokenize("   \n\t   \r\n  ");
+    let result = aida.disambiguate(&tokens, &[]);
+    assert!(result.assignments.is_empty());
+
+    // Text with tokens but no mentions short-circuits the same way.
+    let tokens = tokenize("Plain filler text with no annotated spans at all.");
+    let result = aida.disambiguate(&tokens, &[]);
+    assert!(result.assignments.is_empty());
+    assert_eq!(aida.features(&tokens, &[]), Vec::<Vec<_>>::new());
+
+    // And a zero-mention document flows through the batch runner.
+    let doc = GoldDoc::new("empty", tokenize("   "), vec![], 0);
+    let eval = run_per_doc(&[doc], |d| outcome_with(&aida, d));
+    assert_eq!(eval.docs.len(), 1);
+    assert_eq!(eval.docs[0].status, DocStatus::Ok);
+    assert!(eval.docs[0].predicted.is_empty());
+    assert_eq!(eval.failed_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot corruption
+// ---------------------------------------------------------------------------
+
+fn snapshot_fixture() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut b = KbBuilder::new();
+        let alpha = b.add_entity("Alpha", EntityKind::Person);
+        let beta = b.add_entity("Beta", EntityKind::Location);
+        b.add_name(alpha, "Alpha", 3);
+        b.add_name(beta, "Beta", 5);
+        b.add_keyphrase(alpha, "rock guitar", 2);
+        b.add_keyphrase(beta, "river delta", 4);
+        b.add_link(alpha, beta);
+        let kb = b.build();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).expect("snapshot written");
+        buf
+    })
+}
+
+#[test]
+fn truncated_snapshot_fixture_yields_typed_errors() {
+    let bytes = snapshot_fixture();
+    // Every strict prefix must fail with a structured snapshot error.
+    for cut in [0, 1, 5, 6, 7, 23, 24, bytes.len() / 2, bytes.len() - 1] {
+        let err = read_snapshot(&bytes[..cut]).expect_err("prefix must not decode");
+        assert!(
+            matches!(
+                &err,
+                NedError::Snapshot(
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                )
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn bitflipped_snapshot_fixture_yields_typed_errors() {
+    let bytes = snapshot_fixture();
+    // Flip one bit in every header byte and in a spread of body bytes.
+    let positions: Vec<usize> =
+        (0..24).chain((24..bytes.len()).step_by(7.max(bytes.len() / 64))).collect();
+    for pos in positions {
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 0x10;
+        let err = read_snapshot(corrupt.as_slice())
+            .err()
+            .unwrap_or_else(|| panic!("bit flip at byte {pos} must not decode"));
+        assert!(matches!(err, NedError::Snapshot(_)), "flip at {pos}: got {err}");
+    }
+}
+
+#[test]
+fn version_skew_is_reported_as_unsupported() {
+    let bytes = snapshot_fixture();
+
+    // A future format version.
+    let mut future = bytes.to_vec();
+    future[6..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match read_snapshot(future.as_slice()) {
+        Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected version skew, got {other:?}"),
+    }
+
+    // The legacy v1 layout started with the ASCII tag "AIDAKB01"; its "01"
+    // bytes land in the version field and must decode as a *version*
+    // mismatch, not a magic mismatch, so operators see the real cause.
+    let mut legacy = b"AIDAKB01".to_vec();
+    legacy.extend_from_slice(&bytes[8..]);
+    match read_snapshot(legacy.as_slice()) {
+        Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { .. })) => {}
+        other => panic!("legacy prefix should be version skew, got {other:?}"),
+    }
+}
+
+proptest! {
+    /// Any corrupted byte stream — truncated, bit-flipped, or arbitrary
+    /// garbage — yields a typed error: no panic, no silent garbage KB.
+    #[test]
+    fn corrupted_snapshots_always_error_never_panic(
+        cut in 0usize..10_000,
+        flip_pos in 0usize..10_000,
+        flip_bit in 0u32..8,
+    ) {
+        let bytes = snapshot_fixture();
+
+        // Strict truncation always errors.
+        let cut = cut % bytes.len();
+        prop_assert!(read_snapshot(&bytes[..cut]).is_err());
+
+        // A single bit flip anywhere always errors: the header fields are
+        // all load-bearing and the body is covered by the checksum.
+        let pos = flip_pos % bytes.len();
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 1u8 << flip_bit;
+        prop_assert!(read_snapshot(corrupt.as_slice()).is_err());
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        data in proptest::collection::vec(0u8..255, 0..512),
+    ) {
+        // Random data cannot carry a valid magic + checksum; decode must
+        // reject it (and in particular must not panic).
+        prop_assert!(read_snapshot(data.as_slice()).is_err());
+    }
+}

@@ -1,7 +1,12 @@
 //! The parallel engine must be a pure speedup: running the disambiguator
 //! over a corpus with any thread count produces byte-identical outcomes,
 //! and the keyphrase inverted index prunes the similarity scan without
-//! changing a single bit of any score.
+//! changing a single bit of any score. This must hold on the degraded
+//! rungs of the fault-tolerance ladder too: a solver budget that forces
+//! fallbacks fires at deterministic algorithmic points, so degraded runs
+//! are just as reproducible.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use aida_ned::aida::context::DocumentContext;
 use aida_ned::aida::similarity::{simscore, simscore_exhaustive};
@@ -21,6 +26,7 @@ fn assert_identical(a: &Evaluation, b: &Evaluation, threads: usize) {
     for (da, db) in a.docs.iter().zip(&b.docs) {
         assert_eq!(da.gold, db.gold);
         assert_eq!(da.predicted, db.predicted, "labels diverge at {threads} threads");
+        assert_eq!(da.status, db.status, "statuses diverge at {threads} threads");
         assert_eq!(da.confidence.len(), db.confidence.len());
         for (ca, cb) in da.confidence.iter().zip(&db.confidence) {
             assert_eq!(
@@ -45,10 +51,44 @@ fn thread_count_does_not_change_outcomes() {
     let cached = CachedRelatedness::new(MilneWitten::new(kb));
     let method = Disambiguator::new(kb, &cached, AidaConfig::full());
 
-    let baseline = run_method_with_threads(&method, &corpus.docs, 1);
+    let baseline = run_method_with_threads(&method, &corpus.docs, 1).expect("thread pool");
     assert!(!baseline.docs.is_empty());
     for threads in [2usize, 4, 8] {
-        let parallel = run_method_with_threads(&method, &corpus.docs, threads);
+        let parallel =
+            run_method_with_threads(&method, &corpus.docs, threads).expect("thread pool");
+        assert_identical(&baseline, &parallel, threads);
+    }
+}
+
+#[test]
+fn degraded_runs_are_deterministic_across_thread_counts() {
+    let world = World::generate(WorldConfig {
+        entities_per_topic: 120,
+        ..WorldConfig::default()
+    });
+    let exported = ExportedKb::build(&world);
+    let corpus = conll_like(&world, &exported, 11, 16);
+    let kb = &exported.kb;
+
+    // A solver budget this tight exhausts on every nontrivial document,
+    // forcing the no-coherence fallback. The budget is charged at
+    // deterministic algorithmic points, so the degraded outcomes — labels,
+    // confidences, and degradation tags — must still be byte-identical
+    // for any thread count.
+    let config = AidaConfig { solver_max_iterations: 8, ..AidaConfig::full() };
+    let cached = CachedRelatedness::new(MilneWitten::new(kb));
+    let method = Disambiguator::new(kb, &cached, config);
+
+    let baseline = run_method_with_threads(&method, &corpus.docs, 1).expect("thread pool");
+    assert!(!baseline.docs.is_empty());
+    assert!(
+        baseline.degraded_count() > 0,
+        "a tight solver budget must force degraded documents"
+    );
+    assert_eq!(baseline.failed_count(), 0, "degradation is not failure");
+    for threads in [2usize, 4, 8] {
+        let parallel =
+            run_method_with_threads(&method, &corpus.docs, threads).expect("thread pool");
         assert_identical(&baseline, &parallel, threads);
     }
 }

@@ -1,3 +1,7 @@
+// Vendored work-alike: exempt from the first-party panic-free-library
+// policy (see CI "Clippy (panic-free library code)").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline work-alike of `criterion` (API subset used by this workspace).
 //!
 //! Implements the measurement surface the benches use — `criterion_group!`/

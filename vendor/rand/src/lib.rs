@@ -1,3 +1,7 @@
+// Vendored work-alike: exempt from the first-party panic-free-library
+// policy (see CI "Clippy (panic-free library code)").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline work-alike of the `rand` crate (0.9 API subset).
 //!
 //! Provides [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the

@@ -1,3 +1,7 @@
+// Vendored work-alike: exempt from the first-party panic-free-library
+// policy (see CI "Clippy (panic-free library code)").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline work-alike of `rayon` (API subset used by this workspace).
 //!
 //! Data-parallel iterators are implemented as deterministic chunked

@@ -1,3 +1,7 @@
+// Vendored work-alike: exempt from the first-party panic-free-library
+// policy (see CI "Clippy (panic-free library code)").
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Offline work-alike of the `serde` serialization framework.
 //!
 //! The build environment of this repository has no network access to a
