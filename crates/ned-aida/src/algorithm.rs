@@ -69,6 +69,10 @@ impl Budget {
         Budget {
             spent: 0,
             max: config.max_iterations,
+            // The wall clock bounds *runtime*, never influences *results*:
+            // exhaustion yields a typed BudgetExhausted error, not a
+            // different answer.
+            // ned-lint: allow(d3)
             started: Instant::now(),
             wall_ms: config.wall_budget_ms,
         }

@@ -30,6 +30,16 @@ pub struct Cucerzan<'a> {
     top_phrases: usize,
 }
 
+// Manual Debug: the borrowed KB would dump the whole store.
+impl std::fmt::Debug for Cucerzan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cucerzan")
+            .field("expansion_weight", &self.expansion_weight)
+            .field("top_phrases", &self.top_phrases)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Cucerzan<'a> {
     /// Creates the baseline with the default expansion weight.
     pub fn new(kb: &'a KnowledgeBase) -> Self {
@@ -113,7 +123,7 @@ impl NedMethod for Cucerzan<'_> {
 }
 
 fn normalize(bag: &mut FxHashMap<WordId, f64>) {
-    let norm: f64 = bag.values().map(|v| v * v).sum::<f64>().sqrt();
+    let norm = ned_core::det::det_l2_norm(bag.values().copied());
     if norm > 0.0 {
         for v in bag.values_mut() {
             *v /= norm;

@@ -53,6 +53,18 @@ pub struct Kulkarni<'a> {
     max_sweeps: usize,
 }
 
+// Manual Debug: the borrowed KB would dump the whole store.
+impl std::fmt::Debug for Kulkarni<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kulkarni")
+            .field("variant", &self.variant)
+            .field("prior_weight", &self.prior_weight)
+            .field("coherence_weight", &self.coherence_weight)
+            .field("max_sweeps", &self.max_sweeps)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Kulkarni<'a> {
     /// Creates the baseline in the given variant.
     pub fn new(kb: &'a KnowledgeBase, variant: KulkarniVariant) -> Self {

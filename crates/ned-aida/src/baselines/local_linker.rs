@@ -21,6 +21,15 @@ pub struct LocalLinker<'a> {
     prior_weight: f64,
 }
 
+// Manual Debug: the borrowed KB would dump the whole store.
+impl std::fmt::Debug for LocalLinker<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalLinker")
+            .field("prior_weight", &self.prior_weight)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> LocalLinker<'a> {
     /// Creates the linker with the default prior weight of 0.5.
     pub fn new(kb: &'a KnowledgeBase) -> Self {

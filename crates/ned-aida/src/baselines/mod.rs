@@ -21,6 +21,7 @@ pub use kulkarni::{Kulkarni, KulkarniVariant};
 pub use local_linker::LocalLinker;
 pub use prior_only::PriorOnly;
 
+use ned_core::det::{det_dot, det_l2_norm};
 use ned_kb::fx::FxHashMap;
 use ned_kb::{EntityId, KnowledgeBase, WordId};
 
@@ -43,17 +44,16 @@ pub(crate) fn bag_cosine_unweighted(
     if entity_bag.is_empty() || doc_bag.is_empty() {
         return 0.0;
     }
-    let mut dot = 0.0;
-    for (w, &ev) in entity_bag {
-        if let Some(&tf) = doc_bag.get(w) {
-            dot += ev * tf;
-        }
-    }
+    let dot = det_dot(
+        entity_bag
+            .iter()
+            .filter_map(|(w, &ev)| doc_bag.get(w).map(|&tf| ev * tf)),
+    );
     if dot == 0.0 {
         return 0.0;
     }
-    let norm_e: f64 = entity_bag.values().map(|v| v * v).sum::<f64>().sqrt();
-    let norm_d: f64 = doc_bag.values().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_e = det_l2_norm(entity_bag.values().copied());
+    let norm_d = det_l2_norm(doc_bag.values().copied());
     if norm_e == 0.0 || norm_d == 0.0 {
         return 0.0;
     }
@@ -80,24 +80,16 @@ pub(crate) fn entity_context_cosine(
     if entity_vec.is_empty() || bag.is_empty() {
         return 0.0;
     }
-    let mut dot = 0.0;
-    for (w, &ev) in &entity_vec {
-        if let Some(&tf) = bag.get(w) {
-            dot += ev * tf * weights.word_idf(*w);
-        }
-    }
+    let dot = det_dot(
+        entity_vec
+            .iter()
+            .filter_map(|(w, &ev)| bag.get(w).map(|&tf| ev * tf * weights.word_idf(*w))),
+    );
     if dot == 0.0 {
         return 0.0;
     }
-    let norm_e: f64 = entity_vec.values().map(|v| v * v).sum::<f64>().sqrt();
-    let norm_d: f64 = bag
-        .iter()
-        .map(|(&w, &tf)| {
-            let v = tf * weights.word_idf(w);
-            v * v
-        })
-        .sum::<f64>()
-        .sqrt();
+    let norm_e = det_l2_norm(entity_vec.values().copied());
+    let norm_d = det_l2_norm(bag.iter().map(|(&w, &tf)| tf * weights.word_idf(w)));
     if norm_e == 0.0 || norm_d == 0.0 {
         return 0.0;
     }

@@ -12,6 +12,13 @@ pub struct PriorOnly<'a> {
     kb: &'a KnowledgeBase,
 }
 
+// Manual Debug: the borrowed KB would dump the whole store.
+impl std::fmt::Debug for PriorOnly<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PriorOnly").finish_non_exhaustive()
+    }
+}
+
 impl<'a> PriorOnly<'a> {
     /// Creates the baseline over `kb`.
     pub fn new(kb: &'a KnowledgeBase) -> Self {

@@ -34,6 +34,15 @@ pub struct TypeClassifier<'a> {
     prior_weight: f64,
 }
 
+// Manual Debug: the borrowed KB and taxonomy would dump whole stores.
+impl std::fmt::Debug for TypeClassifier<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypeClassifier")
+            .field("prior_weight", &self.prior_weight)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> TypeClassifier<'a> {
     /// Creates a classifier with the default prior weight (0.5).
     pub fn new(kb: &'a KnowledgeBase, taxonomy: &'a Taxonomy) -> Self {

@@ -25,6 +25,16 @@ pub struct Disambiguator<'a, R> {
     config: AidaConfig,
 }
 
+// Manual Debug: `R` need not be Debug and the borrowed KB would dump the
+// whole store.
+impl<R> std::fmt::Debug for Disambiguator<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Disambiguator")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, R: Relatedness> Disambiguator<'a, R> {
     /// Creates a disambiguator.
     ///
@@ -35,6 +45,8 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
     pub fn new(kb: &'a KnowledgeBase, relatedness: R, config: AidaConfig) -> Self {
         match Self::try_new(kb, relatedness, config) {
             Ok(d) => d,
+            // Documented panicking convenience wrapper over `try_new`.
+            // ned-lint: allow(p1)
             Err(err) => panic!("invalid AIDA configuration: {err}"),
         }
     }
@@ -461,9 +473,9 @@ mod tests {
     fn try_new_reports_invalid_configuration() {
         let kb = kb();
         let bad = AidaConfig { alpha: 0.9, ..AidaConfig::default() };
-        let err = Disambiguator::try_new(&kb, MilneWitten::new(&kb), bad)
-            .err()
-            .expect("invalid config must be rejected");
+        let Err(err) = Disambiguator::try_new(&kb, MilneWitten::new(&kb), bad) else {
+            panic!("invalid config must be rejected");
+        };
         assert!(matches!(err, NedError::Config { what: "AidaConfig", .. }));
     }
 

@@ -53,6 +53,16 @@ pub struct JointAnnotator<'a, R> {
     config: JointConfig,
 }
 
+// Manual Debug: `R` need not be Debug.
+impl<R> std::fmt::Debug for JointAnnotator<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JointAnnotator")
+            .field("recognizer", &self.recognizer)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, R: Relatedness> JointAnnotator<'a, R> {
     /// Creates an annotator; when `use_gazetteer` is set, every dictionary
     /// surface becomes a recognition hint.

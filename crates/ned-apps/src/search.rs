@@ -57,9 +57,9 @@ pub struct SearchHit {
 struct DocRecord {
     id: String,
     /// Term frequencies over lowercased non-stopword words.
-    terms: FxHashMap<String, u32>,
+    term_freqs: FxHashMap<String, u32>,
     /// Disambiguated entity mention counts.
-    entities: FxHashMap<EntityId, u32>,
+    entity_freqs: FxHashMap<EntityId, u32>,
     token_count: usize,
 }
 
@@ -80,6 +80,17 @@ pub struct EntityIndex<'a> {
     docs: Vec<DocRecord>,
     /// term → document indexes (for df).
     term_df: HashMap<String, u32>,
+}
+
+// Manual Debug: the borrowed KB and per-document term maps would dump the
+// whole collection.
+impl std::fmt::Debug for EntityIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntityIndex")
+            .field("docs", &self.docs.len())
+            .field("distinct_terms", &self.term_df.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> EntityIndex<'a> {
@@ -111,13 +122,13 @@ impl<'a> EntityIndex<'a> {
             if t.kind != TokenKind::Word || is_stopword(&t.text) {
                 continue;
             }
-            *record.terms.entry(t.lower()).or_insert(0) += 1;
+            *record.term_freqs.entry(t.lower()).or_insert(0) += 1;
         }
-        for term in record.terms.keys() {
+        for term in record.term_freqs.keys() {
             *self.term_df.entry(term.clone()).or_insert(0) += 1;
         }
         for label in labels.iter().flatten() {
-            *record.entities.entry(*label).or_insert(0) += 1;
+            *record.entity_freqs.entry(*label).or_insert(0) += 1;
         }
         self.docs.push(record);
     }
@@ -143,7 +154,7 @@ impl<'a> EntityIndex<'a> {
         // Document counts per entity across the index.
         let mut doc_counts: FxHashMap<EntityId, u32> = FxHashMap::default();
         for doc in &self.docs {
-            for &e in doc.entities.keys() {
+            for &e in doc.entity_freqs.keys() {
                 *doc_counts.entry(e).or_insert(0) += 1;
             }
         }
@@ -183,13 +194,13 @@ impl<'a> EntityIndex<'a> {
             .iter()
             .filter_map(|doc| {
                 // Things: every requested entity must be present.
-                if !query.entities.iter().all(|e| doc.entities.contains_key(e)) {
+                if !query.entities.iter().all(|e| doc.entity_freqs.contains_key(e)) {
                     return None;
                 }
                 // Cats: at least one entity of each requested kind.
                 for kind in &query.kinds {
                     let any = doc
-                        .entities
+                        .entity_freqs
                         .keys()
                         .any(|&e| self.kb.entity(e).kind == *kind);
                     if !any {
@@ -200,7 +211,7 @@ impl<'a> EntityIndex<'a> {
                 let mut matched_any_term = query.terms.is_empty();
                 for term in &query.terms {
                     let term = term.to_lowercase();
-                    if let Some(&tf) = doc.terms.get(&term) {
+                    if let Some(&tf) = doc.term_freqs.get(&term) {
                         matched_any_term = true;
                         let norm = (doc.token_count.max(1)) as f64;
                         score += (1.0 + f64::from(tf).ln()) * self.idf(&term)
@@ -216,7 +227,8 @@ impl<'a> EntityIndex<'a> {
                 }
                 // Entity boost: mentions of requested entities.
                 for e in &query.entities {
-                    score += 2.0 * f64::from(doc.entities[e]);
+                    let freq = doc.entity_freqs.get(e).copied().unwrap_or(0);
+                    score += 2.0 * f64::from(freq);
                 }
                 (score > 0.0 || !query.entities.is_empty() || !query.kinds.is_empty())
                     .then(|| SearchHit { doc_id: doc.id.clone(), score })

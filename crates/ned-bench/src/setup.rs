@@ -51,6 +51,7 @@ impl Scale {
 }
 
 /// The standard experiment environment.
+#[derive(Debug)]
 pub struct Env {
     /// The synthetic world (ground truth).
     pub world: World,

@@ -1,0 +1,77 @@
+//! Order-insensitive float reductions.
+//!
+//! Float addition is not associative, so summing values in hash-map
+//! iteration order makes the last bits of a score depend on hasher layout —
+//! exactly the nondeterminism the `ned-lint` D1 rule polices. These helpers
+//! make a reduction independent of input order by sorting the operands
+//! under `f64::total_cmp` before combining them, at an `O(n log n)` cost
+//! that only matters for reductions large enough to care about anyway.
+//!
+//! `ned-lint` treats `det_sum`/`det_dot` in a statement as an
+//! order-neutralizer, so call sites that route hash-map values through
+//! these helpers lint clean by construction.
+
+/// Sums floats independently of input order.
+///
+/// Operands are sorted under `total_cmp` first, so any permutation of the
+/// same multiset produces bit-identical output. NaNs sort to a fixed
+/// position and propagate as usual.
+pub fn det_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.into_iter().collect();
+    v.sort_unstable_by(f64::total_cmp);
+    v.iter().sum()
+}
+
+/// Dot-product terms summed independently of input order.
+///
+/// Accepts pre-multiplied terms (e.g. from a filter over the shorter of
+/// two sparse vectors) rather than two aligned slices, which is the shape
+/// hash-map-backed sparse vectors naturally produce.
+pub fn det_dot(terms: impl IntoIterator<Item = f64>) -> f64 {
+    det_sum(terms)
+}
+
+/// The L2 norm of `values`, reduced order-insensitively.
+pub fn det_l2_norm(values: impl IntoIterator<Item = f64>) -> f64 {
+    det_sum(values.into_iter().map(|v| v * v)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_is_permutation_invariant() {
+        // Constructed so naive left-to-right summation differs across
+        // orders in the last bits.
+        let xs = [1e16, 1.0, -1e16, 3.5, 1e-9, 7.25, -2.5];
+        let forward = det_sum(xs);
+        let backward = det_sum(xs.iter().rev().copied());
+        let rotated = det_sum(xs.iter().cycle().skip(3).take(xs.len()).copied());
+        assert_eq!(forward.to_bits(), backward.to_bits());
+        assert_eq!(forward.to_bits(), rotated.to_bits());
+    }
+
+    #[test]
+    fn naive_order_dependence_exists() {
+        // Sanity-check the premise: the same multiset summed in two orders
+        // by a plain fold CAN differ — which is what det_sum removes.
+        let xs = [1e16, 1.0, -1e16, 1.0];
+        let forward: f64 = xs.iter().sum();
+        let backward: f64 = xs.iter().rev().sum();
+        assert_ne!(forward.to_bits(), backward.to_bits());
+    }
+
+    #[test]
+    fn l2_norm_matches_manual() {
+        let n = det_l2_norm([3.0, 4.0]);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert_eq!(det_l2_norm(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(det_sum(std::iter::empty()), 0.0);
+        assert_eq!(det_sum([42.5]), 42.5);
+    }
+}

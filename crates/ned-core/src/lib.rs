@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
@@ -9,6 +11,8 @@
 //! replacing panics on IO/lookup/config paths, the [`DegradationLevel`]
 //! ladder the disambiguator reports when it has to fall back, and helpers to
 //! capture panics from isolated per-document work items.
+
+pub mod det;
 
 use std::fmt;
 use std::io;

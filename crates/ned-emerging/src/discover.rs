@@ -151,6 +151,16 @@ pub struct EeAwareRelatedness<'a, R> {
     models: Vec<Option<&'a EeModel>>,
 }
 
+// Manual Debug: `R` need not be Debug and the borrowed KB would dump the
+// whole store.
+impl<R> std::fmt::Debug for EeAwareRelatedness<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EeAwareRelatedness")
+            .field("models", &self.models.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<R: Relatedness> Relatedness for EeAwareRelatedness<'_, R> {
     fn name(&self) -> &'static str {
         "EE-aware"
@@ -181,6 +191,16 @@ pub struct EeDiscovery<'a, R> {
     base: &'a Disambiguator<'a, R>,
     models: &'a NameModels,
     config: EeConfig,
+}
+
+// Manual Debug: `R` need not be Debug.
+impl<R> std::fmt::Debug for EeDiscovery<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EeDiscovery")
+            .field("base", &self.base)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, R: Relatedness> EeDiscovery<'a, R> {

@@ -70,9 +70,18 @@ pub fn harvest_confident<R: Relatedness>(
 /// are recomputed), returning the enriched KB.
 pub fn enrich_kb(kb: &KnowledgeBase, report: &EnrichmentReport) -> KnowledgeBase {
     let mut builder = KbBuilder::from_kb(kb);
-    for (&entity, phrases) in &report.harvested {
-        for (surface, count) in phrases {
-            builder.add_keyphrase(entity, surface, *count);
+    // Insert in sorted (entity, surface) order: keyphrase ids are assigned
+    // in insertion order, so hash-map iteration order here would otherwise
+    // leak into the enriched KB's id space and its snapshots.
+    let mut entities: Vec<&EntityId> = report.harvested.keys().collect();
+    entities.sort_unstable();
+    for &entity in entities {
+        let Some(phrases) = report.harvested.get(&entity) else { continue };
+        let mut surfaces: Vec<&String> = phrases.keys().collect();
+        surfaces.sort_unstable();
+        for surface in surfaces {
+            let Some(&count) = phrases.get(surface) else { continue };
+            builder.add_keyphrase(entity, surface, count);
         }
     }
     builder.build()

@@ -92,9 +92,16 @@ impl Dictionary {
         self.pair_count
     }
 
-    /// Iterates over all (name-key, candidates) entries.
+    /// Iterates over all (name-key, candidates) entries in ascending key
+    /// order, so downstream consumers (snapshot writer, index builder,
+    /// autocomplete) observe the same sequence on every run regardless of
+    /// the hasher's bucket layout.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Candidate])> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter().filter_map(|k| {
+            self.entries.get(k).map(|v| (k.as_str(), v.as_slice()))
+        })
     }
 
     /// Sorts every candidate list by descending count (stable order for

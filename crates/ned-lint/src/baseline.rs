@@ -1,0 +1,105 @@
+//! The `lint.toml` baseline ratchet.
+//!
+//! Pre-existing findings reviewed when a rule was introduced are recorded
+//! as per-`file:rule` counts. The counts may only shrink: a finding count
+//! above its baseline fails the lint; a count below it is *stale* and must
+//! be ratcheted down (`--write-baseline`), which `--ratchet` (the CI mode)
+//! enforces. The format is a deliberately tiny TOML subset so no external
+//! parser is needed: `"path:rule" = count` lines under `[baseline]`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parsed baseline: `"path:rule"` → allowed finding count.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Allowed counts keyed by `path:rule`.
+    pub entries: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parses the `[baseline]` table.
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeMap::new();
+        let mut in_table = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_table = line == "[baseline]";
+                continue;
+            }
+            if !in_table {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else { continue };
+            let key = key.trim().trim_matches('"').to_string();
+            if let Ok(count) = value.trim().parse::<usize>() {
+                entries.insert(key, count);
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Serializes back to the checked-in format (sorted, deterministic).
+    pub fn render(counts: &BTreeMap<String, usize>) -> String {
+        let mut out = String::from(
+            "# ned-lint baseline — reviewed pre-existing findings, counted per file:rule.\n\
+             # Counts may only SHRINK. Regenerate after fixing sites with:\n\
+             #   cargo run -p ned-lint -- --write-baseline\n\
+             # Adding or raising an entry requires explicit reviewer sign-off.\n\
+             \n[baseline]\n",
+        );
+        for (key, count) in counts {
+            if *count > 0 {
+                let _ = writeln!(out, "\"{key}\" = {count}");
+            }
+        }
+        out
+    }
+
+    /// Total allowed findings (used by the CI growth check).
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/x/src/lib.rs:p1".to_string(), 3);
+        counts.insert("crates/y/src/a.rs:d1".to_string(), 1);
+        counts.insert("crates/z/src/b.rs:u1".to_string(), 0);
+        let text = Baseline::render(&counts);
+        let parsed = Baseline::parse(&text);
+        assert_eq!(parsed.entries.len(), 2, "zero entries are dropped");
+        assert_eq!(parsed.entries.get("crates/x/src/lib.rs:p1"), Some(&3));
+        assert_eq!(parsed.total(), 4);
+    }
+
+    #[test]
+    fn ignores_other_tables_and_comments() {
+        let text = "# c\n[other]\n\"a:p1\" = 9\n[baseline]\n# c\n\"b:d1\" = 2\n";
+        let parsed = Baseline::parse(text);
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries.get("b:d1"), Some(&2));
+    }
+}

@@ -1,0 +1,108 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+//! `ned-lint`: the workspace invariant checker.
+//!
+//! PR 1 made byte-identical parallel output a contract and PR 2 made
+//! panic-freedom one. Both were enforced only at runtime (proptests,
+//! fault-injection) plus generic clippy flags; nothing stopped a change
+//! from iterating a `HashMap` into an output order or indexing past a
+//! candidate list. This crate walks every first-party source tree and
+//! enforces five project invariants clippy cannot express:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `d1` | hash-map/set iteration order must not flow into output |
+//! | `d2` | float ordering must use `total_cmp`, not `partial_cmp` |
+//! | `d3` | no wall clock / ambient randomness outside bench harnesses |
+//! | `p1` | no panicking constructs (indexing, `panic!`) in library code |
+//! | `u1` | no `unsafe` in first-party crates |
+//!
+//! Suppression is two-tier: inline `// ned-lint: allow(rule)` comments for
+//! sites with a documented invariant, and the checked-in `lint.toml`
+//! baseline (per-`file:rule` counts) for reviewed pre-existing debt. The
+//! baseline may only shrink — see [`baseline`].
+//!
+//! The scanner is a hand-rolled lexer (no external parser dependencies, in
+//! keeping with the workspace's vendored-offline constraint); rules are
+//! documented heuristics, which is why both suppression tiers exist.
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use baseline::Baseline;
+use report::{BaselineDrift, LintReport};
+use rules::Finding;
+
+/// Runs the full lint over the workspace at `root`.
+///
+/// `baseline` is the parsed `lint.toml` (pass `Baseline::default()` to
+/// report every finding).
+pub fn run_lint(root: &Path, baseline: &Baseline) -> io::Result<LintReport> {
+    let files = walk::workspace_files(root)?;
+    let mut report = LintReport::default();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    for file in &files {
+        let text = fs::read_to_string(&file.abs_path)?;
+        let lines = scanner::scan(&text);
+        if file.ctx.is_vendor {
+            *report.vendor_unsafe.entry(file.ctx.crate_name.clone()).or_insert(0) +=
+                rules::count_unsafe(&lines);
+        } else {
+            raw.extend(rules::check_file(&file.ctx, &lines));
+        }
+        report.files_scanned += 1;
+    }
+    raw.sort();
+
+    // Group by file:rule and apply the baseline ratchet.
+    let mut by_key: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in raw {
+        by_key.entry(format!("{}:{}", f.path, f.rule.id())).or_default().push(f);
+    }
+    for (key, findings) in &by_key {
+        report.counts.insert(key.clone(), findings.len());
+    }
+    for (key, findings) in by_key {
+        let allowed = baseline.entries.get(&key).copied().unwrap_or(0);
+        if findings.len() > allowed {
+            if allowed > 0 {
+                report.exceeded.push(BaselineDrift {
+                    key: key.clone(),
+                    allowed,
+                    actual: findings.len(),
+                });
+            }
+            report.findings.extend(findings);
+        } else {
+            if findings.len() < allowed {
+                report.stale.push(BaselineDrift {
+                    key: key.clone(),
+                    allowed,
+                    actual: findings.len(),
+                });
+            }
+            report.baselined += findings.len();
+        }
+    }
+    // Baseline entries for files with zero current findings are stale too.
+    for (key, &allowed) in &baseline.entries {
+        if allowed > 0 && !report.counts.contains_key(key) {
+            report.stale.push(BaselineDrift { key: key.clone(), allowed, actual: 0 });
+        }
+    }
+    report.stale.sort_by(|a, b| a.key.cmp(&b.key));
+    report.findings.sort();
+    Ok(report)
+}

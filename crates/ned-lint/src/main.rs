@@ -1,0 +1,133 @@
+//! CLI driver for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p ned-lint --release -- [--root DIR] [--ratchet]
+//!                                    [--write-baseline] [--baseline-total]
+//!                                    [--verbose]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or stale baseline under
+//! `--ratchet`), `2` usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ned_lint::baseline::Baseline;
+use ned_lint::run_lint;
+
+struct Args {
+    root: Option<PathBuf>,
+    ratchet: bool,
+    write_baseline: bool,
+    baseline_total: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        ratchet: false,
+        write_baseline: false,
+        baseline_total: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--ratchet" => args.ratchet = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--baseline-total" => args.baseline_total = true,
+            "--verbose" | "-v" => args.verbose = true,
+            "--help" | "-h" => {
+                return Err("usage: ned-lint [--root DIR] [--ratchet] [--write-baseline] [--baseline-total] [--verbose]".to_string());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the first directory holding
+/// a `lint.toml` or a workspace `Cargo.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root().ok_or("cannot locate workspace root; pass --root")?,
+    };
+    let baseline_path = root.join("lint.toml");
+    let baseline = Baseline::load(&baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+
+    if args.baseline_total {
+        println!("{}", baseline.total());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report =
+        run_lint(&root, &baseline).map_err(|e| format!("lint failed on {}: {e}", root.display()))?;
+
+    if args.write_baseline {
+        let text = Baseline::render(&report.counts);
+        std::fs::write(&baseline_path, text)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} entr{}, {} finding(s) baselined)",
+            baseline_path.display(),
+            report.counts.len(),
+            if report.counts.len() == 1 { "y" } else { "ies" },
+            report.counts.values().sum::<usize>(),
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    print!("{}", report.render(args.verbose));
+    let ratchet_failed = args.ratchet && !report.stale.is_empty();
+    if report.is_clean() && !ratchet_failed {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        if ratchet_failed {
+            eprintln!("ratchet mode: stale baseline entries must be written down (--write-baseline)");
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("ned-lint: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Err(usage) => {
+            eprintln!("{usage}");
+            ExitCode::from(2)
+        }
+    }
+}

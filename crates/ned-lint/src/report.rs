@@ -1,0 +1,104 @@
+//! Lint run outcome and plain-text rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, Rule};
+
+/// A baseline entry that no longer matches reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineDrift {
+    /// `path:rule` key.
+    pub key: String,
+    /// Count recorded in `lint.toml`.
+    pub allowed: usize,
+    /// Count found in this run.
+    pub actual: usize,
+}
+
+/// Outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by an inline allow or the baseline.
+    pub findings: Vec<Finding>,
+    /// Number of findings absorbed by the `lint.toml` baseline.
+    pub baselined: usize,
+    /// Baseline entries whose actual count shrank (must be ratcheted down).
+    pub stale: Vec<BaselineDrift>,
+    /// Baseline entries whose actual count grew (always a failure).
+    pub exceeded: Vec<BaselineDrift>,
+    /// `unsafe` occurrence counts per vendored crate (informational).
+    pub vendor_unsafe: BTreeMap<String, usize>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Current per-`file:rule` counts (for `--write-baseline`).
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl LintReport {
+    /// True when the run should fail CI in default mode.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.exceeded.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        if !self.findings.is_empty() {
+            let mut by_rule: BTreeMap<Rule, Vec<&Finding>> = BTreeMap::new();
+            for f in &self.findings {
+                by_rule.entry(f.rule).or_default().push(f);
+            }
+            for (rule, findings) in &by_rule {
+                let _ = writeln!(
+                    out,
+                    "{} — {} ({} finding{})",
+                    rule.id().to_uppercase(),
+                    rule.describe(),
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                );
+                for f in findings {
+                    let _ = writeln!(out, "  {}:{}: {}", f.path, f.line, f.snippet);
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for drift in &self.exceeded {
+            let _ = writeln!(
+                out,
+                "baseline exceeded: {} allows {} but {} found — fix the new sites",
+                drift.key, drift.allowed, drift.actual,
+            );
+        }
+        for drift in &self.stale {
+            let _ = writeln!(
+                out,
+                "baseline stale: {} allows {} but only {} remain — run --write-baseline to ratchet down",
+                drift.key, drift.allowed, drift.actual,
+            );
+        }
+        if verbose || !self.vendor_unsafe.is_empty() {
+            let nonzero: Vec<_> =
+                self.vendor_unsafe.iter().filter(|(_, &n)| n > 0).collect();
+            if !nonzero.is_empty() || verbose {
+                let _ = writeln!(out, "vendored `unsafe` occurrences (informational):");
+                let _ = writeln!(out, "  {:<24} count", "crate");
+                for (krate, n) in &self.vendor_unsafe {
+                    let _ = writeln!(out, "  {krate:<24} {n}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned; {} finding(s), {} baselined, {} stale baseline entr{}",
+            self.files_scanned,
+            self.findings.len(),
+            self.baselined,
+            self.stale.len(),
+            if self.stale.len() == 1 { "y" } else { "ies" },
+        );
+        out
+    }
+}

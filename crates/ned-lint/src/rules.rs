@@ -1,0 +1,828 @@
+//! The five workspace invariant rules.
+//!
+//! All rules operate on comment/literal-stripped statements produced from
+//! [`crate::scanner`] lines. They are heuristic by design — a line scanner
+//! cannot resolve types across crates — so every rule errs toward flagging
+//! at the *source* of a risk (e.g. the definition of an accessor that
+//! exposes hash-map iteration order) and supports inline
+//! `// ned-lint: allow(rule)` suppressions plus the `lint.toml` baseline
+//! ratchet for reviewed sites.
+
+use std::collections::BTreeSet;
+
+use crate::scanner::SourceLine;
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-map/set iteration order flowing into output.
+    D1,
+    /// Float ordering via `partial_cmp` instead of `total_cmp`.
+    D2,
+    /// Wall-clock or unseeded randomness in non-bench code.
+    D3,
+    /// Panicking constructs (indexing, `panic!`) in library code.
+    P1,
+    /// `unsafe` code in first-party crates.
+    U1,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::P1, Rule::U1];
+
+    /// Stable lowercase id used in suppressions and the baseline.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "d1",
+            Rule::D2 => "d2",
+            Rule::D3 => "d3",
+            Rule::P1 => "p1",
+            Rule::U1 => "u1",
+        }
+    }
+
+    /// One-line description shown in reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "hash-map/set iteration order flows to output (sort first or use a BTree collection)",
+            Rule::D2 => "float ordering via partial_cmp (use f64::total_cmp for a total order)",
+            Rule::D3 => "wall-clock or unseeded randomness in deterministic code",
+            Rule::P1 => "panicking construct (indexing / panic!) in library code; prefer .get() or typed errors",
+            Rule::U1 => "unsafe code is forbidden in first-party crates",
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Where a file sits in the workspace; controls which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Crate name (directory under `crates/`, `vendor/`, or the root crate).
+    pub crate_name: String,
+    /// True for `vendor/*` crates (only U1 counting applies).
+    pub is_vendor: bool,
+    /// True for binary targets (`src/bin/*`, `main.rs`): P1 is relaxed.
+    pub is_bin: bool,
+    /// True for benchmark-harness crates: D3 and P1 are relaxed.
+    pub is_harness: bool,
+}
+
+/// A statement: contiguous code between `;` / `{` / `}` boundaries.
+#[derive(Debug)]
+struct Stmt {
+    start_line: usize,
+    text: String,
+    /// Brace depth before the statement's terminator applies.
+    depth: i64,
+    /// `;`, `{`, or `}` — what ended the statement.
+    terminator: char,
+    in_test: bool,
+    allows: BTreeSet<String>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Assembles scanned lines into statements.
+fn assemble(lines: &[SourceLine]) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut buf = String::new();
+    let mut start_line = 0usize;
+    let mut in_test = false;
+    let mut allows: BTreeSet<String> = BTreeSet::new();
+    let mut brace_depth: i64 = 0;
+    let mut bracket_depth: i64 = 0;
+
+    let flush = |buf: &mut String,
+                     stmts: &mut Vec<Stmt>,
+                     start_line: &mut usize,
+                     in_test: &mut bool,
+                     allows: &mut BTreeSet<String>,
+                     depth: i64,
+                     terminator: char| {
+        if !buf.trim().is_empty() {
+            stmts.push(Stmt {
+                start_line: *start_line,
+                text: std::mem::take(buf).trim().to_string(),
+                depth,
+                terminator,
+                in_test: *in_test,
+                allows: std::mem::take(allows),
+            });
+        } else {
+            buf.clear();
+            allows.clear();
+        }
+        *start_line = 0;
+        *in_test = false;
+    };
+
+    for line in lines {
+        // A suppression on the line above a statement's first line counts.
+        for c in line.code.chars() {
+            if start_line == 0 && !c.is_whitespace() {
+                start_line = line.number;
+                in_test = line.in_test;
+                // Pull in allows from this line and the previous one.
+                allows.extend(line.allows.iter().cloned());
+            }
+            match c {
+                '(' | '[' => {
+                    bracket_depth += 1;
+                    buf.push(c);
+                }
+                ')' | ']' => {
+                    bracket_depth -= 1;
+                    buf.push(c);
+                }
+                '{' if bracket_depth == 0 => {
+                    flush(&mut buf, &mut stmts, &mut start_line, &mut in_test, &mut allows, brace_depth, '{');
+                    brace_depth += 1;
+                }
+                '}' if bracket_depth == 0 => {
+                    flush(&mut buf, &mut stmts, &mut start_line, &mut in_test, &mut allows, brace_depth, '}');
+                    brace_depth -= 1;
+                }
+                ';' if bracket_depth == 0 => {
+                    flush(&mut buf, &mut stmts, &mut start_line, &mut in_test, &mut allows, brace_depth, ';');
+                }
+                _ => buf.push(c),
+            }
+        }
+        if start_line != 0 {
+            // Statement spans lines: keep accumulating allows/test flags.
+            allows.extend(line.allows.iter().cloned());
+            in_test = in_test || line.in_test;
+            buf.push(' ');
+        }
+    }
+    flush(&mut buf, &mut stmts, &mut start_line, &mut in_test, &mut allows, brace_depth, ';');
+    stmts
+}
+
+const HASH_TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".par_iter()",
+];
+
+/// Identifiers bound to hash-map/set types anywhere in the file
+/// (annotations, struct fields, params, `= FxHashMap::default()`, …).
+fn hash_idents(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for stmt in stmts {
+        let text = &stmt.text;
+        for ty in HASH_TYPES {
+            let mut from = 0usize;
+            while let Some(rel) = text.get(from..).and_then(|s| s.find(ty)) {
+                let pos = from + rel;
+                from = pos + ty.len();
+                // Reject substring matches like `MyHashMapLike`.
+                if !word_boundaries(text, pos, ty.len()) {
+                    continue;
+                }
+                if let Some(name) = binding_before(text, pos) {
+                    out.insert(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Identifiers bound to float values (`let x = 0.0`, `x: f64`, …).
+fn float_idents(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for stmt in stmts {
+        let text = &stmt.text;
+        for ty in ["f64", "f32"] {
+            let mut from = 0usize;
+            while let Some(rel) = text.get(from..).and_then(|s| s.find(ty)) {
+                let pos = from + rel;
+                from = pos + ty.len();
+                if !word_boundaries(text, pos, ty.len()) {
+                    continue;
+                }
+                if let Some(name) = binding_before(text, pos) {
+                    out.insert(name);
+                }
+            }
+        }
+        // `let [mut] x = <float literal>` — e.g. `let mut dot = 0.0;`
+        if let Some(rest) = text.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            if let Some(eq) = rest.find('=') {
+                let name = rest.get(..eq).unwrap_or("").trim();
+                let rhs = rest.get(eq + 1..).unwrap_or("").trim();
+                if name.chars().all(is_ident_char)
+                    && !name.is_empty()
+                    && looks_like_float_literal(rhs)
+                {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn looks_like_float_literal(rhs: &str) -> bool {
+    let tok: String = rhs.chars().take_while(|&c| !c.is_whitespace() && c != ';').collect();
+    let mut seen_dot = false;
+    let mut seen_digit = false;
+    for c in tok.chars() {
+        match c {
+            '0'..='9' | '_' => seen_digit = true,
+            '.' if !seen_dot => seen_dot = true,
+            '-' if !seen_digit => {}
+            _ => return false,
+        }
+    }
+    seen_digit && seen_dot
+}
+
+/// Finds the identifier a type token at `pos` is bound to: the ident before
+/// the nearest preceding `:` or `=`, allowing only trivial tokens
+/// (whitespace, `&`, `mut`, lifetimes, `path::` prefixes) in between.
+fn binding_before(text: &str, pos: usize) -> Option<String> {
+    let b: Vec<char> = text.get(..pos)?.chars().collect();
+    let at = |k: usize| k.checked_sub(1).and_then(|k| b.get(k).copied());
+    let mut j = b.len();
+    // Walk left over a `seg::seg::` path prefix.
+    while at(j) == Some(':') && at(j.saturating_sub(1)) == Some(':') {
+        j = j.saturating_sub(2);
+        while at(j).map(is_ident_char).unwrap_or(false) {
+            j -= 1;
+        }
+    }
+    // Walk left over trivial tokens: whitespace, `&`, `mut`, lifetimes.
+    loop {
+        while at(j).map(char::is_whitespace).unwrap_or(false) {
+            j -= 1;
+        }
+        if at(j) == Some('&') {
+            j -= 1;
+            continue;
+        }
+        if j >= 3
+            && at(j) == Some('t')
+            && at(j - 1) == Some('u')
+            && at(j - 2) == Some('m')
+            && !at(j - 3).map(is_ident_char).unwrap_or(false)
+        {
+            j -= 3;
+            continue;
+        }
+        if at(j).map(is_ident_char).unwrap_or(false) {
+            // A lifetime like `'a` is trivial; a plain ident is not.
+            let mut k = j;
+            while at(k).map(is_ident_char).unwrap_or(false) {
+                k -= 1;
+            }
+            if at(k) == Some('\'') {
+                j = k - 1;
+                continue;
+            }
+        }
+        break;
+    }
+    // Expect the separator here.
+    let sep = at(j)?;
+    if sep != ':' && sep != '=' {
+        return None;
+    }
+    j -= 1;
+    // `::` means we are still inside a path; `==`/`=>`/`<=`… are operators.
+    if sep == ':' && at(j) == Some(':') {
+        return None;
+    }
+    if sep == '=' && matches!(at(j), Some('=' | '!' | '<' | '>' | '+' | '-' | '*' | '/')) {
+        return None;
+    }
+    while at(j).map(char::is_whitespace).unwrap_or(false) {
+        j -= 1;
+    }
+    let mut name = String::new();
+    while at(j).map(is_ident_char).unwrap_or(false) {
+        if let Some(c) = at(j) {
+            name.push(c);
+        }
+        j -= 1;
+    }
+    let name: String = name.chars().rev().collect();
+    if name.is_empty() || name.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        return None;
+    }
+    const KEYWORDS: [&str; 10] =
+        ["let", "mut", "pub", "fn", "impl", "where", "if", "in", "for", "return"];
+    if KEYWORDS.contains(&name.as_str()) {
+        return None;
+    }
+    Some(name)
+}
+
+/// The identifier immediately before a method-call token at `pos`
+/// (e.g. receiver of `.iter()`); takes the last path segment.
+fn receiver_before(text: &str, pos: usize) -> Option<String> {
+    let head = text.get(..pos)?;
+    let mut name: String = head
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() {
+        // Call-result receiver like `foo().iter()` — unknown type.
+        return None;
+    }
+    if name == "self" {
+        name.clear();
+    }
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Tokens that make hash iteration order irrelevant within a statement.
+fn has_neutralizer(text: &str) -> bool {
+    const NEUTRAL: [&str; 19] = [
+        "sort",
+        "BTreeMap",
+        "BTreeSet",
+        ".count()",
+        ".len()",
+        ".product",
+        ".any(",
+        ".all(",
+        ".contains",
+        ".is_empty()",
+        "collect::<HashMap",
+        "collect::<HashSet",
+        "collect::<FxHashMap",
+        "collect::<FxHashSet",
+        ".max(",
+        ".min(",
+        "det_sum",
+        "det_dot",
+        "det_l2_norm",
+    ];
+    if NEUTRAL.iter().any(|t| text.contains(t)) {
+        return true;
+    }
+    // Plain sums/folds are commutative for integers; float sums are ordered.
+    if text.contains(".sum") && !text.contains(".sum::<f64") && !text.contains(".sum::<f32") {
+        return true;
+    }
+    if (text.contains(".max_by") || text.contains(".min_by")) && text.contains("cmp") {
+        return true;
+    }
+    // Collecting back into a hash container (type annotation form).
+    if text.contains(": HashMap<")
+        || text.contains(": FxHashMap<")
+        || text.contains(": HashSet<")
+        || text.contains(": FxHashSet<")
+    {
+        return true;
+    }
+    false
+}
+
+/// Tokens that make a statement's result order-observable.
+fn has_order_sink(text: &str, terminator: char) -> bool {
+    const SINKS: [&str; 11] = [
+        ".push(",
+        ".push_str(",
+        ".extend(",
+        "return ",
+        "write!",
+        "writeln!",
+        "print!",
+        "println!",
+        "format!",
+        ".join(",
+        ".find(",
+    ];
+    if SINKS.iter().any(|t| text.contains(t)) {
+        return true;
+    }
+    if text.contains(".collect") || text.contains(".sum::<f64") || text.contains(".sum::<f32") {
+        return true;
+    }
+    // Trailing expression (block value / implicit return).
+    terminator == '}'
+}
+
+/// Does `stmt` iterate a known hash container? Returns the match position.
+fn hash_iteration(text: &str, hashes: &BTreeSet<String>) -> Option<usize> {
+    for m in ITER_METHODS {
+        let mut from = 0usize;
+        while let Some(rel) = text.get(from..).and_then(|s| s.find(m)) {
+            let pos = from + rel;
+            from = pos + m.len();
+            if let Some(recv) = receiver_before(text, pos) {
+                if hashes.contains(&recv) {
+                    return Some(pos);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// For a `for`-loop header, the iterated expression (`for pat in EXPR {`).
+fn for_iterable(text: &str) -> Option<&str> {
+    let rest = text.strip_prefix("for ")?;
+    let in_pos = rest.find(" in ")?;
+    Some(rest.get(in_pos + 4..)?.trim())
+}
+
+/// True when a loop-body statement cannot observe iteration order:
+/// hash-entry updates, per-element scaling, and bare control flow.
+fn body_stmt_is_order_neutral(text: &str, floats: &BTreeSet<String>) -> bool {
+    let t = text.trim();
+    if t.is_empty() || t == "else" {
+        return true;
+    }
+    for kw in ["if ", "if(", "while ", "match ", "else if ", "for "] {
+        if t.starts_with(kw) {
+            return true;
+        }
+    }
+    if t.contains(".entry(") || t.contains(".insert(") || t.contains(".remove(") {
+        return true;
+    }
+    // Sorting each element independently does not observe the outer order.
+    if t.contains(".sort") || t.contains(".dedup") {
+        return true;
+    }
+    if t.contains("*=") || t.contains("/=") {
+        return true;
+    }
+    if t.contains("+=") || t.contains("-=") {
+        // Integer accumulation commutes; float accumulation does not.
+        let lhs = t.split(['+', '-']).next().unwrap_or("");
+        let lhs_ident: String = lhs
+            .trim()
+            .trim_start_matches('*')
+            .chars()
+            .take_while(|&c| is_ident_char(c) || c == '.')
+            .collect();
+        let last = lhs_ident.rsplit('.').next().unwrap_or("");
+        return !floats.contains(last);
+    }
+    if t.starts_with("continue") {
+        return true;
+    }
+    false
+}
+
+/// Targets of `.push(` calls inside a statement list.
+fn push_targets(stmts: &[&Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for stmt in stmts {
+        let mut from = 0usize;
+        while let Some(rel) = stmt.text.get(from..).and_then(|s| s.find(".push(")) {
+            let pos = from + rel;
+            from = pos + ".push(".len();
+            if let Some(recv) = receiver_before(&stmt.text, pos) {
+                out.insert(recv);
+            }
+        }
+    }
+    out
+}
+
+/// The `let [mut] NAME` binding of a statement, if any.
+fn let_binding(text: &str) -> Option<String> {
+    let rest = text.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// How many following statements to search for a rescuing `X.sort…` call.
+const SORT_LOOKAHEAD: usize = 8;
+
+fn sorted_later(stmts: &[Stmt], from: usize, target: &str) -> bool {
+    let pat_a = format!("{target}.sort");
+    let pat_b = format!("{target}.dedup");
+    stmts
+        .iter()
+        .skip(from)
+        .take(SORT_LOOKAHEAD)
+        .any(|s| s.text.contains(&pat_a) || s.text.contains(&pat_b))
+}
+
+/// Runs all applicable rules over one file's scanned lines.
+pub fn check_file(ctx: &FileContext, lines: &[SourceLine]) -> Vec<Finding> {
+    let stmts = assemble(lines);
+    let hashes = hash_idents(&stmts);
+    let floats = float_idents(&stmts);
+    let mut findings = Vec::new();
+
+    let snippet_of = |line_no: usize| -> String {
+        lines
+            .iter()
+            .find(|l| l.number == line_no)
+            .map(|l| {
+                let t = l.raw.trim();
+                let mut s: String = t.chars().take(110).collect();
+                if s.len() < t.len() {
+                    s.push('…');
+                }
+                s
+            })
+            .unwrap_or_default()
+    };
+
+    let emit = |rule: Rule, stmt: &Stmt, findings: &mut Vec<Finding>| {
+        if stmt.allows.contains(rule.id()) {
+            return;
+        }
+        findings.push(Finding {
+            path: ctx.path.clone(),
+            line: stmt.start_line,
+            rule,
+            snippet: snippet_of(stmt.start_line),
+        });
+    };
+
+    for (idx, stmt) in stmts.iter().enumerate() {
+        if ctx.is_vendor {
+            break; // vendor crates get the U1 count table only (see walk).
+        }
+        let text = &stmt.text;
+
+        // --- U1: applies everywhere in first-party code, tests included.
+        if has_word(text, "unsafe") {
+            emit(Rule::U1, stmt, &mut findings);
+        }
+
+        if stmt.in_test {
+            continue;
+        }
+
+        // --- D2: float ordering through partial_cmp.
+        if text.contains(".partial_cmp(") && !text.contains("fn partial_cmp") {
+            emit(Rule::D2, stmt, &mut findings);
+        }
+
+        // --- D3: wall clock / ambient randomness outside bench harnesses.
+        if !ctx.is_harness {
+            const CLOCKY: [&str; 6] = [
+                "Instant::now",
+                "SystemTime::now",
+                "thread_rng(",
+                "from_entropy(",
+                "rand::random",
+                "getrandom(",
+            ];
+            if CLOCKY.iter().any(|t| text.contains(t)) {
+                emit(Rule::D3, stmt, &mut findings);
+            }
+        }
+
+        // --- P1: panicking constructs in library code.
+        if !ctx.is_harness && !ctx.is_bin {
+            const PANICKY: [&str; 4] = ["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+            if PANICKY.iter().any(|t| text.contains(t)) && !text.contains("catch_unwind") {
+                emit(Rule::P1, stmt, &mut findings);
+            }
+            if has_indexing(text) {
+                emit(Rule::P1, stmt, &mut findings);
+            }
+        }
+
+        // --- D1: hash iteration order escaping into output.
+        if let Some(iterable) = for_iterable(text) {
+            let is_hash_loop = hash_iteration(iterable, &hashes).is_some() || {
+                let plain = iterable.trim_start_matches(['&', '(']).trim();
+                let plain = plain.strip_prefix("mut ").unwrap_or(plain);
+                let last = plain.rsplit('.').next().unwrap_or(plain);
+                plain.chars().all(|c| is_ident_char(c) || c == '.')
+                    && hashes.contains(last)
+            };
+            if is_hash_loop && !has_neutralizer(iterable) {
+                // Collect the loop body (statements at deeper brace depth).
+                let body: Vec<&Stmt> = stmts
+                    .iter()
+                    .skip(idx + 1)
+                    .take_while(|s| s.depth > stmt.depth)
+                    .collect();
+                let body_end = idx + 1 + body.len();
+                let body_neutral =
+                    body.iter().all(|s| body_stmt_is_order_neutral(&s.text, &floats));
+                if !body_neutral {
+                    // Rescue: everything the body pushes is sorted right
+                    // after the loop.
+                    let targets = push_targets(&body);
+                    let rescued = !targets.is_empty()
+                        && targets.iter().all(|t| sorted_later(&stmts, body_end, t));
+                    if !rescued {
+                        emit(Rule::D1, stmt, &mut findings);
+                    }
+                }
+            }
+        } else if let Some(_pos) = hash_iteration(text, &hashes) {
+            if !has_neutralizer(text) && has_order_sink(text, stmt.terminator) {
+                let rescued = match let_binding(text) {
+                    Some(name) => sorted_later(&stmts, idx + 1, &name),
+                    None => false,
+                };
+                if !rescued {
+                    emit(Rule::D1, stmt, &mut findings);
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Counts `unsafe` keyword occurrences (used for the vendor report table).
+pub fn count_unsafe(lines: &[SourceLine]) -> usize {
+    lines.iter().map(|l| count_word(&l.code, "unsafe")).sum()
+}
+
+fn has_word(text: &str, word: &str) -> bool {
+    count_word(text, word) > 0
+}
+
+fn count_word(text: &str, word: &str) -> usize {
+    let mut n = 0usize;
+    let mut from = 0usize;
+    while let Some(rel) = text.get(from..).and_then(|s| s.find(word)) {
+        let pos = from + rel;
+        from = pos + word.len();
+        if word_boundaries(text, pos, word.len()) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// True when the byte range `[pos, pos + len)` is delimited by non-ident
+/// characters on both sides.
+fn word_boundaries(text: &str, pos: usize, len: usize) -> bool {
+    let before_ok = pos == 0
+        || !text
+            .get(..pos)
+            .and_then(|s| s.chars().next_back())
+            .map(is_ident_char)
+            .unwrap_or(false);
+    let after_ok = text
+        .get(pos + len..)
+        .and_then(|s| s.chars().next())
+        .map(|c| !is_ident_char(c))
+        .unwrap_or(true);
+    before_ok && after_ok
+}
+
+/// Detects slice/array indexing `expr[…]` that can panic. Skips attribute
+/// lines, macro brackets (`vec![…]`), full-range slices `[..]`, and array
+/// type syntax.
+fn has_indexing(text: &str) -> bool {
+    let t = text.trim();
+    if t.starts_with('#') {
+        return false;
+    }
+    let chars: Vec<char> = t.chars().collect();
+    for (i, win) in chars.windows(2).enumerate() {
+        let [prev, c] = win else { continue };
+        if *c != '[' {
+            continue;
+        }
+        // Only `expr[…]` can panic; `![…]` is a macro, `<[…]`/`&[…]` are
+        // type/slice syntax.
+        if !(is_ident_char(*prev) || *prev == ')' || *prev == ']') {
+            continue;
+        }
+        // Full-range slice `x[..]` never panics.
+        let rest: String = chars.iter().skip(i + 2).collect();
+        if rest.trim_start().starts_with("..]") {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn ctx() -> FileContext {
+        FileContext {
+            path: "crates/x/src/lib.rs".into(),
+            crate_name: "x".into(),
+            is_vendor: false,
+            is_bin: false,
+            is_harness: false,
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_file(&ctx(), &scan(src))
+    }
+
+    #[test]
+    fn d1_for_loop_push_without_sort_fires() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) -> Vec<u32> {\n    let mut out = Vec::new();\n    for (k, v) in m.iter() {\n        out.push(*v);\n    }\n    out\n}\n";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.rule == Rule::D1), "{f:?}");
+    }
+
+    #[test]
+    fn d1_rescued_by_sort_after_loop() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) -> Vec<u32> {\n    let mut out = Vec::new();\n    for (k, v) in m.iter() {\n        out.push(*v);\n    }\n    out.sort_unstable();\n    out\n}\n";
+        let f = run(src);
+        assert!(!f.iter().any(|f| f.rule == Rule::D1), "{f:?}");
+    }
+
+    #[test]
+    fn d1_entry_counting_is_neutral() {
+        let src = "fn f(m: &FxHashMap<String, u32>, df: &mut FxHashMap<String, u32>) {\n    for term in m.keys() {\n        *df.entry(term.clone()).or_insert(0) += 1;\n    }\n}\n";
+        let f = run(src);
+        assert!(!f.iter().any(|f| f.rule == Rule::D1), "{f:?}");
+    }
+
+    #[test]
+    fn d1_float_sum_over_values_fires() {
+        let src = "fn f(bag: &FxHashMap<u32, f64>) -> f64 {\n    let norm: f64 = bag.values().map(|v| v * v).sum::<f64>().sqrt();\n    norm\n}\n";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.rule == Rule::D1), "{f:?}");
+    }
+
+    #[test]
+    fn d1_float_accumulation_in_loop_fires() {
+        let src = "fn f(bag: &FxHashMap<u32, f64>) -> f64 {\n    let mut dot = 0.0;\n    for (k, v) in bag.iter() {\n        dot += *v;\n    }\n    dot\n}\n";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.rule == Rule::D1), "{f:?}");
+    }
+
+    #[test]
+    fn d2_partial_cmp_fires_but_not_definitions() {
+        let src = "fn f(xs: &mut Vec<f64>) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        assert!(run(src).iter().any(|f| f.rule == Rule::D2));
+        let def = "impl PartialOrd for X {\n    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n        Some(self.cmp(other))\n    }\n}\n";
+        assert!(!run(def).iter().any(|f| f.rule == Rule::D2));
+    }
+
+    #[test]
+    fn d3_and_u1_and_p1_fire() {
+        let src = "fn f(xs: &[u32]) -> u32 {\n    let t = Instant::now();\n    let x = xs[0];\n    unsafe { std::mem::transmute::<u32, i32>(x) };\n    panic!(\"boom\");\n}\n";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.rule == Rule::D3));
+        assert!(f.iter().any(|f| f.rule == Rule::P1 && f.snippet.contains("xs[0]")));
+        assert!(f.iter().any(|f| f.rule == Rule::U1));
+        assert!(f.iter().any(|f| f.rule == Rule::P1 && f.snippet.contains("panic!")));
+    }
+
+    #[test]
+    fn suppressions_and_tests_are_respected() {
+        let src = "fn f(xs: &[u32]) -> u32 {\n    xs[0] // ned-lint: allow(p1)\n}\n#[cfg(test)]\nmod tests {\n    fn g(xs: &[u32]) -> u32 { xs[1] }\n}\n";
+        let f = run(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_skips_macros_attrs_and_full_range() {
+        assert!(!has_indexing("vec![0; 4]"));
+        assert!(!has_indexing("#[derive(Debug)]"));
+        assert!(!has_indexing("&xs[..]"));
+        assert!(has_indexing("&xs[1..]"));
+        assert!(has_indexing("xs[i]"));
+    }
+}

@@ -1,0 +1,337 @@
+//! A hand-rolled Rust source scanner.
+//!
+//! The scanner is deliberately *not* a full parser: it produces, per input
+//! line, the source text with comment and literal **contents** removed, so
+//! the rule engine can do robust token matching without being fooled by
+//! `"partial_cmp"` inside a string or a commented-out `unsafe` block. It
+//! additionally tracks `#[cfg(test)]` / `#[test]` regions (rules are scoped
+//! to production code) and parses `// ned-lint: allow(rule, …)` suppression
+//! comments.
+//!
+//! Handled literal forms: `"…"` (with escapes, multi-line), `r"…"` /
+//! `r#"…"#` raw strings (any hash depth), byte strings, `'c'` char literals
+//! (distinguished from lifetimes by lookahead), and nested `/* … */` block
+//! comments.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw line as it appears in the file.
+    pub raw: String,
+    /// The line with comments removed and string/char contents blanked.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` block or `#[test]`
+    /// function (or is such an attribute itself).
+    pub in_test: bool,
+    /// Rule ids suppressed on this line via `// ned-lint: allow(…)`.
+    pub allows: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `text` into lines with comments and literal contents removed.
+pub fn scan(text: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut code = String::new();
+    let mut raw = String::new();
+    let mut mode = Mode::Code;
+    let mut number = 1usize;
+    let mut prev_code_char = ' ';
+
+    let mut i = 0usize;
+    let at = |k: usize| chars.get(k).copied();
+    while i < chars.len() {
+        let c = chars[i]; // ned-lint: allow(p1) — i < len by loop bound
+        if c == '\n' {
+            lines.push(SourceLine {
+                number,
+                raw: std::mem::take(&mut raw),
+                code: std::mem::take(&mut code),
+                in_test: false,
+                allows: Vec::new(),
+            });
+            number += 1;
+            i += 1;
+            continue;
+        }
+        raw.push(c);
+        match mode {
+            Mode::Code => {
+                if c == '/' && at(i + 1) == Some('/') {
+                    // Line comment: consume to end of line (newline handled
+                    // by the outer loop).
+                    raw.pop();
+                    while i < chars.len() && at(i) != Some('\n') {
+                        if let Some(ch) = at(i) {
+                            raw.push(ch);
+                        }
+                        i += 1;
+                    }
+                    continue;
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    mode = Mode::Block(1);
+                    raw.push('*');
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    code.push('"');
+                    prev_code_char = '"';
+                    mode = Mode::Str;
+                } else if c == 'r' && !is_ident(prev_code_char) && raw_string_hashes(&chars, i).is_some() {
+                    let hashes = raw_string_hashes(&chars, i).unwrap_or(0);
+                    code.push('"');
+                    prev_code_char = '"';
+                    // Skip past r##…#" while keeping raw text.
+                    for _ in 0..hashes + 1 {
+                        i += 1;
+                        if let Some(ch) = at(i) {
+                            raw.push(ch);
+                        }
+                    }
+                    mode = Mode::RawStr(hashes);
+                } else if c == '\'' {
+                    // Lifetime or char literal?
+                    let next = at(i + 1);
+                    let after = at(i + 2);
+                    let is_char =
+                        matches!((next, after), (Some('\\'), _) | (Some(_), Some('\'')));
+                    if is_char {
+                        code.push('\'');
+                        prev_code_char = '\'';
+                        mode = Mode::CharLit;
+                    } else {
+                        code.push('\'');
+                        prev_code_char = '\'';
+                    }
+                } else {
+                    code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code_char = c;
+                    }
+                }
+            }
+            Mode::Block(depth) => {
+                if c == '*' && at(i + 1) == Some('/') {
+                    raw.push('/');
+                    i += 1;
+                    if depth == 1 {
+                        mode = Mode::Code;
+                        // Keep token separation across a comment.
+                        code.push(' ');
+                    } else {
+                        mode = Mode::Block(depth - 1);
+                    }
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    raw.push('*');
+                    i += 1;
+                    mode = Mode::Block(depth + 1);
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    if let Some(ch) = at(i + 1) {
+                        raw.push(ch);
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if at(i + 1 + k) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            i += 1;
+                            if let Some(ch) = at(i) {
+                                raw.push(ch);
+                            }
+                        }
+                        code.push('"');
+                        mode = Mode::Code;
+                    }
+                }
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    if let Some(ch) = at(i + 1) {
+                        raw.push(ch);
+                    }
+                    i += 1;
+                } else if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !raw.is_empty() || !code.is_empty() {
+        lines.push(SourceLine { number, raw, code, in_test: false, allows: Vec::new() });
+    }
+
+    mark_tests(&mut lines);
+    mark_allows(&mut lines);
+    lines
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`, `br"`, …), returns the
+/// number of hashes; `i` points at the `r`.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<usize> {
+    let mut k = i + 1;
+    let mut hashes = 0usize;
+    while chars.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if chars.get(k) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` blocks and `#[test]` functions.
+fn mark_tests(lines: &mut [SourceLine]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut stack: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        let is_test_attr = line.code.contains("#[cfg(test)")
+            || line.code.contains("#[test]")
+            || line.code.contains("#[cfg(all(test");
+        if is_test_attr {
+            pending = true;
+        }
+        if pending || !stack.is_empty() {
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        stack.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if stack.last() == Some(&depth) {
+                        stack.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] mod tests;` — attribute applies to an
+                // out-of-line item; stop carrying it.
+                ';' if pending && stack.is_empty() => pending = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses `// ned-lint: allow(rule, …)` suppression comments. A suppression
+/// on its own line also covers the following line.
+fn mark_allows(lines: &mut [SourceLine]) {
+    let mut carried: Vec<String> = Vec::new();
+    for line in lines.iter_mut() {
+        let mut allows = std::mem::take(&mut carried);
+        if let Some(pos) = line.raw.find("ned-lint: allow(") {
+            let after = line.raw.get(pos + "ned-lint: allow(".len()..).unwrap_or("");
+            if let Some(end) = after.find(')') {
+                let list = after.get(..end).unwrap_or("");
+                for rule in list.split(',') {
+                    let rule = rule.trim().to_ascii_lowercase();
+                    if !rule.is_empty() {
+                        allows.push(rule);
+                    }
+                }
+            }
+            // Standalone suppression comment: carry to the next line too.
+            let before = line.raw.get(..pos).unwrap_or("").trim();
+            if before == "//" || before.is_empty() {
+                carried = allows.clone();
+            }
+        }
+        line.allows = allows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_and_strings() {
+        let lines = scan("let x = \"unsafe // not code\"; // unsafe\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let x"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"partial_cmp \"quoted\" \"#; let c = '\\''; let lt: &'static str = \"x\";\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("partial_cmp"));
+        assert!(lines[0].code.contains("static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b\n";
+        let lines = scan(src);
+        let code = lines[0].code.replace(' ', "");
+        assert_eq!(code, "ab");
+    }
+
+    #[test]
+    fn multiline_string_blanks_middle_lines() {
+        let src = "let s = \"line one\nInstant::now()\nend\";\nInstant::now();\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[3].code.contains("Instant::now"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x[0]; }\n}\nfn c() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn allow_comments_parse_and_carry() {
+        let src = "// ned-lint: allow(d1, p1)\nlet x = 1;\nlet y = 2; // ned-lint: allow(d2)\n";
+        let lines = scan(src);
+        assert_eq!(lines[0].allows, vec!["d1", "p1"]);
+        assert_eq!(lines[1].allows, vec!["d1", "p1"]);
+        assert_eq!(lines[2].allows, vec!["d2"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Workspace walker: enumerates the first-party and vendored source trees.
+//!
+//! First-party sources are the root crate's `src/` plus `crates/*/src/**`;
+//! vendored work-alike crates under `vendor/*/src/**` are only scanned for
+//! the `unsafe` count table. Traversal is sorted so reports are
+//! byte-identical across runs.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileContext;
+
+/// Crates whose purpose is timing/benchmarking: D3 (wall clock) and P1
+/// (panics in library code) are relaxed there.
+pub const HARNESS_CRATES: [&str; 1] = ["ned-bench"];
+
+/// One source file to lint.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Context (crate, vendor/bin/harness classification).
+    pub ctx: FileContext,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+}
+
+/// Lists all lintable files under `root`, sorted by repo-relative path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    // Root crate sources.
+    collect_tree(root, &root.join("src"), "aida-ned", false, &mut out)?;
+    // Member crates.
+    for dir in ["crates", "vendor"] {
+        let base = root.join(dir);
+        if !base.is_dir() {
+            continue;
+        }
+        for entry in sorted_entries(&base)? {
+            let src = entry.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let crate_name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            collect_tree(root, &src, &crate_name, dir == "vendor", &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.ctx.path.cmp(&b.ctx.path));
+    Ok(out)
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_tree(
+    root: &Path,
+    src: &Path,
+    crate_name: &str,
+    is_vendor: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![src.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for path in sorted_entries(&dir)? {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let is_bin = rel.contains("/bin/") || rel.ends_with("main.rs");
+                out.push(SourceFile {
+                    ctx: FileContext {
+                        path: rel,
+                        crate_name: crate_name.to_string(),
+                        is_vendor,
+                        is_bin,
+                        is_harness: HARNESS_CRATES.contains(&crate_name),
+                    },
+                    abs_path: path,
+                });
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! D3 fixture: ambient wall clock in deterministic code.
+
+use std::time::Instant;
+
+/// D3: samples the wall clock.
+pub fn stamp_ms() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_millis()
+}

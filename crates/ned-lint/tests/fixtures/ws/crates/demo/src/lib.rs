@@ -1,0 +1,40 @@
+//! Demo crate: one violation per rule, plus exercised suppressions.
+
+use std::collections::HashMap;
+
+mod clock;
+mod unsafe_use;
+
+/// D1: hash-map iteration order escapes through the returned vector.
+pub fn dump_keys(map: &HashMap<String, u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in map.keys() {
+        out.push(k.clone());
+    }
+    out
+}
+
+/// D2: float ordering through `partial_cmp`.
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// P1: unchecked slice indexing in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+/// Suppressed P1: the inline allow absorbs the finding.
+pub fn second(xs: &[u32]) -> u32 {
+    // ned-lint: allow(p1)
+    xs[1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_inside_tests_is_exempt() {
+        let xs = [1u32, 2, 3];
+        assert_eq!(xs[0], 1);
+    }
+}

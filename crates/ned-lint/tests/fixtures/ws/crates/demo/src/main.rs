@@ -1,0 +1,7 @@
+//! Binary target: P1 (indexing) is relaxed here.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = &args[0];
+    println!("{name}");
+}

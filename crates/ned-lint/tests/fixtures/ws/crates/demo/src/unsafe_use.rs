@@ -1,0 +1,6 @@
+//! U1 fixture: `unsafe` in a first-party crate.
+
+/// U1: reinterprets bits through `transmute`.
+pub fn reinterpret(x: u32) -> i32 {
+    unsafe { std::mem::transmute::<u32, i32>(x) }
+}

@@ -1,0 +1,8 @@
+//! Root crate of the fixture workspace: intentionally clean.
+
+/// Sorted output: no finding.
+pub fn sorted_keys(map: &std::collections::HashMap<String, u32>) -> Vec<String> {
+    let mut out: Vec<String> = map.keys().cloned().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,9 @@
+//! Vendored work-alike: `unsafe` is counted, not flagged.
+
+/// Reads one byte from a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

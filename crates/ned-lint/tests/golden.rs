@@ -1,0 +1,117 @@
+//! Golden-fixture tests: each rule must fire on its fixture with the exact
+//! file, line, and rule id — and must NOT fire where a suppression, test
+//! context, or bin context exempts the site.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+
+use ned_lint::baseline::Baseline;
+use ned_lint::run_lint;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+#[test]
+fn every_rule_fires_exactly_where_expected() {
+    let report = run_lint(&fixture_root(), &Baseline::default()).unwrap();
+    let got: Vec<(String, usize, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.rule.id().to_string()))
+        .collect();
+    let expect = |p: &str, l: usize, r: &str| (p.to_string(), l, r.to_string());
+    assert_eq!(
+        got,
+        vec![
+            expect("crates/demo/src/clock.rs", 7, "d3"),
+            expect("crates/demo/src/lib.rs", 11, "d1"),
+            expect("crates/demo/src/lib.rs", 19, "d2"),
+            expect("crates/demo/src/lib.rs", 24, "p1"),
+            expect("crates/demo/src/unsafe_use.rs", 5, "u1"),
+        ],
+        "full report:\n{}",
+        report.render(true),
+    );
+}
+
+#[test]
+fn vendor_unsafe_is_counted_not_flagged() {
+    let report = run_lint(&fixture_root(), &Baseline::default()).unwrap();
+    assert_eq!(report.vendor_unsafe.get("vdemo"), Some(&2));
+    assert!(!report.findings.iter().any(|f| f.path.starts_with("vendor/")));
+}
+
+#[test]
+fn baseline_absorbs_and_ratchets() {
+    // A baseline matching the fixture exactly: clean, nothing stale.
+    let mut baseline = Baseline::default();
+    for (key, count) in [
+        ("crates/demo/src/clock.rs:d3", 1),
+        ("crates/demo/src/lib.rs:d1", 1),
+        ("crates/demo/src/lib.rs:d2", 1),
+        ("crates/demo/src/lib.rs:p1", 1),
+        ("crates/demo/src/unsafe_use.rs:u1", 1),
+    ] {
+        baseline.entries.insert(key.to_string(), count);
+    }
+    let report = run_lint(&fixture_root(), &baseline).unwrap();
+    assert!(report.is_clean(), "{}", report.render(true));
+    assert_eq!(report.baselined, 5);
+    assert!(report.stale.is_empty());
+
+    // An inflated entry is stale (ratchet must be written down); an entry
+    // for a clean file is stale too.
+    baseline.entries.insert("crates/demo/src/lib.rs:p1".to_string(), 3);
+    baseline.entries.insert("crates/demo/src/main.rs:p1".to_string(), 1);
+    let report = run_lint(&fixture_root(), &baseline).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(report.stale.len(), 2, "{}", report.render(true));
+
+    // More findings than the baseline allows is always a failure.
+    baseline.entries.insert("crates/demo/src/lib.rs:p1".to_string(), 0);
+    let report = run_lint(&fixture_root(), &baseline).unwrap();
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn seeding_a_violation_into_a_clean_crate_fails_the_lint() {
+    // Build a minimal clean workspace in the test tmpdir, verify it lints
+    // clean, then seed D1 and D2 violations and watch the lint fail — the
+    // CI-gate property the tentpole promises.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("seeded-ws");
+    let src = root.join("crates/seeded/src");
+    std::fs::create_dir_all(&src).unwrap();
+    let lib = src.join("lib.rs");
+
+    std::fs::write(
+        &lib,
+        "pub fn total(xs: &[u64]) -> u64 {\n    xs.iter().sum()\n}\n",
+    )
+    .unwrap();
+    let report = run_lint(&root, &Baseline::default()).unwrap();
+    assert!(report.is_clean(), "{}", report.render(true));
+
+    std::fs::write(
+        &lib,
+        concat!(
+            "use std::collections::HashMap;\n",
+            "pub fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {\n",
+            "    let mut out = Vec::new();\n",
+            "    for (&k, _) in m.iter() {\n",
+            "        out.push(k);\n",
+            "    }\n",
+            "    out\n",
+            "}\n",
+            "pub fn best(xs: &[f64]) -> Option<f64> {\n",
+            "    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())\n",
+            "}\n",
+        ),
+    )
+    .unwrap();
+    let report = run_lint(&root, &Baseline::default()).unwrap();
+    assert!(!report.is_clean());
+    assert!(report.findings.iter().any(|f| f.rule.id() == "d1"));
+    assert!(report.findings.iter().any(|f| f.rule.id() == "d2"));
+}

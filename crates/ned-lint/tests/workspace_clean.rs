@@ -1,0 +1,26 @@
+//! The real workspace must lint clean against its checked-in baseline —
+//! zero unsuppressed findings and zero stale entries. A failure here means
+//! either a new violation slipped in (fix it or justify an inline allow)
+//! or debt was paid off without ratcheting `lint.toml` down
+//! (`cargo run -p ned-lint -- --write-baseline`).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+use ned_lint::baseline::Baseline;
+use ned_lint::run_lint;
+
+#[test]
+fn workspace_lints_clean_with_current_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = Baseline::load(&root.join("lint.toml")).unwrap();
+    let report = run_lint(&root, &baseline).unwrap();
+    assert!(report.is_clean(), "unsuppressed findings:\n{}", report.render(true));
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries — ratchet lint.toml down:\n{}",
+        report.render(true),
+    );
+    assert!(report.files_scanned > 100, "walker lost the workspace?");
+}

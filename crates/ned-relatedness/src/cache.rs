@@ -53,12 +53,25 @@ impl CacheStats {
 }
 
 /// A relatedness measure with an internal pair cache.
+// Manual Debug: `M` need not be Debug, and dumping the shard maps would be
+// both huge and lock-acquiring.
 pub struct CachedRelatedness<M> {
     inner: M,
     shards: Vec<RwLock<FxHashMap<(EntityId, EntityId), f64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+}
+
+impl<M> std::fmt::Debug for CachedRelatedness<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedRelatedness")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.hits.load(std::sync::atomic::Ordering::Relaxed))
+            .field("misses", &self.misses.load(std::sync::atomic::Ordering::Relaxed))
+            .field("inserts", &self.inserts.load(std::sync::atomic::Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M: Relatedness> CachedRelatedness<M> {

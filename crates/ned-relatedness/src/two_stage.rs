@@ -74,6 +74,16 @@ pub struct KoreLsh {
     entity_keys: Vec<Option<Vec<u64>>>,
 }
 
+// Manual Debug: per-entity sketch tables are megabytes of noise.
+impl std::fmt::Debug for KoreLsh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KoreLsh")
+            .field("config", &self.config)
+            .field("entities", &self.entity_keys.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl KoreLsh {
     /// Precomputes stage-1 phrase buckets and stage-2 entity sketches for
     /// all entities of `kb`.
@@ -158,6 +168,15 @@ fn ordered(a: EntityId, b: EntityId) -> (EntityId, EntityId) {
 pub struct ScopedKoreLsh<'a> {
     parent: &'a KoreLsh,
     allowed: FxHashSet<(EntityId, EntityId)>,
+}
+
+impl std::fmt::Debug for ScopedKoreLsh<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedKoreLsh")
+            .field("parent", &self.parent)
+            .field("surviving_pairs", &self.allowed.len())
+            .finish()
+    }
 }
 
 impl ScopedKoreLsh<'_> {

@@ -90,6 +90,17 @@ pub struct DocGenerator<'w> {
     name_groups: std::collections::HashMap<String, Vec<usize>>,
 }
 
+// Manual Debug: the borrowed world/KB and entity pools would dump the whole
+// synthetic universe.
+impl std::fmt::Debug for DocGenerator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocGenerator")
+            .field("counter", &self.counter)
+            .field("topics", &self.topic_pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
 const FILLER_STOPWORDS: &[&str] =
     &["the", "of", "a", "in", "and", "with", "for", "was", "on", "at", "to", "said"];
 

@@ -74,6 +74,8 @@ impl World {
     pub fn generate(config: WorldConfig) -> Self {
         match Self::try_generate(config) {
             Ok(world) => world,
+            // Documented panicking convenience wrapper over `try_new`.
+            // ned-lint: allow(p1)
             Err(err) => panic!("invalid world configuration: {err}"),
         }
     }

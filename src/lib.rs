@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # AIDA-NED
 //!
 //! A from-scratch Rust implementation of the entity discovery and
