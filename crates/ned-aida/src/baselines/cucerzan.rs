@@ -1,4 +1,4 @@
-//! Re-implementation of Cucerzan's disambiguation method [Cuc07] (§2.2.2).
+//! Re-implementation of Cucerzan's disambiguation method \[Cuc07\] (§2.2.2).
 //!
 //! Cucerzan does not perform true joint inference; instead each mention is
 //! disambiguated separately against an *expanded* document context: the
@@ -9,7 +9,7 @@
 //! is expanded with the candidate keyword vectors of all other mentions.
 
 use ned_kb::fx::FxHashMap;
-use ned_kb::{KnowledgeBase, WordId};
+use ned_kb::{KbView, WordId};
 use ned_text::{Mention, Token};
 
 use crate::baselines::{bag_cosine_unweighted, context_bag};
@@ -18,8 +18,8 @@ use crate::method::NedMethod;
 use crate::result::{DisambiguationResult, MentionAssignment};
 
 /// Cucerzan-style context-expansion disambiguation.
-pub struct Cucerzan<'a> {
-    kb: &'a KnowledgeBase,
+pub struct Cucerzan<K> {
+    kb: K,
     /// Weight of the expanded (other-candidate) context relative to the
     /// document token context.
     expansion_weight: f64,
@@ -30,8 +30,8 @@ pub struct Cucerzan<'a> {
     top_phrases: usize,
 }
 
-// Manual Debug: the borrowed KB would dump the whole store.
-impl std::fmt::Debug for Cucerzan<'_> {
+// Manual Debug: the KB handle would dump the whole store.
+impl<K> std::fmt::Debug for Cucerzan<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cucerzan")
             .field("expansion_weight", &self.expansion_weight)
@@ -40,9 +40,9 @@ impl std::fmt::Debug for Cucerzan<'_> {
     }
 }
 
-impl<'a> Cucerzan<'a> {
+impl<K: KbView> Cucerzan<K> {
     /// Creates the baseline with the default expansion weight.
-    pub fn new(kb: &'a KnowledgeBase) -> Self {
+    pub fn new(kb: K) -> Self {
         Cucerzan { kb, expansion_weight: 3.0, top_phrases: 5 }
     }
 
@@ -61,13 +61,13 @@ impl<'a> Cucerzan<'a> {
     }
 }
 
-impl NedMethod for Cucerzan<'_> {
+impl<K: KbView> NedMethod for Cucerzan<K> {
     fn name(&self) -> String {
         "Cucerzan".to_string()
     }
 
     fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
-        let ctx = DocumentContext::build(self.kb, tokens);
+        let ctx = DocumentContext::build(&self.kb, tokens);
         // Aggregated shallow keyword vector of every mention's candidates,
         // used to expand the context of the *other* mentions.
         let candidate_bags: Vec<FxHashMap<WordId, f64>> = mentions

@@ -1,4 +1,4 @@
-//! Re-implementation of Kulkarni et al.'s collective inference [KSRC09]
+//! Re-implementation of Kulkarni et al.'s collective inference \[KSRC09\]
 //! (§2.2.2, §3.2).
 //!
 //! The original models pairwise coherence as a probabilistic factor graph
@@ -11,7 +11,7 @@
 //! - `Kul CI`: `sp` plus collective inference with Milne–Witten coherence,
 //!   maximizing `Σ local(m, e_m) + λ Σ MW(e_m, e_m')` by hill climbing.
 
-use ned_kb::{EntityId, KnowledgeBase};
+use ned_kb::{EntityId, KbView};
 use ned_relatedness::{MilneWitten, Relatedness};
 use ned_text::{Mention, Token};
 
@@ -42,8 +42,8 @@ impl KulkarniVariant {
 }
 
 /// The Kulkarni et al. baseline.
-pub struct Kulkarni<'a> {
-    kb: &'a KnowledgeBase,
+pub struct Kulkarni<K> {
+    kb: K,
     variant: KulkarniVariant,
     /// Weight of the prior in the local score for `sp`/`CI`.
     prior_weight: f64,
@@ -53,8 +53,8 @@ pub struct Kulkarni<'a> {
     max_sweeps: usize,
 }
 
-// Manual Debug: the borrowed KB would dump the whole store.
-impl std::fmt::Debug for Kulkarni<'_> {
+// Manual Debug: the KB handle would dump the whole store.
+impl<K> std::fmt::Debug for Kulkarni<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Kulkarni")
             .field("variant", &self.variant)
@@ -65,9 +65,9 @@ impl std::fmt::Debug for Kulkarni<'_> {
     }
 }
 
-impl<'a> Kulkarni<'a> {
+impl<K: KbView> Kulkarni<K> {
     /// Creates the baseline in the given variant.
-    pub fn new(kb: &'a KnowledgeBase, variant: KulkarniVariant) -> Self {
+    pub fn new(kb: K, variant: KulkarniVariant) -> Self {
         Kulkarni { kb, variant, prior_weight: 0.4, coherence_weight: 0.6, max_sweeps: 50 }
     }
 
@@ -76,7 +76,7 @@ impl<'a> Kulkarni<'a> {
         tokens: &[Token],
         mentions: &[Mention],
     ) -> Vec<Vec<(EntityId, f64)>> {
-        let ctx = DocumentContext::build(self.kb, tokens);
+        let ctx = DocumentContext::build(&self.kb, tokens);
         mentions
             .iter()
             .map(|m| {
@@ -85,7 +85,7 @@ impl<'a> Kulkarni<'a> {
                     .candidates(&m.surface)
                     .iter()
                     .map(|c| {
-                        let sim = entity_context_cosine(self.kb, c.entity, &bag);
+                        let sim = entity_context_cosine(&self.kb, c.entity, &bag);
                         let score = match self.variant {
                             KulkarniVariant::Similarity => sim,
                             KulkarniVariant::SimilarityPrior | KulkarniVariant::Collective => {
@@ -102,7 +102,7 @@ impl<'a> Kulkarni<'a> {
 
     /// Hill climbing over the collective objective.
     fn collective_solve(&self, locals: &[Vec<(EntityId, f64)>]) -> Vec<Option<usize>> {
-        let mw = MilneWitten::new(self.kb);
+        let mw = MilneWitten::new(&self.kb);
         // Start from local argmax.
         let mut current: Vec<Option<usize>> =
             locals.iter().map(|c| argmax(c)).collect();
@@ -159,7 +159,7 @@ fn argmax(cands: &[(EntityId, f64)]) -> Option<usize> {
     (0..cands.len()).max_by(|&a, &b| cands[a].1.total_cmp(&cands[b].1))
 }
 
-impl NedMethod for Kulkarni<'_> {
+impl<K: KbView> NedMethod for Kulkarni<K> {
     fn name(&self) -> String {
         self.variant.label().to_string()
     }

@@ -6,7 +6,7 @@
 //! features); used both as a plain method and as the score ranked/
 //! thresholded by the emerging-entity experiments.
 
-use ned_kb::KnowledgeBase;
+use ned_kb::KbView;
 use ned_text::{Mention, Token};
 
 use crate::baselines::{context_bag, entity_context_cosine};
@@ -15,14 +15,14 @@ use crate::method::NedMethod;
 use crate::result::{DisambiguationResult, MentionAssignment};
 
 /// Local linker baseline ("IW" in the experiment tables).
-pub struct LocalLinker<'a> {
-    kb: &'a KnowledgeBase,
+pub struct LocalLinker<K> {
+    kb: K,
     /// Weight of the prior in the linker score (the rest is cosine).
     prior_weight: f64,
 }
 
-// Manual Debug: the borrowed KB would dump the whole store.
-impl std::fmt::Debug for LocalLinker<'_> {
+// Manual Debug: the KB handle would dump the whole store.
+impl<K> std::fmt::Debug for LocalLinker<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalLinker")
             .field("prior_weight", &self.prior_weight)
@@ -30,9 +30,9 @@ impl std::fmt::Debug for LocalLinker<'_> {
     }
 }
 
-impl<'a> LocalLinker<'a> {
+impl<K: KbView> LocalLinker<K> {
     /// Creates the linker with the default prior weight of 0.5.
-    pub fn new(kb: &'a KnowledgeBase) -> Self {
+    pub fn new(kb: K) -> Self {
         LocalLinker { kb, prior_weight: 0.5 }
     }
 
@@ -44,13 +44,13 @@ impl<'a> LocalLinker<'a> {
     }
 }
 
-impl NedMethod for LocalLinker<'_> {
+impl<K: KbView> NedMethod for LocalLinker<K> {
     fn name(&self) -> String {
         "IW".to_string()
     }
 
     fn disambiguate(&self, tokens: &[Token], mentions: &[Mention]) -> DisambiguationResult {
-        let ctx = DocumentContext::build(self.kb, tokens);
+        let ctx = DocumentContext::build(&self.kb, tokens);
         let assignments = mentions
             .iter()
             .enumerate()
@@ -62,7 +62,7 @@ impl NedMethod for LocalLinker<'_> {
                     .iter()
                     .map(|c| {
                         let prior = self.kb.prior(&m.surface, c.entity);
-                        let cos = entity_context_cosine(self.kb, c.entity, &bag);
+                        let cos = entity_context_cosine(&self.kb, c.entity, &bag);
                         (c.entity, self.prior_weight * prior + (1.0 - self.prior_weight) * cos)
                     })
                     .collect();

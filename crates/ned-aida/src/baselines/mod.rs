@@ -3,8 +3,8 @@
 //! method are available, we re-implemented it").
 //!
 //! - [`PriorOnly`]: the most-frequent-sense baseline (§3.3.3).
-//! - [`Cucerzan`]: iterative context-expansion disambiguation [Cuc07].
-//! - [`Kulkarni`]: the collective-inference method of [KSRC09], in its
+//! - [`Cucerzan`]: iterative context-expansion disambiguation \[Cuc07\].
+//! - [`Kulkarni`]: the collective-inference method of \[KSRC09\], in its
 //!   `s` (similarity), `sp` (similarity + prior), and `CI` (collective)
 //!   variants.
 //! - [`LocalLinker`]: a per-mention linker combining prior and context
@@ -23,7 +23,7 @@ pub use prior_only::PriorOnly;
 
 use ned_core::det::{det_dot, det_l2_norm};
 use ned_kb::fx::FxHashMap;
-use ned_kb::{EntityId, KnowledgeBase, WordId};
+use ned_kb::{EntityId, KbView, WordId};
 
 /// Bag-of-words of a document context with term counts.
 pub(crate) fn context_bag(context: &[(usize, WordId)]) -> FxHashMap<WordId, f64> {
@@ -64,8 +64,8 @@ pub(crate) fn bag_cosine_unweighted(
 /// of an entity's keyphrases — the classic token-based context similarity
 /// used by the baseline systems (as opposed to AIDA's cover-based phrase
 /// matching).
-pub(crate) fn entity_context_cosine(
-    kb: &KnowledgeBase,
+pub(crate) fn entity_context_cosine<K: KbView + ?Sized>(
+    kb: &K,
     e: EntityId,
     bag: &FxHashMap<WordId, f64>,
 ) -> f64 {

@@ -1,32 +1,32 @@
 //! The most-frequent-sense baseline: always pick the candidate with the
 //! highest popularity prior (§3.3.3), ignoring all context.
 
-use ned_kb::KnowledgeBase;
+use ned_kb::KbView;
 use ned_text::{Mention, Token};
 
 use crate::method::NedMethod;
 use crate::result::{DisambiguationResult, MentionAssignment};
 
 /// Prior-only disambiguation.
-pub struct PriorOnly<'a> {
-    kb: &'a KnowledgeBase,
+pub struct PriorOnly<K> {
+    kb: K,
 }
 
-// Manual Debug: the borrowed KB would dump the whole store.
-impl std::fmt::Debug for PriorOnly<'_> {
+// Manual Debug: the KB handle would dump the whole store.
+impl<K> std::fmt::Debug for PriorOnly<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PriorOnly").finish_non_exhaustive()
     }
 }
 
-impl<'a> PriorOnly<'a> {
+impl<K: KbView> PriorOnly<K> {
     /// Creates the baseline over `kb`.
-    pub fn new(kb: &'a KnowledgeBase) -> Self {
+    pub fn new(kb: K) -> Self {
         PriorOnly { kb }
     }
 }
 
-impl NedMethod for PriorOnly<'_> {
+impl<K: KbView> NedMethod for PriorOnly<K> {
     fn name(&self) -> String {
         "prior".to_string()
     }
@@ -58,9 +58,9 @@ trait PriorLookup {
     fn prior_distribution_for(&self, m: &Mention) -> Vec<(ned_kb::EntityId, f64)>;
 }
 
-impl PriorLookup for KnowledgeBase {
+impl<K: KbView> PriorLookup for K {
     fn prior_distribution_for(&self, m: &Mention) -> Vec<(ned_kb::EntityId, f64)> {
-        self.dictionary().prior_distribution(&m.surface)
+        KbView::dictionary(self).prior_distribution(&m.surface)
     }
 }
 

@@ -5,7 +5,7 @@
 //! local features: popularity prior (§3.3.3) and keyphrase similarity
 //! (§3.3.4).
 
-use ned_kb::{EntityId, KnowledgeBase, WordId};
+use ned_kb::{EntityId, KbView, WordId};
 use ned_text::Mention;
 use rayon::prelude::*;
 
@@ -28,8 +28,8 @@ pub struct CandidateFeatures {
 
 /// Retrieves candidates for `mention` and computes their local features
 /// against `context` (the mention's context words, position-sorted).
-pub fn candidate_features(
-    kb: &KnowledgeBase,
+pub fn candidate_features<K: KbView + ?Sized>(
+    kb: &K,
     mention: &Mention,
     context: &[(usize, WordId)],
     weighting: KeywordWeighting,
@@ -40,8 +40,8 @@ pub fn candidate_features(
 /// Like [`candidate_features`], but with an explicit lookup surface — used
 /// by document-internal mention expansion, where a short mention borrows a
 /// longer co-occurring mention's surface for candidate retrieval.
-pub fn candidate_features_for_surface(
-    kb: &KnowledgeBase,
+pub fn candidate_features_for_surface<K: KbView + ?Sized>(
+    kb: &K,
     surface: &str,
     context: &[(usize, WordId)],
     weighting: KeywordWeighting,
@@ -73,7 +73,7 @@ pub fn candidate_features_for_surface(
 mod tests {
     use super::*;
     use crate::context::DocumentContext;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_text::tokenize;
 
     fn kb() -> KnowledgeBase {

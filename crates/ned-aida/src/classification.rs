@@ -9,7 +9,7 @@
 //! local features AIDA uses, projected onto the taxonomy.
 
 use ned_kb::taxonomy::Taxonomy;
-use ned_kb::{KnowledgeBase, TypeId};
+use ned_kb::{KbView, TypeId};
 use ned_text::{Mention, Token};
 
 use crate::candidates::candidate_features;
@@ -27,15 +27,15 @@ pub struct TypePrediction {
 }
 
 /// Type classifier over a knowledge base and a taxonomy.
-pub struct TypeClassifier<'a> {
-    kb: &'a KnowledgeBase,
+pub struct TypeClassifier<'a, K> {
+    kb: K,
     taxonomy: &'a Taxonomy,
     /// Weight of the prior against the context similarity.
     prior_weight: f64,
 }
 
-// Manual Debug: the borrowed KB and taxonomy would dump whole stores.
-impl std::fmt::Debug for TypeClassifier<'_> {
+// Manual Debug: the KB handle and taxonomy would dump whole stores.
+impl<K> std::fmt::Debug for TypeClassifier<'_, K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TypeClassifier")
             .field("prior_weight", &self.prior_weight)
@@ -43,9 +43,9 @@ impl std::fmt::Debug for TypeClassifier<'_> {
     }
 }
 
-impl<'a> TypeClassifier<'a> {
+impl<'a, K: KbView> TypeClassifier<'a, K> {
     /// Creates a classifier with the default prior weight (0.5).
-    pub fn new(kb: &'a KnowledgeBase, taxonomy: &'a Taxonomy) -> Self {
+    pub fn new(kb: K, taxonomy: &'a Taxonomy) -> Self {
         TypeClassifier { kb, taxonomy, prior_weight: 0.5 }
     }
 
@@ -60,9 +60,9 @@ impl<'a> TypeClassifier<'a> {
     /// entities' *direct* types, sorted descending. Empty when the mention
     /// has no candidates.
     pub fn classify(&self, tokens: &[Token], mention: &Mention) -> Vec<TypePrediction> {
-        let ctx = DocumentContext::build(self.kb, tokens);
+        let ctx = DocumentContext::build(&self.kb, tokens);
         let features = candidate_features(
-            self.kb,
+            &self.kb,
             mention,
             &ctx.for_mention(mention),
             KeywordWeighting::Npmi,
@@ -122,7 +122,7 @@ impl<'a> TypeClassifier<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_text::tokenize;
 
     /// "Dylan" is either the musician (popular) or a city (less popular).

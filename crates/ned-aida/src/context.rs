@@ -5,7 +5,7 @@
 //! against the knowledge base's keyword vocabulary; tokens unknown to the KB
 //! cannot match any keyphrase and are dropped.
 
-use ned_kb::{KnowledgeBase, WordId};
+use ned_kb::{KbView, WordId};
 use ned_text::stopwords::is_stopword;
 use ned_text::{Mention, Token, TokenKind};
 
@@ -19,7 +19,7 @@ pub struct DocumentContext {
 
 impl DocumentContext {
     /// Builds the context of a whole document.
-    pub fn build(kb: &KnowledgeBase, tokens: &[Token]) -> Self {
+    pub fn build<K: KbView + ?Sized>(kb: &K, tokens: &[Token]) -> Self {
         let words = tokens
             .iter()
             .enumerate()
@@ -53,7 +53,7 @@ impl DocumentContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_text::tokenize;
 
     fn kb() -> KnowledgeBase {

@@ -3,7 +3,7 @@
 //! greedy solver.
 
 use ned_core::{DegradationLevel, NedError};
-use ned_kb::{EntityId, KnowledgeBase};
+use ned_kb::{EntityId, KbView};
 use ned_relatedness::Relatedness;
 use ned_text::{Mention, Token};
 use rayon::prelude::*;
@@ -18,16 +18,22 @@ use crate::method::NedMethod;
 use crate::result::{DisambiguationResult, MentionAssignment};
 use crate::robustness::{local_weights, should_fix_mention};
 
-/// The AIDA joint disambiguator, parameterized over the coherence measure.
-pub struct Disambiguator<'a, R> {
-    kb: &'a KnowledgeBase,
+/// The AIDA joint disambiguator, parameterized over the KB representation
+/// and the coherence measure.
+///
+/// The KB handle is held *by value*: pass `&KnowledgeBase` for the classic
+/// borrowed style, or (a clone of) an `Arc<FrozenKb>` for a fully owned
+/// disambiguator that can be moved across threads and shared by rayon
+/// workers without any borrow tying it to a KB binding.
+pub struct Disambiguator<K, R> {
+    kb: K,
     relatedness: R,
     config: AidaConfig,
 }
 
-// Manual Debug: `R` need not be Debug and the borrowed KB would dump the
+// Manual Debug: `R` need not be Debug and the KB handle would dump the
 // whole store.
-impl<R> std::fmt::Debug for Disambiguator<'_, R> {
+impl<K, R> std::fmt::Debug for Disambiguator<K, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Disambiguator")
             .field("config", &self.config)
@@ -35,14 +41,14 @@ impl<R> std::fmt::Debug for Disambiguator<'_, R> {
     }
 }
 
-impl<'a, R: Relatedness> Disambiguator<'a, R> {
+impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
     /// Creates a disambiguator.
     ///
     /// # Panics
     /// Panics when the configuration is invalid (see
     /// [`AidaConfig::validate`]). Use [`Disambiguator::try_new`] to handle
     /// configuration faults gracefully.
-    pub fn new(kb: &'a KnowledgeBase, relatedness: R, config: AidaConfig) -> Self {
+    pub fn new(kb: K, relatedness: R, config: AidaConfig) -> Self {
         match Self::try_new(kb, relatedness, config) {
             Ok(d) => d,
             // Documented panicking convenience wrapper over `try_new`.
@@ -53,20 +59,16 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
 
     /// Creates a disambiguator, returning a typed error when the
     /// configuration is invalid.
-    pub fn try_new(
-        kb: &'a KnowledgeBase,
-        relatedness: R,
-        config: AidaConfig,
-    ) -> Result<Self, NedError> {
+    pub fn try_new(kb: K, relatedness: R, config: AidaConfig) -> Result<Self, NedError> {
         config
             .validate()
             .map_err(|message| NedError::Config { what: "AidaConfig", message })?;
         Ok(Disambiguator { kb, relatedness, config })
     }
 
-    /// The knowledge base in use.
-    pub fn kb(&self) -> &KnowledgeBase {
-        self.kb
+    /// The knowledge base handle in use.
+    pub fn kb(&self) -> &K {
+        &self.kb
     }
 
     /// The configuration in use.
@@ -91,7 +93,7 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
             // no candidate lookups, a well-formed empty feature set.
             return Vec::new();
         }
-        let ctx = DocumentContext::build(self.kb, tokens);
+        let ctx = DocumentContext::build(&self.kb, tokens);
         let targets: Vec<usize> = if self.config.use_mention_expansion {
             expansion_targets(mentions)
         } else {
@@ -104,7 +106,7 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
             .map(|i| {
                 let m = &mentions[i];
                 let mut features = candidate_features_for_surface(
-                    self.kb,
+                    &self.kb,
                     &mentions[targets[i]].surface,
                     &ctx.for_mention(m),
                     self.config.keyword_weighting,
@@ -113,7 +115,7 @@ impl<'a, R: Relatedness> Disambiguator<'a, R> {
                     // The expanded surface is unknown to the dictionary:
                     // fall back to the mention's own surface.
                     features = candidate_features_for_surface(
-                        self.kb,
+                        &self.kb,
                         &m.surface,
                         &ctx.for_mention(m),
                         self.config.keyword_weighting,
@@ -299,7 +301,7 @@ fn argmax_entity(cands: &[(EntityId, f64)]) -> Option<EntityId> {
     argmax_index(cands).map(|i| cands[i].0)
 }
 
-impl<R: Relatedness> NedMethod for Disambiguator<'_, R> {
+impl<K: KbView, R: Relatedness> NedMethod for Disambiguator<K, R> {
     fn name(&self) -> String {
         let mut parts: Vec<&str> = Vec::new();
         if self.config.use_prior {
@@ -321,7 +323,7 @@ impl<R: Relatedness> NedMethod for Disambiguator<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_relatedness::MilneWitten;
     use ned_text::tokenize;
 

@@ -9,7 +9,7 @@
 //! dictionary-driven gazetteer, everything is disambiguated jointly, and
 //! spans whose best assignment is weak are dropped again.
 
-use ned_kb::{EntityId, KnowledgeBase};
+use ned_kb::{EntityId, KbView};
 use ned_relatedness::Relatedness;
 use ned_text::{tokenize, Mention, NerConfig, Recognizer, Token};
 
@@ -47,14 +47,14 @@ impl Default for JointConfig {
 }
 
 /// End-to-end annotator: raw text in, linked entity annotations out.
-pub struct JointAnnotator<'a, R> {
-    disambiguator: &'a Disambiguator<'a, R>,
+pub struct JointAnnotator<'a, K, R> {
+    disambiguator: &'a Disambiguator<K, R>,
     recognizer: Recognizer,
     config: JointConfig,
 }
 
 // Manual Debug: `R` need not be Debug.
-impl<R> std::fmt::Debug for JointAnnotator<'_, R> {
+impl<K, R> std::fmt::Debug for JointAnnotator<'_, K, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JointAnnotator")
             .field("recognizer", &self.recognizer)
@@ -63,10 +63,10 @@ impl<R> std::fmt::Debug for JointAnnotator<'_, R> {
     }
 }
 
-impl<'a, R: Relatedness> JointAnnotator<'a, R> {
+impl<'a, K: KbView, R: Relatedness> JointAnnotator<'a, K, R> {
     /// Creates an annotator; when `use_gazetteer` is set, every dictionary
     /// surface becomes a recognition hint.
-    pub fn new(disambiguator: &'a Disambiguator<'a, R>, config: JointConfig) -> Self {
+    pub fn new(disambiguator: &'a Disambiguator<K, R>, config: JointConfig) -> Self {
         let mut recognizer = Recognizer::new(config.ner.clone());
         if config.use_gazetteer {
             for (surface, _) in disambiguator.kb().dictionary().iter() {
@@ -76,8 +76,8 @@ impl<'a, R: Relatedness> JointAnnotator<'a, R> {
         JointAnnotator { disambiguator, recognizer, config }
     }
 
-    /// The knowledge base in use.
-    pub fn kb(&self) -> &KnowledgeBase {
+    /// The knowledge base handle in use.
+    pub fn kb(&self) -> &K {
         self.disambiguator.kb()
     }
 
@@ -120,7 +120,7 @@ impl<'a, R: Relatedness> JointAnnotator<'a, R> {
 mod tests {
     use super::*;
     use crate::config::AidaConfig;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_relatedness::MilneWitten;
 
     fn kb() -> KnowledgeBase {

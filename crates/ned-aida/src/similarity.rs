@@ -9,15 +9,15 @@
 //! `weight(w)` is either the entity-specific NPMI or the global IDF,
 //! selected by [`KeywordWeighting`].
 
-use ned_kb::{EntityId, KnowledgeBase, WordId};
+use ned_kb::{EntityId, KbView, WordId};
 
 use crate::config::KeywordWeighting;
 use crate::cover::shortest_cover;
 
 /// Computes `score(q)` (Eq. 3.4) for one keyphrase of `e` against a mention
 /// context given as position-sorted `(pos, word)` pairs.
-pub fn phrase_score(
-    kb: &KnowledgeBase,
+pub fn phrase_score<K: KbView + ?Sized>(
+    kb: &K,
     e: EntityId,
     phrase_words: &[WordId],
     context: &[(usize, WordId)],
@@ -58,8 +58,8 @@ pub fn phrase_score(
 /// 0.0, so the result is bit-identical to [`simscore_exhaustive`] (both sum
 /// the surviving phrases in ascending phrase-id order, and adding a +0.0
 /// term never changes an IEEE sum of non-negative terms).
-pub fn simscore(
-    kb: &KnowledgeBase,
+pub fn simscore<K: KbView + ?Sized>(
+    kb: &K,
     e: EntityId,
     context: &[(usize, WordId)],
     weighting: KeywordWeighting,
@@ -80,8 +80,8 @@ pub fn context_word_set(context: &[(usize, WordId)]) -> Vec<WordId> {
 /// [`simscore`] with the context's word set precomputed; bit-identical to
 /// `simscore`. `context_words` must be sorted and deduplicated (as produced
 /// by [`context_word_set`]).
-pub fn simscore_indexed(
-    kb: &KnowledgeBase,
+pub fn simscore_indexed<K: KbView + ?Sized>(
+    kb: &K,
     e: EntityId,
     context: &[(usize, WordId)],
     context_words: &[WordId],
@@ -117,8 +117,8 @@ pub fn simscore_indexed(
 /// Reference implementation of `simscore(m, e)` scanning all of KP(e)
 /// without the inverted index. Kept for tests asserting the index prunes
 /// exactly.
-pub fn simscore_exhaustive(
-    kb: &KnowledgeBase,
+pub fn simscore_exhaustive<K: KbView + ?Sized>(
+    kb: &K,
     e: EntityId,
     context: &[(usize, WordId)],
     weighting: KeywordWeighting,
@@ -133,7 +133,7 @@ pub fn simscore_exhaustive(
 mod tests {
     use super::*;
     use crate::context::DocumentContext;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_text::tokenize;
 
     /// Jimmy Page vs Larry Page with distinctive keyphrases.

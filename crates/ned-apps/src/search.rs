@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use ned_kb::fx::FxHashMap;
-use ned_kb::{EntityId, EntityKind, KnowledgeBase};
+use ned_kb::{EntityId, EntityKind, KbView};
 use ned_text::stopwords::is_stopword;
 use ned_text::{Token, TokenKind};
 
@@ -75,16 +75,20 @@ pub struct Suggestion {
 }
 
 /// The index over disambiguated documents.
-pub struct EntityIndex<'a> {
-    kb: &'a KnowledgeBase,
+///
+/// Generic over the KB handle: pass `&KnowledgeBase` for the classic
+/// borrowed style or (a clone of) an `Arc<FrozenKb>` for a fully owned
+/// index that can move across threads.
+pub struct EntityIndex<K> {
+    kb: K,
     docs: Vec<DocRecord>,
     /// term → document indexes (for df).
     term_df: HashMap<String, u32>,
 }
 
-// Manual Debug: the borrowed KB and per-document term maps would dump the
+// Manual Debug: the KB handle and per-document term maps would dump the
 // whole collection.
-impl std::fmt::Debug for EntityIndex<'_> {
+impl<K> std::fmt::Debug for EntityIndex<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EntityIndex")
             .field("docs", &self.docs.len())
@@ -93,9 +97,9 @@ impl std::fmt::Debug for EntityIndex<'_> {
     }
 }
 
-impl<'a> EntityIndex<'a> {
+impl<K: KbView> EntityIndex<K> {
     /// Creates an empty index over `kb`.
-    pub fn new(kb: &'a KnowledgeBase) -> Self {
+    pub fn new(kb: K) -> Self {
         EntityIndex { kb, docs: Vec::new(), term_df: HashMap::new() }
     }
 
@@ -245,7 +249,7 @@ impl<'a> EntityIndex<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_text::tokenize;
 
     fn kb() -> KnowledgeBase {
@@ -257,7 +261,7 @@ mod tests {
         b.build()
     }
 
-    fn index(kb: &KnowledgeBase) -> EntityIndex<'_> {
+    fn index(kb: &KnowledgeBase) -> EntityIndex<&KnowledgeBase> {
         let song = kb.entity_by_name("Kashmir (song)").unwrap();
         let region = kb.entity_by_name("Kashmir (region)").unwrap();
         let mut idx = EntityIndex::new(kb);

@@ -13,7 +13,7 @@ use crate::setup::{Env, Scale};
 /// Runs all ablations.
 pub fn run(scale: &Scale) {
     let env = Env::build(scale);
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let corpus = env.conll(scale);
     let docs = corpus.test();
 

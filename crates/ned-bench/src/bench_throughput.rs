@@ -3,13 +3,18 @@
 //! Runs full AIDA (with a cached Milne–Witten measure) over the CoNLL-like
 //! corpus at several thread counts and reports docs/sec and mentions/sec per
 //! count, the speedup relative to one thread, and the relatedness-cache hit
-//! rate. Also measures the algorithmic speedup of the keyphrase inverted
-//! index (indexed vs exhaustive `simscore` over every mention–candidate
-//! pair) and asserts that every thread count produces byte-identical
-//! outcomes. Results are printed as a table and written to
-//! `BENCH_throughput.json` in the working directory.
+//! rate. The sweep runs through the `Arc<FrozenKb>` read path (the service
+//! configuration) and a legacy `&KnowledgeBase` pass asserts both paths are
+//! byte-identical. Also measures the algorithmic speedup of the keyphrase
+//! inverted index (indexed vs exhaustive `simscore` over every
+//! mention–candidate pair) and asserts that every thread count produces
+//! byte-identical outcomes. Results are printed as a table and written to
+//! `BENCH_throughput.json` and `BENCH_kb_memory.json` in the working
+//! directory.
 
 use std::time::Instant;
+
+use ned_kb::FrozenKbStats;
 
 use ned_aida::context::DocumentContext;
 use ned_aida::similarity::{context_word_set, simscore_exhaustive, simscore_indexed};
@@ -66,9 +71,10 @@ pub fn run(scale: &Scale) {
     let mut deterministic = true;
 
     for &threads in &thread_counts {
-        // Fresh cache per run so the hit rate reflects one pass.
-        let cached = CachedRelatedness::new(MilneWitten::new(kb));
-        let aida = Disambiguator::new(kb, &cached, AidaConfig::full());
+        // Fresh cache per run so the hit rate reflects one pass. The sweep
+        // runs over the frozen columnar KB behind a shared `Arc` handle.
+        let cached = CachedRelatedness::new(MilneWitten::new(env.frozen.clone()));
+        let aida = Disambiguator::new(env.frozen.clone(), &cached, AidaConfig::full());
         let start = Instant::now();
         let eval = run_method_with_threads(&aida, docs, threads)
             .unwrap_or_else(|e| panic!("cannot build {threads}-thread pool: {e}"));
@@ -98,17 +104,36 @@ pub fn run(scale: &Scale) {
     }
     assert!(deterministic, "thread counts produced diverging outcomes");
 
+    // The legacy mutable-shaped KB must agree byte for byte with the frozen
+    // read path — the tables of the thesis do not move when the storage
+    // layout does.
+    {
+        let cached = CachedRelatedness::new(MilneWitten::new(kb));
+        let aida = Disambiguator::new(kb, &cached, AidaConfig::full());
+        let legacy = run_method_with_threads(&aida, docs, 1)
+            .unwrap_or_else(|e| panic!("cannot build 1-thread pool: {e}"));
+        let Some(frozen_eval) = baseline.as_ref() else {
+            unreachable!("the thread sweep runs at least once")
+        };
+        assert!(
+            identical(frozen_eval, &legacy),
+            "frozen KB path diverged from the legacy KB path"
+        );
+    }
+
     // Algorithmic speedup of the keyphrase inverted index: score every
-    // mention–candidate pair with and without the index.
+    // mention–candidate pair with and without the index, over the frozen
+    // read path.
+    let fkb = &env.frozen;
     let contexts: Vec<SimCase> = docs
         .iter()
         .flat_map(|d| {
-            let ctx = DocumentContext::build(kb, &d.tokens);
+            let ctx = DocumentContext::build(fkb, &d.tokens);
             d.mentions
                 .iter()
                 .map(|m| {
                     let cands =
-                        kb.candidates(&m.mention.surface).iter().map(|c| c.entity).collect();
+                        fkb.candidates(&m.mention.surface).iter().map(|c| c.entity).collect();
                     (ctx.for_mention(&m.mention), cands)
                 })
                 .collect::<Vec<_>>()
@@ -123,9 +148,9 @@ pub fn run(scale: &Scale) {
             let words = context_word_set(ctx);
             for &e in cands {
                 acc += if indexed {
-                    simscore_indexed(kb, e, ctx, &words, KeywordWeighting::Npmi)
+                    simscore_indexed(fkb, e, ctx, &words, KeywordWeighting::Npmi)
                 } else {
-                    simscore_exhaustive(kb, e, ctx, KeywordWeighting::Npmi)
+                    simscore_exhaustive(fkb, e, ctx, KeywordWeighting::Npmi)
                 };
             }
         }
@@ -168,6 +193,7 @@ pub fn run(scale: &Scale) {
         exhaustive_s, indexed_s
     );
 
+    let kb_stats = *env.frozen.stats();
     let json = render_json(
         docs.len(),
         mention_count,
@@ -176,12 +202,51 @@ pub fn run(scale: &Scale) {
         indexed_s,
         index_speedup,
         deterministic,
+        &kb_stats,
     );
     let path = "BENCH_throughput.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+    let memory_json = kb_memory_json(&kb_stats);
+    let memory_path = "BENCH_kb_memory.json";
+    match std::fs::write(memory_path, &memory_json) {
+        Ok(()) => println!("wrote {memory_path}"),
+        Err(e) => eprintln!("could not write {memory_path}: {e}"),
+    }
+}
+
+/// The `FrozenKbStats` section breakdown as a JSON object body (shared by
+/// both benchmark reports).
+fn kb_stats_json(s: &FrozenKbStats, indent: &str) -> String {
+    let mut out = String::new();
+    let mut field = |name: &str, value: usize| {
+        out.push_str(&format!("{indent}\"{name}\": {value},\n"));
+    };
+    field("entity_count", s.entity_count);
+    field("entity_bytes", s.entity_bytes);
+    field("dictionary_surfaces", s.dictionary_surfaces);
+    field("dictionary_pairs", s.dictionary_pairs);
+    field("dictionary_bytes", s.dictionary_bytes);
+    field("link_edges", s.link_edges);
+    field("link_bytes", s.link_bytes);
+    field("word_count", s.word_count);
+    field("phrase_count", s.phrase_count);
+    field("keyphrase_entries", s.keyphrase_entries);
+    field("keyphrase_bytes", s.keyphrase_bytes);
+    field("weight_bytes", s.weight_bytes);
+    field("transient_index_bytes", s.transient_index_bytes);
+    out.push_str(&format!("{indent}\"total_bytes\": {}\n", s.total_bytes));
+    out
+}
+
+/// Renders `BENCH_kb_memory.json`: the frozen KB's per-section footprint.
+fn kb_memory_json(s: &FrozenKbStats) -> String {
+    let mut out = String::from("{\n  \"frozen_kb\": {\n");
+    out.push_str(&kb_stats_json(s, "    "));
+    out.push_str("  }\n}\n");
+    out
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -193,6 +258,7 @@ fn render_json(
     indexed_s: f64,
     index_speedup: f64,
     deterministic: bool,
+    kb_stats: &FrozenKbStats,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"corpus\": \"conll-like\",\n");
@@ -224,6 +290,9 @@ fn render_json(
         "  \"keyphrase_index\": {{\"exhaustive_seconds\": {exhaustive_s:.6}, \
          \"indexed_seconds\": {indexed_s:.6}, \"speedup\": {index_speedup:.3}}},\n"
     ));
+    out.push_str("  \"frozen_kb\": {\n");
+    out.push_str(&kb_stats_json(kb_stats, "    "));
+    out.push_str("  },\n");
     out.push_str(&format!("  \"deterministic_across_thread_counts\": {deterministic}\n"));
     out.push_str("}\n");
     out
@@ -257,12 +326,33 @@ mod tests {
                 degraded_docs: 1,
             },
         ];
-        let json = render_json(20, 100, &runs, 2.0, 1.0, 2.0, true);
+        let stats = FrozenKbStats { entity_count: 7, total_bytes: 4096, ..Default::default() };
+        let json = render_json(20, 100, &runs, 2.0, 1.0, 2.0, true, &stats);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"failed_docs\": 2"));
         assert!(json.contains("\"degraded_docs\": 1"));
+        assert!(json.contains("\"entity_count\": 7"));
+        assert!(json.contains("\"total_bytes\": 4096"));
         assert!(json.contains("\"deterministic_across_thread_counts\": true"));
+    }
+
+    #[test]
+    fn kb_memory_json_is_well_formed() {
+        let stats = FrozenKbStats {
+            entity_count: 3,
+            dictionary_pairs: 9,
+            total_bytes: 1234,
+            ..Default::default()
+        };
+        let json = kb_memory_json(&stats);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"frozen_kb\""));
+        assert!(json.contains("\"dictionary_pairs\": 9"));
+        assert!(json.contains("\"total_bytes\": 1234"));
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n  }"));
     }
 }

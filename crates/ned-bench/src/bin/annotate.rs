@@ -7,8 +7,11 @@
 //!   annotate "some text ..."      # annotate the given text
 //!   annotate --seed 7 "text"      # different world
 
+use std::sync::Arc;
+
 use ned_aida::classification::TypeClassifier;
 use ned_aida::{AidaConfig, Disambiguator, JointAnnotator, JointConfig};
+use ned_kb::FrozenKb;
 use ned_relatedness::MilneWitten;
 use ned_wikigen::config::WorldConfig;
 use ned_wikigen::corpus::conll_like;
@@ -29,17 +32,18 @@ fn main() {
 
     let world = World::generate(WorldConfig::tiny(seed));
     let exported = ExportedKb::build(&world);
-    let kb = &exported.kb;
+    // The service configuration: one frozen KB behind a shared Arc handle.
+    let kb = Arc::new(FrozenKb::freeze(&exported.kb));
     eprintln!(
         "world: {} entities, {} names, {} keyphrases",
         kb.entity_count(),
         kb.dictionary().name_count(),
-        kb.phrase_interner().len()
+        kb.phrase_count()
     );
 
-    let aida = Disambiguator::new(kb, MilneWitten::new(kb), AidaConfig::full());
+    let aida = Disambiguator::new(kb.clone(), MilneWitten::new(kb.clone()), AidaConfig::full());
     let annotator = JointAnnotator::new(&aida, JointConfig::default());
-    let classifier = TypeClassifier::new(kb, &exported.taxonomy);
+    let classifier = TypeClassifier::new(kb.clone(), &exported.taxonomy);
 
     let text = if args.is_empty() {
         // No input: annotate a freshly generated document so the demo works

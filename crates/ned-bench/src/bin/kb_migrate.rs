@@ -1,0 +1,150 @@
+//! Snapshot migration tool: v2 (monolithic) → v3 (sectioned, per-frame
+//! checksummed), plus the self-check CI runs as the migration smoke.
+//!
+//! Usage:
+//!
+//! ```text
+//! kb_migrate               # self-check: fixture -> v2 -> freeze-on-load ->
+//!                          # v3 -> re-load, verifying stats and checksums
+//! kb_migrate <in> <out>    # migrate a v2 (or v3) snapshot file to v3
+//! ```
+//!
+//! Both modes exit non-zero on any validation failure, so the smoke can
+//! gate CI directly.
+
+use std::process::ExitCode;
+
+use ned_core::{NedError, SnapshotError};
+use ned_kb::snapshot::{read_frozen_snapshot, write_frozen_snapshot, write_snapshot};
+use ned_kb::{EntityKind, KbBuilder};
+
+fn fail(context: &str, err: impl std::fmt::Display) -> ExitCode {
+    eprintln!("kb_migrate: {context}: {err}");
+    ExitCode::FAILURE
+}
+
+/// The fixture world for the self-check: ambiguity, links, keyphrases.
+fn fixture() -> ned_kb::KnowledgeBase {
+    let mut builder = KbBuilder::new();
+    let song = builder.add_entity("Kashmir (song)", EntityKind::Work);
+    let region = builder.add_entity("Kashmir (region)", EntityKind::Location);
+    let band = builder.add_entity("Led Zeppelin", EntityKind::Organization);
+    builder.add_name(song, "Kashmir", 30);
+    builder.add_name(region, "Kashmir", 70);
+    builder.add_name(band, "Led Zeppelin", 40);
+    builder.add_keyphrase(song, "hard rock", 2);
+    builder.add_keyphrase(region, "Himalaya mountains", 4);
+    builder.add_keyphrase(band, "english rock band", 3);
+    builder.add_link(song, band);
+    builder.add_link(band, song);
+    builder.build()
+}
+
+/// Fixture → v2 bytes → freeze-on-load → v3 bytes → re-load; verifies the
+/// round-trip preserves every section and that the per-section checksums
+/// actually reject corruption.
+fn self_check() -> ExitCode {
+    let kb = fixture();
+    let mut v2 = Vec::new();
+    if let Err(e) = write_snapshot(&kb, &mut v2) {
+        return fail("writing v2 fixture", e);
+    }
+
+    // The migration path under test: a legacy v2 stream loads straight into
+    // the frozen form.
+    let frozen = match read_frozen_snapshot(&v2[..]) {
+        Ok(f) => f,
+        Err(e) => return fail("freeze-on-load of the v2 fixture", e),
+    };
+
+    let mut v3 = Vec::new();
+    if let Err(e) = write_frozen_snapshot(&frozen, &mut v3) {
+        return fail("writing v3", e);
+    }
+    let reloaded = match read_frozen_snapshot(&v3[..]) {
+        Ok(f) => f,
+        Err(e) => return fail("re-reading v3", e),
+    };
+
+    if reloaded.stats() != frozen.stats() {
+        eprintln!(
+            "kb_migrate: v3 round-trip changed section stats:\n  wrote {:?}\n  read  {:?}",
+            frozen.stats(),
+            reloaded.stats()
+        );
+        return ExitCode::FAILURE;
+    }
+    if reloaded.entity_by_name("Led Zeppelin") != kb.entity_by_name("Led Zeppelin") {
+        eprintln!("kb_migrate: transient by-name index missing after v3 load");
+        return ExitCode::FAILURE;
+    }
+
+    // Per-section checksum verification: flipping one body bit must be
+    // rejected with the *named* section, not decoded into garbage.
+    let mut corrupt = v3.clone();
+    let last = corrupt.len() - 1; // final weights-frame body byte
+    corrupt[last] ^= 0x01;
+    match read_frozen_snapshot(&corrupt[..]) {
+        Err(NedError::Snapshot(SnapshotError::SectionChecksumMismatch { section, .. })) => {
+            println!("checksum probe: bit flip rejected in section {section:?}");
+        }
+        Err(e) => return fail("checksum probe: wrong error for corrupt section", e),
+        Ok(_) => {
+            eprintln!("kb_migrate: checksum probe: corrupt v3 snapshot decoded successfully");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let s = frozen.stats();
+    println!(
+        "migration smoke ok: {} entities, {} name pairs, {} link edges, {} keyphrase entries; \
+         v2 {} bytes -> v3 {} bytes",
+        s.entity_count,
+        s.dictionary_pairs,
+        s.link_edges,
+        s.keyphrase_entries,
+        v2.len(),
+        v3.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Migrates a snapshot file (v2 or v3) to v3.
+fn migrate(input: &str, output: &str) -> ExitCode {
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => return fail(input, e),
+    };
+    let frozen = match read_frozen_snapshot(&bytes[..]) {
+        Ok(f) => f,
+        Err(e) => return fail(input, e),
+    };
+    let mut out = Vec::new();
+    if let Err(e) = write_frozen_snapshot(&frozen, &mut out) {
+        return fail(output, e);
+    }
+    if let Err(e) = std::fs::write(output, &out) {
+        return fail(output, e);
+    }
+    let s = frozen.stats();
+    println!(
+        "{input} ({} bytes) -> {output} ({} bytes, v3): {} entities, {} total section bytes",
+        bytes.len(),
+        out.len(),
+        s.entity_count,
+        s.total_bytes
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => self_check(),
+        [input, output] => migrate(input, output),
+        _ => {
+            eprintln!("usage: kb_migrate [<in-snapshot> <out-snapshot>]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,7 +14,7 @@ use crate::setup::{Env, Scale};
 
 /// Per-mention (gold inlink count, correct) pairs of an evaluation.
 fn mention_points(env: &Env, eval: &Evaluation) -> Vec<(usize, bool)> {
-    let links = env.exported.kb.links();
+    let links = env.frozen.links();
     let mut points = Vec::new();
     for d in &eval.docs {
         for (g, p) in d.gold.iter().zip(&d.predicted) {
@@ -40,7 +40,7 @@ fn cumulative_accuracy(points: &[(usize, bool)], max_links: usize) -> Option<f64
 /// Runs the figure.
 pub fn run(scale: &Scale) {
     let env = Env::build(scale);
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let corpus = env.kore50(scale);
     let docs = &corpus.docs; // the figure uses the full KORE50 set
 

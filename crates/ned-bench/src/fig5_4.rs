@@ -10,7 +10,7 @@ use ned_emerging::confidence::{ConfAssessor, ConfidenceMethod};
 use ned_emerging::discover::{EeConfig, EeDiscovery};
 use ned_emerging::ee_model::{EeModelConfig, NameModels};
 use ned_emerging::enrich::{enrich_kb, harvest_confident};
-use ned_kb::KnowledgeBase;
+use ned_kb::KbView;
 use ned_relatedness::MilneWitten;
 
 use crate::runner::{run_per_doc, DocOutcome};
@@ -20,8 +20,8 @@ use crate::setup::{Env, Scale};
 /// under study).
 const GAMMA: f64 = 0.5;
 
-fn ee_metrics(
-    kb: &KnowledgeBase,
+fn ee_metrics<K: KbView + ?Sized>(
+    kb: &K,
     models: &NameModels,
     test_docs: &[GoldDoc],
 ) -> (f64, f64) {
@@ -48,7 +48,7 @@ pub fn run(scale: &Scale) {
     let stream = env.news(scale);
     let eval_day = stream.n_days - 1;
     let test_docs: Vec<GoldDoc> = crate::table5_3::drop_trivial_mentions(
-        &env.exported.kb,
+        &env.frozen,
         &stream.day(eval_day).cloned().collect::<Vec<_>>(),
     );
     let max_days = eval_day.min(6);
@@ -65,18 +65,21 @@ pub fn run(scale: &Scale) {
 
         // Plain: models against the original KB.
         let models =
-            NameModels::build(&env.exported.kb, &window, 2, &EeModelConfig::default());
-        let (p, r) = ee_metrics(&env.exported.kb, &models, &test_docs);
+            NameModels::build(&env.frozen, &window, 2, &EeModelConfig::default());
+        let (p, r) = ee_metrics(&env.frozen, &models, &test_docs);
 
         // Enriched: first harvest high-confidence keyphrases for existing
         // entities from the same window, rebuild the KB, then build models
         // against the enriched KB (which subtracts more, keeping the EE
         // models crisp and the existing entities competitive).
-        let aida =
-            Disambiguator::new(&env.exported.kb, MilneWitten::new(&env.exported.kb), AidaConfig::r_prior_sim());
+        let aida = Disambiguator::new(
+            env.frozen.clone(),
+            MilneWitten::new(env.frozen.clone()),
+            AidaConfig::r_prior_sim(),
+        );
         let assessor = ConfAssessor::new(ConfidenceMethod::Normalized);
         let report = harvest_confident(&aida, &assessor, &window, 0.95);
-        let enriched = enrich_kb(&env.exported.kb, &report);
+        let enriched = enrich_kb(&env.frozen, &report);
         let models_e = NameModels::build(&enriched, &window, 2, &EeModelConfig::default());
         let (pe, re) = ee_metrics(&enriched, &models_e, &test_docs);
 

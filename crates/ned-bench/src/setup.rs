@@ -1,5 +1,8 @@
 //! Shared experiment setup: the standard world, corpora, and scale knobs.
 
+use std::sync::Arc;
+
+use ned_kb::FrozenKb;
 use ned_wikigen::config::WorldConfig;
 use ned_wikigen::corpus::{conll_like, kore50_like, wp_like, Corpus};
 use ned_wikigen::news::{generate_stream, NewsConfig, NewsStream};
@@ -57,6 +60,9 @@ pub struct Env {
     pub world: World,
     /// Exported knowledge base + id mappings.
     pub exported: ExportedKb,
+    /// The same KB frozen into its columnar read-path form, behind an
+    /// `Arc` so experiments can share one handle across rayon workers.
+    pub frozen: Arc<FrozenKb>,
 }
 
 impl Env {
@@ -68,7 +74,8 @@ impl Env {
             ..WorldConfig::default()
         });
         let exported = ExportedKb::build(&world);
-        Env { world, exported }
+        let frozen = Arc::new(FrozenKb::freeze(&exported.kb));
+        Env { world, exported, frozen }
     }
 
     /// The CoNLL-YAGO-style corpus.

@@ -17,7 +17,7 @@ use crate::setup::{Env, Scale};
 /// Line-searches ρ and λ on the dev split (the paper's procedure) and
 /// returns the tuned full configuration.
 pub fn tune_full_config(env: &Env, dev: &[ned_eval::gold::GoldDoc]) -> AidaConfig {
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let mut best = AidaConfig::full();
     let mut best_micro = -1.0;
     for rho in [0.8, 0.9, 0.95] {
@@ -49,7 +49,7 @@ pub fn tune_full_config(env: &Env, dev: &[ned_eval::gold::GoldDoc]) -> AidaConfi
 pub fn run(scale: &Scale) {
     let env = Env::build(scale);
     let corpus = env.conll(scale);
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let dev = corpus.dev();
     let test = corpus.test();
     eprintln!(

@@ -19,7 +19,7 @@ const LINK_POOR_MAX_INLINKS: usize = 5;
 
 /// Evaluates AIDA with a fixed relatedness measure.
 fn eval_fixed<M: Relatedness + Sync>(env: &Env, measure: &M, docs: &[GoldDoc]) -> Evaluation {
-    let aida = Disambiguator::new(&env.exported.kb, measure, wp_safe_config(docs));
+    let aida = Disambiguator::new(env.frozen.clone(), measure, wp_safe_config(docs));
     crate::runner::run_method(&aida, docs)
 }
 
@@ -32,7 +32,7 @@ fn wp_safe_config(_docs: &[GoldDoc]) -> AidaConfig {
 
 /// Evaluates AIDA with a per-document LSH-scoped KORE measure.
 fn eval_lsh(env: &Env, lsh: &KoreLsh, docs: &[GoldDoc]) -> Evaluation {
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     run_per_doc(docs, |doc| {
         let mentions = doc.bare_mentions();
         // The LSH scope: all candidate entities of the document.
@@ -57,7 +57,7 @@ fn eval_lsh(env: &Env, lsh: &KoreLsh, docs: &[GoldDoc]) -> Evaluation {
 /// Micro accuracy restricted to mentions whose gold entity has at most
 /// `max_inlinks` in-links.
 fn link_poor_micro(env: &Env, eval: &Evaluation, max_inlinks: usize) -> f64 {
-    let links = env.exported.kb.links();
+    let links = env.frozen.links();
     let mut correct = 0usize;
     let mut total = 0usize;
     for d in &eval.docs {
@@ -82,7 +82,7 @@ fn link_poor_micro(env: &Env, eval: &Evaluation, max_inlinks: usize) -> f64 {
 /// Runs the three-corpus comparison.
 pub fn run(scale: &Scale) {
     let env = Env::build(scale);
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let kwcs = KeywordCosine::new(kb);
     let kpcs = KeyphraseCosine::new(kb);
     let mw = MilneWitten::new(kb);

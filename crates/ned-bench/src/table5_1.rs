@@ -15,7 +15,7 @@ use crate::setup::{Env, Scale};
 /// Runs the confidence comparison on the CoNLL-like test split.
 pub fn run(scale: &Scale) {
     let env = Env::build(scale);
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let corpus = env.conll(scale);
     let docs = corpus.test();
 

@@ -24,7 +24,10 @@ pub type Labeler<'a> = Box<dyn Fn(&GoldDoc) -> Vec<Label> + Sync + 'a>;
 /// Drops mentions whose surface has no dictionary candidates — they are
 /// trivially out-of-KB and §5.7.2 removes them from the evaluation ("as
 /// they can be resolved trivially").
-pub fn drop_trivial_mentions(kb: &ned_kb::KnowledgeBase, docs: &[GoldDoc]) -> Vec<GoldDoc> {
+pub fn drop_trivial_mentions<K: ned_kb::KbView + ?Sized>(
+    kb: &K,
+    docs: &[GoldDoc],
+) -> Vec<GoldDoc> {
     docs.iter()
         .map(|d| {
             let mentions = d
@@ -40,12 +43,12 @@ pub fn drop_trivial_mentions(kb: &ned_kb::KnowledgeBase, docs: &[GoldDoc]) -> Ve
 
 /// Builds EE name models from the days `[eval_day − days, eval_day)`.
 pub fn build_models(env: &Env, stream: &[GoldDoc], eval_day: u32, days: u32) -> NameModels {
-    build_models_against(&env.exported.kb, stream, eval_day, days)
+    build_models_against(&env.frozen, stream, eval_day, days)
 }
 
 /// Builds EE name models against an explicit (possibly enriched) KB.
-pub fn build_models_against(
-    kb: &ned_kb::KnowledgeBase,
+pub fn build_models_against<K: ned_kb::KbView + ?Sized>(
+    kb: &K,
     stream: &[GoldDoc],
     eval_day: u32,
     days: u32,
@@ -91,7 +94,7 @@ fn tune<'a>(
 /// Runs Tables 5.3 and 5.4.
 pub fn run(scale: &Scale) {
     let env = Env::build(scale);
-    let kb = &env.exported.kb;
+    let kb = &env.frozen;
     let stream = env.news(scale);
     let eval_day_idx = stream.n_days - 1;
     let validation_day = stream.n_days - 2;
@@ -162,11 +165,15 @@ pub fn run(scale: &Scale) {
     );
 
     // --- Thresholding baselines, tuned on the validation day. ---
-    fn threshold_labeler<'a>(
-        aida: &'a Disambiguator<'a, MilneWitten<'a>>,
+    fn threshold_labeler<'a, K, R>(
+        aida: &'a Disambiguator<K, R>,
         assessor: ConfAssessor,
         t: f64,
-    ) -> Labeler<'a> {
+    ) -> Labeler<'a>
+    where
+        K: ned_kb::KbView + 'a,
+        R: ned_relatedness::Relatedness + 'a,
+    {
         Box::new(move |doc: &GoldDoc| {
             let mentions = doc.bare_mentions();
             let features = aida.features(&doc.tokens, &mentions);
@@ -175,7 +182,7 @@ pub fn run(scale: &Scale) {
             ThresholdEe::new(t).apply(&result, &conf)
         })
     }
-    fn iw_labeler<'a>(linker: &'a LocalLinker<'a>, t: f64) -> Labeler<'a> {
+    fn iw_labeler<'a, K: ned_kb::KbView + 'a>(linker: &'a LocalLinker<K>, t: f64) -> Labeler<'a> {
         Box::new(move |doc: &GoldDoc| {
             let mentions = doc.bare_mentions();
             let result = linker.disambiguate(&doc.tokens, &mentions);
@@ -184,12 +191,16 @@ pub fn run(scale: &Scale) {
             ThresholdEe::new(t).apply(&result, &conf)
         })
     }
-    fn ee_labeler<'a>(
-        aida: &'a Disambiguator<'a, MilneWitten<'a>>,
+    fn ee_labeler<'a, K, R>(
+        aida: &'a Disambiguator<K, R>,
         models: &'a NameModels,
         gamma: f64,
         coherence: bool,
-    ) -> Labeler<'a> {
+    ) -> Labeler<'a>
+    where
+        K: ned_kb::KbView + 'a,
+        R: ned_relatedness::Relatedness + 'a,
+    {
         Box::new(move |doc: &GoldDoc| {
             let config = EeConfig {
                 gamma,

@@ -50,6 +50,34 @@ pub enum SnapshotError {
     /// The body passed the checksum but failed to decode (version-skewed
     /// writer or a bug; with a valid checksum this should be unreachable).
     Codec(String),
+    /// A v3 section block ended before its declared body length.
+    SectionTruncated {
+        /// Which section the frame claimed to carry.
+        section: &'static str,
+        /// Bytes the section header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A v3 section body does not match its recorded checksum.
+    SectionChecksumMismatch {
+        /// Which section failed validation.
+        section: &'static str,
+        /// Checksum recorded in the section header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// A v3 frame carried a section tag this binary does not know.
+    UnknownSection {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
+    /// A v3 stream ended without delivering a required section.
+    MissingSection {
+        /// The section that never arrived.
+        section: &'static str,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -68,6 +96,22 @@ impl fmt::Display for SnapshotError {
                 "snapshot checksum mismatch: header {expected:#018x}, body {actual:#018x}"
             ),
             SnapshotError::Codec(msg) => write!(f, "snapshot body failed to decode: {msg}"),
+            SnapshotError::SectionTruncated { section, expected, actual } => write!(
+                f,
+                "truncated snapshot section {section:?}: frame promised {expected} bytes, \
+                 got {actual}"
+            ),
+            SnapshotError::SectionChecksumMismatch { section, expected, actual } => write!(
+                f,
+                "snapshot section {section:?} checksum mismatch: frame {expected:#018x}, \
+                 body {actual:#018x}"
+            ),
+            SnapshotError::UnknownSection { tag } => {
+                write!(f, "unknown snapshot section tag {tag:#04x}")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot ended without required section {section:?}")
+            }
         }
     }
 }

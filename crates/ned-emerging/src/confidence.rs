@@ -19,6 +19,7 @@ use rand::{Rng, SeedableRng};
 
 use ned_aida::candidates::CandidateFeatures;
 use ned_aida::{DisambiguationResult, Disambiguator};
+use ned_kb::KbView;
 use ned_relatedness::Relatedness;
 
 /// Which confidence assessor to run.
@@ -71,9 +72,9 @@ impl ConfAssessor {
     /// computed from (via [`Disambiguator::features`]); the perturbation
     /// assessors re-run [`Disambiguator::disambiguate_features`] on
     /// modified copies.
-    pub fn assess<R: Relatedness>(
+    pub fn assess<K: KbView, R: Relatedness>(
         &self,
-        aida: &Disambiguator<'_, R>,
+        aida: &Disambiguator<K, R>,
         features: &[Vec<CandidateFeatures>],
         result: &DisambiguationResult,
     ) -> Vec<f64> {
@@ -90,9 +91,9 @@ impl ConfAssessor {
     }
 
     /// §5.4.2: drop random mention subsets and count choice stability.
-    fn perturb_mentions<R: Relatedness>(
+    fn perturb_mentions<K: KbView, R: Relatedness>(
         &self,
-        aida: &Disambiguator<'_, R>,
+        aida: &Disambiguator<K, R>,
         features: &[Vec<CandidateFeatures>],
         result: &DisambiguationResult,
     ) -> Vec<f64> {
@@ -126,9 +127,9 @@ impl ConfAssessor {
 
     /// §5.4.3: force random subsets of mentions onto alternate entities and
     /// count the stability of the remaining assignments.
-    fn perturb_entities<R: Relatedness>(
+    fn perturb_entities<K: KbView, R: Relatedness>(
         &self,
-        aida: &Disambiguator<'_, R>,
+        aida: &Disambiguator<K, R>,
         features: &[Vec<CandidateFeatures>],
         result: &DisambiguationResult,
     ) -> Vec<f64> {
@@ -217,7 +218,9 @@ mod tests {
         b.build()
     }
 
-    fn setup(kb: &KnowledgeBase) -> (Disambiguator<'_, MilneWitten<'_>>, Vec<f64>, Vec<f64>) {
+    fn setup(
+        kb: &KnowledgeBase,
+    ) -> (Disambiguator<&KnowledgeBase, MilneWitten<&KnowledgeBase>>, Vec<f64>, Vec<f64>) {
         let aida = Disambiguator::new(kb, MilneWitten::new(kb), AidaConfig::r_prior_sim());
         let tokens = tokenize("the electric guitar by Gibson was played by Page");
         let mentions = vec![Mention::new("Gibson", 4, 5), Mention::new("Page", 9, 10)];

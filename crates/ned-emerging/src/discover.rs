@@ -13,7 +13,7 @@ use ned_aida::config::AidaConfig;
 use ned_aida::cover::shortest_cover;
 use ned_aida::{DisambiguationResult, Disambiguator};
 use ned_eval::gold::Label;
-use ned_kb::{EntityId, KnowledgeBase, WordId};
+use ned_kb::{EntityId, KbView, WordId};
 use ned_relatedness::Relatedness;
 use ned_text::{Mention, Token};
 
@@ -73,7 +73,11 @@ impl Default for EeConfig {
 /// Keyphrase-based similarity of an EE model against a mention context
 /// (the analogue of Eq. 3.6 for placeholder entities), using IDF keyword
 /// weights and the phrase salience weights of the model.
-pub fn ee_simscore(kb: &KnowledgeBase, model: &EeModel, context: &[(usize, WordId)]) -> f64 {
+pub fn ee_simscore<K: KbView + ?Sized>(
+    kb: &K,
+    model: &EeModel,
+    context: &[(usize, WordId)],
+) -> f64 {
     let weights = kb.weights();
     let mut total = 0.0;
     for phrase in &model.phrases {
@@ -96,7 +100,11 @@ pub fn ee_simscore(kb: &KnowledgeBase, model: &EeModel, context: &[(usize, WordI
 /// IDF-weighted Jaccard over their keyword sets (the KORE-style coherence
 /// the EEcoh variant uses, since link-based coherence cannot cover
 /// placeholders).
-pub fn ee_entity_coherence(kb: &KnowledgeBase, model: &EeModel, entity: EntityId) -> f64 {
+pub fn ee_entity_coherence<K: KbView + ?Sized>(
+    kb: &K,
+    model: &EeModel,
+    entity: EntityId,
+) -> f64 {
     let weights = kb.weights();
     let model_words = model.word_set();
     if model_words.is_empty() {
@@ -144,16 +152,16 @@ pub fn ee_entity_coherence(kb: &KnowledgeBase, model: &EeModel, entity: EntityId
 
 /// A relatedness measure extended over EE placeholder ids (Figure 5.1's
 /// graph with EE nodes).
-pub struct EeAwareRelatedness<'a, R> {
+pub struct EeAwareRelatedness<'a, K, R> {
     inner: R,
-    kb: &'a KnowledgeBase,
+    kb: &'a K,
     /// Per-mention EE model (indexed by `id − EE_ID_BASE`).
     models: Vec<Option<&'a EeModel>>,
 }
 
 // Manual Debug: `R` need not be Debug and the borrowed KB would dump the
 // whole store.
-impl<R> std::fmt::Debug for EeAwareRelatedness<'_, R> {
+impl<K, R> std::fmt::Debug for EeAwareRelatedness<'_, K, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EeAwareRelatedness")
             .field("models", &self.models.len())
@@ -161,7 +169,7 @@ impl<R> std::fmt::Debug for EeAwareRelatedness<'_, R> {
     }
 }
 
-impl<R: Relatedness> Relatedness for EeAwareRelatedness<'_, R> {
+impl<K: KbView, R: Relatedness> Relatedness for EeAwareRelatedness<'_, K, R> {
     fn name(&self) -> &'static str {
         "EE-aware"
     }
@@ -176,7 +184,7 @@ impl<R: Relatedness> Relatedness for EeAwareRelatedness<'_, R> {
     }
 }
 
-impl<R> EeAwareRelatedness<'_, R> {
+impl<K: KbView, R> EeAwareRelatedness<'_, K, R> {
     fn model_coherence(&self, ee: EntityId, entity: EntityId) -> f64 {
         let idx = (ee.0 - EE_ID_BASE) as usize;
         match self.models.get(idx).copied().flatten() {
@@ -187,14 +195,14 @@ impl<R> EeAwareRelatedness<'_, R> {
 }
 
 /// The NED-EE discovery pipeline over a base AIDA disambiguator.
-pub struct EeDiscovery<'a, R> {
-    base: &'a Disambiguator<'a, R>,
+pub struct EeDiscovery<'a, K, R> {
+    base: &'a Disambiguator<K, R>,
     models: &'a NameModels,
     config: EeConfig,
 }
 
 // Manual Debug: `R` need not be Debug.
-impl<R> std::fmt::Debug for EeDiscovery<'_, R> {
+impl<K, R> std::fmt::Debug for EeDiscovery<'_, K, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EeDiscovery")
             .field("base", &self.base)
@@ -203,9 +211,9 @@ impl<R> std::fmt::Debug for EeDiscovery<'_, R> {
     }
 }
 
-impl<'a, R: Relatedness> EeDiscovery<'a, R> {
+impl<'a, K: KbView, R: Relatedness> EeDiscovery<'a, K, R> {
     /// Creates the pipeline.
-    pub fn new(base: &'a Disambiguator<'a, R>, models: &'a NameModels, config: EeConfig) -> Self {
+    pub fn new(base: &'a Disambiguator<K, R>, models: &'a NameModels, config: EeConfig) -> Self {
         EeDiscovery { base, models, config }
     }
 
@@ -320,7 +328,7 @@ impl ThresholdEe {
 mod tests {
     use super::*;
     use crate::ee_model::{EePhrase, NameModels};
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_relatedness::MilneWitten;
     use ned_text::tokenize;
 

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use ned_eval::gold::GoldDoc;
-use ned_kb::{KnowledgeBase, WordId};
+use ned_kb::{KbView, WordId};
 
 use crate::harvest::{harvest_name, mention_names};
 
@@ -73,8 +73,8 @@ impl Default for EeModelConfig {
 }
 
 /// Builds the EE model for one name (Algorithm 2).
-pub fn build_model(
-    kb: &KnowledgeBase,
+pub fn build_model<K: KbView + ?Sized>(
+    kb: &K,
     docs: &[&GoldDoc],
     name: &str,
     config: &EeModelConfig,
@@ -180,8 +180,8 @@ pub struct NameModels {
 impl NameModels {
     /// Builds models for all names occurring at least `min_occurrences`
     /// times in `docs` (the per-chunk redundancy requirement of §5.7.2).
-    pub fn build(
-        kb: &KnowledgeBase,
+    pub fn build<K: KbView + ?Sized>(
+        kb: &K,
         docs: &[&GoldDoc],
         min_occurrences: u64,
         config: &EeModelConfig,
@@ -224,7 +224,7 @@ impl NameModels {
 mod tests {
     use super::*;
     use ned_eval::gold::LabeledMention;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
     use ned_text::{tokenize, Mention};
 
     /// KB knows "Prism" as a band with phrase "progressive rock band"; the

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use ned_aida::Disambiguator;
 use ned_eval::gold::GoldDoc;
-use ned_kb::{EntityId, KbBuilder, KnowledgeBase};
+use ned_kb::{EntityId, KbBuilder, KbView, KnowledgeBase};
 use ned_relatedness::Relatedness;
 
 use crate::confidence::ConfAssessor;
@@ -37,8 +37,8 @@ impl EnrichmentReport {
 
 /// Harvests keyphrases for in-KB entities from high-confidence mentions in
 /// `docs`.
-pub fn harvest_confident<R: Relatedness>(
-    aida: &Disambiguator<'_, R>,
+pub fn harvest_confident<K: KbView, R: Relatedness>(
+    aida: &Disambiguator<K, R>,
     assessor: &ConfAssessor,
     docs: &[&GoldDoc],
     min_confidence: f64,
@@ -67,8 +67,9 @@ pub fn harvest_confident<R: Relatedness>(
 }
 
 /// Rebuilds the knowledge base with the harvested phrases added (weights
-/// are recomputed), returning the enriched KB.
-pub fn enrich_kb(kb: &KnowledgeBase, report: &EnrichmentReport) -> KnowledgeBase {
+/// are recomputed), returning the enriched KB. Accepts any [`KbView`]
+/// (legacy or frozen); the output is always a fresh builder-path KB.
+pub fn enrich_kb<K: KbView + ?Sized>(kb: &K, report: &EnrichmentReport) -> KnowledgeBase {
     let mut builder = KbBuilder::from_kb(kb);
     // Insert in sorted (entity, surface) order: keyphrase ids are assigned
     // in insertion order, so hash-map iteration order here would otherwise

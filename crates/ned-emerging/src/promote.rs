@@ -4,7 +4,7 @@
 //! enough to distinguish it from further EEs with the same name. At some
 //! point … it should be promoted … to a canonicalized entity").
 
-use ned_kb::{EntityId, EntityKind, KbBuilder, KnowledgeBase};
+use ned_kb::{EntityId, EntityKind, KbBuilder, KbView, KnowledgeBase};
 
 use crate::ee_model::EeModel;
 
@@ -18,8 +18,8 @@ use crate::ee_model::EeModel;
 ///
 /// # Panics
 /// Panics when `canonical_name` is already taken or the model is empty.
-pub fn promote_entity(
-    kb: &KnowledgeBase,
+pub fn promote_entity<K: KbView + ?Sized>(
+    kb: &K,
     model: &EeModel,
     canonical_name: &str,
     kind: EntityKind,

@@ -33,11 +33,12 @@ impl KbBuilder {
         Self::default()
     }
 
-    /// Reconstructs a builder from an existing knowledge base, so the KB
-    /// can be extended (e.g. with harvested keyphrases or newly promoted
-    /// entities) and rebuilt with fresh weights — the KB maintenance
-    /// life-cycle of §5.6.
-    pub fn from_kb(kb: &KnowledgeBase) -> Self {
+    /// Reconstructs a builder from an existing knowledge base (any
+    /// [`KbView`](crate::KbView) — legacy or frozen), so the KB can be
+    /// extended (e.g. with harvested keyphrases or newly promoted entities)
+    /// and rebuilt with fresh weights — the KB maintenance life-cycle of
+    /// §5.6.
+    pub fn from_kb<K: crate::KbView + ?Sized>(kb: &K) -> Self {
         let mut builder = KbBuilder::new();
         for e in kb.entity_ids() {
             let entity = kb.entity(e);
@@ -151,7 +152,7 @@ impl KbBuilder {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// Builds the running example of the thesis: Jimmy Page, Kashmir (song),

@@ -14,7 +14,7 @@
 //! after snapshot deserialization), like the other lookup indexes.
 
 use crate::ids::{EntityId, PhraseId, WordId};
-use crate::keyphrase::KeyphraseStore;
+use crate::keyphrase::{EntityPhrase, KeyphraseStore};
 use crate::vocab::PhraseInterner;
 
 /// Word → (entity, phrase) postings over a [`KeyphraseStore`].
@@ -28,11 +28,28 @@ pub struct KeyphraseIndex {
 impl KeyphraseIndex {
     /// Builds the index over all entities' keyphrase sets.
     pub fn build(store: &KeyphraseStore, phrases: &PhraseInterner, word_count: usize) -> Self {
+        Self::build_raw(
+            word_count,
+            store.len(),
+            |e| store.phrases(e),
+            |p| phrases.words(p),
+        )
+    }
+
+    /// Builds the index from raw accessors, so both KB representations
+    /// (nested legacy stores and frozen CSR arrays) produce identical
+    /// postings from the same one construction routine.
+    pub(crate) fn build_raw<'x>(
+        word_count: usize,
+        entity_count: usize,
+        phrases_of: impl Fn(EntityId) -> &'x [EntityPhrase],
+        words_of: impl Fn(PhraseId) -> &'x [WordId],
+    ) -> Self {
         let mut postings: Vec<Vec<(EntityId, PhraseId)>> = vec![Vec::new(); word_count];
-        for ei in 0..store.len() {
+        for ei in 0..entity_count {
             let e = EntityId::from_index(ei);
-            for ep in store.phrases(e) {
-                for &w in phrases.words(ep.phrase) {
+            for ep in phrases_of(e) {
+                for &w in words_of(ep.phrase) {
                     postings[w.index()].push((e, ep.phrase));
                 }
             }

@@ -21,6 +21,7 @@
 pub mod builder;
 pub mod dictionary;
 pub mod entity;
+pub mod frozen;
 pub mod fx;
 pub mod ids;
 pub mod keyphrase;
@@ -30,13 +31,16 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod taxonomy;
+pub mod view;
 pub mod vocab;
 pub mod weights;
 
 pub use builder::KbBuilder;
 pub use entity::{Entity, EntityKind};
+pub use frozen::{FrozenDictionary, FrozenKb, FrozenKbStats, FrozenLinks};
 pub use ids::{EntityId, NameId, PhraseId, WordId};
 pub use kp_index::KeyphraseIndex;
 pub use store::KnowledgeBase;
 pub use taxonomy::{Taxonomy, TypeId};
+pub use view::{DictView, EntityIds, KbView, LinksView};
 pub use weights::WeightModel;

@@ -1,4 +1,4 @@
-//! Compact binary snapshots of a [`KnowledgeBase`].
+//! Compact binary snapshots of a knowledge base.
 //!
 //! A hand-rolled, versioned binary codec over the serde data model is
 //! overkill here; instead we use a simple length-prefixed encoding written
@@ -7,10 +7,23 @@
 //! crate, keeping the workspace inside its approved dependency set (serde
 //! without a third-party format crate).
 //!
-//! Snapshots are hardened against corruption: the header carries magic
-//! bytes, a format version, the body length, and an FNV-1a checksum of the
-//! body. Truncation, bit flips, and version skew all surface as structured
-//! [`SnapshotError`]s — never a panic, never silently garbled data.
+//! Two on-disk layouts coexist:
+//!
+//! - **v2** (legacy): one monolithic body holding a serialized
+//!   [`KnowledgeBase`], framed by a 24-byte header (magic, version, body
+//!   length, FNV-1a checksum). Written by [`write_snapshot`], read by
+//!   [`read_snapshot`].
+//! - **v3** (current): five independent sections — entities, dictionary,
+//!   links, keyphrases, weights — each length-prefixed and individually
+//!   FNV-checksummed, decoding straight into the flat arrays of a
+//!   [`FrozenKb`]. Written by [`write_frozen_snapshot`], read by
+//!   [`read_frozen_snapshot`], which also accepts v2 streams via a
+//!   freeze-on-load path. Per-section framing is what later PRs need for
+//!   mmap and lazy per-section loading.
+//!
+//! Snapshots are hardened against corruption: truncation, bit flips, and
+//! version skew all surface as structured [`SnapshotError`]s — never a
+//! panic, never silently garbled data.
 
 use std::io::{self, Read, Write};
 
@@ -18,7 +31,10 @@ use ned_core::{NedError, SnapshotError};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+use crate::entity::Entity;
+use crate::frozen::{FrozenDictionary, FrozenKb, FrozenLinks, FrozenPhrases};
 use crate::store::KnowledgeBase;
+use crate::weights::WeightModel;
 
 mod codec {
     //! A minimal self-describing binary serde format (subset sufficient for
@@ -618,14 +634,47 @@ pub use codec::Error as CodecError;
 /// Magic bytes identifying a knowledge-base snapshot.
 const MAGIC: &[u8; 6] = b"AIDAKB";
 
-/// Current snapshot format version. Version 1 ("AIDAKB01", no checksum) is
-/// rejected with [`SnapshotError::UnsupportedVersion`]: its version bytes
-/// decode as ASCII `"01"`.
-pub const FORMAT_VERSION: u16 = 2;
+/// Current snapshot format version: sectioned frames decoding into a
+/// [`FrozenKb`]. Version 1 ("AIDAKB01", no checksum) is rejected with
+/// [`SnapshotError::UnsupportedVersion`]: its version bytes decode as ASCII
+/// `"01"`.
+pub const FORMAT_VERSION: u16 = 3;
 
-/// Header layout: magic (6) + version u16 (2) + body length u64 (8) +
+/// The legacy monolithic-body format still written by [`write_snapshot`]
+/// and accepted by [`read_frozen_snapshot`] via freeze-on-load.
+pub const V2_FORMAT_VERSION: u16 = 2;
+
+/// v2 header layout: magic (6) + version u16 (2) + body length u64 (8) +
 /// FNV-1a body checksum u64 (8), all little-endian.
 const HEADER_LEN: usize = 24;
+
+/// v3 header layout: magic (6) + version u16 (2); sections follow.
+const V3_HEADER_LEN: usize = 8;
+
+/// v3 section frame prelude: tag u8 (1) + body length u64 (8) + FNV-1a body
+/// checksum u64 (8), all little-endian.
+const FRAME_PRELUDE_LEN: usize = 17;
+
+/// v3 section tags, in the order [`write_frozen_snapshot`] emits them.
+mod tag {
+    pub const ENTITIES: u8 = 1;
+    pub const DICTIONARY: u8 = 2;
+    pub const LINKS: u8 = 3;
+    pub const KEYPHRASES: u8 = 4;
+    pub const WEIGHTS: u8 = 5;
+}
+
+/// Human-readable section name of a v3 tag (for error reporting).
+fn section_name(t: u8) -> Option<&'static str> {
+    match t {
+        tag::ENTITIES => Some("entities"),
+        tag::DICTIONARY => Some("dictionary"),
+        tag::LINKS => Some("links"),
+        tag::KEYPHRASES => Some("keyphrases"),
+        tag::WEIGHTS => Some("weights"),
+        _ => None,
+    }
+}
 
 /// FNV-1a over the snapshot body; not cryptographic, but any truncation or
 /// stray bit flip changes it with overwhelming probability.
@@ -648,28 +697,33 @@ pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     codec::from_bytes(bytes)
 }
 
-/// Writes a knowledge-base snapshot (hardened header + encoded body).
+/// Writes a legacy v2 knowledge-base snapshot (hardened header + one
+/// monolithic encoded body). Kept alongside the v3 writer as the migration
+/// fixture generator and for build pipelines that still produce the
+/// mutable-shaped [`KnowledgeBase`].
 pub fn write_snapshot<W: Write>(kb: &KnowledgeBase, mut writer: W) -> Result<(), NedError> {
     let body = encode(kb).map_err(|e| NedError::Snapshot(SnapshotError::Codec(e.to_string())))?;
     let mut header = [0u8; HEADER_LEN];
-    header[..6].copy_from_slice(MAGIC);
-    header[6..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-    header[8..16].copy_from_slice(&(body.len() as u64).to_le_bytes());
-    header[16..24].copy_from_slice(&fnv1a(&body).to_le_bytes());
+    header[..6].copy_from_slice(MAGIC); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    header[6..8].copy_from_slice(&V2_FORMAT_VERSION.to_le_bytes()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    header[8..16].copy_from_slice(&(body.len() as u64).to_le_bytes()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    header[16..24].copy_from_slice(&fnv1a(&body).to_le_bytes()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
     writer
         .write_all(&header)
         .and_then(|()| writer.write_all(&body))
         .map_err(|e| NedError::io("writing snapshot", e))
 }
 
-/// Reads a knowledge-base snapshot, verifying magic, version, length, and
-/// checksum, and rebuilds transient indexes.
+/// Reads a legacy v2 knowledge-base snapshot, verifying magic, version,
+/// length, and checksum, and rebuilds transient indexes.
 ///
 /// Corruption never panics: a truncated, bit-flipped, or version-skewed
-/// stream yields the matching [`SnapshotError`].
+/// stream yields the matching [`SnapshotError`]. Use
+/// [`read_frozen_snapshot`] for the version-dispatching loader that accepts
+/// both v2 and v3.
 pub fn read_snapshot<R: Read>(mut reader: R) -> Result<KnowledgeBase, NedError> {
     let mut header = [0u8; HEADER_LEN];
-    read_up_to(&mut reader, &mut header)
+    read_up_to(&mut reader, &mut header) // ned-lint: allow(p1) — fixed-size buffer, constant bounds
         .map_err(|e| NedError::io("reading snapshot header", e))
         .and_then(|got| {
             if got < HEADER_LEN {
@@ -684,17 +738,29 @@ pub fn read_snapshot<R: Read>(mut reader: R) -> Result<KnowledgeBase, NedError> 
                 Ok(())
             }
         })?;
-    if &header[..6] != MAGIC {
+    if &header[..6] != MAGIC { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
         return Err(SnapshotError::BadMagic.into());
     }
-    let version = u16::from_le_bytes([header[6], header[7]]);
-    if version != FORMAT_VERSION {
-        return Err(
-            SnapshotError::UnsupportedVersion { found: version, supported: FORMAT_VERSION }.into()
-        );
+    let version = u16::from_le_bytes([header[6], header[7]]); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    if version != V2_FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: V2_FORMAT_VERSION,
+        }
+        .into());
     }
-    let len = u64::from_le_bytes(header[8..16].try_into().unwrap_or([0; 8]));
-    let expected_checksum = u64::from_le_bytes(header[16..24].try_into().unwrap_or([0; 8]));
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    let expected_checksum = u64::from_le_bytes(header[16..24].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    read_v2_rest(&mut reader, len, expected_checksum)
+}
+
+/// Reads and validates a v2 body (length, checksum, decode) and rebuilds
+/// the transient indexes. The 24-byte header has already been consumed.
+fn read_v2_rest<R: Read>(
+    reader: &mut R,
+    len: u64,
+    expected_checksum: u64,
+) -> Result<KnowledgeBase, NedError> {
     // Read through `take` instead of preallocating `len` bytes: a corrupted
     // length must not trigger a huge allocation.
     let mut body = Vec::new();
@@ -720,13 +786,196 @@ pub fn read_snapshot<R: Read>(mut reader: R) -> Result<KnowledgeBase, NedError> 
     Ok(kb)
 }
 
+/// Encodes one value as a v3 section frame: tag, body length, FNV-1a body
+/// checksum, body.
+fn write_section<W: Write, T: Serialize>(
+    writer: &mut W,
+    section_tag: u8,
+    value: &T,
+) -> Result<(), NedError> {
+    let body =
+        encode(value).map_err(|e| NedError::Snapshot(SnapshotError::Codec(e.to_string())))?;
+    let mut prelude = [0u8; FRAME_PRELUDE_LEN];
+    prelude[0] = section_tag; // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    prelude[1..9].copy_from_slice(&(body.len() as u64).to_le_bytes()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    prelude[9..17].copy_from_slice(&fnv1a(&body).to_le_bytes()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    writer
+        .write_all(&prelude)
+        .and_then(|()| writer.write_all(&body))
+        .map_err(|e| NedError::io("writing snapshot section", e))
+}
+
+/// Writes a v3 sectioned snapshot of a [`FrozenKb`]: the 8-byte header
+/// followed by the five section frames (entities, dictionary, links,
+/// keyphrases, weights), each length-prefixed and individually checksummed.
+pub fn write_frozen_snapshot<W: Write>(kb: &FrozenKb, mut writer: W) -> Result<(), NedError> {
+    let mut header = [0u8; V3_HEADER_LEN];
+    header[..6].copy_from_slice(MAGIC); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    header[6..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    writer.write_all(&header).map_err(|e| NedError::io("writing snapshot header", e))?;
+    let (entities, dictionary, links, phrases, weights) = kb.sections();
+    write_section(&mut writer, tag::ENTITIES, entities)?;
+    write_section(&mut writer, tag::DICTIONARY, dictionary)?;
+    write_section(&mut writer, tag::LINKS, links)?;
+    write_section(&mut writer, tag::KEYPHRASES, phrases)?;
+    write_section(&mut writer, tag::WEIGHTS, weights)?;
+    Ok(())
+}
+
+/// Decoded v3 sections, accumulated while walking the frame stream.
+#[derive(Debug, Default)]
+struct Sections {
+    entities: Option<Vec<Entity>>,
+    dictionary: Option<FrozenDictionary>,
+    links: Option<FrozenLinks>,
+    keyphrases: Option<FrozenPhrases>,
+    weights: Option<WeightModel>,
+}
+
+impl Sections {
+    fn take<T>(slot: Option<T>, section: &'static str) -> Result<T, NedError> {
+        slot.ok_or_else(|| SnapshotError::MissingSection { section }.into())
+    }
+
+    fn into_frozen(self) -> Result<FrozenKb, NedError> {
+        Ok(FrozenKb::assemble(
+            Self::take(self.entities, "entities")?,
+            Self::take(self.dictionary, "dictionary")?,
+            Self::take(self.links, "links")?,
+            Self::take(self.keyphrases, "keyphrases")?,
+            Self::take(self.weights, "weights")?,
+        ))
+    }
+}
+
+/// Reads one v3 section body, validating the frame's length and checksum.
+fn read_section_body<R: Read>(
+    reader: &mut R,
+    section: &'static str,
+    prelude: &[u8; FRAME_PRELUDE_LEN],
+) -> Result<Vec<u8>, NedError> {
+    let len = u64::from_le_bytes(prelude[1..9].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    let expected_checksum = u64::from_le_bytes(prelude[9..17].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    let mut body = Vec::new();
+    reader
+        .by_ref()
+        .take(len)
+        .read_to_end(&mut body)
+        .map_err(|e| NedError::io("reading snapshot section", e))?;
+    if body.len() as u64 != len {
+        return Err(SnapshotError::SectionTruncated {
+            section,
+            expected: len,
+            actual: body.len() as u64,
+        }
+        .into());
+    }
+    let actual_checksum = fnv1a(&body);
+    if actual_checksum != expected_checksum {
+        return Err(SnapshotError::SectionChecksumMismatch {
+            section,
+            expected: expected_checksum,
+            actual: actual_checksum,
+        }
+        .into());
+    }
+    Ok(body)
+}
+
+/// Reads a snapshot of either format into the read-optimized [`FrozenKb`].
+///
+/// - A **v3** stream decodes section-by-section straight into the flat
+///   arrays, validating each frame's length and checksum independently
+///   ([`SnapshotError::SectionTruncated`] /
+///   [`SnapshotError::SectionChecksumMismatch`] name the failing section).
+///   All five sections are required ([`SnapshotError::MissingSection`]);
+///   an unrecognized tag is rejected ([`SnapshotError::UnknownSection`]).
+/// - A **v2** stream is decoded through the legacy path and frozen on load,
+///   so old snapshots keep working across the migration.
+///
+/// Every decode path funnels through the same constructor, so the transient
+/// indexes (`entity_by_name`, keyphrase inverted index) are always rebuilt —
+/// a loaded KB is indistinguishable from a freshly frozen one.
+pub fn read_frozen_snapshot<R: Read>(mut reader: R) -> Result<FrozenKb, NedError> {
+    let mut header = [0u8; V3_HEADER_LEN];
+    let got = read_up_to(&mut reader, &mut header)
+        .map_err(|e| NedError::io("reading snapshot header", e))?;
+    if got < V3_HEADER_LEN {
+        if got < 6 || &header[..6] != MAGIC { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+            return Err(SnapshotError::BadMagic.into());
+        }
+        return Err(
+            SnapshotError::Truncated { expected: V3_HEADER_LEN as u64, actual: got as u64 }.into()
+        );
+    }
+    if &header[..6] != MAGIC { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+        return Err(SnapshotError::BadMagic.into());
+    }
+    let version = u16::from_le_bytes([header[6], header[7]]); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+    if version == V2_FORMAT_VERSION {
+        // Legacy monolithic body: finish the 24-byte header, decode the
+        // mutable-shaped KB, and freeze it on the way in.
+        let mut rest = [0u8; HEADER_LEN - V3_HEADER_LEN];
+        let got = read_up_to(&mut reader, &mut rest)
+            .map_err(|e| NedError::io("reading snapshot header", e))?;
+        if got < rest.len() {
+            return Err(SnapshotError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: (V3_HEADER_LEN + got) as u64,
+            }
+            .into());
+        }
+        let len = u64::from_le_bytes(rest[..8].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+        let expected_checksum = u64::from_le_bytes(rest[8..16].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+        let kb = read_v2_rest(&mut reader, len, expected_checksum)?;
+        return Ok(FrozenKb::freeze(&kb));
+    }
+    if version != FORMAT_VERSION {
+        return Err(
+            SnapshotError::UnsupportedVersion { found: version, supported: FORMAT_VERSION }.into()
+        );
+    }
+    let mut sections = Sections::default();
+    loop {
+        let mut prelude = [0u8; FRAME_PRELUDE_LEN];
+        let got = read_up_to(&mut reader, &mut prelude)
+            .map_err(|e| NedError::io("reading snapshot section header", e))?;
+        if got == 0 {
+            break; // Clean end of the frame stream.
+        }
+        let Some(section) = section_name(prelude[0]) else { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+            return Err(SnapshotError::UnknownSection { tag: prelude[0] }.into()); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+        };
+        if got < FRAME_PRELUDE_LEN {
+            return Err(SnapshotError::SectionTruncated {
+                section,
+                expected: FRAME_PRELUDE_LEN as u64,
+                actual: got as u64,
+            }
+            .into());
+        }
+        let body = read_section_body(&mut reader, section, &prelude)?;
+        let codec_err =
+            |e: CodecError| NedError::Snapshot(SnapshotError::Codec(format!("{section}: {e}")));
+        match prelude[0] { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
+            tag::ENTITIES => sections.entities = Some(decode(&body).map_err(codec_err)?),
+            tag::DICTIONARY => sections.dictionary = Some(decode(&body).map_err(codec_err)?),
+            tag::LINKS => sections.links = Some(decode(&body).map_err(codec_err)?),
+            tag::KEYPHRASES => sections.keyphrases = Some(decode(&body).map_err(codec_err)?),
+            tag::WEIGHTS => sections.weights = Some(decode(&body).map_err(codec_err)?),
+            other => return Err(SnapshotError::UnknownSection { tag: other }.into()),
+        }
+    }
+    sections.into_frozen()
+}
+
 /// Fills `buf` as far as the stream allows; returns the bytes read. Unlike
 /// `read_exact`, a short stream is reported by count, not an error, so the
 /// caller can distinguish bad magic from truncation.
 fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
+        match reader.read(&mut buf[filled..]) { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
             Ok(0) => break,
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -787,20 +1036,35 @@ mod tests {
         let err = read_snapshot(old.as_slice()).unwrap_err();
         match err {
             NedError::Snapshot(SnapshotError::UnsupportedVersion { found, supported }) => {
-                assert_eq!(supported, FORMAT_VERSION);
-                assert_ne!(found, FORMAT_VERSION);
+                assert_eq!(supported, V2_FORMAT_VERSION);
+                assert_ne!(found, V2_FORMAT_VERSION);
             }
             other => panic!("expected version skew, got {other}"),
         }
-        // A future version is rejected the same way.
+        // The legacy reader only accepts v2 — a v3 header is version skew to
+        // it (read_frozen_snapshot is the version-dispatching loader).
         let kb = sample_kb();
         let mut buf = Vec::new();
         write_snapshot(&kb, &mut buf).unwrap();
-        buf[6..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        buf[6..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
         assert!(matches!(
             read_snapshot(buf.as_slice()),
             Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { .. }))
         ));
+        // A future version is rejected by both readers.
+        let future = FORMAT_VERSION + 1;
+        buf[6..8].copy_from_slice(&future.to_le_bytes());
+        assert!(matches!(
+            read_snapshot(buf.as_slice()),
+            Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { .. }))
+        ));
+        match read_frozen_snapshot(buf.as_slice()).unwrap_err() {
+            NedError::Snapshot(SnapshotError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, future);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected version skew, got {other}"),
+        }
     }
 
     #[test]
@@ -883,5 +1147,125 @@ mod tests {
     fn codec_rejects_truncated_input() {
         let bytes = encode(&"a longer string".to_string()).unwrap();
         assert!(decode::<String>(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    fn assert_frozen_matches(fz: &FrozenKb, kb: &KnowledgeBase) {
+        assert_eq!(fz.entity_count(), kb.entity_count());
+        for e in kb.entity_ids() {
+            assert_eq!(fz.entity(e).canonical_name, kb.entity(e).canonical_name);
+            assert_eq!(fz.keyphrases(e), kb.keyphrases(e));
+            assert_eq!(fz.links().inlinks(e), kb.links().inlinks(e));
+            assert_eq!(fz.links().outlinks(e), kb.links().outlinks(e));
+        }
+        assert_eq!(fz.candidates("Alpha"), kb.candidates("Alpha"));
+        for e in kb.entity_ids() {
+            assert_eq!(fz.prior("Alpha", e).to_bits(), kb.prior("Alpha", e).to_bits());
+        }
+        assert_eq!(fz.keyphrase_index().posting_count(), kb.keyphrase_index().posting_count());
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_frozen_kb() {
+        let kb = sample_kb();
+        let fz = FrozenKb::freeze(&kb);
+        let mut buf = Vec::new();
+        write_frozen_snapshot(&fz, &mut buf).unwrap();
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), FORMAT_VERSION);
+        let fz2 = read_frozen_snapshot(buf.as_slice()).unwrap();
+        assert_frozen_matches(&fz2, &kb);
+        // Numeric weight content survives the section framing.
+        let a = kb.entity_by_name("Alpha Band").unwrap();
+        let w = kb.word_id("rock").unwrap();
+        assert_eq!(fz2.weights().keyword_npmi(a, w), kb.weights().keyword_npmi(a, w));
+    }
+
+    #[test]
+    fn v2_snapshots_freeze_on_load() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), V2_FORMAT_VERSION);
+        let fz = read_frozen_snapshot(buf.as_slice()).unwrap();
+        assert_frozen_matches(&fz, &kb);
+    }
+
+    #[test]
+    fn v3_section_corruption_names_the_section() {
+        let kb = sample_kb();
+        let fz = FrozenKb::freeze(&kb);
+        let mut buf = Vec::new();
+        write_frozen_snapshot(&fz, &mut buf).unwrap();
+        // The first frame after the 8-byte header is the entities section;
+        // flip a byte inside its body.
+        let body_len =
+            u64::from_le_bytes(buf[9..17].try_into().unwrap()) as usize;
+        assert!(body_len > 0);
+        let mut corrupted = buf.clone();
+        corrupted[V3_HEADER_LEN + FRAME_PRELUDE_LEN] ^= 0x01;
+        match read_frozen_snapshot(corrupted.as_slice()).unwrap_err() {
+            NedError::Snapshot(SnapshotError::SectionChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "entities");
+            }
+            other => panic!("expected section checksum mismatch, got {other}"),
+        }
+        // Every single-byte flip anywhere in the stream must error, never
+        // panic or decode garbage.
+        for pos in V3_HEADER_LEN..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[pos] ^= 0xff;
+            assert!(
+                read_frozen_snapshot(corrupted.as_slice()).is_err(),
+                "flip at {pos} slipped through"
+            );
+        }
+        // Truncations at every prefix length must error cleanly too.
+        for cut in 0..buf.len() {
+            assert!(read_frozen_snapshot(&buf[..cut]).is_err(), "cut at {cut} did not error");
+        }
+    }
+
+    #[test]
+    fn v3_missing_section_is_reported() {
+        let kb = sample_kb();
+        let fz = FrozenKb::freeze(&kb);
+        let mut buf = Vec::new();
+        write_frozen_snapshot(&fz, &mut buf).unwrap();
+        // Drop the last frame (weights) by scanning frame lengths.
+        let mut pos = V3_HEADER_LEN;
+        let mut last_frame_start = pos;
+        while pos < buf.len() {
+            last_frame_start = pos;
+            let body_len =
+                u64::from_le_bytes(buf[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            pos += FRAME_PRELUDE_LEN + body_len;
+        }
+        match read_frozen_snapshot(&buf[..last_frame_start]).unwrap_err() {
+            NedError::Snapshot(SnapshotError::MissingSection { section }) => {
+                assert_eq!(section, "weights");
+            }
+            other => panic!("expected missing section, got {other}"),
+        }
+    }
+
+    #[test]
+    fn v3_unknown_tag_is_rejected() {
+        let kb = sample_kb();
+        let fz = FrozenKb::freeze(&kb);
+        let mut buf = Vec::new();
+        write_frozen_snapshot(&fz, &mut buf).unwrap();
+        let mut corrupted = buf.clone();
+        corrupted[V3_HEADER_LEN] = 0x77; // entities frame tag → nonsense
+        match read_frozen_snapshot(corrupted.as_slice()).unwrap_err() {
+            NedError::Snapshot(SnapshotError::UnknownSection { tag }) => assert_eq!(tag, 0x77),
+            other => panic!("expected unknown section, got {other}"),
+        }
+    }
+
+    #[test]
+    fn v3_rejects_bad_magic() {
+        let err = read_frozen_snapshot(&b"NOTAKB03"[..]).unwrap_err();
+        assert!(matches!(err, NedError::Snapshot(SnapshotError::BadMagic)), "{err}");
+        let err = read_frozen_snapshot(&b"AI"[..]).unwrap_err();
+        assert!(matches!(err, NedError::Snapshot(SnapshotError::BadMagic)), "{err}");
     }
 }

@@ -189,6 +189,30 @@ impl WeightModel {
     pub fn phrase_mi_row(&self, e: EntityId) -> &[(PhraseId, f64)] {
         &self.entity_phrase_mi[e.index()]
     }
+
+    /// Approximate heap footprint of the model in bytes (array payloads
+    /// plus the per-row `Vec` headers of the sparse weight rows).
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let row_bytes = |rows: &[Vec<(WordId, f64)>]| -> usize {
+            rows.iter()
+                .map(|r| r.len() * size_of::<(WordId, f64)>() + size_of::<Vec<(WordId, f64)>>())
+                .sum()
+        };
+        let phrase_row_bytes = |rows: &[Vec<(PhraseId, f64)>]| -> usize {
+            rows.iter()
+                .map(|r| {
+                    r.len() * size_of::<(PhraseId, f64)>() + size_of::<Vec<(PhraseId, f64)>>()
+                })
+                .sum()
+        };
+        self.word_idf.len() * size_of::<f64>()
+            + self.phrase_idf.len() * size_of::<f64>()
+            + self.word_super_df.len() * size_of::<u32>()
+            + self.phrase_super_df.len() * size_of::<u32>()
+            + row_bytes(&self.entity_word_npmi)
+            + phrase_row_bytes(&self.entity_phrase_mi)
+    }
 }
 
 /// Collects the distinct words and phrases of an entity's superdocument.

@@ -5,24 +5,27 @@
 //! *better* than Milne–Witten. It is included both as an additional
 //! coherence option and as a baseline row for the relatedness experiments.
 
-use ned_kb::{EntityId, KnowledgeBase};
+use ned_kb::{EntityId, KbView};
 
 use crate::traits::Relatedness;
 
 /// Jaccard similarity of in-link sets: `|Ie ∩ If| / |Ie ∪ If|`.
+///
+/// Generic over the KB representation, like
+/// [`MilneWitten`](crate::MilneWitten).
 #[derive(Debug, Clone, Copy)]
-pub struct InlinkJaccard<'a> {
-    kb: &'a KnowledgeBase,
+pub struct InlinkJaccard<K> {
+    kb: K,
 }
 
-impl<'a> InlinkJaccard<'a> {
+impl<K: KbView> InlinkJaccard<K> {
     /// Creates the measure over `kb`.
-    pub fn new(kb: &'a KnowledgeBase) -> Self {
+    pub fn new(kb: K) -> Self {
         InlinkJaccard { kb }
     }
 }
 
-impl Relatedness for InlinkJaccard<'_> {
+impl<K: KbView> Relatedness for InlinkJaccard<K> {
     fn name(&self) -> &'static str {
         "Jaccard"
     }
@@ -47,7 +50,7 @@ impl Relatedness for InlinkJaccard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
 
     fn kb() -> (KnowledgeBase, EntityId, EntityId, EntityId) {
         let mut b = KbBuilder::new();

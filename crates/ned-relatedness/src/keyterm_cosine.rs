@@ -11,7 +11,7 @@
 //!   was taken from.
 
 use ned_kb::fx::FxHashMap;
-use ned_kb::{EntityId, KnowledgeBase, PhraseId, WordId};
+use ned_kb::{EntityId, KbView, PhraseId, WordId};
 
 use crate::traits::Relatedness;
 
@@ -60,7 +60,7 @@ pub struct KeyphraseCosine {
 
 impl KeyphraseCosine {
     /// Precomputes the phrase vector of every entity in `kb`.
-    pub fn new(kb: &KnowledgeBase) -> Self {
+    pub fn new<K: KbView>(kb: &K) -> Self {
         let weights = kb.weights();
         let vectors = kb
             .entity_ids()
@@ -97,7 +97,7 @@ pub struct KeywordCosine {
 
 impl KeywordCosine {
     /// Precomputes the keyword vector of every entity in `kb`.
-    pub fn new(kb: &KnowledgeBase) -> Self {
+    pub fn new<K: KbView>(kb: &K) -> Self {
         let weights = kb.weights();
         let vectors = kb
             .entity_ids()
@@ -139,7 +139,7 @@ impl Relatedness for KeywordCosine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
 
     /// Three musicians sharing phrases, one unrelated politician.
     fn kb() -> (KnowledgeBase, Vec<EntityId>) {

@@ -20,7 +20,7 @@
 //! [0, 1].
 
 use ned_kb::fx::FxHashMap;
-use ned_kb::{EntityId, KnowledgeBase, PhraseId, WordId};
+use ned_kb::{EntityId, KbView, PhraseId, WordId};
 
 use crate::traits::Relatedness;
 
@@ -51,9 +51,10 @@ pub struct Kore {
 
 impl Kore {
     /// Precomputes phrase keyword weights and entity phrase weights.
-    pub fn new(kb: &KnowledgeBase) -> Self {
+    /// `Kore` owns its precomputation and keeps no reference to `kb`.
+    pub fn new<K: KbView>(kb: &K) -> Self {
         let weights = kb.weights();
-        let phrase_infos = (0..kb.phrase_interner().len())
+        let phrase_infos = (0..kb.phrase_count())
             .map(|pi| {
                 let p = PhraseId::from_index(pi);
                 let mut words: Vec<(WordId, f64)> = kb
@@ -172,7 +173,7 @@ impl Relatedness for Kore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
 
     /// Nick Cave / Hallelujah (song) fixture from §4.1: the song is
     /// link-poor but shares salient keyphrases with the singer.

@@ -6,24 +6,28 @@
 //! entities. The measure depends entirely on the richness of the link graph,
 //! which is exactly the limitation KORE addresses for long-tail entities.
 
-use ned_kb::{EntityId, KnowledgeBase};
+use ned_kb::{EntityId, KbView};
 
 use crate::traits::Relatedness;
 
 /// Milne–Witten relatedness over a knowledge base's link graph.
+///
+/// Generic over the KB representation: pass `&KnowledgeBase` for the legacy
+/// borrowed style or (a clone of) an `Arc<FrozenKb>` for the shared-handle
+/// service style.
 #[derive(Debug, Clone, Copy)]
-pub struct MilneWitten<'a> {
-    kb: &'a KnowledgeBase,
+pub struct MilneWitten<K> {
+    kb: K,
 }
 
-impl<'a> MilneWitten<'a> {
+impl<K: KbView> MilneWitten<K> {
     /// Creates the measure over `kb`.
-    pub fn new(kb: &'a KnowledgeBase) -> Self {
+    pub fn new(kb: K) -> Self {
         MilneWitten { kb }
     }
 }
 
-impl Relatedness for MilneWitten<'_> {
+impl<K: KbView> Relatedness for MilneWitten<K> {
     fn name(&self) -> &'static str {
         "MW"
     }
@@ -57,7 +61,7 @@ impl Relatedness for MilneWitten<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
 
     /// 6 entities: `a` and `b` share two in-linkers, `c` shares none.
     fn kb() -> (KnowledgeBase, EntityId, EntityId, EntityId) {

@@ -18,7 +18,7 @@
 //!   pruning, order-of-magnitude fewer comparisons.
 
 use ned_kb::fx::{FxHashMap, FxHashSet};
-use ned_kb::{EntityId, KnowledgeBase, PhraseId};
+use ned_kb::{EntityId, KbView, PhraseId};
 
 use crate::kore::Kore;
 use crate::lsh::{Banding, LshTable};
@@ -86,10 +86,11 @@ impl std::fmt::Debug for KoreLsh {
 
 impl KoreLsh {
     /// Precomputes stage-1 phrase buckets and stage-2 entity sketches for
-    /// all entities of `kb`.
-    pub fn new(kb: &KnowledgeBase, config: TwoStageConfig) -> Self {
+    /// all entities of `kb`. Like [`Kore`], the result owns all of its
+    /// precomputation and keeps no reference to `kb`.
+    pub fn new<K: KbView>(kb: &K, config: TwoStageConfig) -> Self {
         let phrase_hasher = MinHasher::new(config.phrase_banding.sketch_len(), config.seed);
-        let n_phrases = kb.phrase_interner().len();
+        let n_phrases = kb.phrase_count();
         let mut phrase_buckets: Vec<Vec<u64>> = Vec::with_capacity(n_phrases);
         for pi in 0..n_phrases {
             let p = PhraseId::from_index(pi);
@@ -223,7 +224,7 @@ pub fn all_pairs_relatedness<M: Relatedness>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ned_kb::{EntityKind, KbBuilder};
+    use ned_kb::{EntityKind, KbBuilder, KnowledgeBase};
 
     /// Two clusters of entities with heavy intra-cluster phrase sharing.
     fn kb() -> (KnowledgeBase, Vec<EntityId>) {

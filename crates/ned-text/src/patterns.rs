@@ -32,7 +32,7 @@ const MIN_TERM_TOKENS: usize = 1;
 ///
 /// Proper-noun runs are always extracted; technical terms (adjective/noun
 /// sequences with an optional single embedded preposition, ending in a noun)
-/// are extracted when at least [`MIN_TERM_TOKENS`] long. Overlapping
+/// are extracted when at least `MIN_TERM_TOKENS` long. Overlapping
 /// candidates are allowed — weighting downstream decides salience.
 pub fn extract_phrases(tokens: &[Token], tags: &[PosTag]) -> Vec<PhraseCandidate> {
     assert_eq!(tokens.len(), tags.len());

@@ -38,6 +38,15 @@
 //! let mentions = vec![Mention::new("Kashmir", 2, 3)];
 //! let result = aida.disambiguate(&tokens, &mentions);
 //! assert_eq!(result.labels()[0], kb.entity_by_name("Kashmir (song)"));
+//!
+//! // Service configuration: freeze the KB into its columnar read form and
+//! // share one handle across threads. Outputs are byte-identical.
+//! use std::sync::Arc;
+//! use aida_ned::kb::FrozenKb;
+//! let frozen = Arc::new(FrozenKb::freeze(&kb));
+//! let service =
+//!     Disambiguator::new(frozen.clone(), MilneWitten::new(frozen.clone()), AidaConfig::full());
+//! assert_eq!(service.disambiguate(&tokens, &mentions).labels(), result.labels());
 //! ```
 
 /// Fault-tolerance substrate: the typed error taxonomy and degradation

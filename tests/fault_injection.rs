@@ -21,7 +21,9 @@ use std::sync::{Once, OnceLock};
 
 use aida_ned::aida::{AidaConfig, Disambiguator, NedMethod};
 use aida_ned::core::{NedError, SnapshotError};
-use aida_ned::kb::snapshot::{read_snapshot, write_snapshot, FORMAT_VERSION};
+use aida_ned::kb::snapshot::{
+    read_frozen_snapshot, read_snapshot, write_snapshot, FORMAT_VERSION, V2_FORMAT_VERSION,
+};
 use aida_ned::kb::{EntityId, EntityKind, KbBuilder};
 use aida_ned::relatedness::{MilneWitten, Relatedness};
 use aida_ned::text::tokenize;
@@ -105,7 +107,10 @@ fn test_env() -> (ExportedKb, Vec<GoldDoc>) {
     (exported, corpus.docs)
 }
 
-fn outcome_with<R: Relatedness>(aida: &Disambiguator<'_, R>, doc: &GoldDoc) -> DocOutcome {
+fn outcome_with<K: ned_kb::KbView, R: Relatedness>(
+    aida: &Disambiguator<K, R>,
+    doc: &GoldDoc,
+) -> DocOutcome {
     let mentions = doc.bare_mentions();
     let result = aida.disambiguate(&doc.tokens, &mentions);
     DocOutcome {
@@ -327,15 +332,23 @@ fn bitflipped_snapshot_fixture_yields_typed_errors() {
 fn version_skew_is_reported_as_unsupported() {
     let bytes = snapshot_fixture();
 
-    // A future format version.
+    // A future format version. The legacy reader only speaks v2; the
+    // version-dispatching frozen reader speaks v2 and v3.
     let mut future = bytes.to_vec();
     future[6..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
     match read_snapshot(future.as_slice()) {
         Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
             assert_eq!(found, FORMAT_VERSION + 1);
-            assert_eq!(supported, FORMAT_VERSION);
+            assert_eq!(supported, V2_FORMAT_VERSION);
         }
         other => panic!("expected version skew, got {other:?}"),
+    }
+    match read_frozen_snapshot(future.as_slice()) {
+        Err(NedError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected version skew from frozen reader, got {other:?}"),
     }
 
     // The legacy v1 layout started with the ASCII tag "AIDAKB01"; its "01"

@@ -1,0 +1,205 @@
+//! Property-based equivalence of the frozen columnar KB and the legacy KB.
+//!
+//! [`FrozenKb::freeze`] is a pure re-layout: every read answer — candidate
+//! lists, priors, link neighborhoods, keyphrase sets, interner lookups,
+//! similarity scores, and full joint disambiguation — must be *identical*
+//! to the legacy [`KnowledgeBase`], down to the bit pattern of every float.
+//! These properties drive randomly built worlds through both
+//! representations side by side.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use aida_ned::aida::context::DocumentContext;
+use aida_ned::aida::similarity::simscore;
+use aida_ned::aida::{AidaConfig, Disambiguator, KeywordWeighting, NedMethod};
+use aida_ned::kb::{EntityKind, FrozenKb, KbBuilder, KbView, KnowledgeBase};
+use aida_ned::relatedness::MilneWitten;
+use aida_ned::text::{tokenize, Mention};
+use proptest::prelude::*;
+
+/// (surface, anchor/occurrence count) pairs of one entity.
+type WeightedSurfaces = Vec<(String, u64)>;
+
+/// A randomly generated world, small enough to disambiguate in
+/// milliseconds but rich enough to cover ambiguity, links, and keyphrases.
+#[derive(Debug, Clone)]
+struct WorldSpec {
+    /// Per entity: (names with counts, keyphrases with counts).
+    entities: Vec<(WeightedSurfaces, WeightedSurfaces)>,
+    /// Directed links as index pairs (taken modulo the entity count).
+    links: Vec<(usize, usize)>,
+    /// Document context words.
+    context: Vec<String>,
+    /// Indexes into the name pool, selecting mention surfaces.
+    mention_picks: Vec<usize>,
+}
+
+fn world_strategy() -> impl Strategy<Value = WorldSpec> {
+    let name = "[a-d]{1,3}";
+    let phrase = proptest::collection::vec("[a-e]{1,4}", 1..4);
+    let entity = (
+        proptest::collection::vec((name, 1u64..100), 1..3),
+        proptest::collection::vec((phrase, 1u64..6), 0..4),
+    )
+        .prop_map(|(names, phrases)| {
+            let phrases =
+                phrases.into_iter().map(|(ws, c)| (ws.join(" "), c)).collect::<Vec<_>>();
+            (names, phrases)
+        });
+    (
+        proptest::collection::vec(entity, 1..10),
+        proptest::collection::vec((0usize..64, 0usize..64), 0..30),
+        proptest::collection::vec("[a-g]{1,4}", 0..25),
+        proptest::collection::vec(0usize..64, 0..5),
+    )
+        .prop_map(|(entities, links, context, mention_picks)| WorldSpec {
+            entities,
+            links,
+            context,
+            mention_picks,
+        })
+}
+
+/// Builds the legacy KB from a spec; returns the KB and its name pool.
+fn build_world(spec: &WorldSpec) -> (KnowledgeBase, Vec<String>) {
+    let mut builder = KbBuilder::new();
+    let mut ids = Vec::new();
+    let mut name_pool = Vec::new();
+    for (i, (names, phrases)) in spec.entities.iter().enumerate() {
+        let e = builder.add_entity(&format!("Entity {i}"), EntityKind::Other);
+        for (name, count) in names {
+            builder.add_name(e, name, *count);
+            name_pool.push(name.clone());
+        }
+        for (surface, count) in phrases {
+            builder.add_keyphrase(e, surface, *count);
+        }
+        ids.push(e);
+    }
+    for &(a, b) in &spec.links {
+        let (src, dst) = (ids[a % ids.len()], ids[b % ids.len()]);
+        if src != dst {
+            builder.add_link(src, dst);
+        }
+    }
+    (builder.build(), name_pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every primitive read answer agrees between the representations:
+    /// entities, dictionary (candidates + priors + iteration order), link
+    /// neighborhoods, keyphrase sets, interners, and weights-backed
+    /// similarity.
+    #[test]
+    fn frozen_reads_match_legacy(spec in world_strategy()) {
+        let (kb, name_pool) = build_world(&spec);
+        let frozen = FrozenKb::freeze(&kb);
+
+        // Entity table and canonical-name index.
+        prop_assert_eq!(frozen.entity_count(), kb.entity_count());
+        for e in kb.entity_ids() {
+            prop_assert_eq!(frozen.entity(e), kb.entity(e));
+            let name = &kb.entity(e).canonical_name;
+            prop_assert_eq!(frozen.entity_by_name(name), kb.entity_by_name(name));
+        }
+
+        // Dictionary: candidates and priors per surface (known and unknown),
+        // and the full iteration in ascending key order.
+        for surface in name_pool.iter().map(String::as_str).chain(["zz", "Qx"]) {
+            prop_assert_eq!(
+                KbView::candidates(&frozen, surface),
+                KbView::candidates(&kb, surface)
+            );
+            for e in kb.entity_ids() {
+                let fp = KbView::prior(&frozen, surface, e);
+                let lp = KbView::prior(&kb, surface, e);
+                prop_assert_eq!(fp.to_bits(), lp.to_bits(), "prior({}, {:?})", surface, e);
+            }
+        }
+        let frozen_entries: Vec<_> = KbView::dictionary(&frozen).iter().collect();
+        let legacy_entries: Vec<_> = KbView::dictionary(&kb).iter().collect();
+        prop_assert_eq!(frozen_entries, legacy_entries);
+
+        // Link neighborhoods, sorted slices on both sides.
+        prop_assert_eq!(frozen.links().edge_count(), kb.links().edge_count());
+        for e in kb.entity_ids() {
+            prop_assert_eq!(frozen.links().inlinks(e), kb.links().inlinks(e));
+            prop_assert_eq!(frozen.links().outlinks(e), kb.links().outlinks(e));
+        }
+
+        // Keyphrase sets, phrase decompositions, and interners.
+        prop_assert_eq!(frozen.word_count(), KbView::word_count(&kb));
+        prop_assert_eq!(frozen.phrase_count(), KbView::phrase_count(&kb));
+        for e in kb.entity_ids() {
+            prop_assert_eq!(KbView::keyphrases(&frozen, e), KbView::keyphrases(&kb, e));
+            for ep in KbView::keyphrases(&kb, e) {
+                prop_assert_eq!(
+                    KbView::phrase_words(&frozen, ep.phrase),
+                    KbView::phrase_words(&kb, ep.phrase)
+                );
+                prop_assert_eq!(
+                    KbView::phrase_surface(&frozen, ep.phrase),
+                    KbView::phrase_surface(&kb, ep.phrase)
+                );
+            }
+        }
+
+        // Similarity: the weights and the kp-index survive freezing bit for
+        // bit.
+        let tokens = tokenize(&spec.context.join(" "));
+        let legacy_ctx = DocumentContext::build(&kb, &tokens).words;
+        let frozen_ctx = DocumentContext::build(&frozen, &tokens).words;
+        prop_assert_eq!(&frozen_ctx, &legacy_ctx);
+        for e in kb.entity_ids() {
+            for weighting in [KeywordWeighting::Npmi, KeywordWeighting::Idf] {
+                let f = simscore(&frozen, e, &frozen_ctx, weighting);
+                let l = simscore(&kb, e, &legacy_ctx, weighting);
+                prop_assert_eq!(f.to_bits(), l.to_bits(), "simscore({:?}) {} vs {}", e, f, l);
+            }
+        }
+    }
+
+    /// Full joint disambiguation through an `Arc<FrozenKb>` service handle
+    /// is byte-identical to the borrowed legacy path: same entity choices,
+    /// same score bits, same per-candidate score lists, same degradation.
+    #[test]
+    fn frozen_disambiguation_is_byte_identical(spec in world_strategy()) {
+        let (kb, name_pool) = build_world(&spec);
+        let frozen = Arc::new(FrozenKb::freeze(&kb));
+
+        // Compose a document: the context words followed by the mention
+        // surfaces (single-token by construction), each mention spanning its
+        // own token. Always at least one mention, so the joint solver runs.
+        let mut words = spec.context.clone();
+        let mut mentions = Vec::new();
+        for &pick in spec.mention_picks.iter().chain([&0usize]) {
+            let surface = &name_pool[pick % name_pool.len()];
+            mentions.push(Mention::new(surface.clone(), words.len(), words.len() + 1));
+            words.push(surface.clone());
+        }
+        let tokens = tokenize(&words.join(" "));
+
+        let legacy_aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full());
+        let frozen_aida =
+            Disambiguator::new(frozen.clone(), MilneWitten::new(frozen.clone()), AidaConfig::full());
+        let legacy = legacy_aida.disambiguate(&tokens, &mentions);
+        let frozen_result = frozen_aida.disambiguate(&tokens, &mentions);
+
+        prop_assert_eq!(frozen_result.degradation, legacy.degradation);
+        prop_assert_eq!(frozen_result.assignments.len(), legacy.assignments.len());
+        for (fa, la) in frozen_result.assignments.iter().zip(&legacy.assignments) {
+            prop_assert_eq!(fa.mention_index, la.mention_index);
+            prop_assert_eq!(fa.entity, la.entity);
+            prop_assert_eq!(fa.score.to_bits(), la.score.to_bits());
+            prop_assert_eq!(fa.candidate_scores.len(), la.candidate_scores.len());
+            for (&(fe, fs), &(le, ls)) in fa.candidate_scores.iter().zip(&la.candidate_scores) {
+                prop_assert_eq!(fe, le);
+                prop_assert_eq!(fs.to_bits(), ls.to_bits());
+            }
+        }
+    }
+}

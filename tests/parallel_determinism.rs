@@ -4,14 +4,18 @@
 //! changing a single bit of any score. This must hold on the degraded
 //! rungs of the fault-tolerance ladder too: a solver budget that forces
 //! fallbacks fires at deterministic algorithmic points, so degraded runs
-//! are just as reproducible.
+//! are just as reproducible. The frozen columnar read path is held to the
+//! same bar: an `Arc<FrozenKb>` service handle must reproduce the
+//! borrowed-KB outcomes bit for bit at every thread count.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
 
 use aida_ned::aida::context::DocumentContext;
 use aida_ned::aida::similarity::{simscore, simscore_exhaustive};
 use aida_ned::aida::{AidaConfig, Disambiguator, KeywordWeighting};
-use aida_ned::kb::{EntityKind, KbBuilder};
+use aida_ned::kb::{EntityKind, FrozenKb, KbBuilder};
 use aida_ned::relatedness::{CachedRelatedness, MilneWitten};
 use aida_ned::text::tokenize;
 use aida_ned::wikigen::config::WorldConfig;
@@ -57,6 +61,35 @@ fn thread_count_does_not_change_outcomes() {
         let parallel =
             run_method_with_threads(&method, &corpus.docs, threads).expect("thread pool");
         assert_identical(&baseline, &parallel, threads);
+    }
+}
+
+#[test]
+fn frozen_kb_path_is_byte_identical_to_legacy_at_every_thread_count() {
+    let world = World::generate(WorldConfig {
+        entities_per_topic: 120,
+        ..WorldConfig::default()
+    });
+    let exported = ExportedKb::build(&world);
+    let corpus = conll_like(&world, &exported, 11, 16);
+    let kb = &exported.kb;
+
+    // The legacy borrowed-KB path is the reference.
+    let cached = CachedRelatedness::new(MilneWitten::new(kb));
+    let method = Disambiguator::new(kb, &cached, AidaConfig::full());
+    let baseline = run_method_with_threads(&method, &corpus.docs, 1).expect("thread pool");
+    assert!(!baseline.docs.is_empty());
+
+    // The service configuration: one frozen KB behind a shared Arc handle,
+    // fanned out across rayon workers. Same labels, same statuses, same
+    // confidence bits, for any thread count.
+    let frozen = Arc::new(FrozenKb::freeze(kb));
+    let frozen_cached = CachedRelatedness::new(MilneWitten::new(frozen.clone()));
+    let frozen_method = Disambiguator::new(frozen.clone(), &frozen_cached, AidaConfig::full());
+    for threads in [1usize, 2, 4, 8] {
+        let run =
+            run_method_with_threads(&frozen_method, &corpus.docs, threads).expect("thread pool");
+        assert_identical(&baseline, &run, threads);
     }
 }
 
