@@ -14,11 +14,11 @@
 //!    mention; enumerate all combinations when feasible, otherwise run a
 //!    deterministic local search, maximizing the total edge weight.
 
-use std::time::Instant;
-
 use ned_core::NedError;
+use ned_obs::Clock;
 
 use crate::graph::MentionEntityGraph;
+use crate::obs::SolverObs;
 
 /// Parameters of the solver (a slice of [`crate::AidaConfig`]).
 #[derive(Debug, Clone, Copy)]
@@ -60,21 +60,23 @@ impl Default for SolverConfig {
 struct Budget {
     spent: u64,
     max: u64,
-    started: Instant,
+    started_ns: u64,
     wall_ms: Option<u64>,
+    clock: Clock,
 }
 
 impl Budget {
-    fn new(config: &SolverConfig) -> Self {
+    fn new(config: &SolverConfig, clock: &Clock) -> Self {
         Budget {
             spent: 0,
             max: config.max_iterations,
             // The wall clock bounds *runtime*, never influences *results*:
             // exhaustion yields a typed BudgetExhausted error, not a
-            // different answer.
-            // ned-lint: allow(d3)
-            started: Instant::now(),
+            // different answer. With no wall budget the clock is never
+            // consulted at all.
+            started_ns: if config.wall_budget_ms.is_some() { clock.now_nanos() } else { 0 },
             wall_ms: config.wall_budget_ms,
+            clock: clock.clone(),
         }
     }
 
@@ -87,7 +89,8 @@ impl Budget {
         }
         if let Some(budget_ms) = self.wall_ms {
             if self.spent.is_multiple_of(1024) {
-                let elapsed_ms = self.started.elapsed().as_millis() as u64;
+                let elapsed_ms =
+                    self.clock.now_nanos().saturating_sub(self.started_ns) / 1_000_000;
                 if elapsed_ms > budget_ms {
                     return Err(NedError::DeadlineExceeded { elapsed_ms, budget_ms });
                 }
@@ -110,24 +113,49 @@ pub fn solve(graph: &MentionEntityGraph, config: &SolverConfig) -> Vec<Option<us
     solve_budgeted(graph, &unbounded).unwrap_or_else(|_| vec![None; graph.mention_count])
 }
 
+/// [`solve_budgeted`] with a system clock and disabled counters.
+pub fn solve_budgeted(
+    graph: &MentionEntityGraph,
+    config: &SolverConfig,
+) -> Result<Vec<Option<usize>>, NedError> {
+    solve_budgeted_observed(graph, config, &Clock::system(), &SolverObs::default())
+}
+
 /// Solves the graph under the configured iteration/wall budget.
 ///
 /// On exhaustion, returns [`NedError::BudgetExhausted`] (deterministic) or
 /// [`NedError::DeadlineExceeded`] (wall budget, opt-in): the caller — the
 /// disambiguator's degradation ladder — falls back to local features
 /// instead of stalling the whole batch on one adversarial document.
-pub fn solve_budgeted(
+///
+/// Wall-clock reads go through `clock` (only when a wall budget is set);
+/// `obs` receives the solver's work counters, all of which count
+/// deterministic algorithmic steps.
+pub fn solve_budgeted_observed(
     graph: &MentionEntityGraph,
     config: &SolverConfig,
+    clock: &Clock,
+    obs: &SolverObs,
 ) -> Result<Vec<Option<usize>>, NedError> {
     let n = graph.entity_count();
     if n == 0 {
         return Ok(vec![None; graph.mention_count]);
     }
-    let mut budget = Budget::new(config);
-    let mut active = prune_distant_entities(graph, config, &mut budget)?;
-    let best_active = greedy_min_degree(graph, &mut active, &mut budget)?;
-    postprocess(graph, &best_active, config, &mut budget)
+    obs.invocations.inc();
+    let mut budget = Budget::new(config, clock);
+    let result = (|| {
+        let mut active = prune_distant_entities(graph, config, &mut budget)?;
+        obs.entities_pruned.add(active.iter().filter(|&&a| !a).count() as u64);
+        let best_active = greedy_min_degree(graph, &mut active, &mut budget, obs)?;
+        postprocess(graph, &best_active, config, &mut budget)
+    })();
+    // `spent` is the ladder's iteration currency; record it whether the
+    // solve finished or exhausted, so totals reflect work actually done.
+    obs.iterations.add(budget.spent);
+    if result.is_err() {
+        obs.budget_exhausted.inc();
+    }
+    result
 }
 
 /// Phase 1: keep the `factor × #mentions` entities with the smallest sum of
@@ -255,6 +283,7 @@ fn greedy_min_degree(
     graph: &MentionEntityGraph,
     active: &mut [bool],
     budget: &mut Budget,
+    obs: &SolverObs,
 ) -> Result<Vec<bool>, NedError> {
     let n = graph.entity_count();
     let mut degree: Vec<f64> = (0..n)
@@ -291,9 +320,19 @@ fn greedy_min_degree(
                 .iter()
                 .any(|&(m, _)| remaining[m] <= 1 && graph.mention_candidates[m].contains(&v))
         };
+        let mut taboo_now = 0u64;
         let victim = (0..n)
-            .filter(|&v| active[v] && !is_taboo(v))
+            .filter(|&v| active[v])
+            .filter(|&v| {
+                if is_taboo(v) {
+                    taboo_now += 1;
+                    false
+                } else {
+                    true
+                }
+            })
             .min_by(|&a, &b| degree[a].total_cmp(&degree[b]));
+        obs.taboo_hits.add(taboo_now);
         let Some(v) = victim else { break };
         // Remove v and update neighbour degrees.
         active[v] = false;
@@ -605,6 +644,60 @@ mod tests {
         let a = solve(&graph, &SolverConfig::default());
         let b = solve(&graph, &SolverConfig::default());
         assert_eq!(a, b);
+    }
+
+    /// One mention with 2000 candidates: the pruning phase's Dijkstra pops
+    /// every node, charging > 1024 units and crossing the wall-clock
+    /// sampling cadence before any greedy shrinking happens.
+    fn wide_graph() -> MentionEntityGraph {
+        let local: Vec<Vec<(EntityId, f64)>> =
+            vec![(0..2000u32).map(|ci| (e(ci), 0.5)).collect()];
+        MentionEntityGraph::build(&local, &TableRel(vec![]), 0.4, true)
+    }
+
+    #[test]
+    fn manual_clock_deadline_is_deterministic() {
+        let config = SolverConfig { wall_budget_ms: Some(5), ..Default::default() };
+        // Advance the hand *after* the budget reads its start time — as if
+        // 10 ms passed mid-solve — and charge up to the sampling point.
+        let (clock, hand) = Clock::manual();
+        let mut budget = Budget::new(&config, &clock);
+        hand.advance_ms(10);
+        for _ in 0..1023 {
+            budget.charge().expect("below the sampling cadence");
+        }
+        let err = budget.charge();
+        assert!(matches!(err, Err(NedError::DeadlineExceeded { .. })), "{err:?}");
+        // The whole solver under an idle manual clock: the wall budget
+        // never trips, no real time involved.
+        let graph = wide_graph();
+        let (idle, _hand) = Clock::manual();
+        let result = solve_budgeted_observed(&graph, &config, &idle, &SolverObs::default());
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn solver_counters_track_work_and_exhaustion() {
+        use ned_obs::{names, Metrics};
+        let graph = wide_graph();
+        let metrics = Metrics::new();
+        let obs = SolverObs::new(&metrics);
+        let ok = solve_budgeted_observed(
+            &graph,
+            &SolverConfig::default(),
+            &Clock::null(),
+            &obs,
+        );
+        assert!(ok.is_ok());
+        assert_eq!(metrics.counter_value(names::AIDA_SOLVER_INVOCATIONS), 1);
+        assert!(metrics.counter_value(names::AIDA_SOLVER_ITERATIONS) > 1024);
+        assert!(metrics.counter_value(names::AIDA_SOLVER_ENTITIES_PRUNED) > 0);
+        assert_eq!(metrics.counter_value(names::AIDA_SOLVER_BUDGET_EXHAUSTED), 0);
+        let starved = SolverConfig { max_iterations: 10, ..Default::default() };
+        let err = solve_budgeted_observed(&graph, &starved, &Clock::null(), &obs);
+        assert!(matches!(err, Err(NedError::BudgetExhausted { .. })));
+        assert_eq!(metrics.counter_value(names::AIDA_SOLVER_BUDGET_EXHAUSTED), 1);
+        assert_eq!(metrics.counter_value(names::AIDA_SOLVER_INVOCATIONS), 2);
     }
 
     #[test]

@@ -10,7 +10,8 @@ use ned_text::Mention;
 use rayon::prelude::*;
 
 use crate::config::KeywordWeighting;
-use crate::similarity::{context_word_set, simscore_indexed};
+use crate::obs::PipelineObs;
+use crate::similarity::{context_word_set, simscore_observed};
 
 /// Local (per-mention) features of one candidate entity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +47,22 @@ pub fn candidate_features_for_surface<K: KbView + ?Sized>(
     context: &[(usize, WordId)],
     weighting: KeywordWeighting,
 ) -> Vec<CandidateFeatures> {
+    candidate_features_observed(kb, surface, context, weighting, &PipelineObs::default())
+}
+
+/// [`candidate_features_for_surface`] with pipeline work counters
+/// (candidates considered, similarity plan/scan accounting). Counters are
+/// atomic adds, so the par_iter fan-out records identical totals at any
+/// thread count.
+pub fn candidate_features_observed<K: KbView + ?Sized>(
+    kb: &K,
+    surface: &str,
+    context: &[(usize, WordId)],
+    weighting: KeywordWeighting,
+    obs: &PipelineObs,
+) -> Vec<CandidateFeatures> {
     let cands = kb.candidates(surface);
+    obs.candidates_considered.add(cands.len() as u64);
     // One index query set for all candidates of this mention.
     let context_words = context_word_set(context);
     // The similarity score dominates; evaluate candidates in parallel
@@ -56,7 +72,7 @@ pub fn candidate_features_for_surface<K: KbView + ?Sized>(
         .map(|c| CandidateFeatures {
             entity: c.entity,
             prior: kb.prior(surface, c.entity),
-            sim: simscore_indexed(kb, c.entity, context, &context_words, weighting),
+            sim: simscore_observed(kb, c.entity, context, &context_words, weighting, &obs.sim),
             sim_normalized: 0.0,
         })
         .collect();

@@ -4,17 +4,19 @@
 
 use ned_core::{DegradationLevel, NedError};
 use ned_kb::{EntityId, KbView};
+use ned_obs::{names, Clock, Metrics};
 use ned_relatedness::Relatedness;
 use ned_text::{Mention, Token};
 use rayon::prelude::*;
 
-use crate::algorithm::{solve_budgeted, SolverConfig};
-use crate::candidates::{candidate_features_for_surface, CandidateFeatures};
+use crate::algorithm::{solve_budgeted_observed, SolverConfig};
+use crate::candidates::{candidate_features_observed, CandidateFeatures};
 use crate::expansion::expansion_targets;
 use crate::config::AidaConfig;
 use crate::context::DocumentContext;
 use crate::graph::MentionEntityGraph;
 use crate::method::NedMethod;
+use crate::obs::PipelineObs;
 use crate::result::{DisambiguationResult, MentionAssignment};
 use crate::robustness::{local_weights, should_fix_mention};
 
@@ -29,6 +31,8 @@ pub struct Disambiguator<K, R> {
     kb: K,
     relatedness: R,
     config: AidaConfig,
+    obs: PipelineObs,
+    clock: Clock,
 }
 
 // Manual Debug: `R` need not be Debug and the KB handle would dump the
@@ -63,7 +67,34 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
         config
             .validate()
             .map_err(|message| NedError::Config { what: "AidaConfig", message })?;
-        Ok(Disambiguator { kb, relatedness, config })
+        Ok(Disambiguator {
+            kb,
+            relatedness,
+            config,
+            // Metrics are opt-in; the solver's wall budget defaults to the
+            // system clock so `solver_wall_budget_ms` keeps firing without
+            // any observability setup.
+            obs: PipelineObs::default(),
+            clock: Clock::system(),
+        })
+    }
+
+    /// Records pipeline counters and stage spans into `metrics` (builder
+    /// style). Counters are deterministic; span durations follow the
+    /// registry's own clock.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.obs = PipelineObs::new(metrics);
+        self
+    }
+
+    /// Overrides the clock used by the solver's wall-budget guard (builder
+    /// style). Tests pass a manual or null clock to make deadline behavior
+    /// reproducible.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The knowledge base handle in use.
@@ -93,6 +124,8 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
             // no candidate lookups, a well-formed empty feature set.
             return Vec::new();
         }
+        let _span = self.obs.span(names::STAGE_FEATURES_NS);
+        self.obs.mentions.add(mentions.len() as u64);
         let ctx = DocumentContext::build(&self.kb, tokens);
         let targets: Vec<usize> = if self.config.use_mention_expansion {
             expansion_targets(mentions)
@@ -105,20 +138,22 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
             .into_par_iter()
             .map(|i| {
                 let m = &mentions[i];
-                let mut features = candidate_features_for_surface(
+                let mut features = candidate_features_observed(
                     &self.kb,
                     &mentions[targets[i]].surface,
                     &ctx.for_mention(m),
                     self.config.keyword_weighting,
+                    &self.obs,
                 );
                 if features.is_empty() && targets[i] != i {
                     // The expanded surface is unknown to the dictionary:
                     // fall back to the mention's own surface.
-                    features = candidate_features_for_surface(
+                    features = candidate_features_observed(
                         &self.kb,
                         &m.surface,
                         &ctx.for_mention(m),
                         self.config.keyword_weighting,
+                        &self.obs,
                     );
                 }
                 features
@@ -143,6 +178,7 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
         if features.is_empty() {
             return DisambiguationResult::default();
         }
+        self.obs.docs.inc();
         let mut degradation = DegradationLevel::None;
         // Local combined weights per mention (prior robustness applied).
         let mut locals: Vec<Vec<(EntityId, f64)>> = features
@@ -187,6 +223,11 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
                 locals.iter().map(|cands| argmax_entity(cands)).collect()
             };
 
+        match degradation {
+            DegradationLevel::None => self.obs.degradation_joint.inc(),
+            DegradationLevel::NoCoherence => self.obs.degradation_no_coherence.inc(),
+            DegradationLevel::PriorOnly => self.obs.degradation_prior_only.inc(),
+        }
         let degraded = degradation.is_degraded();
         let assignments = features
             .iter()
@@ -212,6 +253,7 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
             .zip(locals)
             .map(|(f, local)| {
                 if should_fix_mention(f, &self.config) {
+                    self.obs.mentions_fixed.inc();
                     match argmax_index(local) {
                         Some(i) => vec![local[i]],
                         None => Vec::new(),
@@ -221,12 +263,17 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
                 }
             })
             .collect();
-        let graph = MentionEntityGraph::build(
-            &graph_locals,
-            &self.relatedness,
-            self.config.gamma,
-            true,
-        );
+        let graph = {
+            let _span = self.obs.span(names::STAGE_GRAPH_NS);
+            MentionEntityGraph::build(
+                &graph_locals,
+                &self.relatedness,
+                self.config.gamma,
+                true,
+            )
+        };
+        self.obs.graph_entity_nodes.add(graph.entity_count() as u64);
+        self.obs.coherence_edges_built.add(graph.coherence_edge_count() as u64);
         let solver = SolverConfig {
             graph_size_factor: self.config.graph_size_factor,
             exhaustive_limit: self.config.exhaustive_limit,
@@ -235,7 +282,8 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
             max_iterations: self.config.solver_max_iterations,
             wall_budget_ms: self.config.solver_wall_budget_ms,
         };
-        Ok(solve_budgeted(&graph, &solver)?
+        let _span = self.obs.span(names::STAGE_SOLVER_NS);
+        Ok(solve_budgeted_observed(&graph, &solver, &self.clock, &self.obs.solver)?
             .into_iter()
             .map(|s| s.map(|ni| graph.nodes[ni].entity))
             .collect())
@@ -530,6 +578,88 @@ mod tests {
         assert_eq!(full.name(), "AIDA[r-prior sim-k r-coh | MW]");
         let sim = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::sim_only());
         assert_eq!(sim.name(), "AIDA[sim-k | MW]");
+    }
+
+    #[test]
+    fn metrics_record_pipeline_counters() {
+        use ned_obs::{names, Metrics};
+        let kb = kb();
+        let metrics = Metrics::new();
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full())
+            .with_metrics(&metrics);
+        let (tokens, mentions) = doc();
+        aida.disambiguate(&tokens, &mentions);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(names::AIDA_DOCS), 1);
+        assert_eq!(snap.counter(names::AIDA_MENTIONS), 4);
+        assert!(snap.counter(names::AIDA_CANDIDATES_CONSIDERED) >= 4);
+        assert_eq!(
+            snap.counter(names::AIDA_SIMILARITY_EVALUATIONS),
+            snap.counter(names::AIDA_SIM_PLAN_ENTITY_SIDE)
+                + snap.counter(names::AIDA_SIM_PLAN_WORD_SIDE),
+            "every evaluation picks exactly one plan"
+        );
+        assert_eq!(snap.counter(names::AIDA_DEGRADATION_JOINT), 1);
+        assert_eq!(snap.counter(names::AIDA_SOLVER_INVOCATIONS), 1);
+        assert!(snap.counter(names::AIDA_SOLVER_ITERATIONS) > 0);
+        assert_eq!(snap.counter(names::AIDA_SOLVER_BUDGET_EXHAUSTED), 0);
+        // The null clock freezes spans at zero duration but still counts.
+        let span_count = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == names::STAGE_FEATURES_NS)
+            .map(|(_, h)| h.count)
+            .unwrap();
+        assert_eq!(span_count, 1);
+    }
+
+    #[test]
+    fn metrics_are_identical_across_repeat_runs() {
+        use ned_obs::Metrics;
+        let kb = kb();
+        let (tokens, mentions) = doc();
+        let snapshots: Vec<_> = (0..2)
+            .map(|_| {
+                let metrics = Metrics::new();
+                let aida =
+                    Disambiguator::new(&kb, MilneWitten::new(&kb), AidaConfig::full())
+                        .with_metrics(&metrics);
+                aida.disambiguate(&tokens, &mentions);
+                metrics.snapshot()
+            })
+            .collect();
+        assert_eq!(snapshots[0], snapshots[1]);
+    }
+
+    #[test]
+    fn exhausted_budget_is_counted() {
+        use ned_obs::{names, Metrics};
+        let kb = kb();
+        let metrics = Metrics::new();
+        let config = AidaConfig { solver_max_iterations: 1, ..AidaConfig::full() };
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), config)
+            .with_metrics(&metrics);
+        let (tokens, mentions) = doc();
+        let result = aida.disambiguate(&tokens, &mentions);
+        assert_eq!(result.degradation, DegradationLevel::NoCoherence);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(names::AIDA_SOLVER_BUDGET_EXHAUSTED), 1);
+        assert_eq!(snap.counter(names::AIDA_DEGRADATION_NO_COHERENCE), 1);
+        assert_eq!(snap.counter(names::AIDA_DEGRADATION_JOINT), 0);
+    }
+
+    #[test]
+    fn null_clock_never_trips_the_wall_budget() {
+        use ned_obs::Clock;
+        let kb = kb();
+        // A wall budget under a frozen clock: elapsed time is always zero,
+        // so the deadline can never fire and the run stays reproducible.
+        let config = AidaConfig { solver_wall_budget_ms: Some(1), ..AidaConfig::full() };
+        let aida = Disambiguator::new(&kb, MilneWitten::new(&kb), config)
+            .with_clock(Clock::null());
+        let (tokens, mentions) = doc();
+        let result = aida.disambiguate(&tokens, &mentions);
+        assert_eq!(result.degradation, DegradationLevel::None);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod expansion;
 pub mod graph;
 pub mod joint;
 pub mod method;
+pub mod obs;
 pub mod result;
 pub mod robustness;
 pub mod similarity;
@@ -41,4 +42,5 @@ pub use ned_core::{DegradationLevel, NedError};
 pub use disambiguator::Disambiguator;
 pub use joint::{Annotation, JointAnnotator, JointConfig};
 pub use method::NedMethod;
+pub use obs::{PipelineObs, SimObs, SolverObs};
 pub use result::{DisambiguationResult, MentionAssignment};

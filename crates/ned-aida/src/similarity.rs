@@ -13,6 +13,7 @@ use ned_kb::{EntityId, KbView, WordId};
 
 use crate::config::KeywordWeighting;
 use crate::cover::shortest_cover;
+use crate::obs::SimObs;
 
 /// Computes `score(q)` (Eq. 3.4) for one keyphrase of `e` against a mention
 /// context given as position-sorted `(pos, word)` pairs.
@@ -87,6 +88,23 @@ pub fn simscore_indexed<K: KbView + ?Sized>(
     context_words: &[WordId],
     weighting: KeywordWeighting,
 ) -> f64 {
+    simscore_observed(kb, e, context, context_words, weighting, &SimObs::default())
+}
+
+/// [`simscore_indexed`] with work counters: which query plan was chosen,
+/// how many index postings were scanned, and how many phrases survived
+/// pruning. The counters never influence the score — passing
+/// [`SimObs::default`] (disabled handles) is bit-identical to
+/// [`simscore_indexed`].
+pub fn simscore_observed<K: KbView + ?Sized>(
+    kb: &K,
+    e: EntityId,
+    context: &[(usize, WordId)],
+    context_words: &[WordId],
+    weighting: KeywordWeighting,
+    obs: &SimObs,
+) -> f64 {
+    obs.evaluations.inc();
     // Adaptive query plan: enumerate the phrases sharing ≥ 1 word with the
     // context from whichever side is smaller — probe the inverted index per
     // context word, or scan KP(e) testing each phrase word against the
@@ -94,6 +112,7 @@ pub fn simscore_indexed<K: KbView + ?Sized>(
     // phrase-id order, so the score is bitwise independent of the plan.
     let kp = kb.keyphrases(e);
     let matching: Vec<ned_kb::PhraseId> = if kp.len() <= context_words.len() {
+        obs.plan_entity_side.inc();
         kp.iter()
             .filter(|ep| {
                 kb.phrase_words(ep.phrase)
@@ -103,8 +122,13 @@ pub fn simscore_indexed<K: KbView + ?Sized>(
             .map(|ep| ep.phrase)
             .collect()
     } else {
-        kb.keyphrase_index().matching_phrases(e, context_words)
+        obs.plan_word_side.inc();
+        let (matching, scanned) =
+            kb.keyphrase_index().matching_phrases_counted(e, context_words);
+        obs.postings_scanned.add(scanned);
+        matching
     };
+    obs.phrases_matched.add(matching.len() as u64);
     // fold(0.0) rather than sum(): Iterator::sum's identity is -0.0, which
     // would make an empty phrase set differ in sign bit from an exhaustive
     // sum of zeros.

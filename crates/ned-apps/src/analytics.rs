@@ -9,6 +9,7 @@ use std::collections::HashMap;
 
 use ned_kb::fx::FxHashMap;
 use ned_kb::EntityId;
+use ned_obs::{names, Counter, Metrics};
 
 /// Aggregated analytics state over a stream of disambiguated documents.
 #[derive(Debug, Default)]
@@ -23,12 +24,22 @@ pub struct NewsAnalytics {
     days: Vec<u32>,
     /// Total documents consumed.
     doc_count: usize,
+    docs_indexed: Counter,
+    mentions_indexed: Counter,
 }
 
 impl NewsAnalytics {
     /// Creates an empty aggregator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records ingestion counters into `metrics` (builder style).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.docs_indexed = metrics.counter(names::ANALYTICS_DOCS_INDEXED);
+        self.mentions_indexed = metrics.counter(names::ANALYTICS_MENTIONS_INDEXED);
+        self
     }
 
     /// Number of documents consumed.
@@ -40,6 +51,8 @@ impl NewsAnalytics {
     /// the surface and the label (`None` = emerging).
     pub fn add_document(&mut self, day: u32, mentions: &[(String, Option<EntityId>)]) {
         self.doc_count += 1;
+        self.docs_indexed.inc();
+        self.mentions_indexed.add(mentions.len() as u64);
         if !self.days.contains(&day) {
             self.days.push(day);
             self.days.sort_unstable();
@@ -200,6 +213,17 @@ mod tests {
         let a = analytics();
         assert_eq!(a.emerging_names(1), vec![("Prism".to_string(), 1)]);
         assert!(a.emerging_names(0).is_empty());
+    }
+
+    #[test]
+    fn ingestion_counters_accumulate() {
+        use ned_obs::{names, Metrics};
+        let metrics = Metrics::new();
+        let mut a = NewsAnalytics::new().with_metrics(&metrics);
+        a.add_document(0, &[m("Alpha", Some(e(1))), m("Prism", None)]);
+        a.add_document(1, &[m("Beta", Some(e(2)))]);
+        assert_eq!(metrics.counter_value(names::ANALYTICS_DOCS_INDEXED), 2);
+        assert_eq!(metrics.counter_value(names::ANALYTICS_MENTIONS_INDEXED), 3);
     }
 
     #[test]

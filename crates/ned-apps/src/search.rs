@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use ned_kb::fx::FxHashMap;
 use ned_kb::{EntityId, EntityKind, KbView};
+use ned_obs::{names, Counter, Metrics};
 use ned_text::stopwords::is_stopword;
 use ned_text::{Token, TokenKind};
 
@@ -84,6 +85,8 @@ pub struct EntityIndex<K> {
     docs: Vec<DocRecord>,
     /// term → document indexes (for df).
     term_df: HashMap<String, u32>,
+    queries: Counter,
+    docs_returned: Counter,
 }
 
 // Manual Debug: the KB handle and per-document term maps would dump the
@@ -100,7 +103,21 @@ impl<K> std::fmt::Debug for EntityIndex<K> {
 impl<K: KbView> EntityIndex<K> {
     /// Creates an empty index over `kb`.
     pub fn new(kb: K) -> Self {
-        EntityIndex { kb, docs: Vec::new(), term_df: HashMap::new() }
+        EntityIndex {
+            kb,
+            docs: Vec::new(),
+            term_df: HashMap::new(),
+            queries: Counter::disabled(),
+            docs_returned: Counter::disabled(),
+        }
+    }
+
+    /// Records query/result counters into `metrics` (builder style).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.queries = metrics.counter(names::SEARCH_QUERIES);
+        self.docs_returned = metrics.counter(names::SEARCH_DOCS_RETURNED);
+        self
     }
 
     /// Number of indexed documents.
@@ -193,6 +210,7 @@ impl<K: KbView> EntityIndex<K> {
     /// contribute tf·idf scores (documents matching no term at all still
     /// qualify if entity/kind constraints matched).
     pub fn search(&self, query: &Query, k: usize) -> Vec<SearchHit> {
+        self.queries.inc();
         let mut hits: Vec<SearchHit> = self
             .docs
             .iter()
@@ -242,6 +260,7 @@ impl<K: KbView> EntityIndex<K> {
             b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id))
         });
         hits.truncate(k);
+        self.docs_returned.add(hits.len() as u64);
         hits
     }
 }
@@ -350,6 +369,24 @@ mod tests {
         let kb = kb();
         let idx = index(&kb);
         assert!(idx.search(&Query::default(), 10).is_empty());
+    }
+
+    #[test]
+    fn query_counters_accumulate() {
+        use ned_obs::{names, Metrics};
+        let kb = kb();
+        let metrics = Metrics::new();
+        let song = kb.entity_by_name("Kashmir (song)").unwrap();
+        let idx = {
+            let mut idx = EntityIndex::new(&kb).with_metrics(&metrics);
+            let t1 = tokenize("the band performed Kashmir live with heavy guitars");
+            idx.add_document("music-doc", &t1, &[Some(song)]);
+            idx
+        };
+        idx.search(&Query::strings(&["guitars"]), 10);
+        idx.search(&Query::strings(&["nothing-matches-this"]), 10);
+        assert_eq!(metrics.counter_value(names::SEARCH_QUERIES), 2);
+        assert_eq!(metrics.counter_value(names::SEARCH_DOCS_RETURNED), 1);
     }
 
     #[test]

@@ -9,12 +9,20 @@
 //! inverted index (indexed vs exhaustive `simscore` over every
 //! mention–candidate pair) and asserts that every thread count produces
 //! byte-identical outcomes. Results are printed as a table and written to
-//! `BENCH_throughput.json` and `BENCH_kb_memory.json` in the working
-//! directory.
+//! `BENCH_throughput.json`, `BENCH_kb_memory.json`, and `metrics.json` in
+//! the working directory.
+//!
+//! Each sweep run carries its own [`ned_obs::Metrics`] registry; the bench
+//! asserts that the full metrics snapshot — every counter and histogram
+//! bucket — is identical across thread counts (the observability layer's
+//! determinism contract), and that a metrics-disabled run produces
+//! byte-identical annotations to the instrumented ones (the zero-overhead
+//! contract).
 
 use std::time::Instant;
 
 use ned_kb::FrozenKbStats;
+use ned_obs::{Metrics, MetricsSnapshot};
 
 use ned_aida::context::DocumentContext;
 use ned_aida::similarity::{context_word_set, simscore_exhaustive, simscore_indexed};
@@ -69,17 +77,25 @@ pub fn run(scale: &Scale) {
     let mut runs: Vec<Run> = Vec::new();
     let mut baseline: Option<Evaluation> = None;
     let mut deterministic = true;
+    let mut snapshot: Option<MetricsSnapshot> = None;
+    let mut metrics_deterministic = true;
 
     for &threads in &thread_counts {
-        // Fresh cache per run so the hit rate reflects one pass. The sweep
-        // runs over the frozen columnar KB behind a shared `Arc` handle.
-        let cached = CachedRelatedness::new(MilneWitten::new(env.frozen.clone()));
-        let aida = Disambiguator::new(env.frozen.clone(), &cached, AidaConfig::full());
+        // Fresh cache and metrics registry per run so the hit rate and
+        // counters reflect one pass. The sweep runs over the frozen columnar
+        // KB behind a shared `Arc` handle. The default null clock keeps span
+        // sums at zero, so the whole snapshot (histograms included) must be
+        // identical across thread counts.
+        let metrics = Metrics::new();
+        let cached =
+            CachedRelatedness::with_metrics(MilneWitten::new(env.frozen.clone()), &metrics);
+        let aida = Disambiguator::new(env.frozen.clone(), &cached, AidaConfig::full())
+            .with_metrics(&metrics);
         let start = Instant::now();
         let eval = run_method_with_threads(&aida, docs, threads)
             .unwrap_or_else(|e| panic!("cannot build {threads}-thread pool: {e}"));
         let seconds = start.elapsed().as_secs_f64();
-        let stats = cached.stats();
+        eval.record_metrics(&metrics);
         let failed_docs = eval.failed_count();
         let degraded_docs = eval.degraded_count();
         match &baseline {
@@ -90,6 +106,15 @@ pub fn run(scale: &Scale) {
                 }
             }
         }
+        let snap = metrics.snapshot();
+        match &snapshot {
+            None => snapshot = Some(snap),
+            Some(first) => {
+                if *first != snap {
+                    metrics_deterministic = false;
+                }
+            }
+        }
         let speedup = runs.first().map_or(1.0, |r0| r0.seconds / seconds);
         runs.push(Run {
             threads,
@@ -97,12 +122,35 @@ pub fn run(scale: &Scale) {
             docs_per_sec: docs.len() as f64 / seconds,
             mentions_per_sec: mention_count as f64 / seconds,
             speedup,
-            cache_hit_rate: stats.hit_rate(),
+            cache_hit_rate: cached.hit_rate(),
             failed_docs,
             degraded_docs,
         });
     }
     assert!(deterministic, "thread counts produced diverging outcomes");
+    assert!(metrics_deterministic, "thread counts produced diverging metrics snapshots");
+
+    // Zero-overhead contract: a disabled registry must not change a single
+    // output bit, and its wall time bounds the instrumentation cost.
+    let metrics_off_seconds = {
+        let cached = CachedRelatedness::new(MilneWitten::new(env.frozen.clone()));
+        let aida = Disambiguator::new(env.frozen.clone(), &cached, AidaConfig::full());
+        let start = Instant::now();
+        let eval = run_method_with_threads(&aida, docs, 1)
+            .unwrap_or_else(|e| panic!("cannot build 1-thread pool: {e}"));
+        let seconds = start.elapsed().as_secs_f64();
+        let Some(b) = baseline.as_ref() else {
+            unreachable!("the thread sweep runs at least once")
+        };
+        assert!(identical(b, &eval), "disabled metrics changed annotation output");
+        seconds
+    };
+    let metrics_on_seconds = runs.first().map_or(0.0, |r| r.seconds);
+    let metrics_overhead = if metrics_off_seconds > 0.0 {
+        metrics_on_seconds / metrics_off_seconds
+    } else {
+        1.0
+    };
 
     // The legacy mutable-shaped KB must agree byte for byte with the frozen
     // read path — the tables of the thesis do not move when the storage
@@ -192,7 +240,15 @@ pub fn run(scale: &Scale) {
          deterministic across thread counts: {deterministic}",
         exhaustive_s, indexed_s
     );
+    println!(
+        "metrics: snapshot identical across thread counts: {metrics_deterministic}; \
+         metrics-off 1-thread {metrics_off_seconds:.3}s vs on {metrics_on_seconds:.3}s \
+         ({metrics_overhead:.2}x)"
+    );
 
+    let Some(snapshot) = snapshot else {
+        unreachable!("the thread sweep runs at least once")
+    };
     let kb_stats = *env.frozen.stats();
     let json = render_json(
         docs.len(),
@@ -203,6 +259,10 @@ pub fn run(scale: &Scale) {
         index_speedup,
         deterministic,
         &kb_stats,
+        &snapshot,
+        metrics_deterministic,
+        metrics_off_seconds,
+        metrics_overhead,
     );
     let path = "BENCH_throughput.json";
     match std::fs::write(path, &json) {
@@ -214,6 +274,11 @@ pub fn run(scale: &Scale) {
     match std::fs::write(memory_path, &memory_json) {
         Ok(()) => println!("wrote {memory_path}"),
         Err(e) => eprintln!("could not write {memory_path}: {e}"),
+    }
+    let metrics_path = "metrics.json";
+    match std::fs::write(metrics_path, snapshot.to_json()) {
+        Ok(()) => println!("wrote {metrics_path}"),
+        Err(e) => eprintln!("could not write {metrics_path}: {e}"),
     }
 }
 
@@ -249,6 +314,16 @@ fn kb_memory_json(s: &FrozenKbStats) -> String {
     out
 }
 
+/// The counters of a metrics snapshot as a JSON object body.
+fn metrics_counters_json(snapshot: &MetricsSnapshot, indent: &str) -> String {
+    let mut out = String::new();
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        let sep = if i + 1 < snapshot.counters.len() { "," } else { "" };
+        out.push_str(&format!("{indent}\"{name}\": {value}{sep}\n"));
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     doc_count: usize,
@@ -259,6 +334,10 @@ fn render_json(
     index_speedup: f64,
     deterministic: bool,
     kb_stats: &FrozenKbStats,
+    snapshot: &MetricsSnapshot,
+    metrics_deterministic: bool,
+    metrics_off_seconds: f64,
+    metrics_overhead: f64,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"corpus\": \"conll-like\",\n");
@@ -293,6 +372,17 @@ fn render_json(
     out.push_str("  \"frozen_kb\": {\n");
     out.push_str(&kb_stats_json(kb_stats, "    "));
     out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"metrics_overhead\": {{\"on_seconds\": {:.6}, \"off_seconds\": \
+         {metrics_off_seconds:.6}, \"ratio\": {metrics_overhead:.3}}},\n",
+        runs.first().map_or(0.0, |r| r.seconds)
+    ));
+    out.push_str("  \"metrics\": {\n");
+    out.push_str(&metrics_counters_json(snapshot, "    "));
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"metrics_deterministic_across_thread_counts\": {metrics_deterministic},\n"
+    ));
     out.push_str(&format!("  \"deterministic_across_thread_counts\": {deterministic}\n"));
     out.push_str("}\n");
     out
@@ -327,7 +417,12 @@ mod tests {
             },
         ];
         let stats = FrozenKbStats { entity_count: 7, total_bytes: 4096, ..Default::default() };
-        let json = render_json(20, 100, &runs, 2.0, 1.0, 2.0, true, &stats);
+        let metrics = Metrics::new();
+        metrics.counter("aida_docs").add(20);
+        metrics.counter("doc_status_ok").add(18);
+        let snapshot = metrics.snapshot();
+        let json =
+            render_json(20, 100, &runs, 2.0, 1.0, 2.0, true, &stats, &snapshot, true, 1.9, 1.05);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"threads\": 4"));
@@ -336,6 +431,12 @@ mod tests {
         assert!(json.contains("\"entity_count\": 7"));
         assert!(json.contains("\"total_bytes\": 4096"));
         assert!(json.contains("\"deterministic_across_thread_counts\": true"));
+        assert!(json.contains("\"metrics_deterministic_across_thread_counts\": true"));
+        assert!(json.contains("\"aida_docs\": 20"));
+        assert!(json.contains("\"doc_status_ok\": 18"));
+        assert!(json.contains("\"off_seconds\": 1.900000"));
+        // No trailing comma at the end of the embedded counters object.
+        assert!(!json.contains(",\n  }"));
     }
 
     #[test]

@@ -6,13 +6,15 @@
 //!   annotate                      # annotate a generated demo document
 //!   annotate "some text ..."      # annotate the given text
 //!   annotate --seed 7 "text"      # different world
+//!   annotate --metrics "text"     # also dump the pipeline metrics snapshot
 
 use std::sync::Arc;
 
 use ned_aida::classification::TypeClassifier;
 use ned_aida::{AidaConfig, Disambiguator, JointAnnotator, JointConfig};
 use ned_kb::FrozenKb;
-use ned_relatedness::MilneWitten;
+use ned_obs::Metrics;
+use ned_relatedness::{CachedRelatedness, MilneWitten};
 use ned_wikigen::config::WorldConfig;
 use ned_wikigen::corpus::conll_like;
 use ned_wikigen::{ExportedKb, World};
@@ -29,6 +31,12 @@ fn main() {
             args.drain(pos..=pos + 1);
         }
     }
+    let show_metrics = if let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
 
     let world = World::generate(WorldConfig::tiny(seed));
     let exported = ExportedKb::build(&world);
@@ -41,7 +49,10 @@ fn main() {
         kb.phrase_count()
     );
 
-    let aida = Disambiguator::new(kb.clone(), MilneWitten::new(kb.clone()), AidaConfig::full());
+    let metrics = Metrics::new();
+    let relatedness = CachedRelatedness::with_metrics(MilneWitten::new(kb.clone()), &metrics);
+    let aida =
+        Disambiguator::new(kb.clone(), relatedness, AidaConfig::full()).with_metrics(&metrics);
     let annotator = JointAnnotator::new(&aida, JointConfig::default());
     let classifier = TypeClassifier::new(kb.clone(), &exported.taxonomy);
 
@@ -58,20 +69,23 @@ fn main() {
     let (tokens, annotations) = annotator.annotate(&text);
     if annotations.is_empty() {
         println!("no linkable mentions found (unknown names are out-of-KB).");
-        return;
+    } else {
+        println!("{} annotations:", annotations.len());
+        for a in &annotations {
+            let ty = classifier
+                .best_type(&tokens, &a.mention)
+                .map(|t| exported.taxonomy.name(t).to_string())
+                .unwrap_or_else(|| "?".into());
+            println!(
+                "  {:<20} → {:<26} [{:<18}] conf {:.2}",
+                a.mention.surface,
+                kb.entity(a.entity).canonical_name,
+                ty,
+                a.confidence
+            );
+        }
     }
-    println!("{} annotations:", annotations.len());
-    for a in &annotations {
-        let ty = classifier
-            .best_type(&tokens, &a.mention)
-            .map(|t| exported.taxonomy.name(t).to_string())
-            .unwrap_or_else(|| "?".into());
-        println!(
-            "  {:<20} → {:<26} [{:<18}] conf {:.2}",
-            a.mention.surface,
-            kb.entity(a.entity).canonical_name,
-            ty,
-            a.confidence
-        );
+    if show_metrics {
+        println!("\npipeline metrics:\n{}", metrics.snapshot().render());
     }
 }

@@ -163,6 +163,41 @@ impl Evaluation {
             })
             .collect()
     }
+
+    /// Records per-document health into `metrics`: `doc_status_*` counts
+    /// every outcome once, `degradation_level_*` classifies the completed
+    /// ones by the ladder rung they finished on. Accounting is a sequential
+    /// walk over the already-collected outcomes, so totals are independent
+    /// of the thread count that produced them.
+    pub fn record_metrics(&self, metrics: &ned_obs::Metrics) {
+        use ned_obs::names;
+        let ok = metrics.counter(names::DOC_STATUS_OK);
+        let degraded = metrics.counter(names::DOC_STATUS_DEGRADED);
+        let failed = metrics.counter(names::DOC_STATUS_FAILED);
+        let joint = metrics.counter(names::DEGRADATION_LEVEL_JOINT);
+        let no_coherence = metrics.counter(names::DEGRADATION_LEVEL_NO_COHERENCE);
+        let prior_only = metrics.counter(names::DEGRADATION_LEVEL_PRIOR_ONLY);
+        for d in &self.docs {
+            match &d.status {
+                DocStatus::Ok => {
+                    ok.inc();
+                    joint.inc();
+                }
+                DocStatus::Degraded(level) => {
+                    degraded.inc();
+                    match level {
+                        DegradationLevel::NoCoherence => no_coherence.inc(),
+                        DegradationLevel::PriorOnly => prior_only.inc(),
+                        // Unreachable by construction (from_degradation
+                        // maps the undegraded level to Ok), but a full
+                        // joint completion is what it would mean.
+                        DegradationLevel::None => joint.inc(),
+                    }
+                }
+                DocStatus::Failed { .. } => failed.inc(),
+            }
+        }
+    }
 }
 
 /// Runs `method` over `docs` on rayon's current pool.
@@ -346,6 +381,48 @@ mod tests {
         // Degraded answers still count toward accuracy.
         assert_eq!(eval.micro(false), 1.0);
         assert_eq!(eval.doc_accuracies(false).len(), 2);
+    }
+
+    #[test]
+    fn record_metrics_matches_status_accounting() {
+        use ned_obs::{names, Metrics};
+        let docs = vec![
+            doc("a", Some(EntityId(1))),
+            doc("b", Some(EntityId(2))),
+            doc("c", Some(EntityId(3))),
+            doc("d", Some(EntityId(4))),
+        ];
+        let eval = with_quiet_panics(|| {
+            run_per_doc(&docs, |d| match d.id.as_str() {
+                "a" => panic!("injected fault"),
+                "b" => DocOutcome {
+                    status: DocStatus::from_degradation(DegradationLevel::NoCoherence),
+                    ..DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![1.0])
+                },
+                "c" => DocOutcome {
+                    status: DocStatus::from_degradation(DegradationLevel::PriorOnly),
+                    ..DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![1.0])
+                },
+                _ => DocOutcome::ok(d.gold_labels(), d.gold_labels(), vec![1.0]),
+            })
+        });
+        let metrics = Metrics::new();
+        eval.record_metrics(&metrics);
+        assert_eq!(metrics.counter_value(names::DOC_STATUS_OK), 1);
+        assert_eq!(metrics.counter_value(names::DOC_STATUS_DEGRADED), 2);
+        assert_eq!(metrics.counter_value(names::DOC_STATUS_FAILED), 1);
+        assert_eq!(metrics.counter_value(names::DEGRADATION_LEVEL_JOINT), 1);
+        assert_eq!(metrics.counter_value(names::DEGRADATION_LEVEL_NO_COHERENCE), 1);
+        assert_eq!(metrics.counter_value(names::DEGRADATION_LEVEL_PRIOR_ONLY), 1);
+        // Cross-check against the Evaluation's own accounting.
+        assert_eq!(
+            metrics.counter_value(names::DOC_STATUS_FAILED) as usize,
+            eval.failed_count()
+        );
+        assert_eq!(
+            metrics.counter_value(names::DOC_STATUS_DEGRADED) as usize,
+            eval.degraded_count()
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use ned_aida::cover::shortest_cover;
 use ned_aida::{DisambiguationResult, Disambiguator};
 use ned_eval::gold::Label;
 use ned_kb::{EntityId, KbView, WordId};
+use ned_obs::{names, Counter, Metrics};
 use ned_relatedness::Relatedness;
 use ned_text::{Mention, Token};
 
@@ -199,6 +200,8 @@ pub struct EeDiscovery<'a, K, R> {
     base: &'a Disambiguator<K, R>,
     models: &'a NameModels,
     config: EeConfig,
+    linked: Counter,
+    emerging: Counter,
 }
 
 // Manual Debug: `R` need not be Debug.
@@ -214,7 +217,25 @@ impl<K, R> std::fmt::Debug for EeDiscovery<'_, K, R> {
 impl<'a, K: KbView, R: Relatedness> EeDiscovery<'a, K, R> {
     /// Creates the pipeline.
     pub fn new(base: &'a Disambiguator<K, R>, models: &'a NameModels, config: EeConfig) -> Self {
-        EeDiscovery { base, models, config }
+        EeDiscovery {
+            base,
+            models,
+            config,
+            linked: Counter::disabled(),
+            emerging: Counter::disabled(),
+        }
+    }
+
+    /// Records the linked/emerging outcome counters into `metrics`
+    /// (builder style). The base disambiguator's own pipeline counters are
+    /// configured separately via [`Disambiguator::with_metrics`]; the
+    /// internal second pass stays unmetered so per-document totals are not
+    /// double-counted.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.linked = metrics.counter(names::EE_MENTIONS_LINKED);
+        self.emerging = metrics.counter(names::EE_MENTIONS_EMERGING);
+        self
     }
 
     /// Runs Algorithm 3 and returns the final labels (`None` = EE) plus the
@@ -287,12 +308,18 @@ impl<'a, K: KbView, R: Relatedness> EeDiscovery<'a, K, R> {
         let second = Disambiguator::new(kb, rel, config);
         let result = second.disambiguate_features(&extended);
 
-        let labels = result
+        let labels: Vec<Label> = result
             .assignments
             .iter()
             .enumerate()
             .map(|(i, a)| if forced_ee[i] { None } else { to_label(a.entity) })
             .collect();
+        for label in &labels {
+            match label {
+                Some(_) => self.linked.inc(),
+                None => self.emerging.inc(),
+            }
+        }
         (labels, result)
     }
 }
@@ -453,6 +480,24 @@ mod tests {
         // The model shares "secret surveillance"/"federal agency" words with
         // the government, nothing with the band.
         assert!(ee_entity_coherence(&kb, m, gov) > ee_entity_coherence(&kb, m, band));
+    }
+
+    #[test]
+    fn outcome_counters_split_linked_and_emerging() {
+        use ned_obs::{names, Metrics};
+        let kb = kb();
+        let models = model(&kb);
+        let metrics = Metrics::new();
+        let aida =
+            Disambiguator::new(&kb, MilneWitten::new(&kb), ned_aida::AidaConfig::sim_only());
+        let ee = EeDiscovery::new(&aida, &models, EeConfig::default())
+            .with_metrics(&metrics);
+        let tokens = tokenize("the secret surveillance program Prism was revealed");
+        ee.discover(&tokens, &[Mention::new("Prism", 3, 4)]);
+        let tokens = tokenize("the progressive rock band Prism started a stadium tour");
+        ee.discover(&tokens, &[Mention::new("Prism", 4, 5)]);
+        assert_eq!(metrics.counter_value(names::EE_MENTIONS_EMERGING), 1);
+        assert_eq!(metrics.counter_value(names::EE_MENTIONS_LINKED), 1);
     }
 
     #[test]

@@ -91,13 +91,25 @@ impl KeyphraseIndex {
     /// phrases that can score non-zero against a context containing those
     /// words. `context_words` need not be sorted or deduplicated.
     pub fn matching_phrases(&self, e: EntityId, context_words: &[WordId]) -> Vec<PhraseId> {
+        self.matching_phrases_counted(e, context_words).0
+    }
+
+    /// Like [`KeyphraseIndex::matching_phrases`], but also returns the
+    /// number of postings scanned (entity-scoped postings visited before
+    /// deduplication) so callers can account for index work done.
+    pub fn matching_phrases_counted(
+        &self,
+        e: EntityId,
+        context_words: &[WordId],
+    ) -> (Vec<PhraseId>, u64) {
         let mut out: Vec<PhraseId> = Vec::new();
         for &w in context_words {
             out.extend(self.entity_postings(e, w).iter().map(|&(_, p)| p));
         }
+        let scanned = out.len() as u64;
         out.sort_unstable();
         out.dedup();
-        out
+        (out, scanned)
     }
 }
 
@@ -168,6 +180,19 @@ mod tests {
         let twice = idx.matching_phrases(jimmy, &[rock, rock]);
         assert_eq!(once, twice);
         assert_eq!(once.len(), 2);
+    }
+
+    #[test]
+    fn counted_variant_reports_prededup_scans() {
+        let kb = kb();
+        let idx = kb.keyphrase_index();
+        let jimmy = kb.entity_by_name("Jimmy Page").unwrap();
+        let rock = kb.word_id("rock").unwrap();
+        let (phrases, scanned) = idx.matching_phrases_counted(jimmy, &[rock, rock]);
+        assert_eq!(phrases, idx.matching_phrases(jimmy, &[rock]));
+        // Two context occurrences of "rock" × two matching phrases: four
+        // postings visited, deduplicated down to two phrases.
+        assert_eq!(scanned, 4);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use std::io::{self, Read, Write};
 
 use ned_core::{NedError, SnapshotError};
+use ned_obs::{names, Metrics};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -896,7 +897,20 @@ fn read_section_body<R: Read>(
 /// Every decode path funnels through the same constructor, so the transient
 /// indexes (`entity_by_name`, keyphrase inverted index) are always rebuilt —
 /// a loaded KB is indistinguishable from a freshly frozen one.
-pub fn read_frozen_snapshot<R: Read>(mut reader: R) -> Result<FrozenKb, NedError> {
+pub fn read_frozen_snapshot<R: Read>(reader: R) -> Result<FrozenKb, NedError> {
+    read_frozen_snapshot_observed(reader, &Metrics::disabled())
+}
+
+/// [`read_frozen_snapshot`] with load observability: records the read span,
+/// a decoded-section counter, the v2-fallback counter, and per-section body
+/// sizes as gauges (`snapshot_section_bytes_<name>`, plus
+/// `snapshot_bytes_total`) into the given registry. Pass
+/// [`Metrics::disabled`] (or call the plain reader) to skip accounting.
+pub fn read_frozen_snapshot_observed<R: Read>(
+    mut reader: R,
+    metrics: &Metrics,
+) -> Result<FrozenKb, NedError> {
+    let _span = metrics.span(names::STAGE_SNAPSHOT_READ_NS);
     let mut header = [0u8; V3_HEADER_LEN];
     let got = read_up_to(&mut reader, &mut header)
         .map_err(|e| NedError::io("reading snapshot header", e))?;
@@ -928,6 +942,8 @@ pub fn read_frozen_snapshot<R: Read>(mut reader: R) -> Result<FrozenKb, NedError
         let len = u64::from_le_bytes(rest[..8].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
         let expected_checksum = u64::from_le_bytes(rest[8..16].try_into().unwrap_or([0; 8])); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
         let kb = read_v2_rest(&mut reader, len, expected_checksum)?;
+        metrics.counter(names::SNAPSHOT_V2_FALLBACK).inc();
+        metrics.gauge(names::SNAPSHOT_BYTES_TOTAL).set(HEADER_LEN as u64 + len);
         return Ok(FrozenKb::freeze(&kb));
     }
     if version != FORMAT_VERSION {
@@ -936,6 +952,8 @@ pub fn read_frozen_snapshot<R: Read>(mut reader: R) -> Result<FrozenKb, NedError
         );
     }
     let mut sections = Sections::default();
+    let sections_decoded = metrics.counter(names::SNAPSHOT_SECTIONS_DECODED);
+    let mut total_bytes = V3_HEADER_LEN as u64;
     loop {
         let mut prelude = [0u8; FRAME_PRELUDE_LEN];
         let got = read_up_to(&mut reader, &mut prelude)
@@ -955,6 +973,11 @@ pub fn read_frozen_snapshot<R: Read>(mut reader: R) -> Result<FrozenKb, NedError
             .into());
         }
         let body = read_section_body(&mut reader, section, &prelude)?;
+        let section_gauge =
+            format!("{}{section}", names::SNAPSHOT_SECTION_BYTES_PREFIX);
+        metrics.gauge(&section_gauge).set(body.len() as u64);
+        sections_decoded.inc();
+        total_bytes += (FRAME_PRELUDE_LEN + body.len()) as u64;
         let codec_err =
             |e: CodecError| NedError::Snapshot(SnapshotError::Codec(format!("{section}: {e}")));
         match prelude[0] { // ned-lint: allow(p1) — fixed-size buffer, constant bounds
@@ -966,6 +989,7 @@ pub fn read_frozen_snapshot<R: Read>(mut reader: R) -> Result<FrozenKb, NedError
             other => return Err(SnapshotError::UnknownSection { tag: other }.into()),
         }
     }
+    metrics.gauge(names::SNAPSHOT_BYTES_TOTAL).set(total_bytes);
     sections.into_frozen()
 }
 
@@ -1259,6 +1283,55 @@ mod tests {
             NedError::Snapshot(SnapshotError::UnknownSection { tag }) => assert_eq!(tag, 0x77),
             other => panic!("expected unknown section, got {other}"),
         }
+    }
+
+    #[test]
+    fn observed_read_records_section_sizes() {
+        let kb = sample_kb();
+        let fz = FrozenKb::freeze(&kb);
+        let mut buf = Vec::new();
+        write_frozen_snapshot(&fz, &mut buf).unwrap();
+        let m = Metrics::new();
+        let fz2 = read_frozen_snapshot_observed(buf.as_slice(), &m).unwrap();
+        assert_frozen_matches(&fz2, &kb);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::SNAPSHOT_SECTIONS_DECODED), 5);
+        assert_eq!(snap.counter(names::SNAPSHOT_V2_FALLBACK), 0);
+        assert_eq!(snap.gauge(names::SNAPSHOT_BYTES_TOTAL), buf.len() as u64);
+        for section in ["entities", "dictionary", "links", "keyphrases", "weights"] {
+            let gauge = format!("{}{section}", names::SNAPSHOT_SECTION_BYTES_PREFIX);
+            assert!(snap.gauge(&gauge) > 0, "section {section} size not recorded");
+        }
+        // Section sizes account for the whole stream minus framing.
+        let framed: u64 = snap
+            .gauges
+            .iter()
+            .filter(|(n, _)| n.starts_with(names::SNAPSHOT_SECTION_BYTES_PREFIX))
+            .map(|&(_, v)| v + FRAME_PRELUDE_LEN as u64)
+            .sum();
+        assert_eq!(framed + V3_HEADER_LEN as u64, buf.len() as u64);
+        // The read span counted one invocation (zero duration: null clock).
+        let (_, span) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == names::STAGE_SNAPSHOT_READ_NS)
+            .expect("snapshot read span recorded");
+        assert_eq!(span.count, 1);
+        assert_eq!(span.sum, 0);
+    }
+
+    #[test]
+    fn observed_read_counts_v2_fallback() {
+        let kb = sample_kb();
+        let mut buf = Vec::new();
+        write_snapshot(&kb, &mut buf).unwrap();
+        let m = Metrics::new();
+        let fz = read_frozen_snapshot_observed(buf.as_slice(), &m).unwrap();
+        assert_frozen_matches(&fz, &kb);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::SNAPSHOT_V2_FALLBACK), 1);
+        assert_eq!(snap.counter(names::SNAPSHOT_SECTIONS_DECODED), 0);
+        assert_eq!(snap.gauge(names::SNAPSHOT_BYTES_TOTAL), buf.len() as u64);
     }
 
     #[test]

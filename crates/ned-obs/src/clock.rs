@@ -1,0 +1,144 @@
+//! Time sources for spans and wall-clock budgets.
+//!
+//! All wall-clock reads in the workspace go through [`Clock`]; this module
+//! is the single place allowed to touch `Instant::now` (ned-lint rule d3).
+//! Three variants cover the three legitimate uses of time:
+//!
+//! - [`Clock::Null`] — always reads 0. The default for metrics, so a
+//!   metrics snapshot taken with the default configuration is bit-identical
+//!   run to run and across thread counts (timing histograms record only
+//!   call counts, never durations).
+//! - [`Clock::Manual`] — an explicitly advanced counter shared across
+//!   clones, for tests that assert timing behavior (e.g. a solver wall
+//!   deadline firing) without real sleeps.
+//! - [`Clock::System`] — monotonic real time, for production timing and the
+//!   solver's wall budget. Readings are nanoseconds since the first system
+//!   read in the process, so they fit `u64` for centuries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Nanoseconds since the first system-clock read in this process.
+fn system_now_nanos() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    // The one sanctioned wall-clock read in the workspace; every timing
+    // consumer goes through `Clock` so determinism is opt-out, not opt-in.
+    let anchor = ANCHOR.get_or_init(Instant::now); // ned-lint: allow(d3)
+    u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A manually advanced time source for tests.
+///
+/// Clones share the same underlying counter, so a test can hold one handle,
+/// hand a clone to the code under test, and advance time from outside.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Current reading in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `nanos` nanoseconds.
+    pub fn advance_nanos(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance_nanos(ms.saturating_mul(1_000_000));
+    }
+}
+
+/// A time source: null (frozen at 0), manual (test-advanced), or system.
+#[derive(Debug, Clone, Default)]
+pub enum Clock {
+    /// Always reads 0 — deterministic, the default for metrics.
+    #[default]
+    Null,
+    /// Reads a [`ManualClock`] advanced explicitly by tests.
+    Manual(ManualClock),
+    /// Reads monotonic real time (nanos since first read in the process).
+    System,
+}
+
+impl Clock {
+    /// The deterministic clock frozen at 0.
+    pub fn null() -> Self {
+        Clock::Null
+    }
+
+    /// The real monotonic clock.
+    pub fn system() -> Self {
+        Clock::System
+    }
+
+    /// A fresh manual clock plus a handle for advancing it.
+    pub fn manual() -> (Self, ManualClock) {
+        let handle = ManualClock::new();
+        (Clock::Manual(handle.clone()), handle)
+    }
+
+    /// Current reading in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        match self {
+            Clock::Null => 0,
+            Clock::Manual(m) => m.now_nanos(),
+            Clock::System => system_now_nanos(),
+        }
+    }
+
+    /// True when readings never change (the null clock) — callers can skip
+    /// deadline checks entirely.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Clock::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_frozen_at_zero() {
+        let c = Clock::null();
+        assert_eq!(c.now_nanos(), 0);
+        assert_eq!(c.now_nanos(), 0);
+        assert!(c.is_null());
+    }
+
+    #[test]
+    fn manual_clock_advances_and_shares_state_across_clones() {
+        let (clock, handle) = Clock::manual();
+        let clone = clock.clone();
+        assert_eq!(clock.now_nanos(), 0);
+        handle.advance_ms(3);
+        assert_eq!(clock.now_nanos(), 3_000_000);
+        assert_eq!(clone.now_nanos(), 3_000_000, "clones share the counter");
+        handle.advance_nanos(5);
+        assert_eq!(clock.now_nanos(), 3_000_005);
+        assert!(!clock.is_null());
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = Clock::system();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn default_clock_is_null() {
+        assert!(Clock::default().is_null());
+    }
+}

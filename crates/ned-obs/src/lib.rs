@@ -1,0 +1,37 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+//! Deterministic observability for the NED pipeline.
+//!
+//! A production NED service is blind without per-stage accounting: how many
+//! candidates were considered, how often the solver hit its budget, how the
+//! degradation ladder fired, whether the relatedness cache is earning its
+//! memory. This crate provides that layer with two hard rules:
+//!
+//! 1. **Counters are exactly deterministic.** Every metric is a `u64`
+//!    updated by atomic adds, and integer addition commutes — so for a
+//!    deterministic workload the snapshot is bit-identical across thread
+//!    counts and KB backends. Telemetry gets the same reproducibility
+//!    guarantee as pipeline output (`tests/metrics_determinism.rs`), which
+//!    is what lets `tests/metrics_golden.rs` pin exact values.
+//! 2. **Wall clocks are explicit.** No component reads time ambiently;
+//!    durations flow through [`Clock`], whose default [`Clock::Null`]
+//!    variant is frozen at 0. Tests that need time use the manual-advance
+//!    clock; production timing opts into [`Clock::System`] — the one
+//!    sanctioned `Instant::now` in the workspace (ned-lint rule d3).
+//!
+//! The registry is deliberately tiny: counters, last-write-wins gauges,
+//! fixed-bound histograms, and RAII stage spans. [`names`] centralizes
+//! every metric name the pipeline emits.
+
+pub mod clock;
+pub mod metrics;
+pub mod names;
+
+pub use clock::{Clock, ManualClock};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Span,
+    DURATION_BOUNDS_NS,
+};

@@ -1,0 +1,124 @@
+//! Well-known metric names, in one place.
+//!
+//! Every counter, gauge, and span the pipeline emits is named here so the
+//! golden-metrics suite, the CI fixture diff, and DESIGN.md §11 all refer
+//! to the same constants. Names are `snake_case`, prefixed by subsystem,
+//! and never reused with a different meaning.
+
+// --- disambiguator (ned-aida) ----------------------------------------
+
+/// Documents run through `disambiguate_features`.
+pub const AIDA_DOCS: &str = "aida_docs";
+/// Mentions whose candidates were scored.
+pub const AIDA_MENTIONS: &str = "aida_mentions";
+/// Candidate entities whose features were computed (across all mentions).
+pub const AIDA_CANDIDATES_CONSIDERED: &str = "aida_candidates_considered";
+/// Keyphrase similarity evaluations (one per candidate scored).
+pub const AIDA_SIMILARITY_EVALUATIONS: &str = "aida_similarity_evaluations";
+/// Similarity calls answered by the entity-side plan (scan the entity's
+/// keyphrases).
+pub const AIDA_SIM_PLAN_ENTITY_SIDE: &str = "aida_sim_plan_entity_side";
+/// Similarity calls answered by the word-side plan (probe the keyphrase
+/// inverted index per context word).
+pub const AIDA_SIM_PLAN_WORD_SIDE: &str = "aida_sim_plan_word_side";
+/// Inverted-index postings scanned by word-side similarity calls.
+pub const KP_INDEX_POSTINGS_SCANNED: &str = "kp_index_postings_scanned";
+/// Keyphrases that matched the context and were cover-scored.
+pub const AIDA_SIM_PHRASES_MATCHED: &str = "aida_sim_phrases_matched";
+/// Mentions pinned to their top-local candidate by the robustness test
+/// before the graph phase.
+pub const AIDA_MENTIONS_FIXED: &str = "aida_mentions_fixed";
+/// Nonzero coherence edges materialized in mention-entity graphs.
+pub const AIDA_COHERENCE_EDGES_BUILT: &str = "aida_coherence_edges_built";
+/// Candidate entity nodes entering the solver across all graphs.
+pub const AIDA_GRAPH_ENTITY_NODES: &str = "aida_graph_entity_nodes";
+
+// --- greedy solver (ned-aida) ----------------------------------------
+
+/// Times the budgeted solver ran.
+pub const AIDA_SOLVER_INVOCATIONS: &str = "aida_solver_invocations";
+/// Budget units spent across all solver runs (the deterministic iteration
+/// currency from PR 2).
+pub const AIDA_SOLVER_ITERATIONS: &str = "aida_solver_iterations";
+/// Entities skipped as removal victims because the taboo rule protected a
+/// mention's last candidate.
+pub const AIDA_SOLVER_TABOO_HITS: &str = "aida_solver_taboo_hits";
+/// Entities removed up front by distance pruning.
+pub const AIDA_SOLVER_ENTITIES_PRUNED: &str = "aida_solver_entities_pruned";
+/// Solver runs that exhausted their iteration or wall budget.
+pub const AIDA_SOLVER_BUDGET_EXHAUSTED: &str = "aida_solver_budget_exhausted";
+
+// --- degradation ladder (ned-aida, per document) ----------------------
+
+/// Documents that completed at full fidelity (joint objective).
+pub const AIDA_DEGRADATION_JOINT: &str = "aida_degradation_joint";
+/// Documents that fell back to similarity-only (coherence disabled).
+pub const AIDA_DEGRADATION_NO_COHERENCE: &str = "aida_degradation_no_coherence";
+/// Documents that fell back to prior-only assignment.
+pub const AIDA_DEGRADATION_PRIOR_ONLY: &str = "aida_degradation_prior_only";
+
+// --- relatedness cache (ned-relatedness) ------------------------------
+
+/// Lookups served from the cache.
+pub const RELATEDNESS_CACHE_HITS: &str = "relatedness_cache_hits";
+/// Lookups that inserted a freshly computed pair (first arrival wins; equal
+/// to `relatedness_cache_inserts` by construction).
+pub const RELATEDNESS_CACHE_MISSES: &str = "relatedness_cache_misses";
+/// Entries written into the cache.
+pub const RELATEDNESS_CACHE_INSERTS: &str = "relatedness_cache_inserts";
+
+// --- snapshot loading (ned-kb) ----------------------------------------
+
+/// Sections decoded from a v3 snapshot.
+pub const SNAPSHOT_SECTIONS_DECODED: &str = "snapshot_sections_decoded";
+/// Snapshots read via the legacy v2 freeze-on-load path.
+pub const SNAPSHOT_V2_FALLBACK: &str = "snapshot_v2_fallback";
+/// Gauge: total snapshot bytes read.
+pub const SNAPSHOT_BYTES_TOTAL: &str = "snapshot_bytes_total";
+/// Gauge prefix for per-section body sizes; the section name from the v3
+/// frame tag is appended (e.g. `snapshot_section_bytes_entities`).
+pub const SNAPSHOT_SECTION_BYTES_PREFIX: &str = "snapshot_section_bytes_";
+
+// --- bench runner (ned-bench) -----------------------------------------
+
+/// Documents that completed at full fidelity.
+pub const DOC_STATUS_OK: &str = "doc_status_ok";
+/// Documents that completed on a degraded ladder rung.
+pub const DOC_STATUS_DEGRADED: &str = "doc_status_degraded";
+/// Documents whose worker panicked (isolated, excluded from accuracy).
+pub const DOC_STATUS_FAILED: &str = "doc_status_failed";
+/// Per-document degradation level: full joint objective.
+pub const DEGRADATION_LEVEL_JOINT: &str = "degradation_level_joint";
+/// Per-document degradation level: coherence disabled.
+pub const DEGRADATION_LEVEL_NO_COHERENCE: &str = "degradation_level_no_coherence";
+/// Per-document degradation level: prior-only assignment.
+pub const DEGRADATION_LEVEL_PRIOR_ONLY: &str = "degradation_level_prior_only";
+
+// --- emerging entities (ned-emerging) ---------------------------------
+
+/// Mentions the EE pipeline linked to an existing KB entity.
+pub const EE_MENTIONS_LINKED: &str = "ee_mentions_linked";
+/// Mentions the EE pipeline flagged as emerging (out-of-KB).
+pub const EE_MENTIONS_EMERGING: &str = "ee_mentions_emerging";
+
+// --- applications (ned-apps) ------------------------------------------
+
+/// Queries answered by entity search.
+pub const SEARCH_QUERIES: &str = "search_queries";
+/// Documents returned across all search queries.
+pub const SEARCH_DOCS_RETURNED: &str = "search_docs_returned";
+/// Documents ingested into the analytics index.
+pub const ANALYTICS_DOCS_INDEXED: &str = "analytics_docs_indexed";
+/// Entity annotations ingested into the analytics index.
+pub const ANALYTICS_MENTIONS_INDEXED: &str = "analytics_mentions_indexed";
+
+// --- stage spans (durations; histograms in nanoseconds) ----------------
+
+/// Span: candidate feature computation for one document.
+pub const STAGE_FEATURES_NS: &str = "stage_features_ns";
+/// Span: mention-entity graph construction for one document.
+pub const STAGE_GRAPH_NS: &str = "stage_graph_ns";
+/// Span: budgeted greedy solve for one document.
+pub const STAGE_SOLVER_NS: &str = "stage_solver_ns";
+/// Span: one full snapshot read.
+pub const STAGE_SNAPSHOT_READ_NS: &str = "stage_snapshot_read_ns";

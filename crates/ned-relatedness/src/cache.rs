@@ -7,9 +7,16 @@
 //! from multiple threads over one shared measure.
 //!
 //! All measures in this crate are symmetric, so keys are canonicalized to
-//! `(min(a, b), max(a, b))` — `(a, b)` and `(b, a)` share one entry. Hit,
-//! miss, and insert counts are tracked with relaxed atomics and exposed via
-//! [`CachedRelatedness::stats`] for the throughput bench's hit-rate report.
+//! `(min(a, b), max(a, b))` — `(a, b)` and `(b, a)` share one entry.
+//!
+//! Effectiveness counters live in the `ned-obs` registry (names in
+//! [`ned_obs::names`]): `relatedness_cache_hits`, `_misses`, `_inserts`.
+//! Accounting is *deterministic*: a lookup counts as a miss only when it
+//! wins the insert under the shard's write lock, so N workers racing on one
+//! absent pair always record exactly 1 miss + (N−1) hits no matter how the
+//! race resolves. Totals therefore depend only on the multiset of lookups,
+//! not on thread interleaving — which lets the golden-metrics suite pin
+//! exact hit counts. By construction `misses == inserts`.
 //!
 //! The cache holds plain memoized floats, so a shard whose lock was
 //! poisoned by a panicking worker is still structurally sound (at worst an
@@ -17,40 +24,16 @@
 //! instead of propagating it — one crashed document must not wedge the
 //! shared cache for the rest of the batch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::hash_map::Entry;
 use std::sync::RwLock;
 
 use ned_kb::fx::FxHashMap;
 use ned_kb::EntityId;
+use ned_obs::{names, Counter, Metrics};
 
 use crate::traits::Relatedness;
 
 const SHARDS: usize = 16;
-
-/// Relaxed counters describing cache effectiveness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that fell through to the wrapped measure.
-    pub misses: u64,
-    /// Entries written (≤ misses: concurrent misses on one pair insert once
-    /// each, but a pair counts one logical entry).
-    pub inserts: u64,
-}
-
-impl CacheStats {
-    /// Fraction of lookups served from the cache, in [0, 1]; 0 when no
-    /// lookups happened.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
 
 /// A relatedness measure with an internal pair cache.
 // Manual Debug: `M` need not be Debug, and dumping the shard maps would be
@@ -58,32 +41,39 @@ impl CacheStats {
 pub struct CachedRelatedness<M> {
     inner: M,
     shards: Vec<RwLock<FxHashMap<(EntityId, EntityId), f64>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
 }
 
 impl<M> std::fmt::Debug for CachedRelatedness<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CachedRelatedness")
             .field("shards", &self.shards.len())
-            .field("hits", &self.hits.load(std::sync::atomic::Ordering::Relaxed))
-            .field("misses", &self.misses.load(std::sync::atomic::Ordering::Relaxed))
-            .field("inserts", &self.inserts.load(std::sync::atomic::Ordering::Relaxed))
+            .field("hits", &self.hits.value())
+            .field("misses", &self.misses.value())
+            .field("inserts", &self.inserts.value())
             .finish_non_exhaustive()
     }
 }
 
 impl<M: Relatedness> CachedRelatedness<M> {
-    /// Wraps `inner` with an empty cache.
+    /// Wraps `inner` with an empty cache and a private metrics registry.
     pub fn new(inner: M) -> Self {
+        Self::with_metrics(inner, &Metrics::new())
+    }
+
+    /// Wraps `inner` with an empty cache, recording hit/miss/insert
+    /// counters into the given registry (pass [`Metrics::disabled`] to
+    /// skip accounting entirely).
+    pub fn with_metrics(inner: M, metrics: &Metrics) -> Self {
         let shards = (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect();
         CachedRelatedness {
             inner,
             shards,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            hits: metrics.counter(names::RELATEDNESS_CACHE_HITS),
+            misses: metrics.counter(names::RELATEDNESS_CACHE_MISSES),
+            inserts: metrics.counter(names::RELATEDNESS_CACHE_INSERTS),
         }
     }
 
@@ -104,12 +94,30 @@ impl<M: Relatedness> CachedRelatedness<M> {
         }
     }
 
-    /// Snapshot of the hit/miss/insert counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Lookups that computed and inserted a fresh pair so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.value()
+    }
+
+    /// Entries written so far (equals [`CachedRelatedness::misses`]).
+    pub fn inserts(&self) -> u64 {
+        self.inserts.value()
+    }
+
+    /// Fraction of lookups served from the cache, in [0, 1]; 0 when no
+    /// lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits.value();
+        let total = hits + self.misses.value();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
         }
     }
 
@@ -133,14 +141,25 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
         let key = if a <= b { (a, b) } else { (b, a) };
         let shard = &self.shards[Self::shard_of(key)];
         if let Some(&v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return v;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the write lock; a racing worker may beat us to
+        // the insert, in which case this lookup counts as a hit and the
+        // duplicate computation is discarded (pure measures, same value).
         let v = self.inner.relatedness(a, b);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        shard.write().unwrap_or_else(|e| e.into_inner()).insert(key, v);
-        v
+        match shard.write().unwrap_or_else(|e| e.into_inner()).entry(key) {
+            Entry::Occupied(slot) => {
+                self.hits.inc();
+                *slot.get()
+            }
+            Entry::Vacant(slot) => {
+                self.misses.inc();
+                self.inserts.inc();
+                slot.insert(v);
+                v
+            }
+        }
     }
 }
 
@@ -194,17 +213,43 @@ mod tests {
     }
 
     #[test]
-    fn stats_track_hits_and_misses() {
+    fn counters_track_hits_and_misses() {
         let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
         let (a, b) = (EntityId(3), EntityId(9));
         c.relatedness(a, b); // miss + insert
         c.relatedness(a, b); // hit
         c.relatedness(b, a); // hit (canonicalized key)
-        let stats = c.stats();
-        assert_eq!(stats.misses, 1);
-        assert_eq!(stats.inserts, 1);
-        assert_eq!(stats.hits, 2);
-        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.inserts(), 1);
+        assert_eq!(c.hits(), 2);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_land_in_a_shared_registry() {
+        let m = Metrics::new();
+        let c =
+            CachedRelatedness::with_metrics(Counting { calls: AtomicUsize::new(0) }, &m);
+        c.relatedness(EntityId(1), EntityId(2));
+        c.relatedness(EntityId(1), EntityId(2));
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::RELATEDNESS_CACHE_MISSES), 1);
+        assert_eq!(snap.counter(names::RELATEDNESS_CACHE_INSERTS), 1);
+        assert_eq!(snap.counter(names::RELATEDNESS_CACHE_HITS), 1);
+    }
+
+    #[test]
+    fn disabled_metrics_skip_accounting_but_still_cache() {
+        let c = CachedRelatedness::with_metrics(
+            Counting { calls: AtomicUsize::new(0) },
+            &Metrics::disabled(),
+        );
+        c.relatedness(EntityId(1), EntityId(2));
+        c.relatedness(EntityId(1), EntityId(2));
+        assert_eq!(c.inner().calls.load(Ordering::Relaxed), 1, "still memoizes");
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hit_rate(), 0.0);
     }
 
     #[test]
@@ -238,9 +283,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_stats_have_zero_hit_rate() {
+    fn fresh_cache_has_zero_hit_rate() {
         let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
-        assert_eq!(c.stats(), CacheStats::default());
-        assert_eq!(c.stats().hit_rate(), 0.0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.inserts(), 0);
+        assert_eq!(c.hit_rate(), 0.0);
     }
 }

@@ -24,7 +24,7 @@ pub mod pair_selection;
 pub mod traits;
 pub mod two_stage;
 
-pub use cache::{CacheStats, CachedRelatedness};
+pub use cache::CachedRelatedness;
 pub use keyterm_cosine::{KeyphraseCosine, KeywordCosine};
 pub use jaccard::InlinkJaccard;
 pub use kore::Kore;

@@ -53,6 +53,10 @@
 /// levels shared by every layer.
 pub use ned_core as core;
 
+/// Observability substrate: the deterministic metrics registry, stage
+/// spans, and the `Clock` abstraction.
+pub use ned_obs as obs;
+
 /// Text processing substrate (tokenizer, POS tagging, NER, mentions).
 pub use ned_text as text;
 

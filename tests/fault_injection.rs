@@ -30,6 +30,8 @@ use aida_ned::text::tokenize;
 use aida_ned::wikigen::config::WorldConfig;
 use aida_ned::wikigen::corpus::conll_like;
 use aida_ned::wikigen::{ExportedKb, World};
+use aida_ned::core::DegradationLevel;
+use aida_ned::obs::{names, Metrics};
 use ned_bench::runner::{run_method_with_threads, run_per_doc, DocOutcome, DocStatus};
 use ned_eval::gold::GoldDoc;
 use proptest::prelude::*;
@@ -185,6 +187,75 @@ fn ten_percent_poisoned_corpus_completes_with_exact_failure_reporting() {
             );
         }
     }
+}
+
+#[test]
+fn poisoned_run_metrics_match_status_accounting() {
+    install_quiet_hook();
+    let (exported, docs) = test_env();
+    let kb = &exported.kb;
+    // A starved solver pushes every healthy document down the degradation
+    // ladder; the poisoned ones fail outright — so the run exercises every
+    // `doc_status_*` counter at once.
+    let config = AidaConfig { solver_max_iterations: 1, ..AidaConfig::full() };
+    let aida = Disambiguator::new(kb, MilneWitten::new(kb), config);
+
+    let poisoned: HashSet<String> = docs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 10 == 0)
+        .map(|(_, d)| d.id.clone())
+        .collect();
+    let eval = run_per_doc(&docs, |d| {
+        if poisoned.contains(&d.id) {
+            panic!("injected fault: poisoned document {}", d.id);
+        }
+        outcome_with(&aida, d)
+    });
+
+    let metrics = Metrics::new();
+    eval.record_metrics(&metrics);
+    let snapshot = metrics.snapshot();
+
+    // Expected per-level counts derived straight from the per-document
+    // statuses — the counters must be their exact aggregate.
+    let mut ok = 0u64;
+    let mut degraded = 0u64;
+    let mut failed = 0u64;
+    let (mut joint, mut no_coherence, mut prior_only) = (0u64, 0u64, 0u64);
+    for doc in &eval.docs {
+        match &doc.status {
+            DocStatus::Ok => {
+                ok += 1;
+                joint += 1;
+            }
+            DocStatus::Degraded(level) => {
+                degraded += 1;
+                match level {
+                    DegradationLevel::None => joint += 1,
+                    DegradationLevel::NoCoherence => no_coherence += 1,
+                    DegradationLevel::PriorOnly => prior_only += 1,
+                }
+            }
+            DocStatus::Failed { .. } => failed += 1,
+        }
+    }
+    assert!(failed > 0, "the poison must fail at least one document");
+    assert!(degraded > 0, "the starved solver must degrade at least one document");
+    assert_eq!(failed, poisoned.len() as u64);
+    assert_eq!(failed, eval.failed_count() as u64);
+    assert_eq!(degraded, eval.degraded_count() as u64);
+    assert_eq!(ok + degraded + failed, docs.len() as u64);
+
+    assert_eq!(snapshot.counter(names::DOC_STATUS_OK), ok);
+    assert_eq!(snapshot.counter(names::DOC_STATUS_DEGRADED), degraded);
+    assert_eq!(snapshot.counter(names::DOC_STATUS_FAILED), failed);
+    assert_eq!(snapshot.counter(names::DEGRADATION_LEVEL_JOINT), joint);
+    assert_eq!(snapshot.counter(names::DEGRADATION_LEVEL_NO_COHERENCE), no_coherence);
+    assert_eq!(snapshot.counter(names::DEGRADATION_LEVEL_PRIOR_ONLY), prior_only);
+    // Failed documents carry no degradation level, so the levels partition
+    // exactly the non-failed population.
+    assert_eq!(joint + no_coherence + prior_only + failed, docs.len() as u64);
 }
 
 #[test]

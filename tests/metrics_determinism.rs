@@ -1,0 +1,167 @@
+//! The observability layer's determinism contract: a metrics snapshot is a
+//! pure function of the workload. Counter totals are u64 atomic additions,
+//! which commute, so the snapshot must be bit-identical across thread
+//! counts; the registry is keyed by a `BTreeMap`, so snapshot ordering is
+//! lexicographic and stable; and under the default null clock the stage
+//! histograms are interleaving-independent too. The same snapshot must also
+//! come out of both KB backends (legacy row-oriented `KnowledgeBase` and
+//! the frozen columnar `FrozenKb`) — storage layout must not move a single
+//! counter. Finally, the zero-overhead contract: attaching a registry must
+//! not change one bit of annotation output.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::{Arc, OnceLock};
+
+use aida_ned::aida::{AidaConfig, Disambiguator};
+use aida_ned::kb::FrozenKb;
+use aida_ned::obs::{Metrics, MetricsSnapshot};
+use aida_ned::relatedness::{CachedRelatedness, MilneWitten};
+use aida_ned::wikigen::config::WorldConfig;
+use aida_ned::wikigen::corpus::conll_like;
+use aida_ned::wikigen::{ExportedKb, World};
+use ned_bench::runner::{run_method_with_threads, Evaluation};
+use ned_eval::gold::GoldDoc;
+use proptest::prelude::*;
+
+/// One world, built once per test binary: the corpus seeds vary per test,
+/// the KB does not need to.
+fn world() -> &'static (World, ExportedKb, Arc<FrozenKb>) {
+    static WORLD: OnceLock<(World, ExportedKb, Arc<FrozenKb>)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let world =
+            World::generate(WorldConfig { entities_per_topic: 100, ..WorldConfig::default() });
+        let exported = ExportedKb::build(&world);
+        let frozen = Arc::new(FrozenKb::freeze(&exported.kb));
+        (world, exported, frozen)
+    })
+}
+
+fn corpus(seed: u64, docs: usize) -> Vec<GoldDoc> {
+    let (world, exported, _) = world();
+    conll_like(world, exported, seed, docs).docs
+}
+
+/// Runs the full pipeline (cached relatedness + disambiguator, both
+/// instrumented) over `docs` through the frozen KB path and returns the
+/// outcomes plus the complete metrics snapshot.
+fn run_frozen(docs: &[GoldDoc], threads: usize) -> (Evaluation, MetricsSnapshot) {
+    let (_, _, frozen) = world();
+    let metrics = Metrics::new();
+    let cached = CachedRelatedness::with_metrics(MilneWitten::new(frozen.clone()), &metrics);
+    let aida =
+        Disambiguator::new(frozen.clone(), &cached, AidaConfig::full()).with_metrics(&metrics);
+    let eval = run_method_with_threads(&aida, docs, threads).expect("thread pool");
+    eval.record_metrics(&metrics);
+    (eval, metrics.snapshot())
+}
+
+/// Same pipeline over the legacy borrowed `KnowledgeBase` backend.
+fn run_legacy(docs: &[GoldDoc], threads: usize) -> (Evaluation, MetricsSnapshot) {
+    let (_, exported, _) = world();
+    let kb = &exported.kb;
+    let metrics = Metrics::new();
+    let cached = CachedRelatedness::with_metrics(MilneWitten::new(kb), &metrics);
+    let aida = Disambiguator::new(kb, &cached, AidaConfig::full()).with_metrics(&metrics);
+    let eval = run_method_with_threads(&aida, docs, threads).expect("thread pool");
+    eval.record_metrics(&metrics);
+    (eval, metrics.snapshot())
+}
+
+/// Bitwise outcome equality (confidences compared by bits).
+fn assert_identical(a: &Evaluation, b: &Evaluation) {
+    assert_eq!(a.docs.len(), b.docs.len());
+    for (da, db) in a.docs.iter().zip(&b.docs) {
+        assert_eq!(da.gold, db.gold);
+        assert_eq!(da.predicted, db.predicted);
+        assert_eq!(da.status, db.status);
+        assert_eq!(da.confidence.len(), db.confidence.len());
+        for (ca, cb) in da.confidence.iter().zip(&db.confidence) {
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_identical_across_thread_counts() {
+    let docs = corpus(17, 12);
+    let (eval1, snap1) = run_frozen(&docs, 1);
+    assert!(snap1.counter("aida_docs") > 0, "the run must record work");
+    for threads in [2usize, 4] {
+        let (eval, snap) = run_frozen(&docs, threads);
+        assert_identical(&eval1, &eval);
+        assert_eq!(snap1, snap, "metrics snapshot diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn snapshot_is_identical_across_kb_backends() {
+    let docs = corpus(23, 10);
+    let (frozen_eval, frozen_snap) = run_frozen(&docs, 2);
+    let (legacy_eval, legacy_snap) = run_legacy(&docs, 2);
+    assert_identical(&frozen_eval, &legacy_eval);
+    assert_eq!(
+        frozen_snap, legacy_snap,
+        "the storage backend moved a counter: legacy vs frozen snapshots differ"
+    );
+}
+
+#[test]
+fn attaching_metrics_does_not_change_outcomes() {
+    let (_, _, frozen) = world();
+    let docs = corpus(29, 10);
+
+    // Metrics off: the default disabled registry — every counter is a
+    // no-op handle and the pipeline must behave identically.
+    let cached = CachedRelatedness::new(MilneWitten::new(frozen.clone()));
+    let aida = Disambiguator::new(frozen.clone(), &cached, AidaConfig::full());
+    let off = run_method_with_threads(&aida, &docs, 1).expect("thread pool");
+
+    let (on, snap) = run_frozen(&docs, 1);
+    assert_identical(&off, &on);
+    assert!(snap.counter("aida_mentions") > 0);
+}
+
+#[test]
+fn disabled_registry_snapshot_is_empty() {
+    let m = Metrics::default();
+    assert!(!m.is_enabled());
+    m.counter("anything").add(7);
+    let snap = m.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Over arbitrary corpora (and a starved solver on odd seeds, so the
+    /// degraded rungs of the ladder are exercised too), one thread and
+    /// four threads produce the same snapshot.
+    #[test]
+    fn snapshot_determinism_over_arbitrary_corpora(
+        seed in 0u64..1000,
+        n_docs in 2usize..8,
+    ) {
+        let (_, _, frozen) = world();
+        let docs = corpus(seed, n_docs);
+        let config = if seed % 2 == 1 {
+            AidaConfig { solver_max_iterations: 8, ..AidaConfig::full() }
+        } else {
+            AidaConfig::full()
+        };
+        let run = |threads: usize| {
+            let metrics = Metrics::new();
+            let cached =
+                CachedRelatedness::with_metrics(MilneWitten::new(frozen.clone()), &metrics);
+            let aida = Disambiguator::new(frozen.clone(), &cached, config.clone())
+                .with_metrics(&metrics);
+            let eval = run_method_with_threads(&aida, &docs, threads).expect("thread pool");
+            eval.record_metrics(&metrics);
+            metrics.snapshot()
+        };
+        let one = run(1);
+        let four = run(4);
+        prop_assert_eq!(one, four);
+    }
+}
