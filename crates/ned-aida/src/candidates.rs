@@ -7,11 +7,11 @@
 
 use ned_kb::{EntityId, KbView, WordId};
 use ned_text::Mention;
-use rayon::prelude::*;
 
 use crate::config::KeywordWeighting;
 use crate::obs::PipelineObs;
-use crate::similarity::{context_word_set, simscore_observed};
+use crate::scratch::with_scratch;
+use crate::similarity::simscores_batch_arena;
 
 /// Local (per-mention) features of one candidate entity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,9 +51,14 @@ pub fn candidate_features_for_surface<K: KbView + ?Sized>(
 }
 
 /// [`candidate_features_for_surface`] with pipeline work counters
-/// (candidates considered, similarity plan/scan accounting). Counters are
-/// atomic adds, so the par_iter fan-out records identical totals at any
-/// thread count.
+/// (candidates considered, similarity plan/scan accounting).
+///
+/// All candidates of the mention are scored in one batched pass over the
+/// keyphrase inverted index, against one worker-local scratch arena — no
+/// per-candidate allocation and no nested parallel fan-out (parallelism
+/// splits at the document level, where chunks are coarse enough to pay for
+/// themselves). The batched pass is verified bit-identical to per-candidate
+/// scoring, so features are the same as a sequential scan.
 pub fn candidate_features_observed<K: KbView + ?Sized>(
     kb: &K,
     surface: &str,
@@ -63,26 +68,43 @@ pub fn candidate_features_observed<K: KbView + ?Sized>(
 ) -> Vec<CandidateFeatures> {
     let cands = kb.candidates(surface);
     obs.candidates_considered.add(cands.len() as u64);
-    // One index query set for all candidates of this mention.
-    let context_words = context_word_set(context);
-    // The similarity score dominates; evaluate candidates in parallel
-    // (collected in candidate order — identical to a sequential scan).
-    let mut features: Vec<CandidateFeatures> = cands
-        .par_iter()
-        .map(|c| CandidateFeatures {
-            entity: c.entity,
-            prior: kb.prior(surface, c.entity),
-            sim: simscore_observed(kb, c.entity, context, &context_words, weighting, &obs.sim),
-            sim_normalized: 0.0,
-        })
-        .collect();
-    let max_sim = features.iter().map(|f| f.sim).fold(0.0f64, f64::max);
-    if max_sim > 0.0 {
-        for f in &mut features {
-            f.sim_normalized = f.sim / max_sim;
-        }
+    if cands.is_empty() {
+        return Vec::new();
     }
-    features
+    with_scratch(|scratch| {
+        // One index query set for all candidates of this mention, built in
+        // the arena (same sort+dedup as `context_word_set`).
+        scratch.context_words.clear();
+        scratch.context_words.extend(context.iter().map(|&(_, w)| w));
+        scratch.context_words.sort_unstable();
+        scratch.context_words.dedup();
+        simscores_batch_arena(
+            kb,
+            cands.len(),
+            |i| cands[i].entity, // ned-lint: allow(p1) — i < cands.len() by construction
+            context,
+            weighting,
+            &obs.sim,
+            scratch,
+        );
+        let mut features: Vec<CandidateFeatures> = cands
+            .iter()
+            .zip(scratch.sims.iter())
+            .map(|(c, &sim)| CandidateFeatures {
+                entity: c.entity,
+                prior: kb.prior(surface, c.entity),
+                sim,
+                sim_normalized: 0.0,
+            })
+            .collect();
+        let max_sim = features.iter().map(|f| f.sim).fold(0.0f64, f64::max);
+        if max_sim > 0.0 {
+            for f in &mut features {
+                f.sim_normalized = f.sim / max_sim;
+            }
+        }
+        features
+    })
 }
 
 #[cfg(test)]

@@ -32,10 +32,173 @@ impl Cover {
     }
 }
 
+/// The shape of a cover without its word list: enough to compute `z`.
+///
+/// Produced by the scratch-based cover functions, which leave the distinct
+/// matched words in the [`CoverScratch`] instead of allocating a fresh
+/// vector per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverShape {
+    /// Number of distinct phrase words inside the cover.
+    pub matched_words: usize,
+    /// Window length in tokens.
+    pub length: usize,
+}
+
+impl CoverShape {
+    /// The proximity factor `z = matched words / cover length`.
+    pub fn z(&self) -> f64 {
+        if self.length == 0 {
+            return 0.0;
+        }
+        self.matched_words as f64 / self.length as f64
+    }
+}
+
+/// Reusable buffers for the scratch-based shortest-cover computation.
+///
+/// One scratch serves any number of calls; every buffer is cleared (not
+/// freed) per call, so steady-state cover computation performs zero heap
+/// allocations. The scratch never influences results — only where the
+/// intermediates live.
+#[derive(Debug, Default)]
+pub struct CoverScratch {
+    /// Phrase-word occurrences in the context, position order.
+    occurrences: Vec<(usize, WordId)>,
+    /// Sliding-window multiplicity of each phrase word.
+    counts: FxHashMap<WordId, u32>,
+    /// Distinct words of the last cover found (sorted, deduplicated).
+    words: Vec<WordId>,
+    /// Sorted-deduplicated membership set for unsorted phrase word lists.
+    phrase_set: Vec<WordId>,
+}
+
+impl CoverScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sorted, deduplicated word ids of the most recent cover — valid
+    /// after a [`shortest_cover_into`] / [`shortest_cover_unsorted_into`]
+    /// call that returned `Some`.
+    pub fn cover_words(&self) -> &[WordId] {
+        &self.words
+    }
+}
+
+/// Scratch-based [`shortest_cover`]: identical result, zero steady-state
+/// allocations. `phrase_words` must be sorted and deduplicated (e.g. a
+/// precomputed phrase run) — membership via binary search over the sorted
+/// set is equivalent to the reference's linear `contains` scan, so the
+/// occurrence list, the window scan, and the final cover are the same. On
+/// success the cover's distinct words are left in the scratch
+/// ([`CoverScratch::cover_words`]).
+pub fn shortest_cover_into(
+    context: &[(usize, WordId)],
+    phrase_words: &[WordId],
+    scratch: &mut CoverScratch,
+) -> Option<CoverShape> {
+    debug_assert!(
+        phrase_words.windows(2).all(|p| p[0] < p[1]), // ned-lint: allow(p1) — windows(2) pairs
+        "phrase_words must be sorted and deduplicated"
+    );
+    let CoverScratch { occurrences, counts, words, .. } = scratch;
+    cover_core(context, occurrences, counts, words, |w| {
+        phrase_words.binary_search(&w).is_ok()
+    })
+}
+
+/// [`shortest_cover_into`] for unsorted phrase word lists (e.g. the raw word
+/// sequence of an emerging-entity keyphrase): sorts a scratch-resident copy
+/// for the membership tests, then runs the same window scan.
+pub fn shortest_cover_unsorted_into(
+    context: &[(usize, WordId)],
+    phrase_words: &[WordId],
+    scratch: &mut CoverScratch,
+) -> Option<CoverShape> {
+    let CoverScratch { occurrences, counts, words, phrase_set } = scratch;
+    phrase_set.clear();
+    phrase_set.extend_from_slice(phrase_words);
+    phrase_set.sort_unstable();
+    phrase_set.dedup();
+    cover_core(context, occurrences, counts, words, |w| phrase_set.binary_search(&w).is_ok())
+}
+
+/// The sliding-window scan shared by the scratch-based entry points.
+///
+/// Bit-identical to [`shortest_cover`]: the window logic is the same; the
+/// only difference is that improving windows are recorded as `(left, right,
+/// length)` indices and the word list is materialized once, for the final
+/// best window, instead of on every improvement.
+fn cover_core(
+    context: &[(usize, WordId)],
+    occurrences: &mut Vec<(usize, WordId)>,
+    counts: &mut FxHashMap<WordId, u32>,
+    words: &mut Vec<WordId>,
+    is_phrase_word: impl Fn(WordId) -> bool,
+) -> Option<CoverShape> {
+    occurrences.clear();
+    occurrences.extend(context.iter().copied().filter(|&(_, w)| is_phrase_word(w)));
+    if occurrences.is_empty() {
+        return None;
+    }
+    // Distinct occurrence words via the reusable counts map (the reference
+    // sorts a fresh vector; the count of distinct keys is the same).
+    counts.clear();
+    for &(_, w) in occurrences.iter() {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    let distinct_total = counts.len();
+    counts.clear();
+
+    let mut distinct = 0usize;
+    let mut best: Option<(usize, usize, usize)> = None; // (left, right, length)
+    let mut left = 0usize;
+    for right in 0..occurrences.len() {
+        let (_, w) = occurrences[right]; // ned-lint: allow(p1) — right < len by loop bound
+        let c = counts.entry(w).or_insert(0);
+        if *c == 0 {
+            distinct += 1;
+        }
+        *c += 1;
+        while distinct == distinct_total {
+            let (lpos, lw) = occurrences[left]; // ned-lint: allow(p1) — left ≤ right < len
+            let (rpos, _) = occurrences[right]; // ned-lint: allow(p1) — right < len by loop bound
+            let length = rpos - lpos + 1;
+            let better = match best {
+                None => true,
+                Some((_, _, b)) => length < b,
+            };
+            if better {
+                best = Some((left, right, length));
+            }
+            // Shrink from the left.
+            if let Some(lc) = counts.get_mut(&lw) {
+                *lc -= 1;
+                if *lc == 0 {
+                    distinct -= 1;
+                }
+            }
+            left += 1;
+        }
+    }
+    let (bl, br, length) = best?;
+    words.clear();
+    words.extend(occurrences[bl..=br].iter().map(|&(_, w)| w)); // ned-lint: allow(p1) — window bounds from the scan
+    words.sort_unstable();
+    words.dedup();
+    Some(CoverShape { matched_words: distinct_total, length })
+}
+
 /// Finds the shortest window over `context` (position-sorted `(pos, word)`
 /// pairs) containing a maximal number of distinct words of `phrase_words`.
 ///
 /// Returns `None` when no phrase word occurs in the context.
+///
+/// This is the reference implementation, allocating its buffers per call;
+/// the hot path uses [`shortest_cover_into`] with a reusable
+/// [`CoverScratch`] and is verified bit-identical against it.
 pub fn shortest_cover(context: &[(usize, WordId)], phrase_words: &[WordId]) -> Option<Cover> {
     // Occurrences of phrase words in the context, in position order.
     let occurrences: Vec<(usize, WordId)> = context
@@ -157,5 +320,47 @@ mod tests {
         let cover = shortest_cover(&context, &[w(1), w(2)]).unwrap();
         assert_eq!(cover.matched_words, 1);
         assert_eq!(cover.length, 1);
+    }
+
+    /// One scratch reused across every case must reproduce the reference
+    /// exactly — shape, words, and the `z` bits.
+    #[test]
+    fn scratch_cover_matches_reference_across_reuse() {
+        type Case = (Vec<(usize, WordId)>, Vec<WordId>);
+        let cases: Vec<Case> = vec![
+            (vec![(0, w(1)), (3, w(10)), (6, w(2))], vec![w(2), w(3), w(1)]),
+            (vec![(4, w(1)), (5, w(2)), (6, w(3))], vec![w(1), w(2), w(3)]),
+            (vec![(0, w(1)), (10, w(1)), (12, w(2))], vec![w(1), w(2)]),
+            (vec![(0, w(5)), (1, w(6))], vec![w(1)]),
+            (vec![], vec![w(1)]),
+            (vec![(7, w(3))], vec![w(3), w(4)]),
+            (vec![(0, w(1)), (1, w(1)), (2, w(1))], vec![w(1), w(2)]),
+            (vec![(0, w(2)), (1, w(9)), (2, w(2)), (3, w(4)), (9, w(4))], vec![w(4), w(2)]),
+        ];
+        let mut scratch = CoverScratch::new();
+        for (context, phrase) in &cases {
+            let reference = shortest_cover(context, phrase);
+            // Unsorted entry point takes the raw phrase word list.
+            let via_unsorted = shortest_cover_unsorted_into(context, phrase, &mut scratch);
+            match (&reference, &via_unsorted) {
+                (None, None) => {}
+                (Some(c), Some(s)) => {
+                    assert_eq!(c.matched_words, s.matched_words);
+                    assert_eq!(c.length, s.length);
+                    assert_eq!(c.words, scratch.cover_words());
+                    assert_eq!(c.z().to_bits(), s.z().to_bits());
+                }
+                other => panic!("reference and scratch disagree: {other:?}"),
+            }
+            // Sorted entry point takes the deduplicated sorted set.
+            let mut sorted = phrase.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let via_sorted = shortest_cover_into(context, &sorted, &mut scratch);
+            assert_eq!(via_unsorted, via_sorted);
+            if let Some(c) = &reference {
+                assert_eq!(c.words, scratch.cover_words());
+            }
+        }
     }
 }

@@ -20,6 +20,16 @@ use crate::obs::PipelineObs;
 use crate::result::{DisambiguationResult, MentionAssignment};
 use crate::robustness::{local_weights, should_fix_mention};
 
+/// Minimum number of mentions before the feature stage fans out over rayon.
+///
+/// Below this, a document is scored sequentially on the calling worker: the
+/// per-mention work is small enough that nested fan-out costs more in
+/// range/chunk bookkeeping than it wins, and it would split the per-worker
+/// scratch-arena reuse across short-lived scoped threads. Parallelism
+/// splits at the document level; this gate only affects *where* mentions
+/// run, never their order or values, so outputs stay bit-identical.
+const MENTION_PAR_THRESHOLD: usize = 64;
+
 /// The AIDA joint disambiguator, parameterized over the KB representation
 /// and the coherence measure.
 ///
@@ -132,33 +142,38 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
         } else {
             (0..mentions.len()).collect()
         };
-        // Mentions are scored independently; fan out over rayon (results
-        // collect in mention order, so the output matches a sequential run).
-        (0..mentions.len())
-            .into_par_iter()
-            .map(|i| {
-                let m = &mentions[i];
-                let mut features = candidate_features_observed(
+        let score_mention = |i: usize| {
+            let m = &mentions[i]; // ned-lint: allow(p1) — i < mentions.len() by construction
+            let mut features = candidate_features_observed(
+                &self.kb,
+                &mentions[targets[i]].surface, // ned-lint: allow(p1) — targets is index-aligned with mentions
+                &ctx.for_mention(m),
+                self.config.keyword_weighting,
+                &self.obs,
+            );
+            if features.is_empty() && targets[i] != i { // ned-lint: allow(p1) — i < targets.len() by construction
+                // The expanded surface is unknown to the dictionary:
+                // fall back to the mention's own surface.
+                features = candidate_features_observed(
                     &self.kb,
-                    &mentions[targets[i]].surface,
+                    &m.surface,
                     &ctx.for_mention(m),
                     self.config.keyword_weighting,
                     &self.obs,
                 );
-                if features.is_empty() && targets[i] != i {
-                    // The expanded surface is unknown to the dictionary:
-                    // fall back to the mention's own surface.
-                    features = candidate_features_observed(
-                        &self.kb,
-                        &m.surface,
-                        &ctx.for_mention(m),
-                        self.config.keyword_weighting,
-                        &self.obs,
-                    );
-                }
-                features
-            })
-            .collect()
+            }
+            features
+        };
+        // Mentions are scored independently. Typical documents run
+        // sequentially on the calling worker (reusing its scratch arena);
+        // only unusually mention-heavy documents fan out over rayon, whose
+        // collect preserves mention order — both paths produce identical
+        // output.
+        if mentions.len() < MENTION_PAR_THRESHOLD {
+            (0..mentions.len()).map(score_mention).collect()
+        } else {
+            (0..mentions.len()).into_par_iter().map(score_mention).collect()
+        }
     }
 
     /// Disambiguates pre-computed features (the entry point used by the

@@ -35,6 +35,7 @@ pub mod method;
 pub mod obs;
 pub mod result;
 pub mod robustness;
+pub mod scratch;
 pub mod similarity;
 
 pub use config::{AidaConfig, KeywordWeighting};

@@ -18,6 +18,13 @@
 //! determinism contract), and that a metrics-disabled run produces
 //! byte-identical annotations to the instrumented ones (the zero-overhead
 //! contract).
+//!
+//! Because the harness installs the counting allocator (see
+//! `ned_obs::alloc`), every stage also reports its allocation-event count:
+//! per-run `allocs_per_doc` columns, and a dedicated batched-scoring stage
+//! that certifies the steady-state hot path allocates ~nothing per mention.
+//! The single-threaded stage figures feed the shrink-only `alloc.toml`
+//! ratchet (checked by the `alloc_check` binary in CI).
 
 use std::time::Instant;
 
@@ -25,16 +32,24 @@ use ned_kb::FrozenKbStats;
 use ned_obs::{Metrics, MetricsSnapshot};
 
 use ned_aida::context::DocumentContext;
-use ned_aida::similarity::{context_word_set, simscore_exhaustive, simscore_indexed};
-use ned_aida::{AidaConfig, Disambiguator, KeywordWeighting};
+use ned_aida::similarity::{
+    context_word_set, simscore_exhaustive, simscore_indexed, simscores_batch_into,
+};
+use ned_aida::{AidaConfig, Disambiguator, KeywordWeighting, SimObs};
 use ned_eval::report::{num, Table};
 use ned_relatedness::{CachedRelatedness, MilneWitten};
 
+use crate::alloc_events;
 use crate::runner::{run_method_with_threads, Evaluation};
 use crate::setup::{Env, Scale};
 
 /// A mention's context window plus its candidate entities.
 type SimCase = (Vec<(usize, ned_kb::WordId)>, Vec<ned_kb::EntityId>);
+
+/// 1-thread pipeline cost measured at the PR-5 tip (observability layer),
+/// pinned so the before/after trajectory stays visible in the JSON report:
+/// 0.148064 s / 200 docs on the quick scale.
+const PINNED_BASELINE_1T_NS_PER_DOC: f64 = 740_320.0;
 
 /// One thread-count measurement.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +62,20 @@ struct Run {
     cache_hit_rate: f64,
     failed_docs: usize,
     degraded_docs: usize,
+    /// Allocation events during the pipeline pass (process-global delta at
+    /// quiescent points; exact at 1 thread, scheduling-dependent above).
+    alloc_events: u64,
+    allocs_per_doc: f64,
+}
+
+/// One stage's allocation accounting for the report and the ratchet.
+#[derive(Debug, Clone, Copy)]
+struct StageAlloc {
+    stage: &'static str,
+    alloc_events: u64,
+    /// What `per_unit` divides by ("doc", "pair", "mention").
+    unit: &'static str,
+    per_unit: f64,
 }
 
 /// Byte-level equality of two evaluations (labels, confidence bits, and
@@ -91,10 +120,12 @@ pub fn run(scale: &Scale) {
             CachedRelatedness::with_metrics(MilneWitten::new(env.frozen.clone()), &metrics);
         let aida = Disambiguator::new(env.frozen.clone(), &cached, AidaConfig::full())
             .with_metrics(&metrics);
+        let alloc_before = alloc_events();
         let start = Instant::now();
         let eval = run_method_with_threads(&aida, docs, threads)
             .unwrap_or_else(|e| panic!("cannot build {threads}-thread pool: {e}"));
         let seconds = start.elapsed().as_secs_f64();
+        let run_allocs = alloc_events() - alloc_before;
         eval.record_metrics(&metrics);
         let failed_docs = eval.failed_count();
         let degraded_docs = eval.degraded_count();
@@ -125,6 +156,8 @@ pub fn run(scale: &Scale) {
             cache_hit_rate: cached.hit_rate(),
             failed_docs,
             degraded_docs,
+            alloc_events: run_allocs,
+            allocs_per_doc: run_allocs as f64 / docs.len() as f64,
         });
     }
     assert!(deterministic, "thread counts produced diverging outcomes");
@@ -187,7 +220,9 @@ pub fn run(scale: &Scale) {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let time_sim = |indexed: bool| -> f64 {
+    let pair_count: usize = contexts.iter().map(|(_, cands)| cands.len()).sum();
+    let time_sim = |indexed: bool| -> (f64, u64) {
+        let alloc_before = alloc_events();
         let start = Instant::now();
         let mut acc = 0.0;
         for (ctx, cands) in &contexts {
@@ -203,11 +238,77 @@ pub fn run(scale: &Scale) {
             }
         }
         std::hint::black_box(acc);
-        start.elapsed().as_secs_f64()
+        (start.elapsed().as_secs_f64(), alloc_events() - alloc_before)
     };
-    let exhaustive_s = time_sim(false);
-    let indexed_s = time_sim(true);
+    let (exhaustive_s, exhaustive_allocs) = time_sim(false);
+    let (indexed_s, indexed_allocs) = time_sim(true);
     let index_speedup = if indexed_s > 0.0 { exhaustive_s / indexed_s } else { 1.0 };
+
+    // The batched scorer, run twice over the whole corpus on one thread:
+    // the first pass grows the per-thread arena to its high-water mark, the
+    // second must be allocation-free — the zero-allocation hot-path claim,
+    // measured rather than asserted by construction. Scores from both
+    // passes must agree bitwise (scratch reuse cannot change a bit).
+    let batched_metrics = Metrics::new();
+    let batched_obs = SimObs::new(&batched_metrics);
+    let mut batched_out: Vec<f64> = Vec::new();
+    let time_batched = |out: &mut Vec<f64>| -> (f64, u64, f64) {
+        let alloc_before = alloc_events();
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for (ctx, cands) in &contexts {
+            simscores_batch_into(fkb, cands, ctx, KeywordWeighting::Npmi, &batched_obs, out);
+            acc = out.iter().fold(acc, |a, &s| a + s);
+        }
+        std::hint::black_box(acc);
+        (start.elapsed().as_secs_f64(), alloc_events() - alloc_before, acc)
+    };
+    let (_batched_warm_s, batched_warm_allocs, warm_acc) = time_batched(&mut batched_out);
+    let (batched_steady_s, batched_steady_allocs, steady_acc) = time_batched(&mut batched_out);
+    assert!(
+        warm_acc.to_bits() == steady_acc.to_bits(),
+        "scratch reuse changed batched scores: {warm_acc} vs {steady_acc}"
+    );
+    let batched_speedup = if batched_steady_s > 0.0 { indexed_s / batched_steady_s } else { 1.0 };
+    let steady_sim_allocs_per_mention = if contexts.is_empty() {
+        0.0
+    } else {
+        batched_steady_allocs as f64 / contexts.len() as f64
+    };
+
+    let per = |events: u64, n: usize| if n == 0 { 0.0 } else { events as f64 / n as f64 };
+    let alloc_stages = [
+        StageAlloc {
+            stage: "pipeline_1_thread",
+            alloc_events: runs.first().map_or(0, |r| r.alloc_events),
+            unit: "doc",
+            per_unit: runs.first().map_or(0.0, |r| r.allocs_per_doc),
+        },
+        StageAlloc {
+            stage: "sim_exhaustive",
+            alloc_events: exhaustive_allocs,
+            unit: "pair",
+            per_unit: per(exhaustive_allocs, pair_count),
+        },
+        StageAlloc {
+            stage: "sim_indexed",
+            alloc_events: indexed_allocs,
+            unit: "pair",
+            per_unit: per(indexed_allocs, pair_count),
+        },
+        StageAlloc {
+            stage: "sim_batched_warmup",
+            alloc_events: batched_warm_allocs,
+            unit: "mention",
+            per_unit: per(batched_warm_allocs, contexts.len()),
+        },
+        StageAlloc {
+            stage: "sim_batched_steady",
+            alloc_events: batched_steady_allocs,
+            unit: "mention",
+            per_unit: steady_sim_allocs_per_mention,
+        },
+    ];
 
     let mut table = Table::new(
         "Throughput — full AIDA over the CoNLL-like corpus",
@@ -220,6 +321,7 @@ pub fn run(scale: &Scale) {
             "cache hit rate",
             "failed",
             "degraded",
+            "allocs/doc",
         ],
     );
     for r in &runs {
@@ -232,13 +334,32 @@ pub fn run(scale: &Scale) {
             num(r.cache_hit_rate, 3),
             r.failed_docs.to_string(),
             r.degraded_docs.to_string(),
+            num(r.allocs_per_doc, 1),
         ]);
     }
     print!("{}", table.render());
     println!(
-        "keyphrase index: exhaustive {:.3}s vs indexed {:.3}s ({index_speedup:.2}x); \
+        "keyphrase index: exhaustive {:.3}s vs indexed {:.3}s ({index_speedup:.2}x) vs \
+         batched {:.3}s ({batched_speedup:.2}x over indexed); \
          deterministic across thread counts: {deterministic}",
-        exhaustive_s, indexed_s
+        exhaustive_s, indexed_s, batched_steady_s
+    );
+    println!(
+        "allocations: steady-state batched scoring {batched_steady_allocs} events over {} \
+         mentions ({steady_sim_allocs_per_mention:.4}/mention; warmup pass {batched_warm_allocs})",
+        contexts.len()
+    );
+    let measured_ns_per_doc = runs
+        .first()
+        .map_or(0.0, |r| r.seconds * 1e9 / docs.len().max(1) as f64);
+    let pinned_speedup = if measured_ns_per_doc > 0.0 {
+        PINNED_BASELINE_1T_NS_PER_DOC / measured_ns_per_doc
+    } else {
+        1.0
+    };
+    println!(
+        "pinned baseline: 1-thread {measured_ns_per_doc:.0} ns/doc vs \
+         {PINNED_BASELINE_1T_NS_PER_DOC:.0} ns/doc at the PR-5 tip ({pinned_speedup:.2}x)"
     );
     println!(
         "metrics: snapshot identical across thread counts: {metrics_deterministic}; \
@@ -250,19 +371,31 @@ pub fn run(scale: &Scale) {
         unreachable!("the thread sweep runs at least once")
     };
     let kb_stats = *env.frozen.stats();
+    let sim_timings = SimTimings {
+        exhaustive_s,
+        indexed_s,
+        index_speedup,
+        batched_s: batched_steady_s,
+        batched_speedup,
+    };
+    let pinned = PinnedBaseline {
+        baseline_ns_per_doc: PINNED_BASELINE_1T_NS_PER_DOC,
+        measured_ns_per_doc,
+        speedup_vs_pinned: pinned_speedup,
+    };
     let json = render_json(
         docs.len(),
         mention_count,
         &runs,
-        exhaustive_s,
-        indexed_s,
-        index_speedup,
+        &sim_timings,
         deterministic,
         &kb_stats,
         &snapshot,
         metrics_deterministic,
         metrics_off_seconds,
         metrics_overhead,
+        &alloc_stages,
+        &pinned,
     );
     let path = "BENCH_throughput.json";
     match std::fs::write(path, &json) {
@@ -301,6 +434,7 @@ fn kb_stats_json(s: &FrozenKbStats, indent: &str) -> String {
     field("keyphrase_entries", s.keyphrase_entries);
     field("keyphrase_bytes", s.keyphrase_bytes);
     field("weight_bytes", s.weight_bytes);
+    field("phrase_run_bytes", s.phrase_run_bytes);
     field("transient_index_bytes", s.transient_index_bytes);
     out.push_str(&format!("{indent}\"total_bytes\": {}\n", s.total_bytes));
     out
@@ -324,20 +458,39 @@ fn metrics_counters_json(snapshot: &MetricsSnapshot, indent: &str) -> String {
     out
 }
 
+/// Wall-clock figures of the per-pair scoring comparison.
+#[derive(Debug, Clone, Copy)]
+struct SimTimings {
+    exhaustive_s: f64,
+    indexed_s: f64,
+    index_speedup: f64,
+    batched_s: f64,
+    batched_speedup: f64,
+}
+
+/// The pinned before/after comparison row (see
+/// [`PINNED_BASELINE_1T_NS_PER_DOC`]).
+#[derive(Debug, Clone, Copy)]
+struct PinnedBaseline {
+    baseline_ns_per_doc: f64,
+    measured_ns_per_doc: f64,
+    speedup_vs_pinned: f64,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     doc_count: usize,
     mention_count: usize,
     runs: &[Run],
-    exhaustive_s: f64,
-    indexed_s: f64,
-    index_speedup: f64,
+    sim: &SimTimings,
     deterministic: bool,
     kb_stats: &FrozenKbStats,
     snapshot: &MetricsSnapshot,
     metrics_deterministic: bool,
     metrics_off_seconds: f64,
     metrics_overhead: f64,
+    alloc_stages: &[StageAlloc],
+    pinned: &PinnedBaseline,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"corpus\": \"conll-like\",\n");
@@ -352,7 +505,8 @@ fn render_json(
         out.push_str(&format!(
             "    {{\"threads\": {}, \"seconds\": {:.6}, \"docs_per_sec\": {:.3}, \
              \"mentions_per_sec\": {:.3}, \"speedup_vs_1_thread\": {:.3}, \
-             \"cache_hit_rate\": {:.4}, \"failed_docs\": {}, \"degraded_docs\": {}}}{}\n",
+             \"cache_hit_rate\": {:.4}, \"failed_docs\": {}, \"degraded_docs\": {}, \
+             \"alloc_events\": {}, \"allocs_per_doc\": {:.1}}}{}\n",
             r.threads,
             r.seconds,
             r.docs_per_sec,
@@ -361,13 +515,42 @@ fn render_json(
             r.cache_hit_rate,
             r.failed_docs,
             r.degraded_docs,
+            r.alloc_events,
+            r.allocs_per_doc,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"keyphrase_index\": {{\"exhaustive_seconds\": {exhaustive_s:.6}, \
-         \"indexed_seconds\": {indexed_s:.6}, \"speedup\": {index_speedup:.3}}},\n"
+        "  \"pinned_baseline_1_thread\": {{\"baseline_ns_per_doc\": {:.0}, \
+         \"measured_ns_per_doc\": {:.0}, \"speedup_vs_pinned\": {:.3}}},\n",
+        pinned.baseline_ns_per_doc, pinned.measured_ns_per_doc, pinned.speedup_vs_pinned
+    ));
+    out.push_str(&format!(
+        "  \"keyphrase_index\": {{\"exhaustive_seconds\": {:.6}, \
+         \"indexed_seconds\": {:.6}, \"speedup\": {:.3}, \
+         \"batched_seconds\": {:.6}, \"batched_speedup_vs_indexed\": {:.3}}},\n",
+        sim.exhaustive_s, sim.indexed_s, sim.index_speedup, sim.batched_s, sim.batched_speedup
+    ));
+    out.push_str("  \"allocations\": {\n    \"stages\": [\n");
+    for (i, s) in alloc_stages.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"stage\": \"{}\", \"alloc_events\": {}, \"unit\": \"{}\", \
+             \"per_unit\": {:.4}}}{}\n",
+            s.stage,
+            s.alloc_events,
+            s.unit,
+            s.per_unit,
+            if i + 1 < alloc_stages.len() { "," } else { "" }
+        ));
+    }
+    let steady = alloc_stages
+        .iter()
+        .find(|s| s.stage == "sim_batched_steady")
+        .map_or(0.0, |s| s.per_unit);
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"steady_state_sim_allocs_per_mention\": {steady:.4}\n  }},\n"
     ));
     out.push_str("  \"frozen_kb\": {\n");
     out.push_str(&kb_stats_json(kb_stats, "    "));
@@ -404,6 +587,8 @@ mod tests {
                 cache_hit_rate: 0.5,
                 failed_docs: 2,
                 degraded_docs: 1,
+                alloc_events: 4000,
+                allocs_per_doc: 200.0,
             },
             Run {
                 threads: 4,
@@ -414,6 +599,8 @@ mod tests {
                 cache_hit_rate: 0.5,
                 failed_docs: 2,
                 degraded_docs: 1,
+                alloc_events: 4400,
+                allocs_per_doc: 220.0,
             },
         ];
         let stats = FrozenKbStats { entity_count: 7, total_bytes: 4096, ..Default::default() };
@@ -421,22 +608,64 @@ mod tests {
         metrics.counter("aida_docs").add(20);
         metrics.counter("doc_status_ok").add(18);
         let snapshot = metrics.snapshot();
-        let json =
-            render_json(20, 100, &runs, 2.0, 1.0, 2.0, true, &stats, &snapshot, true, 1.9, 1.05);
+        let sim = SimTimings {
+            exhaustive_s: 2.0,
+            indexed_s: 1.0,
+            index_speedup: 2.0,
+            batched_s: 0.5,
+            batched_speedup: 2.0,
+        };
+        let stages = [
+            StageAlloc {
+                stage: "pipeline_1_thread",
+                alloc_events: 4000,
+                unit: "doc",
+                per_unit: 200.0,
+            },
+            StageAlloc {
+                stage: "sim_batched_steady",
+                alloc_events: 0,
+                unit: "mention",
+                per_unit: 0.0,
+            },
+        ];
+        let pinned = PinnedBaseline {
+            baseline_ns_per_doc: 740_320.0,
+            measured_ns_per_doc: 500_000.0,
+            speedup_vs_pinned: 1.48,
+        };
+        let json = render_json(
+            20, 100, &runs, &sim, true, &stats, &snapshot, true, 1.9, 1.05, &stages, &pinned,
+        );
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"failed_docs\": 2"));
         assert!(json.contains("\"degraded_docs\": 1"));
+        assert!(json.contains("\"allocs_per_doc\": 200.0"));
         assert!(json.contains("\"entity_count\": 7"));
+        assert!(json.contains("\"phrase_run_bytes\": 0"));
         assert!(json.contains("\"total_bytes\": 4096"));
         assert!(json.contains("\"deterministic_across_thread_counts\": true"));
         assert!(json.contains("\"metrics_deterministic_across_thread_counts\": true"));
         assert!(json.contains("\"aida_docs\": 20"));
         assert!(json.contains("\"doc_status_ok\": 18"));
         assert!(json.contains("\"off_seconds\": 1.900000"));
+        assert!(json.contains("\"baseline_ns_per_doc\": 740320"));
+        assert!(json.contains("\"batched_seconds\": 0.500000"));
+        assert!(json.contains("\"stage\": \"sim_batched_steady\""));
+        assert!(json.contains("\"steady_state_sim_allocs_per_mention\": 0.0000"));
         // No trailing comma at the end of the embedded counters object.
         assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn alloc_events_is_monotone_and_counting() {
+        let before = alloc_events();
+        let v: Vec<u64> = (0..256).collect();
+        std::hint::black_box(&v);
+        let after = alloc_events();
+        assert!(after > before, "the counting allocator is installed and counting");
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Allocation-ratchet gate: compares the per-stage allocation figures of a
+//! freshly produced `BENCH_throughput.json` (written by `experiments
+//! bench_throughput`, whose binary installs the counting allocator) against
+//! the shrink-only budgets in `alloc.toml` and exits non-zero on a
+//! violation.
+//!
+//! Semantics mirror `lint.toml` (DESIGN.md §9):
+//!
+//! - **exceeded** — a stage's measured per-unit allocation events are above
+//!   its budget: the hot path regressed; always fails.
+//! - **absorb** — a measured stage with no budget line fails until a budget
+//!   is written down (run `--write-budgets` and review the diff); nothing
+//!   is absorbed silently.
+//! - **stale** — with `--ratchet`, a budget more than twice the measured
+//!   value (and above the `STALE_FLOOR` noise floor) fails: headroom that
+//!   loose would hide a real regression, so the budget must shrink.
+//!
+//! `--write-budgets` regenerates `alloc.toml` at `measured × 1.25`
+//! headroom, but never *raises* an existing budget — the ratchet only
+//! tightens; loosening is a hand edit that shows up in review.
+//!
+//! Budgets are calibrated on the quick-scale CI run. Only single-threaded
+//! stages are budgeted: multi-thread allocation counts depend on how the
+//! scheduler splits doc chunks across workers (each worker grows its own
+//! scratch arena), so they are reported in the JSON but not gated.
+//!
+//! Usage:
+//!   alloc_check <BENCH_throughput.json> <alloc.toml> [--ratchet | --write-budgets]
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Budgets at or below this per-unit value are never stale: near-zero
+/// stages (the whole point of the ratchet) would otherwise thrash between
+/// "shrink it" and "0.0 forbids everything".
+const STALE_FLOOR: f64 = 1.0;
+
+/// Headroom factor applied by `--write-budgets` over the measured value,
+/// absorbing run-to-run jitter (thread spawn bookkeeping, map resize
+/// boundaries) without hiding a real regression.
+const HEADROOM: f64 = 1.25;
+
+/// Extracts `(stage, per_unit)` pairs from the `"stages"` array of the
+/// bench report. Stage objects are one-per-line by construction (see
+/// `bench_throughput::render_json`), so a line-oriented scan is sufficient.
+/// Returns `None` when no well-formed stage line exists.
+fn parse_stages(json: &str) -> Option<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"stage\": \"") else {
+            continue;
+        };
+        let (stage, rest) = rest.split_once('"')?;
+        let per_unit = rest
+            .split_once("\"per_unit\":")
+            .and_then(|(_, v)| v.trim().trim_end_matches(['}', ',']).trim().parse::<f64>().ok())?;
+        out.push((stage.to_string(), per_unit));
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Parses the `[budgets]` table of `alloc.toml`: lines of the form
+/// `"stage" = 12.34`. Comments and blank lines are skipped. Returns `None`
+/// on any malformed entry.
+fn parse_budgets(toml: &str) -> Option<BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
+            continue;
+        }
+        let (key, value) = line.split_once('=')?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value.trim().parse().ok()?;
+        out.insert(key, value);
+    }
+    Some(out)
+}
+
+/// Applies the ratchet rules; returns one message per violation.
+fn check(
+    stages: &[(String, f64)],
+    budgets: &BTreeMap<String, f64>,
+    ratchet: bool,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (stage, measured) in stages {
+        match budgets.get(stage) {
+            None => violations.push(format!(
+                "stage {stage}: measured {measured:.4} allocs/unit but no budget in \
+                 alloc.toml (new stage? run alloc_check --write-budgets and review)"
+            )),
+            Some(budget) if measured > budget => violations.push(format!(
+                "stage {stage}: exceeded — measured {measured:.4} allocs/unit over \
+                 budget {budget:.4} (the hot path regressed, or the budget needs a \
+                 reviewed hand edit)"
+            )),
+            Some(budget) if ratchet && *budget > STALE_FLOOR && *budget > 2.0 * measured => {
+                violations.push(format!(
+                    "stage {stage}: stale — budget {budget:.4} is more than twice the \
+                     measured {measured:.4}; shrink it (alloc_check --write-budgets)"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for stage in budgets.keys() {
+        if !stages.iter().any(|(s, _)| s == stage) {
+            violations.push(format!(
+                "budget {stage}: no such stage in the bench report (renamed or removed? \
+                 drop the budget line)"
+            ));
+        }
+    }
+    violations
+}
+
+/// Renders a fresh `alloc.toml`: `measured × HEADROOM`, capped at the old
+/// budget when one exists (tighten-only), with a small positive floor so a
+/// zero-allocation stage still has a budget the gate can enforce.
+fn render_budgets(stages: &[(String, f64)], old: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from(
+        "# Allocation ratchet — shrink-only per-stage budgets on allocation events\n\
+         # per unit of work, measured by the counting allocator installed in the\n\
+         # ned-bench harness (see ned_obs::alloc and DESIGN.md \u{a7}12).\n\
+         #\n\
+         # Checked in CI by `alloc_check BENCH_throughput.json alloc.toml --ratchet`\n\
+         # against the quick-scale bench report. Semantics mirror lint.toml:\n\
+         #   exceeded  measured > budget                          -> fail\n\
+         #   absorb    measured stage without a budget line       -> fail (write it down)\n\
+         #   stale     budget > 2 x measured (and > 1.0)          -> fail under --ratchet\n\
+         # Regenerate with `cargo run -p ned-bench --bin alloc_check --\n\
+         #   BENCH_throughput.json alloc.toml --write-budgets` — regeneration never\n\
+         # raises an existing budget; loosening is a reviewed hand edit.\n\
+         \n\
+         [budgets]\n",
+    );
+    let mut entries: BTreeMap<&str, f64> = BTreeMap::new();
+    for (stage, measured) in stages {
+        let fresh = ((measured * HEADROOM * 100.0).ceil() / 100.0).max(0.01);
+        let budget = old.get(stage).map_or(fresh, |&b| fresh.min(b));
+        entries.insert(stage, budget);
+    }
+    for (stage, budget) in entries {
+        out.push_str(&format!("\"{stage}\" = {budget:.2}\n"));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> =
+        args.iter().filter(|a| a.starts_with("--")).map(|a| a.as_str()).collect();
+    let paths: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.as_str()).collect();
+    let [bench_path, budget_path] = paths.as_slice() else {
+        eprintln!("usage: alloc_check <BENCH_throughput.json> <alloc.toml> [--ratchet | --write-budgets]");
+        return ExitCode::from(2);
+    };
+    let bench = match std::fs::read_to_string(bench_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {bench_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(stages) = parse_stages(&bench) else {
+        eprintln!("{bench_path}: no well-formed \"stages\" entries (old bench format?)");
+        return ExitCode::from(2);
+    };
+    let budgets = match std::fs::read_to_string(budget_path) {
+        Ok(text) => match parse_budgets(&text) {
+            Some(b) => b,
+            None => {
+                eprintln!("{budget_path}: malformed budget entry");
+                return ExitCode::from(2);
+            }
+        },
+        // A missing budget file is an empty baseline: every stage then
+        // fails as unbudgeted until --write-budgets creates it.
+        Err(_) => BTreeMap::new(),
+    };
+
+    if flags.contains(&"--write-budgets") {
+        let rendered = render_budgets(&stages, &budgets);
+        if let Err(e) = std::fs::write(budget_path, &rendered) {
+            eprintln!("cannot write {budget_path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("alloc_check: wrote {budget_path} ({} budget(s))", stages.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let violations = check(&stages, &budgets, flags.contains(&"--ratchet"));
+    if violations.is_empty() {
+        println!(
+            "alloc_check: {} stage(s) within {} budget(s)",
+            stages.len(),
+            budgets.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("alloc_check: {} violation(s) against {budget_path}", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "allocations": {
+    "stages": [
+      {"stage": "pipeline_1_thread", "alloc_events": 4000, "unit": "doc", "per_unit": 200.0000},
+      {"stage": "sim_batched_steady", "alloc_events": 0, "unit": "mention", "per_unit": 0.0000}
+    ],
+    "steady_state_sim_allocs_per_mention": 0.0000
+  }
+}
+"#;
+
+    fn budgets(text: &str) -> BTreeMap<String, f64> {
+        parse_budgets(text).unwrap()
+    }
+
+    #[test]
+    fn parses_the_bench_report_stages() {
+        let stages = parse_stages(REPORT).unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "pipeline_1_thread");
+        assert_eq!(stages[0].1, 200.0);
+        assert_eq!(stages[1], ("sim_batched_steady".to_string(), 0.0));
+    }
+
+    #[test]
+    fn rejects_reports_without_stages() {
+        assert!(parse_stages("{\"runs\": []}").is_none());
+    }
+
+    #[test]
+    fn parses_budget_tables_and_rejects_malformed_lines() {
+        let b = budgets("# comment\n[budgets]\n\"a\" = 1.5\n\"b\" = 0.01\n");
+        assert_eq!(b.get("a"), Some(&1.5));
+        assert_eq!(b.get("b"), Some(&0.01));
+        assert!(parse_budgets("\"a\" = not-a-number\n").is_none());
+    }
+
+    #[test]
+    fn in_budget_stages_pass() {
+        let stages = parse_stages(REPORT).unwrap();
+        let b = budgets("\"pipeline_1_thread\" = 250.0\n\"sim_batched_steady\" = 0.01\n");
+        assert!(check(&stages, &b, true).is_empty());
+    }
+
+    /// The seeded violation: a regressed stage must trip the gate.
+    #[test]
+    fn seeded_exceeded_stage_fires_the_gate() {
+        let stages = vec![
+            ("pipeline_1_thread".to_string(), 300.0),
+            ("sim_batched_steady".to_string(), 2.5),
+        ];
+        let b = budgets("\"pipeline_1_thread\" = 250.0\n\"sim_batched_steady\" = 0.01\n");
+        let violations = check(&stages, &b, false);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().all(|v| v.contains("exceeded")), "{violations:?}");
+    }
+
+    #[test]
+    fn unbudgeted_and_orphaned_stages_fail() {
+        let stages = vec![("brand_new_stage".to_string(), 1.0)];
+        let b = budgets("\"removed_stage\" = 5.0\n");
+        let violations = check(&stages, &b, false);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("no budget"));
+        assert!(violations[1].contains("no such stage"));
+    }
+
+    #[test]
+    fn stale_budgets_fail_only_under_ratchet() {
+        let stages = vec![("pipeline_1_thread".to_string(), 10.0)];
+        let b = budgets("\"pipeline_1_thread\" = 100.0\n");
+        assert!(check(&stages, &b, false).is_empty());
+        let violations = check(&stages, &b, true);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("stale"));
+    }
+
+    #[test]
+    fn near_zero_budgets_are_never_stale() {
+        let stages = vec![("sim_batched_steady".to_string(), 0.0)];
+        let b = budgets("\"sim_batched_steady\" = 0.01\n");
+        assert!(check(&stages, &b, true).is_empty());
+    }
+
+    #[test]
+    fn write_budgets_tightens_but_never_loosens() {
+        let stages = vec![
+            ("pipeline_1_thread".to_string(), 100.0),
+            ("sim_batched_steady".to_string(), 0.0),
+        ];
+        // Old budgets: one too loose (shrinks to measured × 1.25), one
+        // already tighter than measured × 1.25 (kept).
+        let old = budgets("\"pipeline_1_thread\" = 400.0\n\"sim_batched_steady\" = 0.01\n");
+        let rendered = render_budgets(&stages, &old);
+        let fresh = budgets(&rendered);
+        assert_eq!(fresh.get("pipeline_1_thread"), Some(&125.0));
+        assert_eq!(fresh.get("sim_batched_steady"), Some(&0.01));
+        // Round-trips through the parser, and the header documents the rules.
+        assert!(rendered.contains("[budgets]"));
+        assert!(rendered.contains("shrink-only"));
+    }
+}

@@ -7,6 +7,23 @@
 //! experiment index and EXPERIMENTS.md for paper-vs-measured records).
 //!
 //! Run with `cargo run -p ned-bench --release --bin experiments -- <id|all>`.
+//!
+//! Every binary linking this crate (the experiments harness and the crate's
+//! test runners) routes heap allocation through the first-party counting
+//! wrapper, so benches can report per-stage allocation-event counts — see
+//! `ned_obs::alloc` for the counting contract. Library crates never install
+//! it; this is strictly a bench/test-build measurement aid.
+
+use ned_obs::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Allocation events since process start (monotone, process-global; take
+/// deltas at quiescent points — see `ned_obs::alloc`).
+pub fn alloc_events() -> u64 {
+    ALLOC.alloc_count()
+}
 
 pub mod ablations;
 pub mod bench_throughput;

@@ -10,7 +10,8 @@
 
 use ned_aida::candidates::CandidateFeatures;
 use ned_aida::config::AidaConfig;
-use ned_aida::cover::shortest_cover;
+use ned_aida::cover::shortest_cover_unsorted_into;
+use ned_aida::scratch::with_scratch;
 use ned_aida::{DisambiguationResult, Disambiguator};
 use ned_eval::gold::Label;
 use ned_kb::{EntityId, KbView, WordId};
@@ -80,21 +81,31 @@ pub fn ee_simscore<K: KbView + ?Sized>(
     context: &[(usize, WordId)],
 ) -> f64 {
     let weights = kb.weights();
-    let mut total = 0.0;
-    for phrase in &model.phrases {
-        let phrase_mass: f64 = phrase.words.iter().map(|&w| weights.word_idf(w)).sum();
-        if phrase_mass <= 0.0 {
-            continue;
+    // One worker-local cover scratch serves every phrase of the model: the
+    // scratch-based cover is bit-identical to the reference
+    // `shortest_cover`, and the phrase/cover mass expressions are unchanged.
+    with_scratch(|scratch| {
+        let mut total = 0.0;
+        for phrase in &model.phrases {
+            let phrase_mass: f64 = phrase.words.iter().map(|&w| weights.word_idf(w)).sum();
+            if phrase_mass <= 0.0 {
+                continue;
+            }
+            let Some(shape) =
+                shortest_cover_unsorted_into(context, &phrase.words, &mut scratch.cover)
+            else {
+                continue;
+            };
+            let cover_mass: f64 =
+                scratch.cover.cover_words().iter().map(|&w| weights.word_idf(w)).sum();
+            if cover_mass <= 0.0 {
+                continue;
+            }
+            let ratio = (cover_mass / phrase_mass).min(1.0);
+            total += phrase.weight * shape.z() * ratio * ratio;
         }
-        let Some(cover) = shortest_cover(context, &phrase.words) else { continue };
-        let cover_mass: f64 = cover.words.iter().map(|&w| weights.word_idf(w)).sum();
-        if cover_mass <= 0.0 {
-            continue;
-        }
-        let ratio = (cover_mass / phrase_mass).min(1.0);
-        total += phrase.weight * cover.z() * ratio * ratio;
-    }
-    total
+        total
+    })
 }
 
 /// Keyphrase-overlap coherence between an EE model and an in-KB entity:

@@ -136,6 +136,13 @@ impl KbBuilder {
         let weights = WeightModel::compute(&keyphrases, &links, &self.phrases, self.words.len());
         let kp_index =
             crate::kp_index::KeyphraseIndex::build(&keyphrases, &self.phrases, self.words.len());
+        let phrase_runs = crate::phrase_runs::PhraseRuns::build_raw(
+            self.phrases.len(),
+            self.entities.len(),
+            |e| keyphrases.phrases(e),
+            |p| self.phrases.words(p),
+            &weights,
+        );
 
         KnowledgeBase {
             entities: self.entities,
@@ -147,6 +154,7 @@ impl KbBuilder {
             weights,
             by_name: self.by_name,
             kp_index,
+            phrase_runs,
         }
     }
 }

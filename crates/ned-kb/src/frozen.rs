@@ -33,6 +33,7 @@ use crate::fx::FxHashMap;
 use crate::ids::{EntityId, PhraseId, WordId};
 use crate::keyphrase::EntityPhrase;
 use crate::kp_index::KeyphraseIndex;
+use crate::phrase_runs::PhraseRuns;
 use crate::store::KnowledgeBase;
 use crate::weights::WeightModel;
 
@@ -360,6 +361,9 @@ pub struct FrozenKbStats {
     pub keyphrase_bytes: usize,
     /// Bytes of the weight section.
     pub weight_bytes: usize,
+    /// Bytes of the precomputed phrase-run section (deduplicated runs +
+    /// weight masses).
+    pub phrase_run_bytes: usize,
     /// Bytes of the transient indexes rebuilt at assemble time (keyphrase
     /// inverted index, name and word lookup maps).
     pub transient_index_bytes: usize,
@@ -380,6 +384,9 @@ pub struct FrozenKb {
     links: FrozenLinks,
     phrases: FrozenPhrases,
     weights: WeightModel,
+    /// Persistent like the five classic sections, but *optional* in
+    /// snapshots (frame tag 6): rebuilt in `assemble` when absent.
+    phrase_runs: PhraseRuns,
     // Transient lookups, rebuilt in `assemble` on every construction path
     // (freeze and snapshot decode alike — nothing below is serialized).
     by_name: FxHashMap<String, EntityId>,
@@ -397,20 +404,24 @@ impl FrozenKb {
             FrozenLinks::freeze(kb.links()),
             FrozenPhrases::freeze(kb),
             kb.weights().clone(),
+            None,
         )
     }
 
-    /// The single construction path: takes the five persistent sections and
+    /// The single construction path: takes the persistent sections and
     /// rebuilds every transient index (name lookup, word lookup, keyphrase
     /// inverted index) plus the section stats. Both [`FrozenKb::freeze`] and
     /// the v3 snapshot decoder funnel through here, so a decoded KB can
-    /// never miss an index a frozen one has.
+    /// never miss an index a frozen one has. `phrase_runs` is the decoded
+    /// optional tag-6 section; `None` (or a shape mismatch against the
+    /// other sections) triggers a rebuild from the keyphrases + weights.
     pub(crate) fn assemble(
         entities: Vec<Entity>,
         dictionary: FrozenDictionary,
         links: FrozenLinks,
         phrases: FrozenPhrases,
         weights: WeightModel,
+        phrase_runs: Option<PhraseRuns>,
     ) -> Self {
         use std::mem::size_of;
         let by_name: FxHashMap<String, EntityId> = entities
@@ -430,6 +441,17 @@ impl FrozenKb {
             |e| phrases.keyphrases(e),
             |p| phrases.phrase_words(p),
         );
+        let phrase_runs = phrase_runs
+            .filter(|r| r.is_consistent_with(phrases.phrase_count(), entities.len()))
+            .unwrap_or_else(|| {
+                PhraseRuns::build_raw(
+                    phrases.phrase_count(),
+                    entities.len(),
+                    |e| phrases.keyphrases(e),
+                    |p| phrases.phrase_words(p),
+                    &weights,
+                )
+            });
 
         let entity_bytes = entities
             .iter()
@@ -439,6 +461,7 @@ impl FrozenKb {
         let link_bytes = links.approx_heap_bytes();
         let keyphrase_bytes = phrases.approx_heap_bytes();
         let weight_bytes = weights.approx_heap_bytes();
+        let phrase_run_bytes = phrase_runs.approx_heap_bytes();
         let transient_index_bytes = kp_index.posting_count()
             * size_of::<(EntityId, PhraseId)>()
             + by_name
@@ -462,12 +485,14 @@ impl FrozenKb {
             keyphrase_entries: phrases.kp_data.len(),
             keyphrase_bytes,
             weight_bytes,
+            phrase_run_bytes,
             transient_index_bytes,
             total_bytes: entity_bytes
                 + dictionary_bytes
                 + link_bytes
                 + keyphrase_bytes
-                + weight_bytes,
+                + weight_bytes
+                + phrase_run_bytes,
         };
 
         FrozenKb {
@@ -476,6 +501,7 @@ impl FrozenKb {
             links,
             phrases,
             weights,
+            phrase_runs,
             by_name,
             word_index,
             kp_index,
@@ -582,7 +608,14 @@ impl FrozenKb {
         &self.weights
     }
 
-    /// Decomposes into the five persistent sections (snapshot writer).
+    /// Precomputed deduplicated phrase runs and weight masses.
+    pub fn phrase_runs(&self) -> &PhraseRuns {
+        &self.phrase_runs
+    }
+
+    /// Decomposes into the five classic persistent sections (snapshot
+    /// writer); the optional phrase-run section is fetched separately via
+    /// [`FrozenKb::phrase_runs`].
     pub(crate) fn sections(
         &self,
     ) -> (&Vec<Entity>, &FrozenDictionary, &FrozenLinks, &FrozenPhrases, &WeightModel) {
@@ -703,11 +736,13 @@ mod tests {
         assert!(s.link_bytes > 0);
         assert!(s.keyphrase_bytes > 0);
         assert!(s.weight_bytes > 0);
+        assert!(s.phrase_run_bytes > 0);
         assert!(s.transient_index_bytes > 0);
         assert_eq!(
             s.total_bytes,
             s.entity_bytes + s.dictionary_bytes + s.link_bytes + s.keyphrase_bytes
                 + s.weight_bytes
+                + s.phrase_run_bytes
         );
     }
 
@@ -725,6 +760,7 @@ mod tests {
         assert_eq!(
             s.total_bytes,
             s.dictionary_bytes + s.link_bytes + s.keyphrase_bytes + s.weight_bytes
+                + s.phrase_run_bytes
         );
     }
 

@@ -103,13 +103,28 @@ impl KeyphraseIndex {
         context_words: &[WordId],
     ) -> (Vec<PhraseId>, u64) {
         let mut out: Vec<PhraseId> = Vec::new();
+        let scanned = self.matching_phrases_into(e, context_words, &mut out);
+        (out, scanned)
+    }
+
+    /// [`KeyphraseIndex::matching_phrases_counted`] writing into a
+    /// caller-provided buffer (cleared first) instead of allocating — the
+    /// form used by the scoring hot path with its reusable scratch arena.
+    /// Returns the scanned-postings count.
+    pub fn matching_phrases_into(
+        &self,
+        e: EntityId,
+        context_words: &[WordId],
+        out: &mut Vec<PhraseId>,
+    ) -> u64 {
+        out.clear();
         for &w in context_words {
             out.extend(self.entity_postings(e, w).iter().map(|&(_, p)| p));
         }
         let scanned = out.len() as u64;
         out.sort_unstable();
         out.dedup();
-        (out, scanned)
+        scanned
     }
 }
 

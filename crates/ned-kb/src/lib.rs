@@ -27,6 +27,7 @@ pub mod ids;
 pub mod keyphrase;
 pub mod kp_index;
 pub mod links;
+pub mod phrase_runs;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -40,6 +41,7 @@ pub use entity::{Entity, EntityKind};
 pub use frozen::{FrozenDictionary, FrozenKb, FrozenKbStats, FrozenLinks};
 pub use ids::{EntityId, NameId, PhraseId, WordId};
 pub use kp_index::KeyphraseIndex;
+pub use phrase_runs::PhraseRuns;
 pub use store::KnowledgeBase;
 pub use taxonomy::{Taxonomy, TypeId};
 pub use view::{DictView, EntityIds, KbView, LinksView};

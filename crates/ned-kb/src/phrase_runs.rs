@@ -1,0 +1,281 @@
+//! Precomputed deduplicated phrase-word runs and phrase weight masses.
+//!
+//! The similarity hot path (Eq. 3.4) evaluates every surviving keyphrase by
+//! first sorting and deduplicating its word list (the "run") and then
+//! summing the keyword weights over that run (the phrase mass). Both are
+//! pure functions of the KB, so recomputing them per (mention, entity,
+//! phrase) call is wasted work — and the sort/dedup is a per-call heap
+//! allocation, which is what the zero-allocation scoring contract forbids.
+//!
+//! [`PhraseRuns`] materializes, once at build time:
+//!
+//! - the sorted-deduplicated word run of every phrase (CSR layout),
+//! - the IDF mass of every run (entity-independent),
+//! - the NPMI mass of every (entity, own-keyphrase) pair (entity-dependent;
+//!   phrases outside an entity's keyphrase set fall back to the caller's
+//!   recomputation, which yields the same bits because NPMI of a
+//!   non-own word is exactly 0).
+//!
+//! **Bit-identity contract:** every mass stored here is computed by the
+//! *exact* expression the reference `phrase_score` uses —
+//! `run.iter().map(weight).sum::<f64>()` over the sorted-deduplicated run —
+//! so reading the precomputed value is indistinguishable from recomputing
+//! it, down to the sign of zero. `tests/frozen_equivalence.rs` checks this
+//! property over random worlds.
+//!
+//! The structure is persisted as an *optional* section of snapshot v3
+//! (frame tag 6) and rebuilt from the keyphrase store + weights when the
+//! section is absent (v2 snapshots, legacy builds, hand-built KBs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EntityId, PhraseId, WordId};
+use crate::keyphrase::EntityPhrase;
+use crate::weights::WeightModel;
+
+/// Sorted-deduplicated phrase-word runs with precomputed weight masses.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhraseRuns {
+    /// CSR offsets into `run_data`; `phrase_count + 1` entries.
+    run_offsets: Vec<u32>,
+    /// Concatenated sorted-deduplicated word runs of all phrases.
+    run_data: Vec<WordId>,
+    /// IDF mass of each phrase's run; `phrase_count` entries.
+    idf_mass: Vec<f64>,
+    /// CSR offsets into `npmi_mass`; `entity_count + 1` entries.
+    npmi_offsets: Vec<u32>,
+    /// Per entity: (phrase, NPMI mass) for its own keyphrases, sorted by
+    /// phrase id and deduplicated.
+    npmi_mass: Vec<(PhraseId, f64)>,
+}
+
+impl PhraseRuns {
+    /// Builds runs and masses from raw accessors, so both KB
+    /// representations (nested legacy stores and frozen CSR arrays)
+    /// produce identical values from the same one construction routine
+    /// (mirroring [`crate::kp_index::KeyphraseIndex::build_raw`]).
+    pub(crate) fn build_raw<'x>(
+        phrase_count: usize,
+        entity_count: usize,
+        phrases_of: impl Fn(EntityId) -> &'x [EntityPhrase],
+        words_of: impl Fn(PhraseId) -> &'x [WordId],
+        weights: &WeightModel,
+    ) -> Self {
+        let mut run_offsets = Vec::with_capacity(phrase_count + 1);
+        let mut run_data: Vec<WordId> = Vec::new();
+        let mut idf_mass = Vec::with_capacity(phrase_count);
+        run_offsets.push(0u32);
+        for pi in 0..phrase_count {
+            let p = PhraseId::from_index(pi);
+            // Exactly the reference computation in `phrase_score`: to_vec,
+            // sort_unstable, dedup, then sum weights over the run.
+            let mut ws = words_of(p).to_vec();
+            ws.sort_unstable();
+            ws.dedup();
+            idf_mass.push(ws.iter().map(|&w| weights.word_idf(w)).sum::<f64>());
+            run_data.extend_from_slice(&ws);
+            run_offsets.push(offset(run_data.len()));
+        }
+
+        let mut npmi_offsets = Vec::with_capacity(entity_count + 1);
+        let mut npmi_mass: Vec<(PhraseId, f64)> = Vec::new();
+        npmi_offsets.push(0u32);
+        for ei in 0..entity_count {
+            let e = EntityId::from_index(ei);
+            let row_start = npmi_mass.len();
+            for ep in phrases_of(e) {
+                // Keyphrase rows are sorted by phrase id; skip duplicates
+                // so the binary-search lookup stays unambiguous.
+                // ned-lint: allow(p1) — row_start ≤ len, suffix slice
+                if npmi_mass[row_start..].last().is_some_and(|&(p, _)| p == ep.phrase) {
+                    continue;
+                }
+                let run = run_slice(&run_offsets, &run_data, ep.phrase.index());
+                let mass = run.iter().map(|&w| weights.keyword_npmi(e, w)).sum::<f64>();
+                npmi_mass.push((ep.phrase, mass));
+            }
+            npmi_offsets.push(offset(npmi_mass.len()));
+        }
+
+        PhraseRuns { run_offsets, run_data, idf_mass, npmi_offsets, npmi_mass }
+    }
+
+    /// Number of phrases the runs were built for.
+    pub fn phrase_count(&self) -> usize {
+        self.run_offsets.len().saturating_sub(1)
+    }
+
+    /// The sorted-deduplicated word run of `p`; empty for out-of-range ids.
+    pub fn run(&self, p: PhraseId) -> &[WordId] {
+        if p.index() >= self.phrase_count() {
+            return &[];
+        }
+        run_slice(&self.run_offsets, &self.run_data, p.index())
+    }
+
+    /// IDF mass of `p`'s run; 0 for out-of-range ids.
+    pub fn idf_mass(&self, p: PhraseId) -> f64 {
+        self.idf_mass.get(p.index()).copied().unwrap_or(0.0)
+    }
+
+    /// NPMI mass of `p`'s run with respect to `e`, if `p` is one of `e`'s
+    /// own keyphrases. `None` means "not precomputed" — the caller must
+    /// recompute (which for non-own phrases sums all-zero weights).
+    pub fn npmi_mass(&self, e: EntityId, p: PhraseId) -> Option<f64> {
+        let i = e.index();
+        if i + 1 >= self.npmi_offsets.len() {
+            return None;
+        }
+        // ned-lint: allow(p1) — CSR invariant: offsets has entity_count+1 entries
+        let row = &self.npmi_mass[self.npmi_offsets[i] as usize..self.npmi_offsets[i + 1] as usize];
+        row.binary_search_by_key(&p, |&(x, _)| x).map(|k| row[k].1).ok() // ned-lint: allow(p1) — index returned by binary_search
+    }
+
+    /// Shape-consistency check against the owning KB's dimensions. A
+    /// decoded section that fails this check is discarded and rebuilt —
+    /// a snapshot must never smuggle in mismatched masses.
+    pub(crate) fn is_consistent_with(&self, phrase_count: usize, entity_count: usize) -> bool {
+        self.run_offsets.len() == phrase_count + 1
+            && self.npmi_offsets.len() == entity_count + 1
+            && self.idf_mass.len() == phrase_count
+            && self.run_offsets.last().copied() == Some(offset(self.run_data.len()))
+            && self.npmi_offsets.last().copied() == Some(offset(self.npmi_mass.len()))
+            && self.run_offsets.windows(2).all(|w| w[0] <= w[1]) // ned-lint: allow(p1) — windows(2) pairs
+            && self.npmi_offsets.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Approximate heap footprint in bytes (array payloads).
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.run_offsets.len() * size_of::<u32>()
+            + self.run_data.len() * size_of::<WordId>()
+            + self.idf_mass.len() * size_of::<f64>()
+            + self.npmi_offsets.len() * size_of::<u32>()
+            + self.npmi_mass.len() * size_of::<(PhraseId, f64)>()
+    }
+}
+
+/// CSR row `i` of `data` under `offsets` (which has `len + 1` entries).
+fn run_slice<'a>(offsets: &[u32], data: &'a [WordId], i: usize) -> &'a [WordId] {
+    // ned-lint: allow(p1) — CSR invariant: offsets has phrase_count+1 entries
+    &data[offsets[i] as usize..offsets[i + 1] as usize]
+}
+
+/// Converts a data length to a `u32` CSR offset.
+///
+/// # Panics
+/// Panics if `len` exceeds `u32::MAX` (a KB that large would have
+/// overflowed its id spaces long before).
+fn offset(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| panic!("CSR offset overflow: {len}")) // ned-lint: allow(p1) — documented overflow guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KbBuilder;
+    use crate::entity::EntityKind;
+    use crate::store::KnowledgeBase;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let jimmy = b.add_entity("Jimmy Page", EntityKind::Person);
+        let larry = b.add_entity("Larry Page", EntityKind::Person);
+        b.add_keyphrase(jimmy, "hard rock rock", 3);
+        b.add_keyphrase(jimmy, "rock guitarist", 2);
+        b.add_keyphrase(larry, "search engine", 3);
+        b.build()
+    }
+
+    #[test]
+    fn runs_are_sorted_and_deduplicated() {
+        let kb = kb();
+        let runs = kb.phrase_runs();
+        for pi in 0..runs.phrase_count() {
+            let p = PhraseId::from_index(pi);
+            let run = runs.run(p);
+            assert!(run.windows(2).all(|w| w[0] < w[1]), "run not strictly sorted: {run:?}");
+            let mut reference = kb.phrase_words(p).to_vec();
+            reference.sort_unstable();
+            reference.dedup();
+            assert_eq!(run, &reference[..]);
+        }
+    }
+
+    #[test]
+    fn idf_mass_matches_recomputation_bitwise() {
+        let kb = kb();
+        let runs = kb.phrase_runs();
+        for pi in 0..runs.phrase_count() {
+            let p = PhraseId::from_index(pi);
+            let expected: f64 =
+                runs.run(p).iter().map(|&w| kb.weights().word_idf(w)).sum::<f64>();
+            assert_eq!(runs.idf_mass(p).to_bits(), expected.to_bits());
+        }
+    }
+
+    #[test]
+    fn npmi_mass_matches_recomputation_bitwise() {
+        let kb = kb();
+        let runs = kb.phrase_runs();
+        for e in kb.entity_ids() {
+            for ep in kb.keyphrases(e) {
+                let expected: f64 = runs
+                    .run(ep.phrase)
+                    .iter()
+                    .map(|&w| kb.weights().keyword_npmi(e, w))
+                    .sum::<f64>();
+                let got = runs.npmi_mass(e, ep.phrase).expect("own keyphrase is precomputed");
+                assert_eq!(got.to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn non_own_phrase_has_no_precomputed_npmi_mass() {
+        let kb = kb();
+        let runs = kb.phrase_runs();
+        let jimmy = kb.entity_by_name("Jimmy Page").unwrap();
+        let larry = kb.entity_by_name("Larry Page").unwrap();
+        let larry_phrase = kb.keyphrases(larry)[0].phrase;
+        assert!(kb.keyphrases(jimmy).iter().all(|ep| ep.phrase != larry_phrase));
+        assert_eq!(runs.npmi_mass(jimmy, larry_phrase), None);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_harmless() {
+        let kb = kb();
+        let runs = kb.phrase_runs();
+        let bogus_p = PhraseId::from_index(runs.phrase_count() + 3);
+        assert!(runs.run(bogus_p).is_empty());
+        assert_eq!(runs.idf_mass(bogus_p), 0.0);
+        let bogus_e = EntityId::from_index(kb.entity_count() + 3);
+        assert_eq!(runs.npmi_mass(bogus_e, PhraseId(0)), None);
+    }
+
+    #[test]
+    fn consistency_check_accepts_built_and_rejects_mismatched() {
+        let kb = kb();
+        let runs = kb.phrase_runs().clone();
+        let phrase_count = runs.phrase_count();
+        let entity_count = kb.entity_count();
+        assert!(runs.is_consistent_with(phrase_count, entity_count));
+        assert!(!runs.is_consistent_with(phrase_count + 1, entity_count));
+        assert!(!runs.is_consistent_with(phrase_count, entity_count + 1));
+        let mut truncated = runs.clone();
+        truncated.run_data.pop();
+        assert!(!truncated.is_consistent_with(phrase_count, entity_count));
+        let mut short_mass = runs;
+        short_mass.idf_mass.pop();
+        assert!(!short_mass.is_consistent_with(phrase_count, entity_count));
+    }
+
+    #[test]
+    fn empty_kb_builds_empty_runs() {
+        let kb = KbBuilder::new().build();
+        let runs = kb.phrase_runs();
+        assert_eq!(runs.phrase_count(), 0);
+        assert!(runs.is_consistent_with(0, 0));
+        assert_eq!(runs.approx_heap_bytes(), 2 * std::mem::size_of::<u32>());
+    }
+}

@@ -34,6 +34,7 @@ use serde::Serialize;
 
 use crate::entity::Entity;
 use crate::frozen::{FrozenDictionary, FrozenKb, FrozenLinks, FrozenPhrases};
+use crate::phrase_runs::PhraseRuns;
 use crate::store::KnowledgeBase;
 use crate::weights::WeightModel;
 
@@ -657,12 +658,16 @@ const V3_HEADER_LEN: usize = 8;
 const FRAME_PRELUDE_LEN: usize = 17;
 
 /// v3 section tags, in the order [`write_frozen_snapshot`] emits them.
+/// `PHRASE_RUNS` is *optional on read*: snapshots written before the
+/// phrase-run cache existed simply lack the frame, and the loader rebuilds
+/// the structure from keyphrases + weights.
 mod tag {
     pub const ENTITIES: u8 = 1;
     pub const DICTIONARY: u8 = 2;
     pub const LINKS: u8 = 3;
     pub const KEYPHRASES: u8 = 4;
     pub const WEIGHTS: u8 = 5;
+    pub const PHRASE_RUNS: u8 = 6;
 }
 
 /// Human-readable section name of a v3 tag (for error reporting).
@@ -673,6 +678,7 @@ fn section_name(t: u8) -> Option<&'static str> {
         tag::LINKS => Some("links"),
         tag::KEYPHRASES => Some("keyphrases"),
         tag::WEIGHTS => Some("weights"),
+        tag::PHRASE_RUNS => Some("phrase_runs"),
         _ => None,
     }
 }
@@ -807,8 +813,9 @@ fn write_section<W: Write, T: Serialize>(
 }
 
 /// Writes a v3 sectioned snapshot of a [`FrozenKb`]: the 8-byte header
-/// followed by the five section frames (entities, dictionary, links,
-/// keyphrases, weights), each length-prefixed and individually checksummed.
+/// followed by the six section frames (entities, dictionary, links,
+/// keyphrases, weights, phrase_runs), each length-prefixed and individually
+/// checksummed. The trailing phrase-run frame is optional on read.
 pub fn write_frozen_snapshot<W: Write>(kb: &FrozenKb, mut writer: W) -> Result<(), NedError> {
     let mut header = [0u8; V3_HEADER_LEN];
     header[..6].copy_from_slice(MAGIC); // ned-lint: allow(p1) — fixed-size buffer, constant bounds
@@ -820,6 +827,7 @@ pub fn write_frozen_snapshot<W: Write>(kb: &FrozenKb, mut writer: W) -> Result<(
     write_section(&mut writer, tag::LINKS, links)?;
     write_section(&mut writer, tag::KEYPHRASES, phrases)?;
     write_section(&mut writer, tag::WEIGHTS, weights)?;
+    write_section(&mut writer, tag::PHRASE_RUNS, kb.phrase_runs())?;
     Ok(())
 }
 
@@ -831,6 +839,9 @@ struct Sections {
     links: Option<FrozenLinks>,
     keyphrases: Option<FrozenPhrases>,
     weights: Option<WeightModel>,
+    /// Optional: absent in snapshots written before the phrase-run cache;
+    /// `assemble` rebuilds it when `None`.
+    phrase_runs: Option<PhraseRuns>,
 }
 
 impl Sections {
@@ -845,6 +856,7 @@ impl Sections {
             Self::take(self.links, "links")?,
             Self::take(self.keyphrases, "keyphrases")?,
             Self::take(self.weights, "weights")?,
+            self.phrase_runs,
         ))
     }
 }
@@ -889,8 +901,10 @@ fn read_section_body<R: Read>(
 ///   arrays, validating each frame's length and checksum independently
 ///   ([`SnapshotError::SectionTruncated`] /
 ///   [`SnapshotError::SectionChecksumMismatch`] name the failing section).
-///   All five sections are required ([`SnapshotError::MissingSection`]);
-///   an unrecognized tag is rejected ([`SnapshotError::UnknownSection`]).
+///   The five classic sections are required
+///   ([`SnapshotError::MissingSection`]); the trailing phrase-run section
+///   is optional (rebuilt when absent); an unrecognized tag is rejected
+///   ([`SnapshotError::UnknownSection`]).
 /// - A **v2** stream is decoded through the legacy path and frozen on load,
 ///   so old snapshots keep working across the migration.
 ///
@@ -986,6 +1000,7 @@ pub fn read_frozen_snapshot_observed<R: Read>(
             tag::LINKS => sections.links = Some(decode(&body).map_err(codec_err)?),
             tag::KEYPHRASES => sections.keyphrases = Some(decode(&body).map_err(codec_err)?),
             tag::WEIGHTS => sections.weights = Some(decode(&body).map_err(codec_err)?),
+            tag::PHRASE_RUNS => sections.phrase_runs = Some(decode(&body).map_err(codec_err)?),
             other => return Err(SnapshotError::UnknownSection { tag: other }.into()),
         }
     }
@@ -1242,10 +1257,32 @@ mod tests {
                 "flip at {pos} slipped through"
             );
         }
-        // Truncations at every prefix length must error cleanly too.
+        // Truncations at every prefix length must error cleanly too — with
+        // one exception: a cut exactly at the start of the trailing
+        // phrase-run frame looks like a clean end-of-stream, and that
+        // section is optional by design (rebuilt on load).
+        let phrase_runs_start = frame_starts(&buf).pop().unwrap();
         for cut in 0..buf.len() {
+            if cut == phrase_runs_start {
+                let fz2 = read_frozen_snapshot(&buf[..cut]).unwrap();
+                assert_frozen_matches(&fz2, &kb);
+                continue;
+            }
             assert!(read_frozen_snapshot(&buf[..cut]).is_err(), "cut at {cut} did not error");
         }
+    }
+
+    /// Byte offsets of every v3 frame start, in stream order.
+    fn frame_starts(buf: &[u8]) -> Vec<usize> {
+        let mut starts = Vec::new();
+        let mut pos = V3_HEADER_LEN;
+        while pos < buf.len() {
+            starts.push(pos);
+            let body_len =
+                u64::from_le_bytes(buf[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            pos += FRAME_PRELUDE_LEN + body_len;
+        }
+        starts
     }
 
     #[test]
@@ -1254,21 +1291,64 @@ mod tests {
         let fz = FrozenKb::freeze(&kb);
         let mut buf = Vec::new();
         write_frozen_snapshot(&fz, &mut buf).unwrap();
-        // Drop the last frame (weights) by scanning frame lengths.
-        let mut pos = V3_HEADER_LEN;
-        let mut last_frame_start = pos;
-        while pos < buf.len() {
-            last_frame_start = pos;
-            let body_len =
-                u64::from_le_bytes(buf[pos + 1..pos + 9].try_into().unwrap()) as usize;
-            pos += FRAME_PRELUDE_LEN + body_len;
-        }
-        match read_frozen_snapshot(&buf[..last_frame_start]).unwrap_err() {
+        // Drop the trailing frames from the weights section on (the
+        // phrase-run frame alone is optional; weights are not).
+        let starts = frame_starts(&buf);
+        let weights_start = starts[starts.len() - 2];
+        match read_frozen_snapshot(&buf[..weights_start]).unwrap_err() {
             NedError::Snapshot(SnapshotError::MissingSection { section }) => {
                 assert_eq!(section, "weights");
             }
             other => panic!("expected missing section, got {other}"),
         }
+    }
+
+    #[test]
+    fn v3_phrase_run_section_is_optional_and_roundtrips() {
+        let kb = sample_kb();
+        let fz = FrozenKb::freeze(&kb);
+        let mut buf = Vec::new();
+        write_frozen_snapshot(&fz, &mut buf).unwrap();
+        let starts = frame_starts(&buf);
+        assert_eq!(starts.len(), 6, "expected six frames");
+        assert_eq!(buf[*starts.last().unwrap()], 6, "phrase-run frame tag");
+
+        // Reading the full stream decodes the persisted runs; reading a
+        // stream cut before the phrase-run frame rebuilds them. Both paths
+        // must agree exactly with the freshly frozen structure.
+        let with_section = read_frozen_snapshot(buf.as_slice()).unwrap();
+        let without_section =
+            read_frozen_snapshot(&buf[..*starts.last().unwrap()]).unwrap();
+        assert_eq!(with_section.phrase_runs(), fz.phrase_runs());
+        assert_eq!(without_section.phrase_runs(), fz.phrase_runs());
+        assert_eq!(
+            with_section.stats().phrase_run_bytes,
+            without_section.stats().phrase_run_bytes
+        );
+
+        // A shape-mismatched phrase-run section (decodes fine but does not
+        // fit the KB's dimensions) is discarded and rebuilt, not trusted.
+        let mut swapped = Vec::new();
+        write_frozen_snapshot(&fz, &mut swapped).unwrap();
+        let foreign = {
+            let other = {
+                let mut b = KbBuilder::new();
+                let e = b.add_entity("Lone", EntityKind::Other);
+                b.add_keyphrase(e, "single phrase", 1);
+                b.build()
+            };
+            FrozenKb::freeze(&other).phrase_runs().clone()
+        };
+        swapped.truncate(*starts.last().unwrap());
+        let body = encode(&foreign).unwrap();
+        let mut prelude = [0u8; FRAME_PRELUDE_LEN];
+        prelude[0] = 6;
+        prelude[1..9].copy_from_slice(&(body.len() as u64).to_le_bytes());
+        prelude[9..17].copy_from_slice(&fnv1a(&body).to_le_bytes());
+        swapped.extend_from_slice(&prelude);
+        swapped.extend_from_slice(&body);
+        let rebuilt = read_frozen_snapshot(swapped.as_slice()).unwrap();
+        assert_eq!(rebuilt.phrase_runs(), fz.phrase_runs());
     }
 
     #[test]
@@ -1295,10 +1375,12 @@ mod tests {
         let fz2 = read_frozen_snapshot_observed(buf.as_slice(), &m).unwrap();
         assert_frozen_matches(&fz2, &kb);
         let snap = m.snapshot();
-        assert_eq!(snap.counter(names::SNAPSHOT_SECTIONS_DECODED), 5);
+        assert_eq!(snap.counter(names::SNAPSHOT_SECTIONS_DECODED), 6);
         assert_eq!(snap.counter(names::SNAPSHOT_V2_FALLBACK), 0);
         assert_eq!(snap.gauge(names::SNAPSHOT_BYTES_TOTAL), buf.len() as u64);
-        for section in ["entities", "dictionary", "links", "keyphrases", "weights"] {
+        for section in
+            ["entities", "dictionary", "links", "keyphrases", "weights", "phrase_runs"]
+        {
             let gauge = format!("{}{section}", names::SNAPSHOT_SECTION_BYTES_PREFIX);
             assert!(snap.gauge(&gauge) > 0, "section {section} size not recorded");
         }

@@ -9,6 +9,7 @@ use crate::ids::{EntityId, PhraseId, WordId};
 use crate::keyphrase::{EntityPhrase, KeyphraseStore};
 use crate::kp_index::KeyphraseIndex;
 use crate::links::LinkGraph;
+use crate::phrase_runs::PhraseRuns;
 use crate::vocab::{PhraseInterner, WordInterner};
 use crate::weights::WeightModel;
 
@@ -30,6 +31,8 @@ pub struct KnowledgeBase {
     pub(crate) by_name: FxHashMap<String, EntityId>,
     #[serde(skip)]
     pub(crate) kp_index: KeyphraseIndex,
+    #[serde(skip)]
+    pub(crate) phrase_runs: PhraseRuns,
 }
 
 impl KnowledgeBase {
@@ -89,6 +92,11 @@ impl KnowledgeBase {
         &self.kp_index
     }
 
+    /// Precomputed deduplicated phrase runs and weight masses.
+    pub fn phrase_runs(&self) -> &PhraseRuns {
+        &self.phrase_runs
+    }
+
     /// Word-id sequence of a keyphrase.
     pub fn phrase_words(&self, p: PhraseId) -> &[WordId] {
         self.phrases.words(p)
@@ -135,5 +143,12 @@ impl KnowledgeBase {
             .map(|(i, e)| (e.canonical_name.clone(), EntityId::from_index(i)))
             .collect();
         self.kp_index = KeyphraseIndex::build(&self.keyphrases, &self.phrases, self.words.len());
+        self.phrase_runs = PhraseRuns::build_raw(
+            self.phrases.len(),
+            self.entities.len(),
+            |e| self.keyphrases.phrases(e),
+            |p| self.phrases.words(p),
+            &self.weights,
+        );
     }
 }

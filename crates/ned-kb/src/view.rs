@@ -24,6 +24,7 @@ use crate::ids::{EntityId, PhraseId, WordId};
 use crate::keyphrase::EntityPhrase;
 use crate::kp_index::KeyphraseIndex;
 use crate::links::LinkGraph;
+use crate::phrase_runs::PhraseRuns;
 use crate::store::KnowledgeBase;
 use crate::weights::WeightModel;
 
@@ -82,6 +83,10 @@ pub trait KbView: Send + Sync {
 
     /// The precomputed weight model.
     fn weights(&self) -> &WeightModel;
+
+    /// Precomputed deduplicated phrase runs and weight masses (the
+    /// similarity hot path reads these instead of re-sorting per call).
+    fn phrase_runs(&self) -> &PhraseRuns;
 
     /// Iterates over all entity ids.
     fn entity_ids(&self) -> EntityIds {
@@ -163,6 +168,9 @@ macro_rules! delegate_kb_view {
         fn weights(&$self_) -> &WeightModel {
             $inner.weights()
         }
+        fn phrase_runs(&$self_) -> &PhraseRuns {
+            $inner.phrase_runs()
+        }
     };
 }
 
@@ -223,6 +231,9 @@ impl KbView for KnowledgeBase {
     fn weights(&self) -> &WeightModel {
         KnowledgeBase::weights(self)
     }
+    fn phrase_runs(&self) -> &PhraseRuns {
+        KnowledgeBase::phrase_runs(self)
+    }
 }
 
 impl KbView for FrozenKb {
@@ -273,6 +284,9 @@ impl KbView for FrozenKb {
     }
     fn weights(&self) -> &WeightModel {
         FrozenKb::weights(self)
+    }
+    fn phrase_runs(&self) -> &PhraseRuns {
+        FrozenKb::phrase_runs(self)
     }
 }
 

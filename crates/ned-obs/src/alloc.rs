@@ -1,0 +1,113 @@
+//! First-party counting allocator for allocation accounting.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts *allocation
+//! events* (`alloc`, `alloc_zeroed`, and `realloc` calls; `dealloc` is
+//! free) with one relaxed atomic increment each. It exists so the bench
+//! harness can prove the scoring hot path stays allocation-free: install it
+//! as the `#[global_allocator]` of a bench or test **binary**, snapshot
+//! [`CountingAlloc::alloc_count`] around a measured region, and diff.
+//!
+//! # The counting contract
+//!
+//! - Only binaries that opt in (currently the `ned-bench` harness) install
+//!   the wrapper; the library crates never do, so production consumers keep
+//!   whatever allocator they chose.
+//! - The count is process-global and monotone. Deltas taken around a region
+//!   measure every allocation of the whole process in that window —
+//!   including other live threads — so meaningful deltas are taken at
+//!   quiescent points (single-threaded regions, or after a parallel region
+//!   has joined).
+//! - Relaxed ordering suffices: the counter carries no synchronization
+//!   duty, and readers only compare totals across such quiescent points.
+//! - Counts are *events*, not bytes: a `Vec` growth step counts once
+//!   regardless of size. Event counts are what the zero-allocation claim is
+//!   about, and unlike byte totals they are independent of allocator
+//!   rounding.
+//!
+//! This module is the workspace's one sanctioned use of `unsafe`: the
+//! [`GlobalAlloc`] trait is inherently unsafe to implement, and the impl
+//! below only delegates to [`System`] after bumping a counter — it never
+//! touches the pointers themselves.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`] wrapper around [`System`] that counts allocation
+/// events with relaxed atomic increments.
+#[derive(Debug, Default)]
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// Creates the wrapper — `const`, so it can initialize a
+    /// `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc { allocs: AtomicU64::new(0) }
+    }
+
+    /// Total allocation events (alloc + alloc_zeroed + realloc) since the
+    /// counter was created.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn count_one(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// Delegation-only impl: every pointer and layout goes straight to System.
+unsafe impl GlobalAlloc for CountingAlloc { // ned-lint: allow(u1) — sanctioned GlobalAlloc delegation
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 { // ned-lint: allow(u1) — sanctioned GlobalAlloc delegation
+        self.count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) { // ned-lint: allow(u1) — sanctioned GlobalAlloc delegation
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 { // ned-lint: allow(u1) — sanctioned GlobalAlloc delegation
+        self.count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 { // ned-lint: allow(u1) — sanctioned GlobalAlloc delegation
+        self.count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_counts_and_delegates() {
+        // Not installed as the global allocator here — exercise the trait
+        // surface directly so the test is hermetic.
+        let counting = CountingAlloc::new();
+        assert_eq!(counting.alloc_count(), 0);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        // SAFETY: layout is non-zero-sized; alloc/realloc/dealloc are
+        // paired below on the same allocator.
+        unsafe { // ned-lint: allow(u1) — test exercising the allocator pair
+            let p = counting.alloc(layout);
+            assert!(!p.is_null());
+            let p2 = counting.realloc(p, layout, 128);
+            assert!(!p2.is_null());
+            let grown = Layout::from_size_align(128, 8).unwrap();
+            counting.dealloc(p2, grown);
+            let z = counting.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(*z, 0);
+            counting.dealloc(z, layout);
+        }
+        // alloc + realloc + alloc_zeroed; deallocs are free.
+        assert_eq!(counting.alloc_count(), 3);
+    }
+}

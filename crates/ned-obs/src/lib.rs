@@ -1,4 +1,7 @@
-#![forbid(unsafe_code)]
+// deny (not forbid): `alloc` holds the workspace's one sanctioned unsafe
+// block — the delegation-only `GlobalAlloc` impl of the counting allocator —
+// behind its own scoped `allow`.
+#![deny(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
@@ -26,10 +29,12 @@
 //! fixed-bound histograms, and RAII stage spans. [`names`] centralizes
 //! every metric name the pipeline emits.
 
+pub mod alloc;
 pub mod clock;
 pub mod metrics;
 pub mod names;
 
+pub use alloc::CountingAlloc;
 pub use clock::{Clock, ManualClock};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, Span,

@@ -12,9 +12,13 @@
 use std::sync::Arc;
 
 use aida_ned::aida::context::DocumentContext;
-use aida_ned::aida::similarity::simscore;
-use aida_ned::aida::{AidaConfig, Disambiguator, KeywordWeighting, NedMethod};
-use aida_ned::kb::{EntityKind, FrozenKb, KbBuilder, KbView, KnowledgeBase};
+use aida_ned::aida::cover::CoverScratch;
+use aida_ned::aida::similarity::{
+    phrase_score, phrase_score_run, simscore, simscore_exhaustive, simscores_batch,
+};
+use aida_ned::aida::{AidaConfig, Disambiguator, KeywordWeighting, NedMethod, SimObs};
+use aida_ned::kb::{EntityKind, FrozenKb, KbBuilder, KbView, KnowledgeBase, WordId};
+use aida_ned::obs::Metrics;
 use aida_ned::relatedness::MilneWitten;
 use aida_ned::text::{tokenize, Mention};
 use proptest::prelude::*;
@@ -159,6 +163,94 @@ proptest! {
                 let f = simscore(&frozen, e, &frozen_ctx, weighting);
                 let l = simscore(&kb, e, &legacy_ctx, weighting);
                 prop_assert_eq!(f.to_bits(), l.to_bits(), "simscore({:?}) {} vs {}", e, f, l);
+            }
+        }
+    }
+
+    /// The precomputed phrase runs (PR 6 hot path) are pure re-derivations:
+    /// on both backends, every run is the sorted-deduplicated word set of
+    /// the raw phrase, and the precomputed IDF / per-entity NPMI masses
+    /// equal the reference sums bit for bit.
+    #[test]
+    fn phrase_runs_match_reference_across_backends(spec in world_strategy()) {
+        let (kb, _) = build_world(&spec);
+        let frozen = FrozenKb::freeze(&kb);
+        prop_assert_eq!(kb.phrase_runs().phrase_count(), KbView::phrase_count(&kb));
+        prop_assert_eq!(frozen.phrase_runs().phrase_count(), KbView::phrase_count(&kb));
+        for e in kb.entity_ids() {
+            for ep in KbView::keyphrases(&kb, e) {
+                let p = ep.phrase;
+                let mut reference: Vec<WordId> = KbView::phrase_words(&kb, p).to_vec();
+                reference.sort_unstable();
+                reference.dedup();
+                prop_assert_eq!(kb.phrase_runs().run(p), reference.as_slice());
+                prop_assert_eq!(frozen.phrase_runs().run(p), reference.as_slice());
+
+                let idf_ref: f64 =
+                    reference.iter().map(|&w| kb.weights().word_idf(w)).sum();
+                prop_assert_eq!(kb.phrase_runs().idf_mass(p).to_bits(), idf_ref.to_bits());
+                prop_assert_eq!(frozen.phrase_runs().idf_mass(p).to_bits(), idf_ref.to_bits());
+
+                let npmi_ref: f64 =
+                    reference.iter().map(|&w| kb.weights().keyword_npmi(e, w)).sum();
+                let legacy_mass = kb.phrase_runs().npmi_mass(e, p).map(f64::to_bits);
+                let frozen_mass = frozen.phrase_runs().npmi_mass(e, p).map(f64::to_bits);
+                prop_assert_eq!(legacy_mass, Some(npmi_ref.to_bits()));
+                prop_assert_eq!(frozen_mass, Some(npmi_ref.to_bits()));
+            }
+        }
+    }
+
+    /// Scratch-arena reuse and batching change nothing: scoring through the
+    /// reused per-thread arena (run-based phrase scores, batched candidate
+    /// scoring — including a second pass over buffers the first call
+    /// dirtied, and across backends) is bit-identical to the
+    /// fresh-allocation reference implementations.
+    #[test]
+    fn scratch_reuse_and_batching_match_fresh_scoring(spec in world_strategy()) {
+        let (kb, _) = build_world(&spec);
+        let frozen = FrozenKb::freeze(&kb);
+        let tokens = tokenize(&spec.context.join(" "));
+        let ctx = DocumentContext::build(&frozen, &tokens).words;
+        let entities: Vec<_> = kb.entity_ids().collect();
+        let metrics = Metrics::new();
+        let obs = SimObs::new(&metrics);
+        // One cover scratch reused across every phrase, entity, weighting,
+        // and backend below — maximally dirty between calls. The batch path
+        // reuses the thread-local arena, which also persists across
+        // proptest cases in this thread.
+        let mut cover = CoverScratch::new();
+        for weighting in [KeywordWeighting::Npmi, KeywordWeighting::Idf] {
+            let reference: Vec<f64> = entities
+                .iter()
+                .map(|&e| simscore_exhaustive(&frozen, e, &ctx, weighting))
+                .collect();
+            for pass in 0..2 {
+                let batched = simscores_batch(&frozen, &entities, &ctx, weighting, &obs);
+                prop_assert_eq!(batched.len(), reference.len());
+                for (i, (b, r)) in batched.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        b.to_bits(), r.to_bits(),
+                        "batched pass {} entity #{}: {} vs {}", pass, i, b, r
+                    );
+                }
+            }
+            let legacy_batched = simscores_batch(&kb, &entities, &ctx, weighting, &obs);
+            for (b, r) in legacy_batched.iter().zip(&reference) {
+                prop_assert_eq!(b.to_bits(), r.to_bits());
+            }
+            for &e in &entities {
+                for ep in KbView::keyphrases(&kb, e) {
+                    let fresh = phrase_score(
+                        &kb, e, KbView::phrase_words(&kb, ep.phrase), &ctx, weighting,
+                    );
+                    let run_frozen =
+                        phrase_score_run(&frozen, e, ep.phrase, &ctx, weighting, &mut cover);
+                    let run_legacy =
+                        phrase_score_run(&kb, e, ep.phrase, &ctx, weighting, &mut cover);
+                    prop_assert_eq!(run_frozen.to_bits(), fresh.to_bits());
+                    prop_assert_eq!(run_legacy.to_bits(), fresh.to_bits());
+                }
             }
         }
     }

@@ -84,10 +84,13 @@ fn assert_identical(a: &Evaluation, b: &Evaluation) {
 
 #[test]
 fn snapshot_is_identical_across_thread_counts() {
+    // 1/2/4/8 threads: with the per-worker scratch arenas live (PR 6),
+    // every thread count must still produce the same outcomes and the same
+    // snapshot — arena reuse is invisible to both.
     let docs = corpus(17, 12);
     let (eval1, snap1) = run_frozen(&docs, 1);
     assert!(snap1.counter("aida_docs") > 0, "the run must record work");
-    for threads in [2usize, 4] {
+    for threads in [2usize, 4, 8] {
         let (eval, snap) = run_frozen(&docs, threads);
         assert_identical(&eval1, &eval);
         assert_eq!(snap1, snap, "metrics snapshot diverged at {threads} threads");
