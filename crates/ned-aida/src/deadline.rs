@@ -1,0 +1,246 @@
+//! Per-request deadline → solver budget plumbing.
+//!
+//! The serving layer gives each request a deadline; what the pipeline needs
+//! is a *plan*: which rung of the feature ladder to run and what wall
+//! budget to hand the graph solver. [`DeadlinePolicy`] makes that
+//! translation a pure function of the remaining time, so the threaded
+//! service, the virtual-time load simulator, and the `annotate` CLI all
+//! degrade identically:
+//!
+//! - plenty of time → the full joint method under a wall budget
+//!   ([`DeadlinePlan::Budgeted`]); if the solver still overruns, the
+//!   disambiguator's own ladder (PR 2) catches the typed
+//!   `DeadlineExceeded` and falls back to local features;
+//! - nearly out of time → skip the coherence graph up front
+//!   ([`DeadlinePlan::NoCoherence`]);
+//! - out of time (expired while queued) → the popularity prior alone
+//!   ([`DeadlinePlan::PriorOnly`]) — an answer, degraded, instead of a
+//!   timeout.
+
+use ned_core::DegradationLevel;
+
+use crate::config::AidaConfig;
+
+/// Thresholds steering the deadline → plan translation.
+///
+/// All decisions are pure integer comparisons on the remaining time, so a
+/// plan is deterministic for a given (deadline, dequeue-time) pair — the
+/// virtual-time load harness relies on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlinePolicy {
+    /// Below this many remaining milliseconds, skip the coherence graph up
+    /// front rather than letting the solver start work it cannot finish.
+    pub no_coherence_below_ms: u64,
+    /// Below this many remaining milliseconds, fall straight to the
+    /// popularity prior (also the plan for already-expired requests).
+    pub prior_only_below_ms: u64,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        // A quick-scale document solves in single-digit milliseconds; give
+        // the joint method a rung down at 5 ms and keep a 1 ms floor where
+        // only the prior is affordable.
+        DeadlinePolicy { no_coherence_below_ms: 5, prior_only_below_ms: 1 }
+    }
+}
+
+impl DeadlinePolicy {
+    /// Validates threshold ordering.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prior_only_below_ms > self.no_coherence_below_ms {
+            return Err(format!(
+                "prior_only_below_ms ({}) must not exceed no_coherence_below_ms ({})",
+                self.prior_only_below_ms, self.no_coherence_below_ms
+            ));
+        }
+        Ok(())
+    }
+
+    /// Translates the remaining time into a plan. `None` means the request
+    /// has no deadline (run the full method, no wall budget).
+    pub fn plan(&self, remaining_ns: Option<u64>) -> DeadlinePlan {
+        let Some(remaining_ns) = remaining_ns else {
+            return DeadlinePlan::Full;
+        };
+        let remaining_ms = remaining_ns / 1_000_000;
+        if remaining_ns == 0 || remaining_ms < self.prior_only_below_ms {
+            DeadlinePlan::PriorOnly
+        } else if remaining_ms < self.no_coherence_below_ms {
+            DeadlinePlan::NoCoherence { wall_ms: remaining_ms }
+        } else {
+            DeadlinePlan::Budgeted { wall_ms: remaining_ms }
+        }
+    }
+}
+
+/// The feature-ladder rung and solver wall budget chosen for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlinePlan {
+    /// No deadline: the configured method, no wall budget.
+    Full,
+    /// Full method under a solver wall budget of `wall_ms` milliseconds;
+    /// overruns surface as `DeadlineExceeded` and degrade via the
+    /// disambiguator's ladder.
+    Budgeted {
+        /// Remaining milliseconds, handed to the solver as its wall budget.
+        wall_ms: u64,
+    },
+    /// Coherence skipped up front; local features still run under the
+    /// remaining wall budget.
+    NoCoherence {
+        /// Remaining milliseconds (kept for accounting; the coherence-free
+        /// path has no solver to budget).
+        wall_ms: u64,
+    },
+    /// Deadline (almost) expired: popularity prior alone.
+    PriorOnly,
+}
+
+impl DeadlinePlan {
+    /// The degradation floor this plan imposes: the response's reported
+    /// level is the maximum of this and whatever the disambiguator's own
+    /// ladder reports.
+    pub fn floor(&self) -> DegradationLevel {
+        match self {
+            DeadlinePlan::Full | DeadlinePlan::Budgeted { .. } => DegradationLevel::None,
+            DeadlinePlan::NoCoherence { .. } => DegradationLevel::NoCoherence,
+            DeadlinePlan::PriorOnly => DegradationLevel::PriorOnly,
+        }
+    }
+
+    /// Derives the per-request configuration implementing this plan on top
+    /// of `base`. The result always passes [`AidaConfig::validate`] when
+    /// `base` does.
+    pub fn apply(&self, base: &AidaConfig) -> AidaConfig {
+        match *self {
+            DeadlinePlan::Full => base.clone(),
+            DeadlinePlan::Budgeted { wall_ms } => {
+                AidaConfig { solver_wall_budget_ms: Some(wall_ms), ..base.clone() }
+            }
+            DeadlinePlan::NoCoherence { .. } => AidaConfig {
+                use_coherence: false,
+                use_coherence_robustness: false,
+                solver_wall_budget_ms: None,
+                ..base.clone()
+            },
+            // Prior-only: weight the prior alone (α = 1) and drop every
+            // other feature. Candidate features are still computed — the
+            // ladder's own PriorOnly rung works the same way — but no
+            // graph is built and no solver runs.
+            DeadlinePlan::PriorOnly => AidaConfig {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+                use_prior: true,
+                use_prior_robustness: false,
+                use_coherence: false,
+                use_coherence_robustness: false,
+                solver_wall_budget_ms: None,
+                ..base.clone()
+            },
+        }
+    }
+
+    /// Stable label for reports and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeadlinePlan::Full => "full",
+            DeadlinePlan::Budgeted { .. } => "budgeted",
+            DeadlinePlan::NoCoherence { .. } => "no-coherence",
+            DeadlinePlan::PriorOnly => "prior-only",
+        }
+    }
+}
+
+impl std::fmt::Display for DeadlinePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Remaining time before `deadline_ms` (counted from `submitted_ns`) at
+/// `now_ns`, or `None` when the request carries no deadline. Saturates at
+/// zero once expired.
+pub fn remaining_ns(
+    deadline_ms: Option<u64>,
+    submitted_ns: u64,
+    now_ns: u64,
+) -> Option<u64> {
+    let deadline_ms = deadline_ms?;
+    let deadline_abs = submitted_ns.saturating_add(deadline_ms.saturating_mul(1_000_000));
+    Some(deadline_abs.saturating_sub(now_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_runs_full() {
+        let p = DeadlinePolicy::default();
+        assert_eq!(p.plan(None), DeadlinePlan::Full);
+        assert_eq!(DeadlinePlan::Full.floor(), DegradationLevel::None);
+    }
+
+    #[test]
+    fn plan_steps_down_the_ladder_as_time_runs_out() {
+        let p = DeadlinePolicy::default();
+        assert_eq!(p.plan(Some(50_000_000)), DeadlinePlan::Budgeted { wall_ms: 50 });
+        assert_eq!(p.plan(Some(5_000_000)), DeadlinePlan::Budgeted { wall_ms: 5 });
+        assert_eq!(p.plan(Some(4_999_999)), DeadlinePlan::NoCoherence { wall_ms: 4 });
+        assert_eq!(p.plan(Some(1_000_000)), DeadlinePlan::NoCoherence { wall_ms: 1 });
+        assert_eq!(p.plan(Some(999_999)), DeadlinePlan::PriorOnly);
+        assert_eq!(p.plan(Some(0)), DeadlinePlan::PriorOnly);
+    }
+
+    #[test]
+    fn floors_are_ordered_with_the_ladder() {
+        let p = DeadlinePolicy::default();
+        let mut last = DegradationLevel::None;
+        for remaining in [u64::MAX, 10_000_000, 2_000_000, 0] {
+            let floor = p.plan(Some(remaining)).floor();
+            assert!(floor >= last, "monotone degradation as time shrinks");
+            last = floor;
+        }
+        assert_eq!(last, DegradationLevel::PriorOnly);
+    }
+
+    #[test]
+    fn applied_configs_validate() {
+        let base = AidaConfig::full();
+        for plan in [
+            DeadlinePlan::Full,
+            DeadlinePlan::Budgeted { wall_ms: 7 },
+            DeadlinePlan::NoCoherence { wall_ms: 2 },
+            DeadlinePlan::PriorOnly,
+        ] {
+            let cfg = plan.apply(&base);
+            cfg.validate().unwrap_or_else(|e| panic!("{plan}: {e}"));
+        }
+        assert_eq!(
+            DeadlinePlan::Budgeted { wall_ms: 7 }.apply(&base).solver_wall_budget_ms,
+            Some(7)
+        );
+        assert!(!DeadlinePlan::NoCoherence { wall_ms: 2 }.apply(&base).use_coherence);
+        let prior = DeadlinePlan::PriorOnly.apply(&base);
+        assert!(!prior.use_coherence);
+        assert_eq!(prior.alpha, 1.0);
+        assert_eq!(prior.sim_share(), 0.0, "prior gets all the local weight");
+    }
+
+    #[test]
+    fn remaining_time_saturates() {
+        assert_eq!(remaining_ns(None, 5, 100), None);
+        assert_eq!(remaining_ns(Some(10), 0, 0), Some(10_000_000));
+        assert_eq!(remaining_ns(Some(10), 1_000, 5_000_000), Some(5_001_000));
+        assert_eq!(remaining_ns(Some(1), 0, 2_000_000), Some(0), "expired clamps to 0");
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(DeadlinePolicy::default().validate().is_ok());
+        let bad = DeadlinePolicy { no_coherence_below_ms: 1, prior_only_below_ms: 5 };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -46,6 +46,41 @@ impl Default for JointConfig {
     }
 }
 
+impl JointConfig {
+    /// Builds the tentative-span recognizer this config describes: the rule
+    /// NER plus (when `use_gazetteer` is set) every dictionary surface as a
+    /// recognition hint.
+    ///
+    /// Building the gazetteer walks the whole dictionary, so callers that
+    /// serve many requests (the `ned-serve` worker loop) build one
+    /// recognizer up front and reuse it across requests.
+    pub fn build_recognizer<K: KbView>(&self, kb: &K) -> Recognizer {
+        let mut recognizer = Recognizer::new(self.ner.clone());
+        if self.use_gazetteer {
+            for (surface, _) in kb.dictionary().iter() {
+                recognizer.add_gazetteer_entry(surface);
+            }
+        }
+        recognizer
+    }
+
+    /// The acceptance filter: keeps a span when it is linkable and either
+    /// unambiguous or confident enough (§2.2.2's recognize-via-
+    /// disambiguation idea).
+    pub fn accept(
+        &self,
+        mention: Mention,
+        assignment: MentionAssignment,
+    ) -> Option<Annotation> {
+        let entity = assignment.entity?;
+        let confidence = assignment.normalized_score();
+        if assignment.candidate_scores.len() > 1 && confidence < self.min_confidence {
+            return None;
+        }
+        Some(Annotation { mention, entity, confidence })
+    }
+}
+
 /// End-to-end annotator: raw text in, linked entity annotations out.
 pub struct JointAnnotator<'a, K, R> {
     disambiguator: &'a Disambiguator<K, R>,
@@ -67,12 +102,7 @@ impl<'a, K: KbView, R: Relatedness> JointAnnotator<'a, K, R> {
     /// Creates an annotator; when `use_gazetteer` is set, every dictionary
     /// surface becomes a recognition hint.
     pub fn new(disambiguator: &'a Disambiguator<K, R>, config: JointConfig) -> Self {
-        let mut recognizer = Recognizer::new(config.ner.clone());
-        if config.use_gazetteer {
-            for (surface, _) in disambiguator.kb().dictionary().iter() {
-                recognizer.add_gazetteer_entry(surface);
-            }
-        }
+        let recognizer = config.build_recognizer(disambiguator.kb());
         JointAnnotator { disambiguator, recognizer, config }
     }
 
@@ -91,28 +121,54 @@ impl<'a, K: KbView, R: Relatedness> JointAnnotator<'a, K, R> {
 
     /// Annotates a pre-tokenized document.
     pub fn annotate_tokens(&self, tokens: &[Token]) -> Vec<Annotation> {
+        self.annotate_tokens_using(self.disambiguator, tokens)
+    }
+
+    /// Annotates a pre-tokenized document through a *caller-supplied*
+    /// disambiguator, reusing this annotator's recognizer and acceptance
+    /// config.
+    ///
+    /// The serving layer uses this to apply per-request deadline plans: the
+    /// gazetteer-backed recognizer is expensive to build and shared across
+    /// requests, while the disambiguator (cheap to construct over `Arc`
+    /// handles) is rebuilt per request with a plan-adjusted configuration.
+    pub fn annotate_tokens_using(
+        &self,
+        disambiguator: &Disambiguator<K, R>,
+        tokens: &[Token],
+    ) -> Vec<Annotation> {
         let mentions = self.recognizer.recognize(tokens);
         if mentions.is_empty() {
             return Vec::new();
         }
-        let result = self.disambiguator.disambiguate(tokens, &mentions);
+        let result = disambiguator.disambiguate(tokens, &mentions);
         mentions
             .into_iter()
             .zip(result.assignments)
-            .filter_map(|(mention, assignment)| self.accept(mention, assignment))
+            .filter_map(|(mention, assignment)| self.config.accept(mention, assignment))
             .collect()
     }
 
-    fn accept(&self, mention: Mention, assignment: MentionAssignment) -> Option<Annotation> {
-        let entity = assignment.entity?;
-        let confidence = assignment.normalized_score();
-        // A single-candidate span is as linkable as it gets; ambiguous spans
-        // must clear the confidence bar (the recognize-via-disambiguation
-        // idea of Milne & Witten).
-        if assignment.candidate_scores.len() > 1 && confidence < self.config.min_confidence {
-            return None;
+    /// Like [`JointAnnotator::annotate_tokens_using`], but also reports the
+    /// degradation level the disambiguator used (the serving layer surfaces
+    /// it per response).
+    pub fn annotate_tokens_observed(
+        &self,
+        disambiguator: &Disambiguator<K, R>,
+        tokens: &[Token],
+    ) -> (Vec<Annotation>, ned_core::DegradationLevel) {
+        let mentions = self.recognizer.recognize(tokens);
+        if mentions.is_empty() {
+            return (Vec::new(), ned_core::DegradationLevel::None);
         }
-        Some(Annotation { mention, entity, confidence })
+        let result = disambiguator.disambiguate(tokens, &mentions);
+        let degradation = result.degradation;
+        let annotations = mentions
+            .into_iter()
+            .zip(result.assignments)
+            .filter_map(|(mention, assignment)| self.config.accept(mention, assignment))
+            .collect();
+        (annotations, degradation)
     }
 }
 

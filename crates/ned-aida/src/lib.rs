@@ -27,6 +27,7 @@ pub mod classification;
 pub mod config;
 pub mod context;
 pub mod cover;
+pub mod deadline;
 pub mod disambiguator;
 pub mod expansion;
 pub mod graph;
@@ -39,6 +40,7 @@ pub mod scratch;
 pub mod similarity;
 
 pub use config::{AidaConfig, KeywordWeighting};
+pub use deadline::{remaining_ns, DeadlinePlan, DeadlinePolicy};
 pub use ned_core::{DegradationLevel, NedError};
 pub use disambiguator::Disambiguator;
 pub use joint::{Annotation, JointAnnotator, JointConfig};

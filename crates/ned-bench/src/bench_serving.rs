@@ -1,0 +1,606 @@
+//! Load benchmark of the overload-robust annotation service (`ned-serve`).
+//!
+//! Drives the real AIDA pipeline through the serving layer in three modes
+//! and writes every offered-load step to `BENCH_serving.json`:
+//!
+//! - **Open-loop, virtual time** — requests arrive at a fixed rate on the
+//!   deterministic discrete-event model ([`ned_serve::run_open_loop`]),
+//!   with service cost given by an integer cost model. The sweep covers
+//!   0.5×, 1×, 2×, and 4× of nominal capacity; each step runs twice and
+//!   must be bit-identical (the determinism contract for virtual-time load
+//!   runs). Overload behavior is *asserted*: at ≥ 2× capacity the queue
+//!   peak never exceeds its bound, excess arrivals are rejected at
+//!   admission, and deadline burn-down shows up as degraded completions.
+//! - **Open-loop, real time** — the threaded [`ned_serve::Service`] under
+//!   wall-clock arrival pacing (figures are machine-dependent; only the
+//!   accounting invariants are asserted).
+//! - **Closed-loop** — N concurrent users in submit→wait loops against the
+//!   threaded service.
+//!
+//! Every step row satisfies `offered == accepted + rejected` and
+//! `accepted == ok + degraded + failed` exactly (sheds count as a flavor
+//! of failed; the `shedded` column is the sub-count). The `serving_check`
+//! binary re-validates the JSON in CI.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ned_aida::{AidaConfig, DeadlinePlan, JointConfig};
+use ned_obs::{names, Clock, Metrics, MetricsSnapshot};
+use ned_relatedness::{CachedRelatedness, MilneWitten};
+use ned_serve::{
+    run_open_loop, AidaHandler, OpenLoopConfig, ServeObs, ServeRequest, ServeStats, Service,
+    ServiceConfig, SimReport, SimStatus,
+};
+
+use crate::setup::{Env, Scale};
+
+/// Simulated/threaded worker slots.
+const WORKERS: usize = 2;
+/// Bounded queue capacity.
+const QUEUE_CAPACITY: usize = 32;
+/// Per-request deadline (ms); burned-down deadlines drive degradation.
+const DEADLINE_MS: u64 = 10;
+/// Virtual cost model: base cost of a full-fidelity annotation.
+const COST_BASE_NS: u64 = 800_000;
+/// Virtual cost model: per-request jitter step (id-dependent).
+const COST_JITTER_NS: u64 = 100_000;
+
+/// The deterministic virtual cost model: how long one annotation occupies
+/// a worker slot, as a pure function of the request and its deadline plan.
+/// Degraded plans are mildly cheaper (no graph, or prior-only), mirroring
+/// the real pipeline's shape — mildly, so that a fully degraded service at
+/// 2× offered load still cannot keep up and the overload assertions below
+/// are not sitting on a marginal equilibrium. Average full-fidelity cost
+/// is 1 ms, so nominal capacity is `WORKERS` requests per millisecond.
+fn virtual_cost_ns(request: &ServeRequest, plan: &DeadlinePlan) -> u64 {
+    let base = COST_BASE_NS + (request.id.0 % 5) * COST_JITTER_NS;
+    match plan {
+        DeadlinePlan::Full | DeadlinePlan::Budgeted { .. } => base,
+        DeadlinePlan::NoCoherence { .. } => base * 7 / 8,
+        DeadlinePlan::PriorOnly => base * 3 / 4,
+    }
+}
+
+/// Nominal mean service cost of the virtual model (for load-step sizing).
+const COST_MEAN_NS: u64 = COST_BASE_NS + 2 * COST_JITTER_NS;
+
+/// One offered-load step of any mode.
+#[derive(Debug, Clone, PartialEq)]
+struct StepRow {
+    mode: &'static str,
+    load: String,
+    offered: u64,
+    accepted: u64,
+    rejected: u64,
+    ok: u64,
+    degraded: u64,
+    failed: u64,
+    shedded: u64,
+    queue_depth_peak: u64,
+    throughput_rps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+impl StepRow {
+    /// The exact conservation laws every row must satisfy.
+    fn check(&self) -> Result<(), String> {
+        if self.offered != self.accepted + self.rejected {
+            return Err(format!(
+                "{} {}: offered ({}) != accepted ({}) + rejected ({})",
+                self.mode, self.load, self.offered, self.accepted, self.rejected
+            ));
+        }
+        if self.accepted != self.ok + self.degraded + self.failed {
+            return Err(format!(
+                "{} {}: accepted ({}) != ok ({}) + degraded ({}) + failed ({})",
+                self.mode, self.load, self.accepted, self.ok, self.degraded, self.failed
+            ));
+        }
+        if self.shedded > self.failed {
+            return Err(format!(
+                "{} {}: shedded ({}) > failed ({})",
+                self.mode, self.load, self.shedded, self.failed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice (integer arithmetic, so the
+/// virtual-time rows are deterministic).
+fn percentile_ns(sorted: &[u64], num: u64, den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (num * n).div_ceil(den).max(1);
+    let idx = (rank - 1).min(n - 1) as usize;
+    sorted[idx]
+}
+
+fn percentiles(latencies: &mut [u64]) -> (u64, u64, u64, u64) {
+    latencies.sort_unstable();
+    (
+        percentile_ns(latencies, 50, 100),
+        percentile_ns(latencies, 95, 100),
+        percentile_ns(latencies, 99, 100),
+        percentile_ns(latencies, 999, 1000),
+    )
+}
+
+fn row_from_sim(load: String, report: &SimReport) -> StepRow {
+    let ok = report.count(SimStatus::Ok);
+    let degraded = report.count(SimStatus::Degraded);
+    let shedded = report.count(SimStatus::Shed);
+    let failed = shedded + report.count(SimStatus::Failed);
+    let mut latencies = report.answered_latencies_ns();
+    let (p50, p95, p99, p999) = percentiles(&mut latencies);
+    let completed = ok + degraded;
+    let throughput_rps = if report.makespan_ns == 0 {
+        0.0
+    } else {
+        completed as f64 * 1e9 / report.makespan_ns as f64
+    };
+    StepRow {
+        mode: "open-virtual",
+        load,
+        offered: report.offered(),
+        accepted: report.accepted(),
+        rejected: report.count(SimStatus::Rejected),
+        ok,
+        degraded,
+        failed,
+        shedded,
+        queue_depth_peak: report.queue_depth_peak,
+        throughput_rps,
+        p50_ns: p50,
+        p95_ns: p95,
+        p99_ns: p99,
+        p999_ns: p999,
+    }
+}
+
+fn row_from_stats(
+    mode: &'static str,
+    load: String,
+    stats: &ServeStats,
+    mut latencies: Vec<u64>,
+    elapsed_s: f64,
+) -> StepRow {
+    let (p50, p95, p99, p999) = percentiles(&mut latencies);
+    let completed = stats.completed_ok + stats.completed_degraded;
+    let throughput_rps = if elapsed_s > 0.0 { completed as f64 / elapsed_s } else { 0.0 };
+    StepRow {
+        mode,
+        load,
+        offered: stats.offered(),
+        accepted: stats.accepted,
+        rejected: stats.rejected(),
+        ok: stats.completed_ok,
+        degraded: stats.completed_degraded,
+        failed: stats.failed(),
+        shedded: stats.shedded(),
+        queue_depth_peak: stats.queue_depth_peak,
+        throughput_rps,
+        p50_ns: p50,
+        p95_ns: p95,
+        p99_ns: p99,
+        p999_ns: p999,
+    }
+}
+
+/// Builds the request list: corpus documents cycled, ids sequential, every
+/// request carrying the benchmark deadline.
+fn build_requests(texts: &[String], n: usize) -> Vec<ServeRequest> {
+    (0..n)
+        .map(|i| {
+            ServeRequest::new(i as u64, texts[i % texts.len()].clone())
+                .with_deadline_ms(DEADLINE_MS)
+        })
+        .collect()
+}
+
+/// The benchmark's concrete handler: the real pipeline over the shared
+/// frozen KB with a metrics-instrumented relatedness cache.
+type BenchHandler =
+    AidaHandler<Arc<ned_kb::FrozenKb>, Arc<CachedRelatedness<MilneWitten<Arc<ned_kb::FrozenKb>>>>>;
+
+fn new_handler(env: &Env, metrics: &Metrics, clock: Clock) -> BenchHandler {
+    let cached =
+        Arc::new(CachedRelatedness::with_metrics(MilneWitten::new(env.frozen.clone()), metrics));
+    AidaHandler::try_new(env.frozen.clone(), cached, AidaConfig::full(), JointConfig::default())
+        .unwrap_or_else(|e| panic!("full config is valid: {e}"))
+        .with_metrics(metrics)
+        .with_clock(clock)
+}
+
+/// One virtual-time open-loop step. Returns the report and the serving
+/// counters, after cross-checking the two against each other.
+fn virtual_step(env: &Env, texts: &[String], load_x: f64, n: usize) -> (SimReport, MetricsSnapshot) {
+    let interval_ns =
+        ((COST_MEAN_NS as f64) / (WORKERS as f64 * load_x)).round().max(1.0) as u64;
+    let metrics = Metrics::new();
+    let (clock, hand) = Clock::manual();
+    let handler = new_handler(env, &metrics, clock);
+    let obs = ServeObs::new(&metrics);
+    let config = OpenLoopConfig {
+        workers: WORKERS,
+        queue_capacity: QUEUE_CAPACITY,
+        arrival_interval_ns: interval_ns,
+        default_deadline_ms: None,
+        policy: ned_serve::DeadlinePolicy::default(),
+        shed_expired: false,
+    };
+    let requests = build_requests(texts, n);
+    let report = run_open_loop(&handler, &hand, &requests, &config, &virtual_cost_ns, &obs)
+        .unwrap_or_else(|e| panic!("valid open-loop config: {e}"));
+    report.check_conservation().unwrap_or_else(|e| panic!("sim books balance: {e}"));
+    let snapshot = metrics.snapshot();
+    // The ned-obs surface must tell the same story as the report.
+    assert_eq!(snapshot.counter(names::SERVE_SUBMITTED), report.offered());
+    assert_eq!(snapshot.counter(names::SERVE_ACCEPTED), report.accepted());
+    assert_eq!(
+        snapshot.counter(names::SERVE_REJECTED_QUEUE_FULL),
+        report.count(SimStatus::Rejected)
+    );
+    assert_eq!(snapshot.counter(names::SERVE_COMPLETED_OK), report.count(SimStatus::Ok));
+    assert_eq!(
+        snapshot.counter(names::SERVE_COMPLETED_DEGRADED),
+        report.count(SimStatus::Degraded)
+    );
+    (report, snapshot)
+}
+
+/// One real-time open-loop step: wall-clock arrival pacing against the
+/// threaded service.
+fn realtime_step(env: &Env, texts: &[String], load_label: &str, interval: Duration, n: usize) -> StepRow {
+    let metrics = Metrics::new();
+    let handler = new_handler(env, &metrics, Clock::system());
+    let service = Service::start(
+        handler,
+        ServiceConfig {
+            workers: WORKERS,
+            queue_capacity: QUEUE_CAPACITY,
+            default_deadline_ms: None,
+            clock: Clock::system(),
+            ..ServiceConfig::default()
+        },
+        &metrics,
+    )
+    .unwrap_or_else(|e| panic!("service starts: {e}"));
+    let requests = build_requests(texts, n);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(n);
+    for (i, request) in requests.into_iter().enumerate() {
+        let target = interval * i as u32;
+        let now = start.elapsed();
+        if now < target {
+            std::thread::sleep(target - now);
+        }
+        // Open loop: offer and move on; rejections are the service's answer.
+        if let Ok(ticket) = service.submit(request) {
+            tickets.push(ticket);
+        }
+    }
+    let latencies: Vec<u64> = tickets
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|r| r.is_ok())
+        .map(|r| r.latency_ns)
+        .collect();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    stats.check_conservation().unwrap_or_else(|e| panic!("service books balance: {e}"));
+    row_from_stats("open-realtime", load_label.to_string(), &stats, latencies, elapsed_s)
+}
+
+/// One closed-loop step: `users` concurrent submit→wait loops.
+fn closed_step(env: &Env, texts: &[String], users: usize, per_user: usize) -> StepRow {
+    let metrics = Metrics::new();
+    let handler = new_handler(env, &metrics, Clock::system());
+    let service = Service::start(
+        handler,
+        ServiceConfig {
+            workers: WORKERS,
+            queue_capacity: QUEUE_CAPACITY,
+            default_deadline_ms: Some(DEADLINE_MS),
+            clock: Clock::system(),
+            ..ServiceConfig::default()
+        },
+        &metrics,
+    )
+    .unwrap_or_else(|e| panic!("service starts: {e}"));
+    let latencies = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for user in 0..users {
+            let service = &service;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(per_user);
+                for k in 0..per_user {
+                    let id = (user * per_user + k) as u64;
+                    let text = texts[id as usize % texts.len()].clone();
+                    let response = service.submit_wait(ServeRequest::new(id, text));
+                    if response.is_ok() {
+                        local.push(response.latency_ns);
+                    }
+                }
+                latencies.lock().unwrap_or_else(|e| e.into_inner()).append(&mut local);
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    stats.check_conservation().unwrap_or_else(|e| panic!("service books balance: {e}"));
+    let latencies = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    row_from_stats("closed", format!("users={users}"), &stats, latencies, elapsed_s)
+}
+
+/// Runs the serving load benchmark.
+pub fn run(scale: &Scale) {
+    let env = Env::build(scale);
+    let corpus = env.conll(scale);
+    let texts: Vec<String> = corpus.docs.iter().map(|d| d.text()).collect();
+    assert!(!texts.is_empty(), "corpus provides request texts");
+    let n_virtual = corpus.docs.len().max(100);
+
+    // --- open-loop, virtual time: deterministic sweep, each step twice ---
+    let virtual_loads = [0.5f64, 1.0, 2.0, 4.0];
+    let mut rows: Vec<StepRow> = Vec::new();
+    let mut virtual_deterministic = true;
+    let mut overload_snapshot: Option<MetricsSnapshot> = None;
+    for &load_x in &virtual_loads {
+        let (first, snap_a) = virtual_step(&env, &texts, load_x, n_virtual);
+        let (second, snap_b) = virtual_step(&env, &texts, load_x, n_virtual);
+        if first != second || snap_a != snap_b {
+            virtual_deterministic = false;
+        }
+        if load_x >= 2.0 {
+            // Overload contract: bounded queue, typed rejections, degraded
+            // (not dropped) completions.
+            assert!(
+                first.queue_depth_peak <= QUEUE_CAPACITY as u64,
+                "queue exceeded capacity at {load_x}x"
+            );
+            assert!(
+                first.count(SimStatus::Rejected) > 0,
+                "sustained {load_x}x overload must shed at admission"
+            );
+            assert!(
+                first.count(SimStatus::Degraded) > 0,
+                "burned-down deadlines must degrade at {load_x}x"
+            );
+        }
+        if (load_x - 2.0).abs() < f64::EPSILON {
+            overload_snapshot = Some(snap_a);
+        }
+        rows.push(row_from_sim(format!("{load_x}x"), &first));
+    }
+    assert!(virtual_deterministic, "virtual-time runs diverged across invocations");
+
+    // --- open-loop, real time -------------------------------------------
+    let n_realtime = (n_virtual / 2).max(50);
+    let realtime_steps = [
+        ("0.5x", Duration::from_micros(1_000)),
+        ("2x", Duration::from_micros(250)),
+        ("4x", Duration::from_micros(125)),
+    ];
+    for (label, interval) in realtime_steps {
+        rows.push(realtime_step(&env, &texts, label, interval, n_realtime));
+    }
+
+    // --- closed-loop -----------------------------------------------------
+    let per_user = (n_virtual / 5).max(20);
+    for users in [1usize, 2, 4, 8] {
+        rows.push(closed_step(&env, &texts, users, per_user));
+    }
+
+    for row in &rows {
+        row.check().unwrap_or_else(|e| panic!("step row conservation: {e}"));
+    }
+
+    // --- report ----------------------------------------------------------
+    let mut table = ned_eval::report::Table::new(
+        "Serving — offered-load sweep (open + closed loop)",
+        &[
+            "mode", "load", "offered", "accepted", "rejected", "ok", "degraded", "failed",
+            "shed", "q-peak", "rps", "p50 ms", "p95 ms", "p99 ms", "p999 ms",
+        ],
+    );
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    for r in &rows {
+        table.add_row(vec![
+            r.mode.to_string(),
+            r.load.clone(),
+            r.offered.to_string(),
+            r.accepted.to_string(),
+            r.rejected.to_string(),
+            r.ok.to_string(),
+            r.degraded.to_string(),
+            r.failed.to_string(),
+            r.shedded.to_string(),
+            r.queue_depth_peak.to_string(),
+            format!("{:.1}", r.throughput_rps),
+            ms(r.p50_ns),
+            ms(r.p95_ns),
+            ms(r.p99_ns),
+            ms(r.p999_ns),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("virtual-time sweep bit-identical across two invocations: {virtual_deterministic}");
+
+    let json = render_json(&rows, virtual_deterministic, overload_snapshot.as_ref());
+    let path = "BENCH_serving.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn render_json(
+    rows: &[StepRow],
+    virtual_deterministic: bool,
+    overload_snapshot: Option<&MetricsSnapshot>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"corpus\": \"conll-like\",\n");
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"queue_capacity\": {QUEUE_CAPACITY},\n"));
+    out.push_str(&format!("  \"deadline_ms\": {DEADLINE_MS},\n"));
+    out.push_str(&format!(
+        "  \"virtual_cost_model\": {{\"base_ns\": {COST_BASE_NS}, \"jitter_step_ns\": \
+         {COST_JITTER_NS}, \"no_coherence_fraction\": \"7/8\", \"prior_only_fraction\": \
+         \"3/4\"}},\n"
+    ));
+    out.push_str(&format!("  \"virtual_deterministic\": {virtual_deterministic},\n"));
+    out.push_str("  \"steps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"load\": \"{}\", \"offered\": {}, \"accepted\": {}, \
+             \"rejected\": {}, \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"shedded\": {}, \
+             \"queue_depth_peak\": {}, \"throughput_rps\": {:.3}, \"p50_ns\": {}, \
+             \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
+            r.mode,
+            r.load,
+            r.offered,
+            r.accepted,
+            r.rejected,
+            r.ok,
+            r.degraded,
+            r.failed,
+            r.shedded,
+            r.queue_depth_peak,
+            r.throughput_rps,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.p999_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"serve_metrics_at_2x\": {\n");
+    if let Some(snapshot) = overload_snapshot {
+        let serve: Vec<(String, u64)> = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("serve_"))
+            .cloned()
+            .collect();
+        for (i, (name, value)) in serve.iter().enumerate() {
+            let sep = if i + 1 < serve.len() { "," } else { "" };
+            out.push_str(&format!("    \"{name}\": {value}{sep}\n"));
+        }
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> StepRow {
+        StepRow {
+            mode: "open-virtual",
+            load: "2x".to_string(),
+            offered: 100,
+            accepted: 80,
+            rejected: 20,
+            ok: 50,
+            degraded: 25,
+            failed: 5,
+            shedded: 3,
+            queue_depth_peak: 32,
+            throughput_rps: 1500.0,
+            p50_ns: 1_000_000,
+            p95_ns: 5_000_000,
+            p99_ns: 9_000_000,
+            p999_ns: 12_000_000,
+        }
+    }
+
+    #[test]
+    fn row_conservation_checks() {
+        sample_row().check().expect("books balance");
+        let broken = StepRow { accepted: 81, ..sample_row() };
+        assert!(broken.check().is_err());
+        let over_shed = StepRow { shedded: 6, ..sample_row() };
+        assert!(over_shed.check().is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 50, 100), 50);
+        assert_eq!(percentile_ns(&sorted, 95, 100), 95);
+        assert_eq!(percentile_ns(&sorted, 99, 100), 99);
+        assert_eq!(percentile_ns(&sorted, 999, 1000), 100);
+        assert_eq!(percentile_ns(&[], 50, 100), 0);
+        assert_eq!(percentile_ns(&[7], 999, 1000), 7);
+    }
+
+    #[test]
+    fn cost_model_is_deterministic_and_plan_sensitive() {
+        let req = ServeRequest::new(3, "doc");
+        let full = virtual_cost_ns(&req, &DeadlinePlan::Full);
+        assert_eq!(full, virtual_cost_ns(&req, &DeadlinePlan::Full));
+        assert_eq!(full, COST_BASE_NS + 3 * COST_JITTER_NS);
+        assert!(virtual_cost_ns(&req, &DeadlinePlan::NoCoherence { wall_ms: 1 }) < full);
+        assert!(
+            virtual_cost_ns(&req, &DeadlinePlan::PriorOnly)
+                < virtual_cost_ns(&req, &DeadlinePlan::NoCoherence { wall_ms: 1 })
+        );
+        // The discount must be mild enough that a fully degraded service at
+        // 2x offered load still falls behind (overload persists).
+        let prior_rate_per_ms = 1_000_000 * WORKERS as u64 / (COST_MEAN_NS * 3 / 4);
+        let offered_2x_per_ms = 2 * WORKERS as u64 * 1_000_000 / COST_MEAN_NS;
+        assert!(prior_rate_per_ms < offered_2x_per_ms, "2x overload must persist");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![
+            sample_row(),
+            StepRow {
+                mode: "closed",
+                load: "users=4".to_string(),
+                offered: 40,
+                accepted: 40,
+                rejected: 0,
+                ok: 40,
+                degraded: 0,
+                failed: 0,
+                shedded: 0,
+                queue_depth_peak: 4,
+                throughput_rps: 900.0,
+                p50_ns: 700_000,
+                p95_ns: 2_000_000,
+                p99_ns: 2_500_000,
+                p999_ns: 3_000_000,
+            },
+        ];
+        let metrics = Metrics::new();
+        metrics.counter(names::SERVE_SUBMITTED).add(100);
+        metrics.counter(names::SERVE_ACCEPTED).add(80);
+        metrics.counter("aida_docs").add(80); // non-serve counter filtered out
+        let snapshot = metrics.snapshot();
+        let json = render_json(&rows, true, Some(&snapshot));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"mode\": \"open-virtual\""));
+        assert!(json.contains("\"load\": \"users=4\""));
+        assert!(json.contains("\"virtual_deterministic\": true"));
+        assert!(json.contains("\"p999_ns\": 12000000"));
+        assert!(json.contains("\"serve_submitted\": 100"));
+        assert!(!json.contains("\"aida_docs\""));
+        // No trailing comma before a closing brace.
+        assert!(!json.contains(",\n  }"));
+    }
+}

@@ -2,35 +2,52 @@
 //! the command line (or a built-in demo document) end to end — joint
 //! recognition, disambiguation, and type classification.
 //!
+//! Annotation runs through the `ned-serve` service (the same bounded-queue,
+//! deadline-planned code path a long-running deployment uses), so the demo
+//! doubles as a smoke test of the serving layer.
+//!
 //! Usage:
 //!   annotate                      # annotate a generated demo document
 //!   annotate "some text ..."      # annotate the given text
 //!   annotate --seed 7 "text"      # different world
 //!   annotate --metrics "text"     # also dump the pipeline metrics snapshot
+//!   annotate --deadline-ms 5 "…"  # per-request deadline (tight deadlines
+//!                                 # degrade joint → no-coherence → prior)
+//!   annotate --threads 4 "text"   # service worker threads
 
 use std::sync::Arc;
 
 use ned_aida::classification::TypeClassifier;
-use ned_aida::{AidaConfig, Disambiguator, JointAnnotator, JointConfig};
+use ned_aida::{AidaConfig, JointConfig};
 use ned_kb::FrozenKb;
 use ned_obs::Metrics;
 use ned_relatedness::{CachedRelatedness, MilneWitten};
+use ned_serve::{AidaHandler, ServeRequest, Service, ServiceConfig};
+use ned_text::tokenize;
 use ned_wikigen::config::WorldConfig;
 use ned_wikigen::corpus::conll_like;
 use ned_wikigen::{ExportedKb, World};
 
+/// Removes `--flag <value>` from `args` and parses the value.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<u64> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} expects a number");
+        std::process::exit(2);
+    }
+    let value = args[pos + 1].parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a number");
+        std::process::exit(2);
+    });
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = 2024u64;
-    if let Some(pos) = args.iter().position(|a| a == "--seed") {
-        if pos + 1 < args.len() {
-            seed = args[pos + 1].parse().unwrap_or_else(|_| {
-                eprintln!("--seed expects a number");
-                std::process::exit(2);
-            });
-            args.drain(pos..=pos + 1);
-        }
-    }
+    let seed = take_value_flag(&mut args, "--seed").unwrap_or(2024);
+    let deadline_ms = take_value_flag(&mut args, "--deadline-ms");
+    let threads = take_value_flag(&mut args, "--threads").unwrap_or(2).max(1) as usize;
     let show_metrics = if let Some(pos) = args.iter().position(|a| a == "--metrics") {
         args.remove(pos);
         true
@@ -50,10 +67,28 @@ fn main() {
     );
 
     let metrics = Metrics::new();
-    let relatedness = CachedRelatedness::with_metrics(MilneWitten::new(kb.clone()), &metrics);
-    let aida =
-        Disambiguator::new(kb.clone(), relatedness, AidaConfig::full()).with_metrics(&metrics);
-    let annotator = JointAnnotator::new(&aida, JointConfig::default());
+    let relatedness =
+        Arc::new(CachedRelatedness::with_metrics(MilneWitten::new(kb.clone()), &metrics));
+    let handler =
+        AidaHandler::try_new(kb.clone(), relatedness, AidaConfig::full(), JointConfig::default())
+            .unwrap_or_else(|e| {
+                eprintln!("invalid pipeline configuration: {e}");
+                std::process::exit(2);
+            })
+            .with_metrics(&metrics);
+    let service = Service::start(
+        handler,
+        ServiceConfig {
+            workers: threads,
+            default_deadline_ms: deadline_ms,
+            ..ServiceConfig::default()
+        },
+        &metrics,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start service: {e}");
+        std::process::exit(2);
+    });
     let classifier = TypeClassifier::new(kb.clone(), &exported.taxonomy);
 
     let text = if args.is_empty() {
@@ -66,7 +101,21 @@ fn main() {
     };
 
     println!("text:\n  {text}\n");
-    let (tokens, annotations) = annotator.annotate(&text);
+    let response = service.submit_wait(ServeRequest::new(0, text.clone()));
+    let annotations = match &response.result {
+        Ok(annotations) => annotations.clone(),
+        Err(e) => {
+            eprintln!("annotation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if response.degradation.is_degraded() {
+        println!(
+            "(deadline pressure: answered at degradation level `{}`)\n",
+            response.degradation.as_str()
+        );
+    }
+    let tokens = tokenize(&text);
     if annotations.is_empty() {
         println!("no linkable mentions found (unknown names are out-of-KB).");
     } else {
@@ -84,6 +133,11 @@ fn main() {
                 a.confidence
             );
         }
+    }
+    let stats = service.shutdown();
+    if let Err(e) = stats.check_conservation() {
+        eprintln!("service accounting imbalance: {e}");
+        std::process::exit(1);
     }
     if show_metrics {
         println!("\npipeline metrics:\n{}", metrics.snapshot().render());

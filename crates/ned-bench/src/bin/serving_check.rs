@@ -1,0 +1,279 @@
+//! Serving-bench gate: validates `BENCH_serving.json` (written by
+//! `experiments bench_serving`) and exits non-zero when the report is
+//! malformed or its accounting does not balance.
+//!
+//! Checked per step row, exactly:
+//!   - `offered == accepted + rejected`
+//!   - `accepted == ok + degraded + failed`
+//!   - `shedded <= failed` (sheds are a flavor of failed)
+//!   - `p50_ns <= p95_ns <= p99_ns <= p999_ns`
+//!
+//! Checked globally:
+//!   - at least 3 open-loop steps and at least 3 closed-loop steps
+//!   - `"virtual_deterministic": true` (the bit-identical virtual sweep)
+//!
+//! Usage:
+//!   serving_check <BENCH_serving.json>
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::process::ExitCode;
+
+/// One parsed step row. Rows are written one per line by the bench, so a
+/// line-oriented scan is sufficient (as in `metrics_check`).
+#[derive(Debug, Clone, PartialEq)]
+struct Step {
+    mode: String,
+    load: String,
+    offered: u64,
+    accepted: u64,
+    rejected: u64,
+    ok: u64,
+    degraded: u64,
+    failed: u64,
+    shedded: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+/// Extracts a string field (`"key": "value"`) from a one-line JSON object.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = start + line[start..].find('"')?;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts an unsigned integer field (`"key": 123`) from a one-line JSON
+/// object.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String =
+        line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn parse_step(line: &str) -> Option<Step> {
+    Some(Step {
+        mode: str_field(line, "mode")?,
+        load: str_field(line, "load")?,
+        offered: u64_field(line, "offered")?,
+        accepted: u64_field(line, "accepted")?,
+        rejected: u64_field(line, "rejected")?,
+        ok: u64_field(line, "ok")?,
+        degraded: u64_field(line, "degraded")?,
+        failed: u64_field(line, "failed")?,
+        shedded: u64_field(line, "shedded")?,
+        p50_ns: u64_field(line, "p50_ns")?,
+        p95_ns: u64_field(line, "p95_ns")?,
+        p99_ns: u64_field(line, "p99_ns")?,
+        p999_ns: u64_field(line, "p999_ns")?,
+    })
+}
+
+/// Parses the `"steps"` array (one row object per line) plus the
+/// `virtual_deterministic` flag.
+fn parse_report(json: &str) -> Result<(Vec<Step>, bool), String> {
+    let deterministic = json.contains("\"virtual_deterministic\": true");
+    if !deterministic && !json.contains("\"virtual_deterministic\": false") {
+        return Err("missing \"virtual_deterministic\" flag".to_string());
+    }
+    let mut steps = Vec::new();
+    let mut in_steps = false;
+    for line in json.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"steps\"") {
+            in_steps = true;
+            continue;
+        }
+        if in_steps {
+            if trimmed.starts_with(']') {
+                break;
+            }
+            let step = parse_step(trimmed)
+                .ok_or_else(|| format!("malformed step row: {trimmed}"))?;
+            steps.push(step);
+        }
+    }
+    if steps.is_empty() {
+        return Err("no step rows found".to_string());
+    }
+    Ok((steps, deterministic))
+}
+
+/// All validation failures for a parsed report.
+fn validate(steps: &[Step], deterministic: bool) -> Vec<String> {
+    let mut errors = Vec::new();
+    if !deterministic {
+        errors.push("virtual-time sweep was not bit-identical across invocations".to_string());
+    }
+    let open = steps.iter().filter(|s| s.mode.starts_with("open")).count();
+    let closed = steps.iter().filter(|s| s.mode == "closed").count();
+    if open < 3 {
+        errors.push(format!("need >= 3 open-loop steps, found {open}"));
+    }
+    if closed < 3 {
+        errors.push(format!("need >= 3 closed-loop steps, found {closed}"));
+    }
+    for s in steps {
+        let ctx = format!("{} {}", s.mode, s.load);
+        if s.offered != s.accepted + s.rejected {
+            errors.push(format!(
+                "{ctx}: offered ({}) != accepted ({}) + rejected ({})",
+                s.offered, s.accepted, s.rejected
+            ));
+        }
+        if s.accepted != s.ok + s.degraded + s.failed {
+            errors.push(format!(
+                "{ctx}: accepted ({}) != ok ({}) + degraded ({}) + failed ({})",
+                s.accepted, s.ok, s.degraded, s.failed
+            ));
+        }
+        if s.shedded > s.failed {
+            errors.push(format!("{ctx}: shedded ({}) > failed ({})", s.shedded, s.failed));
+        }
+        if !(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.p999_ns) {
+            errors.push(format!(
+                "{ctx}: percentiles not monotone: {} {} {} {}",
+                s.p50_ns, s.p95_ns, s.p99_ns, s.p999_ns
+            ));
+        }
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: serving_check <BENCH_serving.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (steps, deterministic) = match parse_report(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let errors = validate(&steps, deterministic);
+    if errors.is_empty() {
+        println!(
+            "serving_check: {} step rows balance exactly (virtual sweep deterministic)",
+            steps.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{e}");
+        }
+        eprintln!("serving_check: {} violation(s) in {path}", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(mode: &str, load: &str, counts: (u64, u64, u64, u64, u64, u64, u64)) -> String {
+        let (offered, accepted, rejected, ok, degraded, failed, shedded) = counts;
+        format!(
+            "    {{\"mode\": \"{mode}\", \"load\": \"{load}\", \"offered\": {offered}, \
+             \"accepted\": {accepted}, \"rejected\": {rejected}, \"ok\": {ok}, \
+             \"degraded\": {degraded}, \"failed\": {failed}, \"shedded\": {shedded}, \
+             \"queue_depth_peak\": 4, \"throughput_rps\": 1000.5, \"p50_ns\": 1, \
+             \"p95_ns\": 2, \"p99_ns\": 3, \"p999_ns\": 4}}"
+        )
+    }
+
+    fn report(rows: &[String], deterministic: bool) -> String {
+        format!(
+            "{{\n  \"virtual_deterministic\": {deterministic},\n  \"steps\": [\n{}\n  ],\n  \
+             \"serve_metrics_at_2x\": {{\n  }}\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    fn good_rows() -> Vec<String> {
+        vec![
+            row("open-virtual", "0.5x", (100, 100, 0, 100, 0, 0, 0)),
+            row("open-virtual", "2x", (100, 80, 20, 50, 25, 5, 3)),
+            row("open-realtime", "2x", (100, 90, 10, 80, 10, 0, 0)),
+            row("closed", "users=1", (40, 40, 0, 40, 0, 0, 0)),
+            row("closed", "users=2", (80, 80, 0, 75, 5, 0, 0)),
+            row("closed", "users=4", (160, 160, 0, 150, 10, 0, 0)),
+        ]
+    }
+
+    #[test]
+    fn accepts_a_balanced_report() {
+        let (steps, det) = parse_report(&report(&good_rows(), true)).unwrap();
+        assert_eq!(steps.len(), 6);
+        assert!(validate(&steps, det).is_empty());
+    }
+
+    #[test]
+    fn rejects_broken_conservation() {
+        let mut rows = good_rows();
+        rows[1] = row("open-virtual", "2x", (100, 80, 20, 50, 25, 4, 3));
+        let (steps, det) = parse_report(&report(&rows, true)).unwrap();
+        let errors = validate(&steps, det);
+        assert!(errors.iter().any(|e| e.contains("accepted (80) != ok (50)")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_offered_mismatch_and_over_shed() {
+        let mut rows = good_rows();
+        rows[2] = row("open-realtime", "2x", (100, 90, 11, 80, 10, 0, 0));
+        rows[3] = row("closed", "users=1", (40, 40, 0, 30, 5, 5, 6));
+        let (steps, det) = parse_report(&report(&rows, true)).unwrap();
+        let errors = validate(&steps, det);
+        assert!(errors.iter().any(|e| e.contains("offered (100)")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("shedded (6) > failed (5)")), "{errors:?}");
+    }
+
+    #[test]
+    fn requires_three_steps_per_mode_and_determinism() {
+        let rows = vec![
+            row("open-virtual", "1x", (10, 10, 0, 10, 0, 0, 0)),
+            row("closed", "users=1", (10, 10, 0, 10, 0, 0, 0)),
+        ];
+        let (steps, det) = parse_report(&report(&rows, false)).unwrap();
+        let errors = validate(&steps, det);
+        assert!(errors.iter().any(|e| e.contains(">= 3 open-loop")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains(">= 3 closed-loop")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("not bit-identical")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"virtual_deterministic\": true, \"steps\": [\n  ]\n}").is_err());
+        let bad = "{\"virtual_deterministic\": true,\n  \"steps\": [\n    {\"mode\": 3}\n  ]\n}";
+        assert!(parse_report(bad).is_err());
+    }
+
+    #[test]
+    fn non_monotone_percentiles_are_flagged() {
+        let line = "    {\"mode\": \"closed\", \"load\": \"users=8\", \"offered\": 10, \
+                    \"accepted\": 10, \"rejected\": 0, \"ok\": 10, \"degraded\": 0, \
+                    \"failed\": 0, \"shedded\": 0, \"queue_depth_peak\": 1, \
+                    \"throughput_rps\": 5.0, \"p50_ns\": 9, \"p95_ns\": 2, \"p99_ns\": 3, \
+                    \"p999_ns\": 4}";
+        let mut rows = good_rows();
+        rows.push(line.to_string());
+        let (steps, det) = parse_report(&report(&rows, true)).unwrap();
+        let errors = validate(&steps, det);
+        assert!(errors.iter().any(|e| e.contains("percentiles not monotone")), "{errors:?}");
+    }
+}

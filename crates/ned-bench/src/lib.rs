@@ -26,6 +26,7 @@ pub fn alloc_events() -> u64 {
 }
 
 pub mod ablations;
+pub mod bench_serving;
 pub mod bench_throughput;
 pub mod fig4_3;
 pub mod fig5_4;
@@ -55,4 +56,5 @@ pub const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("fig5_4", fig5_4::run),
     ("ablations", ablations::run),
     ("bench_throughput", bench_throughput::run),
+    ("bench_serving", bench_serving::run),
 ];

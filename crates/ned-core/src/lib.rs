@@ -13,6 +13,9 @@
 //! capture panics from isolated per-document work items.
 
 pub mod det;
+pub mod serve;
+
+pub use serve::{RequestId, ServeError, ServeRequest, ServeResponse, ShedReason};
 
 use std::fmt;
 use std::io;

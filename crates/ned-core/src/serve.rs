@@ -1,0 +1,218 @@
+//! Request/response envelope and typed errors of the annotation service.
+//!
+//! The service layer (`ned-serve`) is overload-robust by construction:
+//! every way a request can fail to produce annotations is a *typed* outcome
+//! here — rejected at admission ([`ServeError::QueueFull`],
+//! [`ServeError::ShuttingDown`]), shed after admission
+//! ([`ServeError::Shedded`]), or isolated after a handler fault
+//! ([`ServeError::WorkerPanic`]). Callers can always distinguish "the
+//! service refused more work" from "this particular document is bad".
+//!
+//! The types live in `ned-core` (not `ned-serve`) so the load harness, the
+//! CLI, and the service itself share one vocabulary without a dependency on
+//! the threading machinery.
+
+use std::fmt;
+
+use crate::DegradationLevel;
+
+/// Caller-assigned request identifier, echoed on the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Why an *accepted* request was answered without being annotated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The service began its shutdown drain before a worker picked the
+    /// request up; in-flight requests finish, queued ones are shed.
+    Drain,
+    /// The request's deadline had already expired when a worker dequeued it
+    /// and the service is configured to shed (rather than degrade) expired
+    /// requests.
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Stable label for reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Drain => "drain",
+            ShedReason::DeadlineExpired => "deadline-expired",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Typed failure outcomes of the annotation service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue was full.
+    /// The caller may retry later; nothing was buffered.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is draining; no new requests are admitted.
+    ShuttingDown,
+    /// The request was admitted but deliberately not annotated.
+    Shedded {
+        /// Why the request was shed.
+        reason: ShedReason,
+    },
+    /// The request's handler panicked; the fault was isolated to this
+    /// request and the worker thread survived.
+    WorkerPanic {
+        /// The captured panic payload, as text.
+        message: String,
+    },
+    /// The service's internal channel closed unexpectedly (all workers
+    /// gone); should be unreachable while the service is alive.
+    ChannelClosed,
+}
+
+impl ServeError {
+    /// True for admission-control rejections (the request never entered the
+    /// queue, so `offered == accepted + rejected` accounting counts it on
+    /// the rejected side).
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, ServeError::QueueFull { .. } | ServeError::ShuttingDown)
+    }
+
+    /// Stable label for reports and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::Shedded { .. } => "shedded",
+            ServeError::WorkerPanic { .. } => "worker-panic",
+            ServeError::ChannelClosed => "channel-closed",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request rejected: queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "request rejected: service shutting down"),
+            ServeError::Shedded { reason } => write!(f, "request shed: {reason}"),
+            ServeError::WorkerPanic { message } => {
+                write!(f, "request handler panicked: {message}")
+            }
+            ServeError::ChannelClosed => write!(f, "service channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One annotation request: a document plus an optional per-request deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Caller-assigned id, echoed on the response.
+    pub id: RequestId,
+    /// The raw document text to annotate.
+    pub text: String,
+    /// Optional deadline, milliseconds from submission. The service
+    /// translates the *remaining* deadline at dequeue time into a solver
+    /// wall budget, degrading joint → no-coherence → prior-only instead of
+    /// timing out.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ServeRequest {
+    /// A request without a deadline.
+    pub fn new(id: u64, text: impl Into<String>) -> Self {
+        ServeRequest { id: RequestId(id), text: text.into(), deadline_ms: None }
+    }
+
+    /// Sets the per-request deadline (builder style).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+}
+
+/// The service's answer to one accepted request.
+///
+/// Generic over the payload `P` (the annotation layer's output type) so the
+/// envelope does not depend on upper crates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse<P> {
+    /// The request id this answers.
+    pub id: RequestId,
+    /// The annotations, or a typed reason there are none.
+    pub result: Result<P, ServeError>,
+    /// How far down the feature ladder the request was served (meaningful
+    /// for `Ok` results; `None` rung for errors).
+    pub degradation: DegradationLevel,
+    /// Time spent queued before a worker dequeued the request, nanoseconds
+    /// (on the service's clock).
+    pub queue_wait_ns: u64,
+    /// End-to-end latency from submission to response, nanoseconds (on the
+    /// service's clock).
+    pub latency_ns: u64,
+}
+
+impl<P> ServeResponse<P> {
+    /// True when the request produced annotations (possibly degraded).
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejections_are_distinguished_from_sheds() {
+        assert!(ServeError::QueueFull { capacity: 8 }.is_rejection());
+        assert!(ServeError::ShuttingDown.is_rejection());
+        assert!(!ServeError::Shedded { reason: ShedReason::Drain }.is_rejection());
+        assert!(!ServeError::WorkerPanic { message: "x".into() }.is_rejection());
+        assert!(!ServeError::ChannelClosed.is_rejection());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::QueueFull { capacity: 64 };
+        assert!(e.to_string().contains("capacity 64"));
+        let e = ServeError::Shedded { reason: ShedReason::DeadlineExpired };
+        assert!(e.to_string().contains("deadline-expired"));
+        assert_eq!(RequestId(7).to_string(), "req-7");
+    }
+
+    #[test]
+    fn request_builder_sets_deadline() {
+        let r = ServeRequest::new(3, "text").with_deadline_ms(25);
+        assert_eq!(r.id, RequestId(3));
+        assert_eq!(r.deadline_ms, Some(25));
+        let r = ServeRequest::new(4, "text");
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn stable_labels() {
+        assert_eq!(ServeError::ChannelClosed.as_str(), "channel-closed");
+        assert_eq!(ShedReason::Drain.as_str(), "drain");
+        assert_eq!(
+            ServeError::Shedded { reason: ShedReason::DeadlineExpired }.as_str(),
+            "shedded"
+        );
+    }
+}

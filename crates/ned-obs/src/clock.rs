@@ -32,9 +32,16 @@ fn system_now_nanos() -> u64 {
 ///
 /// Clones share the same underlying counter, so a test can hold one handle,
 /// hand a clone to the code under test, and advance time from outside.
+///
+/// A *ticking* handle (see [`ManualClock::with_tick`]) additionally advances
+/// the shared counter by a fixed amount on every read, so code whose only
+/// clock access is polling (the solver's wall-budget guard samples time every
+/// 1024 charge units) experiences deterministic simulated time passing
+/// *mid-computation* — without any cooperation from the code under test.
 #[derive(Debug, Clone, Default)]
 pub struct ManualClock {
     nanos: Arc<AtomicU64>,
+    tick: u64,
 }
 
 impl ManualClock {
@@ -43,9 +50,22 @@ impl ManualClock {
         ManualClock::default()
     }
 
-    /// Current reading in nanoseconds.
+    /// A view of the same clock that auto-advances the shared counter by
+    /// `tick` nanoseconds on every read (the read returns the pre-advance
+    /// value, so the first read of a fresh clock is still 0).
+    #[must_use]
+    pub fn with_tick(&self, tick: u64) -> Self {
+        ManualClock { nanos: Arc::clone(&self.nanos), tick }
+    }
+
+    /// Current reading in nanoseconds. A ticking handle also advances the
+    /// shared counter (post-increment: returns the pre-advance reading).
     pub fn now_nanos(&self) -> u64 {
-        self.nanos.load(Ordering::Relaxed)
+        if self.tick == 0 {
+            self.nanos.load(Ordering::Relaxed)
+        } else {
+            self.nanos.fetch_add(self.tick, Ordering::Relaxed)
+        }
     }
 
     /// Advances the clock by `nanos` nanoseconds.
@@ -56,6 +76,12 @@ impl ManualClock {
     /// Advances the clock by `ms` milliseconds.
     pub fn advance_ms(&self, ms: u64) {
         self.advance_nanos(ms.saturating_mul(1_000_000));
+    }
+
+    /// Moves the clock forward to the absolute reading `nanos` (no-op when
+    /// the hand is already at or past it — manual time never runs backward).
+    pub fn advance_to_nanos(&self, nanos: u64) {
+        self.nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 }
 
@@ -127,6 +153,30 @@ mod tests {
         handle.advance_nanos(5);
         assert_eq!(clock.now_nanos(), 3_000_005);
         assert!(!clock.is_null());
+    }
+
+    #[test]
+    fn ticking_handle_advances_on_every_read() {
+        let (clock, hand) = Clock::manual();
+        let ticking = Clock::Manual(hand.with_tick(1_000));
+        // Post-increment: the first read returns the pre-advance value.
+        assert_eq!(ticking.now_nanos(), 0);
+        assert_eq!(ticking.now_nanos(), 1_000);
+        assert_eq!(ticking.now_nanos(), 2_000);
+        // The plain handle shares the counter but never auto-advances.
+        assert_eq!(clock.now_nanos(), 3_000);
+        assert_eq!(clock.now_nanos(), 3_000);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let hand = ManualClock::new();
+        hand.advance_to_nanos(500);
+        assert_eq!(hand.now_nanos(), 500);
+        hand.advance_to_nanos(200);
+        assert_eq!(hand.now_nanos(), 500, "time never runs backward");
+        hand.advance_to_nanos(900);
+        assert_eq!(hand.now_nanos(), 900);
     }
 
     #[test]

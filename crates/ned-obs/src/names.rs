@@ -66,6 +66,9 @@ pub const RELATEDNESS_CACHE_HITS: &str = "relatedness_cache_hits";
 pub const RELATEDNESS_CACHE_MISSES: &str = "relatedness_cache_misses";
 /// Entries written into the cache.
 pub const RELATEDNESS_CACHE_INSERTS: &str = "relatedness_cache_inserts";
+/// Lookups that computed a value but could not insert it because the cache
+/// was at its entry cap (the value is still returned, just not memoized).
+pub const RELATEDNESS_CACHE_FULL: &str = "relatedness_cache_full";
 
 // --- snapshot loading (ned-kb) ----------------------------------------
 
@@ -111,6 +114,43 @@ pub const SEARCH_DOCS_RETURNED: &str = "search_docs_returned";
 pub const ANALYTICS_DOCS_INDEXED: &str = "analytics_docs_indexed";
 /// Entity annotations ingested into the analytics index.
 pub const ANALYTICS_MENTIONS_INDEXED: &str = "analytics_mentions_indexed";
+
+// --- annotation service (ned-serve) ------------------------------------
+
+/// Requests offered to the service (accepted or not).
+pub const SERVE_SUBMITTED: &str = "serve_submitted";
+/// Requests admitted into the bounded queue.
+pub const SERVE_ACCEPTED: &str = "serve_accepted";
+/// Requests rejected at admission because the queue was full.
+pub const SERVE_REJECTED_QUEUE_FULL: &str = "serve_rejected_queue_full";
+/// Requests rejected at admission because the service was shutting down.
+pub const SERVE_REJECTED_SHUTDOWN: &str = "serve_rejected_shutdown";
+/// Accepted requests answered with a typed `Shedded` result during the
+/// shutdown drain (dequeued after drain began, never run).
+pub const SERVE_SHED_DRAIN: &str = "serve_shed_drain";
+/// Accepted requests shed because their deadline had already expired when a
+/// worker dequeued them (only with the shed-expired policy).
+pub const SERVE_SHED_DEADLINE: &str = "serve_shed_deadline";
+/// Accepted requests completed at full fidelity.
+pub const SERVE_COMPLETED_OK: &str = "serve_completed_ok";
+/// Accepted requests completed on a degraded ladder rung.
+pub const SERVE_COMPLETED_DEGRADED: &str = "serve_completed_degraded";
+/// Accepted requests whose handler panicked (isolated; the worker survives).
+pub const SERVE_FAILED: &str = "serve_failed";
+/// Requests served with coherence disabled by the deadline ladder.
+pub const SERVE_DEGRADED_NO_COHERENCE: &str = "serve_degraded_no_coherence";
+/// Requests served by the popularity prior alone (deadline expired or
+/// nearly so).
+pub const SERVE_DEGRADED_PRIOR_ONLY: &str = "serve_degraded_prior_only";
+/// Gauge: requests currently waiting in the bounded queue.
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+/// Gauge: high-water mark of the queue depth.
+pub const SERVE_QUEUE_DEPTH_PEAK: &str = "serve_queue_depth_peak";
+/// Histogram: end-to-end request latency (submit → response), nanoseconds.
+pub const SERVE_LATENCY_NS: &str = "serve_latency_ns";
+/// Histogram: time spent waiting in the queue before a worker picked the
+/// request up, nanoseconds.
+pub const SERVE_QUEUE_WAIT_NS: &str = "serve_queue_wait_ns";
 
 // --- stage spans (durations; histograms in nanoseconds) ----------------
 

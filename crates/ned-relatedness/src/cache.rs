@@ -18,6 +18,16 @@
 //! not on thread interleaving — which lets the golden-metrics suite pin
 //! exact hit counts. By construction `misses == inserts`.
 //!
+//! An optional hard entry cap ([`CachedRelatedness::with_metrics_and_capacity`])
+//! bounds memory for long-running services: past the cap, lookups still
+//! compute and return correct values but are not memoized (counted under
+//! `relatedness_cache_full`). There is no eviction, so a cached value is
+//! immutable for the cache's lifetime and results are byte-identical to an
+//! unbounded cache; with a binding cap, *which* pairs end up memoized (and
+//! hence the hit/miss/full split) depends on lookup order, so it is exact
+//! for a fixed single-threaded sequence and conserved
+//! (`hits + misses + full == lookups`) under concurrency.
+//!
 //! The cache holds plain memoized floats, so a shard whose lock was
 //! poisoned by a panicking worker is still structurally sound (at worst an
 //! insert was lost). Every lock acquisition therefore recovers from poison
@@ -41,9 +51,15 @@ const SHARDS: usize = 16;
 pub struct CachedRelatedness<M> {
     inner: M,
     shards: Vec<RwLock<FxHashMap<(EntityId, EntityId), f64>>>,
+    /// Hard per-shard entry caps (their sum is the configured capacity).
+    /// Checked under the shard's write lock, so the bound is exact; a full
+    /// shard rejects the insert and returns the computed value uncached —
+    /// no eviction, so memoized values never change under a caller.
+    shard_caps: Vec<usize>,
     hits: Counter,
     misses: Counter,
     inserts: Counter,
+    full: Counter,
 }
 
 impl<M> std::fmt::Debug for CachedRelatedness<M> {
@@ -53,27 +69,62 @@ impl<M> std::fmt::Debug for CachedRelatedness<M> {
             .field("hits", &self.hits.value())
             .field("misses", &self.misses.value())
             .field("inserts", &self.inserts.value())
+            .field("rejected_full", &self.full.value())
             .finish_non_exhaustive()
     }
 }
 
+/// Splits a global entry cap into per-shard caps whose sum is exactly the
+/// cap (earlier shards absorb the remainder). An unbounded cache maps to
+/// `usize::MAX` per shard.
+fn shard_caps(max_entries: usize) -> Vec<usize> {
+    if max_entries == usize::MAX {
+        return vec![usize::MAX; SHARDS];
+    }
+    let base = max_entries / SHARDS;
+    let rem = max_entries % SHARDS;
+    (0..SHARDS).map(|i| base + usize::from(i < rem)).collect()
+}
+
 impl<M: Relatedness> CachedRelatedness<M> {
-    /// Wraps `inner` with an empty cache and a private metrics registry.
+    /// Wraps `inner` with an empty unbounded cache and a private metrics
+    /// registry.
     pub fn new(inner: M) -> Self {
         Self::with_metrics(inner, &Metrics::new())
     }
 
-    /// Wraps `inner` with an empty cache, recording hit/miss/insert
-    /// counters into the given registry (pass [`Metrics::disabled`] to
-    /// skip accounting entirely).
+    /// Wraps `inner` with an empty unbounded cache, recording
+    /// hit/miss/insert counters into the given registry (pass
+    /// [`Metrics::disabled`] to skip accounting entirely).
     pub fn with_metrics(inner: M, metrics: &Metrics) -> Self {
+        Self::with_metrics_and_capacity(inner, metrics, usize::MAX)
+    }
+
+    /// Wraps `inner` with an empty cache holding at most `max_entries`
+    /// pairs. Past the cap, lookups still compute and return correct values
+    /// but are not memoized (counted under `relatedness_cache_full`) —
+    /// a long-running service gets a hard memory bound with no eviction, so
+    /// cached values stay immutable and results stay byte-identical to an
+    /// unbounded cache.
+    pub fn with_metrics_and_capacity(inner: M, metrics: &Metrics, max_entries: usize) -> Self {
         let shards = (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect();
         CachedRelatedness {
             inner,
             shards,
+            shard_caps: shard_caps(max_entries),
             hits: metrics.counter(names::RELATEDNESS_CACHE_HITS),
             misses: metrics.counter(names::RELATEDNESS_CACHE_MISSES),
             inserts: metrics.counter(names::RELATEDNESS_CACHE_INSERTS),
+            full: metrics.counter(names::RELATEDNESS_CACHE_FULL),
+        }
+    }
+
+    /// The configured entry cap (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        if self.shard_caps.contains(&usize::MAX) {
+            usize::MAX
+        } else {
+            self.shard_caps.iter().sum()
         }
     }
 
@@ -109,6 +160,11 @@ impl<M: Relatedness> CachedRelatedness<M> {
         self.inserts.value()
     }
 
+    /// Lookups whose insert was rejected by the entry cap so far.
+    pub fn rejected_full(&self) -> u64 {
+        self.full.value()
+    }
+
     /// Fraction of lookups served from the cache, in [0, 1]; 0 when no
     /// lookups happened.
     pub fn hit_rate(&self) -> f64 {
@@ -139,7 +195,8 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
     fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
         // Symmetric measures share one entry per unordered pair.
         let key = if a <= b { (a, b) } else { (b, a) };
-        let shard = &self.shards[Self::shard_of(key)];
+        let shard_idx = Self::shard_of(key);
+        let shard = &self.shards[shard_idx];
         if let Some(&v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.hits.inc();
             return v;
@@ -148,10 +205,21 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
         // the insert, in which case this lookup counts as a hit and the
         // duplicate computation is discarded (pure measures, same value).
         let v = self.inner.relatedness(a, b);
-        match shard.write().unwrap_or_else(|e| e.into_inner()).entry(key) {
+        let cap = self.shard_caps.get(shard_idx).copied().unwrap_or(usize::MAX);
+        let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
+        let occupied = guard.len();
+        match guard.entry(key) {
             Entry::Occupied(slot) => {
                 self.hits.inc();
                 *slot.get()
+            }
+            // The cap is enforced under the write lock, so the entry count
+            // never exceeds it; a rejected insert is neither a hit nor a
+            // miss (misses == inserts stays exact) but is counted under
+            // `relatedness_cache_full`.
+            Entry::Vacant(_) if occupied >= cap => {
+                self.full.inc();
+                v
             }
             Entry::Vacant(slot) => {
                 self.misses.inc();
@@ -280,6 +348,98 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.relatedness(b, a), 3.0);
+    }
+
+    #[test]
+    fn entry_cap_is_a_hard_bound() {
+        let m = Metrics::new();
+        let c = CachedRelatedness::with_metrics_and_capacity(
+            Counting { calls: AtomicUsize::new(0) },
+            &m,
+            5,
+        );
+        assert_eq!(c.capacity(), 5);
+        // 40 distinct pairs against a cap of 5: the cache never exceeds the
+        // cap, values are still correct, rejections are counted.
+        for i in 0..40u32 {
+            assert_eq!(c.relatedness(EntityId(i), EntityId(i + 100)), f64::from(2 * i + 100));
+        }
+        assert!(c.len() <= 5, "cap is hard: {} entries", c.len());
+        assert_eq!(c.misses(), c.inserts());
+        assert_eq!(c.len() as u64, c.inserts());
+        assert_eq!(c.misses() + c.rejected_full(), 40, "every lookup accounted");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::RELATEDNESS_CACHE_FULL), c.rejected_full());
+        assert!(snap.counter(names::RELATEDNESS_CACHE_FULL) > 0);
+    }
+
+    #[test]
+    fn capped_cache_results_match_unbounded() {
+        let capped = CachedRelatedness::with_metrics_and_capacity(
+            Counting { calls: AtomicUsize::new(0) },
+            &Metrics::new(),
+            2,
+        );
+        let unbounded = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        for i in 0..20u32 {
+            for j in 0..3u32 {
+                let (a, b) = (EntityId(i), EntityId(i + j + 1));
+                assert_eq!(capped.relatedness(a, b).to_bits(), unbounded.relatedness(a, b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cap_rejections_are_deterministic_for_a_fixed_sequence() {
+        let run = || {
+            let m = Metrics::new();
+            let c = CachedRelatedness::with_metrics_and_capacity(
+                Counting { calls: AtomicUsize::new(0) },
+                &m,
+                7,
+            );
+            for i in 0..30u32 {
+                c.relatedness(EntityId(i % 13), EntityId((i * 7) % 17 + 1));
+            }
+            m.snapshot()
+        };
+        assert_eq!(run(), run(), "single-threaded accounting is exact");
+    }
+
+    #[test]
+    fn unbounded_cache_never_counts_full() {
+        let m = Metrics::new();
+        let c = CachedRelatedness::with_metrics(Counting { calls: AtomicUsize::new(0) }, &m);
+        assert_eq!(c.capacity(), usize::MAX);
+        for i in 0..100u32 {
+            c.relatedness(EntityId(i), EntityId(i + 1));
+        }
+        assert_eq!(c.rejected_full(), 0);
+        assert_eq!(m.snapshot().counter(names::RELATEDNESS_CACHE_FULL), 0);
+    }
+
+    #[test]
+    fn shard_caps_sum_to_the_capacity() {
+        for cap in [0usize, 1, 5, 15, 16, 17, 100] {
+            let caps = super::shard_caps(cap);
+            assert_eq!(caps.len(), SHARDS);
+            assert_eq!(caps.iter().sum::<usize>(), cap);
+        }
+        assert!(super::shard_caps(usize::MAX).iter().all(|&c| c == usize::MAX));
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_answers() {
+        let c = CachedRelatedness::with_metrics_and_capacity(
+            Counting { calls: AtomicUsize::new(0) },
+            &Metrics::new(),
+            0,
+        );
+        assert_eq!(c.relatedness(EntityId(1), EntityId(2)), 3.0);
+        assert_eq!(c.relatedness(EntityId(1), EntityId(2)), 3.0);
+        assert!(c.is_empty());
+        assert_eq!(c.rejected_full(), 2);
+        assert_eq!(c.inner().calls.load(Ordering::Relaxed), 2, "nothing memoized");
     }
 
     #[test]

@@ -28,6 +28,16 @@ impl<T: Relatedness + ?Sized> Relatedness for &T {
     }
 }
 
+impl<T: Relatedness + Send + ?Sized> Relatedness for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        (**self).relatedness(a, b)
+    }
+}
+
 impl<T: Relatedness + ?Sized> Relatedness for Box<T> {
     fn name(&self) -> &'static str {
         (**self).name()

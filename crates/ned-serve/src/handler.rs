@@ -1,0 +1,188 @@
+//! Request handlers: the work a service worker performs per request.
+//!
+//! The service is generic over an [`AnnotateHandler`] so robustness tests
+//! can drive it with synthetic handlers ([`FnHandler`]) while production
+//! uses [`AidaHandler`], which runs the real pipeline with the per-request
+//! deadline plan applied.
+
+use ned_aida::{
+    AidaConfig, Annotation, DeadlinePlan, Disambiguator, JointConfig, NedMethod,
+};
+use ned_core::{DegradationLevel, NedError, ServeRequest};
+use ned_kb::KbView;
+use ned_obs::{Clock, Metrics};
+use ned_relatedness::Relatedness;
+use ned_text::{tokenize, Recognizer};
+
+/// What a handler produced for one request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HandlerOutput {
+    /// The accepted annotations.
+    pub annotations: Vec<Annotation>,
+    /// The degradation level the *pipeline* reported (the service combines
+    /// it with the deadline plan's floor).
+    pub degradation: DegradationLevel,
+}
+
+/// The per-request work function of a service worker.
+///
+/// Implementations receive the request and the deadline plan chosen at
+/// dequeue time; they must not block indefinitely (the plan is the
+/// mechanism for bounding work) and may panic — the service isolates the
+/// fault to the request.
+pub trait AnnotateHandler: Send + Sync {
+    /// Annotates one request under the given plan.
+    fn handle(&self, request: &ServeRequest, plan: &DeadlinePlan) -> HandlerOutput;
+}
+
+/// The production handler: the full AIDA pipeline with a shared
+/// gazetteer-backed recognizer and a per-request disambiguator carrying the
+/// plan-adjusted configuration.
+///
+/// The recognizer is expensive to build (it walks the whole dictionary) and
+/// is built once; the disambiguator is cheap to construct over cloned
+/// handles (`Arc<FrozenKb>`, `Arc<CachedRelatedness>`), which is exactly
+/// what lets each request run under its own wall budget and feature rung.
+pub struct AidaHandler<K, R> {
+    kb: K,
+    relatedness: R,
+    base: AidaConfig,
+    joint: JointConfig,
+    recognizer: Recognizer,
+    metrics: Metrics,
+    clock: Clock,
+}
+
+// Manual Debug: `R` need not be Debug.
+impl<K, R> std::fmt::Debug for AidaHandler<K, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AidaHandler")
+            .field("base", &self.base)
+            .field("joint", &self.joint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: KbView + Clone, R: Relatedness + Clone> AidaHandler<K, R> {
+    /// Builds a handler over shared knowledge-base and relatedness handles.
+    /// Validates `base` up front so per-request construction cannot fail.
+    pub fn try_new(
+        kb: K,
+        relatedness: R,
+        base: AidaConfig,
+        joint: JointConfig,
+    ) -> Result<Self, NedError> {
+        base.validate()
+            .map_err(|message| NedError::Config { what: "AidaConfig", message })?;
+        let recognizer = joint.build_recognizer(&kb);
+        Ok(AidaHandler {
+            kb,
+            relatedness,
+            base,
+            joint,
+            recognizer,
+            metrics: Metrics::disabled(),
+            clock: Clock::system(),
+        })
+    }
+
+    /// Records pipeline metrics into `metrics` (builder style).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.metrics = metrics.clone();
+        self
+    }
+
+    /// Overrides the clock per-request solvers budget against (builder
+    /// style). The virtual-time load harness passes a manual clock here.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The base (undegraded) configuration.
+    pub fn base_config(&self) -> &AidaConfig {
+        &self.base
+    }
+}
+
+impl<K, R> AnnotateHandler for AidaHandler<K, R>
+where
+    K: KbView + Clone + Send + Sync,
+    R: Relatedness + Clone + Send + Sync,
+{
+    fn handle(&self, request: &ServeRequest, plan: &DeadlinePlan) -> HandlerOutput {
+        let tokens = tokenize(&request.text);
+        let mentions = self.recognizer.recognize(&tokens);
+        if mentions.is_empty() {
+            return HandlerOutput { annotations: Vec::new(), degradation: plan.floor() };
+        }
+        let config = plan.apply(&self.base);
+        // `base` validated at construction and `DeadlinePlan::apply`
+        // preserves validity, so this cannot fail at runtime; the fallback
+        // answers with no annotations at the plan's floor rather than
+        // panicking a worker.
+        let Ok(disambiguator) = Disambiguator::try_new(
+            self.kb.clone(),
+            self.relatedness.clone(),
+            config,
+        ) else {
+            return HandlerOutput { annotations: Vec::new(), degradation: plan.floor() };
+        };
+        let disambiguator =
+            disambiguator.with_metrics(&self.metrics).with_clock(self.clock.clone());
+        let result = disambiguator.disambiguate(&tokens, &mentions);
+        let degradation = result.degradation.max(plan.floor());
+        let annotations = mentions
+            .into_iter()
+            .zip(result.assignments)
+            .filter_map(|(mention, assignment)| self.joint.accept(mention, assignment))
+            .collect();
+        HandlerOutput { annotations, degradation }
+    }
+}
+
+/// A closure-backed handler for tests and synthetic load models.
+pub struct FnHandler<F>(F);
+
+impl<F> std::fmt::Debug for FnHandler<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnHandler").finish_non_exhaustive()
+    }
+}
+
+impl<F> FnHandler<F>
+where
+    F: Fn(&ServeRequest, &DeadlinePlan) -> HandlerOutput + Send + Sync,
+{
+    /// Wraps a closure as a handler.
+    pub fn new(f: F) -> Self {
+        FnHandler(f)
+    }
+}
+
+impl<F> AnnotateHandler for FnHandler<F>
+where
+    F: Fn(&ServeRequest, &DeadlinePlan) -> HandlerOutput + Send + Sync,
+{
+    fn handle(&self, request: &ServeRequest, plan: &DeadlinePlan) -> HandlerOutput {
+        (self.0)(request, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_handler_passes_through() {
+        let h = FnHandler::new(|_req: &ServeRequest, plan: &DeadlinePlan| HandlerOutput {
+            annotations: Vec::new(),
+            degradation: plan.floor(),
+        });
+        let out = h.handle(&ServeRequest::new(1, "x"), &DeadlinePlan::PriorOnly);
+        assert_eq!(out.degradation, DegradationLevel::PriorOnly);
+        assert!(out.annotations.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+//! `ned-serve`: an overload-robust, in-process annotation service.
+//!
+//! The pipeline so far answers "annotate this document"; a long-running
+//! deployment must also answer "annotate this document *while a thousand
+//! others are in flight and the caller needs an answer in 40 ms*". This
+//! crate adds that serving discipline without any network machinery: a
+//! [`Service`] struct driven by worker threads over `std::sync::mpsc`.
+//!
+//! Robustness properties, by construction:
+//!
+//! - **Bounded queue + admission control.** Submissions beyond the queue
+//!   capacity are rejected *at the door* with a typed
+//!   [`ServeError::QueueFull`] — the service never buffers unboundedly, so
+//!   overload cannot grow memory and the caller learns immediately that it
+//!   must back off.
+//! - **Deadlines degrade, they don't time out.** A request's remaining
+//!   deadline at dequeue time is translated by a [`DeadlinePolicy`] into a
+//!   solver wall budget or a cheaper rung of the feature ladder
+//!   (joint → no-coherence → prior-only), so an overloaded service returns
+//!   *worse answers*, not *no answers*.
+//! - **Deterministic shedding accounting.** Every admitted request is
+//!   answered exactly once; shed, degraded, and rejected counts are
+//!   surfaced through `ned-obs` counters and satisfy
+//!   `offered == accepted + rejected` and
+//!   `accepted == ok + degraded + failed` exactly.
+//! - **Graceful drain.** Shutdown stops admission, lets in-flight requests
+//!   finish, and answers still-queued requests with a typed
+//!   [`ServeError::Shedded`] result instead of dropping them.
+//! - **Per-request isolation.** A panicking handler fails *that request*
+//!   ([`ServeError::WorkerPanic`]); the worker thread survives.
+//!
+//! The [`sim`] module re-implements the same admission/shedding policy as a
+//! single-threaded discrete-event simulator over virtual time, so the load
+//! harness (`bench_serving`) can run open-loop arrival sweeps that are
+//! bit-identical across invocations.
+
+pub mod handler;
+pub mod obs;
+pub mod service;
+pub mod sim;
+
+pub use handler::{AidaHandler, AnnotateHandler, FnHandler, HandlerOutput};
+pub use ned_aida::{DeadlinePlan, DeadlinePolicy};
+pub use ned_core::{
+    DegradationLevel, RequestId, ServeError, ServeRequest, ServeResponse, ShedReason,
+};
+pub use obs::ServeObs;
+pub use service::{
+    AnnotateResponse, Service, ServiceConfig, ServeStats, Ticket,
+};
+pub use sim::{run_open_loop, OpenLoopConfig, SimOutcome, SimReport, SimStatus};

@@ -1,0 +1,122 @@
+//! Pre-resolved `ned-obs` handles for the serving counters.
+//!
+//! Handles are resolved once at service construction, so the per-request
+//! hot path pays one atomic add per event (or one branch when metrics are
+//! disabled). Names live in [`ned_obs::names`] next to every other
+//! subsystem's.
+
+use ned_obs::names;
+use ned_obs::{Counter, Gauge, Histogram, Metrics, DURATION_BOUNDS_NS};
+
+/// Pre-resolved handles for every serving metric.
+#[derive(Debug, Clone, Default)]
+pub struct ServeObs {
+    /// Requests offered (accepted or not).
+    pub submitted: Counter,
+    /// Requests admitted into the queue.
+    pub accepted: Counter,
+    /// Admission rejections: queue full.
+    pub rejected_queue_full: Counter,
+    /// Admission rejections: shutting down.
+    pub rejected_shutdown: Counter,
+    /// Accepted requests shed during the shutdown drain.
+    pub shed_drain: Counter,
+    /// Accepted requests shed because their deadline expired in queue.
+    pub shed_deadline: Counter,
+    /// Completed at full fidelity.
+    pub completed_ok: Counter,
+    /// Completed on a degraded rung.
+    pub completed_degraded: Counter,
+    /// Handler panicked (isolated).
+    pub failed: Counter,
+    /// Served with coherence disabled.
+    pub degraded_no_coherence: Counter,
+    /// Served by the prior alone.
+    pub degraded_prior_only: Counter,
+    /// Current queue depth.
+    pub queue_depth: Gauge,
+    /// High-water mark of the queue depth.
+    pub queue_depth_peak: Gauge,
+    /// End-to-end latency histogram (ns).
+    pub latency_ns: Histogram,
+    /// Queue-wait histogram (ns).
+    pub queue_wait_ns: Histogram,
+}
+
+impl ServeObs {
+    /// Resolves all handles against `metrics` (registering names on first
+    /// use). With a disabled registry every handle is a no-op.
+    pub fn new(metrics: &Metrics) -> Self {
+        ServeObs {
+            submitted: metrics.counter(names::SERVE_SUBMITTED),
+            accepted: metrics.counter(names::SERVE_ACCEPTED),
+            rejected_queue_full: metrics.counter(names::SERVE_REJECTED_QUEUE_FULL),
+            rejected_shutdown: metrics.counter(names::SERVE_REJECTED_SHUTDOWN),
+            shed_drain: metrics.counter(names::SERVE_SHED_DRAIN),
+            shed_deadline: metrics.counter(names::SERVE_SHED_DEADLINE),
+            completed_ok: metrics.counter(names::SERVE_COMPLETED_OK),
+            completed_degraded: metrics.counter(names::SERVE_COMPLETED_DEGRADED),
+            failed: metrics.counter(names::SERVE_FAILED),
+            degraded_no_coherence: metrics.counter(names::SERVE_DEGRADED_NO_COHERENCE),
+            degraded_prior_only: metrics.counter(names::SERVE_DEGRADED_PRIOR_ONLY),
+            queue_depth: metrics.gauge(names::SERVE_QUEUE_DEPTH),
+            queue_depth_peak: metrics.gauge(names::SERVE_QUEUE_DEPTH_PEAK),
+            latency_ns: metrics.histogram(names::SERVE_LATENCY_NS, DURATION_BOUNDS_NS),
+            queue_wait_ns: metrics.histogram(names::SERVE_QUEUE_WAIT_NS, DURATION_BOUNDS_NS),
+        }
+    }
+
+    /// All-disabled handles (the `Default`).
+    pub fn disabled() -> Self {
+        ServeObs::default()
+    }
+
+    /// Records one completion-side outcome given the reported degradation
+    /// level, keeping `ok + degraded` consistent with the level counters.
+    pub fn record_completion(&self, level: ned_core::DegradationLevel) {
+        use ned_core::DegradationLevel as L;
+        match level {
+            L::None => self.completed_ok.inc(),
+            L::NoCoherence => {
+                self.completed_degraded.inc();
+                self.degraded_no_coherence.inc();
+            }
+            L::PriorOnly => {
+                self.completed_degraded.inc();
+                self.degraded_prior_only.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ned_core::DegradationLevel;
+
+    #[test]
+    fn handles_resolve_and_count() {
+        let m = Metrics::new();
+        let obs = ServeObs::new(&m);
+        obs.submitted.inc();
+        obs.accepted.inc();
+        obs.record_completion(DegradationLevel::None);
+        obs.record_completion(DegradationLevel::NoCoherence);
+        obs.record_completion(DegradationLevel::PriorOnly);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::SERVE_SUBMITTED), 1);
+        assert_eq!(snap.counter(names::SERVE_COMPLETED_OK), 1);
+        assert_eq!(snap.counter(names::SERVE_COMPLETED_DEGRADED), 2);
+        assert_eq!(snap.counter(names::SERVE_DEGRADED_NO_COHERENCE), 1);
+        assert_eq!(snap.counter(names::SERVE_DEGRADED_PRIOR_ONLY), 1);
+    }
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = ServeObs::disabled();
+        obs.submitted.inc();
+        obs.record_completion(DegradationLevel::PriorOnly);
+        assert_eq!(obs.submitted.value(), 0);
+        assert_eq!(obs.completed_degraded.value(), 0);
+    }
+}

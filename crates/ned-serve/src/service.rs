@@ -1,0 +1,667 @@
+//! The threaded service: bounded queue, admission control, graceful drain.
+//!
+//! One [`Service`] owns N worker threads fed from a single
+//! `mpsc::sync_channel` whose buffer *is* the bounded request queue.
+//! [`Service::submit`] uses `try_send`: when the buffer is full the request
+//! is rejected at the door with [`ServeError::QueueFull`] — admission
+//! control by construction, with no unbounded buffering anywhere.
+//!
+//! Every accepted request is answered exactly once on its own reply
+//! channel ([`Ticket`]): annotated (possibly degraded per the deadline
+//! plan), shed with a typed reason, or failed by an isolated handler
+//! panic. The conservation laws `offered == accepted + rejected` and
+//! `accepted == ok + degraded + failed` hold exactly once the service has
+//! drained; [`ServeStats::check_conservation`] asserts them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ned_aida::{remaining_ns, Annotation, DeadlinePolicy};
+use ned_core::{
+    panic_message, DegradationLevel, RequestId, ServeError, ServeRequest, ServeResponse,
+    ShedReason,
+};
+use ned_obs::{Clock, Metrics};
+
+use crate::handler::AnnotateHandler;
+use crate::obs::ServeObs;
+
+/// The service's response payload: accepted annotations.
+pub type AnnotateResponse = ServeResponse<Vec<Annotation>>;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity (≥ 1); submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Deadline → degradation-plan translation.
+    pub policy: DeadlinePolicy,
+    /// When true, requests whose deadline already expired in the queue are
+    /// shed with [`ShedReason::DeadlineExpired`] instead of being served
+    /// prior-only.
+    pub shed_expired: bool,
+    /// The clock all queue-wait/latency/deadline arithmetic runs on. Tests
+    /// and the virtual-time harness pass a manual clock.
+    pub clock: Clock,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline_ms: None,
+            policy: DeadlinePolicy::default(),
+            shed_expired: false,
+            clock: Clock::system(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be >= 1".to_string());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be >= 1".to_string());
+        }
+        self.policy.validate()
+    }
+}
+
+/// Always-on accounting (independent of whether metrics are enabled).
+#[derive(Debug, Default)]
+struct Tallies {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    shed_drain: AtomicU64,
+    shed_deadline: AtomicU64,
+    completed_ok: AtomicU64,
+    completed_degraded: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// Point-in-time copy of the service's accounting.
+///
+/// Shed requests count as a flavor of `failed` (the caller got a typed
+/// error, not annotations), so the conservation laws close exactly:
+/// `offered() == accepted + rejected()` always, and once the service has
+/// drained, `accepted == completed_ok + completed_degraded + failed()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests offered (accepted or not).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Rejected at admission: queue full.
+    pub rejected_queue_full: u64,
+    /// Rejected at admission: shutting down.
+    pub rejected_shutdown: u64,
+    /// Accepted but shed during the shutdown drain.
+    pub shed_drain: u64,
+    /// Accepted but shed because the deadline expired in queue.
+    pub shed_deadline: u64,
+    /// Completed at full fidelity.
+    pub completed_ok: u64,
+    /// Completed on a degraded rung.
+    pub completed_degraded: u64,
+    /// Handler panics (isolated to their request).
+    pub panicked: u64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_peak: u64,
+}
+
+impl ServeStats {
+    /// Requests offered: alias of `submitted`.
+    pub fn offered(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Admission-control rejections (never entered the queue).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_shutdown
+    }
+
+    /// Accepted requests answered with a typed `Shedded` error.
+    pub fn shedded(&self) -> u64 {
+        self.shed_drain + self.shed_deadline
+    }
+
+    /// Accepted requests that produced no annotations: panics plus sheds.
+    pub fn failed(&self) -> u64 {
+        self.panicked + self.shedded()
+    }
+
+    /// Accepted requests answered so far.
+    pub fn answered(&self) -> u64 {
+        self.completed_ok + self.completed_degraded + self.failed()
+    }
+
+    /// Checks the conservation laws; exact once the service has drained.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if self.submitted != self.accepted + self.rejected() {
+            return Err(format!(
+                "offered ({}) != accepted ({}) + rejected ({})",
+                self.submitted,
+                self.accepted,
+                self.rejected()
+            ));
+        }
+        if self.accepted != self.answered() {
+            return Err(format!(
+                "accepted ({}) != ok ({}) + degraded ({}) + failed ({})",
+                self.accepted,
+                self.completed_ok,
+                self.completed_degraded,
+                self.failed()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    draining: AtomicBool,
+    /// Signed on purpose: a worker can dequeue a job (and decrement) before
+    /// the submitter's increment lands, so the counter transiently dips
+    /// below zero; readings clamp at zero via [`clamp_depth`].
+    depth: AtomicI64,
+    peak: AtomicU64,
+    tallies: Tallies,
+    obs: ServeObs,
+}
+
+impl Shared {
+    fn new(obs: ServeObs) -> Self {
+        Shared {
+            draining: AtomicBool::new(false),
+            depth: AtomicI64::new(0),
+            peak: AtomicU64::new(0),
+            tallies: Tallies::default(),
+            obs,
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        let t = &self.tallies;
+        ServeStats {
+            submitted: t.submitted.load(Ordering::Relaxed),
+            accepted: t.accepted.load(Ordering::Relaxed),
+            rejected_queue_full: t.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shutdown: t.rejected_shutdown.load(Ordering::Relaxed),
+            shed_drain: t.shed_drain.load(Ordering::Relaxed),
+            shed_deadline: t.shed_deadline.load(Ordering::Relaxed),
+            completed_ok: t.completed_ok.load(Ordering::Relaxed),
+            completed_degraded: t.completed_degraded.load(Ordering::Relaxed),
+            panicked: t.panicked.load(Ordering::Relaxed),
+            queue_depth_peak: self.peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A queue-depth reading for the gauges: negative transients (worker
+/// decremented before the submitter incremented) read as zero.
+fn clamp_depth(v: i64) -> u64 {
+    u64::try_from(v).unwrap_or(0)
+}
+
+/// One queued unit of work: the request, its submission instant, and the
+/// reply channel its [`Ticket`] holds the other end of.
+#[derive(Debug)]
+struct Job {
+    request: ServeRequest,
+    submitted_ns: u64,
+    reply: mpsc::Sender<AnnotateResponse>,
+}
+
+/// The caller's handle on one accepted request.
+#[derive(Debug)]
+pub struct Ticket {
+    id: RequestId,
+    rx: mpsc::Receiver<AnnotateResponse>,
+}
+
+impl Ticket {
+    /// The request this ticket answers for.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the service answers. Every accepted request is answered
+    /// exactly once; if the service somehow dies first, a typed
+    /// [`ServeError::ChannelClosed`] response is synthesized.
+    pub fn wait(self) -> AnnotateResponse {
+        match self.rx.recv() {
+            Ok(response) => response,
+            Err(_) => ServeResponse {
+                id: self.id,
+                result: Err(ServeError::ChannelClosed),
+                degradation: DegradationLevel::None,
+                queue_wait_ns: 0,
+                latency_ns: 0,
+            },
+        }
+    }
+}
+
+/// The long-running in-process annotation service.
+///
+/// Dropping the service performs the same graceful drain as
+/// [`Service::shutdown`] (which additionally returns final stats).
+#[derive(Debug)]
+pub struct Service {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    capacity: usize,
+    clock: Clock,
+}
+
+struct WorkerContext<H> {
+    rx: Arc<Mutex<Receiver<Job>>>,
+    handler: Arc<H>,
+    shared: Arc<Shared>,
+    policy: DeadlinePolicy,
+    default_deadline_ms: Option<u64>,
+    shed_expired: bool,
+    clock: Clock,
+}
+
+impl<H> std::fmt::Debug for WorkerContext<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerContext").finish_non_exhaustive()
+    }
+}
+
+impl<H> Clone for WorkerContext<H> {
+    fn clone(&self) -> Self {
+        WorkerContext {
+            rx: Arc::clone(&self.rx),
+            handler: Arc::clone(&self.handler),
+            shared: Arc::clone(&self.shared),
+            policy: self.policy,
+            default_deadline_ms: self.default_deadline_ms,
+            shed_expired: self.shed_expired,
+            clock: self.clock.clone(),
+        }
+    }
+}
+
+impl Service {
+    /// Starts the worker threads and returns the running service. Serving
+    /// counters are registered against `metrics` (pass
+    /// [`Metrics::disabled`] to opt out).
+    pub fn start<H: AnnotateHandler + 'static>(
+        handler: H,
+        config: ServiceConfig,
+        metrics: &Metrics,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let shared = Arc::new(Shared::new(ServeObs::new(metrics)));
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let context = WorkerContext {
+            rx: Arc::new(Mutex::new(rx)),
+            handler: Arc::new(handler),
+            shared: Arc::clone(&shared),
+            policy: config.policy,
+            default_deadline_ms: config.default_deadline_ms,
+            shed_expired: config.shed_expired,
+            clock: config.clock.clone(),
+        };
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let context = context.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ned-serve-{i}"))
+                .spawn(move || worker_loop(context))
+                .map_err(|e| format!("failed to spawn worker {i}: {e}"))?;
+            workers.push(handle);
+        }
+        Ok(Service { tx: Some(tx), workers, shared, capacity: config.queue_capacity, clock: config.clock })
+    }
+
+    /// The configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a request. Accepted requests return a [`Ticket`]; a full
+    /// queue or a draining service rejects with a typed error and buffers
+    /// nothing.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        shared.tallies.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.obs.submitted.inc();
+        if shared.draining.load(Ordering::Acquire) {
+            shared.tallies.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            shared.obs.rejected_shutdown.inc();
+            return Err(ServeError::ShuttingDown);
+        }
+        let Some(tx) = self.tx.as_ref() else {
+            shared.tallies.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            shared.obs.rejected_shutdown.inc();
+            return Err(ServeError::ShuttingDown);
+        };
+        let id = request.id;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job { request, submitted_ns: self.clock.now_nanos(), reply: reply_tx };
+        match tx.try_send(job) {
+            Ok(()) => {
+                let depth = clamp_depth(shared.depth.fetch_add(1, Ordering::AcqRel) + 1);
+                shared.obs.queue_depth.set(depth);
+                let peak = shared.peak.fetch_max(depth, Ordering::AcqRel).max(depth);
+                shared.obs.queue_depth_peak.set(peak);
+                shared.tallies.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.obs.accepted.inc();
+                Ok(Ticket { id, rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                shared.tallies.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                shared.obs.rejected_queue_full.inc();
+                Err(ServeError::QueueFull { capacity: self.capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ChannelClosed),
+        }
+    }
+
+    /// Convenience: submit and block for the answer. Rejections come back
+    /// as a response envelope with the typed error.
+    pub fn submit_wait(&self, request: ServeRequest) -> AnnotateResponse {
+        let id = request.id;
+        match self.submit(request) {
+            Ok(ticket) => ticket.wait(),
+            Err(err) => ServeResponse {
+                id,
+                result: Err(err),
+                degradation: DegradationLevel::None,
+                queue_wait_ns: 0,
+                latency_ns: 0,
+            },
+        }
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// True once a drain has begun (all further submissions are rejected).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Stops admission without blocking: every subsequent submission is
+    /// rejected with [`ServeError::ShuttingDown`], the in-flight request on
+    /// each worker finishes, and still-queued requests are shed with
+    /// [`ShedReason::Drain`] as workers reach them. Call
+    /// [`Service::shutdown`] afterwards to wait for the drain to finish and
+    /// collect the final accounting — this split lets a deployment fail its
+    /// health check (stop admitting) before it stops serving.
+    pub fn stop_admission(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Graceful drain: stops admission, answers every already-accepted
+    /// request exactly once (in-flight requests finish; still-queued ones
+    /// are shed with [`ShedReason::Drain`]), joins the workers, and returns
+    /// the final accounting.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_drain();
+        self.shared.stats()
+    }
+
+    fn begin_drain(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Dropping our sender disconnects the channel once the buffer is
+        // empty, which is what terminates the worker loops.
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.obs.queue_depth.set(0);
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.begin_drain();
+    }
+}
+
+fn worker_loop<H: AnnotateHandler>(context: WorkerContext<H>) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself so other
+        // workers can pick up requests while this one annotates.
+        let job = {
+            let guard = context.rx.lock().unwrap_or_else(|e| e.into_inner());
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        };
+        let shared = &context.shared;
+        let dequeued_ns = context.clock.now_nanos();
+        let depth = clamp_depth(shared.depth.fetch_sub(1, Ordering::AcqRel) - 1);
+        shared.obs.queue_depth.set(depth);
+        let Job { request, submitted_ns, reply } = job;
+        let queue_wait_ns = dequeued_ns.saturating_sub(submitted_ns);
+        shared.obs.queue_wait_ns.observe(queue_wait_ns);
+
+        if shared.draining.load(Ordering::Acquire) {
+            shared.tallies.shed_drain.fetch_add(1, Ordering::Relaxed);
+            shared.obs.shed_drain.inc();
+            respond(
+                shared,
+                &reply,
+                shed_response(request.id, ShedReason::Drain, queue_wait_ns, &context.clock, submitted_ns),
+            );
+            continue;
+        }
+
+        let deadline_ms = request.deadline_ms.or(context.default_deadline_ms);
+        let remaining = remaining_ns(deadline_ms, submitted_ns, dequeued_ns);
+        if context.shed_expired && remaining == Some(0) {
+            shared.tallies.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            shared.obs.shed_deadline.inc();
+            respond(
+                shared,
+                &reply,
+                shed_response(
+                    request.id,
+                    ShedReason::DeadlineExpired,
+                    queue_wait_ns,
+                    &context.clock,
+                    submitted_ns,
+                ),
+            );
+            continue;
+        }
+
+        let plan = context.policy.plan(remaining);
+        // Isolate handler faults to this request: the worker survives and
+        // the caller gets a typed WorkerPanic.
+        let outcome = catch_unwind(AssertUnwindSafe(|| context.handler.handle(&request, &plan)));
+        let latency_ns = context.clock.now_nanos().saturating_sub(submitted_ns);
+        let response = match outcome {
+            Ok(output) => {
+                let degradation = output.degradation.max(plan.floor());
+                if degradation.is_degraded() {
+                    shared.tallies.completed_degraded.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.tallies.completed_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.obs.record_completion(degradation);
+                ServeResponse {
+                    id: request.id,
+                    result: Ok(output.annotations),
+                    degradation,
+                    queue_wait_ns,
+                    latency_ns,
+                }
+            }
+            Err(payload) => {
+                shared.tallies.panicked.fetch_add(1, Ordering::Relaxed);
+                shared.obs.failed.inc();
+                ServeResponse {
+                    id: request.id,
+                    result: Err(ServeError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                    degradation: DegradationLevel::None,
+                    queue_wait_ns,
+                    latency_ns,
+                }
+            }
+        };
+        respond(shared, &reply, response);
+    }
+}
+
+fn shed_response(
+    id: RequestId,
+    reason: ShedReason,
+    queue_wait_ns: u64,
+    clock: &Clock,
+    submitted_ns: u64,
+) -> AnnotateResponse {
+    ServeResponse {
+        id,
+        result: Err(ServeError::Shedded { reason }),
+        degradation: DegradationLevel::None,
+        queue_wait_ns,
+        latency_ns: clock.now_nanos().saturating_sub(submitted_ns),
+    }
+}
+
+fn respond(shared: &Shared, reply: &mpsc::Sender<AnnotateResponse>, response: AnnotateResponse) {
+    shared.obs.latency_ns.observe(response.latency_ns);
+    // The caller may have dropped its ticket; the answer is still counted.
+    let _ = reply.send(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::{FnHandler, HandlerOutput};
+    use ned_aida::DeadlinePlan;
+
+    fn echo_service(workers: usize, capacity: usize) -> Service {
+        let handler = FnHandler::new(|_req: &ServeRequest, plan: &DeadlinePlan| HandlerOutput {
+            annotations: Vec::new(),
+            degradation: plan.floor(),
+        });
+        let config = ServiceConfig {
+            workers,
+            queue_capacity: capacity,
+            clock: Clock::Null,
+            ..ServiceConfig::default()
+        };
+        Service::start(handler, config, &Metrics::disabled()).expect("service starts")
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let service = echo_service(2, 8);
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| loop {
+                match service.submit(ServeRequest::new(i, "doc")) {
+                    Ok(t) => break t,
+                    Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected rejection: {e}"),
+                }
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait();
+            assert_eq!(response.id, RequestId(i as u64));
+            assert!(response.is_ok());
+            assert_eq!(response.degradation, DegradationLevel::None);
+        }
+        let stats = service.shutdown();
+        stats.check_conservation().expect("conservation holds");
+        assert_eq!(stats.accepted, 10);
+        assert_eq!(stats.completed_ok, 10);
+    }
+
+    #[test]
+    fn depth_accounting_survives_submit_dequeue_races() {
+        // Regression: a worker can dequeue a job (and decrement the depth
+        // counter) before the submitter's increment lands. The signed
+        // counter must absorb the transient dip — the old unsigned counter
+        // wrapped to usize::MAX and overflowed on the next increment.
+        let service = echo_service(2, 1);
+        let mut accepted = 0u64;
+        for i in 0..2_000u64 {
+            match service.submit(ServeRequest::new(i, "doc")) {
+                Ok(t) => {
+                    accepted += 1;
+                    assert!(t.wait().is_ok());
+                }
+                Err(ServeError::QueueFull { .. }) => {}
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        let stats = service.shutdown();
+        stats.check_conservation().expect("conservation holds");
+        assert_eq!(stats.completed_ok, accepted);
+        // The peak may count a job a worker has dequeued but not yet
+        // accounted (hence the workers slack); it must never explode.
+        assert!(stats.queue_depth_peak <= 1 + 2, "peak {}", stats.queue_depth_peak);
+    }
+
+    #[test]
+    fn draining_service_rejects_new_requests() {
+        let mut service = echo_service(1, 4);
+        service.begin_drain();
+        let err = service.submit(ServeRequest::new(1, "late")).expect_err("rejected");
+        assert_eq!(err, ServeError::ShuttingDown);
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected_shutdown, 1);
+        stats.check_conservation().expect("conservation holds");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ServiceConfig { workers: 0, ..ServiceConfig::default() }.validate().is_err());
+        assert!(
+            ServiceConfig { queue_capacity: 0, ..ServiceConfig::default() }
+                .validate()
+                .is_err()
+        );
+        assert!(ServiceConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn stats_offered_splits_into_accepted_and_rejected() {
+        let stats = ServeStats {
+            submitted: 10,
+            accepted: 7,
+            rejected_queue_full: 2,
+            rejected_shutdown: 1,
+            shed_drain: 1,
+            shed_deadline: 0,
+            completed_ok: 4,
+            completed_degraded: 1,
+            panicked: 1,
+            queue_depth_peak: 5,
+        };
+        assert_eq!(stats.rejected(), 3);
+        assert_eq!(stats.shedded(), 1);
+        assert_eq!(stats.failed(), 2);
+        stats.check_conservation().expect("books balance");
+        let broken = ServeStats { accepted: 8, ..stats };
+        assert!(broken.check_conservation().is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! Deterministic virtual-time model of the service, for open-loop load.
+//!
+//! An open-loop generator offers requests at a fixed arrival rate whether
+//! or not the service keeps up — the regime where overload actually
+//! happens. Running that against the threaded [`crate::Service`] on wall
+//! time is inherently racy, so the load harness's *virtual-time* mode uses
+//! this single-threaded discrete-event simulator instead: the same
+//! admission policy (bounded FIFO queue, reject at capacity), the same
+//! deadline ladder ([`DeadlinePolicy`]), the same accounting — but time is
+//! an integer the simulator advances, and service cost comes from a
+//! caller-supplied deterministic cost model. Two runs over the same inputs
+//! produce byte-identical [`SimReport`]s.
+//!
+//! The handler still *really runs* (annotations are produced by the real
+//! pipeline); only elapsed time is modeled. The simulator advances the
+//! shared [`ManualClock`] to each request's virtual start instant, so
+//! solver wall budgets observe virtual time and the plan ladder behaves as
+//! it would under the threaded service.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ned_aida::{remaining_ns, DeadlinePlan, DeadlinePolicy};
+use ned_core::{DegradationLevel, RequestId, ServeRequest};
+use ned_obs::ManualClock;
+
+use crate::handler::AnnotateHandler;
+use crate::obs::ServeObs;
+
+/// Configuration of one open-loop virtual-time run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Simulated worker slots (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity (≥ 1).
+    pub queue_capacity: usize,
+    /// Fixed inter-arrival gap, nanoseconds of virtual time (≥ 1).
+    pub arrival_interval_ns: u64,
+    /// Deadline applied to requests that carry none of their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Deadline → degradation-plan translation.
+    pub policy: DeadlinePolicy,
+    /// Shed (rather than serve prior-only) requests whose deadline expired
+    /// while queued.
+    pub shed_expired: bool,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            workers: 2,
+            queue_capacity: 64,
+            arrival_interval_ns: 1_000_000,
+            default_deadline_ms: None,
+            policy: DeadlinePolicy::default(),
+            shed_expired: false,
+        }
+    }
+}
+
+impl OpenLoopConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be >= 1".to_string());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be >= 1".to_string());
+        }
+        if self.arrival_interval_ns == 0 {
+            return Err("arrival_interval_ns must be >= 1".to_string());
+        }
+        self.policy.validate()
+    }
+}
+
+/// How one simulated request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStatus {
+    /// Completed at full fidelity.
+    Ok,
+    /// Completed on a degraded rung.
+    Degraded,
+    /// Rejected at admission (queue full).
+    Rejected,
+    /// Shed after admission (deadline expired in queue).
+    Shed,
+    /// Handler panicked (isolated).
+    Failed,
+}
+
+impl SimStatus {
+    /// Stable label for reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimStatus::Ok => "ok",
+            SimStatus::Degraded => "degraded",
+            SimStatus::Rejected => "rejected",
+            SimStatus::Shed => "shed",
+            SimStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The fate of one simulated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// The request id.
+    pub id: RequestId,
+    /// How it ended.
+    pub status: SimStatus,
+    /// Reported degradation rung (meaningful for completed requests).
+    pub degradation: DegradationLevel,
+    /// Virtual arrival instant, nanoseconds.
+    pub arrival_ns: u64,
+    /// Virtual time spent queued, nanoseconds (0 for rejections).
+    pub queue_wait_ns: u64,
+    /// Virtual submit → answer latency, nanoseconds (0 for rejections).
+    pub latency_ns: u64,
+}
+
+/// Everything one open-loop run produced. Two runs over identical inputs
+/// compare equal with `==` — the load harness's determinism check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Per-request outcomes, in request order.
+    pub outcomes: Vec<SimOutcome>,
+    /// High-water mark of the simulated queue depth.
+    pub queue_depth_peak: u64,
+    /// Virtual instant the last accepted request finished.
+    pub makespan_ns: u64,
+}
+
+impl SimReport {
+    /// Requests offered.
+    pub fn offered(&self) -> u64 {
+        as_u64(self.outcomes.len())
+    }
+
+    /// Outcomes with the given status.
+    pub fn count(&self, status: SimStatus) -> u64 {
+        as_u64(self.outcomes.iter().filter(|o| o.status == status).count())
+    }
+
+    /// Requests admitted into the queue.
+    pub fn accepted(&self) -> u64 {
+        self.offered() - self.count(SimStatus::Rejected)
+    }
+
+    /// Latencies of answered (non-rejected) requests, in request order.
+    pub fn answered_latencies_ns(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status != SimStatus::Rejected)
+            .map(|o| o.latency_ns)
+            .collect()
+    }
+
+    /// Checks `offered == accepted + rejected` and
+    /// `accepted == ok + degraded + failed` (sheds and panics both count
+    /// as failed, as in [`crate::ServeStats`]).
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let offered = self.offered();
+        let accepted = self.accepted();
+        let rejected = self.count(SimStatus::Rejected);
+        if offered != accepted + rejected {
+            return Err(format!("offered ({offered}) != accepted ({accepted}) + rejected ({rejected})"));
+        }
+        let answered = self.count(SimStatus::Ok)
+            + self.count(SimStatus::Degraded)
+            + self.count(SimStatus::Shed)
+            + self.count(SimStatus::Failed);
+        if accepted != answered {
+            return Err(format!("accepted ({accepted}) != answered ({answered})"));
+        }
+        Ok(())
+    }
+}
+
+fn as_u64(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    index: usize,
+    arrival_ns: u64,
+}
+
+struct Sim<'a> {
+    handler: &'a dyn AnnotateHandler,
+    hand: &'a ManualClock,
+    requests: &'a [ServeRequest],
+    config: &'a OpenLoopConfig,
+    cost_ns: &'a dyn Fn(&ServeRequest, &DeadlinePlan) -> u64,
+    obs: &'a ServeObs,
+    workers_free: Vec<u64>,
+    queue: VecDeque<Queued>,
+    outcomes: Vec<Option<SimOutcome>>,
+    peak_depth: usize,
+    makespan_ns: u64,
+}
+
+impl std::fmt::Debug for Sim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim").finish_non_exhaustive()
+    }
+}
+
+impl Sim<'_> {
+    /// Starts every queued request whose worker slot frees up by virtual
+    /// instant `until_ns`, FIFO, ties broken by lowest worker index.
+    fn drain_until(&mut self, until_ns: u64) {
+        while let Some(&front) = self.queue.front() {
+            let Some((worker, free_ns)) = self
+                .workers_free
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(index, free)| (free, index))
+            else {
+                return; // unreachable: workers >= 1 is validated
+            };
+            if free_ns > until_ns {
+                return;
+            }
+            self.queue.pop_front();
+            self.obs.queue_depth.set(as_u64(self.queue.len()));
+            let start_ns = free_ns.max(front.arrival_ns);
+            self.run_one(front, start_ns, worker);
+        }
+    }
+
+    fn run_one(&mut self, queued: Queued, start_ns: u64, worker: usize) {
+        let Some(request) = self.requests.get(queued.index) else {
+            return; // unreachable: indices come from enumerate()
+        };
+        // Solver wall budgets and metric spans observe virtual time.
+        self.hand.advance_to_nanos(start_ns);
+        let queue_wait_ns = start_ns - queued.arrival_ns;
+        self.obs.queue_wait_ns.observe(queue_wait_ns);
+        let deadline_ms = request.deadline_ms.or(self.config.default_deadline_ms);
+        let remaining = remaining_ns(deadline_ms, queued.arrival_ns, start_ns);
+
+        if self.config.shed_expired && remaining == Some(0) {
+            self.obs.shed_deadline.inc();
+            self.obs.latency_ns.observe(queue_wait_ns);
+            self.record(queued.index, SimOutcome {
+                id: request.id,
+                status: SimStatus::Shed,
+                degradation: DegradationLevel::None,
+                arrival_ns: queued.arrival_ns,
+                queue_wait_ns,
+                latency_ns: queue_wait_ns,
+            });
+            return; // shed before occupying the worker slot
+        }
+
+        let plan = self.config.policy.plan(remaining);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.handler.handle(request, &plan)));
+        let cost = (self.cost_ns)(request, &plan);
+        let finish_ns = start_ns.saturating_add(cost);
+        if let Some(slot) = self.workers_free.get_mut(worker) {
+            *slot = finish_ns;
+        }
+        self.makespan_ns = self.makespan_ns.max(finish_ns);
+        let latency_ns = finish_ns - queued.arrival_ns;
+        self.obs.latency_ns.observe(latency_ns);
+        let sim = match outcome {
+            Ok(output) => {
+                let degradation = output.degradation.max(plan.floor());
+                self.obs.record_completion(degradation);
+                SimOutcome {
+                    id: request.id,
+                    status: if degradation.is_degraded() {
+                        SimStatus::Degraded
+                    } else {
+                        SimStatus::Ok
+                    },
+                    degradation,
+                    arrival_ns: queued.arrival_ns,
+                    queue_wait_ns,
+                    latency_ns,
+                }
+            }
+            Err(_) => {
+                self.obs.failed.inc();
+                SimOutcome {
+                    id: request.id,
+                    status: SimStatus::Failed,
+                    degradation: DegradationLevel::None,
+                    arrival_ns: queued.arrival_ns,
+                    queue_wait_ns,
+                    latency_ns,
+                }
+            }
+        };
+        self.record(queued.index, sim);
+    }
+
+    fn record(&mut self, index: usize, outcome: SimOutcome) {
+        if let Some(slot) = self.outcomes.get_mut(index) {
+            *slot = Some(outcome);
+        }
+    }
+}
+
+/// Runs one open-loop sweep: request `i` arrives at virtual instant
+/// `i * arrival_interval_ns`; admission, queueing, deadline planning, and
+/// completion all happen in virtual time. `hand` must be the manual hand
+/// behind the handler's clock (so solver budgets see the same timeline);
+/// `cost_ns(request, plan)` models how long the annotation occupies a
+/// worker slot.
+///
+/// The run is fully deterministic: same inputs → `==`-equal report.
+pub fn run_open_loop(
+    handler: &dyn AnnotateHandler,
+    hand: &ManualClock,
+    requests: &[ServeRequest],
+    config: &OpenLoopConfig,
+    cost_ns: &dyn Fn(&ServeRequest, &DeadlinePlan) -> u64,
+    obs: &ServeObs,
+) -> Result<SimReport, String> {
+    config.validate()?;
+    let mut sim = Sim {
+        handler,
+        hand,
+        requests,
+        config,
+        cost_ns,
+        obs,
+        workers_free: vec![0; config.workers],
+        queue: VecDeque::new(),
+        outcomes: vec![None; requests.len()],
+        peak_depth: 0,
+        makespan_ns: 0,
+    };
+    for (index, request) in requests.iter().enumerate() {
+        let arrival_ns = as_u64(index).saturating_mul(config.arrival_interval_ns);
+        sim.hand.advance_to_nanos(arrival_ns);
+        sim.drain_until(arrival_ns);
+        sim.obs.submitted.inc();
+        if sim.queue.len() >= config.queue_capacity {
+            sim.obs.rejected_queue_full.inc();
+            sim.record(index, SimOutcome {
+                id: request.id,
+                status: SimStatus::Rejected,
+                degradation: DegradationLevel::None,
+                arrival_ns,
+                queue_wait_ns: 0,
+                latency_ns: 0,
+            });
+            continue;
+        }
+        sim.obs.accepted.inc();
+        sim.queue.push_back(Queued { index, arrival_ns });
+        sim.peak_depth = sim.peak_depth.max(sim.queue.len());
+        sim.obs.queue_depth.set(as_u64(sim.queue.len()));
+        sim.obs.queue_depth_peak.set(as_u64(sim.peak_depth));
+    }
+    // Graceful completion: every accepted request finishes.
+    sim.drain_until(u64::MAX);
+    let outcomes: Vec<SimOutcome> = sim.outcomes.iter().filter_map(|o| *o).collect();
+    if outcomes.len() != requests.len() {
+        return Err(format!(
+            "simulator lost requests: {} outcomes for {} requests",
+            outcomes.len(),
+            requests.len()
+        ));
+    }
+    Ok(SimReport {
+        outcomes,
+        queue_depth_peak: as_u64(sim.peak_depth),
+        makespan_ns: sim.makespan_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::{FnHandler, HandlerOutput};
+    use ned_obs::Clock;
+
+    fn echo() -> impl AnnotateHandler {
+        FnHandler::new(|_req: &ServeRequest, plan: &DeadlinePlan| HandlerOutput {
+            annotations: Vec::new(),
+            degradation: plan.floor(),
+        })
+    }
+
+    fn requests(n: u64) -> Vec<ServeRequest> {
+        (0..n).map(|i| ServeRequest::new(i, "doc")).collect()
+    }
+
+    #[test]
+    fn underload_completes_everything_at_full_fidelity() {
+        let (_clock, hand) = Clock::manual();
+        let config = OpenLoopConfig {
+            workers: 2,
+            queue_capacity: 8,
+            arrival_interval_ns: 1_000,
+            ..OpenLoopConfig::default()
+        };
+        // Cost 500ns per request, capacity 2 workers × 1 req/1000ns each.
+        let report = run_open_loop(
+            &echo(),
+            &hand,
+            &requests(50),
+            &config,
+            &|_, _| 500,
+            &ServeObs::disabled(),
+        )
+        .expect("run");
+        assert_eq!(report.count(SimStatus::Ok), 50);
+        assert_eq!(report.count(SimStatus::Rejected), 0);
+        report.check_conservation().expect("books balance");
+    }
+
+    #[test]
+    fn sustained_overload_rejects_at_the_door_with_bounded_queue() {
+        let (_clock, hand) = Clock::manual();
+        let config = OpenLoopConfig {
+            workers: 1,
+            queue_capacity: 4,
+            arrival_interval_ns: 1_000,
+            ..OpenLoopConfig::default()
+        };
+        // 4× overload: each request costs 4 arrival intervals.
+        let report = run_open_loop(
+            &echo(),
+            &hand,
+            &requests(100),
+            &config,
+            &|_, _| 4_000,
+            &ServeObs::disabled(),
+        )
+        .expect("run");
+        assert!(report.count(SimStatus::Rejected) > 0, "overload must shed at admission");
+        assert!(report.queue_depth_peak <= 4, "queue never exceeds capacity");
+        assert_eq!(report.accepted() + report.count(SimStatus::Rejected), 100);
+        report.check_conservation().expect("books balance");
+    }
+
+    #[test]
+    fn queued_requests_degrade_as_deadlines_burn_down() {
+        let (_clock, hand) = Clock::manual();
+        let config = OpenLoopConfig {
+            workers: 1,
+            queue_capacity: 16,
+            arrival_interval_ns: 1_000_000, // 1 ms
+            default_deadline_ms: Some(8),
+            ..OpenLoopConfig::default()
+        };
+        // 3× overload: queue grows, so later requests see less remaining
+        // deadline and step down the ladder.
+        let report = run_open_loop(
+            &echo(),
+            &hand,
+            &requests(12),
+            &config,
+            &|_, _| 3_000_000,
+            &ServeObs::disabled(),
+        )
+        .expect("run");
+        let statuses: Vec<SimStatus> = report.outcomes.iter().map(|o| o.status).collect();
+        assert_eq!(statuses.first(), Some(&SimStatus::Ok), "first request unhurried");
+        assert!(report.count(SimStatus::Degraded) > 0, "burned-down deadlines degrade");
+        let rungs: Vec<DegradationLevel> =
+            report.outcomes.iter().map(|o| o.degradation).collect();
+        assert!(
+            rungs.contains(&DegradationLevel::PriorOnly),
+            "deep queue reaches prior-only: {rungs:?}"
+        );
+        report.check_conservation().expect("books balance");
+    }
+
+    #[test]
+    fn shed_expired_policy_sheds_instead_of_serving_prior_only() {
+        let (_clock, hand) = Clock::manual();
+        let config = OpenLoopConfig {
+            workers: 1,
+            queue_capacity: 16,
+            arrival_interval_ns: 1_000_000,
+            default_deadline_ms: Some(2),
+            shed_expired: true,
+            ..OpenLoopConfig::default()
+        };
+        let report = run_open_loop(
+            &echo(),
+            &hand,
+            &requests(10),
+            &config,
+            &|_, _| 5_000_000,
+            &ServeObs::disabled(),
+        )
+        .expect("run");
+        assert!(report.count(SimStatus::Shed) > 0, "expired requests are shed");
+        report.check_conservation().expect("books balance");
+    }
+
+    #[test]
+    fn identical_inputs_produce_identical_reports() {
+        let config = OpenLoopConfig {
+            workers: 2,
+            queue_capacity: 3,
+            arrival_interval_ns: 1_000,
+            default_deadline_ms: Some(1),
+            ..OpenLoopConfig::default()
+        };
+        let run = || {
+            let (_clock, hand) = Clock::manual();
+            run_open_loop(
+                &echo(),
+                &hand,
+                &requests(200),
+                &config,
+                &|req, plan| 1_500 + (req.id.0 % 7) * 300 + u64::from(matches!(plan, DeadlinePlan::PriorOnly)),
+                &ServeObs::disabled(),
+            )
+            .expect("run")
+        };
+        assert_eq!(run(), run(), "virtual-time runs are bit-identical");
+    }
+
+    #[test]
+    fn panicking_handler_is_isolated_and_counted() {
+        let handler = FnHandler::new(|req: &ServeRequest, _plan: &DeadlinePlan| {
+            assert!(req.id.0 != 3, "poison document");
+            HandlerOutput::default()
+        });
+        let (_clock, hand) = Clock::manual();
+        let config = OpenLoopConfig {
+            workers: 1,
+            queue_capacity: 8,
+            arrival_interval_ns: 1_000,
+            ..OpenLoopConfig::default()
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_open_loop(
+            &handler,
+            &hand,
+            &requests(6),
+            &config,
+            &|_, _| 100,
+            &ServeObs::disabled(),
+        )
+        .expect("run");
+        std::panic::set_hook(prev);
+        assert_eq!(report.count(SimStatus::Failed), 1);
+        assert_eq!(report.count(SimStatus::Ok), 5);
+        report.check_conservation().expect("books balance");
+    }
+}

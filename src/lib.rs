@@ -71,6 +71,10 @@ pub use ned_relatedness as relatedness;
 /// The AIDA joint disambiguator and the baseline methods.
 pub use ned_aida as aida;
 
+/// The overload-robust in-process annotation service: bounded queue,
+/// admission control, deadline-driven degradation, graceful drain.
+pub use ned_serve as serve;
+
 /// Emerging-entity discovery (confidence, EE models, NED-EE).
 pub use ned_emerging as emerging;
 

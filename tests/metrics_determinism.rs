@@ -126,6 +126,55 @@ fn attaching_metrics_does_not_change_outcomes() {
 }
 
 #[test]
+fn capped_cache_is_invisible_to_outcomes_and_conserves_lookups() {
+    let (_, _, frozen) = world();
+    let docs = corpus(31, 10);
+    // A cap small enough to bind on this corpus.
+    let run_capped = |threads: usize| {
+        let metrics = Metrics::new();
+        let cached = CachedRelatedness::with_metrics_and_capacity(
+            MilneWitten::new(frozen.clone()),
+            &metrics,
+            500,
+        );
+        let aida = Disambiguator::new(frozen.clone(), &cached, AidaConfig::full())
+            .with_metrics(&metrics);
+        let eval = run_method_with_threads(&aida, &docs, threads).expect("thread pool");
+        eval.record_metrics(&metrics);
+        (eval, metrics.snapshot())
+    };
+
+    // Eviction-free determinism: annotation outcomes are byte-identical to
+    // the unbounded cache (memoization is an optimization, never a result).
+    let (unbounded, _) = run_frozen(&docs, 1);
+    let (capped, snap1) = run_capped(1);
+    assert_identical(&unbounded, &capped);
+    assert!(snap1.counter("relatedness_cache_full") > 0, "cap must bind for this test");
+
+    // For a fixed single-threaded sequence the accounting is exact.
+    let (_, snap1_again) = run_capped(1);
+    assert_eq!(snap1, snap1_again, "capped single-threaded snapshot must be reproducible");
+
+    let lookups = |s: &MetricsSnapshot| {
+        s.counter("relatedness_cache_hits")
+            + s.counter("relatedness_cache_misses")
+            + s.counter("relatedness_cache_full")
+    };
+    for threads in [2usize, 4] {
+        let (eval, snap) = run_capped(threads);
+        assert_identical(&capped, &eval);
+        // Under concurrency the hit/miss/full split may shift (which pairs
+        // win memoization depends on arrival order) but lookups conserve
+        // and every miss still inserts exactly once.
+        assert_eq!(lookups(&snap), lookups(&snap1), "lookup total drifted at {threads} threads");
+        assert_eq!(
+            snap.counter("relatedness_cache_misses"),
+            snap.counter("relatedness_cache_inserts")
+        );
+    }
+}
+
+#[test]
 fn disabled_registry_snapshot_is_empty() {
     let m = Metrics::default();
     assert!(!m.is_enabled());

@@ -1,0 +1,220 @@
+//! Robustness contract of the threaded annotation service: admission
+//! control at the queue bound, graceful drain with exactly-once responses,
+//! per-request panic isolation, and sustained-overload behavior — all with
+//! typed errors and exact accounting.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use aida_ned::core::{DegradationLevel, ServeError, ShedReason};
+use aida_ned::obs::Metrics;
+use aida_ned::serve::{
+    AnnotateHandler, DeadlinePlan, FnHandler, HandlerOutput, ServeRequest, Service,
+    ServiceConfig,
+};
+
+/// A handler that parks on a gate channel, signalling `started` first, so
+/// tests can deterministically hold a worker mid-request.
+fn gated_handler(
+    started: mpsc::Sender<u64>,
+    gate: mpsc::Receiver<()>,
+) -> impl AnnotateHandler {
+    let gate = Mutex::new(gate);
+    let started = Mutex::new(started);
+    FnHandler::new(move |req: &ServeRequest, _plan: &DeadlinePlan| {
+        let _ = started.lock().expect("started lock").send(req.id.0);
+        let _ = gate.lock().expect("gate lock").recv();
+        HandlerOutput { annotations: Vec::new(), degradation: DegradationLevel::None }
+    })
+}
+
+#[test]
+fn full_queue_rejects_with_a_typed_error_and_exact_accounting() {
+    let (started_tx, started_rx) = mpsc::channel();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let metrics = Metrics::new();
+    let service = Service::start(
+        gated_handler(started_tx, gate_rx),
+        ServiceConfig { workers: 1, queue_capacity: 2, ..ServiceConfig::default() },
+        &metrics,
+    )
+    .expect("service starts");
+
+    // Occupy the single worker, then wait until it has actually dequeued.
+    let t0 = service.submit(ServeRequest::new(0, "in flight")).expect("accepted");
+    assert_eq!(started_rx.recv_timeout(Duration::from_secs(10)), Ok(0));
+
+    // The queue (capacity 2) now fills with exactly two more requests…
+    let t1 = service.submit(ServeRequest::new(1, "queued")).expect("accepted");
+    let t2 = service.submit(ServeRequest::new(2, "queued")).expect("accepted");
+
+    // …and the next submission is rejected at admission with a typed,
+    // capacity-carrying error — not a panic, not a block, not a timeout.
+    let err = service.submit(ServeRequest::new(3, "one too many")).expect_err("queue is full");
+    assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+    assert!(err.is_rejection());
+
+    // Release the gate: everything accepted completes normally.
+    for _ in 0..3 {
+        gate_tx.send(()).expect("gate open");
+    }
+    for ticket in [t0, t1, t2] {
+        let response = ticket.wait();
+        assert!(response.is_ok(), "accepted request failed: {:?}", response.result);
+    }
+
+    let stats = service.shutdown();
+    stats.check_conservation().expect("books balance");
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.completed_ok, 3);
+    assert_eq!(stats.queue_depth_peak, 2, "the queue never grew past its capacity");
+
+    // The same story in the ned-obs snapshot.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("serve_submitted"), 4);
+    assert_eq!(snap.counter("serve_rejected_queue_full"), 1);
+    assert_eq!(snap.counter("serve_completed_ok"), 3);
+}
+
+#[test]
+fn graceful_drain_answers_in_flight_and_sheds_queued_exactly_once() {
+    let (started_tx, started_rx) = mpsc::channel();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let metrics = Metrics::new();
+    let service = Service::start(
+        gated_handler(started_tx, gate_rx),
+        ServiceConfig { workers: 1, queue_capacity: 8, ..ServiceConfig::default() },
+        &metrics,
+    )
+    .expect("service starts");
+
+    // One request in flight (held at the gate), four more queued behind it.
+    let mut tickets = vec![service.submit(ServeRequest::new(0, "in flight")).expect("accepted")];
+    assert_eq!(started_rx.recv_timeout(Duration::from_secs(10)), Ok(0));
+    for i in 1..5u64 {
+        tickets.push(service.submit(ServeRequest::new(i, "queued")).expect("accepted"));
+    }
+
+    // Two-phase shutdown, so the ordering is deterministic: stop admission
+    // first (non-blocking, worker still parked inside request 0), then
+    // release the gate and wait for the drain.
+    service.stop_admission();
+    assert!(service.is_draining());
+    let late = service.submit(ServeRequest::new(9, "too late")).expect_err("admission stopped");
+    assert_eq!(late, ServeError::ShuttingDown);
+    gate_tx.send(()).expect("gate open");
+    let stats = service.shutdown();
+    stats.check_conservation().expect("books balance");
+
+    // The in-flight request finished; every queued request got a typed
+    // `Shedded(Drain)` answer. Exactly one response each — `Ticket::wait`
+    // consumes the ticket, and the counts partition the five requests.
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    assert!(responses[0].is_ok(), "in-flight request finishes during drain");
+    let mut shed = 0;
+    for response in &responses[1..] {
+        assert_eq!(
+            response.result.as_ref().expect_err("queued requests are shed during drain"),
+            &ServeError::Shedded { reason: ShedReason::Drain }
+        );
+        shed += 1;
+    }
+    assert_eq!(shed, 4);
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.accepted, 5);
+    assert_eq!(stats.rejected_shutdown, 1);
+    assert_eq!(stats.completed_ok, 1);
+    assert_eq!(stats.shed_drain, 4);
+    assert_eq!(stats.failed(), 4, "sheds are a flavor of failed");
+    assert_eq!(metrics.snapshot().counter("serve_shed_drain"), 4);
+}
+
+#[test]
+fn poisoned_document_is_isolated_to_its_request() {
+    let poison = FnHandler::new(|req: &ServeRequest, _plan: &DeadlinePlan| {
+        assert!(req.text != "poison", "toxic document"); // deliberate panic
+        HandlerOutput { annotations: Vec::new(), degradation: DegradationLevel::None }
+    });
+    let metrics = Metrics::new();
+    let service = Service::start(
+        poison,
+        ServiceConfig { workers: 1, queue_capacity: 8, ..ServiceConfig::default() },
+        &metrics,
+    )
+    .expect("service starts");
+
+    // Quiet the panic hook while the deliberate panic fires.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let before = service.submit_wait(ServeRequest::new(0, "fine"));
+    let poisoned = service.submit_wait(ServeRequest::new(1, "poison"));
+    // The same worker must survive and keep answering.
+    let after = service.submit_wait(ServeRequest::new(2, "fine again"));
+    std::panic::set_hook(hook);
+
+    assert!(before.is_ok());
+    assert!(after.is_ok(), "worker survives a poisoned document");
+    match &poisoned.result {
+        Err(ServeError::WorkerPanic { message }) => {
+            assert!(message.contains("toxic document"), "panic payload surfaces: {message}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+
+    let stats = service.shutdown();
+    stats.check_conservation().expect("books balance");
+    assert_eq!(stats.completed_ok, 2);
+    assert_eq!(stats.panicked, 1);
+    assert_eq!(metrics.snapshot().counter("serve_failed"), 1);
+}
+
+#[test]
+fn sustained_overload_stays_bounded_with_typed_rejections_and_no_panics() {
+    let (started_tx, started_rx) = mpsc::channel();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let metrics = Metrics::new();
+    let capacity = 4usize;
+    let service = Service::start(
+        gated_handler(started_tx, gate_rx),
+        ServiceConfig { workers: 1, queue_capacity: capacity, ..ServiceConfig::default() },
+        &metrics,
+    )
+    .expect("service starts");
+
+    // Far more than 2× capacity offered while the worker is held: the
+    // service accepts the in-flight request plus exactly `capacity` queued,
+    // rejects the rest with typed errors, and never blocks the submitter.
+    let mut tickets = vec![service.submit(ServeRequest::new(0, "held")).expect("accepted")];
+    assert_eq!(started_rx.recv_timeout(Duration::from_secs(10)), Ok(0));
+    let mut rejected = 0u64;
+    for i in 1..=(4 * capacity as u64) {
+        match service.submit(ServeRequest::new(i, "burst")) {
+            Ok(t) => tickets.push(t),
+            Err(e) => {
+                assert_eq!(e, ServeError::QueueFull { capacity });
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!(tickets.len(), 1 + capacity, "accepts up to queue capacity");
+    assert_eq!(rejected, 4 * capacity as u64 - capacity as u64, "sheds the excess");
+
+    // Everything accepted still completes once the congestion clears.
+    for _ in 0..tickets.len() {
+        gate_tx.send(()).expect("gate open");
+    }
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok());
+    }
+    let stats = service.shutdown();
+    stats.check_conservation().expect("books balance");
+    assert_eq!(stats.accepted, 1 + capacity as u64);
+    assert_eq!(stats.rejected(), rejected);
+    assert_eq!(stats.panicked, 0);
+    assert_eq!(stats.queue_depth_peak, capacity as u64, "bounded memory: depth ≤ capacity");
+}
