@@ -94,6 +94,7 @@ impl CoverScratch {
 /// occurrence list, the window scan, and the final cover are the same. On
 /// success the cover's distinct words are left in the scratch
 /// ([`CoverScratch::cover_words`]).
+// ned-lint: hot
 pub fn shortest_cover_into(
     context: &[(usize, WordId)],
     phrase_words: &[WordId],
@@ -112,6 +113,7 @@ pub fn shortest_cover_into(
 /// [`shortest_cover_into`] for unsorted phrase word lists (e.g. the raw word
 /// sequence of an emerging-entity keyphrase): sorts a scratch-resident copy
 /// for the membership tests, then runs the same window scan.
+// ned-lint: hot
 pub fn shortest_cover_unsorted_into(
     context: &[(usize, WordId)],
     phrase_words: &[WordId],

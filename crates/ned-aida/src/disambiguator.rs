@@ -186,6 +186,7 @@ impl<K: KbView, R: Relatedness> Disambiguator<K, R> {
     /// local weights themselves are poisoned (non-finite), the popularity
     /// prior alone ([`DegradationLevel::PriorOnly`]). The level actually
     /// used is recorded on the result.
+    // ned-lint: entry
     pub fn disambiguate_features(
         &self,
         features: &[Vec<CandidateFeatures>],

@@ -66,9 +66,10 @@ impl DisambiguationResult {
         self.assignments.iter().map(|a| a.entity).collect()
     }
 
-    /// Assignment of mention `i`.
-    pub fn assignment(&self, i: usize) -> &MentionAssignment {
-        &self.assignments[i]
+    /// Assignment of mention `i`, `None` past the end (total — callers
+    /// decide how to treat an out-of-range mention index).
+    pub fn assignment(&self, i: usize) -> Option<&MentionAssignment> {
+        self.assignments.get(i)
     }
 
     /// Number of mentions mapped to an entity.
@@ -113,5 +114,12 @@ mod tests {
         assert_eq!(r.labels(), vec![None, Some(EntityId(7))]);
         assert_eq!(r.mapped_count(), 1);
         assert!(!r.degradation.is_degraded());
+    }
+
+    #[test]
+    fn assignment_is_total() {
+        let r = DisambiguationResult::full_fidelity(vec![MentionAssignment::unmapped(0)]);
+        assert_eq!(r.assignment(0).map(|a| a.mention_index), Some(0));
+        assert!(r.assignment(1).is_none());
     }
 }

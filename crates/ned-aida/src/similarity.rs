@@ -69,6 +69,7 @@ pub fn phrase_score<K: KbView + ?Sized>(
 ///   accumulator starts at `+0.0` where `Iterator::sum` starts at `-0.0`,
 ///   which can only differ when every term is a signed zero — and then both
 ///   paths take the `cover_mass <= 0.0` early return.
+// ned-lint: hot
 pub fn phrase_score_run<K: KbView + ?Sized>(
     kb: &K,
     e: EntityId,
@@ -226,6 +227,7 @@ pub(crate) fn simscore_with_arena<K: KbView + ?Sized>(
 /// input order. Bit-identical to calling [`simscore_indexed`] per entity —
 /// the batching only changes *when* each candidate's postings are gathered,
 /// never which postings, their per-candidate order, or the summation order.
+// ned-lint: hot
 pub fn simscores_batch<K: KbView + ?Sized>(
     kb: &K,
     entities: &[EntityId],
@@ -233,7 +235,7 @@ pub fn simscores_batch<K: KbView + ?Sized>(
     weighting: KeywordWeighting,
     obs: &SimObs,
 ) -> Vec<f64> {
-    let mut out = Vec::new();
+    let mut out = Vec::new(); // ned-lint: allow(h1) — compat wrapper returns an owned Vec by contract; the zero-alloc path is simscores_batch_into
     simscores_batch_into(kb, entities, context, weighting, obs, &mut out);
     out
 }
@@ -242,6 +244,7 @@ pub fn simscores_batch<K: KbView + ?Sized>(
 /// With a warmed per-thread arena and a reused `out` buffer, a steady-state
 /// call performs zero heap allocations — this is the entry point the bench
 /// harness uses to certify the allocation-free hot path.
+// ned-lint: hot
 pub fn simscores_batch_into<K: KbView + ?Sized>(
     kb: &K,
     entities: &[EntityId],
@@ -278,6 +281,7 @@ pub fn simscores_batch_into<K: KbView + ?Sized>(
 /// and matched-phrase counts are recorded per candidate during the merge
 /// phases. All counters are atomic adds, so the totals are independent of
 /// the recording order.
+// ned-lint: hot
 pub(crate) fn simscores_batch_arena<K: KbView + ?Sized>(
     kb: &K,
     n: usize,
@@ -355,7 +359,7 @@ pub(crate) fn simscores_batch_arena<K: KbView + ?Sized>(
     // probe order — so phase D's sort+dedup reproduces
     // `matching_phrases_counted` exactly.
     while phrase_bufs.len() < word_side.len() {
-        phrase_bufs.push(Vec::new());
+        phrase_bufs.push(Vec::new()); // ned-lint: allow(h1) — arena warmup growth; steady state reuses these buffers and the alloc ratchet counts the warmup
     }
     for buf in phrase_bufs.iter_mut().take(word_side.len()) {
         buf.clear();

@@ -13,11 +13,18 @@
 //!   is absorbed silently.
 //! - **stale** — with `--ratchet`, a budget more than twice the measured
 //!   value (and above the `STALE_FLOOR` noise floor) fails: headroom that
-//!   loose would hide a real regression, so the budget must shrink.
+//!   loose would hide a real regression, so the budget must shrink. The
+//!   measured side is floored at `STALE_EPSILON` so a near-zero
+//!   measurement (a stage pre-warmed by earlier bench stages) cannot mark
+//!   every small hand-set budget stale. A budget annotated
+//!   `# ned-alloc: pinned` (same line, or the comment block directly
+//!   above) is exempt from the stale check entirely — reviewed cold-start
+//!   headroom stays put — but still fails when *exceeded*.
 //!
 //! `--write-budgets` regenerates `alloc.toml` at `measured × 1.25`
 //! headroom, but never *raises* an existing budget — the ratchet only
-//! tightens; loosening is a hand edit that shows up in review.
+//! tightens; loosening is a hand edit that shows up in review. Pinned
+//! budgets are carried through regeneration unchanged, marker included.
 //!
 //! Budgets are calibrated on the quick-scale CI run. Only single-threaded
 //! stages are budgeted: multi-thread allocation counts depend on how the
@@ -36,6 +43,16 @@ use std::process::ExitCode;
 /// stages (the whole point of the ratchet) would otherwise thrash between
 /// "shrink it" and "0.0 forbids everything".
 const STALE_FLOOR: f64 = 1.0;
+
+/// Floor applied to the *measured* side of the stale comparison. A stage
+/// that measures ~0 on CI only because earlier stages pre-warmed the
+/// thread would otherwise flag any budget above `STALE_FLOOR` as stale —
+/// the misfire the hand-edited `sim_batched_warmup = 1.00` entry
+/// documented before this floor existed.
+const STALE_EPSILON: f64 = 0.5;
+
+/// The comment marker exempting a budget from the stale check.
+const PIN_MARKER: &str = "ned-alloc: pinned";
 
 /// Headroom factor applied by `--write-budgets` over the measured value,
 /// absorbing run-to-run jitter (thread spawn bookkeeping, map resize
@@ -65,20 +82,44 @@ fn parse_stages(json: &str) -> Option<Vec<(String, f64)>> {
     }
 }
 
+/// One parsed budget line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Budget {
+    /// Allowed allocation events per unit of work.
+    value: f64,
+    /// `# ned-alloc: pinned` — reviewed headroom exempt from the stale
+    /// check (but not from the exceeded check).
+    pinned: bool,
+}
+
 /// Parses the `[budgets]` table of `alloc.toml`: lines of the form
-/// `"stage" = 12.34`. Comments and blank lines are skipped. Returns `None`
-/// on any malformed entry.
-fn parse_budgets(toml: &str) -> Option<BTreeMap<String, f64>> {
+/// `"stage" = 12.34`, optionally trailed by a comment. A
+/// `# ned-alloc: pinned` marker on the budget line, or anywhere in the
+/// comment block directly above it (no blank line between), pins the
+/// budget. Returns `None` on any malformed entry.
+fn parse_budgets(toml: &str) -> Option<BTreeMap<String, Budget>> {
     let mut out = BTreeMap::new();
+    let mut pending_pin = false;
     for line in toml.lines() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
+        if line.is_empty() || line.starts_with('[') {
+            pending_pin = false;
+            continue;
+        }
+        if line.starts_with('#') {
+            pending_pin = pending_pin || line.contains(PIN_MARKER);
             continue;
         }
         let (key, value) = line.split_once('=')?;
         let key = key.trim().trim_matches('"').to_string();
+        let (value, trailing) = match value.split_once('#') {
+            Some((v, c)) => (v, c),
+            None => (value, ""),
+        };
         let value: f64 = value.trim().parse().ok()?;
-        out.insert(key, value);
+        let pinned = pending_pin || trailing.contains(PIN_MARKER);
+        pending_pin = false;
+        out.insert(key, Budget { value, pinned });
     }
     Some(out)
 }
@@ -86,7 +127,7 @@ fn parse_budgets(toml: &str) -> Option<BTreeMap<String, f64>> {
 /// Applies the ratchet rules; returns one message per violation.
 fn check(
     stages: &[(String, f64)],
-    budgets: &BTreeMap<String, f64>,
+    budgets: &BTreeMap<String, Budget>,
     ratchet: bool,
 ) -> Vec<String> {
     let mut violations = Vec::new();
@@ -96,15 +137,23 @@ fn check(
                 "stage {stage}: measured {measured:.4} allocs/unit but no budget in \
                  alloc.toml (new stage? run alloc_check --write-budgets and review)"
             )),
-            Some(budget) if measured > budget => violations.push(format!(
+            Some(b) if *measured > b.value => violations.push(format!(
                 "stage {stage}: exceeded — measured {measured:.4} allocs/unit over \
                  budget {budget:.4} (the hot path regressed, or the budget needs a \
-                 reviewed hand edit)"
+                 reviewed hand edit)",
+                budget = b.value,
             )),
-            Some(budget) if ratchet && *budget > STALE_FLOOR && *budget > 2.0 * measured => {
+            Some(b)
+                if ratchet
+                    && !b.pinned
+                    && b.value > STALE_FLOOR
+                    && b.value > 2.0 * measured.max(STALE_EPSILON) =>
+            {
                 violations.push(format!(
                     "stage {stage}: stale — budget {budget:.4} is more than twice the \
-                     measured {measured:.4}; shrink it (alloc_check --write-budgets)"
+                     measured {measured:.4}; shrink it (alloc_check --write-budgets) or \
+                     pin it (# ned-alloc: pinned)",
+                    budget = b.value,
                 ));
             }
             Some(_) => {}
@@ -123,8 +172,10 @@ fn check(
 
 /// Renders a fresh `alloc.toml`: `measured × HEADROOM`, capped at the old
 /// budget when one exists (tighten-only), with a small positive floor so a
-/// zero-allocation stage still has a budget the gate can enforce.
-fn render_budgets(stages: &[(String, f64)], old: &BTreeMap<String, f64>) -> String {
+/// zero-allocation stage still has a budget the gate can enforce. Pinned
+/// budgets pass through unchanged, marker included — regeneration must not
+/// silently unpin reviewed headroom.
+fn render_budgets(stages: &[(String, f64)], old: &BTreeMap<String, Budget>) -> String {
     let mut out = String::from(
         "# Allocation ratchet — shrink-only per-stage budgets on allocation events\n\
          # per unit of work, measured by the counting allocator installed in the\n\
@@ -134,21 +185,32 @@ fn render_budgets(stages: &[(String, f64)], old: &BTreeMap<String, f64>) -> Stri
          # against the quick-scale bench report. Semantics mirror lint.toml:\n\
          #   exceeded  measured > budget                          -> fail\n\
          #   absorb    measured stage without a budget line       -> fail (write it down)\n\
-         #   stale     budget > 2 x measured (and > 1.0)          -> fail under --ratchet\n\
+         #   stale     budget > 2 x max(measured, 0.5), budget > 1 -> fail under --ratchet\n\
+         # A `# ned-alloc: pinned` marker on (or directly above) a budget line\n\
+         # exempts it from the stale check only — reviewed cold-start headroom.\n\
          # Regenerate with `cargo run -p ned-bench --bin alloc_check --\n\
          #   BENCH_throughput.json alloc.toml --write-budgets` — regeneration never\n\
          # raises an existing budget; loosening is a reviewed hand edit.\n\
          \n\
          [budgets]\n",
     );
-    let mut entries: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut entries: BTreeMap<&str, Budget> = BTreeMap::new();
     for (stage, measured) in stages {
-        let fresh = ((measured * HEADROOM * 100.0).ceil() / 100.0).max(0.01);
-        let budget = old.get(stage).map_or(fresh, |&b| fresh.min(b));
+        let budget = match old.get(stage) {
+            Some(b) if b.pinned => *b,
+            other => {
+                let fresh = ((measured * HEADROOM * 100.0).ceil() / 100.0).max(0.01);
+                Budget { value: other.map_or(fresh, |b| fresh.min(b.value)), pinned: false }
+            }
+        };
         entries.insert(stage, budget);
     }
     for (stage, budget) in entries {
-        out.push_str(&format!("\"{stage}\" = {budget:.2}\n"));
+        if budget.pinned {
+            out.push_str(&format!("\"{stage}\" = {:.2} # {PIN_MARKER}\n", budget.value));
+        } else {
+            out.push_str(&format!("\"{stage}\" = {:.2}\n", budget.value));
+        }
     }
     out
 }
@@ -229,8 +291,12 @@ mod tests {
 }
 "#;
 
-    fn budgets(text: &str) -> BTreeMap<String, f64> {
+    fn budgets(text: &str) -> BTreeMap<String, Budget> {
         parse_budgets(text).unwrap()
+    }
+
+    fn value_of(b: &BTreeMap<String, Budget>, key: &str) -> Option<f64> {
+        b.get(key).map(|b| b.value)
     }
 
     #[test]
@@ -250,9 +316,32 @@ mod tests {
     #[test]
     fn parses_budget_tables_and_rejects_malformed_lines() {
         let b = budgets("# comment\n[budgets]\n\"a\" = 1.5\n\"b\" = 0.01\n");
-        assert_eq!(b.get("a"), Some(&1.5));
-        assert_eq!(b.get("b"), Some(&0.01));
+        assert_eq!(value_of(&b, "a"), Some(1.5));
+        assert_eq!(value_of(&b, "b"), Some(0.01));
+        assert!(!b["a"].pinned && !b["b"].pinned);
         assert!(parse_budgets("\"a\" = not-a-number\n").is_none());
+    }
+
+    #[test]
+    fn pin_markers_parse_from_trailing_and_preceding_comments() {
+        let b = budgets(
+            "[budgets]\n\
+             \"inline\" = 2.0 # ned-alloc: pinned — reviewed headroom\n\
+             # cold-start growth, see bench notes\n\
+             # ned-alloc: pinned\n\
+             \"above\" = 3.0\n\
+             # an ordinary comment\n\
+             \"plain\" = 4.0\n",
+        );
+        assert!(b["inline"].pinned);
+        assert!(b["above"].pinned);
+        assert!(!b["plain"].pinned);
+    }
+
+    #[test]
+    fn blank_lines_detach_pin_markers() {
+        let b = budgets("# ned-alloc: pinned\n\n\"a\" = 2.0\n");
+        assert!(!b["a"].pinned, "a blank line ends the comment block");
     }
 
     #[test]
@@ -302,6 +391,36 @@ mod tests {
         assert!(check(&stages, &b, true).is_empty());
     }
 
+    /// The seeded misfire: a stage measuring ~0 on CI (pre-warmed by
+    /// earlier stages) with a small hand-set cold-start budget must not be
+    /// stale — the epsilon floor keeps `2 × measured` from collapsing to 0.
+    #[test]
+    fn stale_epsilon_floors_near_zero_measurements() {
+        let stages = vec![("sim_batched_warmup".to_string(), 0.0)];
+        let b = budgets("\"sim_batched_warmup\" = 1.00\n");
+        assert!(check(&stages, &b, true).is_empty(), "budget 1.0 vs 2×max(0, 0.5)");
+        // Without the pin, noticeably more headroom is still stale.
+        let loose = budgets("\"sim_batched_warmup\" = 1.01\n");
+        let violations = check(&stages, &loose, true);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("stale"), "{violations:?}");
+    }
+
+    /// The seeded escape: a pinned budget is exempt from the stale check
+    /// no matter how loose, but an exceeded pinned budget still fails.
+    #[test]
+    fn pinned_budgets_skip_stale_but_not_exceeded() {
+        let stages = vec![("sim_batched_warmup".to_string(), 1.0)];
+        let pinned = budgets("\"sim_batched_warmup\" = 50.0 # ned-alloc: pinned\n");
+        assert!(check(&stages, &pinned, true).is_empty());
+        let unpinned = budgets("\"sim_batched_warmup\" = 50.0\n");
+        assert_eq!(check(&stages, &unpinned, true).len(), 1);
+        let regressed = vec![("sim_batched_warmup".to_string(), 60.0)];
+        let violations = check(&regressed, &pinned, true);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("exceeded"), "{violations:?}");
+    }
+
     #[test]
     fn write_budgets_tightens_but_never_loosens() {
         let stages = vec![
@@ -313,10 +432,20 @@ mod tests {
         let old = budgets("\"pipeline_1_thread\" = 400.0\n\"sim_batched_steady\" = 0.01\n");
         let rendered = render_budgets(&stages, &old);
         let fresh = budgets(&rendered);
-        assert_eq!(fresh.get("pipeline_1_thread"), Some(&125.0));
-        assert_eq!(fresh.get("sim_batched_steady"), Some(&0.01));
+        assert_eq!(value_of(&fresh, "pipeline_1_thread"), Some(125.0));
+        assert_eq!(value_of(&fresh, "sim_batched_steady"), Some(0.01));
         // Round-trips through the parser, and the header documents the rules.
         assert!(rendered.contains("[budgets]"));
         assert!(rendered.contains("shrink-only"));
+    }
+
+    #[test]
+    fn write_budgets_carries_pinned_entries_through() {
+        let stages = vec![("sim_batched_warmup".to_string(), 0.0)];
+        let old = budgets("\"sim_batched_warmup\" = 1.00 # ned-alloc: pinned\n");
+        let rendered = render_budgets(&stages, &old);
+        let fresh = budgets(&rendered);
+        assert_eq!(value_of(&fresh, "sim_batched_warmup"), Some(1.0), "not tightened to 0.01");
+        assert!(fresh["sim_batched_warmup"].pinned, "marker survives: {rendered}");
     }
 }

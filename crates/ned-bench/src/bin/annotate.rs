@@ -43,6 +43,7 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<u64> {
     Some(value)
 }
 
+// ned-lint: entry
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = take_value_flag(&mut args, "--seed").unwrap_or(2024);

@@ -15,6 +15,7 @@ use std::time::Instant;
 use ned_bench::setup::Scale;
 use ned_bench::EXPERIMENTS;
 
+// ned-lint: entry
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");

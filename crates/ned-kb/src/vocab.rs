@@ -6,6 +6,7 @@
 //! keyword, matching how the paper compares keyphrase tokens against input
 //! text tokens.
 
+use ned_core::NedError;
 use serde::{Deserialize, Serialize};
 
 use crate::fx::FxHashMap;
@@ -43,9 +44,20 @@ impl WordInterner {
         self.index.get(&key).copied()
     }
 
-    /// Returns the lowercased text of an interned word.
+    /// Returns the lowercased text of an interned word, or `""` for an id
+    /// this interner never issued (total — use [`WordInterner::try_text`]
+    /// to surface unknown ids as errors).
     pub fn text(&self, id: WordId) -> &str {
-        &self.words[id.index()]
+        self.words.get(id.index()).map_or("", String::as_str)
+    }
+
+    /// Returns the lowercased text of an interned word, reporting an id
+    /// this interner never issued as [`NedError::Lookup`].
+    pub fn try_text(&self, id: WordId) -> Result<&str, NedError> {
+        self.words.get(id.index()).map(String::as_str).ok_or_else(|| NedError::Lookup {
+            what: "word id",
+            key: id.index().to_string(),
+        })
     }
 
     /// Number of distinct words.
@@ -109,14 +121,36 @@ impl PhraseInterner {
         self.index.get(&word_ids?).copied()
     }
 
-    /// Word-id sequence of the phrase.
+    /// Word-id sequence of the phrase, or `&[]` for an id this interner
+    /// never issued (total — use [`PhraseInterner::try_words`] to surface
+    /// unknown ids as errors).
     pub fn words(&self, id: PhraseId) -> &[WordId] {
-        &self.phrases[id.index()]
+        self.phrases.get(id.index()).map_or(&[], Vec::as_slice)
     }
 
-    /// Original surface text of the phrase.
+    /// Word-id sequence of the phrase, reporting an id this interner never
+    /// issued as [`NedError::Lookup`].
+    pub fn try_words(&self, id: PhraseId) -> Result<&[WordId], NedError> {
+        self.phrases.get(id.index()).map(Vec::as_slice).ok_or_else(|| NedError::Lookup {
+            what: "phrase id",
+            key: id.index().to_string(),
+        })
+    }
+
+    /// Original surface text of the phrase, or `""` for an id this
+    /// interner never issued (total — use [`PhraseInterner::try_surface`]
+    /// to surface unknown ids as errors).
     pub fn surface(&self, id: PhraseId) -> &str {
-        &self.surfaces[id.index()]
+        self.surfaces.get(id.index()).map_or("", String::as_str)
+    }
+
+    /// Original surface text of the phrase, reporting an id this interner
+    /// never issued as [`NedError::Lookup`].
+    pub fn try_surface(&self, id: PhraseId) -> Result<&str, NedError> {
+        self.surfaces.get(id.index()).map(String::as_str).ok_or_else(|| NedError::Lookup {
+            what: "phrase id",
+            key: id.index().to_string(),
+        })
     }
 
     /// Number of distinct phrases.
@@ -188,6 +222,36 @@ mod tests {
         let mut w = WordInterner::new();
         let mut p = PhraseInterner::new();
         p.intern("   ", &mut w);
+    }
+
+    #[test]
+    fn accessors_are_total_on_unknown_ids() {
+        let mut w = WordInterner::new();
+        let mut p = PhraseInterner::new();
+        w.intern("rock");
+        p.intern("hard rock", &mut w);
+        let bad_word = WordId::from_index(99);
+        let bad_phrase = PhraseId::from_index(99);
+        assert_eq!(w.text(bad_word), "");
+        assert_eq!(p.words(bad_phrase), &[] as &[WordId]);
+        assert_eq!(p.surface(bad_phrase), "");
+    }
+
+    #[test]
+    fn try_accessors_report_typed_lookup_errors() {
+        let mut w = WordInterner::new();
+        let mut p = PhraseInterner::new();
+        let wid = w.intern("rock");
+        let pid = p.intern("hard rock", &mut w);
+        assert_eq!(w.try_text(wid).unwrap(), "rock");
+        assert_eq!(p.try_words(pid).unwrap().len(), 2);
+        assert_eq!(p.try_surface(pid).unwrap(), "hard rock");
+        let err = w.try_text(WordId::from_index(99)).unwrap_err();
+        assert!(matches!(err, NedError::Lookup { what: "word id", .. }), "{err}");
+        let err = p.try_words(PhraseId::from_index(99)).unwrap_err();
+        assert!(matches!(err, NedError::Lookup { what: "phrase id", .. }), "{err}");
+        let err = p.try_surface(PhraseId::from_index(99)).unwrap_err();
+        assert!(err.to_string().contains("phrase id"), "{err}");
     }
 
     #[test]

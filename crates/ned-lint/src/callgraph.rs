@@ -1,0 +1,288 @@
+//! The workspace caller → callee graph and its reachability queries.
+//!
+//! Nodes are fn ids from [`crate::resolve::Symbols`]; edges exist only for
+//! calls the resolver pinned to a unique target. Traversal is fully
+//! deterministic (BTree adjacency, sorted roots) so reports and `--explain`
+//! chains are byte-identical across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::resolve::{Resolution, Symbols};
+
+/// Resolution and shape statistics for `--callgraph-stats`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CallGraphStats {
+    /// First-party files that went through item extraction.
+    pub files: usize,
+    /// Functions extracted (including trait required methods).
+    pub fns: usize,
+    /// Call sites seen in function bodies.
+    pub call_sites: usize,
+    /// Call sites resolved to a unique edge.
+    pub resolved: usize,
+    /// Call sites with more than one candidate (no edge).
+    pub ambiguous: usize,
+    /// Call sites with no first-party candidate.
+    pub unresolved: usize,
+    /// Qualified names of `// ned-lint: entry` roots.
+    pub entry_roots: Vec<String>,
+    /// Qualified names of `// ned-lint: hot` roots.
+    pub hot_roots: Vec<String>,
+    /// Functions reachable from the entry roots (roots included).
+    pub entry_reachable: usize,
+    /// Functions reachable from the hot roots (roots included).
+    pub hot_reachable: usize,
+}
+
+impl CallGraphStats {
+    /// Plain-text rendering for the CLI and the CI artifact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "call-graph statistics");
+        let _ = writeln!(out, "  files analyzed:     {}", self.files);
+        let _ = writeln!(out, "  functions:          {}", self.fns);
+        let _ = writeln!(
+            out,
+            "  call sites:         {} ({} resolved, {} ambiguous, {} unresolved)",
+            self.call_sites, self.resolved, self.ambiguous, self.unresolved
+        );
+        let _ = writeln!(
+            out,
+            "  entry roots:        {} ({} fns reachable)",
+            self.entry_roots.len(),
+            self.entry_reachable
+        );
+        for r in &self.entry_roots {
+            let _ = writeln!(out, "    entry {r}");
+        }
+        let _ = writeln!(
+            out,
+            "  hot roots:          {} ({} fns reachable)",
+            self.hot_roots.len(),
+            self.hot_reachable
+        );
+        for r in &self.hot_roots {
+            let _ = writeln!(out, "    hot   {r}");
+        }
+        out
+    }
+}
+
+/// A parent pointer in a BFS tree: which caller reached a fn, and on what
+/// line of the caller the resolving call sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Caller fn id (`None` for roots).
+    pub parent: Option<usize>,
+    /// Call line inside the parent (root decl line for roots).
+    pub line: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Adjacency: callee ids with the first call line creating each edge.
+    pub edges: Vec<BTreeMap<usize, usize>>,
+    /// Shape/resolution statistics.
+    pub stats: CallGraphStats,
+}
+
+impl CallGraph {
+    /// Builds the graph by resolving every call site in `symbols`.
+    /// Call sites inside test-only statements are skipped: tests may panic
+    /// and allocate freely without polluting production reachability.
+    pub fn build(symbols: &Symbols) -> CallGraph {
+        let n = symbols.fns.len();
+        let mut g = CallGraph { edges: vec![BTreeMap::new(); n], stats: CallGraphStats::default() };
+        g.stats.files = symbols.files.len();
+        g.stats.fns = n;
+        for (id, f) in symbols.fns.iter().enumerate() {
+            if f.item.in_test {
+                continue;
+            }
+            for stmt in &f.item.stmts {
+                if stmt.in_test {
+                    continue;
+                }
+                for call in &stmt.calls {
+                    g.stats.call_sites += 1;
+                    match symbols.resolve(id, call) {
+                        Resolution::Edge(target) => {
+                            g.stats.resolved += 1;
+                            if let Some(adj) = g.edges.get_mut(id) {
+                                adj.entry(target).or_insert(call.line);
+                            }
+                        }
+                        Resolution::Ambiguous => g.stats.ambiguous += 1,
+                        Resolution::Unresolved => g.stats.unresolved += 1,
+                    }
+                }
+            }
+        }
+        let entry: Vec<usize> = roots(symbols, |f| f.entry);
+        let hot: Vec<usize> = roots(symbols, |f| f.hot);
+        g.stats.entry_roots = entry.iter().filter_map(|&i| symbols.fns.get(i)).map(|f| f.qual()).collect();
+        g.stats.hot_roots = hot.iter().filter_map(|&i| symbols.fns.get(i)).map(|f| f.qual()).collect();
+        g.stats.entry_reachable = g.reachable_from(&entry).len();
+        g.stats.hot_reachable = g.reachable_from(&hot).len();
+        g
+    }
+
+    /// Breadth-first reachability from `roots`; the returned map carries a
+    /// shortest-path parent pointer per reached fn (roots map to
+    /// `parent: None`). Cycles terminate because each fn is visited once.
+    pub fn reachable_from(&self, roots: &[usize]) -> BTreeMap<usize, Hop> {
+        let mut tree: BTreeMap<usize, Hop> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        for &r in &sorted_roots {
+            if r < self.edges.len() && !tree.contains_key(&r) {
+                tree.insert(r, Hop { parent: None, line: 0 });
+                queue.push_back(r);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            let Some(adj) = self.edges.get(cur) else { continue };
+            for (&next, &line) in adj {
+                if let std::collections::btree_map::Entry::Vacant(slot) = tree.entry(next) {
+                    slot.insert(Hop { parent: Some(cur), line });
+                    queue.push_back(next);
+                }
+            }
+        }
+        tree
+    }
+
+    /// Renders the shortest root → `target` call chain from a BFS tree, one
+    /// line per hop: `qual (path:line)` where line is the call site in the
+    /// caller (the root shows its declaration line).
+    pub fn chain(&self, symbols: &Symbols, tree: &BTreeMap<usize, Hop>, target: usize) -> Vec<String> {
+        let mut ids: Vec<(usize, usize)> = Vec::new(); // (fn id, call line into next)
+        let mut cur = target;
+        let mut guard = 0usize;
+        while let Some(hop) = tree.get(&cur) {
+            ids.push((cur, hop.line));
+            match hop.parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+            guard += 1;
+            if guard > self.edges.len() + 1 {
+                break; // defensive: malformed tree
+            }
+        }
+        ids.reverse();
+        let mut out = Vec::new();
+        for (i, (id, _)) in ids.iter().enumerate() {
+            let Some(f) = symbols.fns.get(*id) else { continue };
+            // The line shown against fn i is the call line recorded on the
+            // hop into fn i+1 (i.e. where this fn hands control onward);
+            // the last element shows its declaration line.
+            let line = match ids.get(i + 1) {
+                Some((_, call_line)) => *call_line,
+                None => f.item.decl_line,
+            };
+            let role = if i == 0 { "root " } else { "  -> " };
+            out.push(format!("{role}{} ({}:{})", f.qual(), f.path, line));
+        }
+        out
+    }
+}
+
+fn roots(symbols: &Symbols, pick: impl Fn(&crate::items::FnItem) -> bool) -> Vec<usize> {
+    symbols
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.item.in_test && pick(&f.item))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::rules::FileContext;
+    use crate::scanner::scan;
+
+    fn build(src: &str) -> (Symbols, CallGraph) {
+        let ctx = FileContext {
+            path: "crates/a/src/lib.rs".into(),
+            crate_name: "a".into(),
+            is_vendor: false,
+            is_bin: false,
+            is_harness: false,
+        };
+        let sym = Symbols::build(vec![extract(&ctx, &scan(src))]);
+        let g = CallGraph::build(&sym);
+        (sym, g)
+    }
+
+    fn id_of(sym: &Symbols, qual: &str) -> usize {
+        sym.fns.iter().position(|f| f.qual() == qual).unwrap()
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let (sym, g) = build("pub fn a() { b() }\npub fn b() { a() }\n");
+        let tree = g.reachable_from(&[id_of(&sym, "a::a")]);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn chain_is_shortest_and_renders_call_lines() {
+        let src = "\
+// ned-lint: entry
+pub fn root() { mid() }
+fn mid() { deep() }
+fn deep() { leaf() }
+pub fn shortcut() { leaf() }
+fn leaf() {}
+";
+        let (sym, g) = build(src);
+        let tree = g.reachable_from(&[id_of(&sym, "a::root")]);
+        let chain = g.chain(&sym, &tree, id_of(&sym, "a::leaf"));
+        assert_eq!(
+            chain,
+            vec![
+                "root a::root (crates/a/src/lib.rs:2)",
+                "  -> a::mid (crates/a/src/lib.rs:3)",
+                "  -> a::deep (crates/a/src/lib.rs:4)",
+                "  -> a::leaf (crates/a/src/lib.rs:6)",
+            ]
+        );
+    }
+
+    #[test]
+    fn ambiguity_blocks_reachability() {
+        // Two `helper` fns: the bare call from root must not create edges.
+        let src = "\
+pub fn root() { helper() }
+pub mod m1 { pub fn helper() {} }
+pub mod m2 { pub fn helper() {} }
+";
+        let (sym, g) = build(src);
+        let tree = g.reachable_from(&[id_of(&sym, "a::root")]);
+        assert_eq!(tree.len(), 1, "ambiguous call must not add edges");
+        assert_eq!(g.stats.ambiguous, 1);
+    }
+
+    #[test]
+    fn stats_count_roots_and_reachability() {
+        let src = "\
+// ned-lint: hot
+pub fn score() { inner() }
+fn inner() {}
+// ned-lint: entry
+pub fn serve() { score() }
+";
+        let (_sym, g) = build(src);
+        assert_eq!(g.stats.hot_roots, vec!["a::score"]);
+        assert_eq!(g.stats.entry_roots, vec!["a::serve"]);
+        assert_eq!(g.stats.hot_reachable, 2);
+        assert_eq!(g.stats.entry_reachable, 3);
+    }
+}

@@ -1,0 +1,372 @@
+//! Interprocedural rules driven by the call graph: `p2` (panic
+//! reachability), `h1` (static hot-path allocation), and `c1` (lock
+//! hygiene).
+//!
+//! * `p2` — every panicking construct (the `p1` token set, plus `.unwrap()`
+//!   / `.expect(` and slice indexing) inside a function transitively
+//!   reachable from a `// ned-lint: entry` root is a finding, regardless of
+//!   the bin/harness relaxations the lexical `p1` rule grants: a panic in a
+//!   bin `main` matters once that `main` is a declared serving entry point.
+//!   Sites suppressed with `allow(p1)` are honored — a site justified as
+//!   non-panicking is non-panicking no matter who calls it — as is
+//!   `allow(p2)`.
+//! * `h1` — allocating constructs inside functions reachable from a
+//!   `// ned-lint: hot` root are findings unless the function is part of
+//!   the sanctioned arena route (`scratch.rs`, `ScoringScratch` /
+//!   `CoverScratch` impls) or the site carries `allow(h1)`. This turns the
+//!   PR 6 zero-allocation contract from a bench-time ratchet into a static
+//!   gate.
+//! * `c1` — inside `ned-serve` / `ned-relatedness`, a `let` binding whose
+//!   initializer *terminates* in `.lock()` / `.read()` / `.write()`
+//!   (modulo poison recovery) must not stay live across a resolved call
+//!   into another first-party file: compute under the lock, drop the
+//!   guard, then call out. A binding that consumes the guard in the same
+//!   statement (`….read().unwrap().get(&k).copied()`) holds no lock and
+//!   opens no window. `drop(guard)` or the end of the binding's block
+//!   closes the window; `allow(c1)` suppresses a reviewed site.
+
+use crate::callgraph::CallGraph;
+use crate::items::BodyStmt;
+use crate::resolve::{Resolution, Symbols};
+use crate::rules::{has_indexing, let_binding, Finding, Rule, PANICKY};
+
+/// Tokens that heap-allocate (rule `h1`).
+const ALLOCATING: [&str; 12] = [
+    "Vec::new(",
+    "vec!",
+    ".collect(",
+    ".collect::<",
+    ".to_string(",
+    "format!(",
+    "Box::new(",
+    "String::new(",
+    "String::from(",
+    ".to_owned(",
+    ".to_vec(",
+    "::with_capacity(",
+];
+
+/// Crates where the lock-hygiene rule applies.
+const C1_CRATES: [&str; 2] = ["ned-serve", "ned-relatedness"];
+
+fn panics(text: &str) -> bool {
+    if text.contains("catch_unwind") {
+        return false;
+    }
+    PANICKY.iter().any(|t| text.contains(t))
+        || text.contains(".unwrap()")
+        || text.contains(".expect(")
+        || has_indexing(text)
+}
+
+fn allocates(text: &str) -> bool {
+    ALLOCATING.iter().any(|t| text.contains(t))
+}
+
+/// True when a fn belongs to the sanctioned scratch-arena allocation route.
+fn on_arena_route(symbols: &Symbols, id: usize) -> bool {
+    symbols
+        .fns
+        .get(id)
+        .map(|f| {
+            f.path.ends_with("/scratch.rs")
+                || matches!(
+                    f.item.self_ty.as_deref(),
+                    Some("ScoringScratch") | Some("CoverScratch")
+                )
+        })
+        .unwrap_or(false)
+}
+
+fn finding(path: &str, stmt: &BodyStmt, rule: Rule, chain: Vec<String>) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line: stmt.line,
+        rule,
+        snippet: stmt.snippet.clone(),
+        chain,
+    }
+}
+
+/// Runs a reachability rule: for every fn reachable from `roots`-marked
+/// fns, flag statements matching `bad` unless suppressed by one of
+/// `allow_ids`.
+fn reachability_rule(
+    symbols: &Symbols,
+    graph: &CallGraph,
+    rule: Rule,
+    pick_root: impl Fn(&crate::items::FnItem) -> bool,
+    exempt: impl Fn(&Symbols, usize) -> bool,
+    bad: impl Fn(&str) -> bool,
+    allow_ids: &[&str],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let roots: Vec<usize> = symbols
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.item.in_test && pick_root(&f.item))
+        .map(|(id, _)| id)
+        .collect();
+    let tree = graph.reachable_from(&roots);
+    for &id in tree.keys() {
+        if exempt(symbols, id) {
+            continue;
+        }
+        let Some(f) = symbols.fns.get(id) else { continue };
+        if f.item.in_test {
+            continue;
+        }
+        for stmt in &f.item.stmts {
+            if stmt.in_test || allow_ids.iter().any(|a| stmt.allows.contains(*a)) {
+                continue;
+            }
+            if bad(&stmt.text) {
+                out.push(finding(&f.path, stmt, rule, graph.chain(symbols, &tree, id)));
+            }
+        }
+    }
+    out
+}
+
+/// True when a `let` initializer's lock acquisition is *terminal* — the
+/// bound name holds the guard itself, so it stays locked until dropped.
+/// Poison recovery (`.unwrap()`, `.expect(..)`, `.unwrap_or_else(|e|
+/// e.into_inner())`, …) keeps the guard; any other trailing method call
+/// consumes it as a temporary that dies at the statement's `;` (e.g.
+/// `let v = m.read().unwrap().get(&k).copied();` binds an `Option`, not a
+/// guard, and holds no lock afterwards).
+fn binds_guard(text: &str) -> bool {
+    let after_start = [".lock()", ".read()", ".write()"]
+        .iter()
+        .filter_map(|t| text.rfind(t).map(|p| p + t.len()))
+        .max();
+    let Some(after_start) = after_start else { return false };
+    let Some(mut rest) = text.get(after_start..) else { return false };
+    while let Some(dot) = rest.find('.') {
+        let Some(tail) = rest.get(dot + 1..) else { return false };
+        let name_len =
+            tail.find(|c: char| !c.is_alphanumeric() && c != '_').unwrap_or(tail.len());
+        let name = tail.get(..name_len).unwrap_or("");
+        if !matches!(
+            name,
+            "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or_default" | "into_inner"
+        ) {
+            return false;
+        }
+        match tail.get(name_len..) {
+            Some(next) => rest = next,
+            None => return true,
+        }
+    }
+    true
+}
+
+/// Rule `c1`: lock guards must not live across cross-module calls.
+fn check_lock_hygiene(symbols: &Symbols, out: &mut Vec<Finding>) {
+    for (id, f) in symbols.fns.iter().enumerate() {
+        if f.item.in_test || !C1_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        let stmts = &f.item.stmts;
+        for (i, bind) in stmts.iter().enumerate() {
+            if bind.in_test || bind.terminator != ';' {
+                continue;
+            }
+            if !bind.text.starts_with("let ") || !binds_guard(&bind.text) {
+                continue;
+            }
+            let Some(name) = let_binding(&bind.text) else { continue };
+            if name == "_" {
+                continue; // dropped immediately
+            }
+            let drop_pat = format!("drop({name})");
+            for later in stmts.iter().skip(i + 1) {
+                // The guard dies when its block closes or it is dropped.
+                if later.depth < bind.depth || later.text.contains(&drop_pat) {
+                    break;
+                }
+                if later.in_test || later.allows.contains("c1") || bind.allows.contains("c1") {
+                    continue;
+                }
+                let cross = later.calls.iter().find_map(|call| match symbols.resolve(id, call) {
+                    Resolution::Edge(t) => {
+                        let target = symbols.fns.get(t)?;
+                        (target.path != f.path).then(|| target.qual())
+                    }
+                    _ => None,
+                });
+                if let Some(target_qual) = cross {
+                    let chain = vec![
+                        format!("guard `{}` bound ({}:{})", name, f.path, bind.line),
+                        format!("  -> cross-module call to {} ({}:{})", target_qual, f.path, later.line),
+                    ];
+                    out.push(finding(&f.path, later, Rule::C1, chain));
+                }
+            }
+        }
+    }
+}
+
+/// Runs all call-graph-driven rules and returns their findings.
+pub fn check(symbols: &Symbols, graph: &CallGraph) -> Vec<Finding> {
+    let mut out =
+        reachability_rule(symbols, graph, Rule::P2, |f| f.entry, |_, _| false, panics, &[
+            "p1", "p2",
+        ]);
+    out.extend(reachability_rule(
+        symbols,
+        graph,
+        Rule::H1,
+        |f| f.hot,
+        on_arena_route,
+        allocates,
+        &["h1"],
+    ));
+    check_lock_hygiene(symbols, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::rules::FileContext;
+    use crate::scanner::scan;
+
+    fn run(files: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let items = files
+            .iter()
+            .map(|(path, crate_name, src)| {
+                let ctx = FileContext {
+                    path: (*path).into(),
+                    crate_name: (*crate_name).into(),
+                    is_vendor: false,
+                    is_bin: false,
+                    is_harness: false,
+                };
+                extract(&ctx, &scan(src))
+            })
+            .collect();
+        let sym = Symbols::build(items);
+        let graph = CallGraph::build(&sym);
+        check(&sym, &graph)
+    }
+
+    #[test]
+    fn p2_fires_transitively_with_chain() {
+        let f = run(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "// ned-lint: entry\npub fn serve() { step() }\nfn step() { boom() }\nfn boom() { panic!(\"x\") }\n",
+        )]);
+        let p2: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::P2).collect();
+        assert_eq!(p2.len(), 1);
+        assert_eq!(p2[0].line, 4);
+        assert_eq!(p2[0].chain.len(), 3);
+        assert!(p2[0].chain[0].contains("a::serve"));
+        assert!(p2[0].chain[2].contains("a::boom"));
+    }
+
+    #[test]
+    fn p2_honors_p1_allows_and_unreachable_code() {
+        let f = run(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "// ned-lint: entry\npub fn serve() { fine() }\nfn fine() {\n    let x = xs[0]; // ned-lint: allow(p1)\n}\nfn island() { panic!(\"never called\") }\n",
+        )]);
+        assert!(f.iter().all(|f| f.rule != Rule::P2), "{f:?}");
+    }
+
+    #[test]
+    fn h1_flags_allocation_but_not_arena_route() {
+        let f = run(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "// ned-lint: hot\npub fn score() { grow(); with_arena() }\nfn grow() { let v = Vec::new(); }\nfn with_arena() {}\npub struct ScoringScratch;\nimpl ScoringScratch {\n    pub fn ensure(&mut self) { self.bufs.push(Vec::new()); }\n}\n",
+        )]);
+        let h1: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::H1).collect();
+        assert_eq!(h1.len(), 1, "{f:?}");
+        assert_eq!(h1[0].line, 3);
+    }
+
+    #[test]
+    fn c1_guard_across_cross_module_call() {
+        let svc = "\
+pub fn pump() {
+    let guard = state.lock().unwrap_or_default();
+    helper::toil(guard.len());
+    drop(guard);
+    helper::toil(0);
+}
+";
+        let f = run(&[
+            ("crates/ned-serve/src/service.rs", "ned-serve", svc),
+            ("crates/ned-serve/src/helper.rs", "ned-serve", "pub fn toil(n: usize) {}\n"),
+        ]);
+        let c1: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::C1).collect();
+        assert_eq!(c1.len(), 1, "{f:?}");
+        assert_eq!(c1[0].line, 3, "call after drop(guard) must not fire");
+        assert!(c1[0].chain[0].contains("guard `guard` bound"));
+    }
+
+    #[test]
+    fn c1_scoped_guard_block_is_clean() {
+        let svc = "\
+pub fn pump() {
+    let job = {
+        let guard = state.lock().unwrap_or_default();
+        guard.len()
+    };
+    helper::toil(job);
+}
+";
+        let f = run(&[
+            ("crates/ned-serve/src/service.rs", "ned-serve", svc),
+            ("crates/ned-serve/src/helper.rs", "ned-serve", "pub fn toil(n: usize) {}\n"),
+        ]);
+        assert!(f.iter().all(|f| f.rule != Rule::C1), "{f:?}");
+    }
+
+    #[test]
+    fn c1_consumed_guard_temporary_opens_no_window() {
+        // The `.read()` guard is consumed in the same statement — the bound
+        // name is an `Option<f64>`, so no lock is held at the call site.
+        let svc = "\
+pub fn probe() {
+    let cached = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key).copied();
+    helper::toil(0);
+}
+";
+        let f = run(&[
+            ("crates/ned-serve/src/service.rs", "ned-serve", svc),
+            ("crates/ned-serve/src/helper.rs", "ned-serve", "pub fn toil(n: usize) {}\n"),
+        ]);
+        assert!(f.iter().all(|f| f.rule != Rule::C1), "{f:?}");
+    }
+
+    #[test]
+    fn c1_poison_recovered_guard_still_opens_a_window() {
+        let svc = "\
+pub fn pump() {
+    let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    helper::toil(guard.len());
+}
+";
+        let f = run(&[
+            ("crates/ned-serve/src/service.rs", "ned-serve", svc),
+            ("crates/ned-serve/src/helper.rs", "ned-serve", "pub fn toil(n: usize) {}\n"),
+        ]);
+        let c1: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::C1).collect();
+        assert_eq!(c1.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn c1_ignores_other_crates() {
+        let f = run(&[
+            ("crates/ned-kb/src/store.rs", "ned-kb", "pub fn pump() {\n    let guard = state.lock().unwrap_or_default();\n    helper::toil(guard.len());\n}\n"),
+            ("crates/ned-kb/src/helper.rs", "ned-kb", "pub fn toil(n: usize) {}\n"),
+        ]);
+        assert!(f.iter().all(|f| f.rule != Rule::C1), "{f:?}");
+    }
+}

@@ -1,0 +1,890 @@
+//! Item extraction: the first half of the workspace call-graph analyzer.
+//!
+//! This pass runs over [`crate::scanner`] output and recovers just enough
+//! structure for interprocedural rules: `fn` items (with their enclosing
+//! `impl`/`trait`/`mod` context), the statements of each function body, the
+//! call sites inside those statements, and top-level `&str` constants (for
+//! the metric-name rule). Like the lexical rules it is a heuristic pass,
+//! not a parser — anything it cannot classify it drops on the floor, which
+//! downstream resolution treats as "no edge" (conservative for reachability
+//! rules: unresolved calls never *suppress* a finding, they only stop a
+//! chain).
+//!
+//! Root annotations are read from comments:
+//!
+//! * `// ned-lint: hot` on the line above (or trailing) a `fn` marks it a
+//!   hot-path root for rule `h1`;
+//! * `// ned-lint: entry` marks an entry root for rule `p2`.
+
+use std::collections::BTreeSet;
+
+use crate::rules::{has_word, is_ident_char, FileContext};
+use crate::scanner::SourceLine;
+
+/// How a call site is written at the call position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(…)` — a bare name.
+    Bare,
+    /// `a::b::foo(…)` — a path-qualified call (also `Self::foo`).
+    Path,
+    /// `.foo(…)` — a method call.
+    Method,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// How the call is written.
+    pub kind: CallKind,
+    /// Path segments; bare and method calls carry exactly one.
+    pub segments: Vec<String>,
+    /// For method calls: the receiver identifier when trivially known
+    /// (`self` or a plain local). `None` for chained receivers.
+    pub receiver: Option<String>,
+    /// 1-based line of the statement containing the call.
+    pub line: usize,
+}
+
+/// One statement of a function body (same boundaries as the lexical rules:
+/// code between `;` / `{` / `}`).
+#[derive(Debug, Clone)]
+pub struct BodyStmt {
+    /// 1-based first line.
+    pub line: usize,
+    /// Comment/literal-stripped text, trimmed.
+    pub text: String,
+    /// Brace depth before the statement's terminator applies.
+    pub depth: i64,
+    /// `;`, `{`, or `}`.
+    pub terminator: char,
+    /// True inside `#[cfg(test)]` / `#[test]` regions.
+    pub in_test: bool,
+    /// Inline `// ned-lint: allow(…)` suppressions covering the statement.
+    pub allows: BTreeSet<String>,
+    /// The raw first line, trimmed and truncated, for reports.
+    pub snippet: String,
+    /// Call sites found in the statement text.
+    pub calls: Vec<Call>,
+}
+
+/// One `fn` item. Trait required methods (`fn f(…);`) are recorded with an
+/// empty body so method resolution stays conservative about dynamic
+/// dispatch: a trait with one impl still yields two candidates.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Simple name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any.
+    pub self_ty: Option<String>,
+    /// True when the declaration mentions `self` (method).
+    pub has_self: bool,
+    /// Module path (crate root first, inner `mod` frames appended).
+    pub module: Vec<String>,
+    /// 1-based declaration line.
+    pub decl_line: usize,
+    /// True inside test regions.
+    pub in_test: bool,
+    /// `// ned-lint: hot` root for rule h1.
+    pub hot: bool,
+    /// `// ned-lint: entry` root for rule p2.
+    pub entry: bool,
+    /// Body statements in source order.
+    pub stmts: Vec<BodyStmt>,
+}
+
+/// A `const NAME: &str = "value"` item outside any function.
+#[derive(Debug, Clone)]
+pub struct ConstStr {
+    /// Constant name.
+    pub name: String,
+    /// The literal value (read back from the raw source).
+    pub value: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// True inside test regions.
+    pub in_test: bool,
+}
+
+/// Everything extracted from one first-party file.
+#[derive(Debug, Clone)]
+pub struct FileItems {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Crate name as it appears on disk (hyphens preserved).
+    pub crate_name: String,
+    /// Functions declared in the file.
+    pub fns: Vec<FnItem>,
+    /// Top-level `&str` constants.
+    pub consts: Vec<ConstStr>,
+    /// All stripped code lines joined by `\n` (for usage searches).
+    pub code_text: String,
+}
+
+/// Derives the module path of a file from its repo-relative location:
+/// `crates/ned-kb/src/vocab.rs` → `["ned_kb", "vocab"]`, `lib.rs` maps to
+/// the crate root, `mod.rs` to its directory, `src/bin/x.rs` to
+/// `["…", "bin", "x"]`.
+pub fn module_path_of(path: &str, crate_name: &str) -> Vec<String> {
+    let mut out = vec![crate_name.replace('-', "_")];
+    let rel = path
+        .strip_prefix("src/")
+        .or_else(|| path.split_once("/src/").map(|(_, r)| r))
+        .unwrap_or(path);
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    let segs: Vec<&str> = rel.split('/').filter(|s| !s.is_empty()).collect();
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i + 1 == segs.len();
+        if last && (*seg == "lib" || *seg == "mod") {
+            continue;
+        }
+        out.push((*seg).to_string());
+    }
+    out
+}
+
+#[derive(Debug)]
+struct Event {
+    start_line: usize,
+    end_line: usize,
+    text: String,
+    /// Brace depth before the terminator applies.
+    depth: i64,
+    terminator: char,
+    in_test: bool,
+    allows: BTreeSet<String>,
+    markers: BTreeSet<String>,
+}
+
+/// Markers present on one raw line.
+fn markers_on(raw: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    if let Some(pos) = raw.find("ned-lint:") {
+        let after = raw.get(pos + "ned-lint:".len()..).unwrap_or("");
+        for word in ["hot", "entry"] {
+            let mut from = 0usize;
+            while let Some(rel) = after.get(from..).and_then(|s| s.find(word)) {
+                let p = from + rel;
+                from = p + word.len();
+                let before_ok = after
+                    .get(..p)
+                    .and_then(|s| s.chars().next_back())
+                    .map(|c| !is_ident_char(c))
+                    .unwrap_or(true);
+                let after_ok = after
+                    .get(p + word.len()..)
+                    .and_then(|s| s.chars().next())
+                    .map(|c| !is_ident_char(c))
+                    .unwrap_or(true);
+                if before_ok && after_ok {
+                    out.insert(word.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Assembles scanned lines into events. Unlike the lexical assembler this
+/// one also emits empty `{` / `}` events so block closes stay visible.
+fn events(lines: &[SourceLine]) -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::new();
+    let mut buf = String::new();
+    let mut start_line = 0usize;
+    let mut last_line = 0usize;
+    let mut in_test = false;
+    let mut allows: BTreeSet<String> = BTreeSet::new();
+    let mut markers: BTreeSet<String> = BTreeSet::new();
+    let mut pending_markers: BTreeSet<String> = BTreeSet::new();
+    let mut brace_depth: i64 = 0;
+    let mut bracket_depth: i64 = 0;
+
+    for line in lines {
+        let line_markers = markers_on(&line.raw);
+        if line.code.trim().is_empty() {
+            // Pure comment / blank line: markers carry to the next item.
+            pending_markers.extend(line_markers.iter().cloned());
+        } else {
+            markers.extend(line_markers.iter().cloned());
+        }
+        for c in line.code.chars() {
+            if start_line == 0 && !c.is_whitespace() {
+                start_line = line.number;
+                in_test = line.in_test;
+                allows.extend(line.allows.iter().cloned());
+            }
+            let terminator = match c {
+                '(' | '[' => {
+                    bracket_depth += 1;
+                    buf.push(c);
+                    continue;
+                }
+                ')' | ']' => {
+                    bracket_depth -= 1;
+                    buf.push(c);
+                    continue;
+                }
+                '{' | '}' | ';' if bracket_depth == 0 => c,
+                _ => {
+                    buf.push(c);
+                    continue;
+                }
+            };
+            let text = std::mem::take(&mut buf).trim().to_string();
+            let has_text = !text.is_empty();
+            if has_text || terminator != ';' {
+                let mut ev_markers = BTreeSet::new();
+                if has_text {
+                    ev_markers.extend(std::mem::take(&mut pending_markers));
+                    ev_markers.extend(std::mem::take(&mut markers));
+                }
+                out.push(Event {
+                    start_line: if has_text { start_line } else { line.number },
+                    end_line: line.number,
+                    text,
+                    depth: brace_depth,
+                    terminator,
+                    in_test: if has_text { in_test } else { line.in_test },
+                    allows: std::mem::take(&mut allows),
+                    markers: ev_markers,
+                });
+            } else {
+                allows.clear();
+            }
+            match terminator {
+                '{' => brace_depth += 1,
+                '}' => brace_depth -= 1,
+                _ => {}
+            }
+            start_line = 0;
+            in_test = false;
+        }
+        if start_line != 0 {
+            allows.extend(line.allows.iter().cloned());
+            in_test = in_test || line.in_test;
+            buf.push(' ');
+        }
+        last_line = line.number;
+    }
+    let text = buf.trim().to_string();
+    if !text.is_empty() {
+        out.push(Event {
+            start_line,
+            end_line: last_line,
+            text,
+            depth: brace_depth,
+            terminator: ';',
+            in_test,
+            allows,
+            markers,
+        });
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Mod,
+    Impl,
+    Trait,
+    Fn,
+    Other,
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: FrameKind,
+    open_depth: i64,
+    fn_idx: Option<usize>,
+}
+
+#[derive(Debug)]
+enum Header {
+    Fn(String),
+    Mod(String),
+    Impl(Option<String>),
+    Trait(String),
+    Other,
+}
+
+/// Strips leading attributes (`#[…]`) and visibility from a header.
+fn strip_prefix_tokens(text: &str) -> &str {
+    let mut rest = text.trim_start();
+    loop {
+        if let Some(after_hash) = rest.strip_prefix('#') {
+            let after_hash = after_hash.trim_start();
+            if let Some(inner) = after_hash.strip_prefix('[') {
+                // Skip a balanced `[…]` group.
+                let mut depth = 1i64;
+                let mut cut = None;
+                for (i, c) in inner.char_indices() {
+                    match c {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                cut = Some(i + 1);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                match cut {
+                    Some(i) => {
+                        rest = inner.get(i..).unwrap_or("").trim_start();
+                        continue;
+                    }
+                    None => return rest,
+                }
+            }
+        }
+        if let Some(after) = rest.strip_prefix("pub") {
+            let after_trim = after.trim_start();
+            if after_trim.starts_with('(') {
+                // `pub(crate)` / `pub(in …)`.
+                if let Some(close) = after_trim.find(')') {
+                    rest = after_trim.get(close + 1..).unwrap_or("").trim_start();
+                    continue;
+                }
+            }
+            if after.starts_with(char::is_whitespace) {
+                rest = after_trim;
+                continue;
+            }
+        }
+        let mut stripped = false;
+        for kw in ["const ", "async ", "unsafe ", "default ", "extern \"\" "] {
+            if let Some(after) = rest.strip_prefix(kw) {
+                rest = after.trim_start();
+                stripped = true;
+                break;
+            }
+        }
+        if !stripped {
+            return rest;
+        }
+    }
+}
+
+fn ident_at_start(text: &str) -> String {
+    text.chars().take_while(|&c| is_ident_char(c)).collect()
+}
+
+/// First word-boundary occurrence of `word` in `text`.
+fn find_word(text: &str, word: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(rel) = text.get(from..).and_then(|s| s.find(word)) {
+        let pos = from + rel;
+        from = pos + word.len();
+        if crate::rules::word_boundaries(text, pos, word.len()) {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// Skips a balanced generics group starting at `<`; `->` inside (e.g.
+/// `Fn(u32) -> u32` bounds) does not close it.
+fn skip_generics(text: &str) -> &str {
+    let Some(inner) = text.strip_prefix('<') else { return text };
+    let mut depth = 1i64;
+    let mut prev = '<';
+    for (i, c) in inner.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' if prev != '-' && prev != '=' => {
+                depth -= 1;
+                if depth == 0 {
+                    return inner.get(i + 1..).unwrap_or("");
+                }
+            }
+            _ => {}
+        }
+        prev = c;
+    }
+    ""
+}
+
+/// The last path segment of a type expression: `a::b::Foo<T>` → `Foo`.
+fn type_name(expr: &str) -> Option<String> {
+    let expr = expr.trim().trim_start_matches('&').trim();
+    let head: String = expr
+        .chars()
+        .take_while(|&c| is_ident_char(c) || c == ':')
+        .collect();
+    let name = head.rsplit("::").next().unwrap_or("").to_string();
+    if name.is_empty() || name.chars().all(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn classify(text: &str) -> Header {
+    let rest = strip_prefix_tokens(text);
+    if let Some(after) = rest.strip_prefix("mod ") {
+        let name = ident_at_start(after.trim_start());
+        if !name.is_empty() {
+            return Header::Mod(name);
+        }
+    }
+    if let Some(after) = rest.strip_prefix("trait ") {
+        let name = ident_at_start(after.trim_start());
+        if !name.is_empty() {
+            return Header::Trait(name);
+        }
+    }
+    if rest == "impl" || rest.starts_with("impl ") || rest.starts_with("impl<") {
+        let after = rest.get("impl".len()..).unwrap_or("").trim_start();
+        let after = skip_generics(after).trim_start();
+        let target = match after.split_once(" for ") {
+            Some((_, t)) => t,
+            None => after,
+        };
+        return Header::Impl(type_name(target));
+    }
+    if let Some(after) = rest.strip_prefix("fn ") {
+        let name = ident_at_start(after.trim_start());
+        if !name.is_empty() {
+            return Header::Fn(name);
+        }
+    }
+    Header::Other
+}
+
+const SNIPPET_MAX: usize = 110;
+
+fn snippet_of(lines: &[SourceLine], line_no: usize) -> String {
+    lines
+        .iter()
+        .find(|l| l.number == line_no)
+        .map(|l| {
+            let t = l.raw.trim();
+            let mut s: String = t.chars().take(SNIPPET_MAX).collect();
+            if s.len() < t.len() {
+                s.push('…');
+            }
+            s
+        })
+        .unwrap_or_default()
+}
+
+/// Keywords that look like bare calls but are not.
+const CALL_KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "fn", "let", "else",
+    "unsafe", "ref", "await", "box",
+];
+
+/// Extracts call sites from one statement's stripped text.
+pub fn extract_calls(text: &str, line: usize) -> Vec<Call> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let at = |k: usize| chars.get(k).copied();
+    for i in 0..chars.len() {
+        if at(i) != Some('(') || i == 0 {
+            continue;
+        }
+        let Some(prev) = at(i - 1) else { continue };
+        if !is_ident_char(prev) {
+            continue;
+        }
+        // Scan back over the callee identifier.
+        let mut s = i;
+        while s > 0 && at(s - 1).map(is_ident_char).unwrap_or(false) {
+            s -= 1;
+        }
+        let name: String = chars.get(s..i).map(|cs| cs.iter().collect()).unwrap_or_default();
+        if name.is_empty() || name.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+            continue;
+        }
+        let before = if s > 0 { at(s - 1) } else { None };
+        match before {
+            Some('!') => {} // macro invocation
+            Some('.') => {
+                // Method call: capture a trivial receiver ident.
+                let mut r = s - 1;
+                while r > 0 && at(r - 1).map(is_ident_char).unwrap_or(false) {
+                    r -= 1;
+                }
+                let recv: String =
+                    chars.get(r..s - 1).map(|cs| cs.iter().collect()).unwrap_or_default();
+                let receiver = if recv.is_empty()
+                    || recv.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true)
+                    || (r > 0 && at(r - 1) == Some('.'))
+                {
+                    None
+                } else {
+                    Some(recv)
+                };
+                out.push(Call { kind: CallKind::Method, segments: vec![name], receiver, line });
+            }
+            Some(':') if s >= 2 && at(s - 2) == Some(':') => {
+                // Path call: walk back `seg::seg::name`.
+                let mut segments = vec![name];
+                let mut k = s;
+                while k >= 2 && at(k - 1) == Some(':') && at(k - 2) == Some(':') {
+                    let mut e = k - 2;
+                    while e > 0 && at(e - 1).map(is_ident_char).unwrap_or(false) {
+                        e -= 1;
+                    }
+                    let seg: String =
+                        chars.get(e..k - 2).map(|cs| cs.iter().collect()).unwrap_or_default();
+                    if seg.is_empty() {
+                        break;
+                    }
+                    segments.push(seg);
+                    k = e;
+                }
+                segments.reverse();
+                out.push(Call { kind: CallKind::Path, segments, receiver: None, line });
+            }
+            _ => {
+                let first_upper =
+                    name.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false);
+                if !first_upper && !CALL_KEYWORDS.contains(&name.as_str()) {
+                    out.push(Call { kind: CallKind::Bare, segments: vec![name], receiver: None, line });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reads the `&str` literal value of a const declaration back from raw
+/// source (the stripped text has the contents blanked).
+fn const_value(lines: &[SourceLine], start: usize, end: usize) -> Option<String> {
+    let mut raw = String::new();
+    for l in lines.iter().filter(|l| l.number >= start && l.number <= end) {
+        raw.push_str(&l.raw);
+        raw.push('\n');
+    }
+    let eq = raw.find('=')?;
+    let after = raw.get(eq + 1..)?;
+    let open = after.find('"')?;
+    let body = after.get(open + 1..)?;
+    let close = body.find('"')?;
+    body.get(..close).map(|s| s.to_string())
+}
+
+/// Extracts items from one first-party file.
+pub fn extract(ctx: &FileContext, lines: &[SourceLine]) -> FileItems {
+    let base_module = module_path_of(&ctx.path, &ctx.crate_name);
+    let mut out = FileItems {
+        path: ctx.path.clone(),
+        crate_name: ctx.crate_name.clone(),
+        fns: Vec::new(),
+        consts: Vec::new(),
+        code_text: String::new(),
+    };
+    for line in lines {
+        out.code_text.push_str(&line.code);
+        out.code_text.push('\n');
+    }
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut module_stack: Vec<String> = base_module;
+
+    let innermost = |stack: &[Frame]| -> Option<usize> {
+        stack.iter().rev().find_map(|f| if f.kind == FrameKind::Fn { f.fn_idx } else { None })
+    };
+    // Self types of impl/trait frames, parallel to `stack`.
+    let mut frame_self_tys: Vec<Option<String>> = Vec::new();
+
+    // Self type visible at the current point: the innermost impl/trait not
+    // hidden behind a nested free fn.
+    let current_self_ty = |stack: &[Frame], tys: &[Option<String>]| -> Option<String> {
+        for (f, ty) in stack.iter().zip(tys.iter()).rev() {
+            match f.kind {
+                FrameKind::Fn => return None,
+                FrameKind::Impl | FrameKind::Trait => return ty.clone(),
+                _ => {}
+            }
+        }
+        None
+    };
+
+    for ev in events(lines) {
+        match ev.terminator {
+            '{' => {
+                let header = if ev.text.is_empty() { Header::Other } else { classify(&ev.text) };
+                let (kind, fn_idx, self_ty) = match header {
+                    Header::Fn(name) => {
+                        let has_self = has_word(&ev.text, "self");
+                        let self_ty = current_self_ty(&stack, &frame_self_tys);
+                        out.fns.push(FnItem {
+                            name,
+                            self_ty,
+                            has_self,
+                            module: module_stack.clone(),
+                            decl_line: ev.start_line,
+                            in_test: ev.in_test,
+                            hot: ev.markers.contains("hot"),
+                            entry: ev.markers.contains("entry"),
+                            stmts: Vec::new(),
+                        });
+                        (FrameKind::Fn, Some(out.fns.len() - 1), None)
+                    }
+                    Header::Mod(name) => {
+                        module_stack.push(name);
+                        (FrameKind::Mod, None, None)
+                    }
+                    Header::Impl(ty) => (FrameKind::Impl, None, ty),
+                    Header::Trait(name) => (FrameKind::Trait, None, Some(name)),
+                    Header::Other => {
+                        // Block headers (`if …`, `match …`, closures) are
+                        // body statements of the enclosing fn.
+                        if let Some(idx) = innermost(&stack) {
+                            push_stmt(&mut out.fns, idx, &ev, lines);
+                        }
+                        (FrameKind::Other, None, None)
+                    }
+                };
+                stack.push(Frame { kind, open_depth: ev.depth, fn_idx });
+                frame_self_tys.push(self_ty);
+            }
+            '}' => {
+                if !ev.text.is_empty() {
+                    if let Some(idx) = innermost(&stack) {
+                        push_stmt(&mut out.fns, idx, &ev, lines);
+                    }
+                }
+                while stack.last().map(|f| f.open_depth == ev.depth - 1).unwrap_or(false) {
+                    if let Some(f) = stack.pop() {
+                        if f.kind == FrameKind::Mod {
+                            module_stack.pop();
+                        }
+                    }
+                    frame_self_tys.pop();
+                }
+            }
+            _ => {
+                if let Some(idx) = innermost(&stack) {
+                    push_stmt(&mut out.fns, idx, &ev, lines);
+                } else if stack.last().map(|f| f.kind == FrameKind::Trait).unwrap_or(false) {
+                    // Trait required method: `fn f(…);` — bodyless item.
+                    if let Header::Fn(name) = classify(&ev.text) {
+                        let self_ty = current_self_ty(&stack, &frame_self_tys);
+                        out.fns.push(FnItem {
+                            name,
+                            self_ty,
+                            has_self: has_word(&ev.text, "self"),
+                            module: module_stack.clone(),
+                            decl_line: ev.start_line,
+                            in_test: ev.in_test,
+                            hot: ev.markers.contains("hot"),
+                            entry: ev.markers.contains("entry"),
+                            stmts: Vec::new(),
+                        });
+                    }
+                } else {
+                    // Module-level statement: look for a `&str` const.
+                    // (`strip_prefix_tokens` eats the `const` keyword, so
+                    // anchor on the word in the original text instead.)
+                    if let Some(found) = find_word(&ev.text, "const") {
+                        let after = ev.text.get(found + "const".len()..).unwrap_or("");
+                        let name = ident_at_start(after.trim_start());
+                        let tail = after.trim_start().get(name.len()..).unwrap_or("");
+                        if !name.is_empty()
+                            && tail.trim_start().starts_with(':')
+                            && tail.contains("str")
+                            && tail.contains('=')
+                        {
+                            if let Some(value) = const_value(lines, ev.start_line, ev.end_line) {
+                                out.consts.push(ConstStr {
+                                    name,
+                                    value,
+                                    line: ev.start_line,
+                                    in_test: ev.in_test,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_stmt(fns: &mut [FnItem], idx: usize, ev: &Event, lines: &[SourceLine]) {
+    let calls = extract_calls(&ev.text, ev.start_line);
+    if let Some(f) = fns.get_mut(idx) {
+        f.stmts.push(BodyStmt {
+            line: ev.start_line,
+            text: ev.text.clone(),
+            depth: ev.depth,
+            terminator: ev.terminator,
+            in_test: ev.in_test,
+            allows: ev.allows.clone(),
+            snippet: snippet_of(lines, ev.start_line),
+            calls,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn ctx() -> FileContext {
+        FileContext {
+            path: "crates/demo/src/lib.rs".into(),
+            crate_name: "demo".into(),
+            is_vendor: false,
+            is_bin: false,
+            is_harness: false,
+        }
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path_of("crates/ned-kb/src/vocab.rs", "ned-kb"), vec!["ned_kb", "vocab"]);
+        assert_eq!(module_path_of("crates/ned-kb/src/lib.rs", "ned-kb"), vec!["ned_kb"]);
+        assert_eq!(module_path_of("src/lib.rs", "aida-ned"), vec!["aida_ned"]);
+        assert_eq!(
+            module_path_of("crates/ned-bench/src/bin/annotate.rs", "ned-bench"),
+            vec!["ned_bench", "bin", "annotate"]
+        );
+        assert_eq!(
+            module_path_of("crates/x/src/store/mod.rs", "x"),
+            vec!["x", "store"]
+        );
+    }
+
+    #[test]
+    fn extracts_free_fns_methods_and_traits() {
+        let src = "\
+pub fn free(x: u32) -> u32 { helper(x) }
+fn helper(x: u32) -> u32 { x }
+pub struct Foo;
+impl Foo {
+    pub fn method(&self) -> u32 { free(1) }
+    pub fn assoc() -> u32 { 2 }
+}
+pub trait Bar {
+    fn required(&self) -> u32;
+    fn provided(&self) -> u32 { 3 }
+}
+impl Bar for Foo {
+    fn required(&self) -> u32 { self.method() }
+}
+";
+        let items = extract(&ctx(), &scan(src));
+        let names: Vec<(String, Option<String>, bool)> =
+            items.fns.iter().map(|f| (f.name.clone(), f.self_ty.clone(), f.has_self)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None, false),
+                ("helper".into(), None, false),
+                ("method".into(), Some("Foo".into()), true),
+                ("assoc".into(), Some("Foo".into()), false),
+                ("required".into(), Some("Bar".into()), true),
+                ("provided".into(), Some("Bar".into()), true),
+                ("required".into(), Some("Foo".into()), true),
+            ]
+        );
+        let free = &items.fns[0];
+        assert_eq!(free.module, vec!["demo"]);
+        assert_eq!(free.stmts.len(), 1);
+        assert_eq!(free.stmts[0].calls, vec![Call {
+            kind: CallKind::Bare,
+            segments: vec!["helper".into()],
+            receiver: None,
+            line: 1,
+        }]);
+    }
+
+    #[test]
+    fn markers_attach_to_next_fn() {
+        let src = "\
+// ned-lint: hot
+pub fn scorer() -> u32 { 1 }
+
+/// Docs in between do not clear a marker.
+// ned-lint: entry
+#[inline]
+pub fn root() -> u32 { 2 }
+
+pub fn plain() -> u32 { 3 }
+";
+        let items = extract(&ctx(), &scan(src));
+        assert!(items.fns[0].hot && !items.fns[0].entry);
+        assert!(items.fns[1].entry && !items.fns[1].hot);
+        assert!(!items.fns[2].hot && !items.fns[2].entry);
+    }
+
+    #[test]
+    fn inner_mod_frames_extend_the_module_path() {
+        let src = "\
+pub mod inner {
+    pub fn f() -> u32 { 1 }
+}
+pub fn outer() -> u32 { 2 }
+";
+        let items = extract(&ctx(), &scan(src));
+        assert_eq!(items.fns[0].module, vec!["demo", "inner"]);
+        assert_eq!(items.fns[1].module, vec!["demo"]);
+    }
+
+    #[test]
+    fn call_kinds() {
+        let calls = extract_calls(
+            "let x = free(1) + path::to::thing(2) + Self::assoc(3) + recv.method(4) + mac!(5)",
+            7,
+        );
+        assert_eq!(
+            calls,
+            vec![
+                Call { kind: CallKind::Bare, segments: vec!["free".into()], receiver: None, line: 7 },
+                Call {
+                    kind: CallKind::Path,
+                    segments: vec!["path".into(), "to".into(), "thing".into()],
+                    receiver: None,
+                    line: 7
+                },
+                Call {
+                    kind: CallKind::Path,
+                    segments: vec!["Self".into(), "assoc".into()],
+                    receiver: None,
+                    line: 7
+                },
+                Call {
+                    kind: CallKind::Method,
+                    segments: vec!["method".into()],
+                    receiver: Some("recv".into()),
+                    line: 7
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_constructors_are_not_bare_calls() {
+        let calls = extract_calls("if check(x) { return Some(y) } else { Ok(z) }", 1);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].segments, vec!["check"]);
+    }
+
+    #[test]
+    fn consts_parse_with_values_from_raw() {
+        let src = "/// Doc.\npub const AIDA_DOCS: &str = \"aida_docs\";\nconst OTHER: usize = 3;\n";
+        let items = extract(&ctx(), &scan(src));
+        assert_eq!(items.consts.len(), 1);
+        assert_eq!(items.consts[0].name, "AIDA_DOCS");
+        assert_eq!(items.consts[0].value, "aida_docs");
+        assert_eq!(items.consts[0].line, 2);
+    }
+
+    #[test]
+    fn trait_required_methods_are_recorded_bodyless() {
+        let src = "pub trait T {\n    fn f(&self, x: u32) -> u32;\n}\n";
+        let items = extract(&ctx(), &scan(src));
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "f");
+        assert_eq!(items.fns[0].self_ty.as_deref(), Some("T"));
+        assert!(items.fns[0].stmts.is_empty());
+    }
+}

@@ -19,6 +19,18 @@
 //! | `d3` | no wall clock / ambient randomness outside bench harnesses |
 //! | `p1` | no panicking constructs (indexing, `panic!`) in library code |
 //! | `u1` | no `unsafe` in first-party crates |
+//! | `p2` | no panicking construct reachable from an `entry` root |
+//! | `h1` | no allocation reachable from a `hot` root (outside the arena) |
+//! | `c1` | no lock guard held across a cross-module call |
+//! | `m1` | every metric name routed through `ned_obs::names` |
+//!
+//! The first five are lexical, per-file rules. The last four are
+//! **interprocedural**: a second pass ([`items`]) extracts fn/impl/trait
+//! items and call sites, [`resolve`] links call sites to unique targets
+//! (conservative on ambiguity), and [`callgraph`] answers reachability
+//! queries from `// ned-lint: entry` / `// ned-lint: hot` roots —
+//! see [`interproc`] and [`metric_names`] for the rule logic and
+//! `--explain rule:file:line` for call chains.
 //!
 //! Suppression is two-tier: inline `// ned-lint: allow(rule)` comments for
 //! sites with a documented invariant, and the checked-in `lint.toml`
@@ -30,7 +42,12 @@
 //! documented heuristics, which is why both suppression tiers exist.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod interproc;
+pub mod items;
+pub mod metric_names;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod scanner;
 pub mod walk;
@@ -52,6 +69,7 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> io::Result<LintReport> {
     let files = walk::workspace_files(root)?;
     let mut report = LintReport::default();
     let mut raw: Vec<Finding> = Vec::new();
+    let mut extracted: Vec<items::FileItems> = Vec::new();
 
     for file in &files {
         let text = fs::read_to_string(&file.abs_path)?;
@@ -61,10 +79,20 @@ pub fn run_lint(root: &Path, baseline: &Baseline) -> io::Result<LintReport> {
                 rules::count_unsafe(&lines);
         } else {
             raw.extend(rules::check_file(&file.ctx, &lines));
+            extracted.push(items::extract(&file.ctx, &lines));
         }
         report.files_scanned += 1;
     }
+
+    // Second pass: the interprocedural rules over the workspace call graph.
+    let symbols = resolve::Symbols::build(extracted);
+    let graph = callgraph::CallGraph::build(&symbols);
+    raw.extend(interproc::check(&symbols, &graph));
+    raw.extend(metric_names::check(&symbols));
+    report.callgraph = Some(graph.stats.clone());
+
     raw.sort();
+    report.all_findings = raw.clone();
 
     // Group by file:rule and apply the baseline ratchet.
     let mut by_key: BTreeMap<String, Vec<Finding>> = BTreeMap::new();

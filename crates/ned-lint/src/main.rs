@@ -3,11 +3,18 @@
 //! ```text
 //! cargo run -p ned-lint --release -- [--root DIR] [--ratchet]
 //!                                    [--write-baseline] [--baseline-total]
+//!                                    [--callgraph-stats]
+//!                                    [--explain rule:file:line]
 //!                                    [--verbose]
 //! ```
 //!
+//! `--callgraph-stats` prints call-graph shape/resolution statistics and
+//! exits clean; `--explain p2:crates/x/src/lib.rs:42` prints the shortest
+//! root → site call chain for a finding (baselined sites included).
+//!
 //! Exit codes: `0` clean, `1` findings (or stale baseline under
-//! `--ratchet`), `2` usage/IO error.
+//! `--ratchet`, or an `--explain` query with no matching finding),
+//! `2` usage/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +27,8 @@ struct Args {
     ratchet: bool,
     write_baseline: bool,
     baseline_total: bool,
+    callgraph_stats: bool,
+    explain: Option<String>,
     verbose: bool,
 }
 
@@ -29,6 +38,8 @@ fn parse_args() -> Result<Args, String> {
         ratchet: false,
         write_baseline: false,
         baseline_total: false,
+        callgraph_stats: false,
+        explain: None,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -41,14 +52,31 @@ fn parse_args() -> Result<Args, String> {
             "--ratchet" => args.ratchet = true,
             "--write-baseline" => args.write_baseline = true,
             "--baseline-total" => args.baseline_total = true,
+            "--callgraph-stats" => args.callgraph_stats = true,
+            "--explain" => {
+                let q = it.next().ok_or("--explain requires a rule:file:line argument")?;
+                args.explain = Some(q);
+            }
             "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => {
-                return Err("usage: ned-lint [--root DIR] [--ratchet] [--write-baseline] [--baseline-total] [--verbose]".to_string());
+                return Err("usage: ned-lint [--root DIR] [--ratchet] [--write-baseline] [--baseline-total] [--callgraph-stats] [--explain rule:file:line] [--verbose]".to_string());
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(args)
+}
+
+/// Splits an `--explain` query `rule:file:line` (the file part may itself
+/// contain no colons — paths in this workspace never do).
+fn parse_explain(q: &str) -> Result<(String, String, usize), String> {
+    let (rule, rest) =
+        q.split_once(':').ok_or_else(|| format!("--explain wants rule:file:line, got `{q}`"))?;
+    let (file, line) =
+        rest.rsplit_once(':').ok_or_else(|| format!("--explain wants rule:file:line, got `{q}`"))?;
+    let line: usize =
+        line.parse().map_err(|_| format!("--explain line must be a number, got `{line}`"))?;
+    Ok((rule.to_string(), file.to_string(), line))
 }
 
 /// Walks upward from the current directory to the first directory holding
@@ -89,6 +117,28 @@ fn run(args: &Args) -> Result<ExitCode, String> {
 
     let report =
         run_lint(&root, &baseline).map_err(|e| format!("lint failed on {}: {e}", root.display()))?;
+
+    if args.callgraph_stats {
+        match &report.callgraph {
+            Some(stats) => print!("{}", stats.render()),
+            None => println!("call-graph statistics unavailable"),
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(q) = &args.explain {
+        let (rule, file, line) = parse_explain(q)?;
+        return match report.explain(&rule, &file, line) {
+            Some(text) => {
+                print!("{text}");
+                Ok(ExitCode::SUCCESS)
+            }
+            None => {
+                eprintln!("no finding for {rule}:{file}:{line} (check path is repo-relative)");
+                Ok(ExitCode::from(1))
+            }
+        };
+    }
 
     if args.write_baseline {
         let text = Baseline::render(&report.counts);

@@ -1,0 +1,161 @@
+//! Rule `m1`: metric-name consistency.
+//!
+//! The observability layer (PR 5) centralizes every metric name in
+//! `ned_obs::names` so dashboards and golden-metrics fixtures cannot drift
+//! from the code. This rule closes the loop statically:
+//!
+//! 1. a **string literal** passed to a `Metrics` registry method
+//!    (`.counter("…")`, `.gauge("…")`, `.histogram("…")`, `.span("…")`,
+//!    `.counter_value("…")`) in non-test code is a finding — route it
+//!    through a `names::` constant;
+//! 2. a `names` constant **used nowhere** outside its declaring file is a
+//!    finding (dead names rot dashboards);
+//! 3. two constants sharing the **same value** are a finding (two series
+//!    silently merge).
+//!
+//! The scanner blanks literal contents, so a literal argument shows up as
+//! `.counter("")` in stripped text while `.counter(names::X)` keeps its
+//! path — which makes the literal check robust against string contents.
+
+use crate::resolve::Symbols;
+use crate::rules::{has_word, Finding, Rule};
+
+/// Registry methods whose first argument is a metric name.
+const REGISTRY_METHODS: [&str; 5] =
+    [".counter(\"", ".gauge(\"", ".histogram(\"", ".span(\"", ".counter_value(\""];
+
+/// The file that must hold every metric name.
+const NAMES_FILE: &str = "ned-obs/src/names.rs";
+
+fn names_file(path: &str) -> bool {
+    path.ends_with(NAMES_FILE)
+}
+
+/// Runs the metric-name checks over the whole workspace.
+pub fn check(symbols: &Symbols) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // 1. Literal names at registry call sites. The registry implementation
+    //    itself receives `name` as a parameter, so it never matches.
+    for f in &symbols.fns {
+        if f.item.in_test || names_file(&f.path) {
+            continue;
+        }
+        for stmt in &f.item.stmts {
+            if stmt.in_test || stmt.allows.contains("m1") {
+                continue;
+            }
+            if REGISTRY_METHODS.iter().any(|m| stmt.text.contains(m)) {
+                out.push(Finding {
+                    path: f.path.clone(),
+                    line: stmt.line,
+                    rule: Rule::M1,
+                    snippet: stmt.snippet.clone(),
+                    chain: vec![
+                        "literal metric name at a registry call; use a ned_obs::names constant"
+                            .to_string(),
+                    ],
+                });
+            }
+        }
+    }
+
+    // 2./3. Constant hygiene inside the names file.
+    for file in symbols.files.iter().filter(|f| names_file(&f.path)) {
+        let mut seen: Vec<(&str, &str, usize)> = Vec::new(); // (value, name, line)
+        for c in file.consts.iter().filter(|c| !c.in_test) {
+            if let Some((_, prior, _)) = seen.iter().find(|(v, _, _)| *v == c.value) {
+                out.push(Finding {
+                    path: file.path.clone(),
+                    line: c.line,
+                    rule: Rule::M1,
+                    snippet: format!("const {}: duplicate of {} (value \"{}\")", c.name, prior, c.value),
+                    chain: Vec::new(),
+                });
+            } else {
+                seen.push((&c.value, &c.name, c.line));
+            }
+            let used = symbols
+                .files
+                .iter()
+                .filter(|other| !names_file(&other.path))
+                .any(|other| has_word(&other.code_text, &c.name));
+            if !used {
+                out.push(Finding {
+                    path: file.path.clone(),
+                    line: c.line,
+                    rule: Rule::M1,
+                    snippet: format!("const {} is unused outside {}", c.name, file.path),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::items::extract;
+    use crate::rules::FileContext;
+    use crate::scanner::scan;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let items = files
+            .iter()
+            .map(|(path, src)| {
+                let ctx = FileContext {
+                    path: (*path).into(),
+                    crate_name: "x".into(),
+                    is_vendor: false,
+                    is_bin: false,
+                    is_harness: false,
+                };
+                extract(&ctx, &scan(src))
+            })
+            .collect();
+        let sym = Symbols::build(items);
+        let _ = CallGraph::build(&sym);
+        check(&sym)
+    }
+
+    #[test]
+    fn literal_registry_call_fires_but_names_path_does_not() {
+        let f = run(&[
+            (
+                "crates/ned-obs/src/names.rs",
+                "pub const GOOD: &str = \"good\";\n",
+            ),
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f(m: &Metrics) {\n    m.counter(\"raw_literal\").inc();\n    m.counter(names::GOOD).inc();\n}\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unused_and_duplicate_constants_fire() {
+        let f = run(&[
+            (
+                "crates/ned-obs/src/names.rs",
+                "pub const USED: &str = \"used\";\npub const DEAD: &str = \"dead\";\npub const COPY: &str = \"used\";\n",
+            ),
+            ("crates/x/src/lib.rs", "pub fn f(m: &Metrics) { m.counter(names::USED).inc(); m.gauge(names::COPY); }\n"),
+        ]);
+        let lines: Vec<usize> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3], "{f:?}"); // DEAD unused, COPY duplicate
+    }
+
+    #[test]
+    fn test_code_literals_are_fine() {
+        let f = run(&[(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(m: &Metrics) { m.counter(\"test_only\").inc(); }\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::callgraph::CallGraphStats;
 use crate::rules::{Finding, Rule};
 
 /// A baseline entry that no longer matches reality.
@@ -33,12 +34,37 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Current per-`file:rule` counts (for `--write-baseline`).
     pub counts: BTreeMap<String, usize>,
+    /// Every finding before baseline absorption, sorted — `--explain` can
+    /// print call chains for baselined sites too.
+    pub all_findings: Vec<Finding>,
+    /// Call-graph shape and resolution statistics (`--callgraph-stats`).
+    pub callgraph: Option<CallGraphStats>,
 }
 
 impl LintReport {
     /// True when the run should fail CI in default mode.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty() && self.exceeded.is_empty()
+    }
+
+    /// Looks up a finding (baselined or not) by rule id, path, and line —
+    /// the `--explain rule:file:line` query.
+    pub fn explain(&self, rule_id: &str, path: &str, line: usize) -> Option<String> {
+        let f = self
+            .all_findings
+            .iter()
+            .find(|f| f.rule.id() == rule_id && f.path == path && f.line == line)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", f.rule.id().to_uppercase(), f.rule.describe());
+        let _ = writeln!(out, "  {}:{}: {}", f.path, f.line, f.snippet);
+        if f.chain.is_empty() {
+            let _ = writeln!(out, "  (lexical rule: no call chain)");
+        } else {
+            for hop in &f.chain {
+                let _ = writeln!(out, "  {hop}");
+            }
+        }
+        Some(out)
     }
 
     /// Renders the human-readable report.
@@ -60,6 +86,11 @@ impl LintReport {
                 );
                 for f in findings {
                     let _ = writeln!(out, "  {}:{}: {}", f.path, f.line, f.snippet);
+                    if verbose {
+                        for hop in &f.chain {
+                            let _ = writeln!(out, "      {hop}");
+                        }
+                    }
                 }
                 let _ = writeln!(out);
             }

@@ -25,11 +25,29 @@ pub enum Rule {
     P1,
     /// `unsafe` code in first-party crates.
     U1,
+    /// Panicking construct reachable from a declared entry root.
+    P2,
+    /// Allocating construct reachable from a hot-path root.
+    H1,
+    /// Lock guard held across a call into another first-party module.
+    C1,
+    /// Metric name not routed through `ned_obs::names`.
+    M1,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::P1, Rule::U1];
+    pub const ALL: [Rule; 9] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::P1,
+        Rule::U1,
+        Rule::P2,
+        Rule::H1,
+        Rule::C1,
+        Rule::M1,
+    ];
 
     /// Stable lowercase id used in suppressions and the baseline.
     pub fn id(self) -> &'static str {
@@ -39,6 +57,10 @@ impl Rule {
             Rule::D3 => "d3",
             Rule::P1 => "p1",
             Rule::U1 => "u1",
+            Rule::P2 => "p2",
+            Rule::H1 => "h1",
+            Rule::C1 => "c1",
+            Rule::M1 => "m1",
         }
     }
 
@@ -50,6 +72,10 @@ impl Rule {
             Rule::D3 => "wall-clock or unseeded randomness in deterministic code",
             Rule::P1 => "panicking construct (indexing / panic!) in library code; prefer .get() or typed errors",
             Rule::U1 => "unsafe code is forbidden in first-party crates",
+            Rule::P2 => "panicking construct reachable from an entry root (see --explain rule:file:line for the call chain)",
+            Rule::H1 => "allocating construct reachable from a hot-path root (route through ScoringScratch or allow inline)",
+            Rule::C1 => "lock guard held across a call into another first-party module (shrink the critical section)",
+            Rule::M1 => "metric name not routed through ned_obs::names (literal at registry call, unused or duplicate constant)",
         }
     }
 }
@@ -65,6 +91,9 @@ pub struct Finding {
     pub rule: Rule,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For interprocedural rules: the shortest root → site call chain
+    /// (one rendered hop per element). Empty for lexical rules.
+    pub chain: Vec<String>,
 }
 
 /// Where a file sits in the workspace; controls which rules apply.
@@ -95,7 +124,7 @@ struct Stmt {
     allows: BTreeSet<String>,
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -175,6 +204,10 @@ fn assemble(lines: &[SourceLine]) -> Vec<Stmt> {
     flush(&mut buf, &mut stmts, &mut start_line, &mut in_test, &mut allows, brace_depth, ';');
     stmts
 }
+
+/// Always-panicking macro calls (shared by the lexical P1 rule and the
+/// interprocedural P2 rule).
+pub(crate) const PANICKY: [&str; 4] = ["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
 
 const HASH_TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
 const ITER_METHODS: [&str; 10] = [
@@ -521,7 +554,7 @@ fn push_targets(stmts: &[&Stmt]) -> BTreeSet<String> {
 }
 
 /// The `let [mut] NAME` binding of a statement, if any.
-fn let_binding(text: &str) -> Option<String> {
+pub(crate) fn let_binding(text: &str) -> Option<String> {
     let rest = text.strip_prefix("let ")?;
     let rest = rest.strip_prefix("mut ").unwrap_or(rest);
     let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
@@ -576,6 +609,7 @@ pub fn check_file(ctx: &FileContext, lines: &[SourceLine]) -> Vec<Finding> {
             line: stmt.start_line,
             rule,
             snippet: snippet_of(stmt.start_line),
+            chain: Vec::new(),
         });
     };
 
@@ -616,7 +650,6 @@ pub fn check_file(ctx: &FileContext, lines: &[SourceLine]) -> Vec<Finding> {
 
         // --- P1: panicking constructs in library code.
         if !ctx.is_harness && !ctx.is_bin {
-            const PANICKY: [&str; 4] = ["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
             if PANICKY.iter().any(|t| text.contains(t)) && !text.contains("catch_unwind") {
                 emit(Rule::P1, stmt, &mut findings);
             }
@@ -675,7 +708,7 @@ pub fn count_unsafe(lines: &[SourceLine]) -> usize {
     lines.iter().map(|l| count_word(&l.code, "unsafe")).sum()
 }
 
-fn has_word(text: &str, word: &str) -> bool {
+pub(crate) fn has_word(text: &str, word: &str) -> bool {
     count_word(text, word) > 0
 }
 
@@ -694,7 +727,7 @@ fn count_word(text: &str, word: &str) -> usize {
 
 /// True when the byte range `[pos, pos + len)` is delimited by non-ident
 /// characters on both sides.
-fn word_boundaries(text: &str, pos: usize, len: usize) -> bool {
+pub(crate) fn word_boundaries(text: &str, pos: usize, len: usize) -> bool {
     let before_ok = pos == 0
         || !text
             .get(..pos)
@@ -712,7 +745,7 @@ fn word_boundaries(text: &str, pos: usize, len: usize) -> bool {
 /// Detects slice/array indexing `expr[…]` that can panic. Skips attribute
 /// lines, macro brackets (`vec![…]`), full-range slices `[..]`, and array
 /// type syntax.
-fn has_indexing(text: &str) -> bool {
+pub(crate) fn has_indexing(text: &str) -> bool {
     let t = text.trim();
     if t.starts_with('#') {
         return false;

@@ -1,0 +1,13 @@
+//! P2 fixture: the panicking site sits two call hops from the entry root
+//! declared on `main.rs` — `--explain` must reproduce the full chain.
+
+/// First hop from the binary's `main`.
+pub fn run(n: usize) {
+    risky(n);
+}
+
+/// P2 (and lexical P1) fire on the `.expect(` below.
+fn risky(n: usize) {
+    let v: Option<usize> = Some(n);
+    let _ = v.expect("fixture panic");
+}

@@ -1,0 +1,36 @@
+//! H1 fixture: an allocation reachable from a hot root fires; the scratch
+//! arena route and an inline allow are exempt.
+
+/// Hot root for the h1 fixture.
+// ned-lint: hot
+pub fn score_batch(scratch: &mut ScoringScratch) {
+    scratch.ensure(4);
+    grow();
+    reuse();
+}
+
+/// H1 fires on the `Vec::new` below: hot-reachable, off the arena route.
+fn grow() {
+    let mut buf = Vec::new();
+    buf.push(1u32);
+}
+
+/// Inline allow: reviewed one-time warmup allocation.
+fn reuse() {
+    let warm: Vec<u32> = Vec::with_capacity(4); // ned-lint: allow(h1) — one-time warmup
+    drop(warm);
+}
+
+/// Scratch arena for the fixture's hot path.
+pub struct ScoringScratch {
+    bufs: Vec<u32>,
+}
+
+impl ScoringScratch {
+    /// Arena route: allocation here is sanctioned even when hot-reachable.
+    pub fn ensure(&mut self, n: usize) {
+        while self.bufs.len() < n {
+            self.bufs.push(0);
+        }
+    }
+}

@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 
 mod clock;
+mod entry;
+mod hotpath;
 mod unsafe_use;
 
 /// D1: hash-map iteration order escapes through the returned vector.

@@ -1,7 +1,10 @@
-//! Binary target: P1 (indexing) is relaxed here.
+//! Binary target: P1 (indexing) is relaxed here — but P2 still applies
+//! once `main` is a declared entry root.
 
+// ned-lint: entry
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = &args[0];
     println!("{name}");
+    entry::run(name.len());
 }

@@ -1,0 +1,10 @@
+//! M1 fixture crate: a registry caller with one raw literal name.
+
+mod names;
+
+/// M1 fires at the literal; the `names::` routes are clean.
+pub fn install(m: &Metrics) {
+    m.counter("raw_name");
+    m.counter(names::REQUESTS);
+    m.gauge(names::REQUESTS_ALIAS);
+}

@@ -1,0 +1,8 @@
+//! M1 fixture: metric-name constants.
+
+/// Used by the registry caller in `lib.rs`.
+pub const REQUESTS: &str = "requests_total";
+/// M1 fires: never referenced outside this file.
+pub const ORPHANED: &str = "orphaned_total";
+/// M1 fires: duplicates `REQUESTS`'s value (two series would merge).
+pub const REQUESTS_ALIAS: &str = "requests_total";

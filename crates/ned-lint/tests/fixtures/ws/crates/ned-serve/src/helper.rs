@@ -1,0 +1,4 @@
+//! Cross-module callee for the c1 fixture.
+
+/// Records a value (stands in for a metrics/registry call).
+pub fn record(_v: u32) {}

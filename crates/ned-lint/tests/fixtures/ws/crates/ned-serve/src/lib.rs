@@ -1,0 +1,13 @@
+//! C1 fixture crate (the rule only applies in `ned-serve` /
+//! `ned-relatedness`): a lock guard held across a cross-module call.
+
+mod helper;
+
+/// C1 fires at the first `helper::record` call: `guard` is still live.
+/// The second call, after `drop(guard)`, is clean.
+pub fn pump(state: &std::sync::Mutex<u32>) {
+    let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    helper::record(*guard);
+    drop(guard);
+    helper::record(0);
+}

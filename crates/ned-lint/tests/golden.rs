@@ -26,14 +26,84 @@ fn every_rule_fires_exactly_where_expected() {
         got,
         vec![
             expect("crates/demo/src/clock.rs", 7, "d3"),
-            expect("crates/demo/src/lib.rs", 11, "d1"),
-            expect("crates/demo/src/lib.rs", 19, "d2"),
-            expect("crates/demo/src/lib.rs", 24, "p1"),
+            expect("crates/demo/src/entry.rs", 12, "p2"),
+            expect("crates/demo/src/hotpath.rs", 14, "h1"),
+            expect("crates/demo/src/lib.rs", 13, "d1"),
+            expect("crates/demo/src/lib.rs", 21, "d2"),
+            expect("crates/demo/src/lib.rs", 26, "p1"),
+            expect("crates/demo/src/main.rs", 7, "p2"),
             expect("crates/demo/src/unsafe_use.rs", 5, "u1"),
+            expect("crates/ned-obs/src/lib.rs", 7, "m1"),
+            expect("crates/ned-obs/src/names.rs", 6, "m1"),
+            expect("crates/ned-obs/src/names.rs", 8, "m1"),
+            expect("crates/ned-serve/src/lib.rs", 10, "c1"),
         ],
         "full report:\n{}",
         report.render(true),
     );
+}
+
+#[test]
+fn p2_overrides_the_bin_p1_relaxation() {
+    // `main.rs` indexes a Vec: lexical p1 stays relaxed in bins, but once
+    // `main` is a declared entry root the same site is a p2 finding.
+    let report = run_lint(&fixture_root(), &Baseline::default()).unwrap();
+    let at_site: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.path == "crates/demo/src/main.rs" && f.line == 7)
+        .map(|f| f.rule.id())
+        .collect();
+    assert_eq!(at_site, ["p2"], "full report:\n{}", report.render(true));
+}
+
+#[test]
+fn explain_reproduces_the_p2_call_chain() {
+    let report = run_lint(&fixture_root(), &Baseline::default()).unwrap();
+    let text = report.explain("p2", "crates/demo/src/entry.rs", 12).unwrap();
+    // Root, two hops, ending at the declaring fn — each with file:line.
+    assert!(text.contains("root demo::main::main (crates/demo/src/main.rs:9)"), "{text}");
+    assert!(text.contains("-> demo::entry::run (crates/demo/src/entry.rs:6)"), "{text}");
+    assert!(text.contains("-> demo::entry::risky (crates/demo/src/entry.rs:10)"), "{text}");
+    // Unknown sites return None instead of a fabricated chain.
+    assert!(report.explain("p2", "crates/demo/src/entry.rs", 1).is_none());
+}
+
+#[test]
+fn explain_still_works_for_baselined_sites() {
+    let mut baseline = Baseline::default();
+    baseline.entries.insert("crates/demo/src/entry.rs:p2".to_string(), 1);
+    let report = run_lint(&fixture_root(), &baseline).unwrap();
+    assert!(!report.findings.iter().any(|f| f.path.ends_with("entry.rs")), "absorbed");
+    let text = report.explain("p2", "crates/demo/src/entry.rs", 12).unwrap();
+    assert!(text.contains("root demo::main::main"), "{text}");
+}
+
+#[test]
+fn h1_exempts_arena_route_and_inline_allows() {
+    let report = run_lint(&fixture_root(), &Baseline::default()).unwrap();
+    let h1: Vec<(&str, usize)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule.id() == "h1")
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    // Only `grow`'s Vec::new fires — `ScoringScratch::ensure` (arena
+    // route) and the allowed warmup in `reuse` are exempt.
+    assert_eq!(h1, [("crates/demo/src/hotpath.rs", 14)], "{}", report.render(true));
+}
+
+#[test]
+fn callgraph_stats_cover_the_fixture_roots() {
+    let report = run_lint(&fixture_root(), &Baseline::default()).unwrap();
+    let stats = report.callgraph.expect("stats always computed");
+    assert_eq!(stats.entry_roots, ["demo::main::main"]);
+    assert_eq!(stats.hot_roots, ["demo::hotpath::score_batch"]);
+    assert!(stats.entry_reachable >= 3, "main -> run -> risky: {stats:?}");
+    assert!(stats.hot_reachable >= 4, "score_batch, ensure, grow, reuse: {stats:?}");
+    assert!(stats.resolved >= 5, "{stats:?}");
+    let rendered = stats.render();
+    assert!(rendered.contains("entry demo::main::main"), "{rendered}");
 }
 
 #[test]
@@ -49,16 +119,22 @@ fn baseline_absorbs_and_ratchets() {
     let mut baseline = Baseline::default();
     for (key, count) in [
         ("crates/demo/src/clock.rs:d3", 1),
+        ("crates/demo/src/entry.rs:p2", 1),
+        ("crates/demo/src/hotpath.rs:h1", 1),
         ("crates/demo/src/lib.rs:d1", 1),
         ("crates/demo/src/lib.rs:d2", 1),
         ("crates/demo/src/lib.rs:p1", 1),
+        ("crates/demo/src/main.rs:p2", 1),
         ("crates/demo/src/unsafe_use.rs:u1", 1),
+        ("crates/ned-obs/src/lib.rs:m1", 1),
+        ("crates/ned-obs/src/names.rs:m1", 2),
+        ("crates/ned-serve/src/lib.rs:c1", 1),
     ] {
         baseline.entries.insert(key.to_string(), count);
     }
     let report = run_lint(&fixture_root(), &baseline).unwrap();
     assert!(report.is_clean(), "{}", report.render(true));
-    assert_eq!(report.baselined, 5);
+    assert_eq!(report.baselined, 12);
     assert!(report.stale.is_empty());
 
     // An inflated entry is stale (ratchet must be written down); an entry
@@ -114,4 +190,52 @@ fn seeding_a_violation_into_a_clean_crate_fails_the_lint() {
     assert!(!report.is_clean());
     assert!(report.findings.iter().any(|f| f.rule.id() == "d1"));
     assert!(report.findings.iter().any(|f| f.rule.id() == "d2"));
+}
+
+#[test]
+fn seeding_an_allocation_into_a_hot_reachable_fn_fails_the_gate() {
+    // The acceptance property for h1: a clean hot path lints clean; adding
+    // one `Vec::new()` to a fn reachable from a hot root trips the gate.
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("seeded-hot-ws");
+    let src = root.join("crates/seeded/src");
+    std::fs::create_dir_all(&src).unwrap();
+    let lib = src.join("lib.rs");
+
+    let clean = concat!(
+        "// ned-lint: hot\n",
+        "pub fn score(out: &mut [f64]) {\n",
+        "    accumulate(out);\n",
+        "}\n",
+        "fn accumulate(out: &mut [f64]) {\n",
+        "    for v in out.iter_mut() {\n",
+        "        *v += 1.0;\n",
+        "    }\n",
+        "}\n",
+    );
+    std::fs::write(&lib, clean).unwrap();
+    let report = run_lint(&root, &Baseline::default()).unwrap();
+    assert!(report.is_clean(), "{}", report.render(true));
+
+    let seeded = concat!(
+        "// ned-lint: hot\n",
+        "pub fn score(out: &mut [f64]) {\n",
+        "    accumulate(out);\n",
+        "}\n",
+        "fn accumulate(out: &mut [f64]) {\n",
+        "    let scratch: Vec<f64> = Vec::new();\n",
+        "    for v in out.iter_mut() {\n",
+        "        *v += scratch.len() as f64;\n",
+        "    }\n",
+        "}\n",
+    );
+    std::fs::write(&lib, seeded).unwrap();
+    let report = run_lint(&root, &Baseline::default()).unwrap();
+    assert!(!report.is_clean());
+    let h1: Vec<(&str, usize)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule.id() == "h1")
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(h1, [("crates/seeded/src/lib.rs", 6)], "{}", report.render(true));
 }

@@ -24,3 +24,51 @@ fn workspace_lints_clean_with_current_baseline() {
     );
     assert!(report.files_scanned > 100, "walker lost the workspace?");
 }
+
+/// The interprocedural rules (p2/h1/c1/m1) must have zero *unsuppressed*
+/// findings at head: p2 debt is baselined in `lint.toml`, h1 sites carry
+/// reviewed inline allows, and c1/m1 are clean outright. A failure here is
+/// a new reachable panic, hot-path allocation, guard-across-call, or
+/// metric-name drift.
+#[test]
+fn interprocedural_rules_are_clean_at_head() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = Baseline::load(&root.join("lint.toml")).unwrap();
+    let report = run_lint(&root, &baseline).unwrap();
+    for rule in ["p2", "h1", "c1", "m1"] {
+        let hits: Vec<String> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule.id() == rule)
+            .map(|f| format!("{}:{}", f.path, f.line))
+            .collect();
+        assert!(hits.is_empty(), "unsuppressed {rule} findings: {hits:?}");
+    }
+    // h1 and c1 carry no baseline debt at all — only p2 may.
+    for key in baseline.entries.keys() {
+        assert!(
+            !key.ends_with(":h1") && !key.ends_with(":c1") && !key.ends_with(":m1"),
+            "baselined {key}: h1/c1/m1 must be fixed or inline-allowed, never baselined"
+        );
+    }
+}
+
+/// The call-graph analysis must actually cover the annotated roots — if an
+/// annotation is dropped or the resolver regresses, these counts collapse.
+#[test]
+fn callgraph_covers_the_annotated_roots() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = Baseline::load(&root.join("lint.toml")).unwrap();
+    let report = run_lint(&root, &baseline).unwrap();
+    let stats = report.callgraph.expect("stats always computed");
+    let entry_names = stats.entry_roots.join("\n");
+    assert!(entry_names.contains("worker_loop"), "{entry_names}");
+    assert!(entry_names.contains("disambiguate_features"), "{entry_names}");
+    let hot_names = stats.hot_roots.join("\n");
+    assert!(hot_names.contains("simscores_batch"), "{hot_names}");
+    assert!(hot_names.contains("phrase_score_run"), "{hot_names}");
+    assert!(hot_names.contains("shortest_cover_into"), "{hot_names}");
+    assert!(stats.entry_reachable > 50, "entry reachability collapsed: {stats:?}");
+    assert!(stats.hot_reachable > 10, "hot reachability collapsed: {stats:?}");
+    assert!(stats.resolved > 1000, "resolver regressed: {stats:?}");
+}

@@ -45,6 +45,19 @@ use crate::traits::Relatedness;
 
 const SHARDS: usize = 16;
 
+/// What a write-path lookup decided under the shard's write lock. The
+/// decision is made while the lock is held (so accounting stays exact) but
+/// the counter increments happen after the guard drops — the critical
+/// section covers only the map, never the metrics registry.
+enum WriteOutcome {
+    /// A racing worker inserted first; counts as a hit.
+    RacedHit,
+    /// The shard is at its entry cap; value returned uncached.
+    Full,
+    /// This lookup won the insert; counts as a miss + insert.
+    Inserted,
+}
+
 /// A relatedness measure with an internal pair cache.
 // Manual Debug: `M` need not be Debug, and dumping the shard maps would be
 // both huge and lock-acquiring.
@@ -196,8 +209,16 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
         // Symmetric measures share one entry per unordered pair.
         let key = if a <= b { (a, b) } else { (b, a) };
         let shard_idx = Self::shard_of(key);
-        let shard = &self.shards[shard_idx];
-        if let Some(&v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        let Some(shard) = self.shards.get(shard_idx) else {
+            // `shard_of` reduces mod SHARDS, so this arm is unreachable;
+            // degrade to the uncached measure rather than panicking.
+            return self.inner.relatedness(a, b);
+        };
+        // Copy the cached value out so the read guard (a temporary) drops
+        // before the counter increment — no lock held across the registry.
+        let cached =
+            shard.read().unwrap_or_else(|e| e.into_inner()).get(&key).copied();
+        if let Some(v) = cached {
             self.hits.inc();
             return v;
         }
@@ -206,28 +227,31 @@ impl<M: Relatedness> Relatedness for CachedRelatedness<M> {
         // duplicate computation is discarded (pure measures, same value).
         let v = self.inner.relatedness(a, b);
         let cap = self.shard_caps.get(shard_idx).copied().unwrap_or(usize::MAX);
-        let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
-        let occupied = guard.len();
-        match guard.entry(key) {
-            Entry::Occupied(slot) => {
-                self.hits.inc();
-                *slot.get()
+        let (v, outcome) = {
+            let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
+            let occupied = guard.len();
+            match guard.entry(key) {
+                Entry::Occupied(slot) => (*slot.get(), WriteOutcome::RacedHit),
+                // The cap is enforced under the write lock, so the entry
+                // count never exceeds it; a rejected insert is neither a
+                // hit nor a miss (misses == inserts stays exact) but is
+                // counted under `relatedness_cache_full`.
+                Entry::Vacant(_) if occupied >= cap => (v, WriteOutcome::Full),
+                Entry::Vacant(slot) => {
+                    slot.insert(v);
+                    (v, WriteOutcome::Inserted)
+                }
             }
-            // The cap is enforced under the write lock, so the entry count
-            // never exceeds it; a rejected insert is neither a hit nor a
-            // miss (misses == inserts stays exact) but is counted under
-            // `relatedness_cache_full`.
-            Entry::Vacant(_) if occupied >= cap => {
-                self.full.inc();
-                v
-            }
-            Entry::Vacant(slot) => {
+        };
+        match outcome {
+            WriteOutcome::RacedHit => self.hits.inc(),
+            WriteOutcome::Full => self.full.inc(),
+            WriteOutcome::Inserted => {
                 self.misses.inc();
                 self.inserts.inc();
-                slot.insert(v);
-                v
             }
         }
+        v
     }
 }
 

@@ -440,6 +440,7 @@ impl Drop for Service {
     }
 }
 
+// ned-lint: entry
 fn worker_loop<H: AnnotateHandler>(context: WorkerContext<H>) {
     loop {
         // Hold the receiver lock only for the dequeue itself so other
