@@ -14,12 +14,16 @@
 //!   annotate --deadline-ms 5 "…"  # per-request deadline (tight deadlines
 //!                                 # degrade joint → no-coherence → prior)
 //!   annotate --threads 4 "text"   # service worker threads
+//!   annotate --wal live.wal "…"   # replay an incremental-KB WAL over the
+//!                                 # frozen base and annotate against the
+//!                                 # resulting delta overlay (promoted
+//!                                 # emerging entities become linkable)
 
 use std::sync::Arc;
 
 use ned_aida::classification::TypeClassifier;
 use ned_aida::{AidaConfig, JointConfig};
-use ned_kb::FrozenKb;
+use ned_kb::{DeltaKb, FrozenKb, KbEpoch, KbView, Wal};
 use ned_obs::Metrics;
 use ned_relatedness::{CachedRelatedness, MilneWitten};
 use ned_serve::{AidaHandler, ServeRequest, Service, ServiceConfig};
@@ -43,12 +47,24 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<u64> {
     Some(value)
 }
 
+/// Removes `--flag <value>` from `args` and returns the raw value.
+fn take_string_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let Some(value) = args.get(pos + 1).cloned() else {
+        eprintln!("{flag} expects a path");
+        std::process::exit(2);
+    };
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
 // ned-lint: entry
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = take_value_flag(&mut args, "--seed").unwrap_or(2024);
     let deadline_ms = take_value_flag(&mut args, "--deadline-ms");
     let threads = take_value_flag(&mut args, "--threads").unwrap_or(2).max(1) as usize;
+    let wal_path = take_string_flag(&mut args, "--wal");
     let show_metrics = if let Some(pos) = args.iter().position(|a| a == "--metrics") {
         args.remove(pos);
         true
@@ -58,8 +74,40 @@ fn main() {
 
     let world = World::generate(WorldConfig::tiny(seed));
     let exported = ExportedKb::build(&world);
-    // The service configuration: one frozen KB behind a shared Arc handle.
-    let kb = Arc::new(FrozenKb::freeze(&exported.kb));
+    // The service configuration: one frozen KB behind a shared Arc handle,
+    // optionally with a WAL-replayed delta overlay on top.
+    let frozen = Arc::new(FrozenKb::freeze(&exported.kb));
+    let kb = match &wal_path {
+        Some(path) => {
+            let (_, replay) = Wal::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open WAL {path}: {e}");
+                std::process::exit(2);
+            });
+            if replay.recovered_torn_tail() {
+                eprintln!(
+                    "WAL {path}: recovered from a torn tail ({} bytes discarded)",
+                    replay.torn_tail_bytes
+                );
+            }
+            eprintln!(
+                "WAL {path}: replayed {} mutations ({} duplicates skipped)",
+                replay.mutations.len(),
+                replay.duplicates_skipped
+            );
+            if replay.mutations.is_empty() {
+                Arc::new(KbEpoch::Frozen(frozen.clone()))
+            } else {
+                let delta = DeltaKb::build(frozen.clone(), replay.mutations)
+                    .unwrap_or_else(|e| {
+                        eprintln!("WAL {path} does not apply to this world: {e}");
+                        std::process::exit(2);
+                    });
+                eprintln!("delta overlay: +{} entities", delta.delta_entity_count());
+                Arc::new(KbEpoch::Delta(Arc::new(delta)))
+            }
+        }
+        None => Arc::new(KbEpoch::Frozen(frozen.clone())),
+    };
     eprintln!(
         "world: {} entities, {} names, {} keyphrases",
         kb.entity_count(),

@@ -27,6 +27,7 @@ pub fn alloc_events() -> u64 {
 
 pub mod ablations;
 pub mod bench_serving;
+pub mod bench_streaming;
 pub mod bench_throughput;
 pub mod fig4_3;
 pub mod fig5_4;
@@ -57,4 +58,5 @@ pub const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("ablations", ablations::run),
     ("bench_throughput", bench_throughput::run),
     ("bench_serving", bench_serving::run),
+    ("bench_streaming", bench_streaming::run),
 ];

@@ -121,6 +121,86 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Structured decode failures of a knowledge-base write-ahead log.
+///
+/// The WAL shares the snapshot's framing discipline (length-prefixed frames
+/// with FNV-1a checksums), so it shares the same taxonomy: "wrong file",
+/// "torn write", and "flipped bit" are distinct operator-facing conditions.
+/// A torn *tail* is not an error — replay recovers the valid prefix — so
+/// the variants here cover only the faults no recovery can repair.
+#[derive(Debug)]
+pub enum WalError {
+    /// The stream does not start with the WAL magic bytes.
+    BadMagic,
+    /// The header's format version is not supported by this binary.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Version this binary reads and writes.
+        supported: u16,
+    },
+    /// A record body does not match its frame checksum (bit rot or a torn
+    /// write *inside* the file rather than at its tail).
+    ChecksumMismatch {
+        /// Byte offset of the corrupt frame's prelude.
+        offset: u64,
+        /// Checksum recorded in the frame prelude.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// A record passed its checksum but failed to decode (version-skewed
+    /// writer or a bug; with a valid checksum this should be unreachable).
+    Codec {
+        /// Byte offset of the undecodable frame's prelude.
+        offset: u64,
+        /// The decoder's failure message.
+        message: String,
+    },
+    /// Replay observed a sequence number from the future: records were
+    /// lost in the middle of the log, not at its tail.
+    SequenceGap {
+        /// The sequence number replay expected next.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+    /// A frame carried a record tag this binary does not know.
+    UnknownFrameTag {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::BadMagic => write!(f, "not a knowledge-base WAL (bad magic)"),
+            WalError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported WAL format version {found} (this binary supports {supported})"
+            ),
+            WalError::ChecksumMismatch { offset, expected, actual } => write!(
+                f,
+                "WAL record at byte {offset} checksum mismatch: frame {expected:#018x}, \
+                 body {actual:#018x}"
+            ),
+            WalError::Codec { offset, message } => {
+                write!(f, "WAL record at byte {offset} failed to decode: {message}")
+            }
+            WalError::SequenceGap { expected, found } => write!(
+                f,
+                "WAL sequence gap: expected record {expected}, found {found}"
+            ),
+            WalError::UnknownFrameTag { tag } => {
+                write!(f, "unknown WAL frame tag {tag:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
 /// The workspace-wide error type.
 ///
 /// Manual `Display`/`Error` impls (thiserror-style, but hand-rolled: the
@@ -136,6 +216,8 @@ pub enum NedError {
     },
     /// A snapshot could not be read.
     Snapshot(SnapshotError),
+    /// A write-ahead log could not be replayed.
+    Wal(WalError),
     /// A configuration violated its invariants.
     Config {
         /// Which configuration was invalid.
@@ -181,6 +263,7 @@ impl fmt::Display for NedError {
         match self {
             NedError::Io { context, source } => write!(f, "{context}: {source}"),
             NedError::Snapshot(e) => write!(f, "{e}"),
+            NedError::Wal(e) => write!(f, "{e}"),
             NedError::Config { what, message } => write!(f, "invalid {what}: {message}"),
             NedError::Lookup { what, key } => write!(f, "unknown {what}: {key:?}"),
             NedError::BudgetExhausted { spent, budget } => {
@@ -202,6 +285,7 @@ impl std::error::Error for NedError {
         match self {
             NedError::Io { source, .. } => Some(source),
             NedError::Snapshot(e) => Some(e),
+            NedError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -210,6 +294,12 @@ impl std::error::Error for NedError {
 impl From<SnapshotError> for NedError {
     fn from(e: SnapshotError) -> Self {
         NedError::Snapshot(e)
+    }
+}
+
+impl From<WalError> for NedError {
+    fn from(e: WalError) -> Self {
+        NedError::Wal(e)
     }
 }
 
@@ -305,7 +395,28 @@ mod tests {
         assert!(e.source().is_some());
         let e = NedError::Snapshot(SnapshotError::BadMagic);
         assert!(e.source().is_some());
+        let e = NedError::Wal(WalError::BadMagic);
+        assert!(e.source().is_some());
         assert!(NedError::Poisoned { what: "cache shard" }.source().is_none());
+    }
+
+    #[test]
+    fn wal_errors_display_their_anatomy() {
+        let e = NedError::from(WalError::UnsupportedVersion { found: 9, supported: 1 });
+        assert!(e.to_string().contains("version 9"));
+        let e = WalError::ChecksumMismatch { offset: 17, expected: 1, actual: 2 };
+        assert!(e.to_string().contains("byte 17"));
+        let e = WalError::SequenceGap { expected: 4, found: 7 };
+        assert!(e.to_string().contains("expected record 4"));
+        assert!(e.to_string().contains("found 7"));
+        let e = WalError::Codec { offset: 25, message: "bad variant".into() };
+        assert!(e.to_string().contains("bad variant"));
+        let e = WalError::UnknownFrameTag { tag: 0x7f };
+        assert!(e.to_string().contains("0x7f"));
+        assert!(!WalError::BadMagic.to_string().is_empty());
+        // WAL faults are never degradable: no feature fallback fixes a
+        // corrupt log.
+        assert!(!NedError::Wal(WalError::BadMagic).is_degradable());
     }
 
     #[test]

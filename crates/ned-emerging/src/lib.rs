@@ -22,15 +22,20 @@
 //!   the score-thresholding baselines it is compared against.
 //! - [`enrich`]: KB maintenance — harvesting additional keyphrases for
 //!   existing entities from high-confidence disambiguations (§5.5.1).
+//! - [`policy`]: the incremental promotion policy — support + confidence
+//!   thresholds that turn accumulated EE evidence into WAL-ready
+//!   [`ned_kb::KbMutation`] sequences (§5.6, incremental variant).
 
 pub mod confidence;
 pub mod discover;
 pub mod ee_model;
 pub mod enrich;
 pub mod harvest;
+pub mod policy;
 pub mod promote;
 
 pub use confidence::{ConfAssessor, ConfidenceMethod};
 pub use discover::{EeConfig, EeDiscovery, ThresholdEe};
 pub use ee_model::{EeModel, NameModels};
+pub use policy::{Promotion, PromotionPolicy, PromotionTracker};
 pub use promote::promote_entity;

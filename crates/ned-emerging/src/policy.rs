@@ -1,0 +1,307 @@
+//! Promotion policy: when does a discovered emerging entity enter the KB?
+//!
+//! Discovery ([`crate::discover`]) labels mentions as out-of-KB, but §5.6
+//! wants more than labels: once an emerging entity has been seen often
+//! enough, with enough confidence, it "should be promoted … to a
+//! canonicalized entity". [`promote_entity`](crate::promote::promote_entity)
+//! does that by rebuilding the whole KB; this module is the *incremental*
+//! counterpart — it emits the equivalent [`KbMutation`] sequence so the
+//! entity can be appended to the WAL and served through a
+//! [`ned_kb::DeltaKb`] overlay without a rebuild.
+//!
+//! The policy is deliberately simple and deterministic:
+//!
+//! - **support**: a surface must accumulate at least `min_support`
+//!   EE-labeled mentions, and
+//! - **confidence**: the mean discovery confidence of those mentions must
+//!   reach `min_confidence`,
+//! - and the global name model for the surface must be non-empty (there is
+//!   distinctive keyphrase evidence to represent the entity with).
+//!
+//! The emitted mutations mirror the count arithmetic of
+//! [`promote_entity`](crate::promote::promote_entity) exactly — anchor
+//! count `support.max(1)`, keyphrase counts `(weight · 5).ceil().max(1)` —
+//! so a WAL-promoted entity and a rebuild-promoted entity are
+//! indistinguishable to the disambiguator.
+
+use std::collections::BTreeMap;
+
+use ned_kb::{EntityKind, KbMutation, KbView};
+use ned_obs::{names, Metrics};
+
+use crate::ee_model::NameModels;
+
+/// Thresholds deciding when an emerging surface becomes a KB entity.
+#[derive(Debug, Clone)]
+pub struct PromotionPolicy {
+    /// Minimum number of EE-labeled mentions of the surface.
+    pub min_support: u64,
+    /// Minimum mean discovery confidence over those mentions.
+    pub min_confidence: f64,
+    /// Kind assigned to promoted entities (there is no type evidence in
+    /// the stream, so one coarse class for all promotions).
+    pub kind: EntityKind,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> Self {
+        PromotionPolicy { min_support: 3, min_confidence: 0.5, kind: EntityKind::Other }
+    }
+}
+
+/// One promotion decision: the mutation sequence that canonicalizes an
+/// emerging surface.
+#[derive(Debug, Clone)]
+pub struct Promotion {
+    /// Canonical name of the new entity (`"<surface> (emerging)"`).
+    pub canonical_name: String,
+    /// The ambiguous surface the entity was discovered under.
+    pub surface: String,
+    /// EE-labeled mentions accumulated when the promotion fired.
+    pub support: u64,
+    /// Mean discovery confidence of those mentions.
+    pub mean_confidence: f64,
+    /// The WAL-ready mutation sequence.
+    pub mutations: Vec<KbMutation>,
+}
+
+/// Per-surface evidence accumulated by a [`PromotionTracker`].
+#[derive(Debug, Clone, Copy, Default)]
+struct SurfaceStats {
+    mentions: u64,
+    confidence_sum: f64,
+}
+
+/// Accumulates EE-labeled mention evidence across a document stream and
+/// turns it into [`Promotion`]s once the policy thresholds are met.
+///
+/// Deterministic: surfaces are tracked in a `BTreeMap`, so promotions come
+/// out in lexicographic surface order regardless of observation order
+/// interleaving.
+#[derive(Debug, Default)]
+pub struct PromotionTracker {
+    stats: BTreeMap<String, SurfaceStats>,
+    /// Surfaces already promoted (never re-promoted by this tracker).
+    promoted: BTreeMap<String, String>,
+}
+
+impl PromotionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one EE-labeled mention of `surface` with its discovery
+    /// confidence (`1 − conf(best in-KB candidate)` or the assessor value
+    /// the caller uses for the EE decision).
+    pub fn observe_ee(&mut self, surface: &str, confidence: f64) {
+        let s = self.stats.entry(surface.to_string()).or_default();
+        s.mentions += 1;
+        s.confidence_sum += confidence;
+    }
+
+    /// EE-labeled mentions recorded so far for `surface`.
+    pub fn support(&self, surface: &str) -> u64 {
+        self.stats.get(surface).map_or(0, |s| s.mentions)
+    }
+
+    /// The canonical name `surface` was promoted under, if it has been.
+    pub fn promoted_as(&self, surface: &str) -> Option<&str> {
+        self.promoted.get(surface).map(String::as_str)
+    }
+
+    /// Number of surfaces promoted so far.
+    pub fn promoted_count(&self) -> usize {
+        self.promoted.len()
+    }
+
+    /// Drains every surface that currently satisfies `policy` into a
+    /// [`Promotion`], in lexicographic surface order.
+    ///
+    /// A surface only qualifies when the global name model has distinctive
+    /// phrases for it and the derived canonical name is still free in
+    /// `kb`. Promoted surfaces stop accumulating (their evidence is
+    /// consumed); unqualified surfaces keep their evidence for later
+    /// rounds. Bumps the `ee_promoted` counter once per promotion.
+    pub fn drain_promotions<K: KbView + ?Sized>(
+        &mut self,
+        policy: &PromotionPolicy,
+        models: &NameModels,
+        kb: &K,
+        metrics: &Metrics,
+    ) -> Vec<Promotion> {
+        let mut out = Vec::new();
+        let surfaces: Vec<String> = self
+            .stats
+            .iter()
+            .filter(|(_, s)| s.mentions >= policy.min_support)
+            .map(|(surface, _)| surface.clone())
+            .collect();
+        for surface in surfaces {
+            let Some(stats) = self.stats.get(&surface).copied() else { continue };
+            let mean_confidence = stats.confidence_sum / stats.mentions as f64;
+            if mean_confidence < policy.min_confidence {
+                continue;
+            }
+            let Some(model) = models.get(&surface) else { continue };
+            if model.is_empty() {
+                continue;
+            }
+            let canonical_name = format!("{surface} (emerging)");
+            if kb.entity_by_name(&canonical_name).is_some() {
+                // Already in the KB (e.g. promoted by an earlier overlay the
+                // caller now serves): consume the evidence, emit nothing.
+                self.stats.remove(&surface);
+                self.promoted.insert(surface, canonical_name);
+                continue;
+            }
+            let mut mutations = Vec::with_capacity(2 + model.phrases.len());
+            mutations.push(KbMutation::AddEntity {
+                canonical_name: canonical_name.clone(),
+                kind: policy.kind,
+            });
+            // Same arithmetic as promote_entity: the accumulated support is
+            // the initial anchor count of the ambiguous name.
+            mutations.push(KbMutation::AddDictionarySurface {
+                entity: canonical_name.clone(),
+                surface: surface.clone(),
+                count: stats.mentions.max(1),
+            });
+            for phrase in &model.phrases {
+                // Scale the [0,1] salience back into a small integer count.
+                let count = (phrase.weight * 5.0).ceil() as u64;
+                mutations.push(KbMutation::AddKeyphrase {
+                    entity: canonical_name.clone(),
+                    surface: phrase.surface.clone(),
+                    count: count.max(1),
+                });
+            }
+            metrics.counter(names::EE_PROMOTED).inc();
+            self.stats.remove(&surface);
+            self.promoted.insert(surface.clone(), canonical_name.clone());
+            out.push(Promotion {
+                canonical_name,
+                surface,
+                support: stats.mentions,
+                mean_confidence,
+                mutations,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ee_model::{EeModel, EePhrase};
+    use ned_kb::{KbBuilder, KnowledgeBase};
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let band = b.add_entity("Prism (band)", EntityKind::Organization);
+        b.add_name(band, "Prism", 10);
+        b.add_keyphrase(band, "progressive rock band", 5);
+        b.add_keyphrase(band, "secret surveillance program", 1);
+        b.build()
+    }
+
+    fn models(kb: &KnowledgeBase) -> NameModels {
+        let words = |s: &str| {
+            let mut w: Vec<_> = s.split_whitespace().filter_map(|x| kb.word_id(x)).collect();
+            w.sort_unstable();
+            w.dedup();
+            w
+        };
+        let mut m = NameModels::default();
+        m.insert(EeModel {
+            name: "Prism".into(),
+            phrases: vec![EePhrase {
+                surface: "secret surveillance program".into(),
+                words: words("secret surveillance program"),
+                weight: 0.9,
+            }],
+            occurrences: 7,
+        });
+        m
+    }
+
+    #[test]
+    fn promotion_fires_after_support_and_confidence() {
+        let kb = kb();
+        let models = models(&kb);
+        let policy = PromotionPolicy::default();
+        let metrics = Metrics::new();
+        let mut tracker = PromotionTracker::new();
+        tracker.observe_ee("Prism", 0.8);
+        tracker.observe_ee("Prism", 0.7);
+        // Below min_support: nothing yet.
+        assert!(tracker.drain_promotions(&policy, &models, &kb, &metrics).is_empty());
+        tracker.observe_ee("Prism", 0.9);
+        let promos = tracker.drain_promotions(&policy, &models, &kb, &metrics);
+        assert_eq!(promos.len(), 1);
+        let p = &promos[0];
+        assert_eq!(p.canonical_name, "Prism (emerging)");
+        assert_eq!(p.support, 3);
+        assert!(p.mean_confidence > 0.75);
+        assert_eq!(p.mutations.len(), 3);
+        assert!(matches!(
+            &p.mutations[1],
+            KbMutation::AddDictionarySurface { count: 3, .. }
+        ));
+        // (0.9 * 5).ceil() = 5.
+        assert!(matches!(&p.mutations[2], KbMutation::AddKeyphrase { count: 5, .. }));
+        assert_eq!(metrics.counter_value(names::EE_PROMOTED), 1);
+        // Evidence is consumed: no double promotion.
+        assert!(tracker.drain_promotions(&policy, &models, &kb, &metrics).is_empty());
+        assert_eq!(tracker.promoted_as("Prism"), Some("Prism (emerging)"));
+    }
+
+    #[test]
+    fn low_confidence_surfaces_keep_their_evidence() {
+        let kb = kb();
+        let models = models(&kb);
+        let policy = PromotionPolicy { min_confidence: 0.9, ..Default::default() };
+        let metrics = Metrics::disabled();
+        let mut tracker = PromotionTracker::new();
+        for _ in 0..5 {
+            tracker.observe_ee("Prism", 0.5);
+        }
+        assert!(tracker.drain_promotions(&policy, &models, &kb, &metrics).is_empty());
+        assert_eq!(tracker.support("Prism"), 5);
+    }
+
+    #[test]
+    fn surfaces_without_model_evidence_never_promote() {
+        let kb = kb();
+        let models = NameModels::default();
+        let policy = PromotionPolicy::default();
+        let metrics = Metrics::disabled();
+        let mut tracker = PromotionTracker::new();
+        for _ in 0..10 {
+            tracker.observe_ee("Unmodeled", 1.0);
+        }
+        assert!(tracker.drain_promotions(&policy, &models, &kb, &metrics).is_empty());
+    }
+
+    #[test]
+    fn mutations_apply_cleanly_to_a_frozen_base() {
+        use std::sync::Arc;
+        let kb = kb();
+        let models = models(&kb);
+        let metrics = Metrics::disabled();
+        let mut tracker = PromotionTracker::new();
+        for _ in 0..4 {
+            tracker.observe_ee("Prism", 0.8);
+        }
+        let promos =
+            tracker.drain_promotions(&PromotionPolicy::default(), &models, &kb, &metrics);
+        let base = Arc::new(ned_kb::FrozenKb::freeze(&kb));
+        let muts: Vec<KbMutation> =
+            promos.into_iter().flat_map(|p| p.mutations).collect();
+        let delta = ned_kb::DeltaKb::build(base, muts).unwrap();
+        let id = delta.entity_by_name("Prism (emerging)").unwrap();
+        assert!(delta.candidates("Prism").iter().any(|c| c.entity == id));
+        assert!(!delta.keyphrases(id).is_empty());
+    }
+}

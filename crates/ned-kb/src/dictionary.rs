@@ -104,6 +104,20 @@ impl Dictionary {
         })
     }
 
+    /// Inserts a full candidate row under an **already-normalized** key
+    /// (the thaw path of [`crate::delta`]): frozen dictionary keys went
+    /// through `match_key` once at build time and must not be re-normalized.
+    pub(crate) fn insert_row(&mut self, key: String, cands: Vec<Candidate>) {
+        self.pair_count += cands.len();
+        self.entries.insert(key, cands);
+    }
+
+    /// Looks up a row by its **already-normalized** key, without
+    /// re-applying the match-key rules (overlay reads in [`crate::delta`]).
+    pub(crate) fn row(&self, key: &str) -> Option<&[Candidate]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
     /// Sorts every candidate list by descending count (stable order for
     /// deterministic iteration). Called once at build time.
     pub(crate) fn finalize(&mut self) {

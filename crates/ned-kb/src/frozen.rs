@@ -122,6 +122,12 @@ impl FrozenDictionary {
         self.find(&key).map_or(&[], |i| self.candidates_at(i))
     }
 
+    /// Candidate list for an **already-normalized** match key, skipping the
+    /// case rules (overlay fall-through in [`crate::delta`]).
+    pub(crate) fn candidates_by_key(&self, key: &str) -> &[Candidate] {
+        self.find(key).map_or(&[], |i| self.candidates_at(i))
+    }
+
     /// Popularity prior p(e | name) (§3.3.3) — identical arithmetic to the
     /// legacy dictionary (sum `u64` anchor counts, then one division).
     pub fn prior(&self, surface: &str, entity: EntityId) -> f64 {

@@ -43,7 +43,9 @@ impl Hasher for FxHasher {
         let rem = chunks.remainder();
         if !rem.is_empty() {
             let mut buf = [0u8; 8];
-            buf[..rem.len()].copy_from_slice(rem);
+            for (dst, src) in buf.iter_mut().zip(rem) {
+                *dst = *src;
+            }
             self.add_to_hash(u64::from_le_bytes(buf) | (rem.len() as u64) << 56);
         }
     }

@@ -52,9 +52,17 @@ impl KeyphraseStore {
         self.total_phrase_observations += count;
     }
 
+    /// The keyphrase set KP(e) if `entity` is in range, sorted by phrase
+    /// id after [`Self::finalize`].
+    pub fn try_phrases(&self, entity: EntityId) -> Option<&[EntityPhrase]> {
+        self.per_entity.get(entity.index()).map(Vec::as_slice)
+    }
+
     /// The keyphrase set KP(e), sorted by phrase id after [`Self::finalize`].
+    /// An out-of-range entity reads as an empty set (the read path never
+    /// panics; ids are validated where they are minted).
     pub fn phrases(&self, entity: EntityId) -> &[EntityPhrase] {
-        &self.per_entity[entity.index()]
+        self.try_phrases(entity).unwrap_or(&[])
     }
 
     /// Number of distinct keyphrases of `entity`.
@@ -78,6 +86,43 @@ impl KeyphraseStore {
         for list in &mut self.per_entity {
             list.sort_unstable_by_key(|p| p.phrase);
         }
+    }
+
+    /// Reconstructs a store from per-entity rows in entity-id order (the
+    /// thaw path of [`crate::delta`]).
+    pub(crate) fn from_rows(per_entity: Vec<Vec<EntityPhrase>>, total: u64) -> Self {
+        KeyphraseStore { per_entity, total_phrase_observations: total }
+    }
+
+    /// Extends the store to cover `n` entities (newly promoted entities
+    /// start with no keyphrases).
+    pub(crate) fn grow_to(&mut self, n: usize) {
+        if n > self.per_entity.len() {
+            self.per_entity.resize(n, Vec::new());
+        }
+    }
+
+    /// Adjusts the count of an existing (entity, phrase) pair by `delta`,
+    /// saturating at zero, keeping the store total consistent. Returns the
+    /// new count, or `None` if the pair is absent.
+    pub(crate) fn reweight(
+        &mut self,
+        entity: EntityId,
+        phrase: PhraseId,
+        delta: i64,
+    ) -> Option<u64> {
+        let row = self.per_entity.get_mut(entity.index())?;
+        let slot = row.iter_mut().find(|p| p.phrase == phrase)?;
+        let old = slot.count;
+        let new = if delta >= 0 {
+            old.saturating_add(delta as u64)
+        } else {
+            old.saturating_sub(delta.unsigned_abs())
+        };
+        slot.count = new;
+        self.total_phrase_observations =
+            self.total_phrase_observations - old + new;
+        Some(new)
     }
 }
 

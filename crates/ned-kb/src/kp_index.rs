@@ -50,7 +50,11 @@ impl KeyphraseIndex {
             let e = EntityId::from_index(ei);
             for ep in phrases_of(e) {
                 for &w in words_of(ep.phrase) {
-                    postings[w.index()].push((e, ep.phrase));
+                    // Word ids are interner-minted, so always < word_count;
+                    // `get_mut` keeps the read-path build panic-free anyway.
+                    if let Some(list) = postings.get_mut(w.index()) {
+                        list.push((e, ep.phrase));
+                    }
                 }
             }
         }
@@ -82,8 +86,9 @@ impl KeyphraseIndex {
     pub fn entity_postings(&self, e: EntityId, word: WordId) -> &[(EntityId, PhraseId)] {
         let list = self.postings(word);
         let lo = list.partition_point(|&(pe, _)| pe < e);
-        let hi = list[lo..].partition_point(|&(pe, _)| pe == e) + lo;
-        &list[lo..hi]
+        let tail = list.get(lo..).unwrap_or(&[]);
+        let hi = lo + tail.partition_point(|&(pe, _)| pe == e);
+        list.get(lo..hi).unwrap_or(&[])
     }
 
     /// The phrases of entity `e` sharing at least one word with

@@ -19,14 +19,17 @@
 //! The central type is [`KnowledgeBase`], constructed via [`KbBuilder`].
 
 pub mod builder;
+pub mod delta;
 pub mod dictionary;
 pub mod entity;
 pub mod frozen;
 pub mod fx;
+pub mod handle;
 pub mod ids;
 pub mod keyphrase;
 pub mod kp_index;
 pub mod links;
+pub mod mutation;
 pub mod phrase_runs;
 pub mod snapshot;
 pub mod stats;
@@ -34,15 +37,20 @@ pub mod store;
 pub mod taxonomy;
 pub mod view;
 pub mod vocab;
+pub mod wal;
 pub mod weights;
 
 pub use builder::KbBuilder;
+pub use delta::DeltaKb;
 pub use entity::{Entity, EntityKind};
 pub use frozen::{FrozenDictionary, FrozenKb, FrozenKbStats, FrozenLinks};
+pub use handle::{KbEpoch, KbHandle, KbReader};
 pub use ids::{EntityId, NameId, PhraseId, WordId};
 pub use kp_index::KeyphraseIndex;
+pub use mutation::KbMutation;
 pub use phrase_runs::PhraseRuns;
 pub use store::KnowledgeBase;
 pub use taxonomy::{Taxonomy, TypeId};
 pub use view::{DictView, EntityIds, KbView, LinksView};
+pub use wal::{Wal, WalReplay};
 pub use weights::WeightModel;

@@ -87,6 +87,25 @@ impl LinkGraph {
             list.sort_unstable();
         }
     }
+
+    /// Reconstructs a graph from adjacency rows in entity-id order (the
+    /// thaw path of [`crate::delta`]).
+    pub(crate) fn from_rows(
+        inlinks: Vec<Vec<EntityId>>,
+        outlinks: Vec<Vec<EntityId>>,
+        edge_count: usize,
+    ) -> Self {
+        LinkGraph { inlinks, outlinks, edge_count }
+    }
+
+    /// Extends the graph to cover `n` entities (newly promoted entities
+    /// start with no links).
+    pub(crate) fn grow_to(&mut self, n: usize) {
+        if n > self.inlinks.len() {
+            self.inlinks.resize(n, Vec::new());
+            self.outlinks.resize(n, Vec::new());
+        }
+    }
 }
 
 /// Size of the intersection of two ascending-sorted slices.

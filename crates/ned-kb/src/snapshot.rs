@@ -684,8 +684,9 @@ fn section_name(t: u8) -> Option<&'static str> {
 }
 
 /// FNV-1a over the snapshot body; not cryptographic, but any truncation or
-/// stray bit flip changes it with overwhelming probability.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// stray bit flip changes it with overwhelming probability. Shared with the
+/// WAL's per-record checksums ([`crate::wal`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -1010,8 +1011,9 @@ pub fn read_frozen_snapshot_observed<R: Read>(
 
 /// Fills `buf` as far as the stream allows; returns the bytes read. Unlike
 /// `read_exact`, a short stream is reported by count, not an error, so the
-/// caller can distinguish bad magic from truncation.
-fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+/// caller can distinguish bad magic from truncation. Shared with the WAL
+/// replayer ([`crate::wal`]), which needs the same distinction per frame.
+pub(crate) fn read_up_to<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) { // ned-lint: allow(p1) — fixed-size buffer, constant bounds

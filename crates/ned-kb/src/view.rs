@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use crate::delta::DeltaKb;
 use crate::dictionary::{Candidate, Dictionary};
 use crate::entity::Entity;
 use crate::frozen::{FrozenDictionary, FrozenKb, FrozenLinks};
@@ -300,6 +301,9 @@ pub enum LinksView<'a> {
     Graph(&'a LinkGraph),
     /// The frozen CSR graph.
     Frozen(&'a FrozenLinks),
+    /// The copy-on-write overlay (touched rows overlaid, rest falls
+    /// through to the frozen base).
+    Delta(&'a DeltaKb),
 }
 
 impl<'a> LinksView<'a> {
@@ -308,6 +312,7 @@ impl<'a> LinksView<'a> {
         match self {
             LinksView::Graph(g) => g.len(),
             LinksView::Frozen(f) => f.len(),
+            LinksView::Delta(d) => DeltaKb::entity_count(d),
         }
     }
 
@@ -321,6 +326,7 @@ impl<'a> LinksView<'a> {
         match self {
             LinksView::Graph(g) => g.edge_count(),
             LinksView::Frozen(f) => f.edge_count(),
+            LinksView::Delta(d) => DeltaKb::edge_count(d),
         }
     }
 
@@ -329,6 +335,7 @@ impl<'a> LinksView<'a> {
         match self {
             LinksView::Graph(g) => g.inlinks(e),
             LinksView::Frozen(f) => f.inlinks(e),
+            LinksView::Delta(d) => DeltaKb::inlinks(d, e),
         }
     }
 
@@ -337,6 +344,7 @@ impl<'a> LinksView<'a> {
         match self {
             LinksView::Graph(g) => g.outlinks(e),
             LinksView::Frozen(f) => f.outlinks(e),
+            LinksView::Delta(d) => DeltaKb::outlinks(d, e),
         }
     }
 
@@ -363,6 +371,9 @@ pub enum DictView<'a> {
     Legacy(&'a Dictionary),
     /// The frozen sorted-arena dictionary.
     Frozen(&'a FrozenDictionary),
+    /// The copy-on-write overlay (touched rows overlaid, rest falls
+    /// through to the frozen base).
+    Delta(&'a DeltaKb),
 }
 
 impl<'a> DictView<'a> {
@@ -372,6 +383,7 @@ impl<'a> DictView<'a> {
         match self {
             DictView::Legacy(d) => d.candidates(surface),
             DictView::Frozen(d) => d.candidates(surface),
+            DictView::Delta(d) => DeltaKb::candidates(d, surface),
         }
     }
 
@@ -381,6 +393,7 @@ impl<'a> DictView<'a> {
         match self {
             DictView::Legacy(d) => d.prior(surface, entity),
             DictView::Frozen(d) => d.prior(surface, entity),
+            DictView::Delta(d) => DeltaKb::prior(d, surface, entity),
         }
     }
 
@@ -390,6 +403,7 @@ impl<'a> DictView<'a> {
         match self {
             DictView::Legacy(d) => d.prior_distribution(surface),
             DictView::Frozen(d) => d.prior_distribution(surface),
+            DictView::Delta(d) => DeltaKb::prior_distribution(d, surface),
         }
     }
 
@@ -398,6 +412,7 @@ impl<'a> DictView<'a> {
         match self {
             DictView::Legacy(d) => d.name_count(),
             DictView::Frozen(d) => d.name_count(),
+            DictView::Delta(d) => DeltaKb::name_count(d),
         }
     }
 
@@ -406,16 +421,20 @@ impl<'a> DictView<'a> {
         match self {
             DictView::Legacy(d) => d.pair_count(),
             DictView::Frozen(d) => d.pair_count(),
+            DictView::Delta(d) => DeltaKb::pair_count(d),
         }
     }
 
     /// Iterates over all (name-key, candidates) entries in ascending key
     /// order. The frozen arm walks the pre-sorted arrays without allocating;
-    /// the legacy arm pays the per-call key sort of [`Dictionary::iter`].
+    /// the legacy arm pays the per-call key sort of [`Dictionary::iter`];
+    /// the delta arm merges the base walk with the sorted overlay keys
+    /// (overlay shadows the base on equal keys).
     pub fn iter(&self) -> DictIter<'a> {
         match self {
             DictView::Legacy(d) => DictIter::Legacy(Box::new(d.iter())),
             DictView::Frozen(d) => DictIter::Frozen { dict: d, next: 0 },
+            DictView::Delta(d) => DictIter::Delta { delta: d, base_next: 0, overlay_next: 0 },
         }
     }
 }
@@ -431,6 +450,16 @@ pub enum DictIter<'a> {
         /// Next entry index.
         next: usize,
     },
+    /// Linear merge of the frozen base walk with the sorted overlay keys;
+    /// the overlay row shadows the base row on equal keys.
+    Delta {
+        /// The overlay being walked.
+        delta: &'a DeltaKb,
+        /// Next base entry index.
+        base_next: usize,
+        /// Next overlay key index.
+        overlay_next: usize,
+    },
 }
 
 impl std::fmt::Debug for DictIter<'_> {
@@ -440,6 +469,11 @@ impl std::fmt::Debug for DictIter<'_> {
             DictIter::Frozen { next, .. } => {
                 f.debug_struct("Frozen").field("next", next).finish_non_exhaustive()
             }
+            DictIter::Delta { base_next, overlay_next, .. } => f
+                .debug_struct("Delta")
+                .field("base_next", base_next)
+                .field("overlay_next", overlay_next)
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -458,6 +492,88 @@ impl<'a> Iterator for DictIter<'a> {
                 *next += 1;
                 Some((dict.key_at(i), dict.candidates_at(i)))
             }
+            DictIter::Delta { delta, base_next, overlay_next } => {
+                let base = FrozenKb::dictionary(DeltaKb::base(delta));
+                let overlay = DeltaKb::dict_overlay_keys(delta);
+                let base_key =
+                    (*base_next < base.name_count()).then(|| base.key_at(*base_next));
+                let overlay_key = overlay.get(*overlay_next).map(String::as_str);
+                let take_overlay = match (base_key, overlay_key) {
+                    (None, None) => return None,
+                    (Some(_), None) => false,
+                    (None, Some(_)) => true,
+                    (Some(b), Some(o)) => {
+                        if b == o {
+                            // Overlay shadows the base row; skip the base's.
+                            *base_next += 1;
+                        }
+                        b >= o
+                    }
+                };
+                if take_overlay {
+                    let key = &overlay[*overlay_next]; // ned-lint: allow(p1) — index bounded by the Some() check above
+                    *overlay_next += 1;
+                    Some((key.as_str(), DeltaKb::dict_overlay_row(delta, key).unwrap_or(&[])))
+                } else {
+                    let i = *base_next;
+                    *base_next += 1;
+                    Some((base.key_at(i), base.candidates_at(i)))
+                }
+            }
         }
+    }
+}
+
+impl KbView for DeltaKb {
+    fn entity_count(&self) -> usize {
+        DeltaKb::entity_count(self)
+    }
+    fn entity(&self, e: EntityId) -> &Entity {
+        DeltaKb::entity(self, e)
+    }
+    fn entity_by_name(&self, canonical_name: &str) -> Option<EntityId> {
+        DeltaKb::entity_by_name(self, canonical_name)
+    }
+    fn candidates(&self, surface: &str) -> &[Candidate] {
+        DeltaKb::candidates(self, surface)
+    }
+    fn prior(&self, surface: &str, e: EntityId) -> f64 {
+        DeltaKb::prior(self, surface, e)
+    }
+    fn dictionary(&self) -> DictView<'_> {
+        DictView::Delta(self)
+    }
+    fn links(&self) -> LinksView<'_> {
+        LinksView::Delta(self)
+    }
+    fn keyphrases(&self, e: EntityId) -> &[EntityPhrase] {
+        DeltaKb::keyphrases(self, e)
+    }
+    fn keyphrase_index(&self) -> &KeyphraseIndex {
+        DeltaKb::keyphrase_index(self)
+    }
+    fn phrase_words(&self, p: PhraseId) -> &[WordId] {
+        DeltaKb::phrase_words(self, p)
+    }
+    fn phrase_surface(&self, p: PhraseId) -> &str {
+        DeltaKb::phrase_surface(self, p)
+    }
+    fn word_text(&self, w: WordId) -> &str {
+        DeltaKb::word_text(self, w)
+    }
+    fn word_id(&self, text: &str) -> Option<WordId> {
+        DeltaKb::word_id(self, text)
+    }
+    fn word_count(&self) -> usize {
+        DeltaKb::word_count(self)
+    }
+    fn phrase_count(&self) -> usize {
+        DeltaKb::phrase_count(self)
+    }
+    fn weights(&self) -> &WeightModel {
+        DeltaKb::weights(self)
+    }
+    fn phrase_runs(&self) -> &PhraseRuns {
+        DeltaKb::phrase_runs(self)
     }
 }

@@ -79,6 +79,14 @@ impl WordInterner {
             .map(|(i, w)| (w.clone(), WordId::from_index(i)))
             .collect();
     }
+
+    /// Reconstructs an interner from already-lowercased words in id order
+    /// (the thaw path of [`crate::delta`]): word `i` keeps id `i`.
+    pub(crate) fn from_words(words: Vec<String>) -> Self {
+        let mut interner = WordInterner { words, index: FxHashMap::default() };
+        interner.rebuild_index();
+        interner
+    }
 }
 
 /// Interner for keyphrases (word-id sequences).
@@ -171,6 +179,14 @@ impl PhraseInterner {
             .enumerate()
             .map(|(i, p)| (p.clone(), PhraseId::from_index(i)))
             .collect();
+    }
+
+    /// Reconstructs an interner from parallel phrase/surface rows in id
+    /// order (the thaw path of [`crate::delta`]): phrase `i` keeps id `i`.
+    pub(crate) fn from_parts(phrases: Vec<Vec<WordId>>, surfaces: Vec<String>) -> Self {
+        let mut interner = PhraseInterner { phrases, surfaces, index: FxHashMap::default() };
+        interner.rebuild_index();
+        interner
     }
 }
 

@@ -162,3 +162,18 @@ pub const STAGE_GRAPH_NS: &str = "stage_graph_ns";
 pub const STAGE_SOLVER_NS: &str = "stage_solver_ns";
 /// Span: one full snapshot read.
 pub const STAGE_SNAPSHOT_READ_NS: &str = "stage_snapshot_read_ns";
+
+// --- incremental KB (crate ned-kb / ned-emerging) ----------------------
+
+/// WAL mutation records observed: appended by writers plus replayed on
+/// open.
+pub const KB_WAL_RECORDS: &str = "kb_wal_records";
+/// WAL replay passes (one per `Wal::open`).
+pub const KB_WAL_REPLAYS: &str = "kb_wal_replays";
+/// Gauge: entities added by the current delta overlay on top of the
+/// frozen base.
+pub const KB_DELTA_ENTITIES: &str = "kb_delta_entities";
+/// Epoch swaps published to readers (`KbHandle::swap`).
+pub const KB_EPOCH_SWAPS: &str = "kb_epoch_swaps";
+/// Emerging entities promoted into the knowledge base.
+pub const EE_PROMOTED: &str = "ee_promoted";

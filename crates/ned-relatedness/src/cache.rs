@@ -35,6 +35,7 @@
 //! shared cache for the rest of the batch.
 
 use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use ned_kb::fx::FxHashMap;
@@ -69,6 +70,11 @@ pub struct CachedRelatedness<M> {
     /// shard rejects the insert and returns the computed value uncached —
     /// no eviction, so memoized values never change under a caller.
     shard_caps: Vec<usize>,
+    /// KB generation the cached pairs were computed against. An epoch swap
+    /// (entity promotion, compaction) changes what entity ids mean, so
+    /// [`CachedRelatedness::advance_generation`] drops every memoized pair
+    /// when the tag moves — stale scores must never survive a swap.
+    kb_generation: AtomicU64,
     hits: Counter,
     misses: Counter,
     inserts: Counter,
@@ -125,6 +131,7 @@ impl<M: Relatedness> CachedRelatedness<M> {
             inner,
             shards,
             shard_caps: shard_caps(max_entries),
+            kb_generation: AtomicU64::new(0),
             hits: metrics.counter(names::RELATEDNESS_CACHE_HITS),
             misses: metrics.counter(names::RELATEDNESS_CACHE_MISSES),
             inserts: metrics.counter(names::RELATEDNESS_CACHE_INSERTS),
@@ -156,6 +163,28 @@ impl<M: Relatedness> CachedRelatedness<M> {
         for shard in &self.shards {
             shard.write().unwrap_or_else(|e| e.into_inner()).clear();
         }
+    }
+
+    /// The KB generation the cached pairs were computed against.
+    pub fn generation(&self) -> u64 {
+        self.kb_generation.load(Ordering::Acquire)
+    }
+
+    /// Tags the cache with the KB generation it is serving (e.g. from
+    /// `ned_kb::KbHandle::generation`). When the tag moves, every memoized
+    /// pair is dropped: an epoch swap can add entities and reweight
+    /// keyphrases, so scores computed against the old KB are stale.
+    /// Returns true when the cache was invalidated.
+    ///
+    /// Callers sequence this *before* computing against the new KB (swap →
+    /// advance → score), so a racing worker can at worst re-insert a value
+    /// computed against the new epoch — never resurrect an old one.
+    pub fn advance_generation(&self, generation: u64) -> bool {
+        if self.kb_generation.swap(generation, Ordering::AcqRel) == generation {
+            return false;
+        }
+        self.clear();
+        true
     }
 
     /// Lookups served from the cache so far.
@@ -464,6 +493,87 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.rejected_full(), 2);
         assert_eq!(c.inner().calls.load(Ordering::Relaxed), 2, "nothing memoized");
+    }
+
+    #[test]
+    fn advance_generation_drops_entries_only_on_change() {
+        let c = CachedRelatedness::new(Counting { calls: AtomicUsize::new(0) });
+        assert_eq!(c.generation(), 0);
+        c.relatedness(EntityId(1), EntityId(2));
+        // Same generation: nothing dropped.
+        assert!(!c.advance_generation(0));
+        assert_eq!(c.len(), 1);
+        // New generation: cache invalidated, tag advanced.
+        assert!(c.advance_generation(3));
+        assert_eq!(c.generation(), 3);
+        assert!(c.is_empty());
+        c.relatedness(EntityId(1), EntityId(2));
+        assert_eq!(c.inner().calls.load(Ordering::Relaxed), 2, "recomputed");
+    }
+
+    #[test]
+    fn epoch_swap_yields_fresh_scores_for_promoted_entities() {
+        use crate::milne_witten::MilneWitten;
+        use ned_kb::{
+            DeltaKb, EntityKind, FrozenKb, KbBuilder, KbEpoch, KbHandle, KbMutation,
+        };
+        use std::sync::Arc;
+
+        // A measure that always reads the handle's *current* epoch, like a
+        // serving worker does between requests.
+        struct LiveMw {
+            handle: Arc<KbHandle>,
+        }
+        impl Relatedness for LiveMw {
+            fn name(&self) -> &'static str {
+                "live-mw"
+            }
+            fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+                let (_, epoch) = self.handle.current();
+                MilneWitten::new(epoch).relatedness(a, b)
+            }
+        }
+
+        // a and b share two in-linkers out of 5 entities.
+        let mut builder = KbBuilder::new();
+        let a = builder.add_entity("A", EntityKind::Other);
+        let b = builder.add_entity("B", EntityKind::Other);
+        let x = builder.add_entity("X", EntityKind::Other);
+        let y = builder.add_entity("Y", EntityKind::Other);
+        builder.add_entity("C", EntityKind::Other);
+        builder.add_link(x, a);
+        builder.add_link(x, b);
+        builder.add_link(y, a);
+        builder.add_link(y, b);
+        let base = Arc::new(FrozenKb::freeze(&builder.build()));
+
+        let handle = Arc::new(KbHandle::new(KbEpoch::Frozen(Arc::clone(&base))));
+        let cache = CachedRelatedness::new(LiveMw { handle: Arc::clone(&handle) });
+        cache.advance_generation(handle.generation());
+        let before = cache.relatedness(a, b);
+
+        // Promote an emerging entity that links to a but not b — the
+        // in-link sets stop coinciding (and N grows), so MW(a, b) drops
+        // below its maximal 1.0.
+        let delta = DeltaKb::build(
+            Arc::clone(&base),
+            vec![
+                KbMutation::AddEntity {
+                    canonical_name: "Prism (emerging)".into(),
+                    kind: EntityKind::Other,
+                },
+                KbMutation::AddLink { src: "Prism (emerging)".into(), dst: "A".into() },
+            ],
+        )
+        .unwrap();
+        let expected = MilneWitten::new(&delta).relatedness(a, b);
+        assert_ne!(expected.to_bits(), before.to_bits(), "promotion changes the score");
+
+        handle.swap(KbEpoch::Delta(Arc::new(delta)));
+        assert!(cache.advance_generation(handle.generation()), "swap invalidates");
+        // Without the generation tag this would return the stale `before`.
+        assert_eq!(cache.relatedness(a, b).to_bits(), expected.to_bits());
+        assert_eq!(cache.relatedness(b, a).to_bits(), expected.to_bits());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod obs;
 pub mod service;
 pub mod sim;
 
-pub use handler::{AidaHandler, AnnotateHandler, FnHandler, HandlerOutput};
+pub use handler::{AidaHandler, AnnotateHandler, EpochHandler, FnHandler, HandlerOutput};
 pub use ned_aida::{DeadlinePlan, DeadlinePolicy};
 pub use ned_core::{
     DegradationLevel, RequestId, ServeError, ServeRequest, ServeResponse, ShedReason,

@@ -12,6 +12,10 @@
 //! 3. **Corrupt snapshots** (truncation, bit flips, version skew): decode
 //!    returns a typed [`SnapshotError`], never panics, never returns
 //!    silently-wrong data (property-tested over arbitrary corruptions).
+//! 4. **Corrupt WALs** (torn tails, bit flips, duplicated appends): replay
+//!    recovers exactly the valid record prefix or fails with a typed
+//!    `WalError` — never a panic, never mutations the log did not carry
+//!    (property-tested over arbitrary mutation sequences and cut points).
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -31,6 +35,7 @@ use aida_ned::wikigen::config::WorldConfig;
 use aida_ned::wikigen::corpus::conll_like;
 use aida_ned::wikigen::{ExportedKb, World};
 use aida_ned::core::DegradationLevel;
+use aida_ned::kb::{KbMutation, Wal};
 use aida_ned::obs::{names, Metrics};
 use ned_bench::runner::{run_method_with_threads, run_per_doc, DocOutcome, DocStatus};
 use ned_eval::gold::GoldDoc;
@@ -464,5 +469,206 @@ proptest! {
         // Random data cannot carry a valid magic + checksum; decode must
         // reject it (and in particular must not panic).
         prop_assert!(read_snapshot(data.as_slice()).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL corruption (incremental KB, DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+use aida_ned::kb::wal::replay as wal_replay;
+
+/// Deterministically maps four seed bytes to a mutation, cycling through
+/// every `KbMutation` variant so the codec sees all frame shapes.
+fn synth_mutation(op: u8, a: u8, b: u8, count: u8) -> KbMutation {
+    let name = |i: u8| format!("Entity {i}");
+    let surface = |i: u8| format!("surface {i} of note");
+    match op % 5 {
+        0 => KbMutation::AddEntity { canonical_name: name(a), kind: EntityKind::Other },
+        1 => KbMutation::AddLink { src: name(a), dst: name(b) },
+        2 => KbMutation::AddKeyphrase {
+            entity: name(a),
+            surface: surface(b),
+            count: u64::from(count) + 1,
+        },
+        3 => KbMutation::ReweightKeyphrase {
+            entity: name(a),
+            surface: surface(b),
+            delta: i64::from(count) - 128,
+        },
+        _ => KbMutation::AddDictionarySurface {
+            entity: name(a),
+            surface: surface(b),
+            count: u64::from(count) + 1,
+        },
+    }
+}
+
+/// Writes `muts` through a real [`Wal`] and returns the on-disk bytes.
+/// Replay never checks applicability, so the mutations need not name
+/// entities of any particular KB.
+fn wal_bytes_for(muts: &[KbMutation], file_tag: &str) -> Vec<u8> {
+    let dir = std::env::temp_dir().join("ned-fault-injection-wal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(file_tag);
+    let _ = std::fs::remove_file(&path);
+    {
+        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.records, 0);
+        for m in muts {
+            wal.append(m).unwrap();
+        }
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// A fixed mutation sequence covering every variant, with its WAL bytes.
+fn wal_fixture() -> &'static (Vec<u8>, Vec<KbMutation>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<KbMutation>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let muts: Vec<KbMutation> =
+            (0..10u8).map(|i| synth_mutation(i, i % 4, (i + 1) % 4, i * 17)).collect();
+        let bytes = wal_bytes_for(&muts, "fixture.wal");
+        (bytes, muts)
+    })
+}
+
+/// Byte ranges of the individual record frames in a clean WAL stream.
+fn wal_frame_ranges(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    const HEADER_LEN: usize = 8;
+    const FRAME_PRELUDE_LEN: usize = 17;
+    let mut ranges = Vec::new();
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&bytes[pos + 1..pos + 9]);
+        let frame_len = FRAME_PRELUDE_LEN + u64::from_le_bytes(len_bytes) as usize;
+        ranges.push(pos..pos + frame_len);
+        pos += frame_len;
+    }
+    assert_eq!(pos, bytes.len(), "fixture stream must parse cleanly");
+    ranges
+}
+
+proptest! {
+    /// Truncating a valid WAL anywhere — mid-header, mid-prelude, mid-body,
+    /// or on a frame boundary — always recovers: replay returns exactly the
+    /// complete-record prefix and accounts for every byte it discarded.
+    #[test]
+    fn truncated_wal_recovers_exactly_the_complete_prefix(cut in 0usize..100_000) {
+        let (bytes, muts) = wal_fixture();
+        let cut = cut % (bytes.len() + 1);
+        let replayed = wal_replay(&bytes[..cut]).expect("truncation is recoverable");
+        let k = replayed.mutations.len();
+        prop_assert!(k <= muts.len());
+        prop_assert_eq!(&replayed.mutations, &muts[..k]);
+        prop_assert_eq!(replayed.valid_len + replayed.torn_tail_bytes, cut as u64);
+        prop_assert_eq!(replayed.next_seq(), k as u64);
+        // Full-length "truncation" is the clean log itself.
+        if cut == bytes.len() {
+            prop_assert_eq!(k, muts.len());
+            prop_assert!(!replayed.recovered_torn_tail());
+        }
+    }
+
+    /// A single bit flip anywhere in a WAL either fails with a typed
+    /// `WalError` or recovers a strictly shorter valid prefix (a flipped
+    /// frame length can mimic a torn tail) — it never panics and never
+    /// produces mutations the log did not carry.
+    #[test]
+    fn bit_flipped_wal_errors_or_recovers_a_prefix(
+        pos in 0usize..100_000,
+        bit in 0u32..8,
+    ) {
+        let (bytes, muts) = wal_fixture();
+        let pos = pos % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1u8 << bit;
+        match wal_replay(&corrupt) {
+            Err(NedError::Wal(_)) => {}
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "flip at {pos} bit {bit}: non-WAL error {other}"
+            ))),
+            Ok(replayed) => {
+                let k = replayed.mutations.len();
+                prop_assert!(
+                    k < muts.len(),
+                    "flip at {} bit {} went unnoticed", pos, bit
+                );
+                prop_assert_eq!(&replayed.mutations, &muts[..k]);
+            }
+        }
+    }
+
+    /// Crash-duplicated appends — any schedule of re-appending an already
+    /// written frame suffix — replay idempotently: the mutation sequence is
+    /// unchanged and every duplicate is counted, not applied.
+    #[test]
+    fn duplicate_append_schedules_replay_idempotently(
+        schedule in proptest::collection::vec(0u8..255, 10..11),
+    ) {
+        let (bytes, muts) = wal_fixture();
+        let frames = wal_frame_ranges(bytes);
+        prop_assert_eq!(frames.len(), muts.len());
+        let mut stream = bytes[..8].to_vec();
+        let mut expected_duplicates = 0u64;
+        for (i, frame) in frames.iter().enumerate() {
+            stream.extend_from_slice(&bytes[frame.clone()]);
+            // After the i-th append, maybe re-append frames j..=i, as a
+            // crash between write and acknowledgement would.
+            let choice = schedule[i] as usize;
+            if choice.is_multiple_of(3) {
+                let j = choice % (i + 1);
+                for dup in &frames[j..=i] {
+                    stream.extend_from_slice(&bytes[dup.clone()]);
+                    expected_duplicates += 1;
+                }
+            }
+        }
+        let replayed = wal_replay(&stream).expect("duplicates are recoverable");
+        prop_assert_eq!(&replayed.mutations, muts);
+        prop_assert_eq!(replayed.duplicates_skipped, expected_duplicates);
+        prop_assert_eq!(replayed.records, muts.len() as u64 + expected_duplicates);
+        prop_assert!(!replayed.recovered_torn_tail());
+    }
+
+    /// End-to-end crash recovery over arbitrary mutation sequences: write
+    /// through a real `Wal`, tear the file at an arbitrary point, reopen.
+    /// The recovered log is exactly a prefix of what was written, the file
+    /// is repaired in place, and appends continue from the recovered
+    /// sequence number.
+    #[test]
+    fn torn_wal_reopens_to_a_prefix_and_accepts_new_appends(
+        seeds in proptest::collection::vec(
+            (0u8..255, 0u8..255, 0u8..255, 0u8..255), 1..9),
+        cut in 0usize..100_000,
+    ) {
+        let muts: Vec<KbMutation> =
+            seeds.iter().map(|&(op, a, b, c)| synth_mutation(op, a, b, c)).collect();
+        let clean = wal_bytes_for(&muts, "torn-reopen.wal");
+        prop_assert_eq!(&wal_replay(&clean).unwrap().mutations, &muts);
+
+        let cut = cut % (clean.len() + 1);
+        let dir = std::env::temp_dir().join("ned-fault-injection-wal");
+        let path = dir.join("torn-reopen.wal");
+        std::fs::write(&path, &clean[..cut]).unwrap();
+        let k = {
+            let (mut wal, replayed) = Wal::open(&path).expect("torn log reopens");
+            let k = replayed.mutations.len();
+            prop_assert!(k <= muts.len());
+            prop_assert_eq!(&replayed.mutations, &muts[..k]);
+            prop_assert_eq!(wal.next_seq(), k as u64);
+            // The repaired log accepts the remainder of the sequence.
+            wal.append(&muts[k.min(muts.len() - 1)]).unwrap();
+            k
+        };
+        let repaired = std::fs::read(&path).unwrap();
+        let replayed = wal_replay(&repaired).expect("repaired log is clean");
+        prop_assert!(!replayed.recovered_torn_tail());
+        prop_assert_eq!(replayed.mutations.len(), k + 1);
+        prop_assert_eq!(&replayed.mutations[..k], &muts[..k]);
+        let _ = std::fs::remove_file(&path);
     }
 }
