@@ -1,0 +1,418 @@
+//! Cache-sweep gate: validates the `"cache_sweep"` section of
+//! `BENCH_throughput.json` (written by `experiments bench_throughput`) and
+//! exits non-zero when the report is malformed or the cache accounting
+//! does not balance.
+//!
+//! Checked per row, exactly:
+//!   - `lookups == hits + misses`
+//!   - `misses == inserts + admit_rejected + stale_discards`
+//!   - `inserts == evictions + live_entries`
+//!   - `bytes == live_entries * entry_bytes` and `bytes <= peak_bytes`
+//!   - bounded rows: `peak_bytes <= cap_bytes` (the cap is a hard bound at
+//!     every observation point, including the peak)
+//!   - `rerun_deterministic` and `outcomes_match_unbounded` both true (the
+//!     run was executed twice with bit-identical snapshots, and bounding
+//!     the cache never changed an annotation outcome)
+//!
+//! Checked per policy:
+//!   - at least 3 bounded rows and an unbounded reference row
+//!   - bounded caps strictly ascending, unbounded rows last
+//!   - hit rate monotone non-decreasing in the cap (deterministic
+//!     single-threaded replay of a fixed workload: a larger cap can only
+//!     keep more, for segmented LRU by the per-shard stack property and
+//!     for the frequency gate empirically on this corpus)
+//!
+//! Usage:
+//!   cache_check <BENCH_throughput.json>
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::process::ExitCode;
+
+/// One parsed sweep row. Rows are written one per line by the bench, so a
+/// line-oriented scan is sufficient (as in `metrics_check` and
+/// `serving_check`).
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    policy: String,
+    cap_bytes: Option<u64>,
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+    admit_rejected: u64,
+    stale_discards: u64,
+    live_entries: u64,
+    bytes: u64,
+    peak_bytes: u64,
+    hit_rate: f64,
+    rerun_deterministic: bool,
+    outcomes_match_unbounded: bool,
+}
+
+/// Extracts a string field (`"key": "value"`) from a one-line JSON object.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = start + line[start..].find('"')?;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts an unsigned integer field (`"key": 123`) from a one-line JSON
+/// object.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts a nullable unsigned integer field (`"key": 123` or
+/// `"key": null`).
+fn opt_u64_field(line: &str, key: &str) -> Option<Option<u64>> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    if line[start..].starts_with("null") {
+        return Some(None);
+    }
+    u64_field(line, key).map(Some)
+}
+
+/// Extracts a float field (`"key": 0.5`) from a one-line JSON object.
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let number: String =
+        line[start..].chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    number.parse().ok()
+}
+
+/// Extracts a boolean field (`"key": true`).
+fn bool_field(line: &str, key: &str) -> Option<bool> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    if line[start..].starts_with("true") {
+        Some(true)
+    } else if line[start..].starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn parse_row(line: &str) -> Option<Row> {
+    Some(Row {
+        policy: str_field(line, "policy")?,
+        cap_bytes: opt_u64_field(line, "cap_bytes")?,
+        lookups: u64_field(line, "lookups")?,
+        hits: u64_field(line, "hits")?,
+        misses: u64_field(line, "misses")?,
+        inserts: u64_field(line, "inserts")?,
+        evictions: u64_field(line, "evictions")?,
+        admit_rejected: u64_field(line, "admit_rejected")?,
+        stale_discards: u64_field(line, "stale_discards")?,
+        live_entries: u64_field(line, "live_entries")?,
+        bytes: u64_field(line, "bytes")?,
+        peak_bytes: u64_field(line, "peak_bytes")?,
+        hit_rate: f64_field(line, "hit_rate")?,
+        rerun_deterministic: bool_field(line, "rerun_deterministic")?,
+        outcomes_match_unbounded: bool_field(line, "outcomes_match_unbounded")?,
+    })
+}
+
+/// Parses the `"cache_sweep"` section: its `entry_bytes` and the `rows`
+/// array (one row object per line).
+fn parse_report(json: &str) -> Result<(u64, Vec<Row>), String> {
+    let mut entry_bytes = None;
+    let mut rows = Vec::new();
+    let mut in_sweep = false;
+    let mut in_rows = false;
+    for line in json.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"cache_sweep\"") {
+            in_sweep = true;
+            continue;
+        }
+        if !in_sweep {
+            continue;
+        }
+        if entry_bytes.is_none() {
+            if let Some(v) = u64_field(trimmed, "entry_bytes") {
+                entry_bytes = Some(v);
+                continue;
+            }
+        }
+        if trimmed.starts_with("\"rows\"") {
+            in_rows = true;
+            continue;
+        }
+        if in_rows {
+            if trimmed.starts_with(']') {
+                break;
+            }
+            let row =
+                parse_row(trimmed).ok_or_else(|| format!("malformed sweep row: {trimmed}"))?;
+            rows.push(row);
+        }
+    }
+    let entry_bytes =
+        entry_bytes.ok_or_else(|| "missing \"cache_sweep\".\"entry_bytes\"".to_string())?;
+    if rows.is_empty() {
+        return Err("no cache sweep rows found".to_string());
+    }
+    Ok((entry_bytes, rows))
+}
+
+/// All validation failures for a parsed sweep.
+fn validate(entry_bytes: u64, rows: &[Row]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for r in rows {
+        let ctx = format!(
+            "{} cap {}",
+            r.policy,
+            r.cap_bytes.map_or_else(|| "unbounded".to_string(), |c| c.to_string())
+        );
+        if r.lookups != r.hits + r.misses {
+            errors.push(format!(
+                "{ctx}: lookups ({}) != hits ({}) + misses ({})",
+                r.lookups, r.hits, r.misses
+            ));
+        }
+        if r.misses != r.inserts + r.admit_rejected + r.stale_discards {
+            errors.push(format!(
+                "{ctx}: misses ({}) != inserts ({}) + admit_rejected ({}) + stale_discards ({})",
+                r.misses, r.inserts, r.admit_rejected, r.stale_discards
+            ));
+        }
+        if r.inserts != r.evictions + r.live_entries {
+            errors.push(format!(
+                "{ctx}: inserts ({}) != evictions ({}) + live_entries ({})",
+                r.inserts, r.evictions, r.live_entries
+            ));
+        }
+        if r.bytes != r.live_entries * entry_bytes {
+            errors.push(format!(
+                "{ctx}: bytes ({}) != live_entries ({}) * entry_bytes ({entry_bytes})",
+                r.bytes, r.live_entries
+            ));
+        }
+        if r.bytes > r.peak_bytes {
+            errors.push(format!("{ctx}: bytes ({}) > peak_bytes ({})", r.bytes, r.peak_bytes));
+        }
+        if let Some(cap) = r.cap_bytes {
+            if r.peak_bytes > cap {
+                errors.push(format!(
+                    "{ctx}: peak_bytes ({}) exceeds the cap — the byte bound is not hard",
+                    r.peak_bytes
+                ));
+            }
+        }
+        if !r.rerun_deterministic {
+            errors.push(format!("{ctx}: rerun was not bit-identical"));
+        }
+        if !r.outcomes_match_unbounded {
+            errors.push(format!("{ctx}: bounding the cache changed annotation outcomes"));
+        }
+    }
+    // Per-policy shape and monotonicity, in file order.
+    let mut policies: Vec<&str> = Vec::new();
+    for r in rows {
+        if !policies.contains(&r.policy.as_str()) {
+            policies.push(&r.policy);
+        }
+    }
+    for policy in policies {
+        let of_policy: Vec<&Row> = rows.iter().filter(|r| r.policy == policy).collect();
+        let bounded = of_policy.iter().filter(|r| r.cap_bytes.is_some()).count();
+        let unbounded = of_policy.len() - bounded;
+        if bounded < 3 {
+            errors.push(format!("{policy}: need >= 3 bounded rows, found {bounded}"));
+        }
+        if unbounded < 1 {
+            errors.push(format!("{policy}: missing the unbounded reference row"));
+        }
+        for pair in of_policy.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            match (a.cap_bytes, b.cap_bytes) {
+                (Some(ca), Some(cb)) if ca >= cb => {
+                    errors.push(format!("{policy}: caps not strictly ascending ({ca} -> {cb})"));
+                }
+                (None, Some(cb)) => {
+                    errors.push(format!(
+                        "{policy}: bounded row (cap {cb}) after the unbounded row"
+                    ));
+                }
+                _ => {}
+            }
+            if a.hit_rate > b.hit_rate {
+                errors.push(format!(
+                    "{policy}: hit rate not monotone in the cap ({:.6} -> {:.6} at cap {})",
+                    a.hit_rate,
+                    b.hit_rate,
+                    b.cap_bytes.map_or_else(|| "unbounded".to_string(), |c| c.to_string())
+                ));
+            }
+        }
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: cache_check <BENCH_throughput.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (entry_bytes, rows) = match parse_report(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let errors = validate(entry_bytes, &rows);
+    if errors.is_empty() {
+        println!(
+            "cache_check: {} sweep rows balance exactly (hit rate monotone in cap, \
+             peak bytes under cap, reruns bit-identical)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{e}");
+        }
+        eprintln!("cache_check: {} violation(s) in {path}", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A row whose accounting balances by construction: the cache fills to
+    /// its cap (or holds every insert when unbounded) and the remainder of
+    /// the inserts were evicted.
+    fn row(policy: &str, cap: Option<u64>, hits: u64, rejected: u64) -> String {
+        let lookups = 1000u64;
+        let misses = lookups - hits;
+        let inserts = misses - rejected;
+        let live = cap.map_or(inserts, |c| inserts.min(c / 96));
+        let evictions = inserts - live;
+        let bytes = live * 96;
+        let peak = bytes;
+        format!(
+            "      {{\"policy\": \"{policy}\", \"cap_bytes\": {}, \"bounded\": {}, \
+             \"lookups\": {lookups}, \"hits\": {hits}, \"misses\": {misses}, \
+             \"inserts\": {inserts}, \"evictions\": {evictions}, \
+             \"admit_rejected\": {rejected}, \"stale_discards\": 0, \
+             \"live_entries\": {live}, \"bytes\": {bytes}, \"peak_bytes\": {peak}, \
+             \"hit_rate\": {:.6}, \"rerun_deterministic\": true, \
+             \"outcomes_match_unbounded\": true}}",
+            cap.map_or_else(|| "null".to_string(), |c| c.to_string()),
+            cap.is_some(),
+            hits as f64 / lookups as f64,
+        )
+    }
+
+    fn report(rows: &[String]) -> String {
+        format!(
+            "{{\n  \"metrics\": {{\n    \"aida_docs\": 20\n  }},\n  \"cache_sweep\": {{\n    \
+             \"entry_bytes\": 96,\n    \"rows\": [\n{}\n    ]\n  }},\n  \
+             \"deterministic_across_thread_counts\": true\n}}\n",
+            rows.join(",\n")
+        )
+    }
+
+    fn good_rows() -> Vec<String> {
+        vec![
+            row("lru", Some(960), 500, 0),
+            row("lru", Some(1920), 550, 0),
+            row("lru", Some(3840), 600, 0),
+            row("lru", None, 700, 0),
+            row("tinylfu_slru", Some(960), 400, 480),
+            row("tinylfu_slru", Some(1920), 450, 400),
+            row("tinylfu_slru", Some(3840), 520, 300),
+            row("tinylfu_slru", None, 700, 0),
+        ]
+    }
+
+    #[test]
+    fn accepts_a_balanced_sweep() {
+        let (entry_bytes, rows) = parse_report(&report(&good_rows())).unwrap();
+        assert_eq!(entry_bytes, 96);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(validate(entry_bytes, &rows), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_broken_conservation() {
+        let mut rows = good_rows();
+        // Corrupt one row's inserts so misses != inserts + rejected.
+        rows[1] = rows[1].replace("\"inserts\": 450", "\"inserts\": 449");
+        let (eb, parsed) = parse_report(&report(&rows)).unwrap();
+        let errors = validate(eb, &parsed);
+        assert!(errors.iter().any(|e| e.contains("misses (450)")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_peak_over_cap() {
+        let mut rows = good_rows();
+        rows[0] = rows[0].replace("\"peak_bytes\": 960", "\"peak_bytes\": 961");
+        let (eb, parsed) = parse_report(&report(&rows)).unwrap();
+        let errors = validate(eb, &parsed);
+        assert!(errors.iter().any(|e| e.contains("exceeds the cap")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_hit_rate() {
+        let mut rows = good_rows();
+        rows[2] = row("lru", Some(3840), 540, 0); // below the cap-1920 rate
+        let (eb, parsed) = parse_report(&report(&rows)).unwrap();
+        let errors = validate(eb, &parsed);
+        assert!(errors.iter().any(|e| e.contains("not monotone")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_descending_caps_and_missing_reference_row() {
+        let rows = vec![
+            row("lru", Some(1920), 500, 0),
+            row("lru", Some(960), 500, 0),
+            row("lru", Some(3840), 600, 0),
+        ];
+        let (eb, parsed) = parse_report(&report(&rows)).unwrap();
+        let errors = validate(eb, &parsed);
+        assert!(errors.iter().any(|e| e.contains("not strictly ascending")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("unbounded reference row")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_false_determinism_flags() {
+        let mut rows = good_rows();
+        rows[5] = rows[5].replace("\"rerun_deterministic\": true", "\"rerun_deterministic\": false");
+        rows[6] = rows[6]
+            .replace("\"outcomes_match_unbounded\": true", "\"outcomes_match_unbounded\": false");
+        let (eb, parsed) = parse_report(&report(&rows)).unwrap();
+        let errors = validate(eb, &parsed);
+        assert!(errors.iter().any(|e| e.contains("not bit-identical")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("changed annotation outcomes")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"cache_sweep\": {\n  \"rows\": [\n  ]\n}\n}").is_err());
+        let bad = "{\"cache_sweep\": {\n  \"entry_bytes\": 96,\n  \"rows\": [\n    \
+                   {\"policy\": 3}\n  ]\n}\n}";
+        assert!(parse_report(bad).is_err());
+    }
+}

@@ -24,7 +24,10 @@ pub mod pair_selection;
 pub mod traits;
 pub mod two_stage;
 
-pub use cache::CachedRelatedness;
+pub use cache::{
+    canonical_key, shard_index, CacheConfig, CachedRelatedness, EvictionPolicy, LookupEvents,
+    PairCache, PairKey, ENTRY_BYTES, SHARD_COUNT,
+};
 pub use keyterm_cosine::{KeyphraseCosine, KeywordCosine};
 pub use jaccard::InlinkJaccard;
 pub use kore::Kore;

@@ -412,6 +412,98 @@ mod tests {
     }
 
     #[test]
+    fn epoch_swap_invalidates_a_bounded_cache_shared_across_rebuilds() {
+        use ned_kb::{EntityId, KbView};
+        use ned_obs::Metrics;
+        use ned_relatedness::{CacheConfig, CachedRelatedness, MilneWitten};
+
+        // A measure that always reads the handle's *current* epoch, like a
+        // serving worker does between requests. The bounded cache in front
+        // of it survives epoch swaps; only `advance_generation` (called by
+        // the rebuild closure, mirroring a production epoch handler) may
+        // drop its memoized scores.
+        struct LiveMw {
+            handle: Arc<KbHandle>,
+        }
+        impl Relatedness for LiveMw {
+            fn name(&self) -> &'static str {
+                "live-mw"
+            }
+            fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+                let (_, epoch) = self.handle.current();
+                MilneWitten::new(epoch).relatedness(a, b)
+            }
+        }
+
+        // a and b share both of their in-linkers, so MW(a, b) is maximal
+        // until a promoted entity links to only one of them.
+        let mut builder = KbBuilder::new();
+        let a = builder.add_entity("A", EntityKind::Other);
+        let b = builder.add_entity("B", EntityKind::Other);
+        let x = builder.add_entity("X", EntityKind::Other);
+        let y = builder.add_entity("Y", EntityKind::Other);
+        builder.add_entity("C", EntityKind::Other);
+        builder.add_link(x, a);
+        builder.add_link(x, b);
+        builder.add_link(y, a);
+        builder.add_link(y, b);
+        let base = Arc::new(FrozenKb::freeze(&builder.build()));
+
+        let handle = Arc::new(KbHandle::new(KbEpoch::Frozen(Arc::clone(&base))));
+        let metrics = Metrics::new();
+        // Bounded tight: generation invalidation must compose with the
+        // eviction books (dropped entries count as evictions, conservation
+        // stays exact).
+        let cache = Arc::new(CachedRelatedness::with_config(
+            LiveMw { handle: Arc::clone(&handle) },
+            &metrics,
+            CacheConfig::bounded(64 * ned_relatedness::ENTRY_BYTES),
+        ));
+        let shared = Arc::clone(&cache);
+        let handler = EpochHandler::new(Arc::clone(&handle), move |generation, epoch| {
+            shared.advance_generation(generation);
+            EpochProbe { entities: epoch.entity_count() }
+        });
+
+        let before = cache.relatedness(a, b);
+        assert!(!cache.cache().is_empty(), "the score was memoized");
+        assert_eq!(before.to_bits(), cache.relatedness(a, b).to_bits(), "served from cache");
+
+        let delta = DeltaKb::build(
+            Arc::clone(&base),
+            vec![
+                KbMutation::AddEntity {
+                    canonical_name: "Prism (emerging)".into(),
+                    kind: EntityKind::Other,
+                },
+                KbMutation::AddLink { src: "Prism (emerging)".into(), dst: "A".into() },
+            ],
+        )
+        .unwrap();
+        let expected = MilneWitten::new(&delta).relatedness(a, b);
+        assert_ne!(expected.to_bits(), before.to_bits(), "promotion changes the score");
+        handle.swap(KbEpoch::Delta(Arc::new(delta)));
+
+        // The next request pins the fresh epoch; the rebuild closure runs
+        // `advance_generation`, so the stale memoized score is gone.
+        handler.handle(&ServeRequest::new(1, "x"), &DeadlinePlan::Full);
+        assert_eq!(
+            cache.relatedness(a, b).to_bits(),
+            expected.to_bits(),
+            "post-swap lookups must see the promoted entity's effect"
+        );
+        // Conservation holds across the swap: the generation drop counted
+        // its entries as evictions.
+        let pc = cache.cache();
+        assert!(pc.evictions() > 0, "the generation drop is accounted as evictions");
+        assert_eq!(pc.inserts(), pc.evictions() + pc.len() as u64);
+        assert_eq!(
+            pc.misses(),
+            pc.inserts() + pc.admit_rejected() + pc.stale_discards()
+        );
+    }
+
+    #[test]
     fn fn_handler_passes_through() {
         let h = FnHandler::new(|_req: &ServeRequest, plan: &DeadlinePlan| HandlerOutput {
             annotations: Vec::new(),
